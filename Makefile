@@ -1,0 +1,34 @@
+# Price $heriff reproduction — common targets.
+
+GO ?= go
+
+.PHONY: build test race bench experiments experiments-full fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (quick scale).
+experiments:
+	$(GO) run ./cmd/benchtab
+
+# Paper-scale sweeps (minutes; Fig 8c runs real crypto at k up to 200).
+experiments-full:
+	$(GO) run ./cmd/benchtab -full
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

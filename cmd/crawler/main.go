@@ -1,0 +1,114 @@
+// Command crawler runs the paper's systematic measurement study
+// (Sect. 7.1): artificial price-check requests over chosen domains,
+// products and repetitions, fetched from the 30-IPC fleet plus persistent
+// peers in one country, extracted through the production Tags-Path and
+// currency pipeline. Observations go to a CSV; a summary of per-domain
+// differences and the within-country percentages prints to stdout.
+//
+// Usage:
+//
+//	crawler [-domains jcpenney.com,chegg.com,amazon.com] [-products 25]
+//	        [-reps 15] [-country ES] [-ppcs 3] [-out obs.csv] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pricesheriff/internal/analysis"
+	"pricesheriff/internal/shop"
+)
+
+func main() {
+	var (
+		domainsFlag = flag.String("domains", "jcpenney.com,chegg.com,amazon.com", "comma-separated domains to crawl")
+		products    = flag.Int("products", 25, "products per domain")
+		reps        = flag.Int("reps", 15, "repetitions per product")
+		country     = flag.String("country", "ES", "country the PPCs reside in")
+		ppcs        = flag.Int("ppcs", 3, "persistent peers in the country")
+		out         = flag.String("out", "", "write raw observations to this CSV")
+		seed        = flag.Int64("seed", 1, "world seed")
+		scale       = flag.Int("scale", 300, "checked domains in the world")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	mall := shop.NewMall(shop.MallConfig{
+		Seed: *seed, NumDomains: *scale,
+		NumLocationPD: max(4, *scale/26), NumAlexa: max(5, *scale/5),
+	})
+	points, err := analysis.StandardIPCFleet(mall.World, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peers, err := analysis.CountryPPCs(mall.World, *seed+2, *country, *ppcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := analysis.NewCrawler(mall, append(points, peers...))
+
+	var specs []analysis.SweepSpec
+	for _, d := range strings.Split(*domainsFlag, ",") {
+		d = strings.TrimSpace(d)
+		if d == "" {
+			continue
+		}
+		specs = append(specs, analysis.SweepSpec{
+			Domain: d, Products: *products, Reps: *reps, DayStep: 1,
+		})
+	}
+	if len(specs) == 0 {
+		log.Fatal("no domains given")
+	}
+
+	obs, err := c.Sweep(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov := c.Coverage()
+	fmt.Printf("collected %d observations over %d domains\n", len(obs), len(specs))
+	fmt.Printf("coverage: %d attempts, %d ok, %d fetch / %d locate / %d detect failures\n\n",
+		cov.Attempts, cov.OK, cov.FetchErrors, cov.LocateErrors, cov.DetectErrors)
+
+	if *out != "" {
+		if err := writeCSV(*out, obs); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("raw observations written to %s\n\n", *out)
+	}
+
+	fmt.Println("per-domain price differences:")
+	for _, d := range analysis.PerDomain(obs) {
+		if d.ChecksWithDiff == 0 {
+			fmt.Printf("  %-24s checks=%4d  no differences\n", d.Domain, d.Checks)
+			continue
+		}
+		fmt.Printf("  %-24s checks=%4d  w/diff=%4d  median=%5.1f%%  max=%5.1f%%\n",
+			d.Domain, d.Checks, d.ChecksWithDiff, 100*d.Box.Median, 100*d.Box.Max)
+	}
+
+	fmt.Printf("\nwithin-country (%s) difference percentages (Table 5):\n", *country)
+	pct := analysis.WithinCountryDiffPct(obs)
+	for _, spec := range specs {
+		fmt.Printf("  %-24s %5.1f%%\n", spec.Domain, pct[spec.Domain][*country])
+	}
+
+	fmt.Println("\nA/B-testing-vs-PDI-PD verdicts (Sect. 7.5):")
+	for _, spec := range specs {
+		v := analysis.TestABVsPDIPD(obs, spec.Domain, *seed)
+		fmt.Printf("  %-24s KS rejectFrac=%.2f R²=%.3f significant=%v → A/B testing=%v\n",
+			spec.Domain, v.RejectFrac, v.RegressionR2, v.Significant, v.ABTesting)
+	}
+}
+
+func writeCSV(path string, obs []analysis.Obs) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return analysis.WriteObsCSV(f, obs)
+}

@@ -1,0 +1,152 @@
+// Command sheriffctl is the Price $heriff "browser add-on" as a CLI: it
+// joins a running sheriffd deployment over TCP as a real peer (so it both
+// issues and serves price checks), then runs the five-step price check
+// protocol for a product URL and prints the Fig. 2 result page.
+//
+// Usage:
+//
+//	sheriffctl -coord HOST:PORT -shops HOST:PORT -broker HOST:PORT \
+//	    [-country ES] [-id my-peer] \
+//	    (-url http://domain/product/sku | -domain chegg.com | -list)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"pricesheriff/internal/browser"
+	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/core"
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/peer"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/transport"
+)
+
+func main() {
+	var (
+		coordAddr  = flag.String("coord", "", "coordinator address (required)")
+		shopsAddr  = flag.String("shops", "", "shop-world address (required)")
+		brokerAddr = flag.String("broker", "", "p2p broker address (required)")
+		country    = flag.String("country", "ES", "country this peer lives in")
+		id         = flag.String("id", fmt.Sprintf("ctl-%d", os.Getpid()), "peer ID")
+		url        = flag.String("url", "", "product URL to price-check")
+		domain     = flag.String("domain", "", "check the first product of this domain")
+		list       = flag.Bool("list", false, "list some retailer domains and exit")
+		curr       = flag.String("currency", "EUR", "currency to convert results to")
+		serve      = flag.Duration("serve", 0, "stay connected serving remote requests for this long after the check")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	if *coordAddr == "" || *shopsAddr == "" || *brokerAddr == "" {
+		log.Fatal("need -coord, -shops and -broker (sheriffd prints them)")
+	}
+	fabric := transport.TCP{}
+
+	fetcher, err := shop.DialFetcher(fabric, *shopsAddr, 2)
+	if err != nil {
+		log.Fatalf("dial shops: %v", err)
+	}
+	defer fetcher.Close()
+
+	if *list {
+		domains, err := fetcher.Domains()
+		if err != nil {
+			log.Fatalf("list domains: %v", err)
+		}
+		for i, d := range domains {
+			fmt.Println(d)
+			if i >= 40 {
+				fmt.Printf("... and %d more\n", len(domains)-i-1)
+				break
+			}
+		}
+		return
+	}
+	if *url == "" && *domain != "" {
+		catalog, err := fetcher.Catalog(*domain)
+		if err != nil || len(catalog) == 0 {
+			log.Fatalf("catalog for %s: %v", *domain, err)
+		}
+		*url = catalog[0].URL
+		fmt.Printf("checking %s (%s)\n", catalog[0].Name, *url)
+	}
+	if *url == "" {
+		log.Fatal("need -url or -domain")
+	}
+
+	// Join the deployment as a peer: an IP in the requested country, a
+	// browser, registration at the Coordinator, a relay connection.
+	world := geo.NewWorld()
+	ip, ok := world.RandomIP(rand.New(rand.NewSource(time.Now().UnixNano())), *country, "")
+	if !ok {
+		log.Fatalf("unknown country %q", *country)
+	}
+	br := browser.New(*id, ip.String(), "linux", "firefox")
+	coordCli, err := coordinator.DialCoordinator(fabric, *coordAddr)
+	if err != nil {
+		log.Fatalf("dial coordinator: %v", err)
+	}
+	defer coordCli.Close()
+	if _, err := coordCli.RegisterPeer(*id, ip.String()); err != nil {
+		log.Fatalf("register peer: %v", err)
+	}
+	defer coordCli.UnregisterPeer(*id)
+
+	node, err := peer.Connect(fabric, *brokerAddr, *id, br, fetcher, nil)
+	if err != nil {
+		log.Fatalf("join p2p network: %v", err)
+	}
+	defer node.Close()
+	go node.Run()
+
+	// Step 1: navigate and "highlight" the price.
+	resp, err := br.BrowseProduct(fetcher, *url, 0)
+	if err != nil || resp.Status != 200 {
+		log.Fatalf("navigate: %v (status %d)", err, resp.Status)
+	}
+	path, err := core.SelectPrice(resp.HTML)
+	if err != nil {
+		log.Fatalf("select price: %v", err)
+	}
+	domainName, _, _ := shop.ParseProductURL(*url)
+	job, err := coordCli.NewJob(domainName, *id)
+	if err != nil {
+		log.Fatalf("coordinator rejected: %v", err)
+	}
+	fmt.Printf("job %s assigned to measurement server %s\n", job.JobID, job.ServerAddr)
+
+	ms, err := measurement.DialMeasurement(fabric, job.ServerAddr)
+	if err != nil {
+		log.Fatalf("dial measurement server: %v", err)
+	}
+	defer ms.Close()
+	if err := ms.Check(&measurement.CheckRequest{
+		JobID:         job.JobID,
+		URL:           *url,
+		TagsPath:      path,
+		InitiatorHTML: resp.HTML,
+		InitiatorID:   *id,
+		Currency:      *curr,
+	}); err != nil {
+		log.Fatalf("submit check: %v", err)
+	}
+	rows, err := ms.WaitResults(job.JobID, 3*time.Minute)
+	if err != nil {
+		log.Fatalf("results: %v", err)
+	}
+	fmt.Print(core.FormatResult(&core.CheckResult{
+		JobID: job.JobID, URL: *url, Domain: domainName, Currency: *curr, Rows: rows,
+	}))
+
+	if *serve > 0 {
+		fmt.Printf("serving remote requests for %v ...\n", *serve)
+		time.Sleep(*serve)
+		fmt.Printf("served %d remote page requests\n", node.Served())
+	}
+}

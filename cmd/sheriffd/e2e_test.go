@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Two-process end-to-end: build the real binaries, boot sheriffd on TCP
+// sockets, and drive a price check from a separate sheriffctl process —
+// the add-on and the back-end in different OS processes, like the
+// deployment.
+func TestSheriffdSheriffctlEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	moduleDir := strings.TrimSpace(string(root))
+	tmp := t.TempDir()
+
+	for _, pkg := range []string{"sheriffd", "sheriffctl"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(tmp, pkg), "pricesheriff/cmd/"+pkg)
+		cmd.Dir = moduleDir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	daemon := exec.Command(filepath.Join(tmp, "sheriffd"),
+		"-servers", "1", "-domains", "40", "-users", "4", "-seed", "3")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// Parse the printed component addresses.
+	addrRe := regexp.MustCompile(`(shops \(the web\)|coordinator|p2p relay broker):\s+(\S+)`)
+	addrs := map[string]string{}
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	ready := make(chan struct{})
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				addrs[m[1]] = m[2]
+			}
+			if strings.Contains(line, "Serving until interrupted") {
+				close(ready)
+				// Keep draining so the daemon never blocks on stdout.
+				for scanner.Scan() {
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-deadline:
+		t.Fatal("sheriffd did not come up")
+	}
+	for _, key := range []string{"shops (the web)", "coordinator", "p2p relay broker"} {
+		if addrs[key] == "" {
+			t.Fatalf("missing %s address in daemon output: %v", key, addrs)
+		}
+	}
+
+	// List domains from a separate process.
+	list := exec.Command(filepath.Join(tmp, "sheriffctl"),
+		"-coord", addrs["coordinator"], "-shops", addrs["shops (the web)"],
+		"-broker", addrs["p2p relay broker"], "-list")
+	out, err := list.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sheriffctl -list: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "chegg.com") {
+		t.Fatalf("domain list missing chegg.com:\n%s", out)
+	}
+
+	// Run a price check as an external peer.
+	check := exec.Command(filepath.Join(tmp, "sheriffctl"),
+		"-coord", addrs["coordinator"], "-shops", addrs["shops (the web)"],
+		"-broker", addrs["p2p relay broker"],
+		"-country", "ES", "-id", "e2e-peer", "-domain", "steampowered.com")
+	out, err = check.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sheriffctl check: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"job-", "Variant", "Converted", "You"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("check output missing %q:\n%s", want, text)
+		}
+	}
+	// The check fanned out to the 30-IPC fleet: expect many result rows.
+	if rows := strings.Count(text, "EUR "); rows < 20 {
+		t.Errorf("only %d converted rows:\n%s", rows, text)
+	}
+}

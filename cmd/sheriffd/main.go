@@ -1,0 +1,117 @@
+// Command sheriffd boots a complete Price $heriff deployment on local TCP
+// sockets: the synthetic e-commerce world, the Coordinator, N Measurement
+// servers, the shared Database server, the P2P relay broker, the 30-IPC
+// fleet, and (optionally) a population of simulated peer users in various
+// countries.
+//
+// It prints the component addresses so external tools — cmd/sheriffctl in
+// particular — can join the deployment as additional peers or issue price
+// checks, then serves until interrupted.
+//
+// Usage:
+//
+//	sheriffd [-servers 2] [-domains 200] [-users 12] [-seed 1] [-admin 127.0.0.1:0] [-dump study.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pricesheriff/internal/adminui"
+	"pricesheriff/internal/core"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/transport"
+	"pricesheriff/internal/workload"
+)
+
+func main() {
+	var (
+		servers = flag.Int("servers", 2, "measurement servers to boot")
+		domains = flag.Int("domains", 200, "checked e-commerce domains in the world")
+		users   = flag.Int("users", 12, "simulated peer users to connect")
+		seed    = flag.Int64("seed", 1, "world/workload seed")
+		admin   = flag.String("admin", "127.0.0.1:0", "admin web UI address (empty disables)")
+		dump    = flag.String("dump", "", "write the collected dataset to this JSON file on shutdown")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+
+	mall := shop.NewMall(shop.MallConfig{
+		Seed:          *seed,
+		NumDomains:    *domains,
+		NumLocationPD: max(4, *domains/26), // the paper's 76/1994 ratio
+		NumAlexa:      max(5, *domains/5),
+		IncludePDIPD:  true,
+	})
+	sys, err := core.NewSystem(core.Config{
+		Fabric:             transport.TCP{},
+		Mall:               mall,
+		MeasurementServers: *servers,
+		Seed:               *seed,
+	})
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	defer sys.Close()
+
+	fmt.Println("Price $heriff deployment up:")
+	fmt.Printf("  shops (the web):     %s\n", sys.ShopAddr())
+	fmt.Printf("  coordinator:         %s\n", sys.CoordAddr())
+	fmt.Printf("  p2p relay broker:    %s\n", sys.BrokerAddr())
+	fmt.Printf("  database server:     %s\n", sys.DBAddr())
+	fmt.Printf("  measurement servers: %d\n", sys.MeasurementServers())
+	fmt.Printf("  checked domains:     %d\n", len(mall.Domains()))
+
+	// Seed a peer population with the deployment's country skew so price
+	// checks have same-country PPCs to tunnel through.
+	specs := workload.Users(rand.New(rand.NewSource(*seed)), *users, workload.Top10Countries(), 0.36)
+	for _, spec := range specs {
+		if _, err := sys.AddUser(spec.ID, spec.Country, ""); err != nil {
+			log.Printf("add user %s: %v", spec.ID, err)
+			continue
+		}
+	}
+	fmt.Printf("  simulated peers:     %d\n", len(sys.Users()))
+
+	if *admin != "" {
+		ui := adminui.New(sys.Coord)
+		if err := ui.Listen(*admin); err != nil {
+			log.Fatalf("admin ui: %v", err)
+		}
+		defer ui.Close()
+		fmt.Printf("  admin web ui:        http://%s/\n", ui.Addr())
+	}
+	fmt.Println("\nConnect with: sheriffctl -coord", sys.CoordAddr(),
+		"-shops", sys.ShopAddr(), "-broker", sys.BrokerAddr())
+	fmt.Println("Serving until interrupted (Ctrl-C).")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+
+	if *dump != "" {
+		snap, err := sys.DB().Export()
+		if err != nil {
+			log.Printf("export dataset: %v", err)
+			return
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Printf("create %s: %v", *dump, err)
+			return
+		}
+		defer f.Close()
+		if err := json.NewEncoder(f).Encode(snap); err != nil {
+			log.Printf("write %s: %v", *dump, err)
+			return
+		}
+		fmt.Printf("dataset written to %s\n", *dump)
+	}
+}

@@ -1,0 +1,104 @@
+// Abtesting: the within-country investigation of the paper's Sect. 7.
+// For the three case-study retailers the crawler measures how often
+// same-country vantage points disagree (Table 5), whether individual
+// peers are biased towards high or low prices (Fig. 13), and then runs
+// the statistical battery of Sect. 7.5 — pairwise Kolmogorov–Smirnov
+// tests, multi-linear regression on OS/browser/time features, and a
+// random forest — to decide whether the variation is A/B testing or
+// personal-data-induced price discrimination. A known-positive PDI-PD
+// retailer is included to show the watchdog detects the real thing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pricesheriff/internal/analysis"
+	"pricesheriff/internal/shop"
+)
+
+func main() {
+	log.SetFlags(0)
+	mall := shop.NewMall(shop.MallConfig{
+		Seed: 11, NumDomains: 120, NumLocationPD: 25, NumAlexa: 10, IncludePDIPD: true,
+	})
+
+	// Persistent peers in the UK (real users, long-lived cookies).
+	ukPeers, err := analysis.CountryPPCs(mall.World, 2, "GB", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crawler := analysis.NewCrawler(mall, ukPeers)
+	obs, err := crawler.Sweep([]analysis.SweepSpec{
+		{Domain: "jcpenney.com", Products: 20, Reps: 5, DayStep: 1},
+		{Domain: "chegg.com", Products: 20, Reps: 5, DayStep: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-peer bias at jcpenney.com in the UK (Fig 13):")
+	for _, p := range analysis.PerPeerBias(obs, "jcpenney.com", "GB") {
+		fmt.Printf("  %-12s median diff vs cheapest peer: %5.1f%%  (n=%d)\n", p.Point, 100*p.Median, p.N)
+	}
+
+	pct := analysis.WithinCountryDiffPct(obs)
+	fmt.Println("\nshare of checks with a within-country difference (Table 5):")
+	for _, d := range []string{"jcpenney.com", "chegg.com"} {
+		fmt.Printf("  %-14s %5.1f%%\n", d, pct[d]["GB"])
+	}
+
+	// Sect. 7.5: clean-profile peers so no sticky identity forms.
+	cleanPeers, err := analysis.CountryPPCs(mall.World, 3, "ES", 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range cleanPeers {
+		v.Persistent = false
+	}
+	clean := analysis.NewCrawler(mall, cleanPeers)
+	cleanObs, err := clean.Sweep([]analysis.SweepSpec{
+		{Domain: "jcpenney.com", Products: 20, Reps: 8, DayStep: 0.5},
+		{Domain: "chegg.com", Products: 20, Reps: 8, DayStep: 0.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nA/B-testing-vs-PDI-PD verdicts with clean profiles (Sect 7.5):")
+	for _, d := range []string{"jcpenney.com", "chegg.com"} {
+		v := analysis.TestABVsPDIPD(cleanObs, d, 5)
+		fmt.Printf("  %-14s K-S rejectFrac=%.2f  regression R²=%.3f significant=%v  → A/B testing: %v\n",
+			d, v.RejectFrac, v.RegressionR2, v.Significant, v.ABTesting)
+	}
+
+	// Watchdog validation: a retailer that genuinely discriminates on
+	// tracker profiles must NOT pass as A/B testing when an interested
+	// peer is present.
+	victim, err := analysis.CountryPPCs(mall.World, 4, "ES", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdipd, _ := mall.Shop(mall.PDIPDDomain)
+	hero := pdipd.Products()[0]
+	tr := mall.Trackers[0]
+	cookie := tr.Observe("", "elsewhere.example", hero.Category)
+	for i := 0; i < 5; i++ {
+		tr.Observe(cookie, "elsewhere.example", hero.Category)
+	}
+	victim[0].ID = "ppc-ES-victim"
+	victim[0].SeedCookie(tr.Domain, cookie)
+	fresh, _ := analysis.CountryPPCs(mall.World, 5, "ES", 1)
+	fresh[0].ID = "ppc-ES-fresh"
+	pd := analysis.NewCrawler(mall, append(victim, fresh...))
+	pdObs, err := pd.Check(mall.PDIPDDomain, hero.SKU, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nknown-positive PDI-PD retailer (%s):\n", mall.PDIPDDomain)
+	for _, o := range pdObs {
+		fmt.Printf("  %-12s EUR %.2f\n", o.Point, o.PriceEUR)
+	}
+	if len(pdObs) == 2 && pdObs[0].PriceEUR != pdObs[1].PriceEUR {
+		fmt.Println("  → interested peer pays more: PDI-PD detected ✔")
+	}
+}

@@ -1,0 +1,3 @@
+module pricesheriff
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package adminui is the operator's web interface (paper Sect. 10.2.1:
+// "the system's administrator ... uses an intuitive web interface" to
+// attach/detach Measurement servers, plus the real-time monitoring panels
+// of Figs. 7 and 16 and the whitelist-review workflow of Sect. 2.3).
+//
+// It is a plain net/http server over the Coordinator's state:
+//
+//	GET  /            index with links
+//	GET  /servers     Fig. 7 (HTML) — measurement servers and jobs
+//	GET  /peers       Fig. 16 (HTML) — online peer proxies
+//	GET  /whitelist   sanctioned domain count + rejected-domain queue
+//	POST /whitelist   add a domain (form field "domain")
+//	POST /servers     register a measurement server (form field "addr")
+//	GET  /healthz     liveness probe
+package adminui
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"pricesheriff/internal/coordinator"
+)
+
+// Server is the admin HTTP server.
+type Server struct {
+	Coord *coordinator.Coordinator
+
+	mux  *http.ServeMux
+	http *http.Server
+	lis  net.Listener
+	once sync.Once
+}
+
+// New builds the admin UI over a coordinator.
+func New(coord *coordinator.Coordinator) *Server {
+	s := &Server{Coord: coord, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/servers", s.handleServers)
+	s.mux.HandleFunc("/peers", s.handlePeers)
+	s.mux.HandleFunc("/whitelist", s.handleWhitelist)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler exposes the mux (for tests via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds the UI to a TCP address ("127.0.0.1:0" for ephemeral) and
+// starts serving in the background.
+func (s *Server) Listen(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(lis)
+	return nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		if s.http != nil {
+			err = s.http.Close()
+		}
+	})
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><title>Price $heriff admin</title></head><body>
+<h1>Price $heriff</h1>
+<ul>
+<li><a href="/servers">Measurement servers</a></li>
+<li><a href="/peers">Peer proxies</a></li>
+<li><a href="/whitelist">Whitelist</a></li>
+</ul>
+</body></html>
+`)
+}
+
+func (s *Server) handleServers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, coordinator.ServersPanelHTML(s.Coord.Servers.Snapshot()))
+	case http.MethodPost:
+		addr := strings.TrimSpace(r.FormValue("addr"))
+		if addr == "" {
+			http.Error(w, "missing addr", http.StatusBadRequest)
+			return
+		}
+		s.Coord.Servers.Register(addr)
+		http.Redirect(w, r, "/servers", http.StatusSeeOther)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, coordinator.PeersPanelHTML(s.Coord.Peers()))
+}
+
+func (s *Server) handleWhitelist(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<!DOCTYPE html>\n<html><head><title>Whitelist</title></head><body>\n")
+		fmt.Fprintf(w, "<h1>Whitelist</h1>\n<p>%d sanctioned domains.</p>\n", s.Coord.Whitelist.Size())
+		fmt.Fprint(w, "<h2>Rejected (for manual review)</h2>\n<ul>\n")
+		for _, d := range s.Coord.Whitelist.Rejected() {
+			fmt.Fprintf(w, `<li class="rejected">%s</li>`+"\n", htmlEscape(d))
+		}
+		fmt.Fprint(w, `</ul>
+<form method="POST" action="/whitelist">
+<input name="domain" placeholder="domain to sanction">
+<button type="submit">Add</button>
+</form>
+</body></html>
+`)
+	case http.MethodPost:
+		domain := strings.TrimSpace(r.FormValue("domain"))
+		if domain == "" {
+			http.Error(w, "missing domain", http.StatusBadRequest)
+			return
+		}
+		s.Coord.Whitelist.Add(domain)
+		http.Redirect(w, r, "/whitelist", http.StatusSeeOther)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;",
+	)
+	return r.Replace(s)
+}

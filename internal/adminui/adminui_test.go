@@ -1,0 +1,125 @@
+package adminui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/geo"
+)
+
+func newUI(t *testing.T) (*Server, *coordinator.Coordinator) {
+	t.Helper()
+	world := geo.NewWorld()
+	sl := coordinator.NewServerList(time.Hour, coordinator.LeastPending, nil)
+	sl.Register("ms-1:80")
+	wl := coordinator.NewWhitelist([]string{"chegg.com"})
+	coord := coordinator.New(sl, wl, world)
+	return New(coord), coord
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func postForm(t *testing.T, h http.Handler, path string, form url.Values) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+func TestIndexAndHealth(t *testing.T) {
+	ui, _ := newUI(t)
+	code, body := get(t, ui.Handler(), "/")
+	if code != 200 || !strings.Contains(body, "Price $heriff") {
+		t.Errorf("index: %d\n%s", code, body)
+	}
+	code, body = get(t, ui.Handler(), "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("health: %d %q", code, body)
+	}
+	if code, _ := get(t, ui.Handler(), "/nope"); code != 404 {
+		t.Errorf("unknown path = %d", code)
+	}
+}
+
+func TestServersPanelAndRegistration(t *testing.T) {
+	ui, coord := newUI(t)
+	code, body := get(t, ui.Handler(), "/servers")
+	if code != 200 || !strings.Contains(body, "ms-1:80") {
+		t.Errorf("servers: %d\n%s", code, body)
+	}
+	// Register a new measurement server through the form.
+	if code := postForm(t, ui.Handler(), "/servers", url.Values{"addr": {"ms-2:80"}}); code != http.StatusSeeOther {
+		t.Errorf("register = %d", code)
+	}
+	if len(coord.Servers.Snapshot()) != 2 {
+		t.Error("registration did not reach the coordinator")
+	}
+	if code := postForm(t, ui.Handler(), "/servers", url.Values{}); code != http.StatusBadRequest {
+		t.Errorf("empty addr = %d", code)
+	}
+}
+
+func TestPeersPanel(t *testing.T) {
+	ui, coord := newUI(t)
+	if _, err := coord.RegisterPeer("peer-1", "11.1.0.5"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ui.Handler(), "/peers")
+	if code != 200 || !strings.Contains(body, "peer-1") || !strings.Contains(body, "ES") {
+		t.Errorf("peers: %d\n%s", code, body)
+	}
+	if code := postForm(t, ui.Handler(), "/peers", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("post peers = %d", code)
+	}
+}
+
+func TestWhitelistReviewWorkflow(t *testing.T) {
+	ui, coord := newUI(t)
+	// A rejected domain appears in the review queue...
+	coord.Whitelist.Check("evil<script>.example")
+	code, body := get(t, ui.Handler(), "/whitelist")
+	if code != 200 || !strings.Contains(body, "1 sanctioned") {
+		t.Errorf("whitelist: %d\n%s", code, body)
+	}
+	if strings.Contains(body, "<script>") {
+		t.Error("rejected domain not escaped")
+	}
+	// ... and the operator sanctions a domain through the form.
+	if code := postForm(t, ui.Handler(), "/whitelist", url.Values{"domain": {"newshop.example"}}); code != http.StatusSeeOther {
+		t.Errorf("add = %d", code)
+	}
+	if !coord.Whitelist.Check("newshop.example") {
+		t.Error("added domain still rejected")
+	}
+}
+
+func TestListenRealSocket(t *testing.T) {
+	ui, _ := newUI(t)
+	if err := ui.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+	resp, err := http.Get("http://" + ui.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

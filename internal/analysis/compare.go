@@ -1,0 +1,61 @@
+package analysis
+
+import "sort"
+
+// StudyComparison classifies domains between two measurement epochs the
+// way Sect. 7.2 compares against Mikians et al.'s 2013 study: of their
+// reported domains, 22.2% no longer existed, 11.1% had stopped serving
+// different prices, and 44.4% still did (the remainder redirected, which
+// a synthetic world has no analogue for).
+type StudyComparison struct {
+	Disappeared []string // observed in the old epoch, absent from the new
+	StoppedPD   []string // price differences before, none now
+	StillPD     []string // price differences in both epochs
+	NewPD       []string // price differences only in the new epoch
+	// MedianShift is the new/old ratio of median normalized differences
+	// for StillPD domains ("the median price variation across countries
+	// is approximately the same").
+	MedianShift map[string]float64
+}
+
+// CompareStudies diffs two observation sets.
+func CompareStudies(oldObs, newObs []Obs) StudyComparison {
+	oldStats := statsByDomain(oldObs)
+	newStats := statsByDomain(newObs)
+
+	cmp := StudyComparison{MedianShift: make(map[string]float64)}
+	for domain, o := range oldStats {
+		n, present := newStats[domain]
+		switch {
+		case !present:
+			cmp.Disappeared = append(cmp.Disappeared, domain)
+		case o.ChecksWithDiff > 0 && n.ChecksWithDiff == 0:
+			cmp.StoppedPD = append(cmp.StoppedPD, domain)
+		case o.ChecksWithDiff > 0 && n.ChecksWithDiff > 0:
+			cmp.StillPD = append(cmp.StillPD, domain)
+			if o.Box.Median > 0 {
+				cmp.MedianShift[domain] = n.Box.Median / o.Box.Median
+			}
+		}
+	}
+	for domain, n := range newStats {
+		if o, present := oldStats[domain]; (!present || o.ChecksWithDiff == 0) && n.ChecksWithDiff > 0 {
+			if _, existed := oldStats[domain]; existed {
+				cmp.NewPD = append(cmp.NewPD, domain)
+			}
+		}
+	}
+	sort.Strings(cmp.Disappeared)
+	sort.Strings(cmp.StoppedPD)
+	sort.Strings(cmp.StillPD)
+	sort.Strings(cmp.NewPD)
+	return cmp
+}
+
+func statsByDomain(obs []Obs) map[string]DomainStats {
+	out := make(map[string]DomainStats)
+	for _, d := range PerDomain(obs) {
+		out[d.Domain] = d
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+
+	"pricesheriff/internal/shop"
+)
+
+func TestCompareStudies(t *testing.T) {
+	m := testMall()
+	c := standardCrawler(t, m, "", 0)
+
+	// Old epoch: two PD domains, one static domain.
+	pdA := "steampowered.com"
+	pdB := "abercrombie.com"
+	var static string
+	for _, d := range m.Domains() {
+		if s, _ := m.Shop(d); s.Strategy == nil {
+			static = d
+			break
+		}
+	}
+	oldObs, err := c.Sweep([]SweepSpec{
+		{Domain: pdA, Products: 2, Reps: 2},
+		{Domain: pdB, Products: 2, Reps: 2},
+		{Domain: static, Products: 2, Reps: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Between the epochs: abercrombie stops discriminating, steampowered
+	// keeps at it, the static shop starts, and a fourth domain only
+	// appears in the new epoch's crawl list (so the old one "disappears"
+	// relative to it is not counted — disappearance is old-minus-new).
+	sB, _ := m.Shop(pdB)
+	oldStrategyB := sB.Strategy
+	sB.Strategy = nil
+	sStatic, _ := m.Shop(static)
+	sStatic.Strategy = shop.DefaultLocationTiered()
+	defer func() { sB.Strategy = oldStrategyB; sStatic.Strategy = nil }()
+
+	newObs, err := c.Sweep([]SweepSpec{
+		{Domain: pdA, Products: 2, Reps: 2},
+		{Domain: pdB, Products: 2, Reps: 2},
+		{Domain: static, Products: 2, Reps: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop pdB's new observations? No: pdB is still reachable, it just
+	// stopped differing. Simulate a disappeared domain by filtering one
+	// old-only domain in.
+	extraOld, err := c.Sweep([]SweepSpec{{Domain: "luisaviaroma.com", Products: 1, Reps: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldObs = append(oldObs, extraOld...)
+
+	cmp := CompareStudies(oldObs, newObs)
+	if len(cmp.Disappeared) != 1 || cmp.Disappeared[0] != "luisaviaroma.com" {
+		t.Errorf("disappeared = %v", cmp.Disappeared)
+	}
+	if len(cmp.StoppedPD) != 1 || cmp.StoppedPD[0] != pdB {
+		t.Errorf("stopped = %v", cmp.StoppedPD)
+	}
+	if len(cmp.StillPD) != 1 || cmp.StillPD[0] != pdA {
+		t.Errorf("still = %v", cmp.StillPD)
+	}
+	if len(cmp.NewPD) != 1 || cmp.NewPD[0] != static {
+		t.Errorf("new = %v", cmp.NewPD)
+	}
+	// steampowered's behaviour did not change between epochs, so its
+	// median shift is ≈1 — the paper's "approximately the same" finding.
+	shift := cmp.MedianShift[pdA]
+	if shift < 0.9 || shift > 1.1 {
+		t.Errorf("median shift = %v, want ≈1", shift)
+	}
+}
+
+func TestCompareStudiesEmpty(t *testing.T) {
+	cmp := CompareStudies(nil, nil)
+	if len(cmp.Disappeared)+len(cmp.StoppedPD)+len(cmp.StillPD)+len(cmp.NewPD) != 0 {
+		t.Errorf("empty comparison: %+v", cmp)
+	}
+}

@@ -1,0 +1,359 @@
+// Package analysis contains the measurement-study half of the
+// reproduction: the systematic crawler of paper Sect. 7.1 (artificial
+// price-check requests swept over domains, products, repetitions and
+// countries through the same Tags-Path/currency pipeline the live system
+// uses) and the statistical reductions behind every table and figure of
+// the evaluation.
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pricesheriff/internal/currency"
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/htmlx"
+	"pricesheriff/internal/shop"
+)
+
+// Obs is one price observation: one measurement point's view of one
+// product during one price check.
+type Obs struct {
+	Check    int // price-check index; one check = one simultaneous fan-out
+	Domain   string
+	SKU      string
+	Point    string // measurement point ID
+	Kind     string // "ipc" | "ppc"
+	Country  string
+	PriceEUR float64
+	Day      float64
+	OS       string
+	Browser  string
+	Quarter  int // quarter of the day (0-3)
+	Weekday  int // 0-6
+}
+
+// Vantage is one crawler measurement point. IPC-style points fetch with
+// clean state every time; PPC-style points keep a persistent cookie jar
+// and a stable IP, so sticky A/B buckets persist the way they do for real
+// users.
+type Vantage struct {
+	ID         string
+	Country    string
+	City       string
+	IP         string
+	OS         string
+	Browser    string
+	Persistent bool
+	LoggedIn   map[string]bool
+
+	mu  sync.Mutex
+	jar map[string]string
+}
+
+// NewIPC creates a clean-state vantage point in a country.
+func NewIPC(world *geo.World, rng *rand.Rand, id, country string) (*Vantage, error) {
+	ip, ok := world.RandomIP(rng, country, "")
+	if !ok {
+		return nil, fmt.Errorf("analysis: no address space in %s", country)
+	}
+	loc, _ := world.Lookup(ip)
+	return &Vantage{
+		ID: id, Country: country, City: loc.City, IP: ip.String(),
+		OS: "linux", Browser: "phantomjs",
+	}, nil
+}
+
+// NewPPC creates a persistent-state vantage point (a synthetic peer) in a
+// country, with the given user agent.
+func NewPPC(world *geo.World, rng *rand.Rand, id, country, os, browserName string) (*Vantage, error) {
+	v, err := NewIPC(world, rng, id, country)
+	if err != nil {
+		return nil, err
+	}
+	v.OS = os
+	v.Browser = browserName
+	v.Persistent = true
+	v.jar = make(map[string]string)
+	return v, nil
+}
+
+// cookies returns the request jar (nil for clean points).
+func (v *Vantage) cookies() map[string]string {
+	if !v.Persistent {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]string, len(v.jar))
+	for k, val := range v.jar {
+		out[k] = val
+	}
+	return out
+}
+
+// absorb merges Set-Cookie state into a persistent jar.
+func (v *Vantage) absorb(set map[string]string) {
+	if !v.Persistent {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for k, val := range set {
+		v.jar[k] = val
+	}
+}
+
+// SeedCookie installs a cookie into a persistent point's jar (e.g. a
+// pre-existing tracker identity carried over from past browsing).
+func (v *Vantage) SeedCookie(domain, value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.jar == nil {
+		v.jar = make(map[string]string)
+		v.Persistent = true
+	}
+	v.jar[domain] = value
+}
+
+// ResetProfile clears a persistent point back to a clean profile (the
+// paper's Python driver reset Firefox every 4 price checks).
+func (v *Vantage) ResetProfile() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.jar = make(map[string]string)
+}
+
+// Coverage accounts for observations lost at each pipeline stage — the
+// data-quality view the paper's methodology sections track (fetch
+// failures, pages where the Tags Path fails, unparseable price strings).
+type Coverage struct {
+	Attempts     int // vantage-point fetches attempted
+	FetchErrors  int // non-200 responses
+	LocateErrors int // Tags Path did not resolve
+	DetectErrors int // currency detection / conversion failed
+	OK           int // observations produced
+}
+
+// Crawler sweeps products through a set of vantage points, extracting
+// prices with the production pipeline (Tags Path → currency detection →
+// EUR conversion).
+type Crawler struct {
+	Mall   *shop.Mall
+	Points []*Vantage
+	Rates  *currency.RateTable
+
+	mu    sync.Mutex
+	nonce uint64
+	check int
+	paths map[string]htmlx.TagsPath // per product URL
+	cov   Coverage
+}
+
+// Coverage returns the accumulated data-quality counters.
+func (c *Crawler) Coverage() Coverage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cov
+}
+
+func (c *Crawler) count(f func(cov *Coverage)) {
+	c.mu.Lock()
+	f(&c.cov)
+	c.mu.Unlock()
+}
+
+// NewCrawler builds a crawler over the mall.
+func NewCrawler(mall *shop.Mall, points []*Vantage) *Crawler {
+	return &Crawler{Mall: mall, Points: points, Rates: mall.Rates, paths: make(map[string]htmlx.TagsPath)}
+}
+
+func (c *Crawler) nextNonce() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nonce++
+	return c.nonce
+}
+
+func (c *Crawler) nextCheck() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.check++
+	return c.check
+}
+
+// path returns (building on demand) the Tags Path for a product URL, from
+// a clean reference fetch.
+func (c *Crawler) path(url string, day float64) (htmlx.TagsPath, error) {
+	c.mu.Lock()
+	p, ok := c.paths[url]
+	c.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	resp := c.Mall.Fetch(&shop.FetchRequest{URL: url, IP: "0.0.0.0", Day: day, Nonce: c.nextNonce()})
+	if resp.Status != 200 {
+		return htmlx.TagsPath{}, fmt.Errorf("analysis: reference fetch status %d for %s", resp.Status, url)
+	}
+	doc := htmlx.Parse(resp.HTML)
+	products := doc.FindByClass("product")
+	if len(products) == 0 {
+		return htmlx.TagsPath{}, fmt.Errorf("analysis: no product block on %s", url)
+	}
+	prices := products[0].FindByClass("price")
+	if len(prices) == 0 {
+		return htmlx.TagsPath{}, fmt.Errorf("analysis: no price on %s", url)
+	}
+	p, err := htmlx.BuildTagsPath(prices[0])
+	if err != nil {
+		return htmlx.TagsPath{}, err
+	}
+	c.mu.Lock()
+	c.paths[url] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Check runs one price check: every vantage point fetches the product at
+// the same virtual time and the price is extracted from each copy.
+// Failed extractions are skipped (they surface in coverage counts).
+func (c *Crawler) Check(domain, sku string, day float64) ([]Obs, error) {
+	s, ok := c.Mall.Shop(domain)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown domain %s", domain)
+	}
+	url := s.ProductURL(sku)
+	path, err := c.path(url, day)
+	if err != nil {
+		return nil, err
+	}
+	checkID := c.nextCheck()
+	out := make([]Obs, 0, len(c.Points))
+	for _, v := range c.Points {
+		c.count(func(cov *Coverage) { cov.Attempts++ })
+		resp := c.Mall.Fetch(&shop.FetchRequest{
+			URL:       url,
+			IP:        v.IP,
+			Cookies:   v.cookies(),
+			UserAgent: v.Browser + " on " + v.OS,
+			Day:       day,
+			Nonce:     c.nextNonce(),
+			LoggedIn:  v.LoggedIn[domain],
+		})
+		if resp.Status != 200 {
+			c.count(func(cov *Coverage) { cov.FetchErrors++ })
+			continue
+		}
+		v.absorb(resp.SetCookies)
+		doc := htmlx.Parse(resp.HTML)
+		node, err := path.Locate(doc)
+		if err != nil {
+			c.count(func(cov *Coverage) { cov.LocateErrors++ })
+			continue
+		}
+		det, err := currency.Detect(node.InnerText())
+		if err != nil {
+			c.count(func(cov *Coverage) { cov.DetectErrors++ })
+			continue
+		}
+		eur, ok := c.Rates.ConvertDetection(det, "EUR")
+		if !ok {
+			c.count(func(cov *Coverage) { cov.DetectErrors++ })
+			continue
+		}
+		c.count(func(cov *Coverage) { cov.OK++ })
+		kind := "ipc"
+		if v.Persistent {
+			kind = "ppc"
+		}
+		out = append(out, Obs{
+			Check:    checkID,
+			Domain:   domain,
+			SKU:      sku,
+			Point:    v.ID,
+			Kind:     kind,
+			Country:  v.Country,
+			PriceEUR: eur,
+			Day:      day,
+			OS:       v.OS,
+			Browser:  v.Browser,
+			Quarter:  int(day*4) % 4,
+			Weekday:  int(day) % 7,
+		})
+	}
+	return out, nil
+}
+
+// SweepSpec drives a systematic study over one domain.
+type SweepSpec struct {
+	Domain   string
+	Products int     // first N products of the catalog (0 = all)
+	Reps     int     // repetitions per product
+	StartDay float64 // virtual time of the first repetition
+	DayStep  float64 // spacing between repetitions
+}
+
+// Sweep runs the specs in order, accumulating observations.
+func (c *Crawler) Sweep(specs []SweepSpec) ([]Obs, error) {
+	var out []Obs
+	for _, spec := range specs {
+		s, ok := c.Mall.Shop(spec.Domain)
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown domain %s", spec.Domain)
+		}
+		products := s.Products()
+		if spec.Products > 0 && spec.Products < len(products) {
+			products = products[:spec.Products]
+		}
+		for _, p := range products {
+			for rep := 0; rep < spec.Reps; rep++ {
+				day := spec.StartDay + float64(rep)*spec.DayStep
+				obs, err := c.Check(spec.Domain, p.SKU, day)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, obs...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// StandardIPCFleet creates the crawler's 30-country infrastructure set,
+// mirroring measurement.DefaultIPCCountries.
+func StandardIPCFleet(world *geo.World, seed int64) ([]*Vantage, error) {
+	countries := []string{
+		"ES", "ES", "ES", "US", "US", "US", "GB", "DE", "FR", "CA",
+		"CA", "JP", "JP", "IT", "NL", "SE", "CH", "BE", "PT", "IE",
+		"CZ", "KR", "NZ", "AU", "BR", "SG", "HK", "IL", "TH", "CY",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Vantage, 0, len(countries))
+	for i, country := range countries {
+		v, err := NewIPC(world, rng, fmt.Sprintf("ipc-%02d-%s", i, country), country)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// CountryPPCs creates n persistent peers in a country with a mix of
+// OS/browser combinations (the phantomJS user-agent matrix of Sect. 7.5).
+func CountryPPCs(world *geo.World, seed int64, country string, n int) ([]*Vantage, error) {
+	oses := []string{"windows7", "macosx", "linux"}
+	browsers := []string{"chrome", "firefox", "safari"}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Vantage, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := NewPPC(world, rng, fmt.Sprintf("ppc-%s-%d", country, i), country,
+			oses[i%len(oses)], browsers[(i/len(oses))%len(browsers)])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of observation dumps.
+var csvHeader = []string{
+	"check", "domain", "sku", "point", "kind", "country",
+	"price_eur", "day", "os", "browser", "quarter", "weekday",
+}
+
+// WriteObsCSV dumps observations for offline analysis (the crawler's
+// dataset files).
+func WriteObsCSV(w io.Writer, obs []Obs) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, o := range obs {
+		rec := []string{
+			strconv.Itoa(o.Check), o.Domain, o.SKU, o.Point, o.Kind, o.Country,
+			strconv.FormatFloat(o.PriceEUR, 'f', 6, 64),
+			strconv.FormatFloat(o.Day, 'f', 4, 64),
+			o.OS, o.Browser,
+			strconv.Itoa(o.Quarter), strconv.Itoa(o.Weekday),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObsCSV loads an observation dump written by WriteObsCSV.
+func ReadObsCSV(r io.Reader) ([]Obs, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read csv header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != "check" {
+		return nil, fmt.Errorf("analysis: unrecognized csv header %v", header)
+	}
+	var out []Obs
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		o := Obs{Domain: rec[1], SKU: rec[2], Point: rec[3], Kind: rec[4], Country: rec[5], OS: rec[8], Browser: rec[9]}
+		if o.Check, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("analysis: line %d check: %w", line, err)
+		}
+		if o.PriceEUR, err = strconv.ParseFloat(rec[6], 64); err != nil {
+			return nil, fmt.Errorf("analysis: line %d price: %w", line, err)
+		}
+		if o.Day, err = strconv.ParseFloat(rec[7], 64); err != nil {
+			return nil, fmt.Errorf("analysis: line %d day: %w", line, err)
+		}
+		if o.Quarter, err = strconv.Atoi(rec[10]); err != nil {
+			return nil, fmt.Errorf("analysis: line %d quarter: %w", line, err)
+		}
+		if o.Weekday, err = strconv.Atoi(rec[11]); err != nil {
+			return nil, fmt.Errorf("analysis: line %d weekday: %w", line, err)
+		}
+		out = append(out, o)
+	}
+}

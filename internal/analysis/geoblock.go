@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"pricesheriff/internal/shop"
+)
+
+// GeoblockReport summarizes one domain's availability across vantage
+// points — the geoblocking detection the paper names as a follow-on
+// application of the watchdog platform ("our system's paradigm can find
+// applications to domains beyond price discrimination, such as
+// geoblocking", Sect. 1).
+type GeoblockReport struct {
+	Domain           string
+	Available        int // vantage points that received the page
+	Blocked          int // vantage points refused (HTTP 451/403)
+	Errors           int // other failures
+	BlockedCountries []string
+}
+
+// Geoblocked reports whether the domain serves some countries but not
+// others (full outages are errors, not geoblocking).
+func (r GeoblockReport) Geoblocked() bool {
+	return r.Blocked > 0 && r.Available > 0
+}
+
+// GeoblockScan probes each domain's first product from every vantage
+// point and reports partial availability. Like a price check, the scan is
+// simultaneous across points, so transient outages do not masquerade as
+// geoblocking.
+func GeoblockScan(mall *shop.Mall, domains []string, points []*Vantage, day float64) ([]GeoblockReport, error) {
+	var nonce uint64 = 1 << 40 // disjoint from crawler nonces
+	var out []GeoblockReport
+	for _, domain := range domains {
+		s, ok := mall.Shop(domain)
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown domain %s", domain)
+		}
+		products := s.Products()
+		if len(products) == 0 {
+			continue
+		}
+		url := s.ProductURL(products[0].SKU)
+		report := GeoblockReport{Domain: domain}
+		blocked := map[string]bool{}
+		for _, v := range points {
+			nonce++
+			resp := mall.Fetch(&shop.FetchRequest{
+				URL: url, IP: v.IP, UserAgent: v.Browser, Day: day, Nonce: nonce,
+			})
+			switch resp.Status {
+			case 200:
+				report.Available++
+			case 451, 403:
+				report.Blocked++
+				blocked[v.Country] = true
+			default:
+				report.Errors++
+			}
+		}
+		for c := range blocked {
+			report.BlockedCountries = append(report.BlockedCountries, c)
+		}
+		sort.Strings(report.BlockedCountries)
+		out = append(out, report)
+	}
+	return out, nil
+}

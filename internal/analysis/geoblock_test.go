@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGeoblockScan(t *testing.T) {
+	m := testMall()
+	// Block two countries at one retailer.
+	s, _ := m.Shop("steampowered.com")
+	s.BlockedCountries = map[string]bool{"DE": true, "JP": true}
+
+	points, err := StandardIPCFleet(m.World, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := GeoblockScan(m, []string{"steampowered.com", "chegg.com"}, points, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	steam, chegg := reports[0], reports[1]
+	if !steam.Geoblocked() {
+		t.Errorf("steampowered not flagged: %+v", steam)
+	}
+	// The fleet has 1 DE and 2 JP nodes.
+	if steam.Blocked != 3 {
+		t.Errorf("blocked points = %d, want 3", steam.Blocked)
+	}
+	if !reflect.DeepEqual(steam.BlockedCountries, []string{"DE", "JP"}) {
+		t.Errorf("blocked countries = %v", steam.BlockedCountries)
+	}
+	if steam.Available != len(points)-3 {
+		t.Errorf("available = %d", steam.Available)
+	}
+	if chegg.Geoblocked() || chegg.Blocked != 0 {
+		t.Errorf("chegg wrongly flagged: %+v", chegg)
+	}
+	if _, err := GeoblockScan(m, []string{"nope.com"}, points, 0); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestGeoblockedRequiresPartialAvailability(t *testing.T) {
+	r := GeoblockReport{Blocked: 5, Available: 0}
+	if r.Geoblocked() {
+		t.Error("full outage is not geoblocking")
+	}
+	r = GeoblockReport{Blocked: 0, Available: 5}
+	if r.Geoblocked() {
+		t.Error("full availability is not geoblocking")
+	}
+}

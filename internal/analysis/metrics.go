@@ -1,0 +1,585 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"pricesheriff/internal/stats"
+)
+
+// DiffEpsilon is the relative tolerance under which two prices count as
+// equal: 0.5%, the same threshold Hannak et al. used, absorbing the
+// display-rounding noise of currency round trips (whole-yen prices etc.).
+const DiffEpsilon = 0.005
+
+// differ reports whether two EUR prices are meaningfully different.
+func differ(a, b float64) bool {
+	if a == b {
+		return false
+	}
+	lo := math.Min(a, b)
+	if lo <= 0 {
+		return a != b
+	}
+	return math.Abs(a-b)/lo > DiffEpsilon
+}
+
+// GroupChecks indexes observations by check ID — the unit every
+// difference metric works over (one check = one simultaneous fan-out).
+func GroupChecks(obs []Obs) map[int][]Obs {
+	out := make(map[int][]Obs)
+	for _, o := range obs {
+		out[o.Check] = append(out[o.Check], o)
+	}
+	return out
+}
+
+// DomainStats aggregates one domain's price-difference behaviour — the
+// ingredients of Fig. 9 (live) and Fig. 11 (crawled): request counts with
+// a difference and the distribution of normalized differences.
+type DomainStats struct {
+	Domain         string
+	Checks         int
+	ChecksWithDiff int
+	// Diffs holds (max-min)/min per check that had a difference.
+	Diffs []float64
+	Box   stats.BoxPlot // summary of Diffs (zero when no diffs)
+}
+
+// PerDomain computes per-domain stats, sorted by ChecksWithDiff
+// descending (the x-axis ordering of Fig. 9).
+func PerDomain(obs []Obs) []DomainStats {
+	type key struct {
+		domain string
+		check  int
+	}
+	prices := make(map[key][]float64)
+	for _, o := range obs {
+		k := key{o.Domain, o.Check}
+		prices[k] = append(prices[k], o.PriceEUR)
+	}
+	agg := make(map[string]*DomainStats)
+	for k, ps := range prices {
+		d, ok := agg[k.domain]
+		if !ok {
+			d = &DomainStats{Domain: k.domain}
+			agg[k.domain] = d
+		}
+		d.Checks++
+		lo, hi := minMax(ps)
+		if differ(lo, hi) {
+			d.ChecksWithDiff++
+			d.Diffs = append(d.Diffs, (hi-lo)/lo)
+		}
+	}
+	out := make([]DomainStats, 0, len(agg))
+	for _, d := range agg {
+		if len(d.Diffs) > 0 {
+			d.Box, _ = stats.NewBoxPlot(d.Diffs)
+		}
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ChecksWithDiff != out[j].ChecksWithDiff {
+			return out[i].ChecksWithDiff > out[j].ChecksWithDiff
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+func minMax(ps []float64) (lo, hi float64) {
+	lo, hi = ps[0], ps[0]
+	for _, p := range ps[1:] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return lo, hi
+}
+
+// RatioPoint is one product of Fig. 10: its cheapest observed price and
+// the max/min ratio across all measurement points and checks.
+type RatioPoint struct {
+	Domain   string
+	SKU      string
+	MinPrice float64
+	Ratio    float64
+}
+
+// RatioVsMinPrice computes Fig. 10's scatter, sorted by MinPrice.
+func RatioVsMinPrice(obs []Obs) []RatioPoint {
+	type key struct{ domain, sku string }
+	prices := make(map[key][]float64)
+	for _, o := range obs {
+		k := key{o.Domain, o.SKU}
+		prices[k] = append(prices[k], o.PriceEUR)
+	}
+	out := make([]RatioPoint, 0, len(prices))
+	for k, ps := range prices {
+		lo, hi := minMax(ps)
+		if lo <= 0 {
+			continue
+		}
+		out = append(out, RatioPoint{Domain: k.domain, SKU: k.sku, MinPrice: lo, Ratio: hi / lo})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MinPrice < out[j].MinPrice })
+	return out
+}
+
+// Extreme is one row of Table 3: a product's extreme relative and
+// absolute price difference between measurement points.
+type Extreme struct {
+	Domain      string
+	SKU         string
+	Relative    float64 // max/min
+	AbsoluteEUR float64 // max-min
+}
+
+// TopExtremesByRelative returns the n largest relative differences
+// (Table 3's ordering).
+func TopExtremesByRelative(obs []Obs, n int) []Extreme {
+	ex := extremes(obs)
+	sort.Slice(ex, func(i, j int) bool { return ex[i].Relative > ex[j].Relative })
+	if n < len(ex) {
+		ex = ex[:n]
+	}
+	return ex
+}
+
+// TopExtremesByAbsolute returns the n largest absolute differences (the
+// €10k camera case of Sect. 6.2).
+func TopExtremesByAbsolute(obs []Obs, n int) []Extreme {
+	ex := extremes(obs)
+	sort.Slice(ex, func(i, j int) bool { return ex[i].AbsoluteEUR > ex[j].AbsoluteEUR })
+	if n < len(ex) {
+		ex = ex[:n]
+	}
+	return ex
+}
+
+func extremes(obs []Obs) []Extreme {
+	type key struct{ domain, sku string }
+	prices := make(map[key][]float64)
+	for _, o := range obs {
+		k := key{o.Domain, o.SKU}
+		prices[k] = append(prices[k], o.PriceEUR)
+	}
+	out := make([]Extreme, 0, len(prices))
+	for k, ps := range prices {
+		lo, hi := minMax(ps)
+		if lo <= 0 || !differ(lo, hi) {
+			continue
+		}
+		out = append(out, Extreme{Domain: k.domain, SKU: k.sku, Relative: hi / lo, AbsoluteEUR: hi - lo})
+	}
+	return out
+}
+
+// CountryExtremes computes Table 4: countries ranked by how many products
+// they were the most expensive (and cheapest) observation point for.
+func CountryExtremes(obs []Obs) (expensive, cheapest []string) {
+	type key struct{ domain, sku string }
+	type cp struct {
+		price   float64
+		country string
+	}
+	lo := make(map[key]cp)
+	hi := make(map[key]cp)
+	for _, o := range obs {
+		k := key{o.Domain, o.SKU}
+		if cur, ok := lo[k]; !ok || o.PriceEUR < cur.price {
+			lo[k] = cp{o.PriceEUR, o.Country}
+		}
+		if cur, ok := hi[k]; !ok || o.PriceEUR > cur.price {
+			hi[k] = cp{o.PriceEUR, o.Country}
+		}
+	}
+	expCount := make(map[string]int)
+	cheapCount := make(map[string]int)
+	for k := range lo {
+		if !differ(lo[k].price, hi[k].price) {
+			continue
+		}
+		expCount[hi[k].country]++
+		cheapCount[lo[k].country]++
+	}
+	return rankByCount(expCount), rankByCount(cheapCount)
+}
+
+func rankByCount(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for c := range counts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// WithinCountryDiffPct computes Table 5: per domain and country, the
+// percentage of checks in which measurement points *inside that country*
+// saw different prices.
+func WithinCountryDiffPct(obs []Obs) map[string]map[string]float64 {
+	type key struct {
+		domain  string
+		country string
+		check   int
+	}
+	prices := make(map[key][]float64)
+	for _, o := range obs {
+		k := key{o.Domain, o.Country, o.Check}
+		prices[k] = append(prices[k], o.PriceEUR)
+	}
+	type dc struct{ domain, country string }
+	total := make(map[dc]int)
+	withDiff := make(map[dc]int)
+	for k, ps := range prices {
+		if len(ps) < 2 {
+			continue // need at least two points in the same country
+		}
+		g := dc{k.domain, k.country}
+		total[g]++
+		lo, hi := minMax(ps)
+		if differ(lo, hi) {
+			withDiff[g]++
+		}
+	}
+	out := make(map[string]map[string]float64)
+	for g, n := range total {
+		if out[g.domain] == nil {
+			out[g.domain] = make(map[string]float64)
+		}
+		out[g.domain][g.country] = 100 * float64(withDiff[g]) / float64(n)
+	}
+	return out
+}
+
+// ScatterPoint is one product of Fig. 12: minimum observed price vs the
+// maximum relative difference within one country.
+type ScatterPoint struct {
+	SKU        string
+	MinPrice   float64
+	MaxRelDiff float64 // (max-min)/min over same-country points
+}
+
+// WithinCountryScatter computes Fig. 12 for one domain and country.
+func WithinCountryScatter(obs []Obs, domain, country string) []ScatterPoint {
+	type key struct {
+		sku   string
+		check int
+	}
+	prices := make(map[key][]float64)
+	for _, o := range obs {
+		if o.Domain != domain || o.Country != country {
+			continue
+		}
+		k := key{o.SKU, o.Check}
+		prices[k] = append(prices[k], o.PriceEUR)
+	}
+	agg := make(map[string]*ScatterPoint)
+	for k, ps := range prices {
+		if len(ps) < 2 {
+			continue
+		}
+		lo, hi := minMax(ps)
+		p, ok := agg[k.sku]
+		if !ok {
+			p = &ScatterPoint{SKU: k.sku, MinPrice: lo}
+			agg[k.sku] = p
+		}
+		if lo < p.MinPrice {
+			p.MinPrice = lo
+		}
+		if rel := (hi - lo) / lo; rel > p.MaxRelDiff {
+			p.MaxRelDiff = rel
+		}
+	}
+	out := make([]ScatterPoint, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MinPrice < out[j].MinPrice })
+	return out
+}
+
+// PeerBias is one box of Fig. 13: a peer's distribution of relative price
+// differences versus the cheapest same-country peer, across products.
+type PeerBias struct {
+	Point  string
+	N      int
+	Box    stats.BoxPlot
+	Median float64
+}
+
+// PerPeerBias computes Fig. 13 for one domain and country, using only PPC
+// observations. Peers are sorted by median difference ascending (the
+// paper's consistently-low peers first).
+func PerPeerBias(obs []Obs, domain, country string) []PeerBias {
+	type key struct {
+		sku   string
+		check int
+	}
+	byCheck := make(map[key][]Obs)
+	for _, o := range obs {
+		if o.Domain != domain || o.Country != country || o.Kind != "ppc" {
+			continue
+		}
+		k := key{o.SKU, o.Check}
+		byCheck[k] = append(byCheck[k], o)
+	}
+	diffs := make(map[string][]float64)
+	for _, group := range byCheck {
+		if len(group) < 2 {
+			continue
+		}
+		lo := group[0].PriceEUR
+		for _, o := range group[1:] {
+			if o.PriceEUR < lo {
+				lo = o.PriceEUR
+			}
+		}
+		for _, o := range group {
+			diffs[o.Point] = append(diffs[o.Point], (o.PriceEUR-lo)/lo)
+		}
+	}
+	out := make([]PeerBias, 0, len(diffs))
+	for point, ds := range diffs {
+		box, err := stats.NewBoxPlot(ds)
+		if err != nil {
+			continue
+		}
+		out = append(out, PeerBias{Point: point, N: len(ds), Box: box, Median: box.Median})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Median != out[j].Median {
+			return out[i].Median < out[j].Median
+		}
+		return out[i].Point < out[j].Point
+	})
+	return out
+}
+
+// DayStats is one day of a Fig. 14/15 temporal plot.
+type DayStats struct {
+	Day int
+	Box stats.BoxPlot
+}
+
+// TemporalTrend is one product's Fig. 14/15 panel.
+type TemporalTrend struct {
+	SKU      string
+	Days     []DayStats
+	Slope    float64 // regression slope of the daily maximum price
+	DailyVar float64 // mean |day-to-day change| of the median, fractional
+}
+
+// Temporal computes per-product daily distributions and the regression
+// trend line over the daily maxima (the annotation of Figs. 14/15).
+func Temporal(obs []Obs, domain string) []TemporalTrend {
+	type key struct {
+		sku string
+		day int
+	}
+	prices := make(map[key][]float64)
+	skuSet := make(map[string]bool)
+	for _, o := range obs {
+		if o.Domain != domain {
+			continue
+		}
+		k := key{o.SKU, int(o.Day)}
+		prices[k] = append(prices[k], o.PriceEUR)
+		skuSet[o.SKU] = true
+	}
+	skus := make([]string, 0, len(skuSet))
+	for sku := range skuSet {
+		skus = append(skus, sku)
+	}
+	sort.Strings(skus)
+
+	out := make([]TemporalTrend, 0, len(skus))
+	for _, sku := range skus {
+		var days []DayStats
+		for day := 0; day < 400; day++ {
+			ps, ok := prices[key{sku, day}]
+			if !ok {
+				continue
+			}
+			box, err := stats.NewBoxPlot(ps)
+			if err != nil {
+				continue
+			}
+			days = append(days, DayStats{Day: day, Box: box})
+		}
+		if len(days) < 2 {
+			continue
+		}
+		xs := make([]float64, len(days))
+		ys := make([]float64, len(days))
+		for i, d := range days {
+			xs[i] = float64(d.Day)
+			ys[i] = d.Box.Max
+		}
+		trend := TemporalTrend{SKU: sku, Days: days}
+		if reg, err := stats.LinearRegression(xs, ys); err == nil {
+			trend.Slope = reg.Coeffs[1]
+		}
+		var deltas float64
+		for i := 1; i < len(days); i++ {
+			prev := days[i-1].Box.Median
+			if prev > 0 {
+				deltas += math.Abs(days[i].Box.Median-prev) / prev
+			}
+		}
+		trend.DailyVar = deltas / float64(len(days)-1)
+		out = append(out, trend)
+	}
+	return out
+}
+
+// RevenueDelta estimates the Sect. 7.5 revenue effect: the sum over
+// products of (regression-predicted last-day price − first-day price),
+// i.e. the revenue change if each product sold once.
+func RevenueDelta(trends []TemporalTrend) float64 {
+	var total float64
+	for _, t := range trends {
+		if len(t.Days) < 2 {
+			continue
+		}
+		span := float64(t.Days[len(t.Days)-1].Day - t.Days[0].Day)
+		total += t.Slope * span
+	}
+	return total
+}
+
+// ABVerdict is the Sect. 7.5 conclusion for one domain: whether price
+// variation looks like A/B testing (same distribution everywhere, no
+// feature explains prices) rather than PDI-PD.
+type ABVerdict struct {
+	Pairs        int
+	MinPValue    float64 // smallest pairwise K-S p-value
+	MaxD         float64 // largest pairwise K-S distance
+	RejectFrac   float64 // fraction of pairs with p < 0.05
+	RegressionR2 float64
+	Significant  bool // any regression feature significant at 0.05
+	ForestTopImp float64
+	// ForestAUC is the ROC AUC of forest scores classifying above-median
+	// prices from the OS/browser/time features; ≈0.5 means no signal.
+	ForestAUC float64
+	// ABTesting is the verdict: variation that no personal/contextual
+	// feature explains.
+	ABTesting bool
+}
+
+// TestABVsPDIPD runs the paper's Sect. 7.5 battery over one domain's
+// observations: pairwise K-S tests between measurement points (prices
+// normalized per product), a multi-linear regression of normalized price
+// on OS/browser/quarter/weekday, and a random forest's feature
+// importances.
+func TestABVsPDIPD(obs []Obs, domain string, forestSeed int64) ABVerdict {
+	// Normalize prices per product so points pool across the catalog.
+	type key struct{ sku string }
+	byProduct := make(map[key][]float64)
+	for _, o := range obs {
+		if o.Domain == domain {
+			byProduct[key{o.SKU}] = append(byProduct[key{o.SKU}], o.PriceEUR)
+		}
+	}
+	median := make(map[key]float64)
+	for k, ps := range byProduct {
+		median[k] = stats.Quantile(ps, 0.5)
+	}
+
+	byPoint := make(map[string][]float64)
+	var feats [][]float64
+	var ys []float64
+	osIdx := map[string]float64{}
+	brIdx := map[string]float64{}
+	for _, o := range obs {
+		if o.Domain != domain {
+			continue
+		}
+		m := median[key{o.SKU}]
+		if m <= 0 {
+			continue
+		}
+		norm := o.PriceEUR / m
+		byPoint[o.Point] = append(byPoint[o.Point], norm)
+		if _, ok := osIdx[o.OS]; !ok {
+			osIdx[o.OS] = float64(len(osIdx))
+		}
+		if _, ok := brIdx[o.Browser]; !ok {
+			brIdx[o.Browser] = float64(len(brIdx))
+		}
+		feats = append(feats, []float64{osIdx[o.OS], brIdx[o.Browser], float64(o.Quarter), float64(o.Weekday)})
+		ys = append(ys, norm)
+	}
+
+	v := ABVerdict{MinPValue: 1}
+	points := make([]string, 0, len(byPoint))
+	for p := range byPoint {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	rejected := 0
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			r, err := stats.KolmogorovSmirnov(byPoint[points[i]], byPoint[points[j]])
+			if err != nil {
+				continue
+			}
+			v.Pairs++
+			if r.PValue < v.MinPValue {
+				v.MinPValue = r.PValue
+			}
+			if r.D > v.MaxD {
+				v.MaxD = r.D
+			}
+			if r.PValue < 0.05 {
+				rejected++
+			}
+		}
+	}
+	if v.Pairs > 0 {
+		v.RejectFrac = float64(rejected) / float64(v.Pairs)
+	}
+	if reg, err := stats.MultiLinearRegression(feats, ys); err == nil {
+		v.RegressionR2 = reg.RSquared
+		v.Significant = reg.Significant(0.05)
+	}
+	if forest, err := stats.TrainForest(randSource(forestSeed), feats, ys, stats.ForestConfig{Trees: 25, MaxDepth: 4}); err == nil {
+		for _, imp := range forest.Importances() {
+			if imp > v.ForestTopImp {
+				v.ForestTopImp = imp
+			}
+		}
+		// The ROC check of Sect. 7.5: can forest scores separate
+		// above-median prices? AUC ≈ 0.5 ⇒ no.
+		median := stats.Quantile(ys, 0.5)
+		scores := make([]float64, len(feats))
+		labels := make([]bool, len(feats))
+		for i, f := range feats {
+			scores[i] = forest.Predict(f)
+			labels[i] = ys[i] > median
+		}
+		v.ForestAUC = stats.ROCAUC(scores, labels)
+	}
+	// A/B verdict: the measurement points draw from one distribution
+	// (allowing the ~5% false-rejection rate of so many pairwise tests)
+	// and no personal/contextual feature is both significant and strongly
+	// explanatory.
+	v.ABTesting = v.RejectFrac <= 0.10 && !(v.Significant && v.RegressionR2 > 0.5)
+	return v
+}
+
+func randSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pricesheriff/internal/htmlx"
+	"pricesheriff/internal/shop"
+)
+
+// PersonalizationReport compares the recommendation strip a domain serves
+// to two vantage points — filter-bubble / automatic-personalisation
+// detection, the paper's other envisioned application of simultaneous
+// multi-vantage-point page comparison (Sect. 1).
+type PersonalizationReport struct {
+	Domain  string
+	SKU     string
+	RecsA   []string // recommendation product names seen by point A
+	RecsB   []string // ... and by point B
+	Differs bool
+}
+
+// PersonalizationScan fetches the same product page from two vantage
+// points at the same virtual time and compares the recommendation strips.
+func PersonalizationScan(mall *shop.Mall, domain, sku string, a, b *Vantage, day float64) (PersonalizationReport, error) {
+	s, ok := mall.Shop(domain)
+	if !ok {
+		return PersonalizationReport{}, fmt.Errorf("analysis: unknown domain %s", domain)
+	}
+	url := s.ProductURL(sku)
+	report := PersonalizationReport{Domain: domain, SKU: sku}
+
+	var nonce uint64 = 1 << 41
+	for i, v := range []*Vantage{a, b} {
+		nonce++
+		resp := mall.Fetch(&shop.FetchRequest{
+			URL: url, IP: v.IP, Cookies: v.cookies(), UserAgent: v.Browser,
+			Day: day, Nonce: nonce,
+		})
+		if resp.Status != 200 {
+			return report, fmt.Errorf("analysis: fetch from %s: status %d", v.ID, resp.Status)
+		}
+		v.absorb(resp.SetCookies)
+		recs := recommendationNames(resp.HTML)
+		if i == 0 {
+			report.RecsA = recs
+		} else {
+			report.RecsB = recs
+		}
+	}
+	report.Differs = !equalStrings(report.RecsA, report.RecsB)
+	return report, nil
+}
+
+// recommendationNames extracts the product names in the page's
+// recommendation strip, in display order.
+func recommendationNames(html string) []string {
+	doc := htmlx.Parse(html)
+	var out []string
+	for _, n := range doc.FindByClass("rec-name") {
+		out = append(out, n.InnerText())
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

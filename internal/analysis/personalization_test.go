@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestPersonalizationScanDetectsReorderedRecs(t *testing.T) {
+	m := testMall()
+	domain := m.PDIPDDomain
+	s, _ := m.Shop(domain)
+	products := s.Products()
+	if len(products) < 5 {
+		t.Fatal("catalog too small")
+	}
+	hero := products[0]
+	// The victim's tracker profile favours the LAST product's category, so
+	// personalization should pull that category to the front of the strip.
+	other := products[len(products)-1]
+	if other.Category == hero.Category {
+		for _, p := range products {
+			if p.Category != hero.Category {
+				other = p
+				break
+			}
+		}
+	}
+	tr := m.Trackers[0]
+	cookie := tr.Observe("", "somewhere.example", other.Category)
+	for i := 0; i < 8; i++ {
+		tr.Observe(cookie, "somewhere.example", other.Category)
+	}
+
+	ppcs, err := CountryPPCs(m.World, 5, "ES", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, fresh := ppcs[0], ppcs[1]
+	victim.SeedCookie(tr.Domain, cookie)
+
+	report, err := PersonalizationScan(m, domain, hero.SKU, victim, fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.RecsA) == 0 || len(report.RecsB) == 0 {
+		t.Fatalf("empty recommendation strips: %+v", report)
+	}
+	if !report.Differs {
+		t.Errorf("personalization not detected: A=%v B=%v", report.RecsA, report.RecsB)
+	}
+}
+
+func TestPersonalizationScanCleanShopIdentical(t *testing.T) {
+	m := testMall()
+	// chegg has no PDIPDSource: recommendation strips are identical for
+	// everyone (given identical nonce-dependent ad blocks are not part of
+	// the strip).
+	s, _ := m.Shop("chegg.com")
+	ppcs, err := CountryPPCs(m.World, 6, "ES", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := PersonalizationScan(m, "chegg.com", s.Products()[0].SKU, ppcs[0], ppcs[1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Differs {
+		t.Errorf("clean shop flagged: A=%v B=%v", report.RecsA, report.RecsB)
+	}
+}
+
+func TestPersonalizationScanUnknownDomain(t *testing.T) {
+	m := testMall()
+	ppcs, _ := CountryPPCs(m.World, 7, "ES", 2)
+	if _, err := PersonalizationScan(m, "nope.com", "x", ppcs[0], ppcs[1], 0); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}

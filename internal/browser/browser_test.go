@@ -1,0 +1,209 @@
+package browser
+
+import (
+	"math/rand"
+	"testing"
+
+	"pricesheriff/internal/shop"
+)
+
+func testWorld(t *testing.T) (*shop.Mall, shop.Fetcher, string, string) {
+	t.Helper()
+	m := shop.NewMall(shop.MallConfig{Seed: 3, NumDomains: 30, NumLocationPD: 10, NumAlexa: 5})
+	s, ok := m.Shop("chegg.com")
+	if !ok {
+		t.Fatal("no chegg.com")
+	}
+	url := s.ProductURL(s.Products()[0].SKU)
+	ip, _ := m.World.RandomIP(rand.New(rand.NewSource(9)), "ES", "")
+	return m, shop.LocalFetcher{Mall: m}, url, ip.String()
+}
+
+func TestBrowseProductUpdatesState(t *testing.T) {
+	_, f, url, ip := testWorld(t)
+	b := New("u1", ip, "linux", "firefox")
+	resp, err := b.BrowseProduct(f, url, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if b.Cookie("chegg.com") == "" {
+		t.Error("first-party cookie not stored")
+	}
+	if b.Cookie("adnet.example") == "" {
+		t.Error("tracker cookie not stored")
+	}
+	if got := b.ProductVisits("chegg.com"); got != 1 {
+		t.Errorf("product visits = %d", got)
+	}
+	if _, ok := b.Cached(url); !ok {
+		t.Error("page not cached")
+	}
+	if h := b.History(); len(h) != 1 || h[0].Domain != "chegg.com" {
+		t.Errorf("history = %v", h)
+	}
+	if b.HistoryDomains()["chegg.com"] != 1 {
+		t.Error("domain aggregate wrong")
+	}
+}
+
+func TestBrowseProductBadURL(t *testing.T) {
+	_, f, _, ip := testWorld(t)
+	b := New("u1", ip, "linux", "firefox")
+	if _, err := b.BrowseProduct(f, "junk", 1); err == nil {
+		t.Error("bad URL must error")
+	}
+}
+
+func TestSandboxLeavesNoTrace(t *testing.T) {
+	_, f, url, ip := testWorld(t)
+	b := New("u1", ip, "mac", "safari")
+	b.SetCookie("keep.example", "v")
+
+	for _, state := range []SandboxState{StateOwn, StateClean} {
+		resp, err := b.SandboxFetch(f, url, 2, state, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != 200 {
+			t.Fatalf("status = %d", resp.Status)
+		}
+		if len(resp.SetCookies) == 0 {
+			t.Fatal("retailer set no cookies — test is vacuous")
+		}
+		// Invariants: no cookie, history, or cache mutation.
+		if got := b.Cookies(); len(got) != 1 || got["keep.example"] != "v" {
+			t.Errorf("cookies polluted: %v", got)
+		}
+		if len(b.History()) != 0 {
+			t.Error("history polluted")
+		}
+		if _, ok := b.Cached(url); ok {
+			t.Error("cache polluted")
+		}
+		if b.ProductVisits("chegg.com") != 0 {
+			t.Error("remote fetch counted as a real visit")
+		}
+	}
+}
+
+func TestSandboxOwnStateSendsCookies(t *testing.T) {
+	m, f, url, ip := testWorld(t)
+	b := New("u1", ip, "windows", "chrome")
+	// Establish a tracker cookie through real browsing.
+	if _, err := b.BrowseProduct(f, url, 1); err != nil {
+		t.Fatal(err)
+	}
+	cookie := b.Cookie("adnet.example")
+	if cookie == "" {
+		t.Fatal("no tracker cookie")
+	}
+	before := m.Trackers[0].InterestScore(cookie, "textbooks")
+	if _, err := b.SandboxFetch(f, url, 2, StateOwn, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Trackers[0].InterestScore(cookie, "textbooks")
+	if after != before+1 {
+		t.Errorf("own-state fetch did not reach the tracker: %d -> %d", before, after)
+	}
+	// Clean fetch must NOT touch the profile.
+	if _, err := b.SandboxFetch(f, url, 2, StateClean, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Trackers[0].InterestScore(cookie, "textbooks"); got != after {
+		t.Errorf("clean fetch leaked identity: %d -> %d", after, got)
+	}
+}
+
+func TestSandboxDoppelgangerState(t *testing.T) {
+	m, f, url, ip := testWorld(t)
+	b := New("u1", ip, "linux", "firefox")
+	if _, err := b.SandboxFetch(f, url, 1, StateDoppelganger, nil); err != ErrNoDoppelgangerState {
+		t.Errorf("want ErrNoDoppelgangerState, got %v", err)
+	}
+	dopp := map[string]string{"adnet.example": "dopp-cookie-1"}
+	if _, err := b.SandboxFetch(f, url, 1, StateDoppelganger, dopp); err != nil {
+		t.Fatal(err)
+	}
+	// The doppelganger's profile took the hit, not the user's.
+	if got := m.Trackers[0].InterestScore("dopp-cookie-1", "textbooks"); got != 1 {
+		t.Errorf("doppelganger profile = %d", got)
+	}
+	if b.Cookie("adnet.example") != "" {
+		t.Error("doppelganger cookie leaked into the jar")
+	}
+	// Doppelganger fetches do not consume the own-state budget.
+	if b.RemoteFetches("chegg.com") != 0 {
+		t.Error("doppelganger fetch counted against own-state budget")
+	}
+}
+
+func TestPollutionBudget(t *testing.T) {
+	_, f, url, ip := testWorld(t)
+	b := New("u1", ip, "linux", "firefox")
+
+	// Never-visited domain: own state allowed.
+	if b.NeedsDoppelganger("chegg.com") {
+		t.Error("unvisited domain should not need a doppelganger")
+	}
+
+	// 1-3 visits: budget floor(v/4) = 0 -> doppelganger required.
+	b.BrowseProduct(f, url, 1)
+	if !b.NeedsDoppelganger("chegg.com") {
+		t.Error("1 visit: budget 0, doppelganger required")
+	}
+	b.BrowseProduct(f, url, 1)
+	b.BrowseProduct(f, url, 1)
+	b.BrowseProduct(f, url, 1)
+	// 4 visits: budget 1.
+	if b.NeedsDoppelganger("chegg.com") {
+		t.Error("4 visits: one own-state fetch allowed")
+	}
+	if _, err := b.SandboxFetch(f, url, 2, StateOwn, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.RemoteFetches("chegg.com") != 1 {
+		t.Errorf("remote fetches = %d", b.RemoteFetches("chegg.com"))
+	}
+	if !b.NeedsDoppelganger("chegg.com") {
+		t.Error("budget exhausted, doppelganger required")
+	}
+	// 4 more visits refill the budget.
+	for i := 0; i < 4; i++ {
+		b.BrowseProduct(f, url, 3)
+	}
+	if b.NeedsDoppelganger("chegg.com") {
+		t.Error("8 visits, 1 fetch: budget available again")
+	}
+}
+
+func TestRecordWebVisit(t *testing.T) {
+	b := New("u1", "1.2.3.4", "linux", "firefox")
+	b.RecordWebVisit("news.example", 1)
+	b.RecordWebVisit("news.example", 2)
+	b.RecordWebVisit("mail.example", 2)
+	h := b.HistoryDomains()
+	if h["news.example"] != 2 || h["mail.example"] != 1 {
+		t.Errorf("history = %v", h)
+	}
+	// Web visits never count as product visits.
+	if b.ProductVisits("news.example") != 0 {
+		t.Error("web visit counted as product visit")
+	}
+}
+
+func TestNoncesAreUnique(t *testing.T) {
+	b1 := New("u1", "1.1.1.1", "linux", "firefox")
+	b2 := New("u2", "2.2.2.2", "mac", "chrome")
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		n1 := b1.nextNonce()
+		n2 := b2.nextNonce()
+		if seen[n1] || seen[n2] || n1 == n2 {
+			t.Fatal("nonce collision")
+		}
+		seen[n1], seen[n2] = true, true
+	}
+}

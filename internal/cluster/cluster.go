@@ -1,0 +1,275 @@
+// Package cluster implements browsing-profile vectors, plain k-means (the
+// cleartext baseline of the privacy-preserving protocol) and silhouette
+// scores, which the paper uses to pick the profile-vector basis and the
+// number of doppelgangers (Sect. 4, Fig. 8a/8b).
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Point is a browsing-profile vector: one normalized visit frequency per
+// basis domain, each value in [0, 1] where 1 marks the user's most visited
+// domain (paper Sect. 3.7).
+type Point []float64
+
+// Distance2 returns the squared Euclidean distance between two points.
+func Distance2(a, b Point) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+// Vectorize maps a domain-level browsing history onto a basis of m domains,
+// normalizing so the most visited domain (across the whole history, not
+// just the basis) has frequency 1.
+func Vectorize(history map[string]int, basis []string) Point {
+	max := 0
+	for _, c := range history {
+		if c > max {
+			max = c
+		}
+	}
+	p := make(Point, len(basis))
+	if max == 0 {
+		return p
+	}
+	for i, d := range basis {
+		p[i] = float64(history[d]) / float64(max)
+	}
+	return p
+}
+
+// TopDomains returns the m domains most visited across all histories — the
+// paper's "Users top Domains" basis option.
+func TopDomains(histories []map[string]int, m int) []string {
+	totals := make(map[string]int)
+	for _, h := range histories {
+		for d, c := range h {
+			totals[d] += c
+		}
+	}
+	domains := make([]string, 0, len(totals))
+	for d := range totals {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool {
+		if totals[domains[i]] != totals[domains[j]] {
+			return totals[domains[i]] > totals[domains[j]]
+		}
+		return domains[i] < domains[j]
+	})
+	if m > len(domains) {
+		m = len(domains)
+	}
+	return domains[:m]
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	Centroids  []Point
+	Assign     []int // cluster index per input point
+	Iterations int
+}
+
+// Errors returned by KMeans.
+var (
+	ErrNoPoints = errors.New("cluster: no points")
+	ErrBadK     = errors.New("cluster: k must be in [1, len(points)]")
+)
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding. The rng makes runs
+// reproducible. Iteration stops when assignments are stable or after
+// maxIter rounds (0 means a generous default).
+func KMeans(rng *rand.Rand, points []Point, k, maxIter int) (Result, error) {
+	n := len(points)
+	if n == 0 {
+		return Result{}, ErrNoPoints
+	}
+	if k < 1 || k > n {
+		return Result{}, ErrBadK
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(rng, points, k)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := Distance2(p, c); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+		centroids = updateCentroids(points, assign, k, centroids)
+	}
+	return Result{Centroids: centroids, Assign: assign, Iterations: iter}, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(rng *rand.Rand, points []Point, k int) []Point {
+	n := len(points)
+	centroids := make([]Point, 0, k)
+	first := points[rng.Intn(n)]
+	centroids = append(centroids, append(Point(nil), first...))
+
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := Distance2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append(Point(nil), points[idx]...))
+	}
+	return centroids
+}
+
+// updateCentroids recomputes each centroid as the mean of its members;
+// empty clusters keep their previous centroid.
+func updateCentroids(points []Point, assign []int, k int, prev []Point) []Point {
+	dim := len(points[0])
+	sums := make([]Point, k)
+	counts := make([]int, k)
+	for j := range sums {
+		sums[j] = make(Point, dim)
+	}
+	for i, p := range points {
+		j := assign[i]
+		counts[j]++
+		for d := range p {
+			sums[j][d] += p[d]
+		}
+	}
+	out := make([]Point, k)
+	for j := range sums {
+		if counts[j] == 0 {
+			out[j] = append(Point(nil), prev[j]...)
+			continue
+		}
+		for d := range sums[j] {
+			sums[j][d] /= float64(counts[j])
+		}
+		out[j] = sums[j]
+	}
+	return out
+}
+
+// Silhouette returns the mean silhouette score of a clustering, in [-1, 1];
+// higher means points sit closer to their own cluster than to the nearest
+// other cluster (Rousseeuw 1987, the paper's clustering-quality metric).
+func Silhouette(points []Point, assign []int, k int) float64 {
+	n := len(points)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	// Mean distance from each point to every cluster.
+	counts := make([]int, k)
+	for _, a := range assign {
+		counts[a]++
+	}
+	var total float64
+	scored := 0
+	for i, p := range points {
+		meanD := make([]float64, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			meanD[assign[j]] += math.Sqrt(Distance2(p, q))
+		}
+		own := assign[i]
+		if counts[own] <= 1 {
+			continue // silhouette undefined for singleton clusters
+		}
+		a := meanD[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for j := 0; j < k; j++ {
+			if j == own || counts[j] == 0 {
+				continue
+			}
+			if v := meanD[j] / float64(counts[j]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			total += (b - a) / denom
+		}
+		scored++
+	}
+	if scored == 0 {
+		return 0
+	}
+	return total / float64(scored)
+}
+
+// Quantize converts a profile vector to integers in [0, scale], the
+// encoding the privacy-preserving protocol encrypts.
+func Quantize(p Point, scale int64) []int64 {
+	out := make([]int64, len(p))
+	for i, v := range p {
+		q := int64(math.Round(v * float64(scale)))
+		if q < 0 {
+			q = 0
+		}
+		if q > scale {
+			q = scale
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Dequantize converts a quantized vector back to floats in [0, 1].
+func Dequantize(q []int64, scale int64) Point {
+	out := make(Point, len(q))
+	for i, v := range q {
+		out[i] = float64(v) / float64(scale)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs returns well-separated gaussian blobs for clustering tests.
+func threeBlobs(rng *rand.Rand, perBlob int) ([]Point, []int) {
+	centers := []Point{{0, 0}, {10, 0}, {0, 10}}
+	var points []Point
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < perBlob; i++ {
+			points = append(points, Point{
+				center[0] + rng.NormFloat64()*0.5,
+				center[1] + rng.NormFloat64()*0.5,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, truth := threeBlobs(rng, 40)
+	res, err := KMeans(rng, points, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ground-truth blob must map to exactly one cluster.
+	blobToCluster := map[int]int{}
+	for i, a := range res.Assign {
+		if prev, ok := blobToCluster[truth[i]]; ok && prev != a {
+			t.Fatalf("blob %d split across clusters %d and %d", truth[i], prev, a)
+		}
+		blobToCluster[truth[i]] = a
+	}
+	if len(blobToCluster) != 3 {
+		t.Errorf("blobs mapped to %d clusters", len(blobToCluster))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := KMeans(rng, nil, 2, 0); err != ErrNoPoints {
+		t.Error("want ErrNoPoints")
+	}
+	pts := []Point{{1}, {2}}
+	if _, err := KMeans(rng, pts, 0, 0); err != ErrBadK {
+		t.Error("want ErrBadK for k=0")
+	}
+	if _, err := KMeans(rng, pts, 3, 0); err != ErrBadK {
+		t.Error("want ErrBadK for k>n")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := []Point{{0, 0}, {2, 0}, {4, 0}}
+	res, err := KMeans(rng, pts, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-2) > 1e-9 {
+		t.Errorf("centroid = %v, want mean (2,0)", res.Centroids[0])
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	points, _ := threeBlobs(rand.New(rand.NewSource(4)), 30)
+	a, _ := KMeans(rand.New(rand.NewSource(99)), points, 3, 0)
+	b, _ := KMeans(rand.New(rand.NewSource(99)), points, 3, 0)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points, truth := threeBlobs(rng, 40)
+	good := Silhouette(points, truth, 3)
+	if good < 0.7 {
+		t.Errorf("separated blobs silhouette = %v, want high", good)
+	}
+	// Random assignment should be much worse.
+	randAssign := make([]int, len(points))
+	for i := range randAssign {
+		randAssign[i] = rng.Intn(3)
+	}
+	bad := Silhouette(points, randAssign, 3)
+	if bad >= good {
+		t.Errorf("random assignment silhouette %v >= good %v", bad, good)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if s := Silhouette(nil, nil, 3); s != 0 {
+		t.Errorf("empty = %v", s)
+	}
+	pts := []Point{{0}, {1}}
+	if s := Silhouette(pts, []int{0, 0}, 1); s != 0 {
+		t.Errorf("k=1 = %v", s)
+	}
+	// Singletons only: undefined everywhere -> 0.
+	if s := Silhouette(pts, []int{0, 1}, 2); s != 0 {
+		t.Errorf("all singletons = %v", s)
+	}
+}
+
+func TestVectorize(t *testing.T) {
+	history := map[string]int{"a.com": 10, "b.com": 5, "c.com": 1}
+	basis := []string{"a.com", "b.com", "missing.com"}
+	p := Vectorize(history, basis)
+	want := Point{1, 0.5, 0}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Errorf("dim %d = %v, want %v", i, p[i], want[i])
+		}
+	}
+	empty := Vectorize(map[string]int{}, basis)
+	for _, v := range empty {
+		if v != 0 {
+			t.Error("empty history must vectorize to zeros")
+		}
+	}
+}
+
+func TestTopDomains(t *testing.T) {
+	histories := []map[string]int{
+		{"a.com": 5, "b.com": 1},
+		{"a.com": 3, "c.com": 4},
+		{"b.com": 2},
+	}
+	got := TopDomains(histories, 2)
+	if len(got) != 2 || got[0] != "a.com" {
+		t.Errorf("top = %v", got)
+	}
+	// m larger than the universe.
+	if got := TopDomains(histories, 10); len(got) != 3 {
+		t.Errorf("capped top = %v", got)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	p := Point{0, 0.25, 0.5, 1}
+	q := Quantize(p, 100)
+	want := []int64{0, 25, 50, 100}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Errorf("q[%d] = %d, want %d", i, q[i], want[i])
+		}
+	}
+	back := Dequantize(q, 100)
+	for i := range p {
+		if math.Abs(back[i]-p[i]) > 0.005 {
+			t.Errorf("dequantize[%d] = %v", i, back[i])
+		}
+	}
+	// Clamping.
+	if Quantize(Point{-1, 2}, 100)[0] != 0 || Quantize(Point{-1, 2}, 100)[1] != 100 {
+		t.Error("quantize must clamp")
+	}
+}
+
+// Property: quantization error is bounded by 1/(2·scale) per dimension.
+func TestQuantizeErrorProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		p := make(Point, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			p[i] = math.Abs(math.Mod(v, 1)) // into [0,1)
+		}
+		q := Quantize(p, 1000)
+		back := Dequantize(q, 1000)
+		for i := range p {
+			if math.Abs(back[i]-p[i]) > 0.0005+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KMeans assignment always maps each point to its nearest final
+// centroid (Lloyd invariant at convergence when it converged before maxIter).
+func TestKMeansNearestCentroidInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	points, _ := threeBlobs(rng, 25)
+	res, err := KMeans(rng, points, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for j, c := range res.Centroids {
+			if d := Distance2(p, c); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if res.Assign[i] != best {
+			t.Fatalf("point %d assigned to %d but nearest centroid is %d", i, res.Assign[i], best)
+		}
+	}
+}
+
+func BenchmarkKMeans500x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	points := make([]Point, 500)
+	for i := range points {
+		points[i] = make(Point, 100)
+		for d := range points[i] {
+			points[i][d] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(rng, points, 40, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouette500(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	points, truth := threeBlobs(rng, 167)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Silhouette(points, truth, 3)
+	}
+}

@@ -1,0 +1,29 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pricesheriff/internal/cluster"
+)
+
+func ExampleKMeans() {
+	points := []cluster.Point{
+		{0.0, 0.1}, {0.1, 0.0}, {0.05, 0.05}, // one behavioural group
+		{0.9, 1.0}, {1.0, 0.9}, {0.95, 0.95}, // another
+	}
+	res, _ := cluster.KMeans(rand.New(rand.NewSource(1)), points, 2, 0)
+	fmt.Println(res.Assign[0] == res.Assign[1], res.Assign[0] == res.Assign[3])
+	fmt.Printf("silhouette %.2f\n", cluster.Silhouette(points, res.Assign, 2))
+	// Output:
+	// true false
+	// silhouette 0.93
+}
+
+func ExampleVectorize() {
+	history := map[string]int{"news.example": 10, "video.example": 5}
+	basis := []string{"news.example", "video.example", "mail.example"}
+	fmt.Println(cluster.Vectorize(history, basis))
+	// Output:
+	// [1 0.5 0]
+}

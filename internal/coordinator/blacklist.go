@@ -1,0 +1,65 @@
+package coordinator
+
+import (
+	"strings"
+	"sync"
+)
+
+// PIIBlacklist holds URL-path patterns of pages likely to contain
+// personally identifiable information — user profile and account
+// management pages (paper Sect. 2.3: "we blacklist the URLs of user
+// profile or account management pages of e-retailers because they are
+// likely to include PII, such as the name of the user"). Even if a user
+// activates the add-on on such a page, the system refuses to fetch it.
+type PIIBlacklist struct {
+	mu       sync.Mutex
+	patterns []string
+	hits     map[string]int
+}
+
+// DefaultPIIPatterns are the path substrings blocked out of the box.
+var DefaultPIIPatterns = []string{
+	"account", "profile", "settings", "checkout", "order-history",
+	"wishlist", "address", "payment", "login", "signup",
+}
+
+// NewPIIBlacklist builds a blacklist; nil patterns selects the defaults.
+func NewPIIBlacklist(patterns []string) *PIIBlacklist {
+	if patterns == nil {
+		patterns = DefaultPIIPatterns
+	}
+	return &PIIBlacklist{patterns: append([]string(nil), patterns...), hits: make(map[string]int)}
+}
+
+// Add extends the blacklist (the periodic-review loop of Sect. 2.3:
+// "periodically analyze our collected data ... and update our blacklist").
+func (b *PIIBlacklist) Add(pattern string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.patterns = append(b.patterns, strings.ToLower(pattern))
+}
+
+// Blocked reports whether a URL matches a PII pattern, recording the hit.
+func (b *PIIBlacklist) Blocked(url string) bool {
+	lower := strings.ToLower(url)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range b.patterns {
+		if strings.Contains(lower, p) {
+			b.hits[p]++
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns how many times each pattern fired (operator review).
+func (b *PIIBlacklist) Hits() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.hits))
+	for k, v := range b.hits {
+		out[k] = v
+	}
+	return out
+}

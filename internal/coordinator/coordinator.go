@@ -1,0 +1,228 @@
+package coordinator
+
+import (
+	"fmt"
+	"sync"
+
+	"pricesheriff/internal/doppelganger"
+	"pricesheriff/internal/geo"
+)
+
+// PeerInfo is one row of the peer-proxy monitoring panel (paper Fig. 16).
+type PeerInfo struct {
+	ID      string `json:"id"`
+	IP      string `json:"ip"`
+	Country string `json:"country"`
+	Region  string `json:"region"`
+	City    string `json:"city"`
+}
+
+// Granularity selects how tightly PPCs are grouped around an initiator
+// (paper Sect. 3.2: zip-code, city or country level depending on the
+// geolocation service).
+type Granularity int
+
+// Grouping granularities.
+const (
+	ByCountry Granularity = iota
+	ByCity
+)
+
+// Job is one tracked price-check request.
+type Job struct {
+	ID         string
+	Domain     string
+	ServerAddr string
+	Initiator  string
+	PPCs       []PeerInfo
+}
+
+// Coordinator is the complete component: scheduler + whitelist + PPC
+// registry + job tracking + doppelganger state distribution.
+type Coordinator struct {
+	Servers   *ServerList
+	Whitelist *Whitelist
+	World     *geo.World
+	// Dopps distributes doppelganger client-side state by bearer token;
+	// optional (nil disables the doppelganger path).
+	Dopps *doppelganger.Manager
+	// MaxPPCs caps how many peers serve one request (the paper observed
+	// ≈3 with a maximum of 5).
+	MaxPPCs     int
+	Granularity Granularity
+
+	mu      sync.Mutex
+	peers   map[string]PeerInfo
+	order   []string
+	jobs    map[string]*Job
+	nextJob int
+	// rrPeer rotates which peers are picked within a location so load
+	// spreads across the local peer pool.
+	rrPeer map[string]int
+}
+
+// New creates a Coordinator.
+func New(servers *ServerList, wl *Whitelist, world *geo.World) *Coordinator {
+	return &Coordinator{
+		Servers:   servers,
+		Whitelist: wl,
+		World:     world,
+		MaxPPCs:   5,
+		peers:     make(map[string]PeerInfo),
+		jobs:      make(map[string]*Job),
+		rrPeer:    make(map[string]int),
+	}
+}
+
+// RegisterPeer records a PPC coming online: the browser add-on sends its
+// peer ID and IP on startup; the Coordinator geolocates it.
+func (c *Coordinator) RegisterPeer(id, ip string) (PeerInfo, error) {
+	loc, ok := c.World.LookupString(ip)
+	if !ok {
+		return PeerInfo{}, fmt.Errorf("coordinator: cannot geolocate peer %s (%s)", id, ip)
+	}
+	info := PeerInfo{ID: id, IP: ip, Country: loc.Country, Region: loc.Region, City: loc.City}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.peers[id]; !exists {
+		c.order = append(c.order, id)
+	}
+	c.peers[id] = info
+	return info, nil
+}
+
+// UnregisterPeer removes a PPC (browser closed).
+func (c *Coordinator) UnregisterPeer(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.peers, id)
+	for i, pid := range c.order {
+		if pid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Peers returns the monitoring-panel rows.
+func (c *Coordinator) Peers() []PeerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PeerInfo, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.peers[id])
+	}
+	return out
+}
+
+// PeersNear returns up to max PPCs in the same location as the initiator,
+// never including the initiator itself — the list sent to the Measurement
+// server in step 1.1. Selection rotates so repeated requests use the whole
+// local pool.
+func (c *Coordinator) PeersNear(initiatorID string, max int) []PeerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	init, ok := c.peers[initiatorID]
+	if !ok {
+		return nil
+	}
+	var local []PeerInfo
+	for _, id := range c.order {
+		p := c.peers[id]
+		if p.ID == initiatorID {
+			continue
+		}
+		if p.Country != init.Country {
+			continue
+		}
+		if c.Granularity == ByCity && p.City != init.City {
+			continue
+		}
+		local = append(local, p)
+	}
+	if max <= 0 || max > len(local) {
+		max = len(local)
+	}
+	key := init.Country
+	if c.Granularity == ByCity {
+		key += "/" + init.City
+	}
+	start := c.rrPeer[key]
+	c.rrPeer[key] = start + max
+	out := make([]PeerInfo, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, local[(start+i)%len(local)])
+	}
+	return out
+}
+
+// NewJob runs step 1 of the price-check protocol: whitelist the domain,
+// create a globally unique job ID, pick the least-loaded online
+// Measurement server, and snapshot the PPC list for that job.
+func (c *Coordinator) NewJob(domain, initiatorID string) (*Job, error) {
+	if !c.Whitelist.Check(domain) {
+		return nil, fmt.Errorf("coordinator: domain %q is not whitelisted", domain)
+	}
+	addr, err := c.Servers.Assign()
+	if err != nil {
+		return nil, err
+	}
+	ppcs := c.PeersNear(initiatorID, c.MaxPPCs)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextJob++
+	job := &Job{
+		ID:         fmt.Sprintf("job-%08d", c.nextJob),
+		Domain:     domain,
+		ServerAddr: addr,
+		Initiator:  initiatorID,
+		PPCs:       ppcs,
+	}
+	c.jobs[job.ID] = job
+	return job, nil
+}
+
+// JobPPCs returns the PPC list snapshotted for a job — what the
+// Coordinator forwards to the selected Measurement server.
+func (c *Coordinator) JobPPCs(jobID string) ([]PeerInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[jobID]
+	if !ok {
+		return nil, fmt.Errorf("coordinator: unknown job %s", jobID)
+	}
+	return job.PPCs, nil
+}
+
+// JobDone is step 4: the Measurement server reports completion and the
+// server's pending counter decreases.
+func (c *Coordinator) JobDone(jobID string) error {
+	c.mu.Lock()
+	job, ok := c.jobs[jobID]
+	if ok {
+		delete(c.jobs, jobID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("coordinator: unknown job %s", jobID)
+	}
+	return c.Servers.Done(job.ServerAddr)
+}
+
+// PendingJobs returns the number of tracked in-flight jobs.
+func (c *Coordinator) PendingJobs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.jobs)
+}
+
+// DoppelgangerState redeems a bearer token (step 3.4). Identity of the
+// caller is deliberately not recorded: peers reach this endpoint through
+// an anonymity channel so the Coordinator cannot map peers to clusters.
+func (c *Coordinator) DoppelgangerState(token string) (map[string]string, error) {
+	if c.Dopps == nil {
+		return nil, doppelganger.ErrUnknownToken
+	}
+	return c.Dopps.ClientState(token)
+}

@@ -1,0 +1,261 @@
+// Package coordinator implements the Price $heriff's Coordinator: the
+// load balancer and bookkeeper of the back-end (paper Sects. 3.1.1, 3.2,
+// 3.4 and Appendix 10.3). It tracks Measurement servers (heartbeats,
+// pending-job counters), distributes price-check jobs with the least-
+// pending-jobs heuristic for the online job-shop problem, enforces the
+// e-commerce whitelist, tracks Peer Proxy Clients by geographic location,
+// and distributes doppelganger client-side state against bearer tokens.
+package coordinator
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ServerInfo is one row of the Measurement-server monitoring panel
+// (paper Fig. 7): address, online state, pending jobs, last heartbeat.
+type ServerInfo struct {
+	Addr     string `json:"addr"`
+	Online   bool   `json:"online"`
+	Pending  int    `json:"pending"`
+	LastBeat int64  `json:"last_beat_ms"`
+}
+
+// Policy selects the job-distribution algorithm.
+type Policy int
+
+// Scheduling policies.
+const (
+	// LeastPending is the paper's heuristic: assign to the online server
+	// with the fewest pending jobs, so slow servers receive less work.
+	LeastPending Policy = iota
+	// RoundRobin is the naive baseline the paper rejects ("would introduce
+	// long pending queues to Measurement servers with lower
+	// specifications"); kept for the ablation bench.
+	RoundRobin
+)
+
+// Errors returned by the scheduler.
+var (
+	ErrNoServers     = errors.New("coordinator: no online measurement servers")
+	ErrUnknownServer = errors.New("coordinator: unknown measurement server")
+	ErrServerBusy    = errors.New("coordinator: server has pending jobs")
+)
+
+type serverEntry struct {
+	addr     string
+	pending  int
+	lastBeat int64
+	removed  bool
+}
+
+// ServerList tracks Measurement servers and assigns jobs.
+type ServerList struct {
+	mu      sync.Mutex
+	servers map[string]*serverEntry
+	order   []string // registration order, for round robin and stable ties
+	rrNext  int
+
+	policy  Policy
+	timeout time.Duration
+	now     func() time.Time
+}
+
+// NewServerList creates a tracker with the given heartbeat timeout (after
+// which a silent server is marked offline) and scheduling policy. The
+// clock is injectable for tests.
+func NewServerList(timeout time.Duration, policy Policy, now func() time.Time) *ServerList {
+	if now == nil {
+		now = time.Now
+	}
+	return &ServerList{
+		servers: make(map[string]*serverEntry),
+		policy:  policy,
+		timeout: timeout,
+		now:     now,
+	}
+}
+
+// Register adds (or revives) a Measurement server. Registration counts as
+// a heartbeat.
+func (l *ServerList) Register(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.servers[addr]; ok {
+		e.removed = false
+		e.lastBeat = l.now().UnixMilli()
+		return
+	}
+	l.servers[addr] = &serverEntry{addr: addr, lastBeat: l.now().UnixMilli()}
+	l.order = append(l.order, addr)
+}
+
+// Remove detaches a server. Like the paper's admin flow, removal is only
+// allowed once the server has no pending jobs.
+func (l *ServerList) Remove(addr string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.servers[addr]
+	if !ok {
+		return ErrUnknownServer
+	}
+	if e.pending > 0 {
+		return ErrServerBusy
+	}
+	e.removed = true
+	return nil
+}
+
+// Heartbeat records a server's liveness and its self-reported pending
+// count (reconciling any drift from lost job-done messages — the
+// "corrective measures" of Sect. 10.3).
+func (l *ServerList) Heartbeat(addr string, pending int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.servers[addr]
+	if !ok {
+		return ErrUnknownServer
+	}
+	e.lastBeat = l.now().UnixMilli()
+	if pending >= 0 {
+		e.pending = pending
+	}
+	return nil
+}
+
+func (l *ServerList) online(e *serverEntry, nowMs int64) bool {
+	return !e.removed && nowMs-e.lastBeat <= l.timeout.Milliseconds()
+}
+
+// Assign picks a server for a new job and increments its pending counter.
+func (l *ServerList) Assign() (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	nowMs := l.now().UnixMilli()
+	switch l.policy {
+	case RoundRobin:
+		for i := 0; i < len(l.order); i++ {
+			e := l.servers[l.order[(l.rrNext+i)%len(l.order)]]
+			if l.online(e, nowMs) {
+				l.rrNext = (l.rrNext + i + 1) % len(l.order)
+				e.pending++
+				return e.addr, nil
+			}
+		}
+		return "", ErrNoServers
+	default: // LeastPending
+		var best *serverEntry
+		for _, addr := range l.order {
+			e := l.servers[addr]
+			if !l.online(e, nowMs) {
+				continue
+			}
+			if best == nil || e.pending < best.pending {
+				best = e
+			}
+		}
+		if best == nil {
+			return "", ErrNoServers
+		}
+		best.pending++
+		return best.addr, nil
+	}
+}
+
+// Done decrements a server's pending counter after job completion.
+func (l *ServerList) Done(addr string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.servers[addr]
+	if !ok {
+		return ErrUnknownServer
+	}
+	if e.pending > 0 {
+		e.pending--
+	}
+	return nil
+}
+
+// Snapshot returns the monitoring-panel rows, in registration order.
+func (l *ServerList) Snapshot() []ServerInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	nowMs := l.now().UnixMilli()
+	out := make([]ServerInfo, 0, len(l.order))
+	for _, addr := range l.order {
+		e := l.servers[addr]
+		if e.removed {
+			continue
+		}
+		out = append(out, ServerInfo{
+			Addr:     e.addr,
+			Online:   l.online(e, nowMs),
+			Pending:  e.pending,
+			LastBeat: e.lastBeat,
+		})
+	}
+	return out
+}
+
+// Whitelist is the manually curated set of sanctioned e-commerce domains;
+// requests outside it are rejected and logged for manual inspection
+// (Sect. 2.3, 3.2).
+type Whitelist struct {
+	mu       sync.Mutex
+	allowed  map[string]bool
+	rejected map[string]int
+}
+
+// NewWhitelist builds a whitelist from initial domains.
+func NewWhitelist(domains []string) *Whitelist {
+	w := &Whitelist{allowed: make(map[string]bool), rejected: make(map[string]int)}
+	for _, d := range domains {
+		w.allowed[d] = true
+	}
+	return w
+}
+
+// Add sanctions a domain (the manual update loop).
+func (w *Whitelist) Add(domain string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.allowed[domain] = true
+}
+
+// Check reports whether the domain is sanctioned, recording rejections.
+func (w *Whitelist) Check(domain string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.allowed[domain] {
+		return true
+	}
+	w.rejected[domain]++
+	return false
+}
+
+// Rejected returns the rejection log sorted by count (descending) — the
+// queue an operator reviews to extend the whitelist.
+func (w *Whitelist) Rejected() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.rejected))
+	for d := range w.rejected {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if w.rejected[out[i]] != w.rejected[out[j]] {
+			return w.rejected[out[i]] > w.rejected[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Size returns the number of sanctioned domains.
+func (w *Whitelist) Size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.allowed)
+}

@@ -1,0 +1,218 @@
+package coordinator
+
+import (
+	"encoding/json"
+
+	"pricesheriff/internal/transport"
+)
+
+// Wire shapes of the Coordinator protocol.
+type (
+	// NewJobReq is step 1 of the price-check protocol.
+	NewJobReq struct {
+		Domain      string `json:"domain"`
+		InitiatorID string `json:"initiator_id"`
+	}
+	// NewJobResp carries the job ID and the selected Measurement server.
+	NewJobResp struct {
+		JobID      string `json:"job_id"`
+		ServerAddr string `json:"server_addr"`
+	}
+	// RegisterPeerReq announces a PPC coming online.
+	RegisterPeerReq struct {
+		ID string `json:"id"`
+		IP string `json:"ip"`
+	}
+	// HeartbeatReq is a Measurement server liveness report.
+	HeartbeatReq struct {
+		Addr    string `json:"addr"`
+		Pending int    `json:"pending"`
+	}
+	// JobRef names a job.
+	JobRef struct {
+		JobID string `json:"job_id"`
+	}
+	// TokenReq redeems a doppelganger bearer token.
+	TokenReq struct {
+		Token string `json:"token"`
+	}
+	// RegisterServerReq attaches a Measurement server.
+	RegisterServerReq struct {
+		Addr string `json:"addr"`
+	}
+)
+
+// Server exposes a Coordinator over the fabric.
+type Server struct {
+	C   *Coordinator
+	rpc *transport.Server
+}
+
+// NewServer wraps the coordinator; call Serve to start.
+func NewServer(c *Coordinator, lis transport.Listener) *Server {
+	s := &Server{C: c, rpc: transport.NewServer(lis)}
+	s.rpc.Handle("coord.newjob", func(raw json.RawMessage) (any, error) {
+		var req NewJobReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		job, err := c.NewJob(req.Domain, req.InitiatorID)
+		if err != nil {
+			return nil, err
+		}
+		return NewJobResp{JobID: job.ID, ServerAddr: job.ServerAddr}, nil
+	})
+	s.rpc.Handle("coord.job_ppcs", func(raw json.RawMessage) (any, error) {
+		var req JobRef
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		ppcs, err := c.JobPPCs(req.JobID)
+		if err != nil {
+			return nil, err
+		}
+		if ppcs == nil {
+			ppcs = []PeerInfo{}
+		}
+		return ppcs, nil
+	})
+	s.rpc.Handle("coord.jobdone", func(raw json.RawMessage) (any, error) {
+		var req JobRef
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, c.JobDone(req.JobID)
+	})
+	s.rpc.Handle("coord.register_peer", func(raw json.RawMessage) (any, error) {
+		var req RegisterPeerReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return c.RegisterPeer(req.ID, req.IP)
+	})
+	s.rpc.Handle("coord.unregister_peer", func(raw json.RawMessage) (any, error) {
+		var req RegisterPeerReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		c.UnregisterPeer(req.ID)
+		return nil, nil
+	})
+	s.rpc.Handle("coord.register_server", func(raw json.RawMessage) (any, error) {
+		var req RegisterServerReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		c.Servers.Register(req.Addr)
+		return nil, nil
+	})
+	s.rpc.Handle("coord.heartbeat", func(raw json.RawMessage) (any, error) {
+		var req HeartbeatReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, c.Servers.Heartbeat(req.Addr, req.Pending)
+	})
+	s.rpc.Handle("coord.dopp_state", func(raw json.RawMessage) (any, error) {
+		var req TokenReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return c.DoppelgangerState(req.Token)
+	})
+	s.rpc.Handle("coord.servers", func(json.RawMessage) (any, error) {
+		return c.Servers.Snapshot(), nil
+	})
+	s.rpc.Handle("coord.peers", func(json.RawMessage) (any, error) {
+		return c.Peers(), nil
+	})
+	return s
+}
+
+// Addr returns the dialable address.
+func (s *Server) Addr() string { return s.rpc.Addr() }
+
+// Serve blocks accepting connections.
+func (s *Server) Serve() error { return s.rpc.Serve() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// Client is a typed client of the Coordinator protocol.
+type Client struct {
+	rpc *transport.Client
+}
+
+// DialCoordinator connects a client.
+func DialCoordinator(netw transport.Network, addr string) (*Client, error) {
+	rpc, err := transport.DialClient(netw, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rpc}, nil
+}
+
+// NewJob requests a price-check job (step 1).
+func (cl *Client) NewJob(domain, initiatorID string) (NewJobResp, error) {
+	var resp NewJobResp
+	err := cl.rpc.Call("coord.newjob", NewJobReq{Domain: domain, InitiatorID: initiatorID}, &resp)
+	return resp, err
+}
+
+// JobPPCs fetches the PPC list for a job (step 1.1, pulled by the server).
+func (cl *Client) JobPPCs(jobID string) ([]PeerInfo, error) {
+	var ppcs []PeerInfo
+	err := cl.rpc.Call("coord.job_ppcs", JobRef{JobID: jobID}, &ppcs)
+	return ppcs, err
+}
+
+// JobDone reports completion (step 4).
+func (cl *Client) JobDone(jobID string) error {
+	return cl.rpc.Call("coord.jobdone", JobRef{JobID: jobID}, nil)
+}
+
+// RegisterPeer announces a PPC.
+func (cl *Client) RegisterPeer(id, ip string) (PeerInfo, error) {
+	var info PeerInfo
+	err := cl.rpc.Call("coord.register_peer", RegisterPeerReq{ID: id, IP: ip}, &info)
+	return info, err
+}
+
+// UnregisterPeer removes a PPC.
+func (cl *Client) UnregisterPeer(id string) error {
+	return cl.rpc.Call("coord.unregister_peer", RegisterPeerReq{ID: id}, nil)
+}
+
+// RegisterServer attaches a Measurement server.
+func (cl *Client) RegisterServer(addr string) error {
+	return cl.rpc.Call("coord.register_server", RegisterServerReq{Addr: addr}, nil)
+}
+
+// Heartbeat reports server liveness and pending count.
+func (cl *Client) Heartbeat(addr string, pending int) error {
+	return cl.rpc.Call("coord.heartbeat", HeartbeatReq{Addr: addr, Pending: pending}, nil)
+}
+
+// DoppelgangerState redeems a bearer token for client-side state.
+func (cl *Client) DoppelgangerState(token string) (map[string]string, error) {
+	var state map[string]string
+	err := cl.rpc.Call("coord.dopp_state", TokenReq{Token: token}, &state)
+	return state, err
+}
+
+// Servers fetches the monitoring panel rows.
+func (cl *Client) Servers() ([]ServerInfo, error) {
+	var out []ServerInfo
+	err := cl.rpc.Call("coord.servers", nil, &out)
+	return out, err
+}
+
+// Peers fetches the peer monitoring panel rows.
+func (cl *Client) Peers() ([]PeerInfo, error) {
+	var out []PeerInfo
+	err := cl.rpc.Call("coord.peers", nil, &out)
+	return out, err
+}
+
+// Close releases the connection.
+func (cl *Client) Close() error { return cl.rpc.Close() }

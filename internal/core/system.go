@@ -1,0 +1,640 @@
+// Package core wires the Price $heriff's seven components — browser
+// add-ons, Coordinator, Measurement servers, Database server, the network
+// of Infrastructure and Peer Proxy Clients, the Aggregator, and the
+// doppelganger fleet — into one runnable system (paper Fig. 1), and
+// implements the five-step price check request protocol of Sect. 3.2.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pricesheriff/internal/browser"
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/currency"
+	"pricesheriff/internal/doppelganger"
+	"pricesheriff/internal/htmlx"
+	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/peer"
+	"pricesheriff/internal/privkmeans"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/store"
+	"pricesheriff/internal/transport"
+)
+
+// Config sizes a System. Zero values choose sensible defaults; the zero
+// Config boots a small world on the in-process fabric.
+type Config struct {
+	// Fabric carries all control traffic; default is a fresh in-process
+	// network. Use transport.TCP{} for a real-socket deployment.
+	Fabric transport.Network
+	// Mall is the e-commerce world; default is a small synthetic mall.
+	Mall *shop.Mall
+	// MeasurementServers is the initial pool size (default 2).
+	MeasurementServers int
+	// IPCCountries places the infrastructure fleet (default: the paper's
+	// 30-node layout).
+	IPCCountries []string
+	// MaxPPCs caps peers per request (default 5; the paper averaged ≈3).
+	MaxPPCs int
+	// PPCTimeout kills slow proxy requests (paper: 2 minutes; tests use
+	// shorter). Default 2 minutes.
+	PPCTimeout time.Duration
+	// HeartbeatTimeout marks silent measurement servers offline
+	// (default 10s).
+	HeartbeatTimeout time.Duration
+	// Seed drives all deterministic randomness (IP allocation etc.).
+	Seed int64
+}
+
+// System is a running Price $heriff deployment.
+type System struct {
+	Mall  *shop.Mall
+	Coord *coordinator.Coordinator
+	// PIIBlacklist refuses price checks on profile/account pages
+	// (Sect. 2.3); initialized with the default patterns.
+	PIIBlacklist *coordinator.PIIBlacklist
+
+	fabric   transport.Network
+	shopSrv  *shop.Server
+	dbSrv    *store.Server
+	db       *store.Client
+	coordSrv *coordinator.Server
+	broker   *peer.Broker
+
+	measRPC  []*measurement.RPCServer
+	meas     []*measurement.Server
+	stopBeat []func()
+
+	dopps     *doppelganger.Manager
+	directory *systemDirectory
+
+	rng *rand.Rand
+
+	mu    sync.Mutex
+	users map[string]*User
+	day   float64
+}
+
+// User is one registered $heriff user: a browser with the add-on, acting
+// as initiator and PPC.
+type User struct {
+	ID      string
+	Country string
+	City    string
+	Browser *browser.Browser
+	Node    *peer.Node
+	// DonatesHistory marks users who opted in to share domain-level
+	// browsing history (459 of 1265 in the deployment).
+	DonatesHistory bool
+}
+
+// NewSystem boots every component.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Fabric == nil {
+		cfg.Fabric = transport.NewInproc()
+	}
+	if cfg.Mall == nil {
+		cfg.Mall = shop.NewMall(shop.MallConfig{Seed: cfg.Seed, NumDomains: 60, NumLocationPD: 20, NumAlexa: 10})
+	}
+	if cfg.MeasurementServers <= 0 {
+		cfg.MeasurementServers = 2
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
+	}
+	if cfg.PPCTimeout <= 0 {
+		cfg.PPCTimeout = 2 * time.Minute
+	}
+	if cfg.MaxPPCs <= 0 {
+		cfg.MaxPPCs = 5
+	}
+
+	s := &System{
+		Mall:         cfg.Mall,
+		PIIBlacklist: coordinator.NewPIIBlacklist(nil),
+		fabric:       cfg.Fabric,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		users:        make(map[string]*User),
+	}
+
+	// The web: shops behind one server.
+	shopLis, err := cfg.Fabric.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	s.shopSrv = shop.NewServer(cfg.Mall, shopLis)
+	go s.shopSrv.Serve()
+
+	// The Database server (Sect. 3.1.1: single shared DB on its own node).
+	dbLis, err := cfg.Fabric.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	coreDB := store.NewDB()
+	measurement.RegisterStandardProcs(coreDB)
+	s.dbSrv = store.NewServer(coreDB, dbLis)
+	go s.dbSrv.Serve()
+	s.db, err = store.Dial(cfg.Fabric, s.dbSrv.Addr(), 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := measurement.EnsureTables(s.db); err != nil {
+		return nil, err
+	}
+
+	// The P2P relay broker.
+	brokerLis, err := cfg.Fabric.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	s.broker = peer.NewBroker(brokerLis)
+	go s.broker.Serve()
+
+	// The Coordinator, whitelisting exactly the mall's domains.
+	servers := coordinator.NewServerList(cfg.HeartbeatTimeout, coordinator.LeastPending, nil)
+	wl := coordinator.NewWhitelist(cfg.Mall.Domains())
+	s.Coord = coordinator.New(servers, wl, cfg.Mall.World)
+	s.Coord.MaxPPCs = cfg.MaxPPCs
+	coordLis, err := cfg.Fabric.Listen("")
+	if err != nil {
+		return nil, err
+	}
+	s.coordSrv = coordinator.NewServer(s.Coord, coordLis)
+	go s.coordSrv.Serve()
+
+	// The doppelganger directory exists from the start; it answers with
+	// errors until TrainDoppelgangers runs, making nodes fall back to
+	// clean profiles.
+	s.directory = &systemDirectory{system: s}
+
+	// Measurement servers share one IPC fleet (the paper's 30 nodes).
+	fetcher, err := shop.DialFetcher(cfg.Fabric, s.shopSrv.Addr(), 8)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := measurement.NewIPCFleet(cfg.Mall.World, fetcher, cfg.IPCCountries, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.MeasurementServers; i++ {
+		if err := s.addMeasurementServer(fleet, cfg.PPCTimeout, i); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// addMeasurementServer boots one server, registers it and starts
+// heartbeats.
+func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.Duration, idx int) error {
+	coordCli, err := coordinator.DialCoordinator(s.fabric, s.coordSrv.Addr())
+	if err != nil {
+		return err
+	}
+	dbCli, err := store.Dial(s.fabric, s.dbSrv.Addr(), 2)
+	if err != nil {
+		return err
+	}
+	requester, err := peer.NewRequester(s.fabric, s.broker.Addr(), fmt.Sprintf("ms-%d", idx), ppcTimeout)
+	if err != nil {
+		return err
+	}
+	ms := measurement.New("", nil)
+	ms.Coord = coordCli
+	ms.DB = dbCli
+	ms.IPCs = fleet
+	ms.Peers = requester
+
+	lis, err := s.fabric.Listen("")
+	if err != nil {
+		return err
+	}
+	rpc := measurement.NewRPCServer(ms, lis)
+	go rpc.Serve()
+	if err := coordCli.RegisterServer(ms.OwnAddr); err != nil {
+		return err
+	}
+	if err := coordCli.Heartbeat(ms.OwnAddr, 0); err != nil {
+		return err
+	}
+	stop := ms.StartHeartbeats(time.Second)
+
+	s.mu.Lock()
+	s.meas = append(s.meas, ms)
+	s.measRPC = append(s.measRPC, rpc)
+	s.stopBeat = append(s.stopBeat, stop)
+	s.mu.Unlock()
+	return nil
+}
+
+// AddMeasurementServer dynamically attaches one more server — the elastic
+// scaling path used during traffic spikes (Sect. 3.4).
+func (s *System) AddMeasurementServer() error {
+	s.mu.Lock()
+	idx := len(s.meas)
+	var fleet []*measurement.IPC
+	if idx > 0 {
+		fleet = s.meas[0].IPCs
+	}
+	timeout := 2 * time.Minute
+	s.mu.Unlock()
+	return s.addMeasurementServer(fleet, timeout, idx)
+}
+
+// MeasurementServers returns the current pool size.
+func (s *System) MeasurementServers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.meas)
+}
+
+// DB returns the shared database client (for analysis over recorded data).
+func (s *System) DB() *store.Client { return s.db }
+
+// ShopAddr is the dialable address of the e-commerce world server.
+func (s *System) ShopAddr() string { return s.shopSrv.Addr() }
+
+// CoordAddr is the dialable address of the Coordinator.
+func (s *System) CoordAddr() string { return s.coordSrv.Addr() }
+
+// BrokerAddr is the dialable address of the P2P relay broker.
+func (s *System) BrokerAddr() string { return s.broker.Addr() }
+
+// DBAddr is the dialable address of the Database server.
+func (s *System) DBAddr() string { return s.dbSrv.Addr() }
+
+// Fabric returns the network fabric the system runs on.
+func (s *System) Fabric() transport.Network { return s.fabric }
+
+// Day returns the current virtual day.
+func (s *System) Day() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.day
+}
+
+// AdvanceDay moves the virtual clock forward.
+func (s *System) AdvanceDay(d float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.day += d
+}
+
+// AddUser registers a user in a country (optionally a specific city),
+// connects their add-on to the P2P network, and announces the PPC to the
+// Coordinator.
+func (s *System) AddUser(id, country, city string) (*User, error) {
+	ip, ok := s.Mall.World.RandomIP(s.rng, country, city)
+	if !ok {
+		return nil, fmt.Errorf("core: no address space in %s/%s", country, city)
+	}
+	oses := []string{"windows", "mac", "linux"}
+	browsers := []string{"chrome", "firefox", "safari"}
+	b := browser.New(id, ip.String(), oses[s.rng.Intn(3)], browsers[s.rng.Intn(3)])
+
+	fetcher, err := shop.DialFetcher(s.fabric, s.shopSrv.Addr(), 1)
+	if err != nil {
+		return nil, err
+	}
+	node, err := peer.Connect(s.fabric, s.broker.Addr(), id, b, fetcher, s.directory)
+	if err != nil {
+		return nil, err
+	}
+	go node.Run()
+	if _, err := s.Coord.RegisterPeer(id, ip.String()); err != nil {
+		node.Close()
+		return nil, err
+	}
+
+	u := &User{ID: id, Country: country, City: city, Browser: b, Node: node}
+	s.mu.Lock()
+	s.users[id] = u
+	s.mu.Unlock()
+	return u, nil
+}
+
+// RemoveUser disconnects a peer: the browser closes, the Coordinator
+// forgets the PPC, and future price checks no longer route through it.
+func (s *System) RemoveUser(id string) error {
+	s.mu.Lock()
+	u, ok := s.users[id]
+	if ok {
+		delete(s.users, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown user %q", id)
+	}
+	s.Coord.UnregisterPeer(id)
+	return u.Node.Close()
+}
+
+// User returns a registered user.
+func (s *System) User(id string) (*User, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[id]
+	return u, ok
+}
+
+// Users returns all registered users.
+func (s *System) Users() []*User {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*User, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, u)
+	}
+	return out
+}
+
+// CheckResult is a completed price check.
+type CheckResult struct {
+	JobID    string
+	URL      string
+	Domain   string
+	Currency string
+	Rows     []measurement.ResultRow
+}
+
+// ErrNoPrice is returned when the initiator's page has no selectable price.
+var ErrNoPrice = errors.New("core: no price element found on the product page")
+
+// ErrPIIBlacklisted is returned for URLs that match the PII blacklist
+// (account/profile pages, Sect. 2.3).
+var ErrPIIBlacklisted = errors.New("core: URL matches the PII blacklist; refusing to fetch")
+
+// PriceCheck runs the full five-step protocol for a user: navigate to the
+// product page (a real visit), highlight the price (build the Tags Path),
+// obtain a job from the Coordinator, submit the check to the assigned
+// Measurement server, and poll results to completion.
+func (s *System) PriceCheck(userID, url string) (*CheckResult, error) {
+	return s.PriceCheckCurrency(userID, url, "EUR")
+}
+
+// PriceCheckCurrency is PriceCheck with an explicit display currency.
+func (s *System) PriceCheckCurrency(userID, url, curr string) (*CheckResult, error) {
+	u, ok := s.User(userID)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown user %q", userID)
+	}
+	if s.PIIBlacklist.Blocked(url) {
+		return nil, ErrPIIBlacklisted
+	}
+	domain, _, err := shop.ParseProductURL(url)
+	if err != nil {
+		return nil, err
+	}
+	day := s.Day()
+
+	// Step 1: the user navigates to the page (their own browser state).
+	resp, err := u.Browser.BrowseProduct(u.Node.Fetcher, url, day)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("core: product page returned status %d", resp.Status)
+	}
+	// The user highlights the price: the add-on builds the Tags Path.
+	path, err := SelectPrice(resp.HTML)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1 (continued): ask the Coordinator for a job and a server.
+	job, err := s.Coord.NewJob(domain, userID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2-3: submit to the assigned Measurement server over the wire.
+	msCli, err := measurement.DialMeasurement(s.fabric, job.ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer msCli.Close()
+	check := &measurement.CheckRequest{
+		JobID:         job.ID,
+		URL:           url,
+		TagsPath:      path,
+		InitiatorHTML: resp.HTML,
+		InitiatorID:   userID,
+		Currency:      curr,
+		Day:           day,
+	}
+	if err := msCli.Check(check); err != nil {
+		return nil, err
+	}
+
+	// Step 5: poll until the 'request finish' response.
+	rows, err := msCli.WaitResults(job.ID, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckResult{JobID: job.ID, URL: url, Domain: domain, Currency: curr, Rows: rows}, nil
+}
+
+// SelectPrice simulates the user highlighting the product price: it finds
+// the price element inside the product block (falling back to any price on
+// the page) and builds the Tags Path.
+func SelectPrice(html string) (htmlx.TagsPath, error) {
+	doc := htmlx.Parse(html)
+	priceNode := doc.QueryOne(".product .price")
+	if priceNode == nil {
+		priceNode = doc.QueryOne(".price")
+	}
+	if priceNode == nil {
+		return htmlx.TagsPath{}, ErrNoPrice
+	}
+	return htmlx.BuildTagsPath(priceNode)
+}
+
+// TrainDoppelgangers runs the privacy-preserving clustering over the
+// donated browsing histories and builds one doppelganger per cluster
+// (Sects. 3.7/3.8): profiles are vectorized over basis, encrypted by each
+// donating user, clustered between the in-system Coordinator/Aggregator
+// pair, and the resulting centroids are executed into doppelganger state.
+func (s *System) TrainDoppelgangers(k int, basis []string, threads int) (*privkmeans.Outcome, error) {
+	s.mu.Lock()
+	var donors []*User
+	for _, u := range s.users {
+		if u.DonatesHistory {
+			donors = append(donors, u)
+		}
+	}
+	s.mu.Unlock()
+	if len(donors) < k {
+		return nil, fmt.Errorf("core: %d donors for k=%d clusters", len(donors), k)
+	}
+
+	points := make([]cluster.Point, len(donors))
+	for i, u := range donors {
+		points[i] = cluster.Vectorize(u.Browser.HistoryDomains(), basis)
+	}
+	out, err := privkmeans.Run(privkmeans.Config{
+		K: k, M: len(basis), Threads: threads, Seed: 42, Restarts: 3,
+	}, points)
+	if err != nil {
+		return nil, err
+	}
+
+	mgr := doppelganger.NewManager(basis, doppelganger.TrackerTrainer{
+		Trackers:   s.Mall.Trackers,
+		Categories: shop.Categories,
+	})
+	if err := mgr.RebuildAll(out.Centroids); err != nil {
+		return nil, err
+	}
+
+	assign := make(map[string]int, len(donors))
+	for i, u := range donors {
+		assign[u.ID] = out.Assign[i]
+	}
+	// Non-donors get the cluster of the doppelganger with the most members
+	// (they shared no history, so the most generic profile shields them).
+	counts := make([]int, k)
+	for _, c := range out.Assign {
+		counts[c]++
+	}
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+
+	s.mu.Lock()
+	s.dopps = mgr
+	s.directory.set(mgr, assign, best)
+	s.Coord.Dopps = mgr
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Doppelgangers returns the live doppelganger manager (nil before
+// training).
+func (s *System) Doppelgangers() *doppelganger.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dopps
+}
+
+// Close shuts every component down.
+func (s *System) Close() error {
+	s.mu.Lock()
+	users := make([]*User, 0, len(s.users))
+	for _, u := range s.users {
+		users = append(users, u)
+	}
+	stops := s.stopBeat
+	rpcs := s.measRPC
+	s.mu.Unlock()
+
+	for _, u := range users {
+		u.Node.Close()
+	}
+	for _, stop := range stops {
+		stop()
+	}
+	for _, r := range rpcs {
+		r.Close()
+	}
+	s.coordSrv.Close()
+	s.broker.Close()
+	s.db.Close()
+	s.dbSrv.Close()
+	s.shopSrv.Close()
+	return nil
+}
+
+// systemDirectory implements peer.DoppDirectory against the trained
+// manager; before training every lookup fails and PPC nodes degrade to
+// clean-profile fetches.
+type systemDirectory struct {
+	system *System
+
+	mu      sync.Mutex
+	mgr     *doppelganger.Manager
+	assign  map[string]int
+	deflt   int
+	trained bool
+}
+
+func (d *systemDirectory) set(mgr *doppelganger.Manager, assign map[string]int, deflt int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mgr = mgr
+	d.assign = assign
+	d.deflt = deflt
+	d.trained = true
+}
+
+// TokenFor is the Aggregator-side lookup (step 3.3).
+func (d *systemDirectory) TokenFor(peerID string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.trained {
+		return "", errors.New("core: doppelgangers not trained")
+	}
+	clusterID, ok := d.assign[peerID]
+	if !ok {
+		clusterID = d.deflt
+	}
+	tok, ok := d.mgr.Token(clusterID)
+	if !ok {
+		return "", errors.New("core: no doppelganger for cluster")
+	}
+	return tok, nil
+}
+
+// ClientState is the Coordinator-side redemption (step 3.4) plus budget
+// accounting.
+func (d *systemDirectory) ClientState(token, domain string) (map[string]string, error) {
+	d.mu.Lock()
+	mgr := d.mgr
+	d.mu.Unlock()
+	if mgr == nil {
+		return nil, errors.New("core: doppelgangers not trained")
+	}
+	state, err := mgr.ClientState(token)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mgr.RecordFetch(token, domain); err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// FormatResult renders a CheckResult as the Fig. 2 result page (text
+// form): converted value, original text, and the low-confidence asterisk.
+func FormatResult(r *CheckResult) string {
+	var b []byte
+	b = fmt.Appendf(b, "Price check %s — %s (converted to %s)\n", r.JobID, r.URL, r.Currency)
+	b = fmt.Appendf(b, "%-28s %-14s %-14s %s\n", "Variant", "Converted", "Original", "")
+	for _, row := range r.Rows {
+		name := row.Source
+		if row.Kind == "ipc" || row.Kind == "ppc" {
+			name = fmt.Sprintf("%s, %s", row.Country, row.City)
+			if row.Kind == "ppc" {
+				name = "peer " + name
+			}
+		}
+		if row.Err != "" {
+			b = fmt.Appendf(b, "%-28s %-14s %-14s (%s)\n", name, "-", row.Original, row.Err)
+			continue
+		}
+		mark := ""
+		if row.Confidence == "low" {
+			mark = "*" // currency detection confidence is low
+		}
+		b = fmt.Appendf(b, "%-28s %-14s %-14s %s\n",
+			name, currency.Format(row.Converted, r.Currency)+mark, row.Original, row.Mode)
+	}
+	return string(b)
+}

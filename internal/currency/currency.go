@@ -1,0 +1,479 @@
+// Package currency implements the Price $heriff's currency detection and
+// conversion algorithm (paper Sect. 3.5).
+//
+// The algorithm has three parts. Part 1 normalizes the selected text
+// (newlines and repeated spaces). Part 2 detects the currency, trying in
+// order: (a) the standard 3-letter ISO 4217 code, (b) a custom notation
+// list built from notations popular e-retailers use ("US$", "C$", ...),
+// and (c) a bare currency symbol; symbol matches that are ambiguous (the
+// dollar sign may mean USD, CAD, AUD, ...) are flagged with low confidence
+// and annotated with a red asterisk on the result page. Part 3 extracts the
+// numeric amount; if the selection is a single run of letters and digits,
+// it is split into letter-words and digit-words and part 2 is repeated.
+//
+// The paper's input sanity constraints are enforced: at most 25 characters
+// and at least one digit.
+package currency
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Confidence expresses how sure the detector is about the currency.
+type Confidence int
+
+// Confidence levels.
+const (
+	// None: no currency token recognized; the amount is reported
+	// unconverted until the custom notation list is updated.
+	None Confidence = iota
+	// Low: the currency was inferred from an ambiguous symbol; the result
+	// page annotates the conversion with an asterisk.
+	Low
+	// High: an ISO code or unambiguous custom notation matched.
+	High
+)
+
+func (c Confidence) String() string {
+	switch c {
+	case High:
+		return "high"
+	case Low:
+		return "low"
+	}
+	return "none"
+}
+
+// Detection is the outcome of running the detector over a selected string.
+type Detection struct {
+	Code       string     // ISO 4217 code, "" when Confidence == None
+	Amount     float64    // extracted numeric amount
+	Confidence Confidence // detection confidence
+	Original   string     // the normalized input
+}
+
+// Errors returned by Detect.
+var (
+	ErrTooLong  = errors.New("currency: selection longer than 25 characters")
+	ErrNoDigit  = errors.New("currency: selection contains no digit")
+	ErrNoAmount = errors.New("currency: no numeric amount found")
+)
+
+// MaxSelection is the paper's cap on the selected price string, a sanity
+// check and code-injection guard.
+const MaxSelection = 25
+
+// isoCodes lists the ISO 4217 codes the detector knows about, in the fixed
+// order they are tried (so detection is deterministic).
+var isoCodes = []string{
+	"EUR", "USD", "GBP", "CAD", "AUD",
+	"NZD", "JPY", "CNY", "CHF", "SEK",
+	"NOK", "DKK", "CZK", "PLN", "HUF",
+	"ILS", "KRW", "THB", "SGD", "HKD",
+	"BRL", "MXN", "INR", "RUB", "TRY",
+	"ZAR", "AED", "RON", "BGN", "ISK",
+}
+
+// customNotations maps retailer-specific notations to ISO codes. These are
+// unambiguous, so they detect with high confidence. Longer notations are
+// matched before shorter ones.
+var customNotations = []customEntry{
+	{"US$", "USD"}, {"CA$", "CAD"}, {"CAD$", "CAD"}, {"C$", "CAD"},
+	{"AU$", "AUD"}, {"A$", "AUD"}, {"NZ$", "NZD"}, {"S$", "SGD"},
+	{"HK$", "HKD"}, {"R$", "BRL"}, {"Mex$", "MXN"}, {"NT$", "TWD"},
+	{"Fr.", "CHF"}, {"SFr", "CHF"}, {"Rs.", "INR"}, {"Rs", "INR"},
+	{"zł", "PLN"}, {"Kč", "CZK"}, {"Ft", "HUF"},
+}
+
+// symbolTable maps bare symbols to a default code and whether the symbol is
+// ambiguous across currencies.
+var symbolTable = []struct {
+	Symbol    string
+	Code      string
+	Ambiguous bool
+}{
+	{"€", "EUR", false},
+	{"£", "GBP", false},
+	{"₪", "ILS", false},
+	{"₩", "KRW", false},
+	{"฿", "THB", false},
+	{"₹", "INR", false},
+	{"₺", "TRY", false},
+	{"₽", "RUB", false},
+	{"$", "USD", true},  // USD / CAD / AUD / NZD / SGD / HKD / MXN ...
+	{"¥", "JPY", true},  // JPY / CNY
+	{"kr", "SEK", true}, // SEK / NOK / DKK / ISK
+}
+
+// Normalize implements part 1: strip newlines, collapse repeated spaces and
+// non-breaking spaces, and trim.
+func Normalize(s string) string {
+	s = strings.ReplaceAll(s, "\u00a0", " ")
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\n' || r == '\r' || r == '\t'
+	})
+	return strings.Join(fields, " ")
+}
+
+// Detector runs the detection algorithm with an extensible custom-notation
+// list. The deployed system's operators extended that list whenever an
+// unrecognized retailer notation surfaced ("the displayed prices are not
+// converted ... until we update the custom currency notation list",
+// Sect. 3.5); AddNotation is that update path.
+type Detector struct {
+	mu     sync.RWMutex
+	custom []customEntry
+}
+
+type customEntry struct {
+	Notation string
+	Code     string
+}
+
+// NewDetector returns a detector preloaded with the built-in notations.
+func NewDetector() *Detector {
+	d := &Detector{custom: make([]customEntry, len(customNotations))}
+	copy(d.custom, customNotations)
+	return d
+}
+
+// AddNotation registers a retailer-specific notation (checked before the
+// built-ins, so operators can override).
+func (d *Detector) AddNotation(notation, code string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.custom = append([]customEntry{{Notation: notation, Code: code}}, d.custom...)
+}
+
+// Detect runs the full three-part algorithm over a user-selected string.
+func (d *Detector) Detect(selection string) (Detection, error) {
+	norm := Normalize(selection)
+	if len(norm) > MaxSelection {
+		return Detection{}, ErrTooLong
+	}
+	if !strings.ContainsAny(norm, "0123456789") {
+		return Detection{}, ErrNoDigit
+	}
+
+	code, conf, rest := d.detectCurrency(norm)
+	amount, ok := parseAmount(rest)
+	if !ok {
+		// Part 3 fallback: the word may be a concatenation of letters and
+		// digits ("EUR654"); split and retry part 2 on the letter words.
+		letters, digits := splitWords(norm)
+		code2, conf2, _ := d.detectCurrency(letters)
+		if code2 != "" {
+			code, conf = code2, conf2
+		}
+		amount, ok = parseAmount(digits)
+		if !ok {
+			return Detection{}, ErrNoAmount
+		}
+	}
+	return Detection{Code: code, Amount: amount, Confidence: conf, Original: norm}, nil
+}
+
+// defaultDetector serves the package-level Detect.
+var defaultDetector = NewDetector()
+
+// Detect runs the three-part algorithm with the built-in notation list.
+func Detect(selection string) (Detection, error) {
+	return defaultDetector.Detect(selection)
+}
+
+// detectCurrency implements part 2 and returns the detected code, the
+// confidence, and the input with the currency token removed.
+func (d *Detector) detectCurrency(s string) (string, Confidence, string) {
+	// (a) 3-letter ISO code, as its own token or glued to digits. The
+	// uppercase view must stay byte-aligned with s even on invalid UTF-8
+	// (selections come from arbitrary pages), so only ASCII letters fold.
+	upper := asciiUpper(s)
+	for _, code := range isoCodes {
+		if idx := strings.Index(upper, code); idx >= 0 {
+			// Reject matches inside longer letter runs ("EUROS" contains
+			// "EUR" but also continues with letters beyond the code —
+			// allow it; "SEKS" style false positives are tolerable for a
+			// 25-char price string, but avoid matching inside another
+			// known code).
+			if isWordish(upper, idx, len(code)) {
+				return code, High, s[:idx] + s[idx+len(code):]
+			}
+		}
+	}
+	// (b) custom notation list, operator-added entries first.
+	d.mu.RLock()
+	custom := d.custom
+	d.mu.RUnlock()
+	for _, cn := range custom {
+		if idx := strings.Index(s, cn.Notation); idx >= 0 {
+			return cn.Code, High, s[:idx] + s[idx+len(cn.Notation):]
+		}
+	}
+	// (c) bare symbol.
+	for _, sym := range symbolTable {
+		if idx := strings.Index(s, sym.Symbol); idx >= 0 {
+			conf := High
+			if sym.Ambiguous {
+				conf = Low
+			}
+			return sym.Code, conf, s[:idx] + s[idx+len(sym.Symbol):]
+		}
+	}
+	return "", None, s
+}
+
+// isWordish reports whether the code match at [idx, idx+n) is not embedded
+// in a longer run of uppercase letters on both sides (to avoid matching the
+// middle of arbitrary words).
+func isWordish(s string, idx, n int) bool {
+	beforeLetter := idx > 0 && isUpper(s[idx-1])
+	afterLetter := idx+n < len(s) && isUpper(s[idx+n])
+	return !(beforeLetter && afterLetter)
+}
+
+func isUpper(c byte) bool { return c >= 'A' && c <= 'Z' }
+
+// asciiUpper uppercases ASCII letters byte-wise, preserving length and
+// offsets for any input.
+func asciiUpper(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// parseAmount implements part 3: extract a float from a price string,
+// handling both 1,234.56 and 1.234,56 grouping conventions.
+func parseAmount(s string) (float64, bool) {
+	// Collect the first run of digits, separators and spaces.
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return 0, false
+	}
+	end := start
+	for end < len(s) {
+		c := s[end]
+		if (c >= '0' && c <= '9') || c == '.' || c == ',' {
+			end++
+			continue
+		}
+		break
+	}
+	run := strings.Trim(s[start:end], ".,")
+	if run == "" {
+		return 0, false
+	}
+	return parseNumber(run)
+}
+
+// parseNumber converts a digit/separator run into a float.
+//
+// Disambiguation rules:
+//   - both '.' and ',' present: the later one is the decimal separator;
+//   - a single separator followed by exactly 3 digits and preceded by at
+//     most 3 digits per group is treated as a thousands separator when it
+//     appears more than once or the integer part groups evenly; a single
+//     occurrence with 3 trailing digits is ambiguous — the common retail
+//     convention (thousands) is chosen for ',' and decimal for '.' only
+//     when 1–2 digits follow;
+//   - a separator followed by 1–2 digits is the decimal separator.
+func parseNumber(run string) (float64, bool) {
+	lastDot := strings.LastIndexByte(run, '.')
+	lastComma := strings.LastIndexByte(run, ',')
+
+	var decSep byte
+	switch {
+	case lastDot >= 0 && lastComma >= 0:
+		if lastDot > lastComma {
+			decSep = '.'
+		} else {
+			decSep = ','
+		}
+	case lastDot >= 0:
+		decSep = classifySingle(run, '.', lastDot)
+	case lastComma >= 0:
+		decSep = classifySingle(run, ',', lastComma)
+	}
+
+	var intPart, fracPart strings.Builder
+	target := &intPart
+	for i := 0; i < len(run); i++ {
+		c := run[i]
+		switch {
+		case c >= '0' && c <= '9':
+			target.WriteByte(c)
+		case c == decSep && i == lastIndex(run, decSep):
+			target = &fracPart
+		}
+	}
+	if intPart.Len() == 0 && fracPart.Len() == 0 {
+		return 0, false
+	}
+	var v float64
+	for _, c := range intPart.String() {
+		v = v*10 + float64(c-'0')
+	}
+	scale := 1.0
+	for _, c := range fracPart.String() {
+		scale /= 10
+		v += float64(c-'0') * scale
+	}
+	return v, true
+}
+
+// classifySingle decides whether the only separator in run is decimal.
+// Returns the separator byte if decimal, 0 if thousands.
+func classifySingle(run string, sep byte, last int) byte {
+	trailing := len(run) - last - 1
+	if trailing != 3 {
+		return sep // 1, 2 or 4+ trailing digits: decimal separator
+	}
+	if strings.Count(run, string(sep)) > 1 {
+		return 0 // repeated separator: grouping
+	}
+	// One separator, exactly three digits after: retail convention is a
+	// thousands separator ("ILS2,963", "1.234").
+	return 0
+}
+
+func lastIndex(s string, c byte) int {
+	if c == 0 {
+		return -1
+	}
+	return strings.LastIndexByte(s, c)
+}
+
+// splitWords separates a string into its letter content and digit/separator
+// content, used by part 3's fallback for concatenated tokens.
+func splitWords(s string) (letters, digits string) {
+	var lb, db strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9' || r == '.' || r == ',':
+			db.WriteRune(r)
+		case r == ' ':
+			lb.WriteByte(' ')
+			db.WriteByte(' ')
+		default:
+			lb.WriteRune(r)
+		}
+	}
+	return lb.String(), db.String()
+}
+
+// RateTable converts between currencies. Rates are stored as the price of
+// one unit of each currency in EUR, mirroring the paper's result page that
+// converts everything to Euro with exchange rates obtained in real time —
+// the live system refreshed rates while conversions were in flight, so the
+// table is safe for concurrent use.
+type RateTable struct {
+	mu    sync.RWMutex
+	toEUR map[string]float64
+}
+
+// DefaultRates returns a rate table with a fixed snapshot of plausible
+// rates. The live system refreshed these in real time; experiments here
+// need determinism instead.
+func DefaultRates() *RateTable {
+	return &RateTable{toEUR: map[string]float64{
+		"EUR": 1, "USD": 0.8838, "GBP": 1.1704, "CAD": 0.7086,
+		"AUD": 0.6706, "NZD": 0.6703, "JPY": 0.007433, "CNY": 0.1290,
+		"CHF": 0.9170, "SEK": 0.1062, "NOK": 0.1053, "DKK": 0.1344,
+		"CZK": 0.03634, "PLN": 0.2351, "HUF": 0.003221, "ILS": 0.2245,
+		"KRW": 0.000806, "THB": 0.02532, "SGD": 0.6402, "HKD": 0.1133,
+		"BRL": 0.2691, "MXN": 0.04650, "INR": 0.01312, "RUB": 0.01465,
+		"TRY": 0.2482, "ZAR": 0.06542, "AED": 0.2406, "RON": 0.2147,
+		"BGN": 0.5113, "ISK": 0.00830, "TWD": 0.02905,
+	}}
+}
+
+// SetRate updates (or adds) the EUR price of one unit of code.
+func (t *RateTable) SetRate(code string, eurPerUnit float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.toEUR[code] = eurPerUnit
+}
+
+// Rate returns the EUR price of one unit of code.
+func (t *RateTable) Rate(code string) (float64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.toEUR[code]
+	return r, ok
+}
+
+// Convert converts amount from one currency to another.
+func (t *RateTable) Convert(amount float64, from, to string) (float64, error) {
+	t.mu.RLock()
+	rf, okFrom := t.toEUR[from]
+	rt, okTo := t.toEUR[to]
+	t.mu.RUnlock()
+	if !okFrom {
+		return 0, fmt.Errorf("currency: unknown currency %q", from)
+	}
+	if !okTo {
+		return 0, fmt.Errorf("currency: unknown currency %q", to)
+	}
+	return amount * rf / rt, nil
+}
+
+// ConvertDetection converts a Detection into the target currency. A
+// Detection with Confidence None is returned unconverted with ok=false,
+// matching the paper's behaviour of displaying the original price until the
+// notation list is updated.
+func (t *RateTable) ConvertDetection(d Detection, to string) (float64, bool) {
+	if d.Confidence == None {
+		return d.Amount, false
+	}
+	v, err := t.Convert(d.Amount, d.Code, to)
+	if err != nil {
+		return d.Amount, false
+	}
+	return v, true
+}
+
+// Format renders an amount with its currency code, grouping thousands,
+// as the result page displays it ("€ 654", "ILS2,963").
+func Format(amount float64, code string) string {
+	neg := amount < 0
+	if neg {
+		amount = -amount
+	}
+	whole := int64(amount)
+	frac := int64((amount-float64(whole))*100 + 0.5)
+	if frac >= 100 {
+		whole++
+		frac -= 100
+	}
+	digits := fmt.Sprintf("%d", whole)
+	var b strings.Builder
+	for i, c := range digits {
+		if i > 0 && (len(digits)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	s := b.String()
+	if frac > 0 {
+		s = fmt.Sprintf("%s.%02d", s, frac)
+	}
+	if neg {
+		s = "-" + s
+	}
+	return code + " " + s
+}

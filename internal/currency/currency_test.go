@@ -1,0 +1,322 @@
+package currency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectISOCodes(t *testing.T) {
+	// These inputs mirror the "Original Text" column of the paper's Fig. 2.
+	cases := []struct {
+		in     string
+		code   string
+		amount float64
+		conf   Confidence
+	}{
+		{"EUR654", "EUR", 654, High},
+		{"CAD912", "CAD", 912, High},
+		{"ILS2,963", "ILS", 2963, High},
+		{"SEK6,283", "SEK", 6283, High},
+		{"JPY88,204", "JPY", 88204, High},
+		{"CZK18,215", "CZK", 18215, High},
+		{"KRW829,075", "KRW", 829075, High},
+		{"NZD997", "NZD", 997, High},
+		{"USD 1,299.99", "USD", 1299.99, High},
+		{"gbp 12.50", "GBP", 12.50, High},
+	}
+	for _, c := range cases {
+		d, err := Detect(c.in)
+		if err != nil {
+			t.Errorf("Detect(%q): %v", c.in, err)
+			continue
+		}
+		if d.Code != c.code || math.Abs(d.Amount-c.amount) > 1e-9 || d.Confidence != c.conf {
+			t.Errorf("Detect(%q) = {%s %v %v}, want {%s %v %v}",
+				c.in, d.Code, d.Amount, d.Confidence, c.code, c.amount, c.conf)
+		}
+	}
+}
+
+func TestDetectCustomNotations(t *testing.T) {
+	cases := []struct {
+		in   string
+		code string
+	}{
+		{"US$699", "USD"},
+		{"C$912", "CAD"},
+		{"AU$45.00", "AUD"},
+		{"NZ$997", "NZD"},
+		{"R$120", "BRL"},
+		{"HK$88", "HKD"},
+		{"18,215 Kč", "CZK"},
+	}
+	for _, c := range cases {
+		d, err := Detect(c.in)
+		if err != nil {
+			t.Errorf("Detect(%q): %v", c.in, err)
+			continue
+		}
+		if d.Code != c.code || d.Confidence != High {
+			t.Errorf("Detect(%q) = {%s conf=%v}, want {%s high}", c.in, d.Code, d.Confidence, c.code)
+		}
+	}
+}
+
+func TestDetectSymbols(t *testing.T) {
+	cases := []struct {
+		in   string
+		code string
+		conf Confidence
+	}{
+		{"€ 654", "EUR", High},
+		{"£9.99", "GBP", High},
+		{"₪2,963", "ILS", High},
+		{"$699", "USD", Low},     // paper: low confidence, red asterisk
+		{"¥88,204", "JPY", Low},  // JPY vs CNY
+		{"6,283 kr", "SEK", Low}, // SEK vs NOK vs DKK
+	}
+	for _, c := range cases {
+		d, err := Detect(c.in)
+		if err != nil {
+			t.Errorf("Detect(%q): %v", c.in, err)
+			continue
+		}
+		if d.Code != c.code || d.Confidence != c.conf {
+			t.Errorf("Detect(%q) = {%s conf=%v}, want {%s %v}", c.in, d.Code, d.Confidence, c.code, c.conf)
+		}
+	}
+}
+
+func TestDetectUnknownNotation(t *testing.T) {
+	d, err := Detect("123 doubloons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Confidence != None || d.Code != "" || d.Amount != 123 {
+		t.Errorf("unknown notation: %+v", d)
+	}
+}
+
+func TestDetectConstraints(t *testing.T) {
+	if _, err := Detect("this string is far longer than twenty five characters 1"); err != ErrTooLong {
+		t.Errorf("want ErrTooLong, got %v", err)
+	}
+	if _, err := Detect("no digits here"); err != ErrNoDigit {
+		t.Errorf("want ErrNoDigit, got %v", err)
+	}
+	if _, err := Detect("EUR , ."); err != ErrNoDigit {
+		t.Errorf("want ErrNoDigit for separator-only, got %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize("  EUR\n 654\t\r ")
+	if got != "EUR 654" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if got := Normalize("a b"); got != "a b" {
+		t.Errorf("nbsp: %q", got)
+	}
+}
+
+func TestParseNumberConventions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1,234.56", 1234.56}, // US grouping
+		{"1.234,56", 1234.56}, // European grouping
+		{"10.00", 10},
+		{"2,963", 2963}, // single comma + 3 digits: thousands
+		{"1.234", 1234}, // single dot + 3 digits: thousands
+		{"1,5", 1.5},    // single comma + <3 digits: decimal
+		{"0.5", 0.5},
+		{"1,234,567", 1234567},
+		{"829,075", 829075},
+		{"7", 7},
+		{"123.4567", 123.4567}, // 4 trailing digits: decimal
+	}
+	for _, c := range cases {
+		got, ok := parseNumber(c.in)
+		if !ok || math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("parseNumber(%q) = %v,%v want %v", c.in, got, ok, c.want)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	rt := DefaultRates()
+	// USD -> EUR -> USD round trip.
+	eur, err := rt.Convert(699, "USD", "EUR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig. 2 shows $699 ≈ € 617.65; our snapshot rate gives a
+	// value in the same ballpark.
+	if eur < 550 || eur > 680 {
+		t.Errorf("699 USD = %.2f EUR, outside plausible band", eur)
+	}
+	back, err := rt.Convert(eur, "EUR", "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back-699) > 1e-6 {
+		t.Errorf("round trip = %v", back)
+	}
+	if _, err := rt.Convert(1, "XXX", "EUR"); err == nil {
+		t.Error("want error for unknown currency")
+	}
+	if _, err := rt.Convert(1, "EUR", "XXX"); err == nil {
+		t.Error("want error for unknown target currency")
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	rt := DefaultRates()
+	rt.SetRate("DBL", 2.0)
+	v, err := rt.Convert(3, "DBL", "EUR")
+	if err != nil || v != 6 {
+		t.Errorf("custom rate: %v, %v", v, err)
+	}
+}
+
+func TestConvertDetection(t *testing.T) {
+	rt := DefaultRates()
+	d, _ := Detect("EUR654")
+	v, ok := rt.ConvertDetection(d, "EUR")
+	if !ok || v != 654 {
+		t.Errorf("EUR->EUR = %v,%v", v, ok)
+	}
+	unknown := Detection{Amount: 42, Confidence: None}
+	v, ok = rt.ConvertDetection(unknown, "EUR")
+	if ok || v != 42 {
+		t.Errorf("unknown detection must pass through: %v,%v", v, ok)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		amount float64
+		code   string
+		want   string
+	}{
+		{654, "EUR", "EUR 654"},
+		{2963, "ILS", "ILS 2,963"},
+		{617.65, "EUR", "EUR 617.65"},
+		{829075, "KRW", "KRW 829,075"},
+		{1234567.5, "USD", "USD 1,234,567.50"},
+		{-12.5, "EUR", "EUR -12.50"},
+	}
+	for _, c := range cases {
+		if got := Format(c.amount, c.code); got != c.want {
+			t.Errorf("Format(%v,%s) = %q, want %q", c.amount, c.code, got, c.want)
+		}
+	}
+}
+
+// Property: conversion through EUR is consistent: Convert(a, X, Y) equals
+// Convert(Convert(a, X, EUR), EUR, Y) for all known codes.
+func TestConvertTransitivityProperty(t *testing.T) {
+	rt := DefaultRates()
+	codes := isoCodes
+	f := func(amount float64, i, j uint) bool {
+		if math.IsNaN(amount) || math.IsInf(amount, 0) || math.Abs(amount) > 1e12 {
+			return true // avoid float overflow, not a conversion property
+		}
+		from := codes[i%uint(len(codes))]
+		to := codes[j%uint(len(codes))]
+		direct, err1 := rt.Convert(amount, from, to)
+		viaEUR, err2 := rt.Convert(amount, from, "EUR")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		twoHop, err3 := rt.Convert(viaEUR, "EUR", to)
+		if err3 != nil {
+			return false
+		}
+		diff := math.Abs(direct - twoHop)
+		scale := math.Max(math.Abs(direct), 1)
+		return diff/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Detect never panics and, when it succeeds, returns a
+// non-negative amount for inputs without a minus sign.
+func TestDetectTotalityProperty(t *testing.T) {
+	f := func(s string) bool {
+		d, err := Detect(s)
+		if err != nil {
+			return true
+		}
+		return d.Amount >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect("JPY88,204"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDetectorAddNotation(t *testing.T) {
+	d := NewDetector()
+	// An unknown notation: amount parses but no currency is recognized.
+	got, err := d.Detect("Fr654")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Confidence != None {
+		t.Fatalf("before update: %+v", got)
+	}
+	// The operator adds the notation (a Swiss retailer writing "Fr").
+	d.AddNotation("Fr", "CHF")
+	got, err = d.Detect("Fr654")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != "CHF" || got.Confidence != High || got.Amount != 654 {
+		t.Errorf("after update: %+v", got)
+	}
+	// The package-level detector is unaffected.
+	got, _ = Detect("Fr654")
+	if got.Confidence != None {
+		t.Errorf("default detector polluted: %+v", got)
+	}
+	// Operator entries take precedence over built-ins.
+	d2 := NewDetector()
+	d2.AddNotation("US$", "AUD")
+	got, _ = d2.Detect("US$10")
+	if got.Code != "AUD" {
+		t.Errorf("override failed: %+v", got)
+	}
+}
+
+func TestRateTableConcurrentUse(t *testing.T) {
+	rt := DefaultRates()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			rt.SetRate("USD", 0.88+float64(i%10)/1000) // live rate refresh
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if _, err := rt.Convert(100, "USD", "EUR"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rt.Rate("USD"); !ok {
+			t.Fatal("rate vanished")
+		}
+	}
+	<-done
+}

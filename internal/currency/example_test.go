@@ -1,0 +1,40 @@
+package currency_test
+
+import (
+	"fmt"
+
+	"pricesheriff/internal/currency"
+)
+
+func ExampleDetect() {
+	for _, sel := range []string{"EUR654", "US$699", "¥88,204", "1.234,56 doubloons"} {
+		d, err := currency.Detect(sel)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%s -> %s %.2f (confidence %s)\n", sel, d.Code, d.Amount, d.Confidence)
+	}
+	// Output:
+	// EUR654 -> EUR 654.00 (confidence high)
+	// US$699 -> USD 699.00 (confidence high)
+	// ¥88,204 -> JPY 88204.00 (confidence low)
+	// 1.234,56 doubloons ->  1234.56 (confidence none)
+}
+
+func ExampleRateTable_Convert() {
+	rates := currency.DefaultRates()
+	eur, _ := rates.Convert(699, "USD", "EUR")
+	fmt.Println(currency.Format(eur, "EUR"))
+	// Output:
+	// EUR 617.78
+}
+
+func ExampleDetector_AddNotation() {
+	d := currency.NewDetector()
+	d.AddNotation("Fr", "CHF") // a Swiss retailer's house style
+	det, _ := d.Detect("Fr129.50")
+	fmt.Println(det.Code, det.Amount)
+	// Output:
+	// CHF 129.5
+}

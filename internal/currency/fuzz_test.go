@@ -1,0 +1,39 @@
+package currency
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDetect runs the detector over arbitrary selections. The selection
+// string comes from a user's cursor over an arbitrary web page, so Detect
+// must never panic and every successful detection must be internally
+// consistent.
+func FuzzDetect(f *testing.F) {
+	seeds := []string{
+		"EUR654", "US$1,234.56", "¥88,204", "6,283 kr", "1.234,56",
+		"", "....", ",,,,1", "EUR", "  $  9  ", "-5", "1e9", "0x10",
+		"KČ18", "₪₪₪1", "Fr.12", "999999999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sel string) {
+		d, err := Detect(sel)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(d.Amount) || math.IsInf(d.Amount, 0) || d.Amount < 0 {
+			t.Fatalf("Detect(%q) amount = %v", sel, d.Amount)
+		}
+		if d.Confidence == None && d.Code != "" {
+			t.Fatalf("Detect(%q): code without confidence", sel)
+		}
+		if d.Confidence != None && d.Code == "" {
+			t.Fatalf("Detect(%q): confidence without code", sel)
+		}
+		if len(d.Original) > MaxSelection {
+			t.Fatalf("Detect(%q): normalized form exceeds cap", sel)
+		}
+	})
+}

@@ -1,0 +1,273 @@
+// Package doppelganger manages the fake browser profiles that shield real
+// peers from server-side state pollution (paper Sects. 3.6.2 and 3.7).
+//
+// A doppelganger is created from a cluster centroid of the privacy-
+// preserving k-means: infrastructure clients "execute" the centroid's
+// browsing profile vector — visiting each domain in proportion to its
+// frequency — and accumulate client-side state (tracker cookies). A PPC
+// that has exhausted its pollution budget for a domain fetches product
+// pages with its doppelganger's client-side state instead of its own.
+//
+// Doppelganger IDs are 256-bit random bearer tokens: peers obtain the
+// token from the Aggregator anonymously and redeem it at the Coordinator
+// for the client-side state, so the Coordinator cannot map peers to
+// clusters (Sect. 3.7).
+package doppelganger
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/tracker"
+)
+
+// Trainer executes browsing-profile visits while building a doppelganger:
+// it visits domain once, mutating the doppelganger's cookie jar.
+type Trainer interface {
+	Visit(jar map[string]string, domain string)
+}
+
+// TrackerTrainer is the default trainer: each visited domain embeds one of
+// the ecosystem's trackers (chosen stably by domain hash), which observes
+// the visit under a per-domain synthetic category.
+type TrackerTrainer struct {
+	Trackers   []*tracker.Tracker
+	Categories []string
+}
+
+// Visit implements Trainer.
+func (t TrackerTrainer) Visit(jar map[string]string, domain string) {
+	if len(t.Trackers) == 0 {
+		return
+	}
+	tr := t.Trackers[hashString(domain)%uint32(len(t.Trackers))]
+	cat := ""
+	if len(t.Categories) > 0 {
+		cat = t.Categories[hashString("cat"+domain)%uint32(len(t.Categories))]
+	}
+	jar[tr.Domain] = tr.Observe(jar[tr.Domain], domain, cat)
+}
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// Doppelganger is one fake user.
+type Doppelganger struct {
+	Token      string // 256-bit bearer token (hex)
+	Cluster    int
+	Generation int
+
+	mu          sync.Mutex
+	cookies     map[string]string
+	trainVisits map[string]int // per-domain visits during creation
+	fetches     map[string]int // remote fetches served per domain
+}
+
+// ClientState returns a copy of the doppelganger's cookie jar.
+func (d *Doppelganger) ClientState() map[string]string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]string, len(d.cookies))
+	for k, v := range d.cookies {
+		out[k] = v
+	}
+	return out
+}
+
+// TrainVisits returns the creation-time visit count for a domain.
+func (d *Doppelganger) TrainVisits(domain string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trainVisits[domain]
+}
+
+// saturated reports whether a domain's fetch budget (one fetch per 4
+// creation visits) is used up. Domains the doppelganger never visited have
+// no budget to saturate.
+func (d *Doppelganger) saturated(domain string) bool {
+	v := d.trainVisits[domain]
+	if v == 0 {
+		return false
+	}
+	return d.fetches[domain] >= maxInt(1, v/4)
+}
+
+// SaturatedFraction is the share of trained domains whose budget is spent;
+// at 0.5 the doppelganger is regenerated (Sect. 3.6.2).
+func (d *Doppelganger) SaturatedFraction() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.trainVisits) == 0 {
+		return 0
+	}
+	sat := 0
+	for domain := range d.trainVisits {
+		if d.saturated(domain) {
+			sat++
+		}
+	}
+	return float64(sat) / float64(len(d.trainVisits))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Manager owns the doppelganger fleet: one per cluster.
+type Manager struct {
+	Basis       []string // profile-vector domain basis
+	Trainer     Trainer
+	VisitsScale int // visits for a frequency-1.0 domain (default 20)
+
+	mu       sync.Mutex
+	byClust  map[int]*Doppelganger
+	byToken  map[string]*Doppelganger
+	profiles map[int]cluster.Point // last centroid per cluster, for regeneration
+}
+
+// ErrUnknownToken is returned for bearer tokens that do not resolve.
+var ErrUnknownToken = errors.New("doppelganger: unknown token")
+
+// NewManager creates a Manager.
+func NewManager(basis []string, trainer Trainer) *Manager {
+	return &Manager{
+		Basis:       basis,
+		Trainer:     trainer,
+		VisitsScale: 20,
+		byClust:     make(map[int]*Doppelganger),
+		byToken:     make(map[string]*Doppelganger),
+		profiles:    make(map[int]cluster.Point),
+	}
+}
+
+// Rebuild (re)creates the doppelganger for a cluster from its centroid
+// profile, replacing any previous generation and invalidating its token.
+func (m *Manager) Rebuild(clusterID int, profile cluster.Point) (*Doppelganger, error) {
+	if len(profile) != len(m.Basis) {
+		return nil, errors.New("doppelganger: profile/basis dimension mismatch")
+	}
+	token, err := newToken()
+	if err != nil {
+		return nil, err
+	}
+	d := &Doppelganger{
+		Token:       token,
+		Cluster:     clusterID,
+		cookies:     make(map[string]string),
+		trainVisits: make(map[string]int),
+		fetches:     make(map[string]int),
+	}
+	for i, freq := range profile {
+		if freq <= 0 {
+			continue
+		}
+		visits := int(math.Round(freq * float64(m.VisitsScale)))
+		if visits < 1 {
+			visits = 1
+		}
+		domain := m.Basis[i]
+		for v := 0; v < visits; v++ {
+			m.Trainer.Visit(d.cookies, domain)
+		}
+		d.trainVisits[domain] = visits
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.byClust[clusterID]; ok {
+		d.Generation = prev.Generation + 1
+		delete(m.byToken, prev.Token)
+	}
+	m.byClust[clusterID] = d
+	m.byToken[token] = d
+	m.profiles[clusterID] = append(cluster.Point(nil), profile...)
+	return d, nil
+}
+
+// RebuildAll creates doppelgangers for every centroid, in index order.
+func (m *Manager) RebuildAll(centroids []cluster.Point) error {
+	for i, c := range centroids {
+		if _, err := m.Rebuild(i, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Token returns the current bearer token of a cluster's doppelganger —
+// what the Aggregator hands to a PPC in step 3.3 of the price-check
+// protocol.
+func (m *Manager) Token(clusterID int) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.byClust[clusterID]
+	if !ok {
+		return "", false
+	}
+	return d.Token, true
+}
+
+// ClientState redeems a bearer token for the doppelganger's client-side
+// state — the Coordinator-side lookup of step 3.4. The Coordinator learns
+// only that someone holding the token asked; not which peer.
+func (m *Manager) ClientState(token string) (map[string]string, error) {
+	m.mu.Lock()
+	d, ok := m.byToken[token]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownToken
+	}
+	return d.ClientState(), nil
+}
+
+// RecordFetch charges one remote fetch against the doppelganger's
+// per-domain budget; when half its domains saturate, the doppelganger is
+// regenerated from its cluster profile and the old token dies. It returns
+// true when a regeneration happened.
+func (m *Manager) RecordFetch(token, domain string) (bool, error) {
+	m.mu.Lock()
+	d, ok := m.byToken[token]
+	m.mu.Unlock()
+	if !ok {
+		return false, ErrUnknownToken
+	}
+	d.mu.Lock()
+	d.fetches[domain]++
+	d.mu.Unlock()
+	if d.SaturatedFraction() >= 0.5 {
+		m.mu.Lock()
+		profile := m.profiles[d.Cluster]
+		m.mu.Unlock()
+		if _, err := m.Rebuild(d.Cluster, profile); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Count returns the number of live doppelgangers.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byClust)
+}
+
+func newToken() (string, error) {
+	var buf [32]byte // 256 bits, paper Sect. 3.7
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(buf[:]), nil
+}

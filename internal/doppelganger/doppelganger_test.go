@@ -1,0 +1,207 @@
+package doppelganger
+
+import (
+	"testing"
+
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/tracker"
+)
+
+func testManager() (*Manager, []*tracker.Tracker) {
+	trs := []*tracker.Tracker{tracker.New("adnet.example"), tracker.New("pixel.example")}
+	basis := []string{"news.example", "video.example", "social.example", "shop.example"}
+	m := NewManager(basis, TrackerTrainer{Trackers: trs, Categories: []string{"a", "b"}})
+	return m, trs
+}
+
+func TestRebuildCreatesState(t *testing.T) {
+	m, _ := testManager()
+	d, err := m.Rebuild(0, cluster.Point{1, 0.5, 0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Token) != 64 {
+		t.Errorf("token length = %d hex chars, want 64 (256 bits)", len(d.Token))
+	}
+	// Frequency 1.0 -> 20 visits; 0.5 -> 10; 0 -> none; 0.1 -> 2.
+	if got := d.TrainVisits("news.example"); got != 20 {
+		t.Errorf("news visits = %d", got)
+	}
+	if got := d.TrainVisits("video.example"); got != 10 {
+		t.Errorf("video visits = %d", got)
+	}
+	if got := d.TrainVisits("social.example"); got != 0 {
+		t.Errorf("social visits = %d", got)
+	}
+	if got := d.TrainVisits("shop.example"); got != 2 {
+		t.Errorf("shop visits = %d", got)
+	}
+	if len(d.ClientState()) == 0 {
+		t.Error("no cookies accumulated during training")
+	}
+}
+
+func TestRebuildDimensionMismatch(t *testing.T) {
+	m, _ := testManager()
+	if _, err := m.Rebuild(0, cluster.Point{1}); err == nil {
+		t.Error("want dimension error")
+	}
+}
+
+func TestTrainingBuildsTrackerProfiles(t *testing.T) {
+	m, trs := testManager()
+	d, err := m.Rebuild(0, cluster.Point{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trained cookie jar must be profiled by at least one tracker.
+	jar := d.ClientState()
+	total := 0
+	for _, tr := range trs {
+		if id, ok := jar[tr.Domain]; ok {
+			p := tr.Profile(id)
+			for _, c := range p {
+				total += c
+			}
+		}
+	}
+	if total != 80 { // 4 domains × 20 visits
+		t.Errorf("tracked visits = %d, want 80", total)
+	}
+}
+
+func TestBearerTokenLookup(t *testing.T) {
+	m, _ := testManager()
+	d, _ := m.Rebuild(3, cluster.Point{0.2, 0, 0, 0})
+	tok, ok := m.Token(3)
+	if !ok || tok != d.Token {
+		t.Fatal("token lookup failed")
+	}
+	state, err := m.ClientState(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) == 0 {
+		t.Error("empty client state")
+	}
+	if _, err := m.ClientState("deadbeef"); err != ErrUnknownToken {
+		t.Errorf("want ErrUnknownToken, got %v", err)
+	}
+	if _, ok := m.Token(99); ok {
+		t.Error("unknown cluster resolved")
+	}
+}
+
+func TestClientStateIsCopy(t *testing.T) {
+	m, _ := testManager()
+	m.Rebuild(0, cluster.Point{1, 0, 0, 0})
+	tok, _ := m.Token(0)
+	s1, _ := m.ClientState(tok)
+	for k := range s1 {
+		s1[k] = "tampered"
+	}
+	s2, _ := m.ClientState(tok)
+	for _, v := range s2 {
+		if v == "tampered" {
+			t.Fatal("ClientState leaked internal map")
+		}
+	}
+}
+
+func TestRegenerationOnSaturation(t *testing.T) {
+	m, _ := testManager()
+	// Three trained domains, each with budget 1 fetch (4 visits -> 1).
+	d, err := m.Rebuild(0, cluster.Point{0.2, 0.2, 0.2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := d.Token
+	// Saturating the first domain leaves 1/3 < 50%: no regeneration.
+	regen, err := m.RecordFetch(tok, "news.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regen {
+		t.Fatal("regenerated too early (1 of 3 domains saturated)")
+	}
+	if f := d.SaturatedFraction(); f < 0.3 || f > 0.34 {
+		t.Fatalf("saturation = %v, want 1/3", f)
+	}
+	// Saturating the second domain reaches 2/3 >= 50%: regenerate.
+	regen, err = m.RecordFetch(tok, "video.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regen {
+		t.Fatal("expected regeneration at >=50% saturation")
+	}
+	// Old token is dead; new generation exists for the cluster.
+	if _, err := m.ClientState(tok); err != ErrUnknownToken {
+		t.Errorf("old token still valid: %v", err)
+	}
+	tok2, ok := m.Token(0)
+	if !ok || tok2 == tok {
+		t.Error("no fresh token after regeneration")
+	}
+	d2 := mustDopp(t, m, 0)
+	if d2.Generation != 1 {
+		t.Errorf("generation = %d", d2.Generation)
+	}
+	if d2.SaturatedFraction() != 0 {
+		t.Error("fresh doppelganger already saturated")
+	}
+}
+
+func mustDopp(t *testing.T, m *Manager, clusterID int) *Doppelganger {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.byClust[clusterID]
+	if !ok {
+		t.Fatalf("no doppelganger for cluster %d", clusterID)
+	}
+	return d
+}
+
+func TestRecordFetchUnknownToken(t *testing.T) {
+	m, _ := testManager()
+	if _, err := m.RecordFetch("nope", "x"); err != ErrUnknownToken {
+		t.Errorf("want ErrUnknownToken, got %v", err)
+	}
+}
+
+func TestRebuildAll(t *testing.T) {
+	m, _ := testManager()
+	centroids := []cluster.Point{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+	}
+	if err := m.RebuildAll(centroids); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 3 {
+		t.Errorf("count = %d", m.Count())
+	}
+	// Tokens are distinct.
+	t0, _ := m.Token(0)
+	t1, _ := m.Token(1)
+	t2, _ := m.Token(2)
+	if t0 == t1 || t1 == t2 || t0 == t2 {
+		t.Error("token collision")
+	}
+}
+
+func TestFetchOnUntrainedDomainNeverSaturates(t *testing.T) {
+	m, _ := testManager()
+	d, _ := m.Rebuild(0, cluster.Point{1, 0, 0, 0})
+	for i := 0; i < 10; i++ {
+		regen, err := m.RecordFetch(d.Token, "never-visited.shop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regen {
+			t.Fatal("untrained domain triggered regeneration")
+		}
+	}
+}

@@ -1,0 +1,470 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+func testGroup() *Group { return TestGroup256 }
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(big.NewInt(101)); err == nil {
+		t.Error("small prime must be rejected")
+	}
+	// 2^89-1 is prime but not safe.
+	notSafe, _ := new(big.Int).SetString("618970019642690137449562111", 10)
+	if _, err := NewGroup(notSafe); err == nil {
+		t.Error("non-safe prime must be rejected")
+	}
+	g, err := NewGroup(TestGroup256.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Q.Cmp(TestGroup256.Q) != 0 {
+		t.Error("Q mismatch")
+	}
+}
+
+func TestGroupConstants(t *testing.T) {
+	for _, g := range []*Group{TestGroup256, Group1536} {
+		// g = 4 must have order q: g^q == 1.
+		if new(big.Int).Exp(g.G, g.Q, g.P).Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("%v: generator order is not q", g)
+		}
+		if new(big.Int).Exp(g.G, big.NewInt(1), g.P).Cmp(big.NewInt(1)) == 0 {
+			t.Errorf("%v: generator is identity", g)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	g := testGroup()
+	sk, pk, err := GenerateKeys(g, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlog := NewDLog(g, 1<<16)
+	msg := []int64{0, 1, 42, 65535, 12345}
+	ct, err := pk.Encrypt(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct, dlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Errorf("dim %d: got %d want %d", i, got[i], msg[i])
+		}
+	}
+}
+
+func TestDecryptNegative(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 2, rand.Reader)
+	dlog := NewDLog(g, 1000)
+	ct, err := pk.Encrypt(rand.Reader, []int64{-7, -999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct, dlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -7 || got[1] != -999 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDecryptOutOfRange(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 1, rand.Reader)
+	dlog := NewDLog(g, 100)
+	ct, _ := pk.Encrypt(rand.Reader, []int64{5000})
+	if _, err := sk.Decrypt(ct, dlog); err != ErrDLogRange {
+		t.Errorf("want ErrDLogRange, got %v", err)
+	}
+}
+
+func TestCiphertextSemanticVariation(t *testing.T) {
+	// Two encryptions of the same message must differ (fresh randomness).
+	g := testGroup()
+	_, pk, _ := GenerateKeys(g, 1, rand.Reader)
+	a, _ := pk.Encrypt(rand.Reader, []int64{7})
+	b, _ := pk.Encrypt(rand.Reader, []int64{7})
+	if a.Alpha.Cmp(b.Alpha) == 0 {
+		t.Error("two encryptions share randomness")
+	}
+	if a.Betas[0].Cmp(b.Betas[0]) == 0 {
+		t.Error("two encryptions share beta")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 3, rand.Reader)
+	dlog := NewDLog(g, 1000)
+	a, _ := pk.Encrypt(rand.Reader, []int64{1, 2, 3})
+	b, _ := pk.Encrypt(rand.Reader, []int64{10, 20, 30})
+	sum, err := a.Add(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum, dlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dim %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHomomorphicAddRange(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 4, rand.Reader)
+	dlog := NewDLog(g, 1000)
+	a, _ := pk.Encrypt(rand.Reader, []int64{100, 1, 5, 6})
+	b, _ := pk.Encrypt(rand.Reader, []int64{200, 1, 7, 8})
+	sum, err := a.AddRange(g, b, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only dims 2,3 are aggregated and therefore decryptable; dims 0,1 are
+	// now malformed (beta from a, alpha from both) — mirroring the paper's
+	// Fig. 18 where the server only decrypts positions [3, t].
+	for i := 2; i < 4; i++ {
+		v, err := sk.DecryptAt(sum, i, dlog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int64{0, 0, 12, 14}[i]
+		if v != want {
+			t.Errorf("dim %d = %d, want %d", i, v, want)
+		}
+	}
+	if _, err := a.AddRange(g, b, 3, 2); err != ErrDimMismatch {
+		t.Error("inverted range must error")
+	}
+}
+
+func TestAddManyClients(t *testing.T) {
+	// Aggregating n=50 clients with values up to 100 must decrypt with a
+	// bound of n*100, the centroid-update regime.
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 2, rand.Reader)
+	rng := mrand.New(mrand.NewSource(1))
+	var agg *Ciphertext
+	want := []int64{0, 0}
+	for c := 0; c < 50; c++ {
+		msg := []int64{int64(rng.Intn(101)), int64(rng.Intn(101))}
+		want[0] += msg[0]
+		want[1] += msg[1]
+		ct, _ := pk.Encrypt(rand.Reader, msg)
+		if agg == nil {
+			agg = ct
+			continue
+		}
+		var err error
+		agg, err = agg.Add(g, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dlog := NewDLog(g, 50*101)
+	got, err := sk.Decrypt(agg, dlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestFunctionalDotProduct(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 4, rand.Reader)
+	dlog := NewDLog(g, 1<<20)
+
+	c := []int64{3, 1, 4, 1}
+	s := []int64{2, 7, 1, 8}
+	var want int64
+	for i := range c {
+		want += c[i] * s[i]
+	}
+
+	ct, _ := pk.Encrypt(rand.Reader, c)
+	fkey, err := sk.DeriveFunctionKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalDotProduct(g, ct, s, fkey, dlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("dot = %d, want %d", got, want)
+	}
+}
+
+func TestFunctionalDotProductNegativeQuery(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 3, rand.Reader)
+	dlog := NewDLog(g, 1<<20)
+	c := []int64{5, 10, 2}
+	s := []int64{1, -2, 3} // the distance protocol uses s_i = -2*b_i
+	want := int64(5 - 20 + 6)
+	ct, _ := pk.Encrypt(rand.Reader, c)
+	fkey, _ := sk.DeriveFunctionKey(s)
+	got, err := EvalDotProduct(g, ct, s, fkey, dlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("dot = %d, want %d", got, want)
+	}
+}
+
+func TestDimensionMismatches(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 2, rand.Reader)
+	if _, err := pk.Encrypt(rand.Reader, []int64{1}); err != ErrDimMismatch {
+		t.Error("Encrypt must reject wrong dims")
+	}
+	if _, err := sk.DeriveFunctionKey([]int64{1}); err != ErrDimMismatch {
+		t.Error("DeriveFunctionKey must reject wrong dims")
+	}
+	ct, _ := pk.Encrypt(rand.Reader, []int64{1, 2})
+	if _, err := EvalDotProduct(g, ct, []int64{1}, big.NewInt(0), nil); err != ErrDimMismatch {
+		t.Error("EvalDotProduct must reject wrong dims")
+	}
+	other := &Ciphertext{Alpha: big.NewInt(1), Betas: []*big.Int{big.NewInt(1)}}
+	if _, err := ct.Add(g, other); err != ErrDimMismatch {
+		t.Error("Add must reject wrong dims")
+	}
+	dlog := NewDLog(g, 10)
+	if _, err := sk.DecryptAt(ct, 5, dlog); err != ErrDimMismatch {
+		t.Error("DecryptAt must reject out-of-range index")
+	}
+}
+
+func TestGenerateKeysRejectsZeroDim(t *testing.T) {
+	if _, _, err := GenerateKeys(testGroup(), 0, rand.Reader); err == nil {
+		t.Error("zero dimension must be rejected")
+	}
+}
+
+func TestPublicFromPrivate(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 3, rand.Reader)
+	derived := sk.Public()
+	for i := range pk.H {
+		if pk.H[i].Cmp(derived.H[i]) != 0 {
+			t.Errorf("dim %d public key mismatch", i)
+		}
+	}
+}
+
+func TestDLogBoundaries(t *testing.T) {
+	g := testGroup()
+	dlog := NewDLog(g, 1000)
+	for _, m := range []int64{0, 1, 31, 32, 999} {
+		v, ok := dlog.Lookup(g.Encode(m))
+		if !ok || v != m {
+			t.Errorf("Lookup(g^%d) = %d, %v", m, v, ok)
+		}
+	}
+	if _, ok := dlog.Lookup(g.Encode(1000)); ok {
+		t.Error("value at bound must miss")
+	}
+	if v, ok := dlog.LookupSigned(g.Encode(-500)); !ok || v != -500 {
+		t.Errorf("signed lookup = %d, %v", v, ok)
+	}
+}
+
+func TestDLogAgainstLinearScan(t *testing.T) {
+	g := testGroup()
+	fast := NewDLog(g, 500)
+	slow := NewLinearScanDLog(g, 500)
+	rng := mrand.New(mrand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		m := int64(rng.Intn(500))
+		y := g.Encode(m)
+		vf, okf := fast.Lookup(y)
+		vs, oks := slow.Lookup(y)
+		if !okf || !oks || vf != m || vs != m {
+			t.Fatalf("m=%d: bsgs=(%d,%v) scan=(%d,%v)", m, vf, okf, vs, oks)
+		}
+	}
+	if _, ok := slow.Lookup(g.Encode(501)); ok {
+		t.Error("linear scan beyond bound must miss")
+	}
+}
+
+// Property: for random vectors, EvalDotProduct equals the plaintext dot
+// product. This is the exact correctness condition the k-means distance
+// protocol relies on.
+func TestDotProductProperty(t *testing.T) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 6, rand.Reader)
+	dlog := NewDLog(g, 1<<21)
+	rng := mrand.New(mrand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		c := make([]int64, 6)
+		s := make([]int64, 6)
+		var want int64
+		for i := range c {
+			c[i] = int64(rng.Intn(100))
+			s[i] = int64(rng.Intn(201) - 100)
+			want += c[i] * s[i]
+		}
+		ct, err := pk.Encrypt(rand.Reader, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fkey, _ := sk.DeriveFunctionKey(s)
+		got, err := EvalDotProduct(g, ct, s, fkey, dlog)
+		if err != nil {
+			t.Fatalf("trial %d: %v (want %d)", trial, err, want)
+		}
+		if got != want {
+			t.Fatalf("trial %d: dot = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func BenchmarkEncrypt100Dims(b *testing.B) {
+	g := testGroup()
+	_, pk, _ := GenerateKeys(g, 100, rand.Reader)
+	msg := make([]int64, 100)
+	for i := range msg {
+		msg[i] = int64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(rand.Reader, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalDotProduct100Dims(b *testing.B) {
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 100, rand.Reader)
+	c := make([]int64, 100)
+	s := make([]int64, 100)
+	for i := range c {
+		c[i] = int64(i % 50)
+		s[i] = int64(i%21 - 10)
+	}
+	ct, _ := pk.Encrypt(rand.Reader, c)
+	fkey, _ := sk.DeriveFunctionKey(s)
+	dlog := NewDLog(g, 1<<21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalDotProduct(g, ct, s, fkey, dlog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDLogBSGSvsLinear(b *testing.B) {
+	g := testGroup()
+	y := g.Encode(40000)
+	b.Run("bsgs", func(b *testing.B) {
+		d := NewDLog(g, 1<<16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := d.Lookup(y); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		d := NewLinearScanDLog(g, 1<<16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := d.Lookup(y); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
+// Security-property regressions (honest-but-curious model, Sect. 10.4.3).
+
+func TestWrongKeyCannotDecrypt(t *testing.T) {
+	g := testGroup()
+	_, pk1, _ := GenerateKeys(g, 2, rand.Reader)
+	sk2, _, _ := GenerateKeys(g, 2, rand.Reader)
+	dlog := NewDLog(g, 1000)
+	ct, _ := pk1.Encrypt(rand.Reader, []int64{7, 11})
+	got, err := sk2.Decrypt(ct, dlog)
+	// Either the dlog lookup fails (overwhelmingly likely) or it lands on
+	// garbage — it must not recover the plaintext.
+	if err == nil && got[0] == 7 && got[1] == 11 {
+		t.Fatal("foreign key recovered the plaintext")
+	}
+}
+
+func TestFunctionKeyBoundToQuery(t *testing.T) {
+	// A functional key derived for s must not evaluate a different query
+	// s' correctly: γ' = Π β^{s'} / α^{f_s} embeds α^{⟨x, s'-s⟩}, which is
+	// uniformly random — so the dlog lookup fails or yields garbage.
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 3, rand.Reader)
+	dlog := NewDLog(g, 1<<20)
+	c := []int64{5, 6, 7}
+	s := []int64{1, 2, 3}
+	sPrime := []int64{3, 2, 1}
+	ct, _ := pk.Encrypt(rand.Reader, c)
+	fkey, _ := sk.DeriveFunctionKey(s)
+	want := int64(3*5 + 2*6 + 1*7)
+	got, err := EvalDotProduct(g, ct, sPrime, fkey, dlog)
+	if err == nil && got == want {
+		t.Fatal("function key for s evaluated s' correctly")
+	}
+}
+
+func TestCiphertextRerandomizationViaAdd(t *testing.T) {
+	// Adding an encryption of zero re-randomizes a ciphertext: the result
+	// decrypts identically but shares no component with the original —
+	// what a mixing Aggregator could do before forwarding.
+	g := testGroup()
+	sk, pk, _ := GenerateKeys(g, 2, rand.Reader)
+	dlog := NewDLog(g, 1000)
+	ct, _ := pk.Encrypt(rand.Reader, []int64{42, 17})
+	zero, _ := pk.Encrypt(rand.Reader, []int64{0, 0})
+	rerand, err := ct.Add(g, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerand.Alpha.Cmp(ct.Alpha) == 0 || rerand.Betas[0].Cmp(ct.Betas[0]) == 0 {
+		t.Error("re-randomization left components unchanged")
+	}
+	got, err := sk.Decrypt(rerand, dlog)
+	if err != nil || got[0] != 42 || got[1] != 17 {
+		t.Errorf("re-randomized ciphertext decrypts to %v, %v", got, err)
+	}
+}
+
+func TestGroupElementsStayInSubgroup(t *testing.T) {
+	// Every β and α must be a quadratic residue (order-q subgroup member):
+	// a malformed element would leak a bit about the plaintext via the
+	// Legendre symbol.
+	g := testGroup()
+	_, pk, _ := GenerateKeys(g, 3, rand.Reader)
+	ct, _ := pk.Encrypt(rand.Reader, []int64{1, 2, 3})
+	for _, el := range append([]*big.Int{ct.Alpha}, ct.Betas...) {
+		if new(big.Int).Exp(el, g.Q, g.P).Cmp(big.NewInt(1)) != 0 {
+			t.Fatalf("element outside the order-q subgroup")
+		}
+	}
+}

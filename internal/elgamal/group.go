@@ -1,0 +1,204 @@
+// Package elgamal implements the cryptographic substrate of the Price
+// $heriff's privacy-preserving k-means (paper Sect. 3.8 and Appendix 10.4):
+// an additively homomorphic variant of ElGamal where messages are encrypted
+// "at the exponent", and the simple inner-product functional encryption
+// scheme of Abdalla, Bourse, De Caro and Pointcheval (PKC'15) built on it.
+//
+// Arithmetic takes place in the prime-order subgroup of quadratic residues
+// of Z*_p for a safe prime p = 2q+1. Because plaintexts live in the
+// exponent, decryption ends with a discrete-logarithm recovery; this is
+// feasible because the protocol's plaintext ranges are small (quantized
+// browsing-frequency vectors and their sums), and is implemented with a
+// baby-step/giant-step table.
+package elgamal
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Group describes the multiplicative group: a safe prime p = 2q+1 and a
+// generator g of the order-q subgroup of quadratic residues.
+type Group struct {
+	P *big.Int // safe prime
+	Q *big.Int // (P-1)/2, prime order of the subgroup
+	G *big.Int // subgroup generator
+}
+
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+)
+
+// NewGroup builds a Group from a safe prime. The generator is fixed to 4
+// (= 2², a quadratic residue, hence a generator of the order-q subgroup
+// for any safe prime).
+func NewGroup(p *big.Int) (*Group, error) {
+	if p.BitLen() < 64 {
+		return nil, errors.New("elgamal: prime too small")
+	}
+	q := new(big.Int).Sub(p, one)
+	q.Div(q, two)
+	// Light sanity check; full primality is the caller's responsibility
+	// for hardcoded groups.
+	if !p.ProbablyPrime(16) || !q.ProbablyPrime(16) {
+		return nil, errors.New("elgamal: p is not a safe prime")
+	}
+	return &Group{P: p, Q: q, G: big.NewInt(4)}, nil
+}
+
+// mustGroup parses a hex safe prime; for package-level group constants.
+func mustGroup(hexP string) *Group {
+	p, ok := new(big.Int).SetString(hexP, 16)
+	if !ok {
+		panic("elgamal: bad group constant")
+	}
+	q := new(big.Int).Sub(p, one)
+	q.Div(q, two)
+	return &Group{P: p, Q: q, G: big.NewInt(4)}
+}
+
+// TestGroup256 is a 256-bit safe-prime group. It is far below a secure
+// modulus size and exists so the unit-test suite and the experiment
+// harness run quickly; production deployments use Group1536.
+var TestGroup256 = mustGroup(
+	"f98cd63f007f2ea0b4b1aedd29dbd9c90e8522a9855d350d1fd2ca6f2060171b")
+
+// Group1536 is the 1536-bit MODP group of RFC 3526 (a safe prime), the
+// kind of modulus the deployed system would use.
+var Group1536 = mustGroup(
+	"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+		"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+		"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+		"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+		"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+		"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+		"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+		"670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF")
+
+// randScalar draws a uniform exponent in [1, q).
+func (g *Group) randScalar(rng io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(g.Q, one)
+	r, err := rand.Int(rng, max)
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(r, one), nil
+}
+
+// exp computes g.G^k mod p for a possibly negative k (reduced mod q).
+func (g *Group) exp(base, k *big.Int) *big.Int {
+	e := new(big.Int).Mod(k, g.Q)
+	return new(big.Int).Exp(base, e, g.P)
+}
+
+// Encode maps a small integer m to the group element g^m.
+func (g *Group) Encode(m int64) *big.Int {
+	return g.exp(g.G, big.NewInt(m))
+}
+
+// DLog recovers m from g^m using baby-step/giant-step over [0, bound).
+// Building the table costs O(√bound) time and memory; lookups cost
+// O(√bound) group operations.
+type DLog struct {
+	group *Group
+	table map[string]int64 // g^j for j in [0, m)
+	m     int64            // baby-step count = ceil(sqrt(bound))
+	ginv  *big.Int         // g^{-m}
+	bound int64
+}
+
+// NewDLog precomputes a lookup structure for exponents in [0, bound).
+func NewDLog(group *Group, bound int64) *DLog {
+	if bound < 1 {
+		bound = 1
+	}
+	m := int64(1)
+	for m*m < bound {
+		m++
+	}
+	d := &DLog{
+		group: group,
+		table: make(map[string]int64, m),
+		m:     m,
+		bound: bound,
+	}
+	cur := big.NewInt(1)
+	for j := int64(0); j < m; j++ {
+		d.table[string(cur.Bytes())] = j
+		cur = new(big.Int).Mul(cur, group.G)
+		cur.Mod(cur, group.P)
+	}
+	// g^{-m} = (g^m)^{-1} mod p
+	gm := new(big.Int).Exp(group.G, big.NewInt(m), group.P)
+	d.ginv = new(big.Int).ModInverse(gm, group.P)
+	return d
+}
+
+// Bound returns the exclusive upper bound of recoverable exponents.
+func (d *DLog) Bound() int64 { return d.bound }
+
+// Lookup returns m such that y = g^m, for m in [0, bound).
+func (d *DLog) Lookup(y *big.Int) (int64, bool) {
+	gamma := new(big.Int).Mod(y, d.group.P)
+	for i := int64(0); i*d.m < d.bound+d.m; i++ {
+		if j, ok := d.table[string(gamma.Bytes())]; ok {
+			v := i*d.m + j
+			if v < d.bound {
+				return v, true
+			}
+			return 0, false
+		}
+		gamma.Mul(gamma, d.ginv)
+		gamma.Mod(gamma, d.group.P)
+	}
+	return 0, false
+}
+
+// LookupSigned recovers m in (-bound, bound): it tries y and then y^{-1}.
+func (d *DLog) LookupSigned(y *big.Int) (int64, bool) {
+	if v, ok := d.Lookup(y); ok {
+		return v, true
+	}
+	inv := new(big.Int).ModInverse(y, d.group.P)
+	if inv == nil {
+		return 0, false
+	}
+	if v, ok := d.Lookup(inv); ok {
+		return -v, true
+	}
+	return 0, false
+}
+
+// LinearScanDLog is the naive O(bound) discrete-log recovery, kept as the
+// ablation baseline for the BSGS table (see DESIGN.md).
+type LinearScanDLog struct {
+	group *Group
+	bound int64
+}
+
+// NewLinearScanDLog returns the baseline dlog solver.
+func NewLinearScanDLog(group *Group, bound int64) *LinearScanDLog {
+	return &LinearScanDLog{group: group, bound: bound}
+}
+
+// Lookup scans g^0, g^1, ... until it hits y.
+func (d *LinearScanDLog) Lookup(y *big.Int) (int64, bool) {
+	target := new(big.Int).Mod(y, d.group.P)
+	cur := big.NewInt(1)
+	for m := int64(0); m < d.bound; m++ {
+		if cur.Cmp(target) == 0 {
+			return m, true
+		}
+		cur.Mul(cur, d.group.G)
+		cur.Mod(cur, d.group.P)
+	}
+	return 0, false
+}
+
+func (g *Group) String() string {
+	return fmt.Sprintf("elgamal.Group(%d bits)", g.P.BitLen())
+}

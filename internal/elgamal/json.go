@@ -1,0 +1,111 @@
+package elgamal
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+)
+
+// Wire formats: group elements travel as lowercase hex. The k-means
+// protocol ships ciphertexts from clients to the Aggregator and from the
+// Aggregator to the Coordinator, so Ciphertext and PublicKey marshal to
+// JSON; private keys deliberately do not.
+
+type ciphertextJSON struct {
+	Alpha string   `json:"alpha"`
+	Betas []string `json:"betas"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (ct *Ciphertext) MarshalJSON() ([]byte, error) {
+	out := ciphertextJSON{Alpha: hexInt(ct.Alpha), Betas: make([]string, len(ct.Betas))}
+	for i, b := range ct.Betas {
+		out.Betas[i] = hexInt(b)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (ct *Ciphertext) UnmarshalJSON(data []byte) error {
+	var in ciphertextJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	alpha, err := parseHexInt(in.Alpha)
+	if err != nil {
+		return fmt.Errorf("elgamal: alpha: %w", err)
+	}
+	betas := make([]*big.Int, len(in.Betas))
+	for i, s := range in.Betas {
+		if betas[i], err = parseHexInt(s); err != nil {
+			return fmt.Errorf("elgamal: beta %d: %w", i, err)
+		}
+	}
+	ct.Alpha = alpha
+	ct.Betas = betas
+	return nil
+}
+
+type publicKeyJSON struct {
+	P string   `json:"p"`
+	G string   `json:"g"`
+	H []string `json:"h"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (pk *PublicKey) MarshalJSON() ([]byte, error) {
+	out := publicKeyJSON{P: hexInt(pk.Group.P), G: hexInt(pk.Group.G), H: make([]string, len(pk.H))}
+	for i, h := range pk.H {
+		out.H[i] = hexInt(h)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The embedded group is
+// validated (safe prime, known generator) before the key is accepted.
+func (pk *PublicKey) UnmarshalJSON(data []byte) error {
+	var in publicKeyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	p, err := parseHexInt(in.P)
+	if err != nil {
+		return fmt.Errorf("elgamal: p: %w", err)
+	}
+	group, err := NewGroup(p)
+	if err != nil {
+		return err
+	}
+	g, err := parseHexInt(in.G)
+	if err != nil {
+		return fmt.Errorf("elgamal: g: %w", err)
+	}
+	if g.Cmp(group.G) != 0 {
+		return fmt.Errorf("elgamal: unexpected generator")
+	}
+	hs := make([]*big.Int, len(in.H))
+	for i, s := range in.H {
+		if hs[i], err = parseHexInt(s); err != nil {
+			return fmt.Errorf("elgamal: h %d: %w", i, err)
+		}
+	}
+	pk.Group = group
+	pk.H = hs
+	return nil
+}
+
+func hexInt(v *big.Int) string { return v.Text(16) }
+
+func parseHexInt(s string) (*big.Int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty hex integer")
+	}
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		return nil, fmt.Errorf("bad hex integer %q", s)
+	}
+	if v.Sign() < 0 {
+		return nil, fmt.Errorf("negative group element")
+	}
+	return v, nil
+}

@@ -1,0 +1,224 @@
+package elgamal
+
+import (
+	"errors"
+	"io"
+	"math/big"
+)
+
+// PrivateKey is an m-dimensional vector of ElGamal secret keys
+// x = (x_i), one per plaintext dimension (paper Sect. 10.4: "Key
+// generation outputs an m-dimensional vector of secret keys").
+type PrivateKey struct {
+	Group *Group
+	X     []*big.Int
+}
+
+// PublicKey is the matching vector of public keys h_i = g^{x_i}.
+type PublicKey struct {
+	Group *Group
+	H     []*big.Int
+}
+
+// Ciphertext is an encryption of a vector c: α = g^r and
+// β_i = h_i^r · g^{c_i}.
+type Ciphertext struct {
+	Alpha *big.Int
+	Betas []*big.Int
+}
+
+// Errors returned by the vector scheme.
+var (
+	ErrDimMismatch = errors.New("elgamal: dimension mismatch")
+	ErrDLogRange   = errors.New("elgamal: plaintext outside discrete-log range")
+)
+
+// GenerateKeys creates a t-dimensional key pair.
+func GenerateKeys(group *Group, t int, rng io.Reader) (*PrivateKey, *PublicKey, error) {
+	if t <= 0 {
+		return nil, nil, errors.New("elgamal: dimension must be positive")
+	}
+	sk := &PrivateKey{Group: group, X: make([]*big.Int, t)}
+	pk := &PublicKey{Group: group, H: make([]*big.Int, t)}
+	for i := 0; i < t; i++ {
+		x, err := group.randScalar(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		sk.X[i] = x
+		pk.H[i] = new(big.Int).Exp(group.G, x, group.P)
+	}
+	return sk, pk, nil
+}
+
+// Dim returns the number of plaintext dimensions.
+func (pk *PublicKey) Dim() int { return len(pk.H) }
+
+// Dim returns the number of plaintext dimensions.
+func (sk *PrivateKey) Dim() int { return len(sk.X) }
+
+// Public derives the public key from the private key.
+func (sk *PrivateKey) Public() *PublicKey {
+	pk := &PublicKey{Group: sk.Group, H: make([]*big.Int, len(sk.X))}
+	for i, x := range sk.X {
+		pk.H[i] = new(big.Int).Exp(sk.Group.G, x, sk.Group.P)
+	}
+	return pk
+}
+
+// Encrypt encrypts the integer vector c (entries may be negative; they are
+// encoded as exponents mod q).
+func (pk *PublicKey) Encrypt(rng io.Reader, c []int64) (*Ciphertext, error) {
+	if len(c) != len(pk.H) {
+		return nil, ErrDimMismatch
+	}
+	g := pk.Group
+	r, err := g.randScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	ct := &Ciphertext{
+		Alpha: new(big.Int).Exp(g.G, r, g.P),
+		Betas: make([]*big.Int, len(c)),
+	}
+	for i, ci := range c {
+		hr := new(big.Int).Exp(pk.H[i], r, g.P)
+		gc := g.exp(g.G, big.NewInt(ci))
+		b := hr.Mul(hr, gc)
+		ct.Betas[i] = b.Mod(b, g.P)
+	}
+	return ct, nil
+}
+
+// Decrypt recovers the plaintext vector using the supplied discrete-log
+// solver; every entry must fall in (−dlog.Bound(), dlog.Bound()).
+func (sk *PrivateKey) Decrypt(ct *Ciphertext, dlog *DLog) ([]int64, error) {
+	if len(ct.Betas) != len(sk.X) {
+		return nil, ErrDimMismatch
+	}
+	out := make([]int64, len(ct.Betas))
+	for i := range ct.Betas {
+		v, err := sk.DecryptAt(ct, i, dlog)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// DecryptAt recovers the plaintext at a single dimension i: γ = β_i / α^{x_i}.
+func (sk *PrivateKey) DecryptAt(ct *Ciphertext, i int, dlog *DLog) (int64, error) {
+	if i < 0 || i >= len(sk.X) || i >= len(ct.Betas) {
+		return 0, ErrDimMismatch
+	}
+	g := sk.Group
+	ax := new(big.Int).Exp(ct.Alpha, sk.X[i], g.P)
+	axInv := ax.ModInverse(ax, g.P)
+	gamma := new(big.Int).Mul(ct.Betas[i], axInv)
+	gamma.Mod(gamma, g.P)
+	v, ok := dlog.LookupSigned(gamma)
+	if !ok {
+		return 0, ErrDLogRange
+	}
+	return v, nil
+}
+
+// Add homomorphically adds another ciphertext (component-wise multiply),
+// returning a fresh ciphertext. Both must be under the same public key;
+// the result decrypts to the sum of the plaintexts. This is the operation
+// the Aggregator uses in the centroid-update phase (paper Fig. 18).
+func (ct *Ciphertext) Add(group *Group, other *Ciphertext) (*Ciphertext, error) {
+	if len(ct.Betas) != len(other.Betas) {
+		return nil, ErrDimMismatch
+	}
+	sum := &Ciphertext{
+		Alpha: mulMod(ct.Alpha, other.Alpha, group.P),
+		Betas: make([]*big.Int, len(ct.Betas)),
+	}
+	for i := range ct.Betas {
+		sum.Betas[i] = mulMod(ct.Betas[i], other.Betas[i], group.P)
+	}
+	return sum, nil
+}
+
+// AddRange is Add restricted to dimensions [from, to): dimensions outside
+// the range are copied from ct unchanged. The Aggregator aggregates only
+// positions [3, t] of client points (the first two entries are the
+// artificially added Σa², 1 header and must not be summed — paper Fig. 18).
+func (ct *Ciphertext) AddRange(group *Group, other *Ciphertext, from, to int) (*Ciphertext, error) {
+	if len(ct.Betas) != len(other.Betas) || from < 0 || to > len(ct.Betas) || from > to {
+		return nil, ErrDimMismatch
+	}
+	sum := &Ciphertext{
+		Alpha: mulMod(ct.Alpha, other.Alpha, group.P),
+		Betas: make([]*big.Int, len(ct.Betas)),
+	}
+	for i := range ct.Betas {
+		if i >= from && i < to {
+			sum.Betas[i] = mulMod(ct.Betas[i], other.Betas[i], group.P)
+		} else {
+			sum.Betas[i] = new(big.Int).Set(ct.Betas[i])
+		}
+	}
+	return sum, nil
+}
+
+func mulMod(a, b, p *big.Int) *big.Int {
+	v := new(big.Int).Mul(a, b)
+	return v.Mod(v, p)
+}
+
+// DeriveFunctionKey computes the inner-product functional key
+// f = Σ x_i·s_i mod q for a (private) query vector s. The holder of f can
+// evaluate ⟨c, s⟩ on encryptions of c without learning c — this is how the
+// Coordinator lets the Aggregator compute client–centroid distances without
+// revealing the centroids (paper Fig. 17).
+func (sk *PrivateKey) DeriveFunctionKey(s []int64) (*big.Int, error) {
+	if len(s) != len(sk.X) {
+		return nil, ErrDimMismatch
+	}
+	f := new(big.Int)
+	for i, si := range s {
+		term := new(big.Int).Mul(sk.X[i], big.NewInt(si))
+		f.Add(f, term)
+	}
+	return f.Mod(f, sk.Group.Q), nil
+}
+
+// EvalDotProduct computes ⟨c, s⟩ from Enc(c), the query vector s and the
+// functional key f: γ = Π β_i^{s_i} / α^f, followed by discrete-log
+// recovery. Only the ciphertext, s and f are needed — not the secret keys.
+func EvalDotProduct(group *Group, ct *Ciphertext, s []int64, fkey *big.Int, dlog *DLog) (int64, error) {
+	gamma, err := EvalDotProductRaw(group, ct, s, fkey)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := dlog.LookupSigned(gamma)
+	if !ok {
+		return 0, ErrDLogRange
+	}
+	return v, nil
+}
+
+// EvalDotProductRaw computes γ = g^{⟨c,s⟩} = Π β_i^{s_i} / α^f without the
+// final discrete-log step. The privacy-preserving k-means splits the work
+// this way: the Coordinator (who knows s and f) produces γ and the
+// Aggregator recovers the distance with its own dlog table (paper Fig. 17).
+func EvalDotProductRaw(group *Group, ct *Ciphertext, s []int64, fkey *big.Int) (*big.Int, error) {
+	if len(s) != len(ct.Betas) {
+		return nil, ErrDimMismatch
+	}
+	prod := big.NewInt(1)
+	for i, si := range s {
+		if si == 0 {
+			continue
+		}
+		prod.Mul(prod, group.exp(ct.Betas[i], big.NewInt(si)))
+		prod.Mod(prod, group.P)
+	}
+	af := group.exp(ct.Alpha, fkey)
+	afInv := af.ModInverse(af, group.P)
+	gamma := prod.Mul(prod, afInv)
+	return gamma.Mod(gamma, group.P), nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment registry must run end to end at quick scale and produce
+// non-empty output for every table and figure. This is the smoke test
+// behind cmd/benchtab; the statistical shapes themselves are asserted in
+// internal/analysis and internal/perf.
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	r := NewRunner(Config{Seed: 2017})
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(r, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) != 19 {
+		t.Errorf("experiments = %d, want 19 (every table and figure)", len(seen))
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(NewRunner(Config{Seed: 1}), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"old", "new", "daily req"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 6 {
+		t.Errorf("table1 lines = %d, want header + 5 rows", got)
+	}
+}

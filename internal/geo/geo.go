@@ -1,0 +1,216 @@
+// Package geo provides the geolocation substrate of the Price $heriff.
+//
+// The live system resolved peer IPs to zip-code/city/country granularity
+// using a commercial geolocation service. Offline, this package supplies a
+// synthetic but internally consistent world: a fixed set of countries (the
+// paper observed users from 55), each with a currency, VAT rates, a few
+// cities, and dedicated IPv4 blocks. Lookup is a binary search over sorted
+// block ranges, the same access pattern as a real IP-to-location database.
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+)
+
+// Location is the geolocation result at the granularity the Coordinator
+// uses to group peers (paper Sect. 3.2: zip-code, city or country level).
+type Location struct {
+	Country string // ISO 3166-1 alpha-2 code
+	Region  string
+	City    string
+}
+
+// Country holds static metadata about one country in the synthetic world.
+type Country struct {
+	Code        string // ISO 3166-1 alpha-2
+	Name        string
+	Currency    string  // ISO 4217
+	VATStandard float64 // standard VAT / sales tax rate (fraction)
+	VATReduced  float64 // reduced rate (books, food, ...), fraction
+	EU          bool
+	Cities      []string
+}
+
+// World is the full synthetic geography: countries with metadata and IP
+// block allocations.
+type World struct {
+	countries map[string]*Country
+	order     []string // country codes in table order
+	blocks    []block  // sorted by start
+}
+
+type block struct {
+	start, end uint32 // inclusive range
+	loc        Location
+}
+
+// countryTable lists the 55 countries of the deployment. The first entries
+// match the paper's Table 2 (top countries by requests) and Table 4
+// (extreme countries); the rest fill out the 55-country footprint.
+var countryTable = []Country{
+	{"ES", "Spain", "EUR", 0.21, 0.10, true, []string{"Barcelona", "Madrid", "Valencia", "Sevilla"}},
+	{"FR", "France", "EUR", 0.20, 0.055, true, []string{"Paris", "Lyon", "Marseille"}},
+	{"US", "United States", "USD", 0.07, 0.00, false, []string{"Tennessee", "Massachusetts", "Washington", "New York", "California"}},
+	{"CH", "Switzerland", "CHF", 0.077, 0.025, false, []string{"Zurich", "Geneva", "Bern"}},
+	{"DE", "Germany", "EUR", 0.19, 0.07, true, []string{"Berlin", "Munich", "Hamburg"}},
+	{"BE", "Belgium", "EUR", 0.21, 0.06, true, []string{"Brussels", "Antwerp"}},
+	{"GB", "United Kingdom", "GBP", 0.20, 0.05, true, []string{"London", "Manchester", "Edinburgh"}},
+	{"NL", "Netherlands", "EUR", 0.21, 0.09, true, []string{"Amsterdam", "Rotterdam"}},
+	{"CY", "Cyprus", "EUR", 0.19, 0.05, true, []string{"Nicosia", "Limassol"}},
+	{"CA", "Canada", "CAD", 0.05, 0.00, false, []string{"British Columbia", "Ontario", "Quebec"}},
+	{"NZ", "New Zealand", "NZD", 0.15, 0.00, false, []string{"Dunedin", "Auckland"}},
+	{"PT", "Portugal", "EUR", 0.23, 0.06, true, []string{"Lisbon", "Porto"}},
+	{"IE", "Ireland", "EUR", 0.23, 0.09, true, []string{"Dublin", "Cork"}},
+	{"JP", "Japan", "JPY", 0.08, 0.08, false, []string{"Tokyo", "Hiroshima", "Osaka"}},
+	{"CZ", "Czech Republic", "CZK", 0.21, 0.15, true, []string{"Praha", "Brno"}},
+	{"KR", "Korea", "KRW", 0.10, 0.10, false, []string{"Seoul", "Busan"}},
+	{"HK", "Hong Kong", "HKD", 0.00, 0.00, false, []string{"Hong Kong"}},
+	{"BR", "Brazil", "BRL", 0.17, 0.07, false, []string{"Sao Paulo", "Rio de Janeiro"}},
+	{"AU", "Australia", "AUD", 0.10, 0.00, false, []string{"Sydney", "Melbourne"}},
+	{"SG", "Singapore", "SGD", 0.07, 0.00, false, []string{"Singapore"}},
+	{"TH", "Thailand", "THB", 0.07, 0.00, false, []string{"Bangkok", "Chiang Mai"}},
+	{"IL", "Israel", "ILS", 0.17, 0.00, false, []string{"Beer-Sheva", "Tel Aviv"}},
+	{"SE", "Sweden", "SEK", 0.25, 0.12, true, []string{"Scandinavia", "Stockholm"}},
+	{"IT", "Italy", "EUR", 0.22, 0.10, true, []string{"Rome", "Milan"}},
+	{"AT", "Austria", "EUR", 0.20, 0.10, true, []string{"Vienna", "Graz"}},
+	{"DK", "Denmark", "DKK", 0.25, 0.25, true, []string{"Copenhagen", "Aarhus"}},
+	{"NO", "Norway", "NOK", 0.25, 0.15, false, []string{"Oslo", "Bergen"}},
+	{"FI", "Finland", "EUR", 0.24, 0.14, true, []string{"Helsinki", "Tampere"}},
+	{"PL", "Poland", "PLN", 0.23, 0.08, true, []string{"Warsaw", "Krakow"}},
+	{"HU", "Hungary", "HUF", 0.27, 0.05, true, []string{"Budapest", "Debrecen"}},
+	{"GR", "Greece", "EUR", 0.24, 0.13, true, []string{"Athens", "Thessaloniki"}},
+	{"RO", "Romania", "RON", 0.19, 0.09, true, []string{"Bucharest", "Cluj"}},
+	{"BG", "Bulgaria", "BGN", 0.20, 0.09, true, []string{"Sofia", "Plovdiv"}},
+	{"MX", "Mexico", "MXN", 0.16, 0.00, false, []string{"Mexico City", "Guadalajara"}},
+	{"IN", "India", "INR", 0.18, 0.05, false, []string{"Mumbai", "Delhi"}},
+	{"CN", "China", "CNY", 0.13, 0.09, false, []string{"Beijing", "Shanghai"}},
+	{"RU", "Russia", "RUB", 0.20, 0.10, false, []string{"Moscow", "St Petersburg"}},
+	{"TR", "Turkey", "TRY", 0.18, 0.08, false, []string{"Istanbul", "Ankara"}},
+	{"ZA", "South Africa", "ZAR", 0.15, 0.00, false, []string{"Cape Town", "Johannesburg"}},
+	{"AE", "UAE", "AED", 0.05, 0.00, false, []string{"Dubai", "Abu Dhabi"}},
+	{"AR", "Argentina", "USD", 0.21, 0.105, false, []string{"Buenos Aires"}},
+	{"CL", "Chile", "USD", 0.19, 0.00, false, []string{"Santiago"}},
+	{"CO", "Colombia", "USD", 0.19, 0.05, false, []string{"Bogota"}},
+	{"PE", "Peru", "USD", 0.18, 0.00, false, []string{"Lima"}},
+	{"ID", "Indonesia", "USD", 0.10, 0.00, false, []string{"Jakarta"}},
+	{"MY", "Malaysia", "USD", 0.06, 0.00, false, []string{"Kuala Lumpur"}},
+	{"PH", "Philippines", "USD", 0.12, 0.00, false, []string{"Manila"}},
+	{"VN", "Vietnam", "USD", 0.10, 0.05, false, []string{"Hanoi"}},
+	{"TW", "Taiwan", "USD", 0.05, 0.00, false, []string{"Taipei"}},
+	{"UA", "Ukraine", "USD", 0.20, 0.07, false, []string{"Kyiv"}},
+	{"RS", "Serbia", "USD", 0.20, 0.10, false, []string{"Belgrade"}},
+	{"HR", "Croatia", "EUR", 0.25, 0.13, true, []string{"Zagreb"}},
+	{"SK", "Slovakia", "EUR", 0.20, 0.10, true, []string{"Bratislava"}},
+	{"SI", "Slovenia", "EUR", 0.22, 0.095, true, []string{"Ljubljana"}},
+	{"LU", "Luxembourg", "EUR", 0.17, 0.08, true, []string{"Luxembourg"}},
+}
+
+// NewWorld builds the synthetic world with deterministic IP allocations:
+// country i owns 11.(i+1).0.0/16, subdivided into equal city slices.
+func NewWorld() *World {
+	w := &World{countries: make(map[string]*Country)}
+	for i := range countryTable {
+		c := countryTable[i]
+		w.countries[c.Code] = &c
+		w.order = append(w.order, c.Code)
+
+		base := uint32(11)<<24 | uint32(i+1)<<16
+		per := uint32(0x10000) / uint32(len(c.Cities))
+		for j, city := range c.Cities {
+			start := base + uint32(j)*per
+			end := start + per - 1
+			if j == len(c.Cities)-1 {
+				end = base + 0xFFFF
+			}
+			w.blocks = append(w.blocks, block{
+				start: start,
+				end:   end,
+				loc:   Location{Country: c.Code, Region: city, City: city},
+			})
+		}
+	}
+	sort.Slice(w.blocks, func(a, b int) bool { return w.blocks[a].start < w.blocks[b].start })
+	return w
+}
+
+// Countries returns the country codes in stable table order.
+func (w *World) Countries() []string {
+	out := make([]string, len(w.order))
+	copy(out, w.order)
+	return out
+}
+
+// Country returns the metadata for a country code.
+func (w *World) Country(code string) (*Country, bool) {
+	c, ok := w.countries[code]
+	return c, ok
+}
+
+// MustCountry is Country for codes known to exist; it panics otherwise.
+func (w *World) MustCountry(code string) *Country {
+	c, ok := w.countries[code]
+	if !ok {
+		panic(fmt.Sprintf("geo: unknown country %q", code))
+	}
+	return c
+}
+
+// Lookup resolves an IP address to a Location.
+func (w *World) Lookup(ip net.IP) (Location, bool) {
+	v4 := ip.To4()
+	if v4 == nil {
+		return Location{}, false
+	}
+	key := uint32(v4[0])<<24 | uint32(v4[1])<<16 | uint32(v4[2])<<8 | uint32(v4[3])
+	i := sort.Search(len(w.blocks), func(i int) bool { return w.blocks[i].end >= key })
+	if i < len(w.blocks) && w.blocks[i].start <= key {
+		return w.blocks[i].loc, true
+	}
+	return Location{}, false
+}
+
+// LookupString resolves a dotted-quad IP string.
+func (w *World) LookupString(ip string) (Location, bool) {
+	parsed := net.ParseIP(ip)
+	if parsed == nil {
+		return Location{}, false
+	}
+	return w.Lookup(parsed)
+}
+
+// RandomIP draws an address from the given country's blocks, optionally
+// restricted to one city ("" for any). It reports false for unknown
+// country/city combinations.
+func (w *World) RandomIP(rng *rand.Rand, country, city string) (net.IP, bool) {
+	var candidates []block
+	for _, b := range w.blocks {
+		if b.loc.Country == country && (city == "" || b.loc.City == city) {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	b := candidates[rng.Intn(len(candidates))]
+	v := b.start + uint32(rng.Int63n(int64(b.end-b.start+1)))
+	return net.IPv4(byte(v>>24), byte(v>>16), byte(v>>8), byte(v)), true
+}
+
+// VAT returns the VAT rate for a product category in a country. Categories
+// on the reduced list (books, food) get the reduced rate; everything else
+// the standard rate.
+func (w *World) VAT(country, category string) float64 {
+	c, ok := w.countries[country]
+	if !ok {
+		return 0
+	}
+	switch category {
+	case "books", "food", "textbooks":
+		return c.VATReduced
+	default:
+		return c.VATStandard
+	}
+}

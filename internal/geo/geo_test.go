@@ -1,0 +1,159 @@
+package geo
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldHas55Countries(t *testing.T) {
+	w := NewWorld()
+	if got := len(w.Countries()); got != 55 {
+		t.Errorf("countries = %d, want 55 (paper Sect. 6.1)", got)
+	}
+}
+
+func TestCountryMetadata(t *testing.T) {
+	w := NewWorld()
+	es := w.MustCountry("ES")
+	if es.Currency != "EUR" || es.VATStandard != 0.21 || !es.EU {
+		t.Errorf("ES metadata wrong: %+v", es)
+	}
+	us := w.MustCountry("US")
+	if us.Currency != "USD" || us.EU {
+		t.Errorf("US metadata wrong: %+v", us)
+	}
+	if _, ok := w.Country("XX"); ok {
+		t.Error("unknown country should not resolve")
+	}
+}
+
+func TestMustCountryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCountry(XX) did not panic")
+		}
+	}()
+	NewWorld().MustCountry("XX")
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	w := NewWorld()
+	rng := rand.New(rand.NewSource(1))
+	for _, code := range w.Countries() {
+		ip, ok := w.RandomIP(rng, code, "")
+		if !ok {
+			t.Fatalf("no IP for %s", code)
+		}
+		loc, ok := w.Lookup(ip)
+		if !ok {
+			t.Fatalf("lookup failed for %s (%s)", ip, code)
+		}
+		if loc.Country != code {
+			t.Errorf("Lookup(%s) = %s, want %s", ip, loc.Country, code)
+		}
+	}
+}
+
+func TestLookupCityGranularity(t *testing.T) {
+	w := NewWorld()
+	rng := rand.New(rand.NewSource(2))
+	ip, ok := w.RandomIP(rng, "ES", "Barcelona")
+	if !ok {
+		t.Fatal("no Barcelona IP")
+	}
+	loc, ok := w.Lookup(ip)
+	if !ok || loc.City != "Barcelona" || loc.Country != "ES" {
+		t.Errorf("Lookup = %+v", loc)
+	}
+	if _, ok := w.RandomIP(rng, "ES", "Atlantis"); ok {
+		t.Error("unknown city should not allocate")
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	w := NewWorld()
+	if _, ok := w.LookupString("8.8.8.8"); ok {
+		t.Error("address outside synthetic space should miss")
+	}
+	if _, ok := w.LookupString("not-an-ip"); ok {
+		t.Error("garbage should miss")
+	}
+	if _, ok := w.Lookup(net.ParseIP("2001:db8::1")); ok {
+		t.Error("IPv6 should miss")
+	}
+}
+
+func TestVATRates(t *testing.T) {
+	w := NewWorld()
+	if got := w.VAT("ES", "electronics"); got != 0.21 {
+		t.Errorf("ES electronics VAT = %v", got)
+	}
+	if got := w.VAT("ES", "books"); got != 0.10 {
+		t.Errorf("ES books VAT = %v", got)
+	}
+	if got := w.VAT("DE", "textbooks"); got != 0.07 {
+		t.Errorf("DE textbooks VAT = %v", got)
+	}
+	if got := w.VAT("XX", "electronics"); got != 0 {
+		t.Errorf("unknown country VAT = %v", got)
+	}
+}
+
+// Property: every IP drawn for a country resolves back to that country and
+// to a city that belongs to it.
+func TestRandomIPLookupProperty(t *testing.T) {
+	w := NewWorld()
+	codes := w.Countries()
+	rng := rand.New(rand.NewSource(3))
+	f := func(pick uint, seed int64) bool {
+		code := codes[pick%uint(len(codes))]
+		ip, ok := w.RandomIP(rng, code, "")
+		if !ok {
+			return false
+		}
+		loc, ok := w.Lookup(ip)
+		if !ok || loc.Country != code {
+			return false
+		}
+		c := w.MustCountry(code)
+		for _, city := range c.Cities {
+			if city == loc.City {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: blocks never overlap — any IP resolves to at most one location,
+// so two different countries can never claim the same address.
+func TestBlockDisjointnessProperty(t *testing.T) {
+	w := NewWorld()
+	for i := 1; i < len(w.blocks); i++ {
+		if w.blocks[i-1].end >= w.blocks[i].start {
+			t.Fatalf("blocks %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	w := NewWorld()
+	rng := rand.New(rand.NewSource(4))
+	ips := make([]net.IP, 1024)
+	codes := w.Countries()
+	for i := range ips {
+		ips[i], _ = w.RandomIP(rng, codes[i%len(codes)], "")
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Lookup(ips[i%len(ips)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

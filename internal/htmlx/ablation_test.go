@@ -1,0 +1,137 @@
+package htmlx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The Tags Path resolves in three tiers (exact walk → class-relaxed walk →
+// fingerprint scan). This ablation measures each tier's locate success
+// rate over pages that mutate the way real product pages mutate between
+// fetches — rotating ads, shifted siblings, restructured layouts — which
+// is the design-choice evidence behind the tiered resolution.
+
+// mutatePage returns a page variant of one of three severities.
+func mutatePage(rng *rand.Rand, severity int) string {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	b.WriteString(`<div class="header">logo</div>`)
+	if severity >= 1 && rng.Intn(2) == 0 {
+		b.WriteString(`<div class="banner">sale!</div>`)
+	}
+	if severity >= 1 && rng.Intn(3) == 0 {
+		b.WriteString(`<div class="promo">free shipping</div>`)
+	}
+	if severity < 2 {
+		b.WriteString(`<div class="product"><h1>Camera</h1><span class="price">EUR654</span></div>`)
+	} else {
+		// Restructured: the price block moves inside a table.
+		b.WriteString(`<table><tr><td><span class="price">EUR654</span></td></tr></table>`)
+	}
+	b.WriteString(`<div class="recommendations"><div class="rec"><span class="price">EUR9</span></div></div>`)
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+// locateTier resolves the path with only the given tiers enabled.
+func locateTier(p TagsPath, doc *Node, exactOnly, noFingerprint bool) (*Node, bool) {
+	if n := p.walk(doc, true); n != nil {
+		return n, true
+	}
+	if exactOnly {
+		return nil, false
+	}
+	if n := p.walk(doc, false); n != nil {
+		return n, true
+	}
+	if noFingerprint {
+		return nil, false
+	}
+	last := p.Steps[len(p.Steps)-1]
+	n := doc.Find(func(d *Node) bool {
+		return d.Tag == last.Tag && d.Class() == last.Class && d.ID() == last.ID
+	})
+	return n, n != nil
+}
+
+func TestTagsPathTierAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := Parse(mutatePage(rand.New(rand.NewSource(99)), 0))
+	price := base.FindByClass("product")[0].FindByClass("price")[0]
+	path, err := BuildTagsPath(price)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trials := 400
+	rates := map[string]int{}
+	correct := map[string]int{}
+	for i := 0; i < trials; i++ {
+		severity := i % 3
+		doc := Parse(mutatePage(rng, severity))
+		for tier, cfg := range map[string][2]bool{
+			"exact-only":    {true, true},
+			"exact+relaxed": {false, true},
+			"all-tiers":     {false, false},
+		} {
+			n, ok := locateTier(path, doc, cfg[0], cfg[1])
+			if !ok {
+				continue
+			}
+			rates[tier]++
+			if strings.Contains(n.InnerText(), "654") {
+				correct[tier]++
+			}
+		}
+	}
+
+	// Monotone coverage: each added tier locates at least as often.
+	if !(rates["exact-only"] <= rates["exact+relaxed"] && rates["exact+relaxed"] <= rates["all-tiers"]) {
+		t.Errorf("tier coverage not monotone: %v", rates)
+	}
+	// The fingerprint tier is what rescues restructured pages: full
+	// resolution must beat the exact walk by a wide margin.
+	if rates["all-tiers"] < trials*95/100 {
+		t.Errorf("full resolution located %d/%d", rates["all-tiers"], trials)
+	}
+	if rates["exact-only"] > trials*80/100 {
+		t.Errorf("exact-only located %d/%d — mutations too tame for the ablation", rates["exact-only"], trials)
+	}
+	// Whatever is located must be the right element, at every tier.
+	for tier, n := range rates {
+		if correct[tier] != n {
+			t.Errorf("%s located %d but only %d were the true price", tier, n, correct[tier])
+		}
+	}
+}
+
+func BenchmarkAblationTagsPathTiers(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	base := Parse(mutatePage(rand.New(rand.NewSource(99)), 0))
+	price := base.FindByClass("product")[0].FindByClass("price")[0]
+	path, _ := BuildTagsPath(price)
+	docs := make([]*Node, 60)
+	for i := range docs {
+		docs[i] = Parse(mutatePage(rng, i%3))
+	}
+	for _, tier := range []struct {
+		name          string
+		exactOnly     bool
+		noFingerprint bool
+	}{
+		{"exact-only", true, true},
+		{"exact+relaxed", false, true},
+		{"all-tiers", false, false},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			located := 0
+			for i := 0; i < b.N; i++ {
+				if _, ok := locateTier(path, docs[i%len(docs)], tier.exactOnly, tier.noFingerprint); ok {
+					located++
+				}
+			}
+			b.ReportMetric(float64(located)/float64(b.N), "located/op")
+		})
+	}
+}

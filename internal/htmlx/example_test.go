@@ -1,0 +1,46 @@
+package htmlx_test
+
+import (
+	"fmt"
+
+	"pricesheriff/internal/htmlx"
+)
+
+func ExampleBuildTagsPath() {
+	page := `<html><body><div class="product"><span class="price">$10.00</span></div></body></html>`
+	doc := htmlx.Parse(page)
+	price := doc.FindByClass("price")[0]
+
+	path, _ := htmlx.BuildTagsPath(price)
+	fmt.Println(path)
+
+	// The same path locates the price in a copy fetched elsewhere, even
+	// though the amount differs.
+	other := htmlx.Parse(`<html><body><div class="ad">sale!</div><div class="product"><span class="price">EUR9.10</span></div></body></html>`)
+	node, _ := path.Locate(other)
+	fmt.Println(node.InnerText())
+	// Output:
+	// Bottom, </html>, </body>, </div>, <span class="price">
+	// EUR9.10
+}
+
+func ExampleParse() {
+	doc := htmlx.Parse(`<ul><li>alpha<li>beta</ul>`)
+	for _, li := range doc.FindByTag("li") {
+		fmt.Println(li.InnerText())
+	}
+	// Output:
+	// alpha
+	// beta
+}
+
+func ExampleNode_Query() {
+	doc := htmlx.Parse(`<div class="product"><span class="price">EUR10</span></div><div class="rec"><span class="price">EUR99</span></div>`)
+	for _, n := range doc.Query("div.product span.price") {
+		fmt.Println(n.InnerText())
+	}
+	fmt.Println(len(doc.Query("span.price")))
+	// Output:
+	// EUR10
+	// 2
+}

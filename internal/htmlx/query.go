@@ -1,0 +1,124 @@
+package htmlx
+
+import "strings"
+
+// Query returns the elements matching a minimal CSS-like selector:
+// space-separated descendant steps, each of the form
+//
+//	tag, .class, #id, tag.class, tag#id
+//
+// Examples: "div.product span.price", "#main", "span". Unsupported syntax
+// matches nothing. Results are in document order, deduplicated.
+func (n *Node) Query(selector string) []*Node {
+	steps := strings.Fields(selector)
+	if len(steps) == 0 {
+		return nil
+	}
+	current := []*Node{n}
+	for _, raw := range steps {
+		step, ok := parseSelectorStep(raw)
+		if !ok {
+			return nil
+		}
+		seen := make(map[*Node]bool)
+		var next []*Node
+		for _, root := range current {
+			for _, m := range root.FindAll(step.matches) {
+				if m == root || seen[m] {
+					continue
+				}
+				seen[m] = true
+				next = append(next, m)
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+// QueryOne returns the first match, or nil.
+func (n *Node) QueryOne(selector string) *Node {
+	matches := n.Query(selector)
+	if len(matches) == 0 {
+		return nil
+	}
+	return matches[0]
+}
+
+type selectorStep struct {
+	tag   string
+	class string
+	id    string
+}
+
+func (s selectorStep) matches(n *Node) bool {
+	if s.tag != "" && n.Tag != s.tag {
+		return false
+	}
+	if s.id != "" && n.ID() != s.id {
+		return false
+	}
+	if s.class != "" {
+		found := false
+		for _, c := range strings.Fields(n.Class()) {
+			if c == s.class {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func parseSelectorStep(raw string) (selectorStep, bool) {
+	var s selectorStep
+	rest := raw
+	// Leading tag name (up to '.' or '#').
+	cut := strings.IndexAny(rest, ".#")
+	if cut == -1 {
+		s.tag = rest
+		rest = ""
+	} else {
+		s.tag = rest[:cut]
+		rest = rest[cut:]
+	}
+	for rest != "" {
+		kind := rest[0]
+		rest = rest[1:]
+		end := strings.IndexAny(rest, ".#")
+		var val string
+		if end == -1 {
+			val, rest = rest, ""
+		} else {
+			val, rest = rest[:end], rest[end:]
+		}
+		if val == "" {
+			return selectorStep{}, false
+		}
+		switch kind {
+		case '.':
+			if s.class != "" {
+				return selectorStep{}, false // one class per step
+			}
+			s.class = val
+		case '#':
+			if s.id != "" {
+				return selectorStep{}, false
+			}
+			s.id = val
+		}
+	}
+	if s.tag == "" && s.class == "" && s.id == "" {
+		return selectorStep{}, false
+	}
+	if s.tag != "" && !validTagName(s.tag) {
+		return selectorStep{}, false
+	}
+	return s, true
+}

@@ -1,0 +1,70 @@
+package htmlx
+
+import "testing"
+
+const queryPage = `<html><body>
+<div id="main" class="content wrap">
+  <div class="product"><span class="price">EUR10</span><span class="label">a</span></div>
+  <div class="product sale"><span class="price">EUR20</span></div>
+</div>
+<div class="recommendations"><div class="rec"><span class="price">EUR30</span></div></div>
+</body></html>`
+
+func TestQuerySelectors(t *testing.T) {
+	doc := Parse(queryPage)
+	cases := []struct {
+		sel   string
+		want  int
+		first string // InnerText of the first match ("" to skip)
+	}{
+		{"span.price", 3, "EUR10"},
+		{"div.product span.price", 2, "EUR10"},
+		{"div.sale span.price", 1, "EUR20"},
+		{"div.recommendations span.price", 1, "EUR30"},
+		{"#main", 1, ""},
+		{"#main .price", 2, "EUR10"},
+		{"div#main", 1, ""},
+		{".wrap", 1, ""},
+		{"span.label", 1, "a"},
+		{"table", 0, ""},
+		{"div.product div.product", 0, ""},
+	}
+	for _, c := range cases {
+		got := doc.Query(c.sel)
+		if len(got) != c.want {
+			t.Errorf("Query(%q) = %d matches, want %d", c.sel, len(got), c.want)
+			continue
+		}
+		if c.first != "" && len(got) > 0 && got[0].InnerText() != c.first {
+			t.Errorf("Query(%q) first = %q, want %q", c.sel, got[0].InnerText(), c.first)
+		}
+	}
+}
+
+func TestQueryOne(t *testing.T) {
+	doc := Parse(queryPage)
+	if n := doc.QueryOne("div.product span.price"); n == nil || n.InnerText() != "EUR10" {
+		t.Errorf("QueryOne = %v", n)
+	}
+	if n := doc.QueryOne("table"); n != nil {
+		t.Error("QueryOne should be nil for no match")
+	}
+}
+
+func TestQueryInvalidSelectors(t *testing.T) {
+	doc := Parse(queryPage)
+	for _, sel := range []string{"", ".", "#", "div..x", "div.a.b", "#a#b", "DIV", "1abc"} {
+		if got := doc.Query(sel); got != nil {
+			t.Errorf("Query(%q) = %d matches, want none", sel, len(got))
+		}
+	}
+}
+
+func TestQueryNoDuplicates(t *testing.T) {
+	// Nested matching roots must not yield the same element twice.
+	doc := Parse(`<div class="a"><div class="a"><span class="x">1</span></div></div>`)
+	got := doc.Query("div.a span.x")
+	if len(got) != 1 {
+		t.Errorf("matches = %d, want 1 (deduplicated)", len(got))
+	}
+}

@@ -1,0 +1,153 @@
+package htmlx
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Step is one hop of a Tags Path: which element to descend into from the
+// current node. Index counts only element children with the same tag name,
+// so the path survives text-node and comment churn between page fetches.
+type Step struct {
+	Tag   string `json:"tag"`
+	Index int    `json:"index"`           // index among same-tag element children
+	Class string `json:"class,omitempty"` // class attribute at build time
+	ID    string `json:"id,omitempty"`    // id attribute at build time
+}
+
+// TagsPath locates the HTML element holding a product price inside a copy
+// of the page fetched from a different vantage point (paper Sect. 3.3 and
+// Fig. 4). It is built once by the initiating browser add-on and shipped to
+// the Measurement server with the price check request.
+type TagsPath struct {
+	Steps []Step `json:"steps"`
+}
+
+// ErrNotLocated is returned by Locate when no candidate element can be
+// found in the target document.
+var ErrNotLocated = errors.New("htmlx: tags path does not locate an element")
+
+// BuildTagsPath constructs the path from the document root down to target.
+// target must be an element node inside a tree produced by Parse.
+func BuildTagsPath(target *Node) (TagsPath, error) {
+	if target == nil || target.Type != ElementNode {
+		return TagsPath{}, errors.New("htmlx: tags path target must be an element")
+	}
+	// Walk upwards collecting steps, exactly like the add-on's bottom-up
+	// construction, then reverse into root-down order.
+	var rev []Step
+	for n := target; n != nil && n.Type == ElementNode; n = n.Parent {
+		step := Step{Tag: n.Tag, Class: n.Class(), ID: n.ID()}
+		if p := n.Parent; p != nil {
+			idx := 0
+			for _, sib := range p.Children {
+				if sib == n {
+					break
+				}
+				if sib.Type == ElementNode && sib.Tag == n.Tag {
+					idx++
+				}
+			}
+			step.Index = idx
+		}
+		rev = append(rev, step)
+	}
+	steps := make([]Step, len(rev))
+	for i, s := range rev {
+		steps[len(rev)-1-i] = s
+	}
+	return TagsPath{Steps: steps}, nil
+}
+
+// Locate finds the element addressed by the path in doc.
+//
+// Resolution is attempted in three tiers, because pages fetched from other
+// proxies differ (ads, localized banners, per-user recommendations):
+//
+//  1. exact walk: tag + same-tag child index at every step;
+//  2. relaxed walk: tag + class match when the exact index is missing;
+//  3. fingerprint scan: any element in the document whose tag, class and id
+//     equal the final step's.
+func (p TagsPath) Locate(doc *Node) (*Node, error) {
+	if len(p.Steps) == 0 {
+		return nil, ErrNotLocated
+	}
+	if n := p.walk(doc, true); n != nil {
+		return n, nil
+	}
+	if n := p.walk(doc, false); n != nil {
+		return n, nil
+	}
+	last := p.Steps[len(p.Steps)-1]
+	found := doc.Find(func(d *Node) bool {
+		return d.Tag == last.Tag && d.Class() == last.Class && d.ID() == last.ID
+	})
+	if found != nil {
+		return found, nil
+	}
+	return nil, ErrNotLocated
+}
+
+func (p TagsPath) walk(doc *Node, exact bool) *Node {
+	cur := doc
+	for _, step := range p.Steps {
+		next := childByStep(cur, step, exact)
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+func childByStep(parent *Node, step Step, exact bool) *Node {
+	idx := 0
+	var classMatch *Node
+	for _, c := range parent.Children {
+		if c.Type != ElementNode || c.Tag != step.Tag {
+			continue
+		}
+		// The class recorded at build time must agree in both modes: a
+		// same-tag sibling at the right index with a different class is a
+		// different element (ads and promos shift positions between
+		// fetches).
+		if idx == step.Index && c.Class() == step.Class {
+			return c
+		}
+		if !exact && classMatch == nil && c.Class() == step.Class {
+			classMatch = c
+		}
+		idx++
+	}
+	if exact {
+		return nil
+	}
+	return classMatch
+}
+
+// String renders the path in the paper's display notation:
+// "Bottom, </html>, </body>, </div>, <span class="price">".
+func (p TagsPath) String() string {
+	var b strings.Builder
+	b.WriteString("Bottom")
+	for i, s := range p.Steps {
+		b.WriteString(", ")
+		if i == len(p.Steps)-1 {
+			b.WriteByte('<')
+			b.WriteString(s.Tag)
+			if s.Class != "" {
+				fmt.Fprintf(&b, " class=%q", s.Class)
+			}
+			b.WriteByte('>')
+		} else {
+			b.WriteString("</")
+			b.WriteString(s.Tag)
+			b.WriteByte('>')
+		}
+	}
+	return b.String()
+}
+
+// Depth returns the number of steps in the path.
+func (p TagsPath) Depth() int { return len(p.Steps) }

@@ -1,0 +1,133 @@
+// Package measurement implements the Price $heriff's Measurement server
+// (paper Sects. 3.2, 3.5 and 10.5): it receives a price-check job from the
+// browser add-on, fans the product-page fetch out to every Infrastructure
+// Proxy Client and to the Peer Proxy Clients near the initiator, locates
+// the price in each returned copy with the Tags Path, detects and converts
+// currencies, stores everything in the Database server (full HTML for the
+// initiator's copy, line diffs for the rest — the DiffStorage module), and
+// serves incremental results to the polling add-on.
+package measurement
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Diff encodes other relative to base as a compact line-based edit script
+// (the DiffStorage module of Sect. 10.5: the initiator's page is stored in
+// full; every proxy copy is stored as its difference). The script is a
+// sequence of ops:
+//
+//	=N   copy the next N lines of base
+//	-N   skip the next N lines of base
+//	+txt append the literal line txt
+//
+// Apply(base, Diff(base, other)) == other for all inputs.
+func Diff(base, other string) []string {
+	a := strings.Split(base, "\n")
+	b := strings.Split(other, "\n")
+	// LCS table; product pages are a few hundred lines, so O(n·m) is fine.
+	n, m := len(a), len(b)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var script []string
+	flushCopy := func(k int) {
+		if k > 0 {
+			script = append(script, "="+strconv.Itoa(k))
+		}
+	}
+	flushSkip := func(k int) {
+		if k > 0 {
+			script = append(script, "-"+strconv.Itoa(k))
+		}
+	}
+	i, j := 0, 0
+	copyRun, skipRun := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			flushSkip(skipRun)
+			skipRun = 0
+			copyRun++
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			flushCopy(copyRun)
+			copyRun = 0
+			skipRun++
+			i++
+		default:
+			flushCopy(copyRun)
+			copyRun = 0
+			flushSkip(skipRun)
+			skipRun = 0
+			script = append(script, "+"+b[j])
+			j++
+		}
+	}
+	flushCopy(copyRun)
+	flushSkip(skipRun)
+	if i < n {
+		script = append(script, "-"+strconv.Itoa(n-i))
+	}
+	for ; j < m; j++ {
+		script = append(script, "+"+b[j])
+	}
+	return script
+}
+
+// Apply reconstructs the other document from base and a Diff script.
+func Apply(base string, script []string) (string, error) {
+	a := strings.Split(base, "\n")
+	var out []string
+	pos := 0
+	for _, op := range script {
+		if op == "" {
+			return "", fmt.Errorf("measurement: empty diff op")
+		}
+		switch op[0] {
+		case '=':
+			k, err := strconv.Atoi(op[1:])
+			if err != nil || pos+k > len(a) {
+				return "", fmt.Errorf("measurement: bad copy op %q", op)
+			}
+			out = append(out, a[pos:pos+k]...)
+			pos += k
+		case '-':
+			k, err := strconv.Atoi(op[1:])
+			if err != nil || pos+k > len(a) {
+				return "", fmt.Errorf("measurement: bad skip op %q", op)
+			}
+			pos += k
+		case '+':
+			out = append(out, op[1:])
+		default:
+			return "", fmt.Errorf("measurement: unknown diff op %q", op)
+		}
+	}
+	return strings.Join(out, "\n"), nil
+}
+
+// DiffSize returns the byte size of an edit script — what the DiffStorage
+// module saves compared to storing the full page.
+func DiffSize(script []string) int {
+	total := 0
+	for _, op := range script {
+		total += len(op) + 1
+	}
+	return total
+}

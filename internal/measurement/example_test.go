@@ -1,0 +1,21 @@
+package measurement_test
+
+import (
+	"fmt"
+
+	"pricesheriff/internal/measurement"
+)
+
+func ExampleDiff() {
+	base := "<html>\n<span class=\"price\">EUR654</span>\n</html>"
+	other := "<html>\n<span class=\"price\">$699</span>\n</html>"
+
+	script := measurement.Diff(base, other)
+	fmt.Println(script)
+
+	page, _ := measurement.Apply(base, script)
+	fmt.Println(page == other)
+	// Output:
+	// [=1 -1 +<span class="price">$699</span> =1]
+	// true
+}

@@ -1,0 +1,44 @@
+package measurement
+
+import (
+	"testing"
+)
+
+// FuzzDiffApply: the DiffStorage invariant Apply(base, Diff(base, other))
+// == other must hold for arbitrary documents, and Apply must reject any
+// script it did not produce without panicking.
+func FuzzDiffApply(f *testing.F) {
+	f.Add("a\nb\nc", "a\nX\nc")
+	f.Add("", "")
+	f.Add("single", "single\nmore")
+	f.Add("<html>\n<body>\n</html>", "<html>\n<div>\n</html>")
+	f.Fuzz(func(t *testing.T, base, other string) {
+		script := Diff(base, other)
+		got, err := Apply(base, script)
+		if err != nil {
+			t.Fatalf("apply own diff: %v", err)
+		}
+		if got != other {
+			t.Fatalf("round trip mismatch: %q -> %q", other, got)
+		}
+	})
+}
+
+// FuzzApplyGarbage: arbitrary scripts must error or succeed cleanly, never
+// panic or read out of bounds.
+func FuzzApplyGarbage(f *testing.F) {
+	f.Add("a\nb\nc", "=2\n-1\n+x")
+	f.Add("base", "=999")
+	f.Add("", "?")
+	f.Fuzz(func(t *testing.T, base, rawScript string) {
+		var script []string
+		start := 0
+		for i := 0; i <= len(rawScript); i++ {
+			if i == len(rawScript) || rawScript[i] == '\n' {
+				script = append(script, rawScript[start:i])
+				start = i + 1
+			}
+		}
+		Apply(base, script) // must not panic
+	})
+}

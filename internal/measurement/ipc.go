@@ -1,0 +1,70 @@
+package measurement
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/shop"
+)
+
+// IPC is one Infrastructure Proxy Client: a dedicated vantage point with a
+// cleanly installed browser that keeps no history or cookies between
+// fetches (paper Sect. 1). The deployed system ran 30 of them on
+// PlanetLab; here each IPC holds an address inside its assigned country.
+type IPC struct {
+	ID      string
+	IP      string
+	Country string
+	City    string
+
+	Fetcher shop.Fetcher
+}
+
+var ipcNonce atomic.Uint64
+
+// Fetch downloads a product page with completely clean client-side state.
+func (c *IPC) Fetch(url string, day float64) (*shop.FetchResponse, error) {
+	return c.Fetcher.Fetch(&shop.FetchRequest{
+		URL:       url,
+		IP:        c.IP,
+		UserAgent: "sheriff-ipc/1.0",
+		Day:       day,
+		Nonce:     ipcNonce.Add(1),
+	})
+}
+
+// DefaultIPCCountries is the country placement of the 30-node fleet: major
+// markets first, mirroring the deployment's coverage (3 in Spain, the
+// paper's best-covered country).
+var DefaultIPCCountries = []string{
+	"ES", "ES", "ES", "US", "US", "US", "GB", "DE", "FR", "CA",
+	"CA", "JP", "JP", "IT", "NL", "SE", "CH", "BE", "PT", "IE",
+	"CZ", "KR", "NZ", "AU", "BR", "SG", "HK", "IL", "TH", "CY",
+}
+
+// NewIPCFleet allocates IPCs in the given countries (one per entry) with
+// deterministic addresses drawn from the world's blocks.
+func NewIPCFleet(world *geo.World, fetcher shop.Fetcher, countries []string, seed int64) ([]*IPC, error) {
+	if len(countries) == 0 {
+		countries = DefaultIPCCountries
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fleet := make([]*IPC, 0, len(countries))
+	for i, country := range countries {
+		ip, ok := world.RandomIP(rng, country, "")
+		if !ok {
+			return nil, fmt.Errorf("measurement: no address space for IPC country %q", country)
+		}
+		loc, _ := world.Lookup(ip)
+		fleet = append(fleet, &IPC{
+			ID:      fmt.Sprintf("ipc-%02d-%s", i, country),
+			IP:      ip.String(),
+			Country: country,
+			City:    loc.City,
+			Fetcher: fetcher,
+		})
+	}
+	return fleet, nil
+}

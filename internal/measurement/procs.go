@@ -1,0 +1,135 @@
+package measurement
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pricesheriff/internal/store"
+)
+
+// RegisterStandardProcs installs the Database server's stored procedures —
+// the Sect. 10.2.1 optimization of moving hot queries server-side so
+// measurement servers avoid shipping whole tables over the wire.
+func RegisterStandardProcs(db *store.DB) {
+	db.RegisterProc("responses_by_domain", procResponsesByDomain)
+	db.RegisterProc("price_spread", procPriceSpread)
+	db.RegisterProc("scrub_pii", procScrubPII)
+}
+
+// procResponsesByDomain counts stored responses per domain.
+func procResponsesByDomain(db *store.DB, _ json.RawMessage) (any, error) {
+	rows, err := db.Select(store.Query{Table: "responses"})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for _, r := range rows {
+		if d, ok := r["domain"].(string); ok {
+			out[d]++
+		}
+	}
+	return out, nil
+}
+
+// SpreadResult is the price_spread procedure's answer.
+type SpreadResult struct {
+	JobID     string  `json:"job_id"`
+	Responses int     `json:"responses"`
+	MinEUR    float64 `json:"min_eur"`
+	MaxEUR    float64 `json:"max_eur"`
+}
+
+// procPriceSpread computes the min/max converted price of one job without
+// shipping its rows to the client.
+func procPriceSpread(db *store.DB, args json.RawMessage) (any, error) {
+	var jobID string
+	if err := json.Unmarshal(args, &jobID); err != nil {
+		return nil, fmt.Errorf("measurement: price_spread wants a job id: %w", err)
+	}
+	rows, err := db.Select(store.Query{Table: "responses", Eq: map[string]any{"job_id": jobID}})
+	if err != nil {
+		return nil, err
+	}
+	res := SpreadResult{JobID: jobID}
+	for _, r := range rows {
+		v, ok := r["converted"].(float64)
+		if !ok || v <= 0 {
+			continue
+		}
+		if res.Responses == 0 || v < res.MinEUR {
+			res.MinEUR = v
+		}
+		if v > res.MaxEUR {
+			res.MaxEUR = v
+		}
+		res.Responses++
+	}
+	return res, nil
+}
+
+// ScrubReport summarizes a PII scrub pass.
+type ScrubReport struct {
+	RequestsDeleted  int `json:"requests_deleted"`
+	ResponsesDeleted int `json:"responses_deleted"`
+}
+
+// procScrubPII implements the Sect. 2.3 periodic review: delete every
+// stored request and response whose URL matches any of the given patterns
+// ("in case this happens, we will immediately delete the pertinent
+// information"). Matching is case-insensitive substring.
+func procScrubPII(db *store.DB, args json.RawMessage) (any, error) {
+	var patterns []string
+	if err := json.Unmarshal(args, &patterns); err != nil {
+		return nil, fmt.Errorf("measurement: scrub_pii wants a pattern list: %w", err)
+	}
+	for i := range patterns {
+		patterns[i] = strings.ToLower(patterns[i])
+	}
+	matches := func(url string) bool {
+		lower := strings.ToLower(url)
+		for _, p := range patterns {
+			if p != "" && strings.Contains(lower, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var report ScrubReport
+	reqRows, err := db.Select(store.Query{Table: "requests"})
+	if err != nil {
+		return nil, err
+	}
+	tainted := make(map[string]bool)
+	for _, r := range reqRows {
+		url, _ := r["url"].(string)
+		if !matches(url) {
+			continue
+		}
+		if jobID, ok := r["job_id"].(string); ok {
+			tainted[jobID] = true
+		}
+		if id, ok := r[store.ID].(float64); ok {
+			if err := db.Delete("requests", int64(id)); err == nil {
+				report.RequestsDeleted++
+			}
+		}
+	}
+	respRows, err := db.Select(store.Query{Table: "responses"})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range respRows {
+		jobID, _ := r["job_id"].(string)
+		if !tainted[jobID] {
+			continue
+		}
+		if id, ok := r[store.ID].(float64); ok {
+			if err := db.Delete("responses", int64(id)); err == nil {
+				report.ResponsesDeleted++
+			}
+		}
+	}
+	return report, nil
+}

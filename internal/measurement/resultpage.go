@@ -1,0 +1,57 @@
+package measurement
+
+import (
+	"fmt"
+	"strings"
+
+	"pricesheriff/internal/currency"
+)
+
+// RenderResultHTML produces the add-on's result page (paper Fig. 2) as an
+// HTML document: one row per vantage point with the converted value, the
+// original text, and a red asterisk when currency detection confidence is
+// low, plus the footer note explaining the asterisk.
+func RenderResultHTML(jobID, url, curr string, rows []ResultRow) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>Price check ")
+	b.WriteString(escape(jobID))
+	b.WriteString("</title></head><body>\n")
+	fmt.Fprintf(&b, "<h1>Price check for <a href=%q>%s</a></h1>\n", escape(url), escape(url))
+	b.WriteString(`<table class="results">` + "\n")
+	b.WriteString("<tr><th>Variant</th><th>Converted Value</th><th>Original Text</th></tr>\n")
+	lowSeen := false
+	for _, row := range rows {
+		name := row.Source
+		if row.Kind == "ipc" || row.Kind == "ppc" {
+			name = row.Country + ", " + row.City
+			if row.Kind == "ppc" {
+				name = "peer " + name
+			}
+		}
+		if row.Err != "" {
+			fmt.Fprintf(&b, `<tr class="error"><td>%s</td><td>-</td><td>%s</td></tr>`+"\n",
+				escape(name), escape(row.Err))
+			continue
+		}
+		mark := ""
+		if row.Confidence == "low" {
+			mark = `<span class="low-confidence">*</span>`
+			lowSeen = true
+		}
+		fmt.Fprintf(&b, `<tr><td>%s</td><td class="converted">%s%s</td><td class="original">%s</td></tr>`+"\n",
+			escape(name), escape(currency.Format(row.Converted, curr)), mark, escape(row.Original))
+	}
+	b.WriteString("</table>\n")
+	if lowSeen {
+		b.WriteString(`<p class="note">* Currency detection confidence is low. Please double check the result.</p>` + "\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;",
+	)
+	return r.Replace(s)
+}

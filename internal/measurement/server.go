@@ -1,0 +1,465 @@
+package measurement
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/currency"
+	"pricesheriff/internal/htmlx"
+	"pricesheriff/internal/peer"
+	"pricesheriff/internal/store"
+	"pricesheriff/internal/transport"
+)
+
+// CheckRequest is step 2 of the price-check protocol: the browser add-on
+// sends the product URL, the Tags Path it built around the user's price
+// selection, its own copy of the page, and the currency the user wants
+// results converted to.
+type CheckRequest struct {
+	JobID         string         `json:"job_id"`
+	URL           string         `json:"url"`
+	TagsPath      htmlx.TagsPath `json:"tags_path"`
+	InitiatorHTML string         `json:"initiator_html"`
+	InitiatorID   string         `json:"initiator_id"`
+	Currency      string         `json:"currency,omitempty"` // default EUR
+	Day           float64        `json:"day"`
+}
+
+// ResultRow is one line of the Fig. 2 result page.
+type ResultRow struct {
+	Source     string  `json:"source"` // "You", "ipc-03-US", "peer ES", ...
+	Kind       string  `json:"kind"`   // initiator | ipc | ppc
+	PeerID     string  `json:"peer_id,omitempty"`
+	Country    string  `json:"country,omitempty"`
+	City       string  `json:"city,omitempty"`
+	Original   string  `json:"original,omitempty"` // the raw price text
+	Currency   string  `json:"currency,omitempty"`
+	Amount     float64 `json:"amount,omitempty"`    // in detected currency
+	Converted  float64 `json:"converted,omitempty"` // in requested currency
+	Confidence string  `json:"confidence,omitempty"`
+	Mode       string  `json:"mode,omitempty"` // PPC state mode
+	Err        string  `json:"err,omitempty"`
+}
+
+// ResultsResponse is one AJAX poll answer: rows arriving after `since`,
+// plus the finish flag (Sect. 3.2: the browser polls "until the
+// measurement server replies with a 'request finish' response").
+type ResultsResponse struct {
+	Rows []ResultRow `json:"rows"`
+	Done bool        `json:"done"`
+}
+
+// PPCRequester issues remote page requests through the P2P relay;
+// *peer.Requester implements it.
+type PPCRequester interface {
+	RequestPage(peerID string, req *peer.PageRequest) (*peer.PageResponse, error)
+}
+
+// Server is one Measurement server instance.
+type Server struct {
+	// OwnAddr is the address this server is registered under at the
+	// Coordinator (used in heartbeats and job accounting).
+	OwnAddr string
+	Coord   *coordinator.Client // nil disables PPC lookup and job-done
+	DB      *store.Client       // nil disables persistent recording
+	IPCs    []*IPC
+	Peers   PPCRequester // nil disables PPC fetches
+	Rates   *currency.RateTable
+
+	mu     sync.Mutex
+	checks map[string]*checkState
+	rpc    *transport.Server
+}
+
+type checkState struct {
+	rows []ResultRow
+	done bool
+}
+
+// Errors returned by the server.
+var (
+	ErrDuplicateJob = errors.New("measurement: job already running")
+	ErrUnknownJob   = errors.New("measurement: unknown job")
+)
+
+// New creates a Measurement server (no network listener; see NewServerOn).
+func New(ownAddr string, rates *currency.RateTable) *Server {
+	if rates == nil {
+		rates = currency.DefaultRates()
+	}
+	return &Server{OwnAddr: ownAddr, Rates: rates, checks: make(map[string]*checkState)}
+}
+
+// Tables used by the DiffStorage/recording pipeline.
+var (
+	RequestsTable  = store.TableSpec{Name: "requests", Unique: []string{"job_id"}, Index: []string{"domain"}}
+	ResponsesTable = store.TableSpec{Name: "responses", Index: []string{"job_id", "domain"}}
+)
+
+// EnsureTables creates the recording tables, tolerating pre-existing ones.
+func EnsureTables(db *store.Client) error {
+	for _, spec := range []store.TableSpec{RequestsTable, ResponsesTable} {
+		if err := db.CreateTable(spec); err != nil && !isExists(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func isExists(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "already exists")
+}
+
+// StartCheck begins processing a price check asynchronously; poll Results
+// for rows. It returns once the job is admitted.
+func (s *Server) StartCheck(req *CheckRequest) error {
+	if req.JobID == "" || req.URL == "" {
+		return errors.New("measurement: job id and url required")
+	}
+	if req.Currency == "" {
+		req.Currency = "EUR"
+	}
+	s.mu.Lock()
+	if _, dup := s.checks[req.JobID]; dup {
+		s.mu.Unlock()
+		return ErrDuplicateJob
+	}
+	st := &checkState{}
+	s.checks[req.JobID] = st
+	s.mu.Unlock()
+
+	go s.process(req)
+	return nil
+}
+
+// Pending returns the number of unfinished checks (the jobs column of the
+// monitoring panel).
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.checks {
+		if !st.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Results serves one AJAX poll.
+func (s *Server) Results(jobID string, since int) (ResultsResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.checks[jobID]
+	if !ok {
+		return ResultsResponse{}, ErrUnknownJob
+	}
+	if since < 0 {
+		since = 0
+	}
+	if since > len(st.rows) {
+		since = len(st.rows)
+	}
+	rows := append([]ResultRow(nil), st.rows[since:]...)
+	return ResultsResponse{Rows: rows, Done: st.done}, nil
+}
+
+// WaitResults polls until done (test/CLI convenience).
+func (s *Server) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := s.Results(jobID, 0)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Done {
+			return resp.Rows, nil
+		}
+		if time.Now().After(deadline) {
+			return resp.Rows, fmt.Errorf("measurement: job %s incomplete after %v", jobID, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *Server) addRow(jobID string, row ResultRow) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.checks[jobID]; ok {
+		st.rows = append(st.rows, row)
+	}
+}
+
+// process runs steps 3.1–5 for one job.
+func (s *Server) process(req *CheckRequest) {
+	domain := domainOf(req.URL)
+
+	// The initiator's own copy anchors the result page and DiffStorage.
+	initRow := s.extractRow(req, req.InitiatorHTML, ResultRow{
+		Source: "You", Kind: "initiator", PeerID: req.InitiatorID,
+	})
+	s.addRow(req.JobID, initRow)
+
+	var reqRowID int64
+	if s.DB != nil {
+		reqRowID, _ = s.DB.Insert("requests", store.Row{
+			"job_id": req.JobID, "domain": domain, "url": req.URL,
+			"day": req.Day, "initiator_html": req.InitiatorHTML,
+		})
+	}
+
+	var wg sync.WaitGroup
+	// Step 3.1: every IPC fetches in parallel.
+	for _, ipc := range s.IPCs {
+		wg.Add(1)
+		go func(c *IPC) {
+			defer wg.Done()
+			base := ResultRow{
+				Source: c.ID, Kind: "ipc", PeerID: c.ID,
+				Country: c.Country, City: c.City,
+			}
+			resp, err := c.Fetch(req.URL, req.Day)
+			if err != nil {
+				base.Err = err.Error()
+				s.addRow(req.JobID, base)
+				return
+			}
+			if resp.Status != 200 {
+				base.Err = fmt.Sprintf("status %d", resp.Status)
+				s.addRow(req.JobID, base)
+				return
+			}
+			row := s.extractRow(req, resp.HTML, base)
+			s.addRow(req.JobID, row)
+			s.record(req, reqRowID, row, resp.HTML)
+		}(ipc)
+	}
+
+	// Step 3.2: the PPCs near the initiator fetch in parallel.
+	if s.Coord != nil && s.Peers != nil {
+		ppcs, err := s.Coord.JobPPCs(req.JobID)
+		if err == nil {
+			for _, p := range ppcs {
+				wg.Add(1)
+				go func(p coordinator.PeerInfo) {
+					defer wg.Done()
+					base := ResultRow{
+						Source: "peer " + p.Country, Kind: "ppc", PeerID: p.ID,
+						Country: p.Country, City: p.City,
+					}
+					resp, err := s.Peers.RequestPage(p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
+					if err != nil {
+						base.Err = err.Error()
+						s.addRow(req.JobID, base)
+						return
+					}
+					if resp.Status != 200 {
+						base.Err = fmt.Sprintf("status %d", resp.Status)
+						s.addRow(req.JobID, base)
+						return
+					}
+					base.Mode = resp.Mode
+					row := s.extractRow(req, resp.HTML, base)
+					s.addRow(req.JobID, row)
+					s.record(req, reqRowID, row, resp.HTML)
+				}(p)
+			}
+		}
+	}
+
+	wg.Wait()
+	s.mu.Lock()
+	if st, ok := s.checks[req.JobID]; ok {
+		st.done = true
+	}
+	s.mu.Unlock()
+	if s.Coord != nil {
+		s.Coord.JobDone(req.JobID) // step 4
+	}
+}
+
+// extractRow locates the price in a page copy via the Tags Path, detects
+// the currency, and converts to the requested one.
+func (s *Server) extractRow(req *CheckRequest, html string, base ResultRow) ResultRow {
+	doc := htmlx.Parse(html)
+	node, err := req.TagsPath.Locate(doc)
+	if err != nil {
+		base.Err = err.Error()
+		return base
+	}
+	text := node.InnerText()
+	det, err := currency.Detect(text)
+	if err != nil {
+		base.Err = err.Error()
+		base.Original = currency.Normalize(text)
+		return base
+	}
+	base.Original = det.Original
+	base.Currency = det.Code
+	base.Amount = det.Amount
+	base.Confidence = det.Confidence.String()
+	if conv, ok := s.Rates.ConvertDetection(det, req.Currency); ok {
+		base.Converted = conv
+	} else {
+		base.Converted = det.Amount
+	}
+	return base
+}
+
+// record persists one proxy response: metadata plus the page as a diff
+// against the initiator copy (DiffStorage).
+func (s *Server) record(req *CheckRequest, reqRowID int64, row ResultRow, html string) {
+	if s.DB == nil {
+		return
+	}
+	script := Diff(req.InitiatorHTML, html)
+	blob, _ := json.Marshal(script)
+	s.DB.Insert("responses", store.Row{
+		"job_id":     req.JobID,
+		"request_id": reqRowID,
+		"domain":     domainOf(req.URL),
+		"source":     row.Source,
+		"kind":       row.Kind,
+		"peer_id":    row.PeerID,
+		"country":    row.Country,
+		"city":       row.City,
+		"original":   row.Original,
+		"currency":   row.Currency,
+		"amount":     row.Amount,
+		"converted":  row.Converted,
+		"confidence": row.Confidence,
+		"mode":       row.Mode,
+		"err":        row.Err,
+		"html_diff":  string(blob),
+	})
+}
+
+func domainOf(url string) string {
+	rest := strings.TrimPrefix(url, "http://")
+	rest = strings.TrimPrefix(rest, "https://")
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// --- network front-end ---
+
+// RPCServer exposes a Server over the fabric.
+type RPCServer struct {
+	S   *Server
+	rpc *transport.Server
+}
+
+// resultsReq is the AJAX poll shape.
+type resultsReq struct {
+	JobID string `json:"job_id"`
+	Since int    `json:"since"`
+}
+
+// NewRPCServer wraps the measurement server on a listener. The server's
+// OwnAddr is set to the listener address.
+func NewRPCServer(s *Server, lis transport.Listener) *RPCServer {
+	s.OwnAddr = lis.Addr()
+	r := &RPCServer{S: s, rpc: transport.NewServer(lis)}
+	r.rpc.Handle("ms.check", func(raw json.RawMessage) (any, error) {
+		var req CheckRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.StartCheck(&req)
+	})
+	r.rpc.Handle("ms.results", func(raw json.RawMessage) (any, error) {
+		var req resultsReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return s.Results(req.JobID, req.Since)
+	})
+	return r
+}
+
+// Addr returns the dialable address.
+func (r *RPCServer) Addr() string { return r.rpc.Addr() }
+
+// Serve blocks accepting connections.
+func (r *RPCServer) Serve() error { return r.rpc.Serve() }
+
+// Close stops the front-end.
+func (r *RPCServer) Close() error { return r.rpc.Close() }
+
+// StartHeartbeats reports liveness and pending count to the Coordinator
+// every interval until the returned stop function is called.
+func (s *Server) StartHeartbeats(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if s.Coord != nil {
+					s.Coord.Heartbeat(s.OwnAddr, s.Pending())
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Client is the add-on's view of a Measurement server.
+type Client struct {
+	rpc *transport.Client
+}
+
+// DialMeasurement connects to a measurement server.
+func DialMeasurement(netw transport.Network, addr string) (*Client, error) {
+	rpc, err := transport.DialClient(netw, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rpc}, nil
+}
+
+// Check submits a price check (step 3).
+func (c *Client) Check(req *CheckRequest) error {
+	return c.rpc.Call("ms.check", req, nil)
+}
+
+// Results polls for rows (the AJAX loop of step 5).
+func (c *Client) Results(jobID string, since int) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := c.rpc.Call("ms.results", resultsReq{JobID: jobID, Since: since}, &resp)
+	return resp, err
+}
+
+// WaitResults polls until the job finishes or timeout elapses.
+func (c *Client) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, error) {
+	deadline := time.Now().Add(timeout)
+	var rows []ResultRow
+	for {
+		resp, err := c.Results(jobID, len(rows))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, resp.Rows...)
+		if resp.Done {
+			return rows, nil
+		}
+		if time.Now().After(deadline) {
+			return rows, fmt.Errorf("measurement: job %s incomplete after %v", jobID, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }

@@ -1,0 +1,121 @@
+package measurement
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/peer"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/transport"
+)
+
+// A PPC that accepts the relay connection but never answers: the
+// Measurement server must kill the request at the timeout (the paper's
+// 2-minute upper bound per proxy thread) and still complete the check
+// with an error row instead of hanging.
+func TestPPCTimeoutDoesNotStallCheck(t *testing.T) {
+	netw := transport.NewInproc()
+
+	// World + one IPC so the check has a healthy row too.
+	m := shop.NewMall(shop.MallConfig{Seed: 31, NumDomains: 20, NumLocationPD: 5, NumAlexa: 5})
+	fleet, err := NewIPCFleet(m.World, shop.LocalFetcher{Mall: m}, []string{"ES"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Broker with a mute peer.
+	lisB, _ := netw.Listen("broker")
+	broker := peer.NewBroker(lisB)
+	go broker.Serve()
+	defer broker.Close()
+	mute, err := netw.Dial("broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	if err := mute.Send(&peer.Msg{Kind: peer.KindRegister, From: "mute-ppc"}); err != nil {
+		t.Fatal(err)
+	}
+	var ack peer.Msg
+	if err := mute.Recv(&ack); err != nil || ack.Kind != peer.KindRegister {
+		t.Fatalf("mute registration: %+v %v", ack, err)
+	}
+
+	// Coordinator whose PPC list contains the mute peer.
+	world := geo.NewWorld()
+	sl := coordinator.NewServerList(time.Hour, coordinator.LeastPending, nil)
+	sl.Register("ms-x")
+	wl := coordinator.NewWhitelist(m.Domains())
+	coord := coordinator.New(sl, wl, world)
+	ip, _ := world.RandomIP(rand.New(rand.NewSource(1)), "ES", "")
+	if _, err := coord.RegisterPeer("mute-ppc", ip.String()); err != nil {
+		t.Fatal(err)
+	}
+	ip2, _ := world.RandomIP(rand.New(rand.NewSource(2)), "ES", "")
+	if _, err := coord.RegisterPeer("initiator", ip2.String()); err != nil {
+		t.Fatal(err)
+	}
+	lisC, _ := netw.Listen("")
+	coordSrv := coordinator.NewServer(coord, lisC)
+	go coordSrv.Serve()
+	defer coordSrv.Close()
+	coordCli, err := coordinator.DialCoordinator(netw, coordSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordCli.Close()
+
+	requester, err := peer.NewRequester(netw, "broker", "ms-req", 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer requester.Close()
+
+	srv := New("ms-x", nil)
+	srv.IPCs = fleet
+	srv.Coord = coordCli
+	srv.Peers = requester
+
+	s, _ := m.Shop("chegg.com")
+	job, err := coord.NewJob("chegg.com", "initiator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := buildCheck(t, m, "chegg.com", job.ID)
+	start := time.Now()
+	if err := srv.StartCheck(req); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := srv.WaitResults(job.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Errorf("check took %v; timeout not enforced", time.Since(start))
+	}
+	// You + 1 IPC + 1 failed PPC.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	var muteRow *ResultRow
+	for i := range rows {
+		if rows[i].PeerID == "mute-ppc" {
+			muteRow = &rows[i]
+		}
+	}
+	if muteRow == nil {
+		t.Fatal("mute PPC produced no row")
+	}
+	if muteRow.Err == "" || !strings.Contains(muteRow.Err, "timed out") {
+		t.Errorf("mute row err = %q", muteRow.Err)
+	}
+	// The job was reported done to the coordinator despite the timeout.
+	if got := coord.PendingJobs(); got != 0 {
+		t.Errorf("pending jobs = %d", got)
+	}
+	_ = s
+}

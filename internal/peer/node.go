@@ -1,0 +1,290 @@
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"pricesheriff/internal/browser"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/transport"
+)
+
+// DoppDirectory resolves a peer's doppelganger: the Aggregator-side lookup
+// of step 3.3 ("Doppelganger ID request") returning the bearer token, and
+// the Coordinator-side redemption of step 3.4 returning the client state.
+// Implementations also account the fetch against the doppelganger's
+// pollution budget.
+type DoppDirectory interface {
+	// TokenFor returns the bearer token of the peer's assigned
+	// doppelganger.
+	TokenFor(peerID string) (string, error)
+	// ClientState redeems the token for cookies and charges one fetch
+	// against the given domain's budget.
+	ClientState(token, domain string) (map[string]string, error)
+}
+
+// Node is a running Peer Proxy Client: a real user's browser connected to
+// the P2P relay, serving remote page requests for other peers.
+type Node struct {
+	ID      string
+	Browser *browser.Browser
+	Fetcher shop.Fetcher
+	Dopps   DoppDirectory // nil disables the doppelganger path
+
+	conn transport.Conn
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	served   int
+	modes    map[string]int // fetch mode -> count
+	consents bool
+}
+
+// Connect dials the broker and registers the node; call Run to serve.
+func Connect(netw transport.Network, brokerAddr string, id string, b *browser.Browser, f shop.Fetcher, dopps DoppDirectory) (*Node, error) {
+	conn, err := connectAndRegister(netw, brokerAddr, id)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		ID:       id,
+		Browser:  b,
+		Fetcher:  f,
+		Dopps:    dopps,
+		conn:     conn,
+		modes:    make(map[string]int),
+		consents: true, // joining the network is the consent action
+	}, nil
+}
+
+// SetConsent toggles the user's informed consent (paper Sect. 2.3:
+// "unless the user consents, the add-on is not activated"). A node
+// without consent refuses remote page requests.
+func (n *Node) SetConsent(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.consents = v
+}
+
+// Consents reports the current consent state.
+func (n *Node) Consents() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.consents
+}
+
+// Run serves relay messages until the connection closes. Run it in a
+// goroutine; each request is handled concurrently.
+func (n *Node) Run() {
+	for {
+		var m Msg
+		if err := n.conn.Recv(&m); err != nil {
+			n.wg.Wait()
+			return
+		}
+		if m.Kind != KindPageReq {
+			continue
+		}
+		req := m
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handlePageReq(req)
+		}()
+	}
+}
+
+func (n *Node) handlePageReq(m Msg) {
+	var req PageRequest
+	resp := PageResponse{Status: 500, PeerID: n.ID}
+	if err := json.Unmarshal(m.Payload, &req); err == nil {
+		resp = n.ServePage(&req)
+	}
+	payload, err := json.Marshal(&resp)
+	if err != nil {
+		return
+	}
+	n.conn.Send(&Msg{Kind: KindPageResp, To: m.From, ReqID: m.ReqID, Payload: payload})
+}
+
+// ServePage executes one remote page request: pick the client-side state
+// per the pollution budget (own → doppelganger → clean), fetch inside the
+// sandbox, and report which mode served it.
+func (n *Node) ServePage(req *PageRequest) PageResponse {
+	if !n.Consents() {
+		return PageResponse{Status: 403, PeerID: n.ID}
+	}
+	domain, _, err := shop.ParseProductURL(req.URL)
+	if err != nil {
+		return PageResponse{Status: 400, PeerID: n.ID}
+	}
+
+	mode := "own"
+	state := browser.StateOwn
+	var doppCookies map[string]string
+	if n.Browser.NeedsDoppelganger(domain) {
+		if n.Dopps != nil {
+			token, err := n.Dopps.TokenFor(n.ID)
+			if err == nil {
+				if cookies, err := n.Dopps.ClientState(token, domain); err == nil {
+					mode = "doppelganger"
+					state = browser.StateDoppelganger
+					doppCookies = cookies
+				}
+			}
+		}
+		if mode == "own" {
+			// No doppelganger available: fall back to a clean profile
+			// rather than polluting the user further.
+			mode = "clean"
+			state = browser.StateClean
+		}
+	}
+
+	fresp, err := n.Browser.SandboxFetch(n.Fetcher, req.URL, req.Day, state, doppCookies)
+	if err != nil {
+		return PageResponse{Status: 502, PeerID: n.ID}
+	}
+	n.mu.Lock()
+	n.served++
+	n.modes[mode]++
+	n.mu.Unlock()
+	return PageResponse{Status: fresp.Status, HTML: fresp.HTML, Mode: mode, PeerID: n.ID}
+}
+
+// Served returns how many remote requests this node has handled.
+func (n *Node) Served() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.served
+}
+
+// ModeCounts returns per-mode service counts (own/doppelganger/clean).
+func (n *Node) ModeCounts() map[string]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]int, len(n.modes))
+	for k, v := range n.modes {
+		out[k] = v
+	}
+	return out
+}
+
+// Close disconnects from the broker.
+func (n *Node) Close() error { return n.conn.Close() }
+
+// Requester sends remote page requests through the broker — the
+// Measurement server's side of step 3.2.
+type Requester struct {
+	ID      string
+	Timeout time.Duration // per-request kill timeout (paper: 2 minutes)
+
+	conn    transport.Conn
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]chan Msg
+	closed  bool
+}
+
+// NewRequester connects a requester to the broker.
+func NewRequester(netw transport.Network, brokerAddr, id string, timeout time.Duration) (*Requester, error) {
+	conn, err := connectAndRegister(netw, brokerAddr, id)
+	if err != nil {
+		return nil, err
+	}
+	r := &Requester{
+		ID:      id,
+		Timeout: timeout,
+		conn:    conn,
+		pending: make(map[uint64]chan Msg),
+	}
+	go r.readLoop()
+	return r, nil
+}
+
+func (r *Requester) readLoop() {
+	for {
+		var m Msg
+		if err := r.conn.Recv(&m); err != nil {
+			r.mu.Lock()
+			r.closed = true
+			for id, ch := range r.pending {
+				close(ch)
+				delete(r.pending, id)
+			}
+			r.mu.Unlock()
+			return
+		}
+		if m.Kind != KindPageResp && m.Kind != KindError {
+			continue
+		}
+		r.mu.Lock()
+		ch, ok := r.pending[m.ReqID]
+		if ok {
+			delete(r.pending, m.ReqID)
+		}
+		r.mu.Unlock()
+		if ok {
+			ch <- m
+			close(ch)
+		}
+	}
+}
+
+// RequestPage asks the named PPC to fetch a page, waiting up to Timeout.
+func (r *Requester) RequestPage(peerID string, req *PageRequest) (*PageResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Msg, 1)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	r.nextReq++
+	reqID := r.nextReq
+	r.pending[reqID] = ch
+	r.mu.Unlock()
+
+	if err := r.conn.Send(&Msg{Kind: KindPageReq, To: peerID, ReqID: reqID, Payload: payload}); err != nil {
+		r.drop(reqID)
+		return nil, err
+	}
+
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return nil, transport.ErrClosed
+		}
+		if m.Kind == KindError {
+			return nil, fmt.Errorf("peer: %s", m.Err)
+		}
+		var resp PageResponse
+		if err := json.Unmarshal(m.Payload, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	case <-timer.C:
+		r.drop(reqID)
+		return nil, fmt.Errorf("peer: request to %s timed out after %v", peerID, timeout)
+	}
+}
+
+func (r *Requester) drop(reqID uint64) {
+	r.mu.Lock()
+	delete(r.pending, reqID)
+	r.mu.Unlock()
+}
+
+// Close disconnects the requester.
+func (r *Requester) Close() error { return r.conn.Close() }

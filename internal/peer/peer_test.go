@@ -1,0 +1,513 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/browser"
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/doppelganger"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/transport"
+)
+
+type testEnv struct {
+	netw   *transport.Inproc
+	broker *Broker
+	mall   *shop.Mall
+	url    string
+}
+
+func newEnv(t *testing.T) *testEnv {
+	t.Helper()
+	netw := transport.NewInproc()
+	lis, err := netw.Listen("broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(lis)
+	go b.Serve()
+	t.Cleanup(func() { b.Close() })
+
+	mall := shop.NewMall(shop.MallConfig{Seed: 4, NumDomains: 30, NumLocationPD: 10, NumAlexa: 5})
+	s, _ := mall.Shop("chegg.com")
+	return &testEnv{
+		netw:   netw,
+		broker: b,
+		mall:   mall,
+		url:    s.ProductURL(s.Products()[0].SKU),
+	}
+}
+
+func (e *testEnv) newPeer(t *testing.T, id, country string, dopps DoppDirectory) *Node {
+	t.Helper()
+	ip, ok := e.mall.World.RandomIP(rand.New(rand.NewSource(int64(len(id)))), country, "")
+	if !ok {
+		t.Fatalf("no IP in %s", country)
+	}
+	br := browser.New(id, ip.String(), "linux", "firefox")
+	n, err := Connect(e.netw, "broker", id, br, shop.LocalFetcher{Mall: e.mall}, dopps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go n.Run()
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func (e *testEnv) newRequester(t *testing.T, id string) *Requester {
+	t.Helper()
+	r, err := NewRequester(e.netw, "broker", id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestRelayPageRequest(t *testing.T) {
+	e := newEnv(t)
+	e.newPeer(t, "ppc-1", "ES", nil)
+	r := e.newRequester(t, "ms-1")
+
+	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || !strings.Contains(resp.HTML, "price") {
+		t.Errorf("resp = status %d", resp.Status)
+	}
+	if resp.Mode != "own" {
+		t.Errorf("mode = %s (unvisited domain serves with own state)", resp.Mode)
+	}
+	if resp.PeerID != "ppc-1" {
+		t.Errorf("peer id = %s", resp.PeerID)
+	}
+}
+
+func TestRelayToOfflinePeer(t *testing.T) {
+	e := newEnv(t)
+	r := e.newRequester(t, "ms-1")
+	if _, err := r.RequestPage("ghost", &PageRequest{URL: e.url}); err == nil {
+		t.Fatal("offline peer should error")
+	}
+}
+
+func TestRelayTimeout(t *testing.T) {
+	e := newEnv(t)
+	// Register a peer that never answers (a raw connection, no Run loop).
+	conn, err := connectAndRegister(e.netw, "broker", "mute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	r, err := NewRequester(e.netw, "broker", "ms-1", 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	start := time.Now()
+	_, err = r.RequestPage("mute", &PageRequest{URL: e.url})
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took too long")
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	e := newEnv(t)
+	c1, err := connectAndRegister(e.netw, "broker", "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := connectAndRegister(e.netw, "broker", "dup"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestBrokerRequiresRegistration(t *testing.T) {
+	e := newEnv(t)
+	conn, err := e.netw.Dial("broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Send(&Msg{Kind: KindPageReq, To: "x"})
+	var m Msg
+	if err := conn.Recv(&m); err != nil || m.Kind != KindError {
+		t.Errorf("want error reply, got %+v, %v", m, err)
+	}
+}
+
+func TestConcurrentRequestsToOnePeer(t *testing.T) {
+	e := newEnv(t)
+	e.newPeer(t, "ppc-1", "ES", nil)
+	r := e.newRequester(t, "ms-1")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Status != 200 {
+				errs <- fmt.Errorf("status %d", resp.Status)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleRequesters(t *testing.T) {
+	e := newEnv(t)
+	n := e.newPeer(t, "ppc-1", "DE", nil)
+	r1 := e.newRequester(t, "ms-1")
+	r2 := e.newRequester(t, "ms-2")
+	if _, err := r1.RequestPage("ppc-1", &PageRequest{URL: e.url}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.RequestPage("ppc-1", &PageRequest{URL: e.url}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Served() != 2 {
+		t.Errorf("served = %d", n.Served())
+	}
+}
+
+// stubDopps is a DoppDirectory with canned state.
+type stubDopps struct {
+	token   string
+	cookies map[string]string
+	charged []string
+	mu      sync.Mutex
+}
+
+func (s *stubDopps) TokenFor(string) (string, error) { return s.token, nil }
+func (s *stubDopps) ClientState(token, domain string) (map[string]string, error) {
+	if token != s.token {
+		return nil, errors.New("bad token")
+	}
+	s.mu.Lock()
+	s.charged = append(s.charged, domain)
+	s.mu.Unlock()
+	return s.cookies, nil
+}
+
+func TestDoppelgangerSwapAfterBudget(t *testing.T) {
+	e := newEnv(t)
+	dopps := &stubDopps{token: "tok", cookies: map[string]string{"adnet.example": "dopp-1"}}
+	n := e.newPeer(t, "ppc-1", "ES", dopps)
+	r := e.newRequester(t, "ms-1")
+
+	// The peer's user browses chegg 4 times: budget = 1 own-state fetch.
+	for i := 0; i < 4; i++ {
+		if _, err := n.Browser.BrowseProduct(n.Fetcher, e.url, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp1, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp1.Mode != "own" {
+		t.Fatalf("first fetch mode = %s, want own", resp1.Mode)
+	}
+	resp2, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Mode != "doppelganger" {
+		t.Fatalf("second fetch mode = %s, want doppelganger", resp2.Mode)
+	}
+	dopps.mu.Lock()
+	charged := len(dopps.charged)
+	dopps.mu.Unlock()
+	if charged != 1 || dopps.charged[0] != "chegg.com" {
+		t.Errorf("dopp budget charges = %v", dopps.charged)
+	}
+	counts := n.ModeCounts()
+	if counts["own"] != 1 || counts["doppelganger"] != 1 {
+		t.Errorf("mode counts = %v", counts)
+	}
+}
+
+func TestCleanFallbackWithoutDoppelganger(t *testing.T) {
+	e := newEnv(t)
+	n := e.newPeer(t, "ppc-1", "ES", nil) // no directory
+	r := e.newRequester(t, "ms-1")
+	// One browse: budget 0, doppelganger needed but unavailable.
+	if _, err := n.Browser.BrowseProduct(n.Fetcher, e.url, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "clean" {
+		t.Errorf("mode = %s, want clean fallback", resp.Mode)
+	}
+}
+
+func TestServePageBadURL(t *testing.T) {
+	e := newEnv(t)
+	n := e.newPeer(t, "ppc-1", "ES", nil)
+	resp := n.ServePage(&PageRequest{URL: "junk"})
+	if resp.Status != 400 {
+		t.Errorf("status = %d", resp.Status)
+	}
+}
+
+// Integration with the real doppelganger manager: the directory adapter
+// used by the core system.
+type managerDirectory struct {
+	mgr     *doppelganger.Manager
+	cluster map[string]int
+}
+
+func (d managerDirectory) TokenFor(peerID string) (string, error) {
+	cl, ok := d.cluster[peerID]
+	if !ok {
+		return "", errors.New("unassigned peer")
+	}
+	tok, ok := d.mgr.Token(cl)
+	if !ok {
+		return "", errors.New("no doppelganger")
+	}
+	return tok, nil
+}
+
+func (d managerDirectory) ClientState(token, domain string) (map[string]string, error) {
+	state, err := d.mgr.ClientState(token)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.mgr.RecordFetch(token, domain); err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+func TestDoppelgangerManagerIntegration(t *testing.T) {
+	e := newEnv(t)
+	mgr := doppelganger.NewManager(
+		[]string{"news.example", "video.example"},
+		doppelganger.TrackerTrainer{Trackers: e.mall.Trackers, Categories: shop.Categories},
+	)
+	if err := mgr.RebuildAll([]cluster.Point{{1, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	dir := managerDirectory{mgr: mgr, cluster: map[string]int{"ppc-1": 0}}
+	n := e.newPeer(t, "ppc-1", "ES", dir)
+	r := e.newRequester(t, "ms-1")
+
+	if _, err := n.Browser.BrowseProduct(n.Fetcher, e.url, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != "doppelganger" {
+		t.Fatalf("mode = %s", resp.Mode)
+	}
+	// The user's own tracker profile saw nothing from the remote fetch.
+	own := n.Browser.Cookie("adnet.example")
+	if own != "" {
+		profile := e.mall.Trackers[0].Profile(own)
+		if profile["textbooks"] > 1 {
+			t.Errorf("user profile polluted: %v", profile)
+		}
+	}
+}
+
+func TestBrokerConnectedList(t *testing.T) {
+	e := newEnv(t)
+	e.newPeer(t, "p1", "ES", nil)
+	e.newPeer(t, "p2", "FR", nil)
+	// Allow registrations to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(e.broker.Connected()) == 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("connected = %v", e.broker.Connected())
+}
+
+func TestOverTCPFabric(t *testing.T) {
+	// The same stack over real TCP sockets.
+	lis, err := (transport.TCP{}).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBroker(lis)
+	go b.Serve()
+	defer b.Close()
+
+	mall := shop.NewMall(shop.MallConfig{Seed: 4, NumDomains: 20, NumLocationPD: 5, NumAlexa: 5})
+	s, _ := mall.Shop("chegg.com")
+	url := s.ProductURL(s.Products()[0].SKU)
+	ip, _ := mall.World.RandomIP(rand.New(rand.NewSource(1)), "ES", "")
+
+	br := browser.New("tcp-peer", ip.String(), "linux", "firefox")
+	n, err := Connect(transport.TCP{}, b.Addr(), "tcp-peer", br, shop.LocalFetcher{Mall: mall}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	go n.Run()
+
+	r, err := NewRequester(transport.TCP{}, b.Addr(), "ms-tcp", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	resp, err := r.RequestPage("tcp-peer", &PageRequest{URL: url, Day: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Errorf("status = %d", resp.Status)
+	}
+}
+
+func TestPeerDisconnectMidRequest(t *testing.T) {
+	e := newEnv(t)
+	// A peer that accepts the request then drops the connection.
+	conn, err := connectAndRegister(e.netw, "broker", "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		var m Msg
+		if err := conn.Recv(&m); err == nil && m.Kind == KindPageReq {
+			conn.Close() // vanish without answering
+		}
+	}()
+
+	r, err := NewRequester(e.netw, "broker", "ms-1", 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RequestPage("flaky", &PageRequest{URL: e.url}); err == nil {
+		t.Fatal("request to vanished peer succeeded")
+	}
+	// The requester stays usable for healthy peers afterwards.
+	e.newPeer(t, "healthy", "ES", nil)
+	resp, err := r.RequestPage("healthy", &PageRequest{URL: e.url, Day: 1})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("healthy peer after flaky: %v %v", resp, err)
+	}
+}
+
+func TestRequesterClosePendingRequests(t *testing.T) {
+	e := newEnv(t)
+	conn, err := connectAndRegister(e.netw, "broker", "mute2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	r, err := NewRequester(e.netw, "broker", "ms-1", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RequestPage("mute2", &PageRequest{URL: e.url})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending request succeeded after Close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pending request hung after Close")
+	}
+	// New requests fail fast on a closed requester.
+	if _, err := r.RequestPage("mute2", &PageRequest{URL: e.url}); err == nil {
+		t.Fatal("closed requester accepted a request")
+	}
+}
+
+func TestConsentRevocationRefusesService(t *testing.T) {
+	e := newEnv(t)
+	n := e.newPeer(t, "ppc-1", "ES", nil)
+	r := e.newRequester(t, "ms-1")
+	if !n.Consents() {
+		t.Fatal("joining should imply consent")
+	}
+	n.SetConsent(false)
+	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 403 || resp.HTML != "" {
+		t.Errorf("revoked consent: status=%d html=%d bytes", resp.Status, len(resp.HTML))
+	}
+	if n.Served() != 0 {
+		t.Error("refused request counted as served")
+	}
+	// Consent restored: service resumes.
+	n.SetConsent(true)
+	resp, err = r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("after re-consent: %v %v", resp, err)
+	}
+}
+
+func TestBrokerScalesToManyPeers(t *testing.T) {
+	e := newEnv(t)
+	const peers = 120
+	for i := 0; i < peers; i++ {
+		e.newPeer(t, fmt.Sprintf("swarm-%03d", i), "ES", nil)
+	}
+	r := e.newRequester(t, "ms-1")
+	var wg sync.WaitGroup
+	errs := make(chan error, peers)
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := r.RequestPage(fmt.Sprintf("swarm-%03d", i), &PageRequest{URL: e.url, Day: 1})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Status != 200 {
+				errs <- fmt.Errorf("peer %d status %d", i, resp.Status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(e.broker.Connected()); got != peers+1 {
+		t.Errorf("connected = %d, want %d", got, peers+1)
+	}
+}

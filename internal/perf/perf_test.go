@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"testing"
+)
+
+func simRows(t *testing.T) []Result {
+	t.Helper()
+	return Table1(1)
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := simRows(t)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	v1lo, v1hi := rows[0], rows[1]
+	v2lo, v2hi, v2big := rows[2], rows[3], rows[4]
+
+	// Paper Table 1 response times (minutes): 2, 5, 1, 1.5, 1.5.
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64 // acceptance band in minutes
+	}{
+		{"old 1x1", v1lo.ResponseSec / 60, 1.5, 2.6},
+		{"old 2x1", v1hi.ResponseSec / 60, 3.8, 6.5},
+		{"new 1x1", v2lo.ResponseSec / 60, 0.8, 1.3},
+		{"new 2x1", v2hi.ResponseSec / 60, 1.1, 1.9},
+		{"new 3x4", v2big.ResponseSec / 60, 1.1, 1.9},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s response = %.2f min, want [%.1f, %.1f]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+
+	// Who wins and by what factor: the new architecture is ≈2× faster at
+	// light load and ≥3× faster at 10 parallel tasks.
+	if ratio := v1lo.ResponseSec / v2lo.ResponseSec; ratio < 1.5 {
+		t.Errorf("light-load speedup = %.2f, want ≥1.5", ratio)
+	}
+	if ratio := v1hi.ResponseSec / v2hi.ResponseSec; ratio < 2.5 {
+		t.Errorf("loaded speedup = %.2f, want ≥2.5", ratio)
+	}
+
+	// The old architecture degrades superlinearly with load; the new one
+	// degrades gently.
+	v1Degrade := v1hi.ResponseSec / v1lo.ResponseSec
+	v2Degrade := v2hi.ResponseSec / v2lo.ResponseSec
+	if v1Degrade < 1.8 {
+		t.Errorf("v1 degradation = %.2f, want ≥1.8 (paper: 2min→5min)", v1Degrade)
+	}
+	if v2Degrade > 1.8 {
+		t.Errorf("v2 degradation = %.2f, want small (paper: 1→1.5min)", v2Degrade)
+	}
+
+	// Daily throughput ordering: 3600, 2880, 7200, 9600, 38400.
+	daily := []int{
+		v1lo.MaxDailyRequest, v1hi.MaxDailyRequest,
+		v2lo.MaxDailyRequest, v2hi.MaxDailyRequest, v2big.MaxDailyRequest,
+	}
+	if !(daily[1] < daily[0] && daily[0] < daily[2] && daily[2] < daily[3] && daily[3] < daily[4]) {
+		t.Errorf("daily throughput ordering broken: %v", daily)
+	}
+	// The 4-server deployment sustains ≈4× the single-server rate.
+	if scale := float64(daily[4]) / float64(daily[3]); scale < 3 || scale > 5.5 {
+		t.Errorf("horizontal scaling factor = %.2f, want ≈4", scale)
+	}
+	// Absolute bands: the big deployment serves tens of thousands per day.
+	if daily[4] < 25000 || daily[4] > 60000 {
+		t.Errorf("big deployment daily = %d, want ≈38400 band", daily[4])
+	}
+}
+
+func TestParallelTasksMatchWindows(t *testing.T) {
+	rows := simRows(t)
+	// Closed loop: resident tasks ≈ clients × window.
+	wants := []float64{5, 10, 5, 10, 39}
+	for i, r := range rows {
+		if r.ParallelTasks < wants[i]*0.9 || r.ParallelTasks > wants[i]*1.1 {
+			t.Errorf("row %d parallel tasks = %.1f, want ≈%.0f", i, r.ParallelTasks, wants[i])
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	sc := Scenario{Arch: V2, Clients: 2, Servers: 2, Window: 5}
+	a := Simulate(sc, DefaultModel(), 7)
+	b := Simulate(sc, DefaultModel(), 7)
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestLeastPendingBeatsNothing(t *testing.T) {
+	// Adding servers under fixed offered load reduces response time.
+	m := DefaultModel()
+	one := Simulate(Scenario{Arch: V2, Clients: 4, Servers: 1, Window: 5}, m, 3)
+	four := Simulate(Scenario{Arch: V2, Clients: 4, Servers: 4, Window: 5}, m, 3)
+	if four.ResponseSec >= one.ResponseSec {
+		t.Errorf("4 servers (%.0fs) not faster than 1 (%.0fs)", four.ResponseSec, one.ResponseSec)
+	}
+}
+
+func TestProxyBoundFloor(t *testing.T) {
+	// At trivial load, response time approaches the proxy fan-out wait —
+	// the paper's observation that v2's 1-minute response is "bounded by
+	// the proxy servers response time".
+	m := DefaultModel()
+	r := Simulate(Scenario{Arch: V2, Clients: 1, Servers: 1, Window: 1}, m, 5)
+	if r.ResponseSec < m.ProxySec-m.ProxyJitter || r.ResponseSec > m.ProxySec+m.ProxyJitter+10 {
+		t.Errorf("idle response = %.1fs, want ≈proxy wait %.0fs", r.ResponseSec, m.ProxySec)
+	}
+}
+
+func BenchmarkSimulateRow(b *testing.B) {
+	m := DefaultModel()
+	m.MeasureSec = 300
+	m.WarmupSec = 120
+	sc := Scenario{Arch: V2, Clients: 3, Servers: 4, Window: 13}
+	for i := 0; i < b.N; i++ {
+		Simulate(sc, m, int64(i))
+	}
+}

@@ -1,0 +1,220 @@
+package privkmeans
+
+import (
+	"encoding/json"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/elgamal"
+	"pricesheriff/internal/transport"
+)
+
+// netProtocol boots the two parties over a fabric and returns the client
+// handles plus a teardown func.
+func netProtocol(t *testing.T, netw transport.Network, listenAddr func() string, m, k int) (*RemoteCoordinator, *AggregatorClient, func()) {
+	t.Helper()
+	co, err := NewCoordinator(elgamal.TestGroup256, m, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coLis, err := netw.Listen(listenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coSrv := NewCoordinatorServer(co, coLis)
+	go coSrv.Serve()
+
+	remote, err := DialCoordinatorServer(netw, coSrv.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAggregator(elgamal.TestGroup256, m, 100)
+	agLis, err := netw.Listen(listenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agSrv := NewAggregatorServer(ag, remote, k, 2, agLis)
+	go agSrv.Serve()
+
+	agCli, err := DialAggregator(netw, agSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	teardown := func() {
+		agCli.Close()
+		agSrv.Close()
+		remote.Close()
+		coSrv.Close()
+	}
+	return remote, agCli, teardown
+}
+
+func TestNetworkedProtocolConverges(t *testing.T) {
+	netw := transport.NewInproc()
+	m, k := 5, 3
+	remote, agCli, done := netProtocol(t, netw, func() string { return "" }, m, k)
+	defer done()
+
+	// Clients fetch the public key from the Coordinator, encrypt their
+	// quantized profiles, and submit to the Aggregator.
+	pk, err := remote.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	points, truth := blobPoints(rng, 8, m)
+	for i, p := range points {
+		ct, err := EncryptProfile(pk, cluster.Quantize(p, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agCli.Submit(fmt.Sprintf("client-%02d", i), ct); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := remote.Init(k, 7); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 15; iter++ {
+		changed, _, err := agCli.Iterate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter > 0 && changed == 0 {
+			break
+		}
+	}
+
+	// The Aggregator knows the mapping: blobs land in coherent clusters.
+	blobToCluster := map[int]int{}
+	for i := range points {
+		clusterID, known, err := agCli.Assignment(fmt.Sprintf("client-%02d", i))
+		if err != nil || !known {
+			t.Fatalf("assignment %d: %v known=%v", i, err, known)
+		}
+		if prev, ok := blobToCluster[truth[i]]; ok && prev != clusterID {
+			t.Fatalf("blob %d split across clusters", truth[i])
+		}
+		blobToCluster[truth[i]] = clusterID
+	}
+	// The Coordinator knows the centroids.
+	centroids, err := remote.Centroids()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != k || len(centroids[0]) != m {
+		t.Errorf("centroids = %dx%d", len(centroids), len(centroids[0]))
+	}
+}
+
+func TestNetworkedProtocolOverTCP(t *testing.T) {
+	remote, agCli, done := netProtocol(t, transport.TCP{}, func() string { return "127.0.0.1:0" }, 3, 2)
+	defer done()
+	pk, err := remote.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := EncryptProfile(pk, []int64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agCli.Submit("tcp-client", ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Init(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := agCli.Iterate(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, known, err := agCli.Assignment("tcp-client"); err != nil || !known {
+		t.Fatalf("assignment over TCP: %v known=%v", err, known)
+	}
+}
+
+func TestNetworkedValidation(t *testing.T) {
+	netw := transport.NewInproc()
+	remote, agCli, done := netProtocol(t, netw, func() string { return "" }, 3, 2)
+	defer done()
+	if err := agCli.Submit("", nil); err == nil {
+		t.Error("empty submit accepted")
+	}
+	if err := remote.Init(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, known, err := agCli.Assignment("ghost"); err != nil || known {
+		t.Errorf("ghost assignment: %v known=%v", err, known)
+	}
+}
+
+func TestCiphertextJSONRoundTrip(t *testing.T) {
+	g := elgamal.TestGroup256
+	co, _ := NewCoordinator(g, 3, 100, 8)
+	ct, err := EncryptProfile(co.PublicKey(), []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back elgamal.Ciphertext
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Alpha.Cmp(ct.Alpha) != 0 || len(back.Betas) != len(ct.Betas) {
+		t.Fatal("round trip changed the ciphertext")
+	}
+	for i := range ct.Betas {
+		if back.Betas[i].Cmp(ct.Betas[i]) != 0 {
+			t.Fatalf("beta %d changed", i)
+		}
+	}
+	// Garbage rejections.
+	if err := json.Unmarshal([]byte(`{"alpha":"zz","betas":[]}`), &back); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"alpha":"10","betas":["-5"]}`), &back); err == nil {
+		t.Error("negative element accepted")
+	}
+}
+
+func TestPublicKeyJSONRoundTrip(t *testing.T) {
+	co, _ := NewCoordinator(elgamal.TestGroup256, 2, 100, 8)
+	data, err := json.Marshal(co.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk elgamal.PublicKey
+	if err := json.Unmarshal(data, &pk); err != nil {
+		t.Fatal(err)
+	}
+	if pk.Group.P.Cmp(elgamal.TestGroup256.P) != 0 || len(pk.H) != 4 { // m+2 dims
+		t.Fatalf("round trip: %d dims", len(pk.H))
+	}
+	// Encryption under the deserialized key works against the original
+	// secret key: the distance protocol recovers the true d².
+	if err := co.SetCentroids([][]int64{{5, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := EncryptProfile(&pk, []int64{5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas, err := co.DistanceGammas(ct)
+	if err != nil || len(gammas) != 1 {
+		t.Fatalf("gammas with deserialized-key ciphertext: %v", err)
+	}
+	ag := NewAggregator(elgamal.TestGroup256, 2, 100)
+	if d, ok := ag.dlog.Lookup(gammas[0]); !ok || d != 0 {
+		t.Errorf("d² = %d, %v; want 0 (same point)", d, ok)
+	}
+	// A tampered group must be rejected.
+	var bad elgamal.PublicKey
+	if err := json.Unmarshal([]byte(`{"p":"15","g":"4","h":["2"]}`), &bad); err == nil {
+		t.Error("non-safe prime accepted")
+	}
+}

@@ -1,0 +1,516 @@
+// Package privkmeans implements the Price $heriff's privacy-preserving
+// k-means protocol (paper Sect. 3.8 and Appendix 10.4).
+//
+// The computation is split between two non-colluding parties:
+//
+//   - the Coordinator holds the vector ElGamal secret key and the cluster
+//     centroids; at the end of the protocol it learns only the centroids
+//     (the doppelganger profiles) and each cluster's cardinality;
+//   - the Aggregator holds the clients' encrypted profile points and the
+//     client↔cluster mapping; it never learns a client point or a centroid.
+//
+// A client quantizes its browsing-profile vector a = (a_1..a_m), builds
+// c = (Σa_i², 1, a_1, …, a_m), encrypts c under the Coordinator's public
+// key, submits the ciphertext to the Aggregator, and goes offline — the
+// property that motivated this design over generic MPC (Sect. 3.8).
+//
+// Each iteration has two phases. In the mapping phase the Aggregator runs
+// the inner-product protocol with the Coordinator for every (client,
+// centroid) pair: the Coordinator derives s = (1, Σb_i², −2b_1, …, −2b_m)
+// and the functional key f = ⟨x, s⟩ for each centroid b, evaluates
+// γ = Π β_i^{s_i} / α^f on the submitted ciphertext and returns γ; the
+// Aggregator recovers d²(a,b) = DL(γ) and assigns the client to the
+// nearest centroid. In the update phase the Aggregator homomorphically sums
+// the member ciphertexts of each cluster over dimensions [3, t] and sends
+// the aggregate plus the cardinality to the Coordinator, which decrypts,
+// divides, and obtains the new centroid. The loop halts when the fraction
+// of clients that changed cluster drops below a threshold.
+package privkmeans
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/elgamal"
+)
+
+// DefaultScale quantizes profile frequencies from [0,1] to [0,100].
+const DefaultScale = 100
+
+// BuildClientVector forms c = (Σa_i², 1, a_1, …, a_m) from a quantized
+// profile point.
+func BuildClientVector(a []int64) []int64 {
+	c := make([]int64, len(a)+2)
+	var sq int64
+	for _, v := range a {
+		sq += v * v
+	}
+	c[0] = sq
+	c[1] = 1
+	copy(c[2:], a)
+	return c
+}
+
+// EncryptProfile is the client side of the protocol: quantize, extend,
+// encrypt, submit, go offline.
+func EncryptProfile(pk *elgamal.PublicKey, a []int64) (*elgamal.Ciphertext, error) {
+	return pk.Encrypt(rand.Reader, BuildClientVector(a))
+}
+
+// Coordinator is the key-holding party.
+type Coordinator struct {
+	group *elgamal.Group
+	sk    *elgamal.PrivateKey
+	pk    *elgamal.PublicKey
+
+	m         int
+	scale     int64
+	centroids [][]int64 // k × m quantized profiles
+	sumDlog   *elgamal.DLog
+	rng       *mrand.Rand // centroid randomization
+
+	// cached per-centroid query vectors and functional keys, rebuilt after
+	// every centroid update
+	queries []centroidQuery
+}
+
+type centroidQuery struct {
+	s    []int64
+	fkey *big.Int
+}
+
+// NewCoordinator creates the Coordinator with fresh keys for m-dimensional
+// profiles and space for maxClients aggregated values per dimension.
+func NewCoordinator(group *elgamal.Group, m int, scale int64, maxClients int) (*Coordinator, error) {
+	if m <= 0 || scale <= 0 || maxClients <= 0 {
+		return nil, errors.New("privkmeans: bad coordinator parameters")
+	}
+	sk, pk, err := elgamal.GenerateKeys(group, m+2, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		group:   group,
+		sk:      sk,
+		pk:      pk,
+		m:       m,
+		scale:   scale,
+		sumDlog: elgamal.NewDLog(group, int64(maxClients)*scale+1),
+	}, nil
+}
+
+// PublicKey returns the encryption key clients use.
+func (co *Coordinator) PublicKey() *elgamal.PublicKey { return co.pk }
+
+// InitCentroids seeds k random centroids. Draws are sparse — a handful of
+// high-frequency domains, the rest zero — because that is the publicly
+// known shape of browsing-profile vectors; dense uniform centroids would
+// sit far from every real profile and collapse the clustering into one
+// cluster.
+func (co *Coordinator) InitCentroids(rng *mrand.Rand, k int) {
+	co.rng = rng
+	co.centroids = make([][]int64, k)
+	for j := range co.centroids {
+		co.centroids[j] = co.randomCentroid()
+	}
+	co.rebuildQueries()
+}
+
+func (co *Coordinator) randomCentroid() []int64 {
+	c := make([]int64, co.m)
+	hot := 1 + co.rng.Intn(co.m/4+1)
+	for h := 0; h < hot; h++ {
+		c[co.rng.Intn(co.m)] = int64(co.rng.Intn(int(co.scale) + 1))
+	}
+	return c
+}
+
+// SetCentroids installs explicit centroids (used by tests and by warm
+// restarts from a previous clustering).
+func (co *Coordinator) SetCentroids(centroids [][]int64) error {
+	for _, c := range centroids {
+		if len(c) != co.m {
+			return elgamal.ErrDimMismatch
+		}
+	}
+	co.centroids = centroids
+	co.rebuildQueries()
+	return nil
+}
+
+// Centroids returns the current centroids dequantized to [0,1] profiles —
+// the doppelganger browsing-profile vectors.
+func (co *Coordinator) Centroids() []cluster.Point {
+	out := make([]cluster.Point, len(co.centroids))
+	for j, c := range co.centroids {
+		out[j] = cluster.Dequantize(c, co.scale)
+	}
+	return out
+}
+
+// K returns the number of clusters.
+func (co *Coordinator) K() int { return len(co.centroids) }
+
+// rebuildQueries recomputes s and f for every centroid.
+func (co *Coordinator) rebuildQueries() {
+	co.queries = make([]centroidQuery, len(co.centroids))
+	for j, b := range co.centroids {
+		s := make([]int64, co.m+2)
+		s[0] = 1
+		var sq int64
+		for _, v := range b {
+			sq += v * v
+		}
+		s[1] = sq
+		for i, v := range b {
+			s[2+i] = -2 * v
+		}
+		fkey, err := co.sk.DeriveFunctionKey(s)
+		if err != nil {
+			panic(fmt.Sprintf("privkmeans: internal dimension bug: %v", err))
+		}
+		co.queries[j] = centroidQuery{s: s, fkey: fkey}
+	}
+}
+
+// DistanceGammas is the Coordinator's half of the mapping phase: for one
+// client ciphertext it returns γ_j = g^{d²(a, b_j)} for every centroid j.
+// The ciphertext carries no client identity.
+func (co *Coordinator) DistanceGammas(ct *elgamal.Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(co.queries))
+	for j, q := range co.queries {
+		gamma, err := elgamal.EvalDotProductRaw(co.group, ct, q.s, q.fkey)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = gamma
+	}
+	return out, nil
+}
+
+// UpdateCentroids is the Coordinator's half of the update phase: decrypt
+// each cluster aggregate over dimensions [2, t), divide by the cardinality
+// and install the result. Empty clusters keep their previous centroid.
+func (co *Coordinator) UpdateCentroids(aggs []*elgamal.Ciphertext, cardinalities []int) error {
+	if len(aggs) != len(co.centroids) || len(cardinalities) != len(co.centroids) {
+		return elgamal.ErrDimMismatch
+	}
+	for j, agg := range aggs {
+		n := cardinalities[j]
+		if n == 0 || agg == nil {
+			// The Coordinator legitimately learns cardinalities; an empty
+			// cluster's centroid is re-randomized so it can capture
+			// clients in later iterations instead of being dead weight.
+			if co.rng != nil {
+				co.centroids[j] = co.randomCentroid()
+			}
+			continue
+		}
+		next := make([]int64, co.m)
+		for d := 0; d < co.m; d++ {
+			sum, err := co.sk.DecryptAt(agg, d+2, co.sumDlog)
+			if err != nil {
+				return fmt.Errorf("privkmeans: centroid %d dim %d: %w", j, d, err)
+			}
+			next[d] = (sum + int64(n)/2) / int64(n) // rounded mean
+		}
+		co.centroids[j] = next
+	}
+	co.rebuildQueries()
+	return nil
+}
+
+// Aggregator holds encrypted client points and the client→cluster mapping.
+type Aggregator struct {
+	group *elgamal.Group
+	dlog  *elgamal.DLog
+
+	mu     sync.Mutex
+	ids    []string
+	cts    map[string]*elgamal.Ciphertext
+	assign map[string]int
+}
+
+// NewAggregator creates an Aggregator able to recover squared distances up
+// to m·scale².
+func NewAggregator(group *elgamal.Group, m int, scale int64) *Aggregator {
+	return &Aggregator{
+		group:  group,
+		dlog:   elgamal.NewDLog(group, int64(m)*scale*scale+1),
+		cts:    make(map[string]*elgamal.Ciphertext),
+		assign: make(map[string]int),
+	}
+}
+
+// Submit stores a client's encrypted profile. Resubmission replaces the
+// previous ciphertext (a client refreshing its profile).
+func (ag *Aggregator) Submit(clientID string, ct *elgamal.Ciphertext) {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	if _, ok := ag.cts[clientID]; !ok {
+		ag.ids = append(ag.ids, clientID)
+	}
+	ag.cts[clientID] = ct
+}
+
+// Clients returns the number of submitted profiles.
+func (ag *Aggregator) Clients() int {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	return len(ag.cts)
+}
+
+// Assignment returns the cluster of a client (the doppelganger ID lookup a
+// PPC performs in step 3.3 of the price-check protocol), and whether the
+// client is known and mapped.
+func (ag *Aggregator) Assignment(clientID string) (int, bool) {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	j, ok := ag.assign[clientID]
+	return j, ok
+}
+
+// DistanceEvaluator is the Coordinator's half of the mapping phase as the
+// Aggregator sees it: hand over a ciphertext, receive one γ = g^{d²} per
+// centroid. *Coordinator implements it in-process; RemoteCoordinator
+// implements it across administrative domains.
+type DistanceEvaluator interface {
+	DistanceGammas(ct *elgamal.Ciphertext) ([]*big.Int, error)
+}
+
+// MapClients runs the mapping phase against the Coordinator with the given
+// number of worker threads, returning how many clients changed cluster and
+// the total squared distance of the mapping (an Aggregator-side quality
+// signal: it already learns every distance, so no extra information
+// leaks). Per-client work is independent, which is what makes the protocol
+// "highly parallelizable" (paper Fig. 8c).
+func (ag *Aggregator) MapClients(co DistanceEvaluator, threads int) (int, int64, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	ag.mu.Lock()
+	ids := append([]string(nil), ag.ids...)
+	ag.mu.Unlock()
+
+	type result struct {
+		id    string
+		best  int
+		bestD int64
+		err   error
+	}
+	work := make(chan string)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range work {
+				ag.mu.Lock()
+				ct := ag.cts[id]
+				ag.mu.Unlock()
+				gammas, err := co.DistanceGammas(ct)
+				if err != nil {
+					results <- result{id: id, err: err}
+					continue
+				}
+				best, bestD := -1, int64(0)
+				var lookupErr error
+				for j, gamma := range gammas {
+					d, ok := ag.dlog.Lookup(gamma)
+					if !ok {
+						lookupErr = elgamal.ErrDLogRange
+						break
+					}
+					if best == -1 || d < bestD {
+						best, bestD = j, d
+					}
+				}
+				results <- result{id: id, best: best, bestD: bestD, err: lookupErr}
+			}
+		}()
+	}
+	go func() {
+		for _, id := range ids {
+			work <- id
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+
+	changed := 0
+	var totalD2 int64
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		totalD2 += r.bestD
+		ag.mu.Lock()
+		if prev, ok := ag.assign[r.id]; !ok || prev != r.best {
+			changed++
+		}
+		ag.assign[r.id] = r.best
+		ag.mu.Unlock()
+	}
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	return changed, totalD2, nil
+}
+
+// ResetAssignments clears the client→cluster mapping (used between
+// restarts so "changed" counts start fresh).
+func (ag *Aggregator) ResetAssignments() {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	ag.assign = make(map[string]int)
+}
+
+// ClusterAggregates is the Aggregator's half of the update phase: the
+// homomorphic per-cluster sums over dimensions [2, t) plus cardinalities.
+func (ag *Aggregator) ClusterAggregates(k int) ([]*elgamal.Ciphertext, []int, error) {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	aggs := make([]*elgamal.Ciphertext, k)
+	counts := make([]int, k)
+	for _, id := range ag.ids {
+		j, ok := ag.assign[id]
+		if !ok || j < 0 || j >= k {
+			continue
+		}
+		ct := ag.cts[id]
+		counts[j]++
+		if aggs[j] == nil {
+			aggs[j] = ct
+			continue
+		}
+		sum, err := aggs[j].AddRange(ag.group, ct, 2, len(ct.Betas))
+		if err != nil {
+			return nil, nil, err
+		}
+		aggs[j] = sum
+	}
+	return aggs, counts, nil
+}
+
+// Config parameterizes a protocol run.
+type Config struct {
+	Group    *elgamal.Group
+	K        int     // clusters (doppelgangers)
+	M        int     // profile dimensions
+	Scale    int64   // quantization scale (default DefaultScale)
+	Threads  int     // mapping-phase parallelism (default 1)
+	MaxIter  int     // default 20
+	HaltFrac float64 // halt when changed/n below this (default 0.02)
+	Seed     int64   // centroid-seeding randomness
+	// Restarts reruns the iteration from fresh random centroids and keeps
+	// the mapping with the lowest total squared distance — a quality
+	// signal the Aggregator already possesses, so restarts leak nothing
+	// new. Client ciphertexts are encrypted once and reused. Default 1.
+	Restarts int
+}
+
+// Outcome is a completed protocol run.
+type Outcome struct {
+	Centroids  []cluster.Point // doppelganger profiles, known to the Coordinator
+	Assign     []int           // client→cluster, known to the Aggregator
+	Iterations int
+}
+
+// Run executes the full protocol over cleartext points (each quantized and
+// encrypted exactly as a real client would; the cleartext never reaches the
+// Coordinator or Aggregator code paths).
+func Run(cfg Config, points []cluster.Point) (*Outcome, error) {
+	if len(points) == 0 {
+		return nil, errors.New("privkmeans: no points")
+	}
+	if cfg.K < 1 || cfg.K > len(points) {
+		return nil, errors.New("privkmeans: bad k")
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = DefaultScale
+	}
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 20
+	}
+	if cfg.HaltFrac == 0 {
+		cfg.HaltFrac = 0.02
+	}
+	if cfg.Group == nil {
+		cfg.Group = elgamal.TestGroup256
+	}
+
+	if cfg.Restarts < 1 {
+		cfg.Restarts = 1
+	}
+
+	co, err := NewCoordinator(cfg.Group, cfg.M, cfg.Scale, len(points))
+	if err != nil {
+		return nil, err
+	}
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+	ag := NewAggregator(cfg.Group, cfg.M, cfg.Scale)
+
+	// Client phase: encrypt and submit once, then go offline; restarts
+	// reuse the same ciphertexts.
+	for i, p := range points {
+		if len(p) != cfg.M {
+			return nil, elgamal.ErrDimMismatch
+		}
+		ct, err := EncryptProfile(co.PublicKey(), cluster.Quantize(p, cfg.Scale))
+		if err != nil {
+			return nil, err
+		}
+		ag.Submit(fmt.Sprintf("client-%04d", i), ct)
+	}
+
+	var best *Outcome
+	bestD2 := int64(-1)
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		co.InitCentroids(rng, cfg.K)
+		ag.ResetAssignments()
+		iters := 0
+		var lastD2 int64
+		for ; iters < cfg.MaxIter; iters++ {
+			changed, d2, err := ag.MapClients(co, cfg.Threads)
+			if err != nil {
+				return nil, err
+			}
+			lastD2 = d2
+			if float64(changed)/float64(len(points)) < cfg.HaltFrac {
+				iters++
+				break
+			}
+			aggs, counts, err := ag.ClusterAggregates(cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			if err := co.UpdateCentroids(aggs, counts); err != nil {
+				return nil, err
+			}
+		}
+		assign := make([]int, len(points))
+		for i := range points {
+			j, ok := ag.Assignment(fmt.Sprintf("client-%04d", i))
+			if !ok {
+				return nil, errors.New("privkmeans: unmapped client")
+			}
+			assign[i] = j
+		}
+		if bestD2 < 0 || lastD2 < bestD2 {
+			bestD2 = lastD2
+			best = &Outcome{Centroids: co.Centroids(), Assign: assign, Iterations: iters}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,369 @@
+package privkmeans
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/elgamal"
+)
+
+func blobPoints(rng *mrand.Rand, perBlob, m int) ([]cluster.Point, []int) {
+	// Blobs at "corners" of the unit cube restricted to [0,1]^m.
+	centers := []cluster.Point{
+		make(cluster.Point, m),
+		make(cluster.Point, m),
+		make(cluster.Point, m),
+	}
+	for d := 0; d < m; d++ {
+		centers[1][d] = 1
+		if d%2 == 0 {
+			centers[2][d] = 1
+		}
+	}
+	var pts []cluster.Point
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < perBlob; i++ {
+			p := make(cluster.Point, m)
+			for d := range p {
+				v := center[d] + rng.NormFloat64()*0.05
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				p[d] = v
+			}
+			pts = append(pts, p)
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestBuildClientVector(t *testing.T) {
+	c := BuildClientVector([]int64{3, 4})
+	want := []int64{25, 1, 3, 4}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("c[%d] = %d, want %d", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDistanceProtocolMatchesPlaintext(t *testing.T) {
+	group := elgamal.TestGroup256
+	m := 8
+	co, err := NewCoordinator(group, m, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroids := [][]int64{
+		{0, 10, 20, 30, 40, 50, 60, 70},
+		{100, 90, 80, 70, 60, 50, 40, 30},
+	}
+	if err := co.SetCentroids(centroids); err != nil {
+		t.Fatal(err)
+	}
+	a := []int64{5, 15, 25, 35, 45, 55, 65, 75}
+	ct, err := EncryptProfile(co.PublicKey(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gammas, err := co.DistanceGammas(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAggregator(group, m, 100)
+	for j, b := range centroids {
+		var want int64
+		for i := range a {
+			d := a[i] - b[i]
+			want += d * d
+		}
+		got, ok := ag.dlog.Lookup(gammas[j])
+		if !ok {
+			t.Fatalf("centroid %d: dlog miss", j)
+		}
+		if got != want {
+			t.Errorf("centroid %d: d² = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestCentroidUpdateMatchesMean(t *testing.T) {
+	group := elgamal.TestGroup256
+	m := 4
+	co, err := NewCoordinator(group, m, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.SetCentroids([][]int64{{0, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAggregator(group, m, 100)
+	points := [][]int64{
+		{10, 20, 30, 40},
+		{20, 30, 40, 50},
+		{60, 10, 20, 30},
+	}
+	for i, p := range points {
+		ct, err := EncryptProfile(co.PublicKey(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag.Submit(fmt.Sprintf("c%d", i), ct)
+	}
+	if _, _, err := ag.MapClients(co, 2); err != nil {
+		t.Fatal(err)
+	}
+	aggs, counts, err := ag.ClusterAggregates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 {
+		t.Fatalf("cardinality = %d", counts[0])
+	}
+	if err := co.UpdateCentroids(aggs, counts); err != nil {
+		t.Fatal(err)
+	}
+	got := co.centroids[0]
+	want := []int64{30, 20, 30, 40} // rounded means
+	for d := range want {
+		if got[d] != want[d] {
+			t.Errorf("centroid dim %d = %d, want %d", d, got[d], want[d])
+		}
+	}
+}
+
+func TestRunRecoversBlobs(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	m := 6
+	points, truth := blobPoints(rng, 8, m)
+	out, err := Run(Config{K: 3, M: m, Threads: 4, Seed: 7, Restarts: 5}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each ground-truth blob must land in a single cluster.
+	blobToCluster := map[int]int{}
+	for i, a := range out.Assign {
+		if prev, ok := blobToCluster[truth[i]]; ok && prev != a {
+			t.Fatalf("blob %d split across clusters", truth[i])
+		}
+		blobToCluster[truth[i]] = a
+	}
+	if len(blobToCluster) != 3 {
+		t.Errorf("blobs collapsed into %d clusters", len(blobToCluster))
+	}
+	if out.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+	if len(out.Centroids) != 3 {
+		t.Errorf("centroids = %d", len(out.Centroids))
+	}
+}
+
+func TestRunAgainstPlainKMeansQuality(t *testing.T) {
+	// The private protocol should produce clusterings of quality comparable
+	// to cleartext k-means (silhouette within a tolerance).
+	rng := mrand.New(mrand.NewSource(2))
+	m := 4
+	points, _ := blobPoints(rng, 10, m)
+
+	private, err := Run(Config{K: 3, M: m, Threads: 4, Seed: 3, Restarts: 5}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := cluster.KMeans(mrand.New(mrand.NewSource(3)), points, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPriv := cluster.Silhouette(points, private.Assign, 3)
+	sPlain := cluster.Silhouette(points, plain.Assign, 3)
+	if sPriv < sPlain-0.15 {
+		t.Errorf("private silhouette %.3f much worse than plain %.3f", sPriv, sPlain)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{K: 1, M: 2}, nil); err == nil {
+		t.Error("want error for no points")
+	}
+	pts := []cluster.Point{{0.1, 0.2}}
+	if _, err := Run(Config{K: 2, M: 2}, pts); err == nil {
+		t.Error("want error for k > n")
+	}
+	if _, err := Run(Config{K: 1, M: 3}, pts); err != elgamal.ErrDimMismatch {
+		t.Errorf("want ErrDimMismatch, got %v", err)
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(elgamal.TestGroup256, 0, 100, 10); err == nil {
+		t.Error("m=0 must fail")
+	}
+	co, _ := NewCoordinator(elgamal.TestGroup256, 2, 100, 10)
+	if err := co.SetCentroids([][]int64{{1, 2, 3}}); err != elgamal.ErrDimMismatch {
+		t.Errorf("want ErrDimMismatch, got %v", err)
+	}
+	co.InitCentroids(mrand.New(mrand.NewSource(1)), 3)
+	if err := co.UpdateCentroids(nil, nil); err != elgamal.ErrDimMismatch {
+		t.Errorf("want ErrDimMismatch for wrong lengths, got %v", err)
+	}
+}
+
+// Privacy smoke test: the Aggregator's view of a client is the ciphertext;
+// two clients with identical profiles must still submit distinct
+// ciphertexts (semantic security), and the mapping it learns is only the
+// cluster index.
+func TestAggregatorViewIsOpaque(t *testing.T) {
+	co, err := NewCoordinator(elgamal.TestGroup256, 3, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []int64{10, 20, 30}
+	ct1, _ := EncryptProfile(co.PublicKey(), a)
+	ct2, _ := EncryptProfile(co.PublicKey(), a)
+	if ct1.Alpha.Cmp(ct2.Alpha) == 0 {
+		t.Error("identical profiles produced identical ciphertexts")
+	}
+	for i := range ct1.Betas {
+		if ct1.Betas[i].Cmp(ct2.Betas[i]) == 0 {
+			t.Errorf("beta %d equal across encryptions", i)
+		}
+	}
+}
+
+// The two halves must agree even when the aggregation is a single client
+// (cardinality 1): the new centroid equals that client's point.
+func TestSingletonClusterUpdate(t *testing.T) {
+	group := elgamal.TestGroup256
+	co, _ := NewCoordinator(group, 3, 100, 10)
+	co.SetCentroids([][]int64{{50, 50, 50}})
+	ag := NewAggregator(group, 3, 100)
+	p := []int64{7, 77, 100}
+	ct, _ := EncryptProfile(co.PublicKey(), p)
+	ag.Submit("solo", ct)
+	if _, _, err := ag.MapClients(co, 1); err != nil {
+		t.Fatal(err)
+	}
+	aggs, counts, _ := ag.ClusterAggregates(1)
+	if err := co.UpdateCentroids(aggs, counts); err != nil {
+		t.Fatal(err)
+	}
+	for d, want := range p {
+		if co.centroids[0][d] != want {
+			t.Errorf("dim %d = %d, want %d", d, co.centroids[0][d], want)
+		}
+	}
+}
+
+func TestEmptyClusterKeepsCentroid(t *testing.T) {
+	group := elgamal.TestGroup256
+	co, _ := NewCoordinator(group, 2, 100, 10)
+	orig := [][]int64{{10, 10}, {90, 90}}
+	co.SetCentroids([][]int64{{10, 10}, {90, 90}})
+	ag := NewAggregator(group, 2, 100)
+	// One client very near centroid 0; cluster 1 stays empty.
+	ct, _ := EncryptProfile(co.PublicKey(), []int64{12, 8})
+	ag.Submit("c", ct)
+	if _, _, err := ag.MapClients(co, 1); err != nil {
+		t.Fatal(err)
+	}
+	aggs, counts, _ := ag.ClusterAggregates(2)
+	if counts[1] != 0 {
+		t.Fatalf("cluster 1 cardinality = %d", counts[1])
+	}
+	if err := co.UpdateCentroids(aggs, counts); err != nil {
+		t.Fatal(err)
+	}
+	if co.centroids[1][0] != orig[1][0] || co.centroids[1][1] != orig[1][1] {
+		t.Error("empty cluster centroid moved")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(4))
+	m := 4
+	points, _ := blobPoints(rng, 6, m)
+	serial, err := Run(Config{K: 3, M: m, Threads: 1, Seed: 11}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(Config{K: 3, M: m, Threads: 8, Seed: 11}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same centroid initialization; assignments must agree.
+	for i := range serial.Assign {
+		if serial.Assign[i] != parallel.Assign[i] {
+			t.Fatalf("client %d: serial=%d parallel=%d", i, serial.Assign[i], parallel.Assign[i])
+		}
+	}
+}
+
+func BenchmarkMappingPhase(b *testing.B) {
+	group := elgamal.TestGroup256
+	m := 50
+	co, err := NewCoordinator(group, m, 100, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	co.InitCentroids(mrand.New(mrand.NewSource(1)), 10)
+	ag := NewAggregator(group, m, 100)
+	rng := mrand.New(mrand.NewSource(2))
+	for i := 0; i < 16; i++ {
+		p := make([]int64, m)
+		for d := range p {
+			p[d] = int64(rng.Intn(101))
+		}
+		ct, err := EncryptProfile(co.PublicKey(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ag.Submit(fmt.Sprintf("c%d", i), ct)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ag.MapClients(co, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptProfile(b *testing.B) {
+	co, err := NewCoordinator(elgamal.TestGroup256, 100, 100, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]int64, 100)
+	for d := range p {
+		p[d] = int64(d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncryptProfile(co.PublicKey(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = rand.Reader
+}
+
+func TestConvergesInPaperIterationRange(t *testing.T) {
+	// Paper Sect. 4: "on average, the privacy-preserving k-means algorithm
+	// requires between 6 to 10 iterations to converge." With structured
+	// profile data and restarts, runs converge well before MaxIter.
+	rng := mrand.New(mrand.NewSource(9))
+	points, _ := blobPoints(rng, 12, 5)
+	out, err := Run(Config{K: 3, M: 5, Threads: 4, Seed: 5, MaxIter: 30, Restarts: 2}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iterations < 1 || out.Iterations >= 30 {
+		t.Errorf("iterations = %d, want convergence before MaxIter", out.Iterations)
+	}
+}

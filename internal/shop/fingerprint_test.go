@@ -1,0 +1,86 @@
+package shop
+
+import (
+	"math"
+	"testing"
+
+	"pricesheriff/internal/currency"
+	"pricesheriff/internal/geo"
+)
+
+// The paper's footnote 2: doppelgangers cannot shield server-side state
+// built via IP tracking or fingerprinting. This suite demonstrates both
+// halves — fingerprinting pierces cookie hygiene, and the default world
+// (like the 2013-2014 web) mostly does not fingerprint.
+func TestFingerprintingPiercesCookieHygiene(t *testing.T) {
+	w := geo.NewWorld()
+	s := New("fp-shop.com", "US", w, currency.DefaultRates())
+	s.EnableFingerprinting()
+	s.Strategy = PDIPD{Threshold: 3, Markup: 0.12}
+	s.AddProduct(&Product{SKU: "cam", Name: "Camera", Category: "electronics", BasePrice: 500})
+
+	ip := "11.3.0.10" // a US address in the synthetic space
+	ua := "firefox on linux"
+	base := &FetchRequest{URL: s.ProductURL("cam"), IP: ip, UserAgent: ua}
+
+	// Four cookie-less fetches: no cookies ever carried, yet the shop's
+	// fingerprint profile accretes.
+	for i := 0; i < 4; i++ {
+		req := *base
+		req.Nonce = uint64(i)
+		if resp := s.Fetch(&req); resp.Status != 200 {
+			t.Fatalf("status %d", resp.Status)
+		}
+	}
+	profile := s.FingerprintProfile(ua, ip)
+	if profile["electronics"] != 4 {
+		t.Fatalf("fingerprint profile = %v, want 4 electronics visits", profile)
+	}
+
+	// The fifth fetch is priced up by PDI-PD even with clean cookies.
+	req := *base
+	req.Nonce = 99
+	resp := s.Fetch(&req)
+	price := extractEUR(t, resp.HTML, s)
+	if math.Abs(price-560) > 3 {
+		t.Errorf("fingerprinted visitor price = %v, want ≈560", price)
+	}
+
+	// A different device (other UA) from another address still gets base.
+	otherIP := "11.3.0.99"
+	other := s.Fetch(&FetchRequest{URL: s.ProductURL("cam"), IP: otherIP, UserAgent: "safari on mac", Nonce: 100})
+	otherPrice := extractEUR(t, other.HTML, s)
+	if math.Abs(otherPrice-500) > 3 {
+		t.Errorf("fresh device price = %v, want ≈500", otherPrice)
+	}
+}
+
+func TestFingerprintStableAcrossCookieResets(t *testing.T) {
+	w := geo.NewWorld()
+	s := New("fp-shop.com", "US", w, currency.DefaultRates())
+	s.EnableFingerprinting()
+	s.AddProduct(&Product{SKU: "x", Name: "Thing", Category: "games", BasePrice: 10})
+	req := &FetchRequest{URL: s.ProductURL("x"), IP: "11.3.0.20", UserAgent: "chrome on windows"}
+	s.Fetch(req)
+	// "Clearing cookies" (sending none) does not reset the fingerprint.
+	req2 := *req
+	req2.Nonce = 5
+	s.Fetch(&req2)
+	if got := s.FingerprintProfile(req.UserAgent, req.IP)["games"]; got != 2 {
+		t.Errorf("profile visits = %d, want 2", got)
+	}
+}
+
+func TestFingerprintingOffByDefault(t *testing.T) {
+	m := smallMall()
+	for _, d := range m.Domains() {
+		s, _ := m.Shop(d)
+		if s.Fingerprinting {
+			t.Fatalf("%s fingerprints by default", d)
+		}
+	}
+	s, _ := m.Shop("chegg.com")
+	if s.FingerprintProfile("ua", "1.2.3.4") != nil {
+		t.Error("profile exists without fingerprinting enabled")
+	}
+}

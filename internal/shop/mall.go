@@ -1,0 +1,394 @@
+package shop
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"pricesheriff/internal/currency"
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/tracker"
+)
+
+// Mall is the whole synthetic e-commerce world: every retailer the live
+// deployment observed, reachable by domain. The construction parameters are
+// calibrated to the paper's ground truth:
+//
+//   - 1994 checked domains, of which 76 (3.8%) apply location-based PD;
+//   - 7 domains with within-country variation, led by the three case
+//     studies (amazon.com: VAT-driven; jcpenney.com and chegg.com: A/B);
+//   - named domains reproducing Table 3's extreme differences and Fig. 9's
+//     medians;
+//   - an Alexa top-400 set with no within-country variation (Sect. 7.6);
+//   - optionally, one explicit PDI-PD retailer for watchdog validation
+//     (absent from the wild per the paper, present here as a known
+//     positive).
+type Mall struct {
+	World    *geo.World
+	Rates    *currency.RateTable
+	Trackers []*tracker.Tracker
+
+	shops map[string]*Shop
+	order []string
+
+	// Ground-truth bookkeeping, used only by tests and the experiment
+	// harness to verify detector output — never by the detector itself.
+	LocationPDDomains    []string
+	WithinCountryDomains []string
+	Alexa400             []string
+	PDIPDDomain          string
+}
+
+// MallConfig sizes the world. Zero values select the paper's scale.
+type MallConfig struct {
+	Seed          int64
+	NumDomains    int  // total checked domains (default 1994)
+	NumLocationPD int  // domains with location PD (default 76)
+	NumAlexa      int  // Alexa top e-commerce sites (default 400)
+	IncludePDIPD  bool // add the PDI-PD validation retailer
+}
+
+// Categories of the synthetic catalogs.
+var Categories = []string{
+	"electronics", "clothing", "books", "textbooks", "games",
+	"travel", "cosmetics", "jewelry", "household", "furniture",
+}
+
+// NewMall builds the world.
+func NewMall(cfg MallConfig) *Mall {
+	if cfg.NumDomains == 0 {
+		cfg.NumDomains = 1994
+	}
+	if cfg.NumLocationPD == 0 {
+		cfg.NumLocationPD = 76
+	}
+	if cfg.NumAlexa == 0 {
+		cfg.NumAlexa = 400
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &Mall{
+		World: geo.NewWorld(),
+		Rates: currency.DefaultRates(),
+		Trackers: []*tracker.Tracker{
+			tracker.New("adnet.example"),
+			tracker.New("pixel.example"),
+			tracker.New("beacon.example"),
+		},
+		shops: make(map[string]*Shop),
+	}
+
+	m.buildCaseStudies(rng)
+	m.buildNamedLocationPD(rng)
+
+	// Generic location-PD shops up to NumLocationPD (the named ones count).
+	for len(m.LocationPDDomains) < cfg.NumLocationPD {
+		domain := fmt.Sprintf("shop-pd-%04d.com", len(m.LocationPDDomains))
+		s := m.genericShop(rng, domain, 2+rng.Intn(4))
+		s.Strategy = DefaultLocationTiered()
+		m.add(s)
+		m.LocationPDDomains = append(m.LocationPDDomains, domain)
+	}
+
+	// Static long tail up to NumDomains.
+	for len(m.order) < cfg.NumDomains {
+		domain := fmt.Sprintf("shop-%04d.com", len(m.order))
+		s := m.genericShop(rng, domain, 2+rng.Intn(4))
+		m.add(s)
+	}
+
+	// Alexa top-400: popular e-retailers, none with within-country
+	// variation (mild location factors at most).
+	for i := 0; i < cfg.NumAlexa; i++ {
+		domain := fmt.Sprintf("alexa-shop-%03d.com", i)
+		s := m.genericShop(rng, domain, 5)
+		if i%10 == 0 {
+			s.Strategy = LocationTiered{MaxSpreadCheap: 0.1, MaxSpreadMid: 0.05, MaxSpreadExpensive: 0.02}
+		}
+		m.add(s)
+		m.Alexa400 = append(m.Alexa400, domain)
+	}
+
+	if cfg.IncludePDIPD {
+		m.buildPDIPDValidation(rng)
+	}
+	return m
+}
+
+// add registers a shop with the mall, attaching the shared trackers.
+func (m *Mall) add(s *Shop) {
+	if len(s.Trackers) == 0 {
+		s.Trackers = m.Trackers[:2] // most shops embed the two big trackers
+	}
+	m.shops[s.Domain] = s
+	m.order = append(m.order, s.Domain)
+}
+
+// genericShop creates a shop with a small random catalog. Prices are
+// log-uniform over €5–€1000 with a 10% chance of an expensive tier.
+func (m *Mall) genericShop(rng *rand.Rand, domain string, products int) *Shop {
+	countries := m.World.Countries()
+	s := New(domain, countries[rng.Intn(len(countries))], m.World, m.Rates)
+	s.Localize = rng.Intn(2) == 0
+	s.Notation = NotationStyle(rng.Intn(3))
+	for i := 0; i < products; i++ {
+		base := 5 * pow(200, rng.Float64()) // 5 .. 1000
+		if rng.Intn(10) == 0 {
+			base *= 20 // expensive tier
+		}
+		cat := Categories[rng.Intn(len(Categories))]
+		s.AddProduct(&Product{
+			SKU:       fmt.Sprintf("%s-p%02d", domainKey(domain), i),
+			Name:      fmt.Sprintf("%s item %d", cat, i),
+			Category:  cat,
+			BasePrice: round2(base),
+		})
+	}
+	return s
+}
+
+// buildCaseStudies creates the three retailers of Sect. 7.3.
+func (m *Mall) buildCaseStudies(rng *rand.Rand) {
+	// amazon.com: localized currency, VAT for logged-in visitors only.
+	amazon := New("amazon.com", "US", m.World, m.Rates)
+	amazon.Localize = true
+	amazon.Notation = NotationSymbol
+	amazon.Strategy = VAT{World: m.World, OnlyLoggedIn: true, Fraction: 0.07}
+	addCatalog(amazon, rng, 25, []string{"electronics", "books", "household", "clothing"}, 8, 900)
+	m.add(amazon)
+
+	// jcpenney.com: sticky discrete A/B per country plus temporal jumps.
+	jcp := New("jcpenney.com", "US", m.World, m.Rates)
+	jcp.Notation = NotationSymbol
+	jcp.Strategy = Chain{
+		LocationTiered{MaxSpreadCheap: 0.40, MaxSpreadMid: 0.25, MaxSpreadExpensive: 0.12},
+		PerCountry{
+			ByCountry: map[string]Strategy{
+				"ES": ABGate{Prob: 0.59, Inner: ABLevels{Levels: []float64{0, 0.005, 0.01, 0.015, 0.02}, Sticky: true}},
+				"FR": ABGate{Prob: 0.67, Inner: ABLevels{Levels: []float64{0, 0.02}, Sticky: true}},
+				"GB": ABGate{Prob: 0.58, Inner: ABLevels{Levels: []float64{0, 0.07}, Weights: []float64{0.8, 0.2}, Sticky: true}},
+				"DE": ABGate{Prob: 0.35, Inner: ABLevels{Levels: []float64{0, 0.01}, Sticky: true}},
+			},
+		},
+		Drift{PerDay: 0.004, DailyFrac: 0.037, JumpProb: 0.05, JumpFrac: 0.22},
+	}
+	// Fig. 14's five representative products.
+	for _, p := range []Product{
+		{SKU: "jcp-fridge", Name: "Stainless Refrigerator", Category: "household", BasePrice: 780},
+		{SKU: "jcp-mudmask", Name: "Whipped Mud Mask", Category: "cosmetics", BasePrice: 24},
+		{SKU: "jcp-shave", Name: "Men Shaving Cream", Category: "cosmetics", BasePrice: 11},
+		{SKU: "jcp-sofa", Name: "3-Seat Living Room Sofa", Category: "furniture", BasePrice: 620},
+		{SKU: "jcp-bag", Name: "Leather Bag", Category: "clothing", BasePrice: 95},
+	} {
+		pp := p
+		jcp.AddProduct(&pp)
+	}
+	addCatalog(jcp, rng, 25, []string{"clothing", "cosmetics", "jewelry", "household"}, 8, 800)
+	m.add(jcp)
+
+	// chegg.com: textbook rentals, gated sticky continuous A/B plus slow
+	// drift with large daily fluctuation.
+	chegg := New("chegg.com", "US", m.World, m.Rates)
+	chegg.Notation = NotationSymbol
+	chegg.Strategy = Chain{
+		PerCountry{
+			ByCountry: map[string]Strategy{
+				"ES": ABGate{Prob: 0.39, Inner: stickySpread{}},
+				"GB": ABGate{Prob: 0.15, Inner: stickySpread{}},
+				"DE": ABGate{Prob: 0.025, Inner: stickySpread{}},
+				// FR deliberately absent: the paper measured 0.0% there.
+			},
+		},
+		Drift{PerDay: -0.003, DailyFrac: 0.083, JumpProb: 0.005, JumpFrac: 0.10},
+	}
+	for i := 0; i < 25; i++ {
+		chegg.AddProduct(&Product{
+			SKU:       fmt.Sprintf("chegg-tb%02d", i),
+			Name:      fmt.Sprintf("Textbook vol. %d", i+1),
+			Category:  "textbooks",
+			BasePrice: round2(10 + rng.Float64()*90), // €10–€100, Sect. 7.3
+		})
+	}
+	m.add(chegg)
+
+	m.WithinCountryDomains = []string{"amazon.com", "jcpenney.com", "chegg.com"}
+	m.LocationPDDomains = append(m.LocationPDDomains, "jcpenney.com")
+
+	// Four minor within-country domains (the paper found 7 in total).
+	for i := 0; i < 4; i++ {
+		domain := fmt.Sprintf("minor-wc-%d.com", i)
+		s := m.genericShop(rng, domain, 4)
+		s.Strategy = Chain{
+			DefaultLocationTiered(),
+			ABGate{Prob: 0.2, Inner: ABLevels{Levels: []float64{0, 0.03}, Sticky: true}},
+		}
+		m.add(s)
+		m.WithinCountryDomains = append(m.WithinCountryDomains, domain)
+		m.LocationPDDomains = append(m.LocationPDDomains, domain)
+	}
+}
+
+// stickySpread is chegg's inner experiment: each visitor gets a stable
+// markup in [0, F] where F is the product's 3–7% spread (Fig. 12).
+type stickySpread struct{}
+
+func (stickySpread) Name() string { return "sticky-spread" }
+
+func (stickySpread) Adjust(price float64, ctx *Context) float64 {
+	spread := 0.03 + det("spread", ctx.Domain, ctx.Product.SKU)*0.04
+	var u float64
+	if ctx.Sticky != "" {
+		u = det("sticky-u", ctx.Domain, ctx.Sticky)
+	} else {
+		u = det("sticky-rand", ctx.Domain, ctx.Product.SKU, u64s(ctx.Nonce))
+	}
+	return price * (1 + u*spread)
+}
+
+// namedPD describes a Table 3 / Fig. 9 retailer: its headline product and
+// the extreme cross-country ratio the paper measured.
+type namedPD struct {
+	domain   string
+	product  string
+	category string
+	minPrice float64
+	ratio    float64
+	extra    int // additional catalog items
+}
+
+// buildNamedLocationPD creates the retailers behind Table 3 and Fig. 9.
+func (m *Mall) buildNamedLocationPD(rng *rand.Rand) {
+	named := []namedPD{
+		{"steampowered.com", "Computer Game", "games", 8.46, 2.55, 8},
+		{"abercrombie.com", "Hooded Jacket", "clothing", 15.22, 2.38, 6},
+		{"luisaviaroma.com", "Designer Coat", "clothing", 380.43, 2.32, 4},
+		{"aeropostale.com", "Denim Set", "clothing", 82.86, 2.16, 6},
+		{"suitsupply.com", "Wool Suit", "clothing", 59.26, 2.08, 5},
+		{"raffaello-network.com", "Leather Briefcase", "clothing", 640.78, 2.03, 4},
+		{"bookdepository.com", "Book Rental", "books", 20.56, 2.03, 8},
+		{"digitalrev.com", "Phase One IQ280", "electronics", 34500, 1.35, 6},
+		{"overstock.com", "Patio Set", "household", 240, 1.8, 6},
+		{"anntaylor.com", "Silk Blouse", "clothing", 48, 4.2, 5},
+		{"tuscanyleather.it", "Leather Satchel", "clothing", 130, 1.9, 4},
+		{"jimmyjazz.com", "Sneakers", "clothing", 70, 1.7, 4},
+		{"autopartswarehouse.com", "Brake Kit", "household", 110, 1.6, 4},
+		{"shoebacca.com", "Running Shoes", "clothing", 55, 1.75, 4},
+		{"ccs.com", "Skate Deck", "games", 45, 1.65, 4},
+		{"ralphlauren.com", "Polo Shirt", "clothing", 85, 1.6, 4},
+	}
+	for _, n := range named {
+		s := New(n.domain, "US", m.World, m.Rates)
+		s.Notation = NotationStyle(rng.Intn(3))
+		s.Localize = rng.Intn(2) == 0
+		// luisaviaroma carries the second Table 3 product too.
+		s.Strategy = namedLocation{ratio: n.ratio}
+		s.AddProduct(&Product{
+			SKU:       domainKey(n.domain) + "-hero",
+			Name:      n.product,
+			Category:  n.category,
+			BasePrice: n.minPrice,
+		})
+		if n.domain == "luisaviaroma.com" {
+			s.AddProduct(&Product{
+				SKU: "luisaviaroma-gown", Name: "Evening Gown",
+				Category: "clothing", BasePrice: 1017.80,
+			})
+		}
+		for i := 0; i < n.extra; i++ {
+			cat := n.category
+			s.AddProduct(&Product{
+				SKU:       fmt.Sprintf("%s-x%02d", domainKey(n.domain), i),
+				Name:      fmt.Sprintf("%s item %d", cat, i),
+				Category:  cat,
+				BasePrice: round2(n.minPrice * (0.4 + rng.Float64()*1.6)),
+			})
+		}
+		m.add(s)
+		m.LocationPDDomains = append(m.LocationPDDomains, n.domain)
+	}
+}
+
+// namedLocation gives a shop a per-country factor in [1, ratio], skewed
+// toward 1 across countries and scaled per product: only the headline
+// ("hero") products carry the full Table 3 ratio, the rest of the catalog
+// varies far less — which keeps Fig. 9's per-domain medians in the
+// paper's 20-45% band while the extremes still appear.
+type namedLocation struct{ ratio float64 }
+
+func (namedLocation) Name() string { return "named-location" }
+
+func (s namedLocation) Adjust(price float64, ctx *Context) float64 {
+	u := det("named-loc", ctx.Domain, ctx.Country)
+	w := 1.0
+	if !strings.Contains(ctx.Product.SKU, "-hero") && ctx.Product.SKU != "luisaviaroma-gown" {
+		w = 0.05 + 0.40*det("named-w", ctx.Domain, ctx.Product.SKU)
+	}
+	return price * (1 + (s.ratio-1)*w*u*u*u)
+}
+
+// buildPDIPDValidation adds the known-positive PDI-PD retailer.
+func (m *Mall) buildPDIPDValidation(rng *rand.Rand) {
+	s := New("pdipd-validation.shop", "US", m.World, m.Rates)
+	s.Notation = NotationISO
+	s.Trackers = m.Trackers[:1]
+	s.PDIPDSource = m.Trackers[0]
+	s.Strategy = PDIPD{Threshold: 3, Markup: 0.12}
+	addCatalog(s, rng, 10, []string{"electronics", "travel"}, 50, 600)
+	m.add(s)
+	m.PDIPDDomain = s.Domain
+	m.WithinCountryDomains = append(m.WithinCountryDomains, s.Domain)
+}
+
+// addCatalog fills a shop with products across categories and price bands.
+func addCatalog(s *Shop, rng *rand.Rand, n int, cats []string, minP, maxP float64) {
+	for i := 0; i < n; i++ {
+		cat := cats[i%len(cats)]
+		base := minP * pow(maxP/minP, rng.Float64())
+		s.AddProduct(&Product{
+			SKU:       fmt.Sprintf("%s-c%02d", domainKey(s.Domain), i),
+			Name:      fmt.Sprintf("%s product %d", cat, i),
+			Category:  cat,
+			BasePrice: round2(base),
+		})
+	}
+}
+
+// Shop returns a retailer by domain.
+func (m *Mall) Shop(domain string) (*Shop, bool) {
+	s, ok := m.shops[domain]
+	return s, ok
+}
+
+// Domains returns every retailer domain in creation order.
+func (m *Mall) Domains() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Fetch routes a product-page request to the owning retailer.
+func (m *Mall) Fetch(req *FetchRequest) *FetchResponse {
+	domain, _, err := ParseProductURL(req.URL)
+	if err != nil {
+		return &FetchResponse{Status: 400}
+	}
+	s, ok := m.shops[domain]
+	if !ok {
+		return &FetchResponse{Status: 404}
+	}
+	return s.Fetch(req)
+}
+
+func domainKey(domain string) string {
+	for i := 0; i < len(domain); i++ {
+		if domain[i] == '.' {
+			return domain[:i]
+		}
+	}
+	return domain
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,372 @@
+// Package shop simulates the e-commerce side of the Price $heriff's world:
+// retailers that serve real HTML product pages whose prices are produced by
+// composable pricing strategies — location-based discrimination, VAT
+// application, A/B testing (uniform, discrete-level and sticky), temporal
+// drift with occasional jumps, and explicit personal-data-induced price
+// discrimination (PDI-PD) driven by a third-party tracker.
+//
+// The watchdog never sees these strategies: it only fetches pages through
+// proxies and parses prices out of HTML, exactly like the deployed system.
+// The strategies encode the behaviours the paper measured (Sects. 6-7), so
+// the benchmark harness can check that the detector recovers the same
+// shapes.
+package shop
+
+import (
+	"hash/fnv"
+	"math"
+
+	"pricesheriff/internal/geo"
+)
+
+// Context carries everything a pricing strategy may condition on for one
+// page fetch.
+type Context struct {
+	Product  *Product
+	Domain   string
+	Country  string // visitor country (geo-IP)
+	City     string
+	Day      float64 // virtual time in days since epoch
+	Nonce    uint64  // unique per request; the only per-request entropy
+	Sticky   string  // stable visitor identity (shop cookie or IP)
+	Interest int     // tracker interest score in the product's category
+	LoggedIn bool
+}
+
+// Strategy adjusts a price (in EUR) given the fetch context. Strategies
+// compose left to right.
+type Strategy interface {
+	Name() string
+	Adjust(price float64, ctx *Context) float64
+}
+
+// det hashes the given strings into a deterministic uniform value in [0,1).
+// All "randomness" in the shop world flows through det, so identical
+// requests price identically and experiments are reproducible.
+func det(parts ...string) float64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	// FNV-1a mixes trailing-byte changes mostly into the low bits; run a
+	// splitmix64 finalizer so the high bits we keep are well distributed.
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func u64s(v uint64) string {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return string(buf[:])
+}
+
+// LocationFactor multiplies the price by a per-country factor — the
+// cross-border price discrimination of Sect. 6.2 ("prices appear to be
+// adjusted using simple multiplicative factors depending on the country").
+type LocationFactor struct {
+	Factors map[string]float64 // country code -> multiplier
+	Default float64            // multiplier for unlisted countries (0 means 1)
+}
+
+// Name implements Strategy.
+func (LocationFactor) Name() string { return "location" }
+
+// Adjust implements Strategy.
+func (s LocationFactor) Adjust(price float64, ctx *Context) float64 {
+	if f, ok := s.Factors[ctx.Country]; ok {
+		return price * f
+	}
+	if s.Default != 0 {
+		return price * s.Default
+	}
+	return price
+}
+
+// VAT adds the visitor country's VAT for the product category. With
+// OnlyLoggedIn set, guests see the untaxed base price — the amazon.com
+// behaviour the paper reverse-engineered in Sect. 7.3: logged-in users see
+// category VAT for their delivery country, producing within-country
+// differences at exactly the VAT scales (21%, 20%, 19%, 7%, ...).
+type VAT struct {
+	World        *geo.World
+	OnlyLoggedIn bool
+	// Fraction limits the behaviour to a stable subset of the catalog
+	// (items sold and shipped by the retailer itself, as opposed to
+	// marketplace listings whose sellers quote tax-free base prices).
+	// Zero means the whole catalog.
+	Fraction float64
+}
+
+// Name implements Strategy.
+func (VAT) Name() string { return "vat" }
+
+// Applies reports whether the product is in the VAT-displaying subset.
+func (s VAT) Applies(domain, sku string) bool {
+	return s.Fraction <= 0 || det("vat-subset", domain, sku) < s.Fraction
+}
+
+// Adjust implements Strategy.
+func (s VAT) Adjust(price float64, ctx *Context) float64 {
+	if s.OnlyLoggedIn && !ctx.LoggedIn {
+		return price
+	}
+	if !s.Applies(ctx.Domain, ctx.Product.SKU) {
+		return price
+	}
+	return price * (1 + s.World.VAT(ctx.Country, ctx.Product.Category))
+}
+
+// ABUniform is continuous A/B testing: every request draws a markup
+// uniformly from [0, F] where F is a per-product spread in
+// [MinSpread, MaxSpread]. This reproduces chegg.com's behaviour: maximum
+// within-country differences spread uniformly between 3% and 7%
+// (Sect. 7.3, Fig. 12).
+type ABUniform struct {
+	MinSpread float64
+	MaxSpread float64
+}
+
+// Name implements Strategy.
+func (ABUniform) Name() string { return "ab-uniform" }
+
+// Adjust implements Strategy.
+func (s ABUniform) Adjust(price float64, ctx *Context) float64 {
+	spread := s.MinSpread + det("spread", ctx.Domain, ctx.Product.SKU)*(s.MaxSpread-s.MinSpread)
+	u := det("ab", ctx.Domain, ctx.Product.SKU, u64s(ctx.Nonce))
+	return price * (1 + u*spread)
+}
+
+// ABLevels is discrete A/B testing: each request (or each visitor, when
+// Sticky) lands in one of a few price levels. jcpenney.com in the UK showed
+// a single 7% level with certain peers consistently low or high — that is
+// the Sticky variant; France showed two levels, Germany one small one
+// (Sect. 7.3/7.4, Fig. 13).
+type ABLevels struct {
+	Levels  []float64 // fractional markups, e.g. {0, 0.07}
+	Weights []float64 // optional; uniform when nil
+	Sticky  bool      // bucket by visitor identity instead of per request
+}
+
+// Name implements Strategy.
+func (ABLevels) Name() string { return "ab-levels" }
+
+// Adjust implements Strategy.
+func (s ABLevels) Adjust(price float64, ctx *Context) float64 {
+	if len(s.Levels) == 0 {
+		return price
+	}
+	var u float64
+	if s.Sticky && ctx.Sticky != "" {
+		u = det("ab-sticky", ctx.Domain, ctx.Sticky)
+	} else {
+		u = det("ab-levels", ctx.Domain, ctx.Product.SKU, u64s(ctx.Nonce))
+	}
+	idx := pickWeighted(u, len(s.Levels), s.Weights)
+	return price * (1 + s.Levels[idx])
+}
+
+func pickWeighted(u float64, n int, weights []float64) int {
+	if len(weights) != n {
+		idx := int(u * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		if u < acc {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// PerCountry wraps different strategies per visitor country, with an
+// optional fallback. jcpenney-style retailers behave differently in each
+// market (Table 5).
+type PerCountry struct {
+	ByCountry map[string]Strategy
+	Fallback  Strategy
+}
+
+// Name implements Strategy.
+func (PerCountry) Name() string { return "per-country" }
+
+// Adjust implements Strategy.
+func (s PerCountry) Adjust(price float64, ctx *Context) float64 {
+	if st, ok := s.ByCountry[ctx.Country]; ok {
+		return st.Adjust(price, ctx)
+	}
+	if s.Fallback != nil {
+		return s.Fallback.Adjust(price, ctx)
+	}
+	return price
+}
+
+// Drift evolves prices over time: a smooth per-day trend, bounded daily
+// noise, and rare persistent jumps. Fig. 14 (jcpenney) is dominated by
+// jumps; Fig. 15 (chegg) by slow drift with ~8.3% daily fluctuation.
+type Drift struct {
+	PerDay    float64 // multiplicative trend per day (negative drifts down)
+	DailyFrac float64 // max |daily noise| as a fraction
+	JumpProb  float64 // per-product per-day probability of a persistent jump
+	JumpFrac  float64 // jump magnitude as a fraction (sign drawn per jump)
+}
+
+// Name implements Strategy.
+func (Drift) Name() string { return "drift" }
+
+// Adjust implements Strategy.
+func (s Drift) Adjust(price float64, ctx *Context) float64 {
+	day := int(math.Floor(ctx.Day))
+	price *= math.Pow(1+s.PerDay, ctx.Day)
+	if s.DailyFrac > 0 {
+		noise := (det("noise", ctx.Domain, ctx.Product.SKU, itoa(day)) - 0.5) * 2 * s.DailyFrac
+		price *= 1 + noise
+	}
+	if s.JumpProb > 0 {
+		for d := 0; d <= day; d++ {
+			if det("jump", ctx.Domain, ctx.Product.SKU, itoa(d)) < s.JumpProb {
+				if det("jumpdir", ctx.Domain, ctx.Product.SKU, itoa(d)) < 0.7 {
+					price *= 1 + s.JumpFrac
+				} else {
+					price *= 1 - s.JumpFrac
+				}
+			}
+		}
+	}
+	return price
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// PDIPD marks up the price for visitors whose tracker profile shows strong
+// interest in the product's category — the personal-data-induced
+// discrimination the watchdog exists to detect. The paper found no retailer
+// doing this in the wild; the simulator includes it so the detection
+// pipeline can be validated against a known-positive (see DESIGN.md).
+type PDIPD struct {
+	Threshold int     // minimum interest score that triggers the markup
+	Markup    float64 // fractional markup for interested visitors
+}
+
+// Name implements Strategy.
+func (PDIPD) Name() string { return "pdi-pd" }
+
+// Adjust implements Strategy.
+func (s PDIPD) Adjust(price float64, ctx *Context) float64 {
+	if ctx.Interest >= s.Threshold && s.Threshold > 0 {
+		return price * (1 + s.Markup)
+	}
+	return price
+}
+
+// ABGate activates an inner strategy only for some (product, day) pairs:
+// retailers do not A/B test every product every day. The activation
+// probability is what Table 5's "% of requests with price difference"
+// measures per country.
+type ABGate struct {
+	Prob  float64
+	Inner Strategy
+}
+
+// Name implements Strategy.
+func (ABGate) Name() string { return "ab-gate" }
+
+// Adjust implements Strategy.
+func (s ABGate) Adjust(price float64, ctx *Context) float64 {
+	day := int(math.Floor(ctx.Day))
+	if det("gate", ctx.Domain, ctx.Product.SKU, itoa(day)) < s.Prob && s.Inner != nil {
+		return s.Inner.Adjust(price, ctx)
+	}
+	return price
+}
+
+// LocationTiered multiplies the price by a per-country factor whose spread
+// shrinks with the product's price tier, reproducing Fig. 10: max/min price
+// ratios up to ×2.5 for €5–1000 products, ×1.7 for €1k–10k, and ~×1.3 for
+// €10k–100k. Factors are skewed toward 1 so median differences stay in the
+// 10–45% band of Fig. 9.
+type LocationTiered struct {
+	// MaxSpreadCheap/Mid/Expensive are the ± half-widths per tier.
+	MaxSpreadCheap     float64
+	MaxSpreadMid       float64
+	MaxSpreadExpensive float64
+}
+
+// DefaultLocationTiered matches the Fig. 10 envelope.
+func DefaultLocationTiered() LocationTiered {
+	return LocationTiered{MaxSpreadCheap: 0.43, MaxSpreadMid: 0.26, MaxSpreadExpensive: 0.13}
+}
+
+// Name implements Strategy.
+func (LocationTiered) Name() string { return "location-tiered" }
+
+// Adjust implements Strategy.
+func (s LocationTiered) Adjust(price float64, ctx *Context) float64 {
+	spread := s.MaxSpreadCheap
+	switch {
+	case ctx.Product.BasePrice >= 10000:
+		spread = s.MaxSpreadExpensive
+	case ctx.Product.BasePrice >= 1000:
+		spread = s.MaxSpreadMid
+	}
+	u := det("loc-tier", ctx.Domain, ctx.Country)
+	// Cube the centered draw to concentrate factors near 1 across
+	// countries, and scale by a per-product weight skewed low so that only
+	// some catalog items carry the domain's full spread — giving Fig. 9's
+	// per-domain difference distributions their box-plot shape instead of
+	// a constant.
+	c := 2*u - 1
+	wd := det("loc-w", ctx.Domain, ctx.Product.SKU)
+	w := 0.1 + 0.9*wd*wd*wd
+	return price * (1 + spread*w*c*c*c)
+}
+
+// Chain composes strategies in order.
+type Chain []Strategy
+
+// Name implements Strategy.
+func (Chain) Name() string { return "chain" }
+
+// Adjust implements Strategy.
+func (c Chain) Adjust(price float64, ctx *Context) float64 {
+	for _, s := range c {
+		price = s.Adjust(price, ctx)
+	}
+	return price
+}

@@ -1,0 +1,121 @@
+package shop
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pricesheriff/internal/transport"
+)
+
+// Server exposes a Mall over the transport fabric: the "Internet" the
+// proxy clients fetch product pages from.
+type Server struct {
+	Mall *Mall
+	rpc  *transport.Server
+}
+
+// ProductInfo is a catalog entry as exposed to clients.
+type ProductInfo struct {
+	SKU      string `json:"sku"`
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	URL      string `json:"url"`
+}
+
+// NewServer wraps the mall in an RPC server; call Serve to start.
+func NewServer(m *Mall, lis transport.Listener) *Server {
+	s := &Server{Mall: m, rpc: transport.NewServer(lis)}
+	s.rpc.Handle("shop.fetch", func(raw json.RawMessage) (any, error) {
+		var req FetchRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return m.Fetch(&req), nil
+	})
+	s.rpc.Handle("shop.domains", func(json.RawMessage) (any, error) {
+		return m.Domains(), nil
+	})
+	s.rpc.Handle("shop.catalog", func(raw json.RawMessage) (any, error) {
+		var domain string
+		if err := json.Unmarshal(raw, &domain); err != nil {
+			return nil, err
+		}
+		sh, ok := m.Shop(domain)
+		if !ok {
+			return nil, fmt.Errorf("shop: unknown domain %q", domain)
+		}
+		var out []ProductInfo
+		for _, p := range sh.Products() {
+			out = append(out, ProductInfo{
+				SKU: p.SKU, Name: p.Name, Category: p.Category, URL: sh.ProductURL(p.SKU),
+			})
+		}
+		return out, nil
+	})
+	return s
+}
+
+// Addr returns the dialable address.
+func (s *Server) Addr() string { return s.rpc.Addr() }
+
+// Serve blocks accepting connections.
+func (s *Server) Serve() error { return s.rpc.Serve() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// Fetcher downloads product pages. Proxy clients depend on this interface
+// so tests can fetch in-process while deployments go over the network.
+type Fetcher interface {
+	Fetch(req *FetchRequest) (*FetchResponse, error)
+}
+
+// NetFetcher fetches pages from a mall Server over the fabric.
+type NetFetcher struct {
+	pool *transport.Pool
+}
+
+// DialFetcher connects a pooled fetcher to a mall server.
+func DialFetcher(netw transport.Network, addr string, poolSize int) (*NetFetcher, error) {
+	pool, err := transport.NewPool(netw, addr, poolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &NetFetcher{pool: pool}, nil
+}
+
+// Fetch implements Fetcher.
+func (f *NetFetcher) Fetch(req *FetchRequest) (*FetchResponse, error) {
+	var resp FetchResponse
+	if err := f.pool.Call("shop.fetch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Domains lists the retailer domains served by the mall.
+func (f *NetFetcher) Domains() ([]string, error) {
+	var out []string
+	err := f.pool.Call("shop.domains", nil, &out)
+	return out, err
+}
+
+// Catalog lists a retailer's products.
+func (f *NetFetcher) Catalog(domain string) ([]ProductInfo, error) {
+	var out []ProductInfo
+	err := f.pool.Call("shop.catalog", domain, &out)
+	return out, err
+}
+
+// Close releases the pool.
+func (f *NetFetcher) Close() error { return f.pool.Close() }
+
+// LocalFetcher fetches directly from an in-process Mall.
+type LocalFetcher struct {
+	Mall *Mall
+}
+
+// Fetch implements Fetcher.
+func (f LocalFetcher) Fetch(req *FetchRequest) (*FetchResponse, error) {
+	return f.Mall.Fetch(req), nil
+}

@@ -1,0 +1,435 @@
+package shop
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pricesheriff/internal/currency"
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/tracker"
+)
+
+// Product is one catalog item. BasePrice is in EUR; strategies and display
+// conversion turn it into what a visitor sees.
+type Product struct {
+	SKU       string
+	Name      string
+	Category  string
+	BasePrice float64
+}
+
+// NotationStyle selects how the shop prints prices, exercising all three
+// branches of the currency detector (Sect. 3.5).
+type NotationStyle int
+
+// Notation styles.
+const (
+	NotationISO    NotationStyle = iota // "EUR 654.00"
+	NotationCustom                      // "US$654.00"
+	NotationSymbol                      // "€654.00"
+)
+
+// FetchRequest is one product-page download, as issued by an IPC or PPC.
+type FetchRequest struct {
+	URL       string            `json:"url"`
+	IP        string            `json:"ip"`
+	Cookies   map[string]string `json:"cookies,omitempty"` // key: cookie domain
+	UserAgent string            `json:"user_agent,omitempty"`
+	Day       float64           `json:"day"`   // virtual time
+	Nonce     uint64            `json:"nonce"` // unique per request
+	LoggedIn  bool              `json:"logged_in,omitempty"`
+}
+
+// FetchResponse is the shop's answer.
+type FetchResponse struct {
+	Status     int               `json:"status"`
+	HTML       string            `json:"html,omitempty"`
+	SetCookies map[string]string `json:"set_cookies,omitempty"` // key: cookie domain
+}
+
+// Shop is one retailer.
+type Shop struct {
+	Domain   string
+	Country  string // seller country
+	Localize bool   // show visitor-currency prices; else seller currency
+	Notation NotationStyle
+
+	Strategy Strategy
+	Trackers []*tracker.Tracker
+	// PDIPDSource, when set, is the tracker whose interest profiles feed
+	// the PDI-PD strategy (the "data broker" relationship).
+	PDIPDSource *tracker.Tracker
+	// Fingerprinting, when set, makes the shop identify visitors by a
+	// device fingerprint (user agent + IP) instead of cookies, building
+	// server-side state that neither the sandbox nor a doppelganger can
+	// shield — the limitation the paper concedes in footnote 2 ("note
+	// that doppelgangers cannot prevent pollution due to server-side
+	// state built via IP tracking or fingerprinting"). Only ~0.04-5.5% of
+	// top sites served fingerprinting code at the time, so the default
+	// world leaves this off.
+	Fingerprinting bool
+	fpTracker      *tracker.Tracker
+	// BlockedCountries lists visitor countries the retailer refuses to
+	// serve (HTTP 451) — geoblocking, one of the paper's envisioned
+	// follow-on applications of the watchdog platform (Sect. 1:
+	// "geoblocking, automatic personalisation, and filter-bubble
+	// detection").
+	BlockedCountries map[string]bool
+	// Latency delays every page response — "distinct websites yield
+	// varying response times depending on the price-related content they
+	// serve and their capacity" (Sect. 3.4). Zero for the instant default;
+	// tests use it to create realistic load.
+	Latency time.Duration
+
+	World *geo.World
+	Rates *currency.RateTable
+
+	catalog map[string]*Product
+	order   []string // SKUs in insertion order
+	visits  atomic.Int64
+}
+
+// New creates an empty shop; add products with AddProduct.
+func New(domain, country string, world *geo.World, rates *currency.RateTable) *Shop {
+	return &Shop{
+		Domain:  domain,
+		Country: country,
+		World:   world,
+		Rates:   rates,
+		catalog: make(map[string]*Product),
+	}
+}
+
+// AddProduct registers a product.
+func (s *Shop) AddProduct(p *Product) {
+	if _, ok := s.catalog[p.SKU]; !ok {
+		s.order = append(s.order, p.SKU)
+	}
+	s.catalog[p.SKU] = p
+}
+
+// Products returns the catalog in insertion order.
+func (s *Shop) Products() []*Product {
+	out := make([]*Product, 0, len(s.order))
+	for _, sku := range s.order {
+		out = append(out, s.catalog[sku])
+	}
+	return out
+}
+
+// ProductURL returns the canonical URL of a product on this shop.
+func (s *Shop) ProductURL(sku string) string {
+	return fmt.Sprintf("http://%s/product/%s", s.Domain, sku)
+}
+
+// Visits returns how many product pages the shop has served (used by the
+// self-influence analysis of Sect. 7.5).
+func (s *Shop) Visits() int64 { return s.visits.Load() }
+
+// ParseProductURL splits a product URL into domain and SKU.
+func ParseProductURL(url string) (domain, sku string, err error) {
+	rest := strings.TrimPrefix(url, "http://")
+	rest = strings.TrimPrefix(rest, "https://")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 3 || parts[1] != "product" || parts[0] == "" || parts[2] == "" {
+		return "", "", fmt.Errorf("shop: bad product URL %q", url)
+	}
+	return parts[0], parts[2], nil
+}
+
+// PriceFor computes the price a given context would be served, in EUR,
+// before display conversion. Exposed for the ground-truth assertions of the
+// test suite; the watchdog pipeline never calls it.
+func (s *Shop) PriceFor(ctx *Context) float64 {
+	price := ctx.Product.BasePrice
+	if s.Strategy != nil {
+		price = s.Strategy.Adjust(price, ctx)
+	}
+	return price
+}
+
+// Fetch serves one product page.
+func (s *Shop) Fetch(req *FetchRequest) *FetchResponse {
+	domain, sku, err := ParseProductURL(req.URL)
+	if err != nil || domain != s.Domain {
+		return &FetchResponse{Status: 404}
+	}
+	p, ok := s.catalog[sku]
+	if !ok {
+		return &FetchResponse{Status: 404}
+	}
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	s.visits.Add(1)
+
+	// Geo-locate the visitor the way retailers do.
+	country, city := s.Country, ""
+	if s.World != nil {
+		if loc, ok := s.World.Lookup(net.ParseIP(req.IP)); ok {
+			country, city = loc.Country, loc.City
+		}
+	}
+	if s.BlockedCountries[country] {
+		return &FetchResponse{Status: 451}
+	}
+
+	// Tracker execution: every embedded tracker observes the visit and
+	// (re)sets its cookie.
+	setCookies := make(map[string]string)
+	for _, tr := range s.Trackers {
+		id := tr.Observe(req.Cookies[tr.Domain], s.Domain, p.Category)
+		setCookies[tr.Domain] = id
+	}
+	// First-party session cookie. The sticky A/B identity is the existing
+	// session cookie; visitors without one (fresh profiles) have no stable
+	// identity and fall into per-request buckets — which is why the
+	// paper's clean-profile PPCs saw 50/50 random prices (Sect. 7.5)
+	// while long-lived real peers showed consistent bias (Fig. 13).
+	session := req.Cookies[s.Domain]
+	sticky := session
+	if session == "" {
+		session = fmt.Sprintf("sess-%s-%016x", s.Domain, fnvNonce(req))
+	}
+	setCookies[s.Domain] = session
+
+	interest := 0
+	if s.PDIPDSource != nil {
+		if id, ok := req.Cookies[s.PDIPDSource.Domain]; ok {
+			interest = s.PDIPDSource.InterestScore(id, p.Category)
+		}
+	}
+	// Fingerprint tracking pierces cookie hygiene: identity is derived
+	// from the device itself, so even cookie-less or doppelganger-state
+	// fetches accrete (and expose) a server-side profile.
+	if s.Fingerprinting {
+		fpID := s.fingerprint(req)
+		s.fpTracker.Observe(fpID, s.Domain, p.Category)
+		if fp := s.fpTracker.InterestScore(fpID, p.Category); fp > interest {
+			interest = fp
+		}
+	}
+
+	ctx := &Context{
+		Product:  p,
+		Domain:   s.Domain,
+		Country:  country,
+		City:     city,
+		Day:      req.Day,
+		Nonce:    req.Nonce,
+		Sticky:   sticky,
+		Interest: interest,
+		LoggedIn: req.LoggedIn,
+	}
+	priceEUR := s.PriceFor(ctx)
+
+	// Personalized recommendations: shops plugged into a tracker reorder
+	// the strip by the visitor's interest profile — the "automatic
+	// personalisation / filter bubble" behaviour the watchdog's paradigm
+	// also detects (paper Sect. 1).
+	var profile map[string]int
+	if s.PDIPDSource != nil {
+		if id, ok := req.Cookies[s.PDIPDSource.Domain]; ok {
+			profile = s.PDIPDSource.Profile(id)
+		}
+	}
+
+	code, display := s.displayPrice(priceEUR, country)
+	html := s.renderPage(p, code, display, req.Nonce, profile)
+	return &FetchResponse{Status: 200, HTML: html, SetCookies: setCookies}
+}
+
+// fnvNonce derives a stable session suffix from request identity.
+func fnvNonce(req *FetchRequest) uint64 {
+	return uint64(det("session", req.IP, req.URL, u64s(req.Nonce)) * (1 << 53))
+}
+
+// fingerprint derives the shop's device identifier for a request.
+func (s *Shop) fingerprint(req *FetchRequest) string {
+	return fmt.Sprintf("fp-%013x", uint64(det("fingerprint", req.UserAgent, req.IP)*(1<<52)))
+}
+
+// EnableFingerprinting turns on device fingerprinting with a dedicated
+// server-side profile store.
+func (s *Shop) EnableFingerprinting() {
+	s.Fingerprinting = true
+	s.fpTracker = tracker.New("fp." + s.Domain)
+}
+
+// FingerprintProfile exposes the server-side profile the shop holds for a
+// device (tests and the watchdog-limitation demo).
+func (s *Shop) FingerprintProfile(userAgent, ip string) map[string]int {
+	if s.fpTracker == nil {
+		return nil
+	}
+	return s.fpTracker.Profile(s.fingerprint(&FetchRequest{UserAgent: userAgent, IP: ip}))
+}
+
+// displayPrice converts the EUR price into the display currency and rounds
+// it like a retailer (no decimals for JPY/KRW-style currencies).
+func (s *Shop) displayPrice(priceEUR float64, visitorCountry string) (code string, amount float64) {
+	code = "EUR"
+	target := s.Country
+	if s.Localize {
+		target = visitorCountry
+	}
+	if s.World != nil {
+		if c, ok := s.World.Country(target); ok {
+			code = c.Currency
+		}
+	}
+	amount = priceEUR
+	if s.Rates != nil {
+		if v, err := s.Rates.Convert(priceEUR, "EUR", code); err == nil {
+			amount = v
+		} else {
+			code = "EUR"
+		}
+	}
+	if noDecimals(code) {
+		amount = float64(int64(amount + 0.5))
+	} else {
+		amount = float64(int64(amount*100+0.5)) / 100
+	}
+	return code, amount
+}
+
+func noDecimals(code string) bool {
+	switch code {
+	case "JPY", "KRW", "HUF", "CZK", "ISK":
+		return true
+	}
+	return false
+}
+
+// customNotation maps ISO codes to retailer-style notations for
+// NotationCustom shops.
+var customNotation = map[string]string{
+	"USD": "US$", "CAD": "C$", "AUD": "AU$", "NZD": "NZ$",
+	"SGD": "S$", "HKD": "HK$", "BRL": "R$", "MXN": "Mex$",
+}
+
+// symbolNotation maps ISO codes to bare symbols for NotationSymbol shops.
+var symbolNotation = map[string]string{
+	"EUR": "€", "USD": "$", "GBP": "£", "JPY": "¥", "CNY": "¥",
+	"ILS": "₪", "KRW": "₩", "THB": "฿", "INR": "₹", "CAD": "$",
+	"AUD": "$", "NZD": "$", "SEK": "kr", "NOK": "kr", "DKK": "kr",
+}
+
+// ambiguousSymbols are shared across currencies; retailers that print
+// prices with bare symbols avoid them for such currencies (writing "US$"
+// or "C$" instead), otherwise customers — and watchdogs — cannot tell
+// which dollar they are looking at.
+var ambiguousSymbols = map[string]bool{"$": true, "¥": true, "kr": true}
+
+// FormatPrice renders the amount in the shop's notation style.
+func (s *Shop) FormatPrice(code string, amount float64) string {
+	num := formatAmount(amount, noDecimals(code))
+	switch s.Notation {
+	case NotationCustom:
+		if n, ok := customNotation[code]; ok {
+			return n + num
+		}
+	case NotationSymbol:
+		if sym, ok := symbolNotation[code]; ok && !ambiguousSymbols[sym] {
+			return sym + num
+		}
+		if n, ok := customNotation[code]; ok {
+			return n + num
+		}
+	}
+	return code + num
+}
+
+func formatAmount(v float64, whole bool) string {
+	if whole {
+		return groupThousands(fmt.Sprintf("%.0f", v))
+	}
+	str := fmt.Sprintf("%.2f", v)
+	dot := strings.IndexByte(str, '.')
+	return groupThousands(str[:dot]) + str[dot:]
+}
+
+func groupThousands(digits string) string {
+	neg := strings.HasPrefix(digits, "-")
+	if neg {
+		digits = digits[1:]
+	}
+	var b strings.Builder
+	for i, c := range digits {
+		if i > 0 && (len(digits)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	out := b.String()
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// renderPage produces the product page HTML. Pages deliberately vary
+// between fetches (rotating ad blocks, recommendation strips with other
+// prices) so the Tags Path machinery is exercised the way real sites
+// exercise it (Sect. 3.3: "web pages can be created dynamically or include
+// different ads").
+func (s *Shop) renderPage(p *Product, code string, amount float64, nonce uint64, profile map[string]int) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head><title>")
+	b.WriteString(p.Name)
+	b.WriteString(" - ")
+	b.WriteString(s.Domain)
+	b.WriteString("</title></head>\n<body>\n")
+	b.WriteString(`<div class="header"><a href="/">` + s.Domain + `</a></div>` + "\n")
+	if nonce%3 == 0 {
+		b.WriteString(`<div class="banner-ad">Season sale! Up to 50% off selected items.</div>` + "\n")
+	}
+	if nonce%5 == 1 {
+		b.WriteString(`<div class="promo"><span class="promo-text">Free shipping over ` + s.FormatPrice(code, 50) + `</span></div>` + "\n")
+	}
+	b.WriteString(`<div class="product" id="p-` + p.SKU + `">` + "\n")
+	b.WriteString(`<h1 class="name">` + p.Name + `</h1>` + "\n")
+	b.WriteString(`<img src="/img/` + p.SKU + `.jpg" alt="` + p.Name + `">` + "\n")
+	b.WriteString(`<span class="price">` + s.FormatPrice(code, amount) + `</span>` + "\n")
+	b.WriteString(`<p class="desc">Category: ` + p.Category + `. Ships worldwide.</p>` + "\n")
+	b.WriteString("</div>\n")
+	// Recommendation strip: other products with their own price spans, so
+	// pages contain multiple prices (the hard case for extraction). With a
+	// tracker profile, the strip is reordered by the visitor's interests.
+	b.WriteString(`<div class="recommendations">` + "\n")
+	recOrder := s.order
+	if len(profile) > 0 {
+		recOrder = append([]string(nil), s.order...)
+		sort.SliceStable(recOrder, func(i, j int) bool {
+			return profile[s.catalog[recOrder[i]].Category] > profile[s.catalog[recOrder[j]].Category]
+		})
+	}
+	count := 0
+	for _, sku := range recOrder {
+		if sku == p.SKU || count >= 3 {
+			continue
+		}
+		rec := s.catalog[sku]
+		recPrice := rec.BasePrice
+		if s.Rates != nil {
+			if v, err := s.Rates.Convert(recPrice, "EUR", code); err == nil {
+				recPrice = v
+			}
+		}
+		b.WriteString(`<div class="rec"><span class="rec-name">` + rec.Name +
+			`</span><span class="price">` + s.FormatPrice(code, recPrice) + `</span></div>` + "\n")
+		count++
+	}
+	b.WriteString("</div>\n")
+	for _, tr := range s.Trackers {
+		b.WriteString(`<script src="http://` + tr.Domain + `/t.js"></script>` + "\n")
+	}
+	b.WriteString(`<div class="footer">© ` + s.Domain + `</div>` + "\n")
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}

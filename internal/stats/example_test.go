@@ -1,0 +1,25 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"pricesheriff/internal/stats"
+)
+
+func ExampleKolmogorovSmirnov() {
+	// Two measurement points that saw the same price distribution.
+	a := []float64{1.00, 1.02, 0.98, 1.01, 0.99, 1.03, 0.97, 1.00}
+	b := []float64{0.99, 1.01, 1.00, 1.02, 0.98, 1.00, 1.03, 0.97}
+	r, _ := stats.KolmogorovSmirnov(a, b)
+	fmt.Printf("D=%.3f same-distribution=%v\n", r.D, r.PValue > 0.05)
+	// Output:
+	// D=0.250 same-distribution=true
+}
+
+func ExampleNewBoxPlot() {
+	diffs := []float64{0.01, 0.02, 0.02, 0.03, 0.07, 0.30}
+	box, _ := stats.NewBoxPlot(diffs)
+	fmt.Printf("median=%.2f max=%.2f outliers=%d\n", box.Median, box.Max, len(box.Outliers))
+	// Output:
+	// median=0.03 max=0.30 outliers=1
+}

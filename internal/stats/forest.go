@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Forest is a random-forest regressor. The paper runs Random Forests over
+// the crawled price data (features: OS, browser, quarter of day, day of
+// week) and finds low feature-importance and no statistical significance —
+// corroborating the A/B-testing conclusion (Sect. 7.5).
+type Forest struct {
+	trees       []*treeNode
+	nFeatures   int
+	importances []float64
+}
+
+// ForestConfig controls training.
+type ForestConfig struct {
+	Trees       int     // number of trees (default 100)
+	MaxDepth    int     // maximum tree depth (default 8)
+	MinLeaf     int     // minimum samples per leaf (default 2)
+	FeatureFrac float64 // fraction of features tried per split (default 1/√k heuristic→ use 0 for auto)
+}
+
+type treeNode struct {
+	feature int
+	thresh  float64
+	left    *treeNode
+	right   *treeNode
+	value   float64
+	leaf    bool
+}
+
+// ErrBadTrainingSet is returned for empty or ragged training data.
+var ErrBadTrainingSet = errors.New("stats: bad training set")
+
+// TrainForest fits a random forest on x (rows of features) and y.
+func TrainForest(rng *rand.Rand, x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, ErrBadTrainingSet
+	}
+	k := len(x[0])
+	for _, row := range x {
+		if len(row) != k {
+			return nil, ErrBadTrainingSet
+		}
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 2
+	}
+	mtry := int(cfg.FeatureFrac * float64(k))
+	if mtry <= 0 {
+		mtry = int(math.Max(1, math.Sqrt(float64(k))))
+	}
+
+	f := &Forest{nFeatures: k, importances: make([]float64, k)}
+	n := len(y)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tree := growTree(rng, x, y, idx, cfg, mtry, 0, f.importances)
+		f.trees = append(f.trees, tree)
+	}
+	// Normalize importances to sum to 1 (when any split happened).
+	var total float64
+	for _, v := range f.importances {
+		total += v
+	}
+	if total > 0 {
+		for i := range f.importances {
+			f.importances[i] /= total
+		}
+	}
+	return f, nil
+}
+
+// growTree builds one CART regression tree, accumulating variance-reduction
+// feature importances into imp.
+func growTree(rng *rand.Rand, x [][]float64, y []float64, idx []int, cfg ForestConfig, mtry, depth int, imp []float64) *treeNode {
+	mean, varSum := meanVar(y, idx)
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || varSum < 1e-12 {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	k := len(x[0])
+	features := rng.Perm(k)[:mtry]
+	bestGain := 0.0
+	bestFeat := -1
+	bestThresh := 0.0
+	var bestLeft, bestRight []int
+
+	for _, feat := range features {
+		vals := make([]float64, 0, len(idx))
+		for _, i := range idx {
+			vals = append(vals, x[i][feat])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints of distinct consecutive values.
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			thresh := (vals[v] + vals[v-1]) / 2
+			var left, right []int
+			for _, i := range idx {
+				if x[i][feat] <= thresh {
+					left = append(left, i)
+				} else {
+					right = append(right, i)
+				}
+			}
+			if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+				continue
+			}
+			_, lv := meanVar(y, left)
+			_, rv := meanVar(y, right)
+			gain := varSum - lv - rv
+			if gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, feat, thresh
+				bestLeft, bestRight = left, right
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	imp[bestFeat] += bestGain
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    growTree(rng, x, y, bestLeft, cfg, mtry, depth+1, imp),
+		right:   growTree(rng, x, y, bestRight, cfg, mtry, depth+1, imp),
+	}
+}
+
+// meanVar returns the mean and the *sum* of squared deviations (n·variance)
+// over y restricted to idx.
+func meanVar(y []float64, idx []int) (float64, float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	var m float64
+	for _, i := range idx {
+		m += y[i]
+	}
+	m /= float64(len(idx))
+	var v float64
+	for _, i := range idx {
+		d := y[i] - m
+		v += d * d
+	}
+	return m, v
+}
+
+// Predict returns the forest's prediction for one feature vector.
+func (f *Forest) Predict(features []float64) float64 {
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.predict(features)
+	}
+	return sum / float64(len(f.trees))
+}
+
+func (t *treeNode) predict(features []float64) float64 {
+	for !t.leaf {
+		if features[t.feature] <= t.thresh {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// Importances returns the normalized variance-reduction importance of each
+// feature (sums to 1 when any split occurred, all zeros otherwise).
+func (f *Forest) Importances() []float64 {
+	out := make([]float64, len(f.importances))
+	copy(out, f.importances)
+	return out
+}
+
+// RSquared evaluates the forest on a labelled set.
+func (f *Forest) RSquared(x [][]float64, y []float64) float64 {
+	if len(x) == 0 || len(x) != len(y) {
+		return math.NaN()
+	}
+	ybar := Mean(y)
+	var rss, tss float64
+	for i := range x {
+		d := y[i] - f.Predict(x[i])
+		rss += d * d
+		t := y[i] - ybar
+		tss += t * t
+	}
+	if tss == 0 {
+		return math.NaN()
+	}
+	return 1 - rss/tss
+}

@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Regression is the result of an ordinary least squares fit
+// y = β₀ + β₁x₁ + … + βₖxₖ.
+type Regression struct {
+	Coeffs   []float64 // β₀ is the intercept, then one per feature
+	StdErrs  []float64 // standard error of each coefficient
+	TStats   []float64 // t statistic of each coefficient
+	PValues  []float64 // two-sided p-value of each coefficient
+	RSquared float64
+	N        int // observations
+	K        int // features (excluding intercept)
+}
+
+// Errors returned by the regression fitters.
+var (
+	ErrDimension = errors.New("stats: mismatched regression dimensions")
+	ErrSingular  = errors.New("stats: singular design matrix")
+)
+
+// LinearRegression fits a simple y = β₀ + β₁x model.
+func LinearRegression(x, y []float64) (Regression, error) {
+	xs := make([][]float64, len(x))
+	for i, v := range x {
+		xs[i] = []float64{v}
+	}
+	return MultiLinearRegression(xs, y)
+}
+
+// MultiLinearRegression fits y against multiple features by solving the
+// normal equations with Gaussian elimination (partial pivoting). The paper
+// uses it to test whether OS, browser, time-of-day or day-of-week explain
+// price differences (its best fit reached R² = 0.431 with no significant
+// coefficient — i.e. no PDI-PD signal).
+func MultiLinearRegression(x [][]float64, y []float64) (Regression, error) {
+	n := len(y)
+	if n == 0 || len(x) != n {
+		return Regression{}, ErrDimension
+	}
+	k := len(x[0])
+	for _, row := range x {
+		if len(row) != k {
+			return Regression{}, ErrDimension
+		}
+	}
+	p := k + 1 // intercept + features
+	if n <= p {
+		return Regression{}, ErrDimension
+	}
+
+	// Design matrix with leading 1s, then XtX and Xty.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	design := func(row int, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return x[row][j-1]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			di := design(r, i)
+			xty[i] += di * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += di * design(r, j)
+			}
+		}
+	}
+	for i := 1; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	inv, err := invert(xtx)
+	if err != nil {
+		return Regression{}, err
+	}
+	beta := make([]float64, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			beta[i] += inv[i][j] * xty[j]
+		}
+	}
+
+	// Residual sum of squares and R².
+	var rss, tss float64
+	ybar := Mean(y)
+	for r := 0; r < n; r++ {
+		pred := 0.0
+		for i := 0; i < p; i++ {
+			pred += beta[i] * design(r, i)
+		}
+		rss += (y[r] - pred) * (y[r] - pred)
+		tss += (y[r] - ybar) * (y[r] - ybar)
+	}
+	r2 := 0.0
+	if tss > 0 {
+		r2 = 1 - rss/tss
+	}
+
+	dof := n - p
+	sigma2 := rss / float64(dof)
+	res := Regression{
+		Coeffs:   beta,
+		StdErrs:  make([]float64, p),
+		TStats:   make([]float64, p),
+		PValues:  make([]float64, p),
+		RSquared: r2,
+		N:        n,
+		K:        k,
+	}
+	for i := 0; i < p; i++ {
+		se := math.Sqrt(sigma2 * inv[i][i])
+		res.StdErrs[i] = se
+		if se > 0 {
+			res.TStats[i] = beta[i] / se
+			res.PValues[i] = 2 * studentTTail(math.Abs(res.TStats[i]), float64(dof))
+		} else {
+			res.PValues[i] = 0
+		}
+	}
+	return res, nil
+}
+
+// Predict evaluates the fitted model on a feature vector.
+func (r Regression) Predict(features []float64) float64 {
+	pred := r.Coeffs[0]
+	for i, f := range features {
+		if i+1 < len(r.Coeffs) {
+			pred += r.Coeffs[i+1] * f
+		}
+	}
+	return pred
+}
+
+// Significant reports whether any non-intercept coefficient has a p-value
+// below alpha — the paper's criterion for a personal-data signal.
+func (r Regression) Significant(alpha float64) bool {
+	for i := 1; i < len(r.PValues); i++ {
+		if r.PValues[i] < alpha {
+			return true
+		}
+	}
+	return false
+}
+
+// invert computes the inverse of a square matrix with Gauss-Jordan
+// elimination and partial pivoting.
+func invert(m [][]float64) ([][]float64, error) {
+	n := len(m)
+	a := make([][]float64, n)
+	inv := make([][]float64, n)
+	for i := range m {
+		a[i] = append([]float64(nil), m[i]...)
+		inv[i] = make([]float64, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		scale := a[col][col]
+		for j := 0; j < n; j++ {
+			a[col][j] /= scale
+			inv[col][j] /= scale
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+				inv[r][j] -= f * inv[col][j]
+			}
+		}
+	}
+	return inv, nil
+}
+
+// studentTTail returns P[T > t] for Student's t with v degrees of freedom,
+// via the regularized incomplete beta function.
+func studentTTail(t, v float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := v / (v + t*t)
+	return 0.5 * regIncBeta(v/2, 0.5, x)
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// computed with the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

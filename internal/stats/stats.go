@@ -1,0 +1,266 @@
+// Package stats implements the statistical toolkit the paper's analysis
+// uses: box-plot summaries (Figs. 9, 11, 13), empirical CDFs and the
+// two-sample Kolmogorov–Smirnov test (Sect. 7.5), ordinary least squares
+// and multi-linear regression with significance tests (Sect. 7.4/7.5), and
+// a small random-forest regressor with feature importances (Sect. 7.5).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a computation receives no data.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean; it is 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// BoxPlot is the five-number summary plus whiskers used by the paper's
+// standard box plots.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLo, WhiskerHi     float64 // 1.5·IQR whiskers clamped to data
+	Outliers                 []float64
+	N                        int
+}
+
+// NewBoxPlot computes the summary of xs.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := BoxPlot{
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLo, b.WhiskerHi = b.Max, b.Min
+	for _, x := range s {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.WhiskerLo {
+			b.WhiskerLo = x
+		}
+		if x > b.WhiskerHi {
+			b.WhiskerHi = x
+		}
+	}
+	return b, nil
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds the ECDF of xs.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns F(x) = P[X ≤ x].
+func (e *ECDF) At(x float64) float64 {
+	// Number of samples ≤ x.
+	n := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D      float64 // maximum distance between the two ECDFs
+	PValue float64 // asymptotic p-value
+}
+
+// KolmogorovSmirnov runs the two-sample K-S test. The paper uses it
+// pairwise across all measurement-point CDFs to conclude that prices are
+// drawn from the same distribution (all p-values above 0.55 ⇒ A/B testing).
+func KolmogorovSmirnov(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		if sa[i] <= sb[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: ksQ(lambda)}, nil
+}
+
+// ksQ is the Kolmogorov distribution tail Q_KS(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}.
+func ksQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ROCAUC returns the area under the ROC curve for scores against binary
+// labels, computed as the normalized Mann-Whitney U statistic with tie
+// correction. 0.5 means the scores carry no signal about the labels — the
+// paper's Random-Forest check that OS/browser/time features cannot
+// classify high vs low prices (Sect. 7.5). NaN when either class is empty.
+func ROCAUC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return math.NaN()
+	}
+	type sl struct {
+		s   float64
+		pos bool
+	}
+	data := make([]sl, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		data[i] = sl{scores[i], labels[i]}
+		if labels[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].s < data[j].s })
+
+	// Sum of ranks of the positive class, averaging ranks across ties.
+	var rankSum float64
+	i := 0
+	for i < len(data) {
+		j := i
+		for j < len(data) && data[j].s == data[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if data[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples (NaN if either is constant or lengths differ).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

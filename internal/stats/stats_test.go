@@ -1,0 +1,440 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Median != 5.5 || b.Min != 1 || b.Max != 100 || b.N != 10 {
+		t.Errorf("summary: %+v", b)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v", b.Outliers)
+	}
+	if b.WhiskerHi != 9 {
+		t.Errorf("upper whisker = %v", b.WhiskerHi)
+	}
+	if _, err := NewBoxPlot(nil); err != ErrEmpty {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	r, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PValue < 0.05 {
+		t.Errorf("same distribution rejected: D=%v p=%v", r.D, r.PValue)
+	}
+}
+
+func TestKSDifferentDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.0 // shifted
+	}
+	r, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PValue > 0.001 {
+		t.Errorf("shifted distribution not rejected: D=%v p=%v", r.D, r.PValue)
+	}
+	if r.D < 0.3 {
+		t.Errorf("D = %v, want a large distance", r.D)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err != ErrEmpty {
+		t.Error("want ErrEmpty")
+	}
+}
+
+// Property: D is symmetric and within [0,1].
+func TestKSSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		r1, err1 := KolmogorovSmirnov(a, b)
+		r2, err2 := KolmogorovSmirnov(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almost(r1.D, r2.D, 1e-12) && r1.D >= 0 && r1.D <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); !almost(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yneg); !almost(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if !math.IsNaN(Pearson(x, []float64{1, 1, 1, 1, 1})) {
+		t.Error("constant series must be NaN")
+	}
+	if !math.IsNaN(Pearson(x, []float64{1})) {
+		t.Error("length mismatch must be NaN")
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	// y = 3 + 2x, exact.
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 + 2*v
+	}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.Coeffs[0], 3, 1e-9) || !almost(r.Coeffs[1], 2, 1e-9) {
+		t.Errorf("coeffs = %v", r.Coeffs)
+	}
+	if !almost(r.RSquared, 1, 1e-12) {
+		t.Errorf("R² = %v", r.RSquared)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / 10
+		y[i] = 1 + 0.5*x[i] + rng.NormFloat64()*0.1
+	}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.Coeffs[1], 0.5, 0.05) {
+		t.Errorf("slope = %v", r.Coeffs[1])
+	}
+	if !r.Significant(0.05) {
+		t.Error("true relationship should be significant")
+	}
+	if r.RSquared < 0.9 {
+		t.Errorf("R² = %v", r.RSquared)
+	}
+}
+
+func TestRegressionInsignificantForNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 100
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = rng.NormFloat64() // unrelated to features
+	}
+	r, err := MultiLinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three coefficients should usually be insignificant; allow the
+	// occasional false positive by requiring at least 2 of 3 insignificant.
+	sig := 0
+	for i := 1; i < len(r.PValues); i++ {
+		if r.PValues[i] < 0.05 {
+			sig++
+		}
+	}
+	if sig > 1 {
+		t.Errorf("noise produced %d significant features: p=%v", sig, r.PValues)
+	}
+	if r.RSquared > 0.2 {
+		t.Errorf("noise R² = %v", r.RSquared)
+	}
+}
+
+func TestMultiLinearRegressionExact(t *testing.T) {
+	// y = 1 + 2a - 3b
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			x = append(x, []float64{a, b})
+			y = append(y, 1+2*a-3*b)
+		}
+	}
+	r, err := MultiLinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for i, w := range want {
+		if !almost(r.Coeffs[i], w, 1e-9) {
+			t.Errorf("coeff[%d] = %v, want %v", i, r.Coeffs[i], w)
+		}
+	}
+	if got := r.Predict([]float64{1, 1}); !almost(got, 0, 1e-9) {
+		t.Errorf("Predict = %v", got)
+	}
+}
+
+func TestRegressionErrors(t *testing.T) {
+	if _, err := MultiLinearRegression(nil, nil); err != ErrDimension {
+		t.Error("want ErrDimension for empty")
+	}
+	if _, err := MultiLinearRegression([][]float64{{1}, {2}}, []float64{1}); err != ErrDimension {
+		t.Error("want ErrDimension for ragged")
+	}
+	// Collinear design: x2 = 2*x1.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {5, 10}}
+	y := []float64{1, 2, 3, 4, 5}
+	if _, err := MultiLinearRegression(x, y); err != ErrSingular {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestStudentTTail(t *testing.T) {
+	// Known value: for v=10, P[T>2.228] ≈ 0.025.
+	if got := studentTTail(2.228, 10); !almost(got, 0.025, 0.001) {
+		t.Errorf("t tail = %v", got)
+	}
+	if got := studentTTail(0, 10); got != 0.5 {
+		t.Errorf("t tail at 0 = %v", got)
+	}
+}
+
+func TestForestLearnsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 10 * x[i][0] // only feature 0 matters
+	}
+	f, err := TrainForest(rng, x, y, ForestConfig{Trees: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importances()
+	if imp[0] < 0.8 {
+		t.Errorf("importances = %v, want feature 0 dominant", imp)
+	}
+	if r2 := f.RSquared(x, y); r2 < 0.8 {
+		t.Errorf("train R² = %v", r2)
+	}
+}
+
+func TestForestNoSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = rng.NormFloat64()
+	}
+	f, err := TrainForest(rng, x, y, ForestConfig{Trees: 20, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out noise should not be predictable.
+	xt := make([][]float64, 100)
+	yt := make([]float64, 100)
+	for i := range xt {
+		xt[i] = []float64{rng.Float64(), rng.Float64()}
+		yt[i] = rng.NormFloat64()
+	}
+	if r2 := f.RSquared(xt, yt); r2 > 0.1 {
+		t.Errorf("noise held-out R² = %v, forest hallucinated signal", r2)
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := TrainForest(rng, nil, nil, ForestConfig{}); err != ErrBadTrainingSet {
+		t.Error("want ErrBadTrainingSet")
+	}
+	if _, err := TrainForest(rng, [][]float64{{1}, {1, 2}}, []float64{1, 2}, ForestConfig{}); err != ErrBadTrainingSet {
+		t.Error("want ErrBadTrainingSet for ragged rows")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, q1, q2 float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q1 = math.Mod(math.Abs(q1), 1)
+		q2 = math.Mod(math.Abs(q2), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := Quantile(xs, q1), Quantile(xs, q2)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return a <= b+1e-9 && a >= s[0]-1e-9 && b <= s[len(s)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i], y[i] = rng.Float64(), rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KolmogorovSmirnov(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiLinearRegression(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultiLinearRegression(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestROCAUC(t *testing.T) {
+	// Perfect separation.
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{false, false, true, true}
+	if auc := ROCAUC(scores, labels); !almost(auc, 1, 1e-12) {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+	// Perfectly inverted.
+	if auc := ROCAUC(scores, []bool{true, true, false, false}); !almost(auc, 0, 1e-12) {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+	// All scores tied: AUC is exactly 0.5 regardless of labels.
+	tied := []float64{1, 1, 1, 1}
+	if auc := ROCAUC(tied, labels); !almost(auc, 0.5, 1e-12) {
+		t.Errorf("tied AUC = %v", auc)
+	}
+	// Degenerate inputs.
+	if !math.IsNaN(ROCAUC(nil, nil)) {
+		t.Error("empty input must be NaN")
+	}
+	if !math.IsNaN(ROCAUC([]float64{1, 2}, []bool{true, true})) {
+		t.Error("single-class input must be NaN")
+	}
+	if !math.IsNaN(ROCAUC([]float64{1}, []bool{true, false})) {
+		t.Error("length mismatch must be NaN")
+	}
+}
+
+func TestROCAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 2000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2) == 0
+	}
+	if auc := ROCAUC(scores, labels); auc < 0.45 || auc > 0.55 {
+		t.Errorf("random AUC = %v, want ≈0.5", auc)
+	}
+}

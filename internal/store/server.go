@@ -1,0 +1,210 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"pricesheriff/internal/transport"
+)
+
+// Server exposes a DB over the transport fabric — the dedicated Database
+// server node of the paper's final architecture.
+type Server struct {
+	DB  *DB
+	rpc *transport.Server
+}
+
+// Request/response shapes of the wire protocol.
+type (
+	insertReq struct {
+		Table string `json:"table"`
+		Row   Row    `json:"row"`
+	}
+	insertResp struct {
+		ID int64 `json:"id"`
+	}
+	getReq struct {
+		Table string `json:"table"`
+		ID    int64  `json:"id"`
+	}
+	updateReq struct {
+		Table   string `json:"table"`
+		ID      int64  `json:"id"`
+		Updates Row    `json:"updates"`
+	}
+	deleteReq struct {
+		Table string `json:"table"`
+		ID    int64  `json:"id"`
+	}
+	callReq struct {
+		Proc string          `json:"proc"`
+		Args json.RawMessage `json:"args,omitempty"`
+	}
+)
+
+// NewServer wraps db in an RPC server on the listener. Call Serve to start.
+func NewServer(db *DB, lis transport.Listener) *Server {
+	s := &Server{DB: db, rpc: transport.NewServer(lis)}
+	s.rpc.Handle("store.create", func(raw json.RawMessage) (any, error) {
+		var spec TableSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, err
+		}
+		return nil, db.CreateTable(spec)
+	})
+	s.rpc.Handle("store.insert", func(raw json.RawMessage) (any, error) {
+		var req insertReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		id, err := db.Insert(req.Table, req.Row)
+		if err != nil {
+			return nil, err
+		}
+		return insertResp{ID: id}, nil
+	})
+	s.rpc.Handle("store.get", func(raw json.RawMessage) (any, error) {
+		var req getReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return db.Get(req.Table, req.ID)
+	})
+	s.rpc.Handle("store.update", func(raw json.RawMessage) (any, error) {
+		var req updateReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, db.Update(req.Table, req.ID, req.Updates)
+	})
+	s.rpc.Handle("store.delete", func(raw json.RawMessage) (any, error) {
+		var req deleteReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, db.Delete(req.Table, req.ID)
+	})
+	s.rpc.Handle("store.select", func(raw json.RawMessage) (any, error) {
+		var q Query
+		if err := json.Unmarshal(raw, &q); err != nil {
+			return nil, err
+		}
+		rows, err := db.Select(q)
+		if err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			rows = []Row{}
+		}
+		return rows, nil
+	})
+	s.rpc.Handle("store.call", func(raw json.RawMessage) (any, error) {
+		var req callReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return db.CallProc(req.Proc, req.Args)
+	})
+	s.rpc.Handle("store.export", func(json.RawMessage) (any, error) {
+		var buf bytes.Buffer
+		if err := db.Export(&buf); err != nil {
+			return nil, err
+		}
+		return json.RawMessage(buf.Bytes()), nil
+	})
+	return s
+}
+
+// Addr returns the dialable address.
+func (s *Server) Addr() string { return s.rpc.Addr() }
+
+// Serve blocks accepting connections; run it in a goroutine.
+func (s *Server) Serve() error { return s.rpc.Serve() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+// Client is a pooled client of a store Server — the "connection threads
+// kept in memory" optimization of Sect. 10.2.1.
+type Client struct {
+	pool *transport.Pool
+}
+
+// Dial connects poolSize connections to the database server.
+func Dial(netw transport.Network, addr string, poolSize int) (*Client, error) {
+	pool, err := transport.NewPool(netw, addr, poolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{pool: pool}, nil
+}
+
+// CreateTable mirrors DB.CreateTable.
+func (c *Client) CreateTable(spec TableSpec) error {
+	return c.pool.Call("store.create", spec, nil)
+}
+
+// Insert mirrors DB.Insert.
+func (c *Client) Insert(table string, row Row) (int64, error) {
+	var resp insertResp
+	if err := c.pool.Call("store.insert", insertReq{Table: table, Row: row}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Get mirrors DB.Get.
+func (c *Client) Get(table string, id int64) (Row, error) {
+	var row Row
+	if err := c.pool.Call("store.get", getReq{Table: table, ID: id}, &row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// Update mirrors DB.Update.
+func (c *Client) Update(table string, id int64, updates Row) error {
+	return c.pool.Call("store.update", updateReq{Table: table, ID: id, Updates: updates}, nil)
+}
+
+// Delete mirrors DB.Delete.
+func (c *Client) Delete(table string, id int64) error {
+	return c.pool.Call("store.delete", deleteReq{Table: table, ID: id}, nil)
+}
+
+// Select mirrors DB.Select.
+func (c *Client) Select(q Query) ([]Row, error) {
+	var rows []Row
+	if err := c.pool.Call("store.select", q, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Call invokes a stored procedure registered on the server, decoding the
+// result into out (may be nil).
+func (c *Client) Call(proc string, args any, out any) error {
+	var raw json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return fmt.Errorf("store: marshal proc args: %w", err)
+		}
+		raw = b
+	}
+	return c.pool.Call("store.call", callReq{Proc: proc, Args: raw}, out)
+}
+
+// Export downloads the whole database as a Snapshot — how an operator
+// dumps a study's dataset from the live Database server.
+func (c *Client) Export() (*Snapshot, error) {
+	var snap Snapshot
+	if err := c.pool.Call("store.export", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Close releases the connection pool.
+func (c *Client) Close() error { return c.pool.Close() }

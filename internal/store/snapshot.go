@@ -1,0 +1,74 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a portable dump of a DB: every table's spec and live rows in
+// insertion order. The deployment kept its measurement corpus in MySQL
+// dumps; this is the equivalent for exporting a study's dataset or moving
+// it between a live system and an analysis run.
+type Snapshot struct {
+	Tables []TableSnapshot `json:"tables"`
+}
+
+// TableSnapshot is one table's spec and rows.
+type TableSnapshot struct {
+	Spec TableSpec `json:"spec"`
+	Rows []Row     `json:"rows"`
+}
+
+// Export writes the whole database as JSON.
+func (db *DB) Export(w io.Writer) error {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	snap := Snapshot{}
+	for _, name := range names {
+		t := db.tables[name]
+		ts := TableSnapshot{Spec: t.spec}
+		for _, id := range t.order {
+			if r, ok := t.rows[id]; ok {
+				ts.Rows = append(ts.Rows, copyRow(r))
+			}
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	db.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// Import loads a snapshot into an empty database. Row IDs are reassigned
+// sequentially (references via the ID column are not preserved — export
+// application-level keys if you need joins to survive).
+func (db *DB) Import(r io.Reader) error {
+	if n := len(db.Tables()); n != 0 {
+		return fmt.Errorf("store: import requires an empty database, have %d tables", n)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	for _, ts := range snap.Tables {
+		if err := db.CreateTable(ts.Spec); err != nil {
+			return err
+		}
+		for _, row := range ts.Rows {
+			clean := copyRow(row)
+			delete(clean, ID)
+			if _, err := db.Insert(ts.Spec.Name, clean); err != nil {
+				return fmt.Errorf("store: import %s: %w", ts.Spec.Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pricesheriff/internal/transport"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := NewDB()
+	src.CreateTable(TableSpec{Name: "requests", Unique: []string{"job_id"}})
+	src.CreateTable(TableSpec{Name: "responses", Index: []string{"job_id"}})
+	src.Insert("requests", Row{"job_id": "j1", "domain": "a.com"})
+	src.Insert("responses", Row{"job_id": "j1", "price": 10.5})
+	src.Insert("responses", Row{"job_id": "j1", "price": 11.5})
+	// A deleted row must not survive the round trip.
+	id, _ := src.Insert("responses", Row{"job_id": "j1", "price": 99.0})
+	src.Delete("responses", id)
+
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewDB()
+	if err := dst.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reqs, _ := dst.Select(Query{Table: "requests"})
+	resps, _ := dst.Select(Query{Table: "responses"})
+	if len(reqs) != 1 || len(resps) != 2 {
+		t.Fatalf("imported rows: requests=%d responses=%d", len(reqs), len(resps))
+	}
+	// Indexes are rebuilt on import.
+	byJob, err := dst.Select(Query{Table: "responses", Eq: map[string]any{"job_id": "j1"}})
+	if err != nil || len(byJob) != 2 {
+		t.Errorf("index after import: %d rows, %v", len(byJob), err)
+	}
+	// Unique constraints too.
+	if _, err := dst.Insert("requests", Row{"job_id": "j1"}); err == nil {
+		t.Error("unique index not rebuilt")
+	}
+}
+
+func TestImportRequiresEmptyDB(t *testing.T) {
+	db := NewDB()
+	db.CreateTable(TableSpec{Name: "t"})
+	if err := db.Import(strings.NewReader(`{"tables":[]}`)); err == nil {
+		t.Error("non-empty import accepted")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if err := NewDB().Import(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestExportDeterministicTableOrder(t *testing.T) {
+	db := NewDB()
+	db.CreateTable(TableSpec{Name: "zeta"})
+	db.CreateTable(TableSpec{Name: "alpha"})
+	var a, b bytes.Buffer
+	db.Export(&a)
+	db.Export(&b)
+	if a.String() != b.String() {
+		t.Error("export not deterministic")
+	}
+	if strings.Index(a.String(), "alpha") > strings.Index(a.String(), "zeta") {
+		t.Error("tables not sorted")
+	}
+}
+
+func TestExportOverWire(t *testing.T) {
+	netw := transport.NewInproc()
+	lis, _ := netw.Listen("")
+	db := NewDB()
+	db.CreateTable(TableSpec{Name: "t", Index: []string{"k"}})
+	db.Insert("t", Row{"k": "v", "n": 7})
+	srv := NewServer(db, lis)
+	go srv.Serve()
+	defer srv.Close()
+
+	cli, err := Dial(netw, srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	snap, err := cli.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tables) != 1 || snap.Tables[0].Spec.Name != "t" || len(snap.Tables[0].Rows) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The snapshot loads into a fresh engine.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDB()
+	if err := restored.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := restored.Select(Query{Table: "t", Eq: map[string]any{"k": "v"}})
+	if len(rows) != 1 || rows[0]["n"] != float64(7) {
+		t.Errorf("restored rows = %v", rows)
+	}
+}

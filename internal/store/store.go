@@ -1,0 +1,468 @@
+// Package store is the Price $heriff's database substrate. The deployed
+// system used MySQL on a dedicated Database server shared by all
+// Measurement servers, after an earlier embedded-per-server design caused
+// consistency problems (paper Sect. 3.1.1). This package supplies the same
+// architectural options: an embeddable in-memory relational engine (DB)
+// and a network server exposing it to many measurement servers over the
+// transport fabric, with stored procedures and client connection pooling —
+// the two optimizations the paper calls out in Sect. 10.2.1.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Row is one record. Values survive a JSON round trip, so numbers are
+// float64, and composite values are not supported.
+type Row map[string]any
+
+// ID is the implicit auto-increment primary key column present in every
+// table.
+const ID = "_id"
+
+// Errors returned by the engine.
+var (
+	ErrNoTable     = errors.New("store: no such table")
+	ErrTableExists = errors.New("store: table already exists")
+	ErrNoRow       = errors.New("store: no such row")
+	ErrDupUnique   = errors.New("store: unique index violation")
+	ErrNoProc      = errors.New("store: no such stored procedure")
+	ErrBadQuery    = errors.New("store: bad query")
+)
+
+// TableSpec declares a table: its name, optional secondary indexes and
+// optional unique indexes (all single-column).
+type TableSpec struct {
+	Name   string   `json:"name"`
+	Index  []string `json:"index,omitempty"`
+	Unique []string `json:"unique,omitempty"`
+}
+
+// Range restricts a numeric column to [Min, Max]; nil bounds are open.
+type Range struct {
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+}
+
+// Query selects rows by exact match on columns, with optional numeric
+// range filters and ordering. Zero Eq matches the whole table. Results
+// are in insertion order unless OrderBy is set. Limit 0 means unbounded.
+type Query struct {
+	Table string           `json:"table"`
+	Eq    map[string]any   `json:"eq,omitempty"`
+	Num   map[string]Range `json:"num,omitempty"`
+	// OrderBy sorts results by a column (numeric or string); Desc flips.
+	OrderBy string `json:"order_by,omitempty"`
+	Desc    bool   `json:"desc,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+}
+
+// Proc is a stored procedure: server-side logic with direct engine access,
+// saving round trips for hot paths (the paper's query optimization).
+type Proc func(db *DB, args json.RawMessage) (any, error)
+
+type table struct {
+	spec    TableSpec
+	rows    map[int64]Row
+	order   []int64 // insertion order of live rows (IDs, ascending)
+	nextID  int64
+	indexes map[string]map[string][]int64 // column -> canonical value -> ids
+	unique  map[string]map[string]int64   // column -> canonical value -> id
+}
+
+// DB is the in-memory engine. All methods are safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	procs  map[string]Proc
+}
+
+// NewDB creates an empty engine.
+func NewDB() *DB {
+	return &DB{
+		tables: make(map[string]*table),
+		procs:  make(map[string]Proc),
+	}
+}
+
+// CreateTable adds a table.
+func (db *DB) CreateTable(spec TableSpec) error {
+	if spec.Name == "" {
+		return ErrBadQuery
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[spec.Name]; ok {
+		return ErrTableExists
+	}
+	t := &table{
+		spec:    spec,
+		rows:    make(map[int64]Row),
+		nextID:  1,
+		indexes: make(map[string]map[string][]int64),
+		unique:  make(map[string]map[string]int64),
+	}
+	for _, col := range spec.Index {
+		t.indexes[col] = make(map[string][]int64)
+	}
+	for _, col := range spec.Unique {
+		t.unique[col] = make(map[string]int64)
+	}
+	db.tables[spec.Name] = t
+	return nil
+}
+
+// Tables returns the table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// canon renders a value as an index key; JSON round trips make float64 the
+// canonical numeric type.
+func canon(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "<nil>"
+	case string:
+		return "s:" + x
+	case bool:
+		return "b:" + strconv.FormatBool(x)
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64)
+	case int:
+		return canon(float64(x))
+	case int64:
+		return canon(float64(x))
+	case float32:
+		return canon(float64(x))
+	default:
+		return fmt.Sprintf("x:%v", x)
+	}
+}
+
+// normalize coerces integer values to float64 so that in-process use and
+// over-the-wire use index identically.
+func normalize(r Row) Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		switch x := v.(type) {
+		case int:
+			out[k] = float64(x)
+		case int64:
+			out[k] = float64(x)
+		case float32:
+			out[k] = float64(x)
+		default:
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Insert adds a row and returns its ID.
+func (db *DB) Insert(tableName string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, ErrNoTable
+	}
+	r := normalize(row)
+	// Unique checks first, so a violation leaves no trace.
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			if _, dup := idx[canon(v)]; dup {
+				return 0, fmt.Errorf("%w: %s=%v", ErrDupUnique, col, v)
+			}
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	r[ID] = float64(id)
+	t.rows[id] = r
+	t.order = append(t.order, id)
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok {
+			key := canon(v)
+			idx[key] = append(idx[key], id)
+		}
+	}
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			idx[canon(v)] = id
+		}
+	}
+	return id, nil
+}
+
+// Get fetches a row by ID; the returned row is a copy.
+func (db *DB) Get(tableName string, id int64) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, ErrNoRow
+	}
+	return copyRow(r), nil
+}
+
+// Update merges updates into the row with the given ID.
+func (db *DB) Update(tableName string, id int64, updates Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return ErrNoTable
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return ErrNoRow
+	}
+	up := normalize(updates)
+	// Unique pre-check against other rows.
+	for col, idx := range t.unique {
+		if v, changed := up[col]; changed {
+			if other, dup := idx[canon(v)]; dup && other != id {
+				return fmt.Errorf("%w: %s=%v", ErrDupUnique, col, v)
+			}
+		}
+	}
+	for col, v := range up {
+		if col == ID {
+			continue
+		}
+		old, had := r[col]
+		if idx, indexed := t.indexes[col]; indexed {
+			if had {
+				removeID(idx, canon(old), id)
+			}
+			key := canon(v)
+			idx[key] = append(idx[key], id)
+			sortIDs(idx[key])
+		}
+		if idx, uniq := t.unique[col]; uniq {
+			if had {
+				delete(idx, canon(old))
+			}
+			idx[canon(v)] = id
+		}
+		r[col] = v
+	}
+	return nil
+}
+
+// Delete removes a row by ID.
+func (db *DB) Delete(tableName string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return ErrNoTable
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return ErrNoRow
+	}
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok {
+			removeID(idx, canon(v), id)
+		}
+	}
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			delete(idx, canon(v))
+		}
+	}
+	delete(t.rows, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Select returns rows matching the query in insertion order. Uses an index
+// for the first indexed Eq column, scanning otherwise.
+func (db *DB) Select(q Query) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	eq := normalize(q.Eq)
+
+	var candidates []int64
+	usedIdx := false
+	for col, v := range eq {
+		if idx, indexed := t.indexes[col]; indexed {
+			candidates = idx[canon(v)]
+			usedIdx = true
+			break
+		}
+		if idx, uniq := t.unique[col]; uniq {
+			if id, ok := idx[canon(v)]; ok {
+				candidates = []int64{id}
+			}
+			usedIdx = true
+			break
+		}
+	}
+	if !usedIdx {
+		candidates = t.order
+	}
+
+	var out []Row
+	for _, id := range candidates {
+		r, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		if !matches(r, eq) || !inRanges(r, q.Num) {
+			continue
+		}
+		out = append(out, copyRow(r))
+		// Early limit cut only when no post-sort is requested.
+		if q.OrderBy == "" && q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	if q.OrderBy != "" {
+		col := q.OrderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			less := lessValues(out[i][col], out[j][col])
+			if q.Desc {
+				return lessValues(out[j][col], out[i][col])
+			}
+			return less
+		})
+		if q.Limit > 0 && len(out) > q.Limit {
+			out = out[:q.Limit]
+		}
+	}
+	return out, nil
+}
+
+// inRanges checks every numeric range filter; rows lacking the column or
+// holding a non-number never match.
+func inRanges(r Row, num map[string]Range) bool {
+	for col, rng := range num {
+		v, ok := r[col].(float64)
+		if !ok {
+			return false
+		}
+		if rng.Min != nil && v < *rng.Min {
+			return false
+		}
+		if rng.Max != nil && v > *rng.Max {
+			return false
+		}
+	}
+	return true
+}
+
+// lessValues orders numbers before strings, numbers numerically, strings
+// lexicographically; missing values sort first.
+func lessValues(a, b any) bool {
+	af, aNum := a.(float64)
+	bf, bNum := b.(float64)
+	switch {
+	case a == nil:
+		return b != nil
+	case b == nil:
+		return false
+	case aNum && bNum:
+		return af < bf
+	case aNum:
+		return true
+	case bNum:
+		return false
+	}
+	as, aStr := a.(string)
+	bs, bStr := b.(string)
+	if aStr && bStr {
+		return as < bs
+	}
+	return fmt.Sprintf("%v", a) < fmt.Sprintf("%v", b)
+}
+
+// Count returns the number of matching rows.
+func (db *DB) Count(q Query) (int, error) {
+	rows, err := db.Select(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// RegisterProc installs a stored procedure.
+func (db *DB) RegisterProc(name string, p Proc) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.procs[name] = p
+}
+
+// CallProc runs a stored procedure. The procedure receives the engine
+// itself; it must not call CallProc re-entrantly.
+func (db *DB) CallProc(name string, args json.RawMessage) (any, error) {
+	db.mu.RLock()
+	p, ok := db.procs[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoProc, name)
+	}
+	return p(db, args)
+}
+
+func matches(r Row, eq map[string]any) bool {
+	for k, v := range eq {
+		got, ok := r[k]
+		if !ok || canon(got) != canon(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func copyRow(r Row) Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+func removeID(idx map[string][]int64, key string, id int64) {
+	ids := idx[key]
+	for i, v := range ids {
+		if v == id {
+			idx[key] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(idx[key]) == 0 {
+		delete(idx, key)
+	}
+}
+
+func sortIDs(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

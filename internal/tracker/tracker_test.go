@@ -1,0 +1,107 @@
+package tracker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestObserveMintsAndReusesCookies(t *testing.T) {
+	tr := New("adnet.example")
+	c1 := tr.Observe("", "shop.com", "electronics")
+	if c1 == "" {
+		t.Fatal("no cookie minted")
+	}
+	c2 := tr.Observe(c1, "shop.com", "electronics")
+	if c2 != c1 {
+		t.Errorf("cookie changed: %s -> %s", c1, c2)
+	}
+	if got := tr.InterestScore(c1, "electronics"); got != 2 {
+		t.Errorf("interest = %d", got)
+	}
+	if got := tr.InterestScore(c1, "books"); got != 0 {
+		t.Errorf("unvisited category = %d", got)
+	}
+	if tr.Visitors() != 1 {
+		t.Errorf("visitors = %d", tr.Visitors())
+	}
+}
+
+func TestObserveUnknownCookieRecreates(t *testing.T) {
+	tr := New("t.example")
+	// A cookie value the tracker never issued (cleared server state, or a
+	// forged value) gets a fresh profile under that value.
+	c := tr.Observe("stranger", "shop.com", "books")
+	if c != "stranger" {
+		t.Errorf("cookie = %s", c)
+	}
+	if tr.InterestScore("stranger", "books") != 1 {
+		t.Error("profile not created")
+	}
+}
+
+func TestProfileAndTopInterests(t *testing.T) {
+	tr := New("t.example")
+	c := tr.Observe("", "a.com", "books")
+	tr.Observe(c, "a.com", "books")
+	tr.Observe(c, "b.com", "games")
+	tr.Observe(c, "c.com", "games")
+	tr.Observe(c, "c.com", "games")
+	tr.Observe(c, "d.com", "travel")
+
+	p := tr.Profile(c)
+	if p["books"] != 2 || p["games"] != 3 || p["travel"] != 1 {
+		t.Errorf("profile = %v", p)
+	}
+	// Mutating the copy must not affect the tracker.
+	p["books"] = 99
+	if tr.InterestScore(c, "books") != 2 {
+		t.Error("Profile leaked internal state")
+	}
+	top := tr.TopInterests(c, 2)
+	if len(top) != 2 || top[0] != "games" || top[1] != "books" {
+		t.Errorf("top = %v", top)
+	}
+	if all := tr.TopInterests(c, 10); len(all) != 3 {
+		t.Errorf("all = %v", all)
+	}
+}
+
+func TestForget(t *testing.T) {
+	tr := New("t.example")
+	c := tr.Observe("", "a.com", "books")
+	tr.Forget(c)
+	if tr.Visitors() != 0 {
+		t.Error("profile not erased")
+	}
+	if tr.InterestScore(c, "books") != 0 {
+		t.Error("score survived Forget")
+	}
+}
+
+func TestObserveEmptyCategory(t *testing.T) {
+	tr := New("t.example")
+	c := tr.Observe("", "a.com", "")
+	if len(tr.Profile(c)) != 0 {
+		t.Error("empty category must not create an interest")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	tr := New("t.example")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := tr.Observe("", "shop.com", "games")
+			for i := 0; i < 50; i++ {
+				tr.Observe(c, fmt.Sprintf("s%d.com", i%5), "games")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Visitors() != 8 {
+		t.Errorf("visitors = %d", tr.Visitors())
+	}
+}

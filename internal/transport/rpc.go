@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Envelope is the wire format of one RPC request or response.
+type Envelope struct {
+	T    string          `json:"t"`              // method name
+	Body json.RawMessage `json:"body,omitempty"` // request or response payload
+	Err  string          `json:"err,omitempty"`  // response-only error text
+}
+
+// Handler serves one RPC method: it unmarshals its own request type from
+// raw and returns a response value (marshalled by the server) or an error
+// (sent back as Envelope.Err).
+type Handler func(raw json.RawMessage) (any, error)
+
+// Server dispatches framed RPC requests to registered handlers. Each
+// accepted connection is served by its own goroutine; requests on one
+// connection are processed sequentially (the protocols here are strict
+// request/response, like the paper's PHP endpoints).
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	conns    map[Conn]bool
+	lis      Listener
+	wg       sync.WaitGroup
+	done     chan struct{}
+	once     sync.Once
+}
+
+// NewServer creates a server bound to the listener; call Handle to register
+// methods, then Serve (usually in a goroutine).
+func NewServer(lis Listener) *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[Conn]bool),
+		lis:      lis,
+		done:     make(chan struct{}),
+	}
+}
+
+// Handle registers a method handler; it must be called before Serve.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Addr returns the dialable address of the server.
+func (s *Server) Addr() string { return s.lis.Addr() }
+
+// Serve accepts connections until Close; it returns after the listener
+// stops. Always returns nil after a clean Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn Conn) {
+	for {
+		var req Envelope
+		if err := conn.Recv(&req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.T]
+		s.mu.RUnlock()
+		var resp Envelope
+		resp.T = req.T
+		if !ok {
+			resp.Err = fmt.Sprintf("unknown method %q", req.T)
+		} else if out, err := h(req.Body); err != nil {
+			resp.Err = err.Error()
+		} else if out != nil {
+			body, err := json.Marshal(out)
+			if err != nil {
+				resp.Err = fmt.Sprintf("marshal response: %v", err)
+			} else {
+				resp.Body = body
+			}
+		}
+		if err := conn.Send(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server: the listener closes and every active connection
+// is torn down (a closed server must look dead to its clients, so pools
+// can detect the failure and re-dial after a restart).
+func (s *Server) Close() error {
+	s.once.Do(func() {
+		close(s.done)
+		s.lis.Close()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	return nil
+}
+
+// Client issues RPCs over one connection. Calls are serialized; use a Pool
+// for concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn Conn
+}
+
+// DialClient connects a client to an RPC server.
+func DialClient(net Network, addr string) (*Client, error) {
+	conn, err := net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Call invokes method with req, storing the response into resp (which may
+// be nil for methods without results). A non-empty server error becomes a
+// *RemoteError.
+func (c *Client) Call(method string, req, resp any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	env := Envelope{T: method}
+	if req != nil {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("transport: marshal request: %w", err)
+		}
+		env.Body = body
+	}
+	if err := c.conn.Send(&env); err != nil {
+		return err
+	}
+	var out Envelope
+	if err := c.conn.Recv(&out); err != nil {
+		return err
+	}
+	if out.Err != "" {
+		return &RemoteError{Method: method, Msg: out.Err}
+	}
+	if resp != nil && len(out.Body) > 0 {
+		return json.Unmarshal(out.Body, resp)
+	}
+	return nil
+}
+
+// Close releases the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteError is an application-level error returned by an RPC handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// IsRemote reports whether err is a RemoteError (as opposed to a transport
+// failure).
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Pool is a fixed-size connection pool, mirroring the paper's database
+// optimization of keeping connection threads in memory instead of paying
+// connection setup per query (Sect. 10.2.1). Connections that fail at the
+// transport level are replaced on the next use, so a server restart does
+// not permanently poison the pool.
+type Pool struct {
+	netw    Network
+	addr    string
+	clients chan *Client
+	size    int
+}
+
+// NewPool dials size connections up front.
+func NewPool(net Network, addr string, size int) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{netw: net, addr: addr, clients: make(chan *Client, size), size: size}
+	for i := 0; i < size; i++ {
+		c, err := DialClient(net, addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients <- c
+	}
+	return p, nil
+}
+
+// Call borrows a connection, issues the RPC, and returns it. A transport
+// failure (as opposed to an application-level RemoteError) closes the
+// broken connection and dials a replacement before the slot goes back to
+// the pool; the original error is still reported to the caller.
+func (p *Pool) Call(method string, req, resp any) error {
+	c := <-p.clients
+	err := c.Call(method, req, resp)
+	if err != nil && !IsRemote(err) {
+		c.Close()
+		if nc, derr := DialClient(p.netw, p.addr); derr == nil {
+			c = nc
+		}
+	}
+	p.clients <- c
+	return err
+}
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return p.size }
+
+// Close closes all pooled connections currently idle.
+func (p *Pool) Close() error {
+	for {
+		select {
+		case c := <-p.clients:
+			c.Close()
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package transport provides the message-passing substrate of the Price
+// $heriff: length-prefixed JSON frames over a stream connection, with two
+// interchangeable fabrics — real TCP (the deployment path) and an
+// in-process loopback (fast deterministic tests). The add-on's
+// webRTC/peerjs channels (paper Sect. 10.2.2) are modelled by the same
+// framing relayed through a broker in package peer.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame caps a single frame; product pages are well under this.
+const MaxFrame = 16 << 20
+
+// Errors returned by the framing layer.
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
+	ErrClosed        = errors.New("transport: connection closed")
+)
+
+// Conn is a bidirectional framed-message connection. Send and Recv are
+// individually goroutine-safe; a single Conn supports one concurrent
+// reader and one concurrent writer.
+type Conn interface {
+	// Send marshals v and writes it as one frame.
+	Send(v any) error
+	// Recv reads one frame and unmarshals into v.
+	Recv(v any) error
+	Close() error
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the dialable address of this listener.
+	Addr() string
+}
+
+// Network abstracts the fabric: TCP or in-process.
+type Network interface {
+	// Listen binds a listener. For TCP, addr is a host:port (use
+	// "127.0.0.1:0" for an ephemeral port); for the in-process fabric it
+	// is a logical name ("" asks for a generated one).
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// --- TCP fabric ---
+
+// TCP is the real-network fabric.
+type TCP struct{}
+
+type tcpListener struct{ l net.Listener }
+
+type tcpConn struct {
+	c   net.Conn
+	rmu sync.Mutex
+	wmu sync.Mutex
+}
+
+// Listen binds a TCP listener.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP listener.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (l *tcpListener) Close() error { return l.l.Close() }
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+func (c *tcpConn) Send(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: marshal: %w", err)
+	}
+	if len(data) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.c.Write(data)
+	return err
+}
+
+func (c *tcpConn) Recv(v any) error {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.c, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+func (c *tcpConn) Close() error       { return c.c.Close() }
+func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// --- In-process fabric ---
+
+// Inproc is a loopback fabric: connections are paired byte-frame channels.
+// Addresses are logical names scoped to one Inproc instance.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAddr  int
+}
+
+// NewInproc creates an empty loopback fabric.
+func NewInproc() *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener)}
+}
+
+type inprocListener struct {
+	net    *Inproc
+	addr   string
+	accept chan *inprocConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// inprocPipe is the shared closed-state of a connection pair; closing
+// either endpoint tears down both directions.
+type inprocPipe struct {
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (p *inprocPipe) close() { p.once.Do(func() { close(p.closed) }) }
+
+type inprocConn struct {
+	out  chan []byte
+	in   chan []byte
+	pipe *inprocPipe
+	peer string
+}
+
+// Listen binds a named listener; "" generates a unique name.
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" {
+		n.nextAddr++
+		addr = fmt.Sprintf("inproc-%d", n.nextAddr)
+	}
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q already bound", addr)
+	}
+	l := &inprocListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan *inprocConn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a named listener.
+func (n *Inproc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	a2b := make(chan []byte, 64)
+	b2a := make(chan []byte, 64)
+	pipe := &inprocPipe{closed: make(chan struct{})}
+	client := &inprocConn{out: a2b, in: b2a, pipe: pipe, peer: addr}
+	server := &inprocConn{out: b2a, in: a2b, pipe: pipe, peer: "dialer"}
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: listener %q closed", addr)
+	}
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (c *inprocConn) Send(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: marshal: %w", err)
+	}
+	if len(data) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	select {
+	case c.out <- data:
+		return nil
+	case <-c.pipe.closed:
+		return ErrClosed
+	}
+}
+
+func (c *inprocConn) Recv(v any) error {
+	select {
+	case data := <-c.in:
+		return json.Unmarshal(data, v)
+	case <-c.pipe.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case data := <-c.in:
+			return json.Unmarshal(data, v)
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.pipe.close()
+	return nil
+}
+
+func (c *inprocConn) RemoteAddr() string { return c.peer }

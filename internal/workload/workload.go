@@ -1,0 +1,264 @@
+// Package workload generates the deployment's demand side: the user base
+// and its geographic distribution (paper Table 2), the domain-level
+// browsing histories ≈500 users donated (Sect. 4), the Alexa top-domain
+// ranking used as a profile-vector basis (Fig. 8a), the add-on adoption
+// timeline with its three press-driven spikes (Fig. 5), and the stream of
+// price-check requests the live system served.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// UserSpec describes one generated user.
+type UserSpec struct {
+	ID      string
+	Country string
+	Donates bool // opted in to donate browsing history
+	// Activity is the user's relative request rate (heavy-tailed).
+	Activity float64
+}
+
+// countryWeights follow Table 2: request counts for the top-10 countries;
+// the remaining countries share a light tail. Spain dominates because the
+// project and its press coverage originated there.
+var countryWeights = map[string]float64{
+	"ES": 2554, "FR": 917, "US": 581, "CH": 387, "DE": 217,
+	"BE": 161, "GB": 126, "NL": 96, "CY": 95, "CA": 92,
+}
+
+// Top10Countries returns Table 2's country order.
+func Top10Countries() []string {
+	return []string{"ES", "FR", "US", "CH", "DE", "BE", "GB", "NL", "CY", "CA"}
+}
+
+// Users generates n users across the given country codes with the Table 2
+// skew. donateFrac users donate browsing history (459/1265 ≈ 0.36 in the
+// deployment).
+func Users(rng *rand.Rand, n int, countries []string, donateFrac float64) []UserSpec {
+	weights := make([]float64, len(countries))
+	var total float64
+	for i, c := range countries {
+		w, ok := countryWeights[c]
+		if !ok {
+			w = 25 // long-tail weight
+		}
+		weights[i] = w
+		total += w
+	}
+	users := make([]UserSpec, n)
+	for i := range users {
+		r := rng.Float64() * total
+		idx := 0
+		for j, w := range weights {
+			r -= w
+			if r <= 0 {
+				idx = j
+				break
+			}
+		}
+		users[i] = UserSpec{
+			ID:      fmt.Sprintf("user-%04d", i),
+			Country: countries[idx],
+			Donates: rng.Float64() < donateFrac,
+			// Pareto-ish activity: a few users issue many checks.
+			Activity: math.Pow(rng.Float64(), -0.5),
+		}
+	}
+	return users
+}
+
+// AlexaDomains returns the top-n entries of the synthetic global web
+// ranking (general-interest sites, not the mall's shops). Rank order is
+// stable: alexa rank 1 is "site-000.example".
+func AlexaDomains(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("site-%03d.example", i)
+	}
+	return out
+}
+
+// Histories generates domain-level browsing histories: visits follow a
+// Zipf law over the Alexa ranking, plus a few user-specific niche domains
+// (which is why the "Users top domains" basis is sparser than the "Alexa
+// top domains" basis — Sect. 4). Users in the same interest group share a
+// bias towards one slice of the ranking, giving k-means something real to
+// find.
+func Histories(rng *rand.Rand, users []UserSpec, universe []string, meanVisits int, groups int) []map[string]int {
+	return HistoriesBiased(rng, users, universe, meanVisits, groups, 0.8)
+}
+
+// HistoriesBiased is Histories with an explicit in-group visit probability
+// (the rest of the visits follow the global Zipf law).
+//
+// Interest groups are *frequency signatures over the top-50 domains*:
+// every user visits the same popular sites, but each behavioural group
+// favours its own subset — exactly the structure the paper's clustering
+// exploits. This is why the "Alexa top domains" basis works at small m
+// (the signal lives in the head of the ranking) and why clustering quality
+// drops as m grows (the extra dimensions only add Zipf-tail noise,
+// Fig. 8a). Some users also pound personal niche domains hard enough to
+// enter the "Users top domains" ranking, displacing signal dimensions —
+// the sparsity problem that makes that basis worse.
+func HistoriesBiased(rng *rand.Rand, users []UserSpec, universe []string, meanVisits, groups int, bias float64) []map[string]int {
+	if groups < 1 {
+		groups = 1
+	}
+	sigTop := 50
+	if len(universe) < sigTop {
+		sigTop = len(universe)
+	}
+	// Per-group cumulative signature over the top domains: a handful of
+	// favourites carry most of the mass.
+	sigs := make([][]float64, groups)
+	for g := range sigs {
+		grng := rand.New(rand.NewSource(int64(g)*7919 + 13))
+		w := make([]float64, sigTop)
+		for f := 0; f < 8; f++ {
+			w[grng.Intn(sigTop)] += 1 + 4*grng.Float64()
+		}
+		total := 0.0
+		for i := range w {
+			w[i] += 0.03
+			total += w[i]
+			w[i] = total
+		}
+		sigs[g] = w
+	}
+	sample := func(g int) int {
+		cum := sigs[g]
+		r := rng.Float64() * cum[len(cum)-1]
+		for i, c := range cum {
+			if r <= c {
+				return i
+			}
+		}
+		return len(cum) - 1
+	}
+
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(universe)-1))
+	out := make([]map[string]int, len(users))
+	for i := range users {
+		h := make(map[string]int)
+		group := i % groups
+		visits := meanVisits/2 + rng.Intn(meanVisits)
+		for v := 0; v < visits; v++ {
+			var d string
+			if rng.Float64() < bias {
+				d = universe[sample(group)]
+			} else {
+				d = universe[zipf.Uint64()]
+			}
+			h[d]++
+		}
+		// Niche personal domains outside the shared universe; every tenth
+		// user is a heavy niche user (their blog, their employer).
+		for k := 0; k < 3; k++ {
+			h[fmt.Sprintf("niche-%04d-%d.example", i, k)] += 1 + rng.Intn(5)
+		}
+		if i%10 == 0 {
+			h[fmt.Sprintf("niche-%04d-0.example", i)] += meanVisits * 2
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// WeekPoint is one week of the Fig. 5 adoption timeline.
+type WeekPoint struct {
+	Week        int
+	Downloads   int // weekly add-on downloads
+	ActiveUsers int // weekly active users
+}
+
+// AdoptionTimeline generates the Fig. 5 series: slow organic growth with
+// press-driven spikes at the given weeks (the paper saw three, after
+// articles in the popular press and a TV documentary).
+func AdoptionTimeline(rng *rand.Rand, weeks int, spikeWeeks []int) []WeekPoint {
+	spikes := make(map[int]bool, len(spikeWeeks))
+	for _, w := range spikeWeeks {
+		spikes[w] = true
+	}
+	out := make([]WeekPoint, weeks)
+	active := 40.0
+	for w := 0; w < weeks; w++ {
+		base := 25 + rng.Intn(20)
+		downloads := float64(base)
+		if spikes[w] {
+			downloads *= 8 + 4*rng.Float64() // press spike
+		}
+		// Actives: retention of previous actives plus a share of new
+		// downloads.
+		active = active*0.93 + downloads*0.5
+		out[w] = WeekPoint{Week: w, Downloads: int(downloads), ActiveUsers: int(active)}
+	}
+	return out
+}
+
+// Request is one price-check request of the live workload.
+type Request struct {
+	Day    float64
+	UserID string
+	Domain string
+}
+
+// Requests draws a request stream: users chosen by activity, domains by a
+// Zipf law over the checked-domain list (a few shops attract most checks,
+// as in Fig. 9's request counts).
+func Requests(rng *rand.Rand, users []UserSpec, domains []string, total int, days float64) []Request {
+	// Cumulative activity for weighted user sampling.
+	cum := make([]float64, len(users))
+	sum := 0.0
+	for i, u := range users {
+		sum += u.Activity
+		cum[i] = sum
+	}
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(domains)-1))
+	out := make([]Request, total)
+	for i := range out {
+		r := rng.Float64() * sum
+		idx := sort.SearchFloat64s(cum, r)
+		if idx >= len(users) {
+			idx = len(users) - 1
+		}
+		out[i] = Request{
+			Day:    rng.Float64() * days,
+			UserID: users[idx].ID,
+			Domain: domains[zipf.Uint64()],
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Day < out[b].Day })
+	return out
+}
+
+// CountryRequestCounts tallies requests per country — Table 2's rows.
+func CountryRequestCounts(users []UserSpec, reqs []Request) map[string]int {
+	byUser := make(map[string]string, len(users))
+	for _, u := range users {
+		byUser[u.ID] = u.Country
+	}
+	out := make(map[string]int)
+	for _, r := range reqs {
+		out[byUser[r.UserID]]++
+	}
+	return out
+}
+
+// RankCountries sorts countries by request count, descending.
+func RankCountries(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for c := range counts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pricesheriff/internal/geo"
+)
+
+func TestUsersCountrySkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	world := geo.NewWorld()
+	users := Users(rng, 1265, world.Countries(), 459.0/1265)
+	if len(users) != 1265 {
+		t.Fatalf("users = %d", len(users))
+	}
+	counts := map[string]int{}
+	donors := 0
+	for _, u := range users {
+		counts[u.Country]++
+		if u.Donates {
+			donors++
+		}
+		if u.Activity <= 0 {
+			t.Fatal("non-positive activity")
+		}
+	}
+	if counts["ES"] <= counts["FR"] || counts["FR"] <= counts["DE"] {
+		t.Errorf("country skew broken: ES=%d FR=%d DE=%d", counts["ES"], counts["FR"], counts["DE"])
+	}
+	if donors < 300 || donors > 620 {
+		t.Errorf("donors = %d, want ≈459/1265 fraction", donors)
+	}
+}
+
+func TestAlexaDomainsStable(t *testing.T) {
+	a := AlexaDomains(100)
+	b := AlexaDomains(200)
+	if len(a) != 100 || len(b) != 200 {
+		t.Fatal("lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ranking not a stable prefix")
+		}
+	}
+	if a[0] != "site-000.example" {
+		t.Errorf("rank 1 = %s", a[0])
+	}
+}
+
+func TestHistoriesGroupsAndNiches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	users := Users(rng, 40, []string{"ES"}, 1)
+	universe := AlexaDomains(100)
+	hist := Histories(rng, users, universe, 200, 4)
+	if len(hist) != 40 {
+		t.Fatalf("histories = %d", len(hist))
+	}
+	nicheSeen := false
+	for i, h := range hist {
+		if len(h) == 0 {
+			t.Fatalf("user %d empty history", i)
+		}
+		for d := range h {
+			if strings.HasPrefix(d, "niche-") {
+				nicheSeen = true
+			}
+		}
+	}
+	if !nicheSeen {
+		t.Error("no niche domains generated")
+	}
+	// Same-group users (i, i+4) overlap more than cross-group (i, i+1).
+	overlap := func(a, b map[string]int) int {
+		n := 0
+		for d := range a {
+			if _, ok := b[d]; ok && !strings.HasPrefix(d, "niche-") {
+				n++
+			}
+		}
+		return n
+	}
+	same, cross := 0, 0
+	for i := 0; i+4 < 40; i += 4 {
+		same += overlap(hist[i], hist[i+4])
+		cross += overlap(hist[i], hist[i+1])
+	}
+	if same <= cross {
+		t.Errorf("group structure missing: same=%d cross=%d", same, cross)
+	}
+}
+
+func TestAdoptionTimelineSpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	weeks := AdoptionTimeline(rng, 60, []int{10, 25, 40})
+	if len(weeks) != 60 {
+		t.Fatalf("weeks = %d", len(weeks))
+	}
+	baseline := 0
+	for w := 0; w < 9; w++ {
+		baseline += weeks[w].Downloads
+	}
+	baseline /= 9
+	for _, spike := range []int{10, 25, 40} {
+		if weeks[spike].Downloads < 4*baseline {
+			t.Errorf("week %d downloads = %d, baseline %d: spike missing", spike, weeks[spike].Downloads, baseline)
+		}
+		// Active users jump after the spike.
+		if weeks[spike+1].ActiveUsers <= weeks[spike-1].ActiveUsers {
+			t.Errorf("week %d actives did not rise after spike", spike)
+		}
+	}
+}
+
+func TestRequestsStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	users := Users(rng, 100, []string{"ES", "FR"}, 0.3)
+	domains := []string{"a.com", "b.com", "c.com", "d.com", "e.com"}
+	reqs := Requests(rng, users, domains, 5000, 365)
+	if len(reqs) != 5000 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	// Sorted by day; days in range.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Day < reqs[i-1].Day {
+			t.Fatal("stream not time-ordered")
+		}
+	}
+	counts := map[string]int{}
+	for _, r := range reqs {
+		counts[r.Domain]++
+		if r.Day < 0 || r.Day > 365 {
+			t.Fatalf("day out of range: %v", r.Day)
+		}
+	}
+	// Zipf: the head domain dominates the tail.
+	if counts["a.com"] < 2*counts["e.com"] {
+		t.Errorf("zipf skew missing: %v", counts)
+	}
+}
+
+func TestCountryRequestCountsAndRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	world := geo.NewWorld()
+	users := Users(rng, 1265, world.Countries(), 0.36)
+	reqs := Requests(rng, users, []string{"x.com"}, 5700, 365)
+	counts := CountryRequestCounts(users, reqs)
+	ranked := RankCountries(counts)
+	if ranked[0] != "ES" {
+		t.Errorf("top country = %s, want ES (Table 2)", ranked[0])
+	}
+	// France should rank in the top 3.
+	top3 := strings.Join(ranked[:3], ",")
+	if !strings.Contains(top3, "FR") {
+		t.Errorf("FR not in top 3: %v", ranked[:5])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5700 {
+		t.Errorf("total = %d", total)
+	}
+}
