@@ -9,6 +9,7 @@ build:
 
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/obs ./internal/transport ./internal/coordinator
 
 race:
 	$(GO) test -race ./...

@@ -8,6 +8,10 @@
 //	sheriffctl -coord HOST:PORT -shops HOST:PORT -broker HOST:PORT \
 //	    [-country ES] [-id my-peer] \
 //	    (-url http://domain/product/sku | -domain chegg.com | -list)
+//
+// The stats subcommand reads a deployment's telemetry from the admin UI:
+//
+//	sheriffctl stats -admin HOST:PORT [-json]
 package main
 
 import (
@@ -29,6 +33,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
 	var (
 		coordAddr  = flag.String("coord", "", "coordinator address (required)")
 		shopsAddr  = flag.String("shops", "", "shop-world address (required)")

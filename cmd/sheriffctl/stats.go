@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pricesheriff/internal/obs"
+)
+
+// runStats implements `sheriffctl stats`: fetch /metrics.json from a
+// deployment's admin UI and pretty-print the snapshot.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	admin := fs.String("admin", "", "admin UI address (required; sheriffd prints it)")
+	raw := fs.Bool("json", false, "print the raw JSON snapshot")
+	fs.Parse(args)
+	if *admin == "" {
+		log.Fatal("need -admin (sheriffd prints the admin web ui address)")
+	}
+
+	cli := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cli.Get("http://" + *admin + "/metrics.json")
+	if err != nil {
+		log.Fatalf("fetch metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("fetch metrics: status %d", resp.StatusCode)
+	}
+
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatalf("decode metrics: %v", err)
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+		return
+	}
+
+	fmt.Println("counters:")
+	for _, p := range snap.Counters {
+		fmt.Printf("  %-64s %d\n", p.Series, p.Value)
+	}
+	fmt.Println("gauges:")
+	for _, p := range snap.Gauges {
+		fmt.Printf("  %-64s %d\n", p.Series, p.Value)
+	}
+	fmt.Println("histograms:")
+	for _, h := range snap.Histograms {
+		fmt.Printf("  %-64s count=%d sum=%.4fs p50=%.4fs p95=%.4fs p99=%.4fs\n",
+			h.Series, h.Count, h.Sum, h.P50, h.P95, h.P99)
+	}
+}

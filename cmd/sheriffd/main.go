@@ -10,11 +10,12 @@
 //
 // Usage:
 //
-//	sheriffd [-servers 2] [-domains 200] [-users 12] [-seed 1] [-admin 127.0.0.1:0] [-dump study.json]
+//	sheriffd [-servers 2] [-domains 200] [-users 12] [-seed 1] [-admin 127.0.0.1:0] [-debug] [-dump study.json]
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 
 	"pricesheriff/internal/adminui"
 	"pricesheriff/internal/core"
+	"pricesheriff/internal/obs"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/transport"
 	"pricesheriff/internal/workload"
@@ -37,6 +39,7 @@ func main() {
 		users   = flag.Int("users", 12, "simulated peer users to connect")
 		seed    = flag.Int64("seed", 1, "world/workload seed")
 		admin   = flag.String("admin", "127.0.0.1:0", "admin web UI address (empty disables)")
+		debug   = flag.Bool("debug", false, "expose /debug/pprof and /debug/vars on the admin UI")
 		dump    = flag.String("dump", "", "write the collected dataset to this JSON file on shutdown")
 	)
 	flag.Parse()
@@ -49,16 +52,23 @@ func main() {
 		NumAlexa:      max(5, *domains/5),
 		IncludePDIPD:  true,
 	})
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(64)
 	sys, err := core.NewSystem(core.Config{
 		Fabric:             transport.TCP{},
 		Mall:               mall,
 		MeasurementServers: *servers,
 		Seed:               *seed,
+		Metrics:            reg,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
 	}
 	defer sys.Close()
+	if *debug {
+		expvar.Publish("sheriff", expvar.Func(func() any { return reg.Snapshot() }))
+	}
 
 	fmt.Println("Price $heriff deployment up:")
 	fmt.Printf("  shops (the web):     %s\n", sys.ShopAddr())
@@ -81,11 +91,17 @@ func main() {
 
 	if *admin != "" {
 		ui := adminui.New(sys.Coord)
+		ui.Metrics = reg
+		ui.Tracer = tracer
+		if *debug {
+			ui.EnableDebug()
+		}
 		if err := ui.Listen(*admin); err != nil {
 			log.Fatalf("admin ui: %v", err)
 		}
 		defer ui.Close()
 		fmt.Printf("  admin web ui:        http://%s/\n", ui.Addr())
+		fmt.Printf("  metrics:             http://%s/metrics\n", ui.Addr())
 	}
 	fmt.Println("\nConnect with: sheriffctl -coord", sys.CoordAddr(),
 		"-shops", sys.ShopAddr(), "-broker", sys.BrokerAddr())
@@ -95,6 +111,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nshutting down")
+	fmt.Printf("final stats: %d checks completed, p95 check latency %.3fs, %d proxy timeouts\n",
+		reg.Counter("sheriff_measurement_checks_completed_total").Value(),
+		reg.Histogram("sheriff_measurement_check_seconds").Quantile(0.95),
+		reg.Counter("sheriff_measurement_proxy_timeouts_total").Value())
 
 	if *dump != "" {
 		snap, err := sys.DB().Export()

@@ -6,12 +6,15 @@
 // It is a plain net/http server over the Coordinator's state:
 //
 //	GET  /            index with links
-//	GET  /servers     Fig. 7 (HTML) — measurement servers and jobs
-//	GET  /peers       Fig. 16 (HTML) — online peer proxies
-//	GET  /whitelist   sanctioned domain count + rejected-domain queue
-//	POST /whitelist   add a domain (form field "domain")
-//	POST /servers     register a measurement server (form field "addr")
-//	GET  /healthz     liveness probe
+//	GET  /servers      Fig. 7 (HTML) — measurement servers and jobs
+//	GET  /peers        Fig. 16 (HTML) — online peer proxies
+//	GET  /whitelist    sanctioned domain count + rejected-domain queue
+//	POST /whitelist    add a domain (form field "domain")
+//	POST /servers      register a measurement server (form field "addr")
+//	GET  /metrics      telemetry in Prometheus text exposition format
+//	GET  /metrics.json telemetry as a JSON snapshot
+//	GET  /traces       recent price-check trace waterfalls (HTML)
+//	GET  /healthz      liveness probe
 package adminui
 
 import (
@@ -22,11 +25,17 @@ import (
 	"sync"
 
 	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/obs"
 )
 
 // Server is the admin HTTP server.
 type Server struct {
 	Coord *coordinator.Coordinator
+	// Metrics backs /metrics and /metrics.json; set it after New (nil:
+	// the endpoints serve an empty snapshot).
+	Metrics *obs.Registry
+	// Tracer backs /traces; set it after New (nil: an empty panel).
+	Tracer *obs.Tracer
 
 	mux  *http.ServeMux
 	http *http.Server
@@ -41,7 +50,15 @@ func New(coord *coordinator.Coordinator) *Server {
 	s.mux.HandleFunc("/servers", s.handleServers)
 	s.mux.HandleFunc("/peers", s.handlePeers)
 	s.mux.HandleFunc("/whitelist", s.handleWhitelist)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return s
@@ -87,6 +104,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, `<!DOCTYPE html>
 <html><head><title>Price $heriff admin</title></head><body>
@@ -95,6 +116,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/servers">Measurement servers</a></li>
 <li><a href="/peers">Peer proxies</a></li>
 <li><a href="/whitelist">Whitelist</a></li>
+<li><a href="/metrics">Metrics (Prometheus)</a></li>
+<li><a href="/metrics.json">Metrics (JSON)</a></li>
+<li><a href="/traces">Recent traces</a></li>
 </ul>
 </body></html>
 `)

@@ -1,0 +1,111 @@
+package adminui
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"pricesheriff/internal/obs"
+)
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Metrics.WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the registry as a JSON snapshot (the shape
+// consumed by `sheriffctl stats`).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Metrics.Snapshot())
+}
+
+// handleTraces renders the recent price-check traces as HTML waterfalls:
+// one horizontal bar per span, offset and sized relative to the trace.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><title>Recent traces</title><style>
+body { font-family: monospace; }
+.trace { border: 1px solid #ccc; margin: 1em 0; padding: .5em; }
+.lane { position: relative; height: 1.4em; }
+.bar { position: absolute; height: 1.1em; background: #4a90d9; color: #fff;
+       overflow: hidden; white-space: nowrap; font-size: .8em; padding: 0 2px; }
+.bar.err { background: #c0392b; }
+.child .bar { background: #7fb2e5; }
+.child .bar.err { background: #c0392b; }
+</style></head><body>
+<h1>Recent traces</h1>
+`)
+	views := s.Tracer.Recent()
+	if len(views) == 0 {
+		fmt.Fprint(w, "<p>No completed traces yet.</p>\n")
+	}
+	for _, tv := range views {
+		fmt.Fprintf(w, `<div class="trace"><b>%s</b> %s — %s`+"\n",
+			htmlEscape(tv.ID), htmlEscape(tv.Name), tv.Duration.Round(time.Microsecond))
+		for k, v := range tv.Attrs {
+			fmt.Fprintf(w, ` <i>%s=%s</i>`, htmlEscape(k), htmlEscape(v))
+		}
+		fmt.Fprint(w, "\n")
+		for _, sp := range tv.Spans {
+			writeSpanLane(w, sp, tv.Duration, false)
+		}
+		fmt.Fprint(w, "</div>\n")
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+func writeSpanLane(w http.ResponseWriter, sp obs.SpanView, total time.Duration, child bool) {
+	left, width := 0.0, 100.0
+	if total > 0 {
+		left = 100 * float64(sp.Offset) / float64(total)
+		width = 100 * float64(sp.Duration) / float64(total)
+	}
+	if width < 0.5 {
+		width = 0.5 // keep instantaneous spans visible
+	}
+	cls, lane := "bar", "lane"
+	if _, bad := sp.Attrs["error"]; bad {
+		cls += " err"
+	}
+	if child {
+		lane += " child"
+	}
+	title := ""
+	for k, v := range sp.Attrs {
+		title += k + "=" + v + " "
+	}
+	fmt.Fprintf(w, `<div class="%s"><span class="%s" title="%s" style="left:%.2f%%;width:%.2f%%">%s %s</span></div>`+"\n",
+		lane, cls, htmlEscape(title), left, width, htmlEscape(sp.Name), sp.Duration.Round(time.Microsecond))
+	for _, c := range sp.Children {
+		writeSpanLane(w, c, total, true)
+	}
+}
+
+// EnableDebug mounts net/http/pprof and expvar on the admin mux — the
+// sheriffd -debug surface. Call it before Listen.
+func (s *Server) EnableDebug() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+}

@@ -50,6 +50,10 @@ type Coordinator struct {
 	// ≈3 with a maximum of 5).
 	MaxPPCs     int
 	Granularity Granularity
+	// Metrics instruments job scheduling and the peer registry; set it
+	// before serving traffic (nil disables). Share one bundle with
+	// Servers.Metrics so the whole component reports into one registry.
+	Metrics *Metrics
 
 	mu      sync.Mutex
 	peers   map[string]PeerInfo
@@ -88,6 +92,7 @@ func (c *Coordinator) RegisterPeer(id, ip string) (PeerInfo, error) {
 		c.order = append(c.order, id)
 	}
 	c.peers[id] = info
+	c.Metrics.setPeersOnline(len(c.peers))
 	return info, nil
 }
 
@@ -102,6 +107,7 @@ func (c *Coordinator) UnregisterPeer(id string) {
 			break
 		}
 	}
+	c.Metrics.setPeersOnline(len(c.peers))
 }
 
 // Peers returns the monitoring-panel rows.
@@ -161,6 +167,7 @@ func (c *Coordinator) PeersNear(initiatorID string, max int) []PeerInfo {
 // Measurement server, and snapshot the PPC list for that job.
 func (c *Coordinator) NewJob(domain, initiatorID string) (*Job, error) {
 	if !c.Whitelist.Check(domain) {
+		c.Metrics.whitelistRejected()
 		return nil, fmt.Errorf("coordinator: domain %q is not whitelisted", domain)
 	}
 	addr, err := c.Servers.Assign()
@@ -180,6 +187,7 @@ func (c *Coordinator) NewJob(domain, initiatorID string) (*Job, error) {
 		PPCs:       ppcs,
 	}
 	c.jobs[job.ID] = job
+	c.Metrics.jobScheduled(len(c.jobs))
 	return job, nil
 }
 
@@ -202,6 +210,7 @@ func (c *Coordinator) JobDone(jobID string) error {
 	job, ok := c.jobs[jobID]
 	if ok {
 		delete(c.jobs, jobID)
+		c.Metrics.jobDone(len(c.jobs))
 	}
 	c.mu.Unlock()
 	if !ok {

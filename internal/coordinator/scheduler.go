@@ -45,14 +45,19 @@ var (
 )
 
 type serverEntry struct {
-	addr     string
-	pending  int
-	lastBeat int64
-	removed  bool
+	addr      string
+	pending   int
+	lastBeat  int64
+	removed   bool
+	wasOnline bool // tracks online→offline transitions for lapse counting
 }
 
 // ServerList tracks Measurement servers and assigns jobs.
 type ServerList struct {
+	// Metrics instruments heartbeats, lapses and pending gauges; set it
+	// before serving traffic (nil disables).
+	Metrics *Metrics
+
 	mu      sync.Mutex
 	servers map[string]*serverEntry
 	order   []string // registration order, for round robin and stable ties
@@ -86,10 +91,13 @@ func (l *ServerList) Register(addr string) {
 	if e, ok := l.servers[addr]; ok {
 		e.removed = false
 		e.lastBeat = l.now().UnixMilli()
+		e.wasOnline = true
+		l.updateOnlineGauge()
 		return
 	}
-	l.servers[addr] = &serverEntry{addr: addr, lastBeat: l.now().UnixMilli()}
+	l.servers[addr] = &serverEntry{addr: addr, lastBeat: l.now().UnixMilli(), wasOnline: true}
 	l.order = append(l.order, addr)
+	l.updateOnlineGauge()
 }
 
 // Remove detaches a server. Like the paper's admin flow, removal is only
@@ -119,14 +127,42 @@ func (l *ServerList) Heartbeat(addr string, pending int) error {
 		return ErrUnknownServer
 	}
 	e.lastBeat = l.now().UnixMilli()
+	e.wasOnline = true
 	if pending >= 0 {
 		e.pending = pending
 	}
+	l.Metrics.heartbeat()
+	l.Metrics.setServerPending(addr, e.pending)
+	l.updateOnlineGauge()
 	return nil
 }
 
+// online reports liveness and, as a side effect, counts the first
+// observation of an online→offline transition (a heartbeat lapse).
+// Callers hold l.mu.
 func (l *ServerList) online(e *serverEntry, nowMs int64) bool {
-	return !e.removed && nowMs-e.lastBeat <= l.timeout.Milliseconds()
+	ok := !e.removed && nowMs-e.lastBeat <= l.timeout.Milliseconds()
+	if !ok && e.wasOnline {
+		e.wasOnline = false
+		l.Metrics.heartbeatLapse()
+		l.updateOnlineGauge()
+	}
+	return ok
+}
+
+// updateOnlineGauge recomputes the servers-online gauge. Callers hold l.mu.
+func (l *ServerList) updateOnlineGauge() {
+	if l.Metrics == nil {
+		return
+	}
+	nowMs := l.now().UnixMilli()
+	n := 0
+	for _, e := range l.servers {
+		if !e.removed && nowMs-e.lastBeat <= l.timeout.Milliseconds() {
+			n++
+		}
+	}
+	l.Metrics.setServersOnline(n)
 }
 
 // Assign picks a server for a new job and increments its pending counter.
@@ -141,6 +177,7 @@ func (l *ServerList) Assign() (string, error) {
 			if l.online(e, nowMs) {
 				l.rrNext = (l.rrNext + i + 1) % len(l.order)
 				e.pending++
+				l.Metrics.setServerPending(e.addr, e.pending)
 				return e.addr, nil
 			}
 		}
@@ -160,6 +197,7 @@ func (l *ServerList) Assign() (string, error) {
 			return "", ErrNoServers
 		}
 		best.pending++
+		l.Metrics.setServerPending(best.addr, best.pending)
 		return best.addr, nil
 	}
 }
@@ -175,6 +213,7 @@ func (l *ServerList) Done(addr string) error {
 	if e.pending > 0 {
 		e.pending--
 	}
+	l.Metrics.setServerPending(e.addr, e.pending)
 	return nil
 }
 

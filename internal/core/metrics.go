@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+
+	"pricesheriff/internal/obs"
+)
+
+// coreMetrics instruments the user-facing five-step protocol as seen by
+// the submitting side: whole-check latency and outcome counts. A nil
+// *coreMetrics disables instrumentation.
+type coreMetrics struct {
+	checks       *obs.Counter
+	checkErrors  *obs.Counter
+	piiBlocked   *obs.Counter
+	checkSeconds *obs.Histogram
+}
+
+func newCoreMetrics(reg *obs.Registry) *coreMetrics {
+	return &coreMetrics{
+		checks:       reg.Counter("sheriff_core_checks_total"),
+		checkErrors:  reg.Counter("sheriff_core_check_errors_total"),
+		piiBlocked:   reg.Counter("sheriff_core_pii_blocked_total"),
+		checkSeconds: reg.Histogram("sheriff_core_check_seconds"),
+	}
+}
+
+func (m *coreMetrics) checkDone(t0 time.Time, err error) {
+	if m == nil {
+		return
+	}
+	m.checks.Inc()
+	m.checkSeconds.ObserveSince(t0)
+	if err != nil {
+		m.checkErrors.Inc()
+	}
+}
+
+func (m *coreMetrics) piiRejected() {
+	if m == nil {
+		return
+	}
+	m.piiBlocked.Inc()
+}

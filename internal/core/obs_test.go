@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPriceCheckTelemetry is the acceptance test of the observability
+// ISSUE: one completed price check must yield (a) a trace whose fan-out
+// span has one child per vantage point, and (b) a registry populated with
+// series spanning transport, coordinator, measurement and store.
+func TestPriceCheckTelemetry(t *testing.T) {
+	sys := newSystem(t)
+	users := addUsers(t, sys, "ES", 4)
+	url := productURL(t, sys, "steampowered.com", 0)
+
+	res, err := sys.PriceCheck(users[0].ID, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vantages := len(res.Rows) - 1 // every row except the initiator's
+
+	// --- The trace: submit/schedule/await from the submitter, joined by
+	// the measurement server's extract/persist/fanout spans.
+	views := sys.Tracer().Recent()
+	if len(views) != 1 {
+		t.Fatalf("recent traces = %d, want 1", len(views))
+	}
+	tv := views[0]
+	if tv.Attrs["job"] != res.JobID {
+		t.Errorf("trace job attr = %q, want %q", tv.Attrs["job"], res.JobID)
+	}
+	spans := map[string]int{}
+	fanoutChildren := 0
+	childKinds := map[string]int{}
+	for _, sp := range tv.Spans {
+		spans[sp.Name]++
+		if sp.Name == "fanout" {
+			fanoutChildren = len(sp.Children)
+			for _, c := range sp.Children {
+				childKinds[c.Attrs["kind"]]++
+			}
+		}
+	}
+	for _, want := range []string{"submit", "schedule", "await", "extract", "persist", "fanout"} {
+		if spans[want] != 1 {
+			t.Errorf("span %q appears %d times, want 1 (spans: %v)", want, spans[want], spans)
+		}
+	}
+	if fanoutChildren != vantages {
+		t.Errorf("fanout children = %d, want %d (one per vantage point)", fanoutChildren, vantages)
+	}
+	if childKinds["ipc"] != 6 || childKinds["ppc"] != 3 {
+		t.Errorf("child kinds = %v, want 6 ipc / 3 ppc", childKinds)
+	}
+
+	// --- The registry: >= 20 series spanning four components.
+	snap := sys.Metrics().Snapshot()
+	series := make([]string, 0, 64)
+	for _, p := range snap.Counters {
+		series = append(series, p.Series)
+	}
+	for _, p := range snap.Gauges {
+		series = append(series, p.Series)
+	}
+	for _, h := range snap.Histograms {
+		series = append(series, h.Series)
+	}
+	if len(series) < 20 {
+		t.Errorf("registry has %d series, want >= 20: %v", len(series), series)
+	}
+	components := map[string]bool{}
+	for _, s := range series {
+		for _, comp := range []string{"transport", "coordinator", "measurement", "store", "peer", "core"} {
+			if strings.HasPrefix(s, "sheriff_"+comp+"_") {
+				components[comp] = true
+			}
+		}
+	}
+	for _, comp := range []string{"transport", "coordinator", "measurement", "store"} {
+		if !components[comp] {
+			t.Errorf("no %s series in registry: %v", comp, series)
+		}
+	}
+
+	// Spot-check a few values a completed check must have moved.
+	reg := sys.Metrics()
+	if n := reg.Counter("sheriff_measurement_checks_completed_total").Value(); n != 1 {
+		t.Errorf("checks completed = %d, want 1", n)
+	}
+	if n := reg.Counter("sheriff_core_checks_total").Value(); n != 1 {
+		t.Errorf("core checks = %d, want 1", n)
+	}
+	if n := reg.Counter("sheriff_coordinator_jobs_scheduled_total").Value(); n != 1 {
+		t.Errorf("jobs scheduled = %d, want 1", n)
+	}
+	if reg.Counter("sheriff_transport_frames_sent_total", "fabric", "inproc").Value() == 0 {
+		t.Error("no transport frames counted")
+	}
+	if reg.Histogram("sheriff_measurement_check_seconds").Count() != 1 {
+		t.Error("check latency not observed")
+	}
+	if reg.Counter("sheriff_store_queries_total", "method", "insert").Value() == 0 {
+		t.Error("no store inserts counted")
+	}
+	if reg.Gauge("sheriff_peer_relay_sessions").Value() == 0 {
+		t.Error("relay session gauge is zero with connected peers")
+	}
+
+	// PII rejections feed their own counter.
+	if _, err := sys.PriceCheck(users[0].ID, "http://steampowered.com/account/settings"); err == nil {
+		t.Fatal("PII URL accepted")
+	}
+	if n := reg.Counter("sheriff_core_pii_blocked_total").Value(); n != 1 {
+		t.Errorf("pii blocked = %d, want 1", n)
+	}
+}

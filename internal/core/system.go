@@ -19,6 +19,7 @@ import (
 	"pricesheriff/internal/doppelganger"
 	"pricesheriff/internal/htmlx"
 	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/obs"
 	"pricesheriff/internal/peer"
 	"pricesheriff/internal/privkmeans"
 	"pricesheriff/internal/shop"
@@ -49,6 +50,12 @@ type Config struct {
 	HeartbeatTimeout time.Duration
 	// Seed drives all deterministic randomness (IP allocation etc.).
 	Seed int64
+	// Metrics receives every component's telemetry; default is a fresh
+	// registry (reachable via System.Metrics).
+	Metrics *obs.Registry
+	// Tracer records per-check span trees; default keeps the last 64
+	// completed traces (reachable via System.Tracer).
+	Tracer *obs.Tracer
 }
 
 // System is a running Price $heriff deployment.
@@ -72,6 +79,12 @@ type System struct {
 
 	dopps     *doppelganger.Manager
 	directory *systemDirectory
+
+	metrics     *obs.Registry
+	tracer      *obs.Tracer
+	obs         *coreMetrics
+	peerMetrics *peer.Metrics
+	measMetrics *measurement.Metrics
 
 	rng *rand.Rand
 
@@ -113,11 +126,34 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.MaxPPCs <= 0 {
 		cfg.MaxPPCs = 5
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(0)
+	}
+	// Attach frame/byte accounting to the fabric if the caller didn't.
+	switch f := cfg.Fabric.(type) {
+	case transport.TCP:
+		if f.Metrics == nil {
+			f.Metrics = transport.NewMetrics(cfg.Metrics, "tcp")
+			cfg.Fabric = f
+		}
+	case *transport.Inproc:
+		if f.Metrics == nil {
+			f.Metrics = transport.NewMetrics(cfg.Metrics, "inproc")
+		}
+	}
 
 	s := &System{
 		Mall:         cfg.Mall,
 		PIIBlacklist: coordinator.NewPIIBlacklist(nil),
 		fabric:       cfg.Fabric,
+		metrics:      cfg.Metrics,
+		tracer:       cfg.Tracer,
+		obs:          newCoreMetrics(cfg.Metrics),
+		peerMetrics:  peer.NewMetrics(cfg.Metrics),
+		measMetrics:  measurement.NewMetrics(cfg.Metrics),
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		users:        make(map[string]*User),
 	}
@@ -138,6 +174,7 @@ func NewSystem(cfg Config) (*System, error) {
 	coreDB := store.NewDB()
 	measurement.RegisterStandardProcs(coreDB)
 	s.dbSrv = store.NewServer(coreDB, dbLis)
+	s.dbSrv.Metrics = store.NewMetrics(cfg.Metrics)
 	go s.dbSrv.Serve()
 	s.db, err = store.Dial(cfg.Fabric, s.dbSrv.Addr(), 4)
 	if err != nil {
@@ -153,12 +190,16 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.broker = peer.NewBroker(brokerLis)
+	s.broker.Metrics = s.peerMetrics
 	go s.broker.Serve()
 
 	// The Coordinator, whitelisting exactly the mall's domains.
+	coordMetrics := coordinator.NewMetrics(cfg.Metrics)
 	servers := coordinator.NewServerList(cfg.HeartbeatTimeout, coordinator.LeastPending, nil)
+	servers.Metrics = coordMetrics
 	wl := coordinator.NewWhitelist(cfg.Mall.Domains())
 	s.Coord = coordinator.New(servers, wl, cfg.Mall.World)
+	s.Coord.Metrics = coordMetrics
 	s.Coord.MaxPPCs = cfg.MaxPPCs
 	coordLis, err := cfg.Fabric.Listen("")
 	if err != nil {
@@ -209,6 +250,8 @@ func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.
 	ms.DB = dbCli
 	ms.IPCs = fleet
 	ms.Peers = requester
+	ms.Metrics = s.measMetrics
+	ms.Tracer = s.tracer
 
 	lis, err := s.fabric.Listen("")
 	if err != nil {
@@ -271,6 +314,12 @@ func (s *System) DBAddr() string { return s.dbSrv.Addr() }
 // Fabric returns the network fabric the system runs on.
 func (s *System) Fabric() transport.Network { return s.fabric }
 
+// Metrics returns the system-wide telemetry registry.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer returns the per-check trace recorder.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
 // Day returns the current virtual day.
 func (s *System) Day() float64 {
 	s.mu.Lock()
@@ -305,6 +354,7 @@ func (s *System) AddUser(id, country, city string) (*User, error) {
 	if err != nil {
 		return nil, err
 	}
+	node.Metrics = s.peerMetrics
 	go node.Run()
 	if _, err := s.Coord.RegisterPeer(id, ip.String()); err != nil {
 		node.Close()
@@ -378,12 +428,13 @@ func (s *System) PriceCheck(userID, url string) (*CheckResult, error) {
 }
 
 // PriceCheckCurrency is PriceCheck with an explicit display currency.
-func (s *System) PriceCheckCurrency(userID, url, curr string) (*CheckResult, error) {
+func (s *System) PriceCheckCurrency(userID, url, curr string) (res *CheckResult, err error) {
 	u, ok := s.User(userID)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown user %q", userID)
 	}
 	if s.PIIBlacklist.Blocked(url) {
+		s.obs.piiRejected()
 		return nil, ErrPIIBlacklisted
 	}
 	domain, _, err := shop.ParseProductURL(url)
@@ -392,25 +443,45 @@ func (s *System) PriceCheckCurrency(userID, url, curr string) (*CheckResult, err
 	}
 	day := s.Day()
 
+	// The submitter owns the trace: the Measurement server joins it via
+	// the TraceID on the wire, and its spans land in the same tree.
+	start := time.Now()
+	tr, _ := s.tracer.Start("", "check "+url)
+	tr.Annotate("user", userID)
+	defer func() {
+		if err != nil {
+			tr.Annotate("error", err.Error())
+		}
+		tr.Finish()
+		s.obs.checkDone(start, err)
+	}()
+
 	// Step 1: the user navigates to the page (their own browser state).
+	submit := tr.Span("submit")
 	resp, err := u.Browser.BrowseProduct(u.Node.Fetcher, url, day)
 	if err != nil {
+		submit.EndErr(err)
 		return nil, err
 	}
 	if resp.Status != 200 {
+		submit.End()
 		return nil, fmt.Errorf("core: product page returned status %d", resp.Status)
 	}
 	// The user highlights the price: the add-on builds the Tags Path.
 	path, err := SelectPrice(resp.HTML)
+	submit.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 1 (continued): ask the Coordinator for a job and a server.
+	sched := tr.Span("schedule")
 	job, err := s.Coord.NewJob(domain, userID)
+	sched.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
+	tr.Annotate("job", job.ID)
 
 	// Step 2-3: submit to the assigned Measurement server over the wire.
 	msCli, err := measurement.DialMeasurement(s.fabric, job.ServerAddr)
@@ -426,13 +497,17 @@ func (s *System) PriceCheckCurrency(userID, url, curr string) (*CheckResult, err
 		InitiatorID:   userID,
 		Currency:      curr,
 		Day:           day,
+		TraceID:       tr.ID(),
 	}
+	await := tr.Span("await")
 	if err := msCli.Check(check); err != nil {
+		await.EndErr(err)
 		return nil, err
 	}
 
 	// Step 5: poll until the 'request finish' response.
 	rows, err := msCli.WaitResults(job.ID, 30*time.Second)
+	await.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

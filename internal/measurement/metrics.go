@@ -1,0 +1,90 @@
+package measurement
+
+import (
+	"time"
+
+	"pricesheriff/internal/obs"
+)
+
+// Metrics instruments the Measurement servers: check throughput, the
+// end-to-end check latency, the per-vantage fan-out latency (step 3 of
+// the protocol, split by IPC vs PPC), proxy timeouts against the 2-minute
+// PPC budget, and extraction/conversion failures. One bundle may be
+// shared by every server of a pool. A nil *Metrics disables
+// instrumentation.
+type Metrics struct {
+	checksStarted    *obs.Counter
+	checksCompleted  *obs.Counter
+	proxyTimeouts    *obs.Counter
+	extractFailures  *obs.Counter
+	conversionErrors *obs.Counter
+	pending          *obs.Gauge
+	checkSeconds     *obs.Histogram
+	fanoutIPC        *obs.Histogram
+	fanoutPPC        *obs.Histogram
+}
+
+// NewMetrics builds the measurement metric bundle.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		checksStarted:    reg.Counter("sheriff_measurement_checks_started_total"),
+		checksCompleted:  reg.Counter("sheriff_measurement_checks_completed_total"),
+		proxyTimeouts:    reg.Counter("sheriff_measurement_proxy_timeouts_total"),
+		extractFailures:  reg.Counter("sheriff_measurement_extract_failures_total"),
+		conversionErrors: reg.Counter("sheriff_measurement_conversion_errors_total"),
+		pending:          reg.Gauge("sheriff_measurement_pending_checks"),
+		checkSeconds:     reg.Histogram("sheriff_measurement_check_seconds"),
+		fanoutIPC:        reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ipc"),
+		fanoutPPC:        reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ppc"),
+	}
+}
+
+func (m *Metrics) checkStarted() {
+	if m == nil {
+		return
+	}
+	m.checksStarted.Inc()
+	m.pending.Add(1)
+}
+
+func (m *Metrics) checkCompleted(t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.checksCompleted.Inc()
+	m.pending.Add(-1)
+	m.checkSeconds.ObserveSince(t0)
+}
+
+func (m *Metrics) fanoutObserved(kind string, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	switch kind {
+	case "ipc":
+		m.fanoutIPC.ObserveSince(t0)
+	case "ppc":
+		m.fanoutPPC.ObserveSince(t0)
+	}
+}
+
+func (m *Metrics) proxyTimeout() {
+	if m == nil {
+		return
+	}
+	m.proxyTimeouts.Inc()
+}
+
+func (m *Metrics) extractFailure() {
+	if m == nil {
+		return
+	}
+	m.extractFailures.Inc()
+}
+
+func (m *Metrics) conversionError() {
+	if m == nil {
+		return
+	}
+	m.conversionErrors.Inc()
+}

@@ -11,6 +11,7 @@ import (
 	"pricesheriff/internal/coordinator"
 	"pricesheriff/internal/currency"
 	"pricesheriff/internal/htmlx"
+	"pricesheriff/internal/obs"
 	"pricesheriff/internal/peer"
 	"pricesheriff/internal/store"
 	"pricesheriff/internal/transport"
@@ -28,6 +29,9 @@ type CheckRequest struct {
 	InitiatorID   string         `json:"initiator_id"`
 	Currency      string         `json:"currency,omitempty"` // default EUR
 	Day           float64        `json:"day"`
+	// TraceID joins the server-side spans to a trace the submitter
+	// started (empty: the server traces under the job ID).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ResultRow is one line of the Fig. 2 result page.
@@ -70,6 +74,11 @@ type Server struct {
 	IPCs    []*IPC
 	Peers   PPCRequester // nil disables PPC fetches
 	Rates   *currency.RateTable
+	// Metrics instruments check processing (nil disables); share one
+	// bundle across a server pool.
+	Metrics *Metrics
+	// Tracer records per-check span trees (nil disables).
+	Tracer *obs.Tracer
 
 	mu     sync.Mutex
 	checks map[string]*checkState
@@ -133,6 +142,7 @@ func (s *Server) StartCheck(req *CheckRequest) error {
 	s.checks[req.JobID] = st
 	s.mu.Unlock()
 
+	s.Metrics.checkStarted()
 	go s.process(req)
 	return nil
 }
@@ -197,46 +207,75 @@ func (s *Server) addRow(jobID string, row ResultRow) {
 
 // process runs steps 3.1–5 for one job.
 func (s *Server) process(req *CheckRequest) {
+	start := time.Now()
 	domain := domainOf(req.URL)
 
+	// Join the submitter's trace, or open our own under the job ID
+	// (external add-ons don't carry trace IDs). The creator finishes it.
+	var tr *obs.Trace
+	owned := false
+	if s.Tracer != nil {
+		id := req.TraceID
+		if id == "" {
+			id = req.JobID
+		}
+		tr, owned = s.Tracer.Start(id, "check "+req.URL)
+		tr.Annotate("job", req.JobID)
+	}
+
 	// The initiator's own copy anchors the result page and DiffStorage.
+	ext := tr.Span("extract", "source", "initiator")
 	initRow := s.extractRow(req, req.InitiatorHTML, ResultRow{
 		Source: "You", Kind: "initiator", PeerID: req.InitiatorID,
 	})
+	if initRow.Err != "" {
+		ext.Annotate("error", initRow.Err)
+	}
+	ext.End()
 	s.addRow(req.JobID, initRow)
 
 	var reqRowID int64
 	if s.DB != nil {
+		per := tr.Span("persist", "table", "requests")
 		reqRowID, _ = s.DB.Insert("requests", store.Row{
 			"job_id": req.JobID, "domain": domain, "url": req.URL,
 			"day": req.Day, "initiator_html": req.InitiatorHTML,
 		})
+		per.End()
 	}
 
+	fanout := tr.Span("fanout")
 	var wg sync.WaitGroup
 	// Step 3.1: every IPC fetches in parallel.
 	for _, ipc := range s.IPCs {
 		wg.Add(1)
 		go func(c *IPC) {
 			defer wg.Done()
+			sp := fanout.Child(c.ID, "kind", "ipc", "country", c.Country)
+			t0 := time.Now()
 			base := ResultRow{
 				Source: c.ID, Kind: "ipc", PeerID: c.ID,
 				Country: c.Country, City: c.City,
 			}
 			resp, err := c.Fetch(req.URL, req.Day)
+			s.Metrics.fanoutObserved("ipc", t0)
 			if err != nil {
 				base.Err = err.Error()
 				s.addRow(req.JobID, base)
+				sp.EndErr(err)
 				return
 			}
 			if resp.Status != 200 {
 				base.Err = fmt.Sprintf("status %d", resp.Status)
 				s.addRow(req.JobID, base)
+				sp.Annotate("error", base.Err)
+				sp.End()
 				return
 			}
 			row := s.extractRow(req, resp.HTML, base)
 			s.addRow(req.JobID, row)
 			s.record(req, reqRowID, row, resp.HTML)
+			sp.End()
 		}(ipc)
 	}
 
@@ -248,38 +287,53 @@ func (s *Server) process(req *CheckRequest) {
 				wg.Add(1)
 				go func(p coordinator.PeerInfo) {
 					defer wg.Done()
+					sp := fanout.Child(p.ID, "kind", "ppc", "country", p.Country)
+					t0 := time.Now()
 					base := ResultRow{
 						Source: "peer " + p.Country, Kind: "ppc", PeerID: p.ID,
 						Country: p.Country, City: p.City,
 					}
 					resp, err := s.Peers.RequestPage(p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
+					s.Metrics.fanoutObserved("ppc", t0)
 					if err != nil {
+						if errors.Is(err, peer.ErrRequestTimeout) {
+							s.Metrics.proxyTimeout()
+						}
 						base.Err = err.Error()
 						s.addRow(req.JobID, base)
+						sp.EndErr(err)
 						return
 					}
 					if resp.Status != 200 {
 						base.Err = fmt.Sprintf("status %d", resp.Status)
 						s.addRow(req.JobID, base)
+						sp.Annotate("error", base.Err)
+						sp.End()
 						return
 					}
 					base.Mode = resp.Mode
 					row := s.extractRow(req, resp.HTML, base)
 					s.addRow(req.JobID, row)
 					s.record(req, reqRowID, row, resp.HTML)
+					sp.End()
 				}(p)
 			}
 		}
 	}
 
 	wg.Wait()
+	fanout.End()
 	s.mu.Lock()
 	if st, ok := s.checks[req.JobID]; ok {
 		st.done = true
 	}
 	s.mu.Unlock()
+	s.Metrics.checkCompleted(start)
 	if s.Coord != nil {
 		s.Coord.JobDone(req.JobID) // step 4
+	}
+	if owned {
+		tr.Finish()
 	}
 }
 
@@ -289,12 +343,14 @@ func (s *Server) extractRow(req *CheckRequest, html string, base ResultRow) Resu
 	doc := htmlx.Parse(html)
 	node, err := req.TagsPath.Locate(doc)
 	if err != nil {
+		s.Metrics.extractFailure()
 		base.Err = err.Error()
 		return base
 	}
 	text := node.InnerText()
 	det, err := currency.Detect(text)
 	if err != nil {
+		s.Metrics.extractFailure()
 		base.Err = err.Error()
 		base.Original = currency.Normalize(text)
 		return base
@@ -306,6 +362,7 @@ func (s *Server) extractRow(req *CheckRequest, html string, base ResultRow) Resu
 	if conv, ok := s.Rates.ConvertDetection(det, req.Currency); ok {
 		base.Converted = conv
 	} else {
+		s.Metrics.conversionError()
 		base.Converted = det.Amount
 	}
 	return base

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricPoint is one exported counter or gauge series. Series carries the
+// full identity including labels, e.g. `sheriff_transport_frames_sent_total{fabric="tcp"}`.
+type MetricPoint struct {
+	Series string `json:"series"`
+	Value  int64  `json:"value"`
+}
+
+// HistogramPoint is one exported histogram series with its quantile
+// estimates.
+type HistogramPoint struct {
+	Series string  `json:"series"`
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// Snapshot is the JSON export shape (GET /metrics.json, sheriffctl stats).
+type Snapshot struct {
+	Counters   []MetricPoint    `json:"counters"`
+	Gauges     []MetricPoint    `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot captures every series, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, k := range sortedKeys(counters) {
+		snap.Counters = append(snap.Counters, MetricPoint{Series: k, Value: counters[k].Value()})
+	}
+	for _, k := range sortedKeys(gauges) {
+		snap.Gauges = append(snap.Gauges, MetricPoint{Series: k, Value: gauges[k].Value()})
+	}
+	for _, k := range sortedKeys(hists) {
+		hs := hists[k].Snapshot()
+		snap.Histograms = append(snap.Histograms, HistogramPoint{
+			Series: k, Count: hs.Count, Sum: hs.Sum, P50: hs.P50, P95: hs.P95, P99: hs.P99,
+		})
+	}
+	return snap
+}
+
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitSeries separates a series key into metric name and label block
+// (label block includes the braces, or "" when unlabeled).
+func splitSeries(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// withLabel inserts one more label into a label block.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a `# TYPE` line per metric family, then one
+// line per series; histograms expand to cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+
+	// Re-read full histogram bucket data (Snapshot keeps only quantiles).
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	lastFamily := ""
+	emitType := func(family, kind string) error {
+		if family == lastFamily {
+			return nil
+		}
+		lastFamily = family
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+	// Order by family first so each # TYPE line is emitted exactly once
+	// even when one metric name is a prefix of another.
+	byFamily := func(ps []MetricPoint) {
+		sort.Slice(ps, func(i, j int) bool {
+			fi, _ := splitSeries(ps[i].Series)
+			fj, _ := splitSeries(ps[j].Series)
+			if fi != fj {
+				return fi < fj
+			}
+			return ps[i].Series < ps[j].Series
+		})
+	}
+	byFamily(snap.Counters)
+	byFamily(snap.Gauges)
+	histKeys := sortedKeys(hists)
+	sort.Slice(histKeys, func(i, j int) bool {
+		fi, _ := splitSeries(histKeys[i])
+		fj, _ := splitSeries(histKeys[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return histKeys[i] < histKeys[j]
+	})
+
+	for _, p := range snap.Counters {
+		family, _ := splitSeries(p.Series)
+		if err := emitType(family, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", p.Series, p.Value); err != nil {
+			return err
+		}
+	}
+	lastFamily = ""
+	for _, p := range snap.Gauges {
+		family, _ := splitSeries(p.Series)
+		if err := emitType(family, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", p.Series, p.Value); err != nil {
+			return err
+		}
+	}
+	lastFamily = ""
+	for _, key := range histKeys {
+		hs := hists[key].Snapshot()
+		family, labels := splitSeries(key)
+		if err := emitType(family, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range hs.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, withLabel(labels, "le", le), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", family, labels, hs.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

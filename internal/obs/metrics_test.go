@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sheriff_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-1) // negative adds are dropped: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("sheriff_test_total"); again != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("sheriff_test_depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("sheriff_test_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5, 3, 3, 3, 3, 3, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Fatalf("p50 = %v, want within (2,4]", p50)
+	}
+	// Everything falls below the top bound, so p99 stays finite.
+	if p99 := h.Quantile(0.99); p99 > 4 {
+		t.Fatalf("p99 = %v, want <= 4", p99)
+	}
+
+	// Values beyond all bounds land in +Inf; quantile clamps to the
+	// largest finite bound rather than reporting infinity.
+	h2 := r.HistogramBuckets("sheriff_test2_seconds", []float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.9); q != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", q)
+	}
+}
+
+// TestRegistryConcurrentExactTotals is the stress test of the ISSUE: 32
+// goroutines hammer shared series; the totals must come out exact and the
+// histogram monotone.
+func TestRegistryConcurrentExactTotals(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 32
+	const perG = 1000
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("sheriff_stress_total").Inc()
+				r.Counter("sheriff_stress_labeled_total", "worker", "shared").Add(2)
+				r.Gauge("sheriff_stress_depth").Add(1)
+				r.Histogram("sheriff_stress_seconds").Observe(float64(j%10) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := r.Counter("sheriff_stress_total").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Counter("sheriff_stress_labeled_total", "worker", "shared").Value(); got != 2*goroutines*perG {
+		t.Errorf("labeled counter = %d, want %d", got, 2*goroutines*perG)
+	}
+	if got := r.Gauge("sheriff_stress_depth").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("sheriff_stress_seconds")
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	// Buckets are cumulative: each must be >= its predecessor.
+	snap := h.Snapshot()
+	prev := uint64(0)
+	for i, b := range snap.Buckets {
+		if b.Count < prev {
+			t.Errorf("bucket %d count %d < previous %d", i, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	if snap.Sum <= 0 {
+		t.Errorf("histogram sum = %v, want > 0", snap.Sum)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sheriff_a_total", "fabric", "tcp").Add(3)
+	// A name that is a prefix of another: families must not interleave.
+	r.Counter("sheriff_a_total_extra").Add(1)
+	r.Gauge("sheriff_b").Set(-2)
+	r.Histogram("sheriff_c_seconds").Observe(0.01)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sheriff_a_total counter",
+		`sheriff_a_total{fabric="tcp"} 3`,
+		"# TYPE sheriff_b gauge",
+		"sheriff_b -2",
+		"# TYPE sheriff_c_seconds histogram",
+		`sheriff_c_seconds_bucket{le="+Inf"} 1`,
+		"sheriff_c_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Each # TYPE line exactly once.
+	seen := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[line]++
+		}
+	}
+	for line, n := range seen {
+		if n != 1 {
+			t.Errorf("%q emitted %d times", line, n)
+		}
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sheriff_t_seconds")
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 0.005 {
+		t.Fatalf("sum = %v, want >= 0.005", h.Sum())
+	}
+}

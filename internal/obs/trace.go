@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tracer tracks per-price-check traces: spans for the five protocol steps
+// of Sect. 3.2 (submit → schedule → fan-out → extract/convert → persist)
+// with per-vantage-point child spans. Completed traces land in a bounded
+// in-memory ring for the /traces operator panel. All methods are safe on
+// a nil *Tracer, and a nil *Trace / *Span swallows every operation, so
+// call sites need no guards.
+type Tracer struct {
+	mu     sync.Mutex
+	active map[string]*Trace
+	recent []*Trace // oldest first, bounded by cap
+	cap    int
+	nextID uint64
+}
+
+// NewTracer creates a tracer keeping up to capacity completed traces
+// (default 64).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{active: make(map[string]*Trace), cap: capacity}
+}
+
+// Start returns the active trace with the given ID, creating it if
+// absent; created reports whether this call created it (the creator is
+// responsible for calling Finish). An empty id generates a fresh one —
+// generated IDs always create.
+func (t *Tracer) Start(id, name string) (tr *Trace, created bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id == "" {
+		t.nextID++
+		id = fmt.Sprintf("tr-%06d", t.nextID)
+	} else if tr, ok := t.active[id]; ok {
+		return tr, false
+	}
+	tr = &Trace{id: id, name: name, start: time.Now(), tracer: t}
+	t.active[id] = tr
+	return tr, true
+}
+
+// ActiveCount returns the number of unfinished traces.
+func (t *Tracer) ActiveCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Recent returns views of completed traces, newest first.
+func (t *Tracer) Recent() []TraceView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := append([]*Trace(nil), t.recent...)
+	t.mu.Unlock()
+	views := make([]TraceView, 0, len(traces))
+	for i := len(traces) - 1; i >= 0; i-- {
+		views = append(views, traces[i].view())
+	}
+	return views
+}
+
+func (t *Tracer) finish(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.active, tr.id)
+	t.recent = append(t.recent, tr)
+	if over := len(t.recent) - t.cap; over > 0 {
+		t.recent = append(t.recent[:0], t.recent[over:]...)
+	}
+}
+
+// Trace is one price check's span tree. Spans may be added and ended
+// concurrently (the fan-out step runs one goroutine per vantage point).
+type Trace struct {
+	id     string
+	name   string
+	start  time.Time
+	tracer *Tracer
+
+	mu    sync.Mutex
+	spans []*Span
+	attrs [][2]string
+	end   time.Time
+	done  bool
+}
+
+// ID returns the trace identifier ("" on nil).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Annotate attaches a key/value to the trace.
+func (tr *Trace) Annotate(k, v string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.attrs = append(tr.attrs, [2]string{k, v})
+	tr.mu.Unlock()
+}
+
+// Span opens a top-level span.
+func (tr *Trace) Span(name string, kv ...string) *Span {
+	if tr == nil {
+		return nil
+	}
+	sp := newSpan(tr, name, kv)
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// Finish completes the trace and moves it into the tracer's recent ring.
+// Finishing twice is harmless.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.end = time.Now()
+	tr.mu.Unlock()
+	if tr.tracer != nil {
+		tr.tracer.finish(tr)
+	}
+}
+
+// Span is one timed step inside a trace.
+type Span struct {
+	trace    *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	ended    bool
+	attrs    [][2]string
+	children []*Span
+}
+
+func newSpan(tr *Trace, name string, kv []string) *Span {
+	sp := &Span{trace: tr, name: name, start: time.Now()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		sp.attrs = append(sp.attrs, [2]string{kv[i], kv[i+1]})
+	}
+	return sp
+}
+
+// Child opens a nested span.
+func (sp *Span) Child(name string, kv ...string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := newSpan(sp.trace, name, kv)
+	sp.trace.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.trace.mu.Unlock()
+	return c
+}
+
+// Annotate attaches a key/value to the span.
+func (sp *Span) Annotate(k, v string) {
+	if sp == nil {
+		return
+	}
+	sp.trace.mu.Lock()
+	sp.attrs = append(sp.attrs, [2]string{k, v})
+	sp.trace.mu.Unlock()
+}
+
+// End closes the span.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.trace.mu.Lock()
+	if !sp.ended {
+		sp.ended = true
+		sp.end = time.Now()
+	}
+	sp.trace.mu.Unlock()
+}
+
+// EndErr closes the span, annotating the error when non-nil.
+func (sp *Span) EndErr(err error) {
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	}
+	sp.End()
+}
+
+// TraceView is an immutable rendering of a trace.
+type TraceView struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Spans    []SpanView        `json:"spans"`
+}
+
+// SpanView is an immutable rendering of a span; Offset is relative to the
+// trace start.
+type SpanView struct {
+	Name     string            `json:"name"`
+	Offset   time.Duration     `json:"offset"`
+	Duration time.Duration     `json:"duration"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []SpanView        `json:"children,omitempty"`
+}
+
+func (tr *Trace) view() TraceView {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	v := TraceView{ID: tr.id, Name: tr.name, Start: tr.start, Attrs: attrMap(tr.attrs)}
+	end := tr.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	v.Duration = end.Sub(tr.start)
+	for _, sp := range tr.spans {
+		v.Spans = append(v.Spans, sp.viewLocked(tr.start, end))
+	}
+	return v
+}
+
+func (sp *Span) viewLocked(traceStart, traceEnd time.Time) SpanView {
+	end := sp.end
+	if end.IsZero() {
+		end = traceEnd
+	}
+	v := SpanView{
+		Name:     sp.name,
+		Offset:   sp.start.Sub(traceStart),
+		Duration: end.Sub(sp.start),
+		Attrs:    attrMap(sp.attrs),
+	}
+	for _, c := range sp.children {
+		v.Children = append(v.Children, c.viewLocked(traceStart, traceEnd))
+	}
+	return v
+}
+
+func attrMap(attrs [][2]string) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, kv := range attrs {
+		m[kv[0]] = kv[1]
+	}
+	return m
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace to a context for in-process propagation;
+// across RPC boundaries the trace ID travels on the frame instead
+// (CheckRequest.TraceID).
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}

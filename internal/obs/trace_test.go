@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr8 := NewTracer(8)
+	tr, created := tr8.Start("", "check http://x/p/1")
+	if !created {
+		t.Fatal("generated ID should always create")
+	}
+	tr.Annotate("user", "u1")
+
+	sub := tr.Span("submit")
+	sub.End()
+	fan := tr.Span("fanout")
+	for i := 0; i < 3; i++ {
+		c := fan.Child(fmt.Sprintf("ipc-%d", i), "kind", "ipc")
+		c.End()
+	}
+	fan.End()
+	tr.Finish()
+
+	views := tr8.Recent()
+	if len(views) != 1 {
+		t.Fatalf("recent = %d, want 1", len(views))
+	}
+	v := views[0]
+	if v.Attrs["user"] != "u1" {
+		t.Errorf("attrs = %v", v.Attrs)
+	}
+	if len(v.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(v.Spans))
+	}
+	if v.Spans[1].Name != "fanout" || len(v.Spans[1].Children) != 3 {
+		t.Fatalf("fanout children = %d, want 3", len(v.Spans[1].Children))
+	}
+	if v.Spans[1].Children[0].Attrs["kind"] != "ipc" {
+		t.Errorf("child attrs = %v", v.Spans[1].Children[0].Attrs)
+	}
+	if tr8.ActiveCount() != 0 {
+		t.Errorf("active = %d after finish", tr8.ActiveCount())
+	}
+}
+
+func TestTracerJoinSemantics(t *testing.T) {
+	tc := NewTracer(8)
+	a, created := tc.Start("job-1", "check")
+	if !created {
+		t.Fatal("first start must create")
+	}
+	b, created := tc.Start("job-1", "ignored")
+	if created {
+		t.Fatal("second start of an active ID must join")
+	}
+	if a != b {
+		t.Fatal("join returned a different trace")
+	}
+	a.Finish()
+	// After the creator finishes, the ID is free again.
+	if _, created := tc.Start("job-1", "check"); !created {
+		t.Fatal("finished ID should create anew")
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tc := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr, _ := tc.Start("", fmt.Sprintf("t%d", i))
+		tr.Finish()
+	}
+	views := tc.Recent()
+	if len(views) != 4 {
+		t.Fatalf("recent = %d, want 4", len(views))
+	}
+	// Newest first.
+	if views[0].Name != "t9" || views[3].Name != "t6" {
+		t.Fatalf("ring order wrong: %s ... %s", views[0].Name, views[3].Name)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tc *Tracer
+	tr, created := tc.Start("x", "y")
+	if created || tr != nil {
+		t.Fatal("nil tracer must not create")
+	}
+	tr.Annotate("a", "b")
+	sp := tr.Span("s")
+	sp.Child("c").End()
+	sp.EndErr(fmt.Errorf("boom"))
+	tr.Finish()
+	if tc.Recent() != nil || tc.ActiveCount() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tc := NewTracer(2)
+	tr, _ := tc.Start("", "concurrent")
+	fan := tr.Span("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := fan.Child(fmt.Sprintf("vp-%d", n))
+			c.Annotate("n", fmt.Sprint(n))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	fan.End()
+	tr.Finish()
+	v := tc.Recent()[0]
+	if len(v.Spans[0].Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(v.Spans[0].Children))
+	}
+}

@@ -60,6 +60,10 @@ type PageResponse struct {
 
 // Broker relays messages between registered nodes.
 type Broker struct {
+	// Metrics instruments relay sessions and traffic; set it before Serve
+	// (nil disables).
+	Metrics *Metrics
+
 	lis transport.Listener
 
 	mu    sync.Mutex
@@ -114,12 +118,14 @@ func (b *Broker) serveConn(conn transport.Conn) {
 	}
 	b.conns[id] = conn
 	b.mu.Unlock()
+	b.Metrics.sessionOpened()
 	conn.Send(&Msg{Kind: KindRegister, To: id}) // ack
 
 	defer func() {
 		b.mu.Lock()
 		delete(b.conns, id)
 		b.mu.Unlock()
+		b.Metrics.sessionClosed()
 	}()
 
 	for {
@@ -132,12 +138,16 @@ func (b *Broker) serveConn(conn transport.Conn) {
 		dst, ok := b.conns[m.To]
 		b.mu.Unlock()
 		if !ok {
+			b.Metrics.relayError()
 			conn.Send(&Msg{Kind: KindError, To: id, ReqID: m.ReqID, Err: fmt.Sprintf("peer %q not connected", m.To)})
 			continue
 		}
 		if err := dst.Send(&m); err != nil {
+			b.Metrics.relayError()
 			conn.Send(&Msg{Kind: KindError, To: id, ReqID: m.ReqID, Err: "delivery failed"})
+			continue
 		}
+		b.Metrics.messageRelayed()
 	}
 }
 
@@ -168,6 +178,10 @@ func (b *Broker) Close() error {
 
 // ErrNotConnected is returned when the relay target is offline.
 var ErrNotConnected = errors.New("peer: target not connected")
+
+// ErrRequestTimeout marks a remote page request killed by the PPC timeout
+// budget (paper: 2 minutes); match with errors.Is.
+var ErrRequestTimeout = errors.New("peer: request timed out")
 
 // connectAndRegister dials the broker and registers an ID.
 func connectAndRegister(netw transport.Network, addr, id string) (transport.Conn, error) {

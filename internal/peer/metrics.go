@@ -1,0 +1,69 @@
+package peer
+
+import "pricesheriff/internal/obs"
+
+// Metrics instruments the P2P layer: broker relay sessions and traffic,
+// and PPC-side page service including sandbox rejections (consent refused
+// or URL rejected before any fetch happens). One bundle is shared by the
+// broker and every node of a deployment. A nil *Metrics disables
+// instrumentation.
+type Metrics struct {
+	sessions          *obs.Gauge
+	relayed           *obs.Counter
+	relayErrors       *obs.Counter
+	pagesServed       *obs.Counter
+	sandboxRejections *obs.Counter
+}
+
+// NewMetrics builds the peer metric bundle.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		sessions:          reg.Gauge("sheriff_peer_relay_sessions"),
+		relayed:           reg.Counter("sheriff_peer_relay_messages_total"),
+		relayErrors:       reg.Counter("sheriff_peer_relay_errors_total"),
+		pagesServed:       reg.Counter("sheriff_peer_pages_served_total"),
+		sandboxRejections: reg.Counter("sheriff_peer_sandbox_rejections_total"),
+	}
+}
+
+func (m *Metrics) sessionOpened() {
+	if m == nil {
+		return
+	}
+	m.sessions.Add(1)
+}
+
+func (m *Metrics) sessionClosed() {
+	if m == nil {
+		return
+	}
+	m.sessions.Add(-1)
+}
+
+func (m *Metrics) messageRelayed() {
+	if m == nil {
+		return
+	}
+	m.relayed.Inc()
+}
+
+func (m *Metrics) relayError() {
+	if m == nil {
+		return
+	}
+	m.relayErrors.Inc()
+}
+
+func (m *Metrics) pageServed() {
+	if m == nil {
+		return
+	}
+	m.pagesServed.Inc()
+}
+
+func (m *Metrics) sandboxRejected() {
+	if m == nil {
+		return
+	}
+	m.sandboxRejections.Inc()
+}

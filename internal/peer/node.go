@@ -32,6 +32,8 @@ type Node struct {
 	Browser *browser.Browser
 	Fetcher shop.Fetcher
 	Dopps   DoppDirectory // nil disables the doppelganger path
+	// Metrics instruments page service; set it before Run (nil disables).
+	Metrics *Metrics
 
 	conn transport.Conn
 	wg   sync.WaitGroup
@@ -114,10 +116,12 @@ func (n *Node) handlePageReq(m Msg) {
 // sandbox, and report which mode served it.
 func (n *Node) ServePage(req *PageRequest) PageResponse {
 	if !n.Consents() {
+		n.Metrics.sandboxRejected()
 		return PageResponse{Status: 403, PeerID: n.ID}
 	}
 	domain, _, err := shop.ParseProductURL(req.URL)
 	if err != nil {
+		n.Metrics.sandboxRejected()
 		return PageResponse{Status: 400, PeerID: n.ID}
 	}
 
@@ -151,6 +155,7 @@ func (n *Node) ServePage(req *PageRequest) PageResponse {
 	n.served++
 	n.modes[mode]++
 	n.mu.Unlock()
+	n.Metrics.pageServed()
 	return PageResponse{Status: fresp.Status, HTML: fresp.HTML, Mode: mode, PeerID: n.ID}
 }
 
@@ -276,7 +281,7 @@ func (r *Requester) RequestPage(peerID string, req *PageRequest) (*PageResponse,
 		return &resp, nil
 	case <-timer.C:
 		r.drop(reqID)
-		return nil, fmt.Errorf("peer: request to %s timed out after %v", peerID, timeout)
+		return nil, fmt.Errorf("peer: request to %s after %v: %w", peerID, timeout, ErrRequestTimeout)
 	}
 }
 

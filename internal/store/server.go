@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"pricesheriff/internal/transport"
 )
@@ -13,6 +14,26 @@ import (
 type Server struct {
 	DB  *DB
 	rpc *transport.Server
+
+	// Metrics instruments the RPC surface; set it before Serve (nil
+	// disables). Handlers read it per call, so it may also be attached
+	// to an already-constructed server as long as no request ran yet.
+	Metrics *Metrics
+}
+
+// handle registers an RPC handler wrapped with per-method metrics; rows
+// returned by selects are counted from the []Row result.
+func (s *Server) handle(method string, h func(json.RawMessage) (any, error)) {
+	s.rpc.Handle("store."+method, func(raw json.RawMessage) (any, error) {
+		t0 := time.Now()
+		out, err := h(raw)
+		rows := 0
+		if rs, ok := out.([]Row); ok {
+			rows = len(rs)
+		}
+		s.Metrics.observe(method, t0, rows, err)
+		return out, err
+	})
 }
 
 // Request/response shapes of the wire protocol.
@@ -46,14 +67,14 @@ type (
 // NewServer wraps db in an RPC server on the listener. Call Serve to start.
 func NewServer(db *DB, lis transport.Listener) *Server {
 	s := &Server{DB: db, rpc: transport.NewServer(lis)}
-	s.rpc.Handle("store.create", func(raw json.RawMessage) (any, error) {
+	s.handle("create", func(raw json.RawMessage) (any, error) {
 		var spec TableSpec
 		if err := json.Unmarshal(raw, &spec); err != nil {
 			return nil, err
 		}
 		return nil, db.CreateTable(spec)
 	})
-	s.rpc.Handle("store.insert", func(raw json.RawMessage) (any, error) {
+	s.handle("insert", func(raw json.RawMessage) (any, error) {
 		var req insertReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
@@ -64,28 +85,28 @@ func NewServer(db *DB, lis transport.Listener) *Server {
 		}
 		return insertResp{ID: id}, nil
 	})
-	s.rpc.Handle("store.get", func(raw json.RawMessage) (any, error) {
+	s.handle("get", func(raw json.RawMessage) (any, error) {
 		var req getReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return db.Get(req.Table, req.ID)
 	})
-	s.rpc.Handle("store.update", func(raw json.RawMessage) (any, error) {
+	s.handle("update", func(raw json.RawMessage) (any, error) {
 		var req updateReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return nil, db.Update(req.Table, req.ID, req.Updates)
 	})
-	s.rpc.Handle("store.delete", func(raw json.RawMessage) (any, error) {
+	s.handle("delete", func(raw json.RawMessage) (any, error) {
 		var req deleteReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return nil, db.Delete(req.Table, req.ID)
 	})
-	s.rpc.Handle("store.select", func(raw json.RawMessage) (any, error) {
+	s.handle("select", func(raw json.RawMessage) (any, error) {
 		var q Query
 		if err := json.Unmarshal(raw, &q); err != nil {
 			return nil, err
@@ -99,14 +120,14 @@ func NewServer(db *DB, lis transport.Listener) *Server {
 		}
 		return rows, nil
 	})
-	s.rpc.Handle("store.call", func(raw json.RawMessage) (any, error) {
+	s.handle("call", func(raw json.RawMessage) (any, error) {
 		var req callReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return db.CallProc(req.Proc, req.Args)
 	})
-	s.rpc.Handle("store.export", func(json.RawMessage) (any, error) {
+	s.handle("export", func(json.RawMessage) (any, error) {
 		var buf bytes.Buffer
 		if err := db.Export(&buf); err != nil {
 			return nil, err

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"time"
+
+	"pricesheriff/internal/obs"
+)
+
+// Metrics counts frames and bytes moved by one fabric and times the send
+// and receive paths. Send latency covers marshal plus the write (so
+// backpressure shows up); receive latency covers the transfer and decode
+// of an available frame, not idle waiting. A nil *Metrics disables
+// instrumentation.
+type Metrics struct {
+	framesSent  *obs.Counter
+	framesRecv  *obs.Counter
+	bytesSent   *obs.Counter
+	bytesRecv   *obs.Counter
+	sendSeconds *obs.Histogram
+	recvSeconds *obs.Histogram
+}
+
+// NewMetrics builds the transport metric bundle for one fabric label
+// ("tcp" or "inproc").
+func NewMetrics(reg *obs.Registry, fabric string) *Metrics {
+	return &Metrics{
+		framesSent:  reg.Counter("sheriff_transport_frames_sent_total", "fabric", fabric),
+		framesRecv:  reg.Counter("sheriff_transport_frames_recv_total", "fabric", fabric),
+		bytesSent:   reg.Counter("sheriff_transport_bytes_sent_total", "fabric", fabric),
+		bytesRecv:   reg.Counter("sheriff_transport_bytes_recv_total", "fabric", fabric),
+		sendSeconds: reg.Histogram("sheriff_transport_send_seconds", "fabric", fabric),
+		recvSeconds: reg.Histogram("sheriff_transport_recv_seconds", "fabric", fabric),
+	}
+}
+
+func (m *Metrics) sent(n int, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.framesSent.Inc()
+	m.bytesSent.Add(int64(n))
+	m.sendSeconds.ObserveSince(t0)
+}
+
+func (m *Metrics) received(n int, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	m.framesRecv.Inc()
+	m.bytesRecv.Add(int64(n))
+	m.recvSeconds.ObserveSince(t0)
+}

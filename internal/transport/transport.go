@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrame caps a single frame; product pages are well under this.
@@ -56,33 +57,40 @@ type Network interface {
 
 // --- TCP fabric ---
 
-// TCP is the real-network fabric.
-type TCP struct{}
+// TCP is the real-network fabric. Metrics, when set, counts every frame
+// moved by connections this value dials or accepts.
+type TCP struct {
+	Metrics *Metrics
+}
 
-type tcpListener struct{ l net.Listener }
+type tcpListener struct {
+	l net.Listener
+	m *Metrics
+}
 
 type tcpConn struct {
 	c   net.Conn
+	m   *Metrics
 	rmu sync.Mutex
 	wmu sync.Mutex
 }
 
 // Listen binds a TCP listener.
-func (TCP) Listen(addr string) (Listener, error) {
+func (t TCP) Listen(addr string) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, m: t.Metrics}, nil
 }
 
 // Dial connects to a TCP listener.
-func (TCP) Dial(addr string) (Conn, error) {
+func (t TCP) Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: c}, nil
+	return &tcpConn{c: c, m: t.Metrics}, nil
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -90,13 +98,14 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: c}, nil
+	return &tcpConn{c: c, m: l.m}, nil
 }
 
 func (l *tcpListener) Close() error { return l.l.Close() }
 func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 
 func (c *tcpConn) Send(v any) error {
+	t0 := time.Now()
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("transport: marshal: %w", err)
@@ -111,8 +120,11 @@ func (c *tcpConn) Send(v any) error {
 	if _, err := c.c.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = c.c.Write(data)
-	return err
+	if _, err := c.c.Write(data); err != nil {
+		return err
+	}
+	c.m.sent(len(data)+4, t0)
+	return nil
 }
 
 func (c *tcpConn) Recv(v any) error {
@@ -122,6 +134,7 @@ func (c *tcpConn) Recv(v any) error {
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
 		return err
 	}
+	t0 := time.Now() // frame available: time the transfer + decode
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
 		return ErrFrameTooLarge
@@ -130,7 +143,11 @@ func (c *tcpConn) Recv(v any) error {
 	if _, err := io.ReadFull(c.c, buf); err != nil {
 		return err
 	}
-	return json.Unmarshal(buf, v)
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("transport: unmarshal frame from %s: %w", c.RemoteAddr(), err)
+	}
+	c.m.received(int(n)+4, t0)
+	return nil
 }
 
 func (c *tcpConn) Close() error       { return c.c.Close() }
@@ -139,8 +156,12 @@ func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 // --- In-process fabric ---
 
 // Inproc is a loopback fabric: connections are paired byte-frame channels.
-// Addresses are logical names scoped to one Inproc instance.
+// Addresses are logical names scoped to one Inproc instance. Metrics, when
+// set before the first Dial, counts every frame moved by the fabric.
 type Inproc struct {
+	// Metrics instruments connections created after it is set.
+	Metrics *Metrics
+
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
 	nextAddr  int
@@ -173,6 +194,7 @@ type inprocConn struct {
 	in   chan []byte
 	pipe *inprocPipe
 	peer string
+	m    *Metrics
 }
 
 // Listen binds a named listener; "" generates a unique name.
@@ -207,8 +229,8 @@ func (n *Inproc) Dial(addr string) (Conn, error) {
 	a2b := make(chan []byte, 64)
 	b2a := make(chan []byte, 64)
 	pipe := &inprocPipe{closed: make(chan struct{})}
-	client := &inprocConn{out: a2b, in: b2a, pipe: pipe, peer: addr}
-	server := &inprocConn{out: b2a, in: a2b, pipe: pipe, peer: "dialer"}
+	client := &inprocConn{out: a2b, in: b2a, pipe: pipe, peer: addr, m: n.Metrics}
+	server := &inprocConn{out: b2a, in: a2b, pipe: pipe, peer: "dialer", m: n.Metrics}
 	select {
 	case l.accept <- server:
 		return client, nil
@@ -239,6 +261,7 @@ func (l *inprocListener) Close() error {
 func (l *inprocListener) Addr() string { return l.addr }
 
 func (c *inprocConn) Send(v any) error {
+	t0 := time.Now()
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("transport: marshal: %w", err)
@@ -248,21 +271,31 @@ func (c *inprocConn) Send(v any) error {
 	}
 	select {
 	case c.out <- data:
+		c.m.sent(len(data), t0)
 		return nil
 	case <-c.pipe.closed:
 		return ErrClosed
 	}
 }
 
+func (c *inprocConn) decode(data []byte, v any) error {
+	t0 := time.Now()
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("transport: unmarshal frame from %s: %w", c.RemoteAddr(), err)
+	}
+	c.m.received(len(data), t0)
+	return nil
+}
+
 func (c *inprocConn) Recv(v any) error {
 	select {
 	case data := <-c.in:
-		return json.Unmarshal(data, v)
+		return c.decode(data, v)
 	case <-c.pipe.closed:
 		// Drain anything already queued before reporting closure.
 		select {
 		case data := <-c.in:
-			return json.Unmarshal(data, v)
+			return c.decode(data, v)
 		default:
 			return ErrClosed
 		}
