@@ -8,8 +8,9 @@ build:
 	$(GO) build ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/transport ./internal/coordinator
+	$(GO) test -race ./internal/obs ./internal/transport ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement
 
 race:
 	$(GO) test -race ./...

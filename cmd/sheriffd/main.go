@@ -10,6 +10,11 @@
 //
 // Usage:
 //
+// A chaos soak — boot cleanly, then inject faults into all control
+// traffic while watching the fault-tolerance metrics on the admin UI:
+//
+//	sheriffd -chaos-err 0.05 -chaos-hang 0.01 -chaos-latency 20ms -check-deadline 30s
+//
 //	sheriffd [-servers 2] [-domains 200] [-users 12] [-seed 1] [-admin 127.0.0.1:0] [-debug] [-dump study.json]
 package main
 
@@ -23,10 +28,13 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pricesheriff/internal/adminui"
+	"pricesheriff/internal/chaos"
 	"pricesheriff/internal/core"
 	"pricesheriff/internal/obs"
+	"pricesheriff/internal/retry"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/transport"
 	"pricesheriff/internal/workload"
@@ -41,6 +49,17 @@ func main() {
 		admin   = flag.String("admin", "127.0.0.1:0", "admin web UI address (empty disables)")
 		debug   = flag.Bool("debug", false, "expose /debug/pprof and /debug/vars on the admin UI")
 		dump    = flag.String("dump", "", "write the collected dataset to this JSON file on shutdown")
+
+		checkDeadline = flag.Duration("check-deadline", 2*time.Minute, "whole-check deadline; expired checks complete with partial rows")
+		vantageBudget = flag.Duration("vantage-budget", 0, "per-vantage fetch budget incl. retries (0 = check deadline)")
+		retries       = flag.Int("retries", retry.DefaultAttempts, "attempts per vantage fetch (1 = no retries)")
+
+		chaosSeed    = flag.Int64("chaos-seed", 0, "chaos fault-injection seed")
+		chaosLatency = flag.Duration("chaos-latency", 0, "chaos: latency added to every frame send")
+		chaosJitter  = flag.Duration("chaos-jitter", 0, "chaos: extra uniform latency on top")
+		chaosErr     = flag.Float64("chaos-err", 0, "chaos: probability a frame send fails")
+		chaosHang    = flag.Float64("chaos-hang", 0, "chaos: probability a frame send hangs until shutdown")
+		chaosDrop    = flag.Float64("chaos-drop", 0, "chaos: probability the connection is torn down mid-send")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
@@ -54,13 +73,36 @@ func main() {
 	})
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(64)
+
+	// The fabric, optionally behind the chaos injector. Injection is held
+	// off until the system has booted so start-up dials never fault.
+	var fabric transport.Network = transport.TCP{Metrics: transport.NewMetrics(reg, "tcp")}
+	var fab *chaos.Fabric
+	chaosOn := *chaosErr > 0 || *chaosHang > 0 || *chaosDrop > 0 || *chaosLatency > 0
+	if chaosOn {
+		fab = chaos.NewFabric(fabric, chaos.Config{
+			Seed:     *chaosSeed,
+			Latency:  *chaosLatency,
+			Jitter:   *chaosJitter,
+			ErrRate:  *chaosErr,
+			HangRate: *chaosHang,
+			DropRate: *chaosDrop,
+		})
+		fab.SetEnabled(false)
+		fabric = fab
+		defer fab.Close()
+	}
+
 	sys, err := core.NewSystem(core.Config{
-		Fabric:             transport.TCP{},
+		Fabric:             fabric,
 		Mall:               mall,
 		MeasurementServers: *servers,
 		Seed:               *seed,
 		Metrics:            reg,
 		Tracer:             tracer,
+		CheckDeadline:      *checkDeadline,
+		VantageBudget:      *vantageBudget,
+		RetryPolicy:        retry.Policy{MaxAttempts: *retries},
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
@@ -103,6 +145,12 @@ func main() {
 		fmt.Printf("  admin web ui:        http://%s/\n", ui.Addr())
 		fmt.Printf("  metrics:             http://%s/metrics\n", ui.Addr())
 	}
+	if fab != nil {
+		fab.SetEnabled(true)
+		fmt.Printf("  chaos:               on (seed %d, err %.2f, hang %.2f, drop %.2f, latency %v)\n",
+			*chaosSeed, *chaosErr, *chaosHang, *chaosDrop, *chaosLatency)
+	}
+
 	fmt.Println("\nConnect with: sheriffctl -coord", sys.CoordAddr(),
 		"-shops", sys.ShopAddr(), "-broker", sys.BrokerAddr())
 	fmt.Println("Serving until interrupted (Ctrl-C).")
@@ -115,6 +163,15 @@ func main() {
 		reg.Counter("sheriff_measurement_checks_completed_total").Value(),
 		reg.Histogram("sheriff_measurement_check_seconds").Quantile(0.95),
 		reg.Counter("sheriff_measurement_proxy_timeouts_total").Value())
+	fmt.Printf("fault tolerance: %d retries, %d partial checks, %d jobs requeued\n",
+		reg.Counter("sheriff_measurement_retries_total").Value(),
+		reg.Counter("sheriff_measurement_partial_checks_total").Value(),
+		reg.Counter("sheriff_coordinator_jobs_requeued_total").Value())
+	if fab != nil {
+		st := fab.Stats()
+		fmt.Printf("chaos injected: %d errors, %d hangs, %d drops, %d delays\n",
+			st.Errors, st.Hangs, st.Drops, st.Delays)
+	}
 
 	if *dump != "" {
 		snap, err := sys.DB().Export()

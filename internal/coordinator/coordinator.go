@@ -3,6 +3,7 @@ package coordinator
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"pricesheriff/internal/doppelganger"
 	"pricesheriff/internal/geo"
@@ -217,6 +218,66 @@ func (c *Coordinator) JobDone(jobID string) error {
 		return fmt.Errorf("coordinator: unknown job %s", jobID)
 	}
 	return c.Servers.Done(job.ServerAddr)
+}
+
+// RequeueLapsed reassigns every job whose Measurement server stopped
+// heartbeating to an online server, reconciling the pending counters —
+// the Sect. 10.3 corrective measure for servers that die mid-check. Jobs
+// stay put when no online server exists (the next sweep retries). It
+// returns the number of jobs moved.
+func (c *Coordinator) RequeueLapsed() int {
+	c.mu.Lock()
+	var lapsed []string
+	for id, job := range c.jobs {
+		if !c.Servers.IsOnline(job.ServerAddr) {
+			lapsed = append(lapsed, id)
+		}
+	}
+	c.mu.Unlock()
+
+	requeued := 0
+	for _, id := range lapsed {
+		addr, err := c.Servers.Assign()
+		if err != nil {
+			break // nowhere to go; keep the jobs for the next sweep
+		}
+		c.mu.Lock()
+		job, ok := c.jobs[id]
+		if !ok || c.Servers.IsOnline(job.ServerAddr) {
+			// Finished or rescued while we were assigning: return the slot.
+			c.mu.Unlock()
+			c.Servers.Done(addr)
+			continue
+		}
+		old := job.ServerAddr
+		job.ServerAddr = addr
+		c.mu.Unlock()
+		c.Servers.Done(old)
+		c.Metrics.jobRequeued()
+		requeued++
+	}
+	return requeued
+}
+
+// StartReaper sweeps for jobs stranded on lapsed servers every interval
+// until the returned stop function is called. Run it with an interval in
+// the order of the heartbeat timeout.
+func (c *Coordinator) StartReaper(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				c.RequeueLapsed()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // PendingJobs returns the number of tracked in-flight jobs.

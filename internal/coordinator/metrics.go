@@ -11,6 +11,7 @@ type Metrics struct {
 
 	jobsScheduled       *obs.Counter
 	jobsDone            *obs.Counter
+	jobsRequeued        *obs.Counter
 	whitelistRejections *obs.Counter
 	heartbeats          *obs.Counter
 	heartbeatLapses     *obs.Counter
@@ -25,6 +26,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		reg:                 reg,
 		jobsScheduled:       reg.Counter("sheriff_coordinator_jobs_scheduled_total"),
 		jobsDone:            reg.Counter("sheriff_coordinator_jobs_done_total"),
+		jobsRequeued:        reg.Counter("sheriff_coordinator_jobs_requeued_total"),
 		whitelistRejections: reg.Counter("sheriff_coordinator_whitelist_rejections_total"),
 		heartbeats:          reg.Counter("sheriff_coordinator_heartbeats_total"),
 		heartbeatLapses:     reg.Counter("sheriff_coordinator_heartbeat_lapses_total"),
@@ -48,6 +50,14 @@ func (m *Metrics) jobDone(pending int) {
 	}
 	m.jobsDone.Inc()
 	m.pendingJobs.Set(int64(pending))
+}
+
+// jobRequeued records a job moved off a lapsed Measurement server.
+func (m *Metrics) jobRequeued() {
+	if m == nil {
+		return
+	}
+	m.jobsRequeued.Inc()
 }
 
 func (m *Metrics) whitelistRejected() {

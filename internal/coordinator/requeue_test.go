@@ -1,0 +1,146 @@
+package coordinator
+
+import (
+	"testing"
+	"time"
+
+	"pricesheriff/internal/geo"
+	"pricesheriff/internal/obs"
+)
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.UnixMilli(1_000_000)} }
+
+func requeueCoord(clock *fakeClock) *Coordinator {
+	sl := NewServerList(100*time.Millisecond, LeastPending, clock.now)
+	return New(sl, NewWhitelist([]string{"x.com"}), geo.NewWorld())
+}
+
+func TestRequeueLapsedMovesJob(t *testing.T) {
+	clock := newFakeClock()
+	c := requeueCoord(clock)
+	reg := obs.NewRegistry()
+	c.Metrics = NewMetrics(reg)
+	c.Servers.Register("s1")
+	c.Servers.Register("s2")
+
+	job, err := c.NewJob("x.com", "nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ServerAddr != "s1" {
+		t.Fatalf("job on %s, want s1 (least pending, first registered)", job.ServerAddr)
+	}
+
+	// s1 goes silent past the heartbeat timeout; s2 keeps beating.
+	clock.advance(200 * time.Millisecond)
+	if err := c.Servers.Heartbeat("s2", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := c.RequeueLapsed(); n != 1 {
+		t.Fatalf("requeued = %d, want 1", n)
+	}
+	if job.ServerAddr != "s2" {
+		t.Errorf("job on %s after requeue, want s2", job.ServerAddr)
+	}
+	// Pending counters reconciled: the lapsed server gave the job up.
+	for _, si := range c.Servers.Snapshot() {
+		want := 0
+		if si.Addr == "s2" {
+			want = 1
+		}
+		if si.Pending != want {
+			t.Errorf("server %s pending = %d, want %d", si.Addr, si.Pending, want)
+		}
+	}
+	if n := reg.Counter("sheriff_coordinator_jobs_requeued_total").Value(); n != 1 {
+		t.Errorf("requeued counter = %d, want 1", n)
+	}
+
+	// Idempotent: everything already sits on an online server.
+	if n := c.RequeueLapsed(); n != 0 {
+		t.Errorf("second sweep requeued %d", n)
+	}
+
+	// The moved job still completes normally.
+	if err := c.JobDone(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingJobs(); got != 0 {
+		t.Errorf("pending jobs = %d", got)
+	}
+}
+
+func TestRequeueLapsedNoOnlineServers(t *testing.T) {
+	clock := newFakeClock()
+	c := requeueCoord(clock)
+	c.Servers.Register("s1")
+	job, err := c.NewJob("x.com", "nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(200 * time.Millisecond)
+	if n := c.RequeueLapsed(); n != 0 {
+		t.Errorf("requeued = %d with every server down", n)
+	}
+	// The job is still tracked and recovers once a server comes back.
+	if got := c.PendingJobs(); got != 1 {
+		t.Fatalf("pending jobs = %d", got)
+	}
+	c.Servers.Register("s2")
+	if n := c.RequeueLapsed(); n != 1 {
+		t.Errorf("requeued = %d after revival, want 1", n)
+	}
+	if job.ServerAddr != "s2" {
+		t.Errorf("job on %s, want s2", job.ServerAddr)
+	}
+}
+
+func TestReaperRequeuesInBackground(t *testing.T) {
+	// Real clock: short heartbeat timeout, reaper at matching cadence.
+	sl := NewServerList(30*time.Millisecond, LeastPending, nil)
+	c := New(sl, NewWhitelist([]string{"x.com"}), geo.NewWorld())
+	sl.Register("s1")
+	sl.Register("s2")
+	job, err := c.NewJob("x.com", "nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := c.StartReaper(10 * time.Millisecond)
+	defer stop()
+	stop2 := stopBeats(sl, "s2", 10*time.Millisecond)
+	defer stop2()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		addr := c.jobs[job.ID].ServerAddr
+		c.mu.Unlock()
+		if addr == "s2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper never moved the job off the dead server (on %s)", addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop() // stopping twice must be safe
+}
+
+// stopBeats heartbeats addr periodically until stopped.
+func stopBeats(sl *ServerList, addr string, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				sl.Heartbeat(addr, -1)
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -202,6 +202,15 @@ func (l *ServerList) Assign() (string, error) {
 	}
 }
 
+// IsOnline reports whether addr is currently heartbeating within the
+// timeout.
+func (l *ServerList) IsOnline(addr string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.servers[addr]
+	return ok && l.online(e, l.now().UnixMilli())
+}
+
 // Done decrements a server's pending counter after job completion.
 func (l *ServerList) Done(addr string) error {
 	l.mu.Lock()

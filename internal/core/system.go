@@ -22,6 +22,7 @@ import (
 	"pricesheriff/internal/obs"
 	"pricesheriff/internal/peer"
 	"pricesheriff/internal/privkmeans"
+	"pricesheriff/internal/retry"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/store"
 	"pricesheriff/internal/transport"
@@ -48,6 +49,16 @@ type Config struct {
 	// HeartbeatTimeout marks silent measurement servers offline
 	// (default 10s).
 	HeartbeatTimeout time.Duration
+	// CheckDeadline bounds one whole price check; an expired check
+	// completes with the rows it has (default 2 minutes).
+	CheckDeadline time.Duration
+	// VantageBudget bounds each vantage point's fetch including retries
+	// (default: the check deadline).
+	VantageBudget time.Duration
+	// RetryPolicy drives per-vantage retries in the Measurement servers;
+	// unset fields take the retry package defaults (3 attempts under
+	// jittered exponential backoff).
+	RetryPolicy retry.Policy
 	// Seed drives all deterministic randomness (IP allocation etc.).
 	Seed int64
 	// Metrics receives every component's telemetry; default is a fresh
@@ -76,6 +87,14 @@ type System struct {
 	measRPC  []*measurement.RPCServer
 	meas     []*measurement.Server
 	stopBeat []func()
+
+	// Fault-tolerance settings shared by every measurement server,
+	// including ones attached later via AddMeasurementServer.
+	checkDeadline time.Duration
+	vantageBudget time.Duration
+	retrier       *retry.Retrier
+	ppcTimeout    time.Duration
+	stopReaper    func()
 
 	dopps     *doppelganger.Manager
 	directory *systemDirectory
@@ -156,6 +175,11 @@ func NewSystem(cfg Config) (*System, error) {
 		measMetrics:  measurement.NewMetrics(cfg.Metrics),
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		users:        make(map[string]*User),
+
+		checkDeadline: cfg.CheckDeadline,
+		vantageBudget: cfg.VantageBudget,
+		retrier:       retry.New(cfg.RetryPolicy, cfg.Seed+3),
+		ppcTimeout:    cfg.PPCTimeout,
 	}
 
 	// The web: shops behind one server.
@@ -227,6 +251,10 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+
+	// The reaper requeues jobs stranded on measurement servers whose
+	// heartbeats lapse mid-check (Sect. 10.3 corrective measures).
+	s.stopReaper = s.Coord.StartReaper(cfg.HeartbeatTimeout)
 	return s, nil
 }
 
@@ -252,6 +280,9 @@ func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.
 	ms.Peers = requester
 	ms.Metrics = s.measMetrics
 	ms.Tracer = s.tracer
+	ms.CheckDeadline = s.checkDeadline
+	ms.VantageBudget = s.vantageBudget
+	ms.Retry = s.retrier
 
 	lis, err := s.fabric.Listen("")
 	if err != nil {
@@ -284,7 +315,7 @@ func (s *System) AddMeasurementServer() error {
 	if idx > 0 {
 		fleet = s.meas[0].IPCs
 	}
-	timeout := 2 * time.Minute
+	timeout := s.ppcTimeout
 	s.mu.Unlock()
 	return s.addMeasurementServer(fleet, timeout, idx)
 }
@@ -612,6 +643,9 @@ func (s *System) Close() error {
 
 	for _, u := range users {
 		u.Node.Close()
+	}
+	if s.stopReaper != nil {
+		s.stopReaper()
 	}
 	for _, stop := range stops {
 		stop()

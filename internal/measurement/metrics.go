@@ -18,6 +18,10 @@ type Metrics struct {
 	proxyTimeouts    *obs.Counter
 	extractFailures  *obs.Counter
 	conversionErrors *obs.Counter
+	retries          *obs.Counter
+	partialChecks    *obs.Counter
+	lateRows         *obs.Counter
+	checksEvicted    *obs.Counter
 	pending          *obs.Gauge
 	checkSeconds     *obs.Histogram
 	fanoutIPC        *obs.Histogram
@@ -32,6 +36,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		proxyTimeouts:    reg.Counter("sheriff_measurement_proxy_timeouts_total"),
 		extractFailures:  reg.Counter("sheriff_measurement_extract_failures_total"),
 		conversionErrors: reg.Counter("sheriff_measurement_conversion_errors_total"),
+		retries:          reg.Counter("sheriff_measurement_retries_total"),
+		partialChecks:    reg.Counter("sheriff_measurement_partial_checks_total"),
+		lateRows:         reg.Counter("sheriff_measurement_late_rows_total"),
+		checksEvicted:    reg.Counter("sheriff_measurement_checks_evicted_total"),
 		pending:          reg.Gauge("sheriff_measurement_pending_checks"),
 		checkSeconds:     reg.Histogram("sheriff_measurement_check_seconds"),
 		fanoutIPC:        reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ipc"),
@@ -87,4 +95,38 @@ func (m *Metrics) conversionError() {
 		return
 	}
 	m.conversionErrors.Inc()
+}
+
+// retried records n vantage-point retry attempts (0 is a no-op).
+func (m *Metrics) retried(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.retries.Add(int64(n))
+}
+
+// partialCheck records a check cut by its deadline before the fan-out
+// finished.
+func (m *Metrics) partialCheck() {
+	if m == nil {
+		return
+	}
+	m.partialChecks.Inc()
+}
+
+// lateRow records a vantage-point row dropped because its check already
+// completed.
+func (m *Metrics) lateRow() {
+	if m == nil {
+		return
+	}
+	m.lateRows.Inc()
+}
+
+// checkEvicted records a completed check evicted from the cache.
+func (m *Metrics) checkEvicted() {
+	if m == nil {
+		return
+	}
+	m.checksEvicted.Inc()
 }

@@ -13,6 +13,8 @@ import (
 	"pricesheriff/internal/htmlx"
 	"pricesheriff/internal/obs"
 	"pricesheriff/internal/peer"
+	"pricesheriff/internal/retry"
+	"pricesheriff/internal/shop"
 	"pricesheriff/internal/store"
 	"pricesheriff/internal/transport"
 )
@@ -64,6 +66,13 @@ type PPCRequester interface {
 	RequestPage(peerID string, req *peer.PageRequest) (*peer.PageResponse, error)
 }
 
+// Fault-tolerance defaults; see the corresponding Server fields.
+const (
+	DefaultCheckDeadline = 2 * time.Minute
+	DefaultCheckTTL      = 5 * time.Minute
+	DefaultMaxChecks     = 4096
+)
+
 // Server is one Measurement server instance.
 type Server struct {
 	// OwnAddr is the address this server is registered under at the
@@ -80,14 +89,45 @@ type Server struct {
 	// Tracer records per-check span trees (nil disables).
 	Tracer *obs.Tracer
 
+	// CheckDeadline bounds one whole check: when it expires, the job is
+	// marked done with whatever rows have arrived — the deployed system's
+	// partial-result behavior, where a check reports the vantage points
+	// that answered in time (0 = DefaultCheckDeadline). Straggler rows
+	// landing after the cut are dropped and counted.
+	CheckDeadline time.Duration
+	// VantageBudget bounds each vantage point's fetch including retries
+	// (0 or larger than the check deadline = the check deadline).
+	VantageBudget time.Duration
+	// Retry drives per-vantage retries under jittered exponential backoff
+	// (nil = a single attempt). Share one across a server pool.
+	Retry *retry.Retrier
+	// CheckTTL evicts a completed check once no Results poll has touched
+	// it for this long, bounding the checks map under sustained traffic
+	// (0 = DefaultCheckTTL). Evicted jobs answer ErrUnknownJob again.
+	CheckTTL time.Duration
+	// MaxChecks caps cached completed checks; beyond it the longest-idle
+	// completed ones are evicted first (0 = DefaultMaxChecks).
+	MaxChecks int
+
 	mu     sync.Mutex
 	checks map[string]*checkState
 	rpc    *transport.Server
 }
 
 type checkState struct {
-	rows []ResultRow
-	done bool
+	rows     []ResultRow
+	done     bool
+	doneAt   time.Time
+	lastPoll time.Time
+}
+
+// idleSince is the moment a completed check was last useful: its finish
+// or its latest Results poll, whichever is later.
+func (st *checkState) idleSince() time.Time {
+	if st.lastPoll.After(st.doneAt) {
+		return st.lastPoll
+	}
+	return st.doneAt
 }
 
 // Errors returned by the server.
@@ -138,6 +178,7 @@ func (s *Server) StartCheck(req *CheckRequest) error {
 		s.mu.Unlock()
 		return ErrDuplicateJob
 	}
+	s.evictLocked(time.Now())
 	st := &checkState{}
 	s.checks[req.JobID] = st
 	s.mu.Unlock()
@@ -161,6 +202,44 @@ func (s *Server) Pending() int {
 	return n
 }
 
+// evictLocked bounds the completed-check cache: completed checks idle
+// past CheckTTL go first; if the map is still over MaxChecks, the
+// longest-idle completed ones follow. In-flight checks are never evicted.
+// Callers hold s.mu.
+func (s *Server) evictLocked(now time.Time) {
+	ttl := s.CheckTTL
+	if ttl <= 0 {
+		ttl = DefaultCheckTTL
+	}
+	maxChecks := s.MaxChecks
+	if maxChecks <= 0 {
+		maxChecks = DefaultMaxChecks
+	}
+	for id, st := range s.checks {
+		if st.done && now.Sub(st.idleSince()) > ttl {
+			delete(s.checks, id)
+			s.Metrics.checkEvicted()
+		}
+	}
+	for len(s.checks) >= maxChecks {
+		oldest := ""
+		var oldestIdle time.Time
+		for id, st := range s.checks {
+			if !st.done {
+				continue
+			}
+			if oldest == "" || st.idleSince().Before(oldestIdle) {
+				oldest, oldestIdle = id, st.idleSince()
+			}
+		}
+		if oldest == "" {
+			return // everything cached is still in flight
+		}
+		delete(s.checks, oldest)
+		s.Metrics.checkEvicted()
+	}
+}
+
 // Results serves one AJAX poll.
 func (s *Server) Results(jobID string, since int) (ResultsResponse, error) {
 	s.mu.Lock()
@@ -169,6 +248,7 @@ func (s *Server) Results(jobID string, since int) (ResultsResponse, error) {
 	if !ok {
 		return ResultsResponse{}, ErrUnknownJob
 	}
+	st.lastPoll = time.Now()
 	if since < 0 {
 		since = 0
 	}
@@ -200,8 +280,26 @@ func (s *Server) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, 
 func (s *Server) addRow(jobID string, row ResultRow) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st, ok := s.checks[jobID]; ok {
-		st.rows = append(st.rows, row)
+	st, ok := s.checks[jobID]
+	if !ok {
+		return
+	}
+	if st.done {
+		// A straggler vantage point answered after the check deadline cut
+		// the job: pollers already saw Done, so the row is dropped.
+		s.Metrics.lateRow()
+		return
+	}
+	st.rows = append(st.rows, row)
+}
+
+// markDone flags a check complete with the rows gathered so far.
+func (s *Server) markDone(jobID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.checks[jobID]; ok && !st.done {
+		st.done = true
+		st.doneAt = time.Now()
 	}
 }
 
@@ -244,6 +342,18 @@ func (s *Server) process(req *CheckRequest) {
 		per.End()
 	}
 
+	// Time budgets: the whole check is bounded by the deadline (after
+	// which the job completes with the rows it has), and each vantage
+	// point by its own budget covering the fetch plus every retry.
+	deadline := s.CheckDeadline
+	if deadline <= 0 {
+		deadline = DefaultCheckDeadline
+	}
+	budget := s.VantageBudget
+	if budget <= 0 || budget > deadline {
+		budget = deadline
+	}
+
 	fanout := tr.Span("fanout")
 	var wg sync.WaitGroup
 	// Step 3.1: every IPC fetches in parallel.
@@ -257,12 +367,13 @@ func (s *Server) process(req *CheckRequest) {
 				Source: c.ID, Kind: "ipc", PeerID: c.ID,
 				Country: c.Country, City: c.City,
 			}
-			resp, err := c.Fetch(req.URL, req.Day)
+			resp, retries, err := fetchVantage(s.Retry, budget, func() (*shop.FetchResponse, error) {
+				return c.Fetch(req.URL, req.Day)
+			})
 			s.Metrics.fanoutObserved("ipc", t0)
+			s.Metrics.retried(retries)
 			if err != nil {
-				base.Err = err.Error()
-				s.addRow(req.JobID, base)
-				sp.EndErr(err)
+				s.vantageFailed(req.JobID, base, sp, err)
 				return
 			}
 			if resp.Status != 200 {
@@ -293,15 +404,13 @@ func (s *Server) process(req *CheckRequest) {
 						Source: "peer " + p.Country, Kind: "ppc", PeerID: p.ID,
 						Country: p.Country, City: p.City,
 					}
-					resp, err := s.Peers.RequestPage(p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
+					resp, retries, err := fetchVantage(s.Retry, budget, func() (*peer.PageResponse, error) {
+						return s.Peers.RequestPage(p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
+					})
 					s.Metrics.fanoutObserved("ppc", t0)
+					s.Metrics.retried(retries)
 					if err != nil {
-						if errors.Is(err, peer.ErrRequestTimeout) {
-							s.Metrics.proxyTimeout()
-						}
-						base.Err = err.Error()
-						s.addRow(req.JobID, base)
-						sp.EndErr(err)
+						s.vantageFailed(req.JobID, base, sp, err)
 						return
 					}
 					if resp.Status != 200 {
@@ -321,19 +430,94 @@ func (s *Server) process(req *CheckRequest) {
 		}
 	}
 
-	wg.Wait()
-	fanout.End()
-	s.mu.Lock()
-	if st, ok := s.checks[req.JobID]; ok {
-		st.done = true
+	// Wait for the fan-out, but never past the check deadline: a check
+	// whose vantage points hang completes anyway with the rows it has —
+	// straggler goroutines finish in the background and their rows are
+	// dropped as late.
+	fanoutDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(fanoutDone)
+	}()
+	remaining := deadline - time.Since(start)
+	if remaining < 0 {
+		remaining = 0
 	}
-	s.mu.Unlock()
+	cut := time.NewTimer(remaining)
+	select {
+	case <-fanoutDone:
+		cut.Stop()
+	case <-cut.C:
+		s.Metrics.partialCheck()
+		fanout.Annotate("partial", "true")
+		tr.Annotate("partial", "true")
+	}
+	fanout.End()
+	s.markDone(req.JobID)
 	s.Metrics.checkCompleted(start)
 	if s.Coord != nil {
 		s.Coord.JobDone(req.JobID) // step 4
 	}
 	if owned {
 		tr.Finish()
+	}
+}
+
+// vantageFailed records one failed vantage point: an error row, the
+// proxy-timeout metric when the failure was a deadline (either the P2P
+// request timeout or a transport call/vantage timeout), and the span.
+func (s *Server) vantageFailed(jobID string, base ResultRow, sp *obs.Span, err error) {
+	if errors.Is(err, peer.ErrRequestTimeout) || errors.Is(err, transport.ErrCallTimeout) {
+		s.Metrics.proxyTimeout()
+	}
+	base.Err = err.Error()
+	s.addRow(jobID, base)
+	sp.EndErr(err)
+}
+
+// fetchVantage runs one vantage point's fetch under its time budget with
+// bounded, jittered-backoff retries (nil retrier = single attempt). A
+// fetch that outlives the budget is abandoned — its goroutine drains in
+// the background — and reported as a timeout matching
+// transport.ErrCallTimeout.
+func fetchVantage[T any](r *retry.Retrier, budget time.Duration, fetch func() (T, error)) (T, int, error) {
+	stop := make(chan struct{})
+	timer := time.AfterFunc(budget, func() { close(stop) })
+	defer timer.Stop()
+	var resp T
+	retries, err := r.Do(stop, func(int) error {
+		got, err := awaitFetch(stop, fetch)
+		if err != nil {
+			return err
+		}
+		resp = got
+		return nil
+	})
+	return resp, retries, err
+}
+
+// awaitFetch runs fetch in its own goroutine and waits for it or for the
+// vantage budget, whichever first. Application-level rejections
+// (transport.RemoteError) are marked terminal so the retrier stops.
+func awaitFetch[T any](stop <-chan struct{}, fetch func() (T, error)) (T, error) {
+	type result struct {
+		resp T
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := fetch()
+		ch <- result{resp, err}
+	}()
+	select {
+	case out := <-ch:
+		if out.err != nil && transport.IsRemote(out.err) {
+			return out.resp, retry.Terminal(out.err)
+		}
+		return out.resp, out.err
+	case <-stop:
+		var zero T
+		return zero, fmt.Errorf("measurement: vantage fetch: %w", transport.ErrCallTimeout)
 	}
 }
 
@@ -396,13 +580,30 @@ func (s *Server) record(req *CheckRequest, reqRowID int64, row ResultRow, html s
 	})
 }
 
+// domainOf extracts the canonical host from a product URL: scheme,
+// userinfo, port, and path are stripped and the result lowercased, so
+// "HTTP://user@Shop.example:8080/p" and "http://shop.example/q" group
+// under one shop in DiffStorage and the whitelist.
 func domainOf(url string) string {
-	rest := strings.TrimPrefix(url, "http://")
-	rest = strings.TrimPrefix(rest, "https://")
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
-		return rest[:i]
+	rest := url
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
 	}
-	return rest
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	if strings.HasPrefix(rest, "[") {
+		// Bracketed IPv6 literal: the port follows the closing bracket.
+		if i := strings.IndexByte(rest, ']'); i >= 0 {
+			rest = rest[1:i]
+		}
+	} else if i := strings.LastIndexByte(rest, ':'); i >= 0 && strings.Count(rest, ":") == 1 {
+		rest = rest[:i]
+	}
+	return strings.ToLower(rest)
 }
 
 // --- network front-end ---

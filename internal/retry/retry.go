@@ -1,0 +1,189 @@
+// Package retry implements bounded retries under jittered exponential
+// backoff, the client half of the deployment's fault model: per-vantage
+// fetches in the Measurement servers are the common failure case (flaky
+// PlanetLab nodes, disappearing real-user peers — paper Sect. 10.3), so
+// every transient failure is retried a few times with growing, jittered
+// delays, while terminal errors (application-level rejections) abort
+// immediately.
+//
+// The package is deliberately context-free: callers bound a whole retry
+// sequence with a stop channel (typically closed by a budget timer), and
+// all randomness flows through a seeded source so tests are deterministic.
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes one retry discipline. The zero value retries nothing
+// (a single attempt); WithDefaults fills the conventional knobs.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (1 = no retries). Values below 1 are treated as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (before jitter).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter·delay, de-syncing
+	// retry storms across vantage points. Clamped to [0, 1].
+	Jitter float64
+	// Classify reports whether an error is worth retrying. Nil means
+	// every error is retryable unless wrapped with Terminal.
+	Classify func(error) bool
+}
+
+// Defaults used by WithDefaults for unset fields.
+const (
+	DefaultAttempts   = 3
+	DefaultBaseDelay  = 25 * time.Millisecond
+	DefaultMaxDelay   = 2 * time.Second
+	DefaultMultiplier = 2.0
+	DefaultJitter     = 0.2
+)
+
+// WithDefaults returns a copy with unset fields filled in.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = DefaultAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay computes the jittered backoff before retry number n (n ≥ 1 is the
+// first retry): min(BaseDelay·Multiplier^(n-1), MaxDelay) spread over
+// ±Jitter. rng may be nil for unjittered (deterministic) delays.
+func (p Policy) Delay(n int, rng *rand.Rand) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if max := float64(p.MaxDelay); p.MaxDelay > 0 && d > max {
+		d = max
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// retryable applies the policy's classifier after the Terminal escape
+// hatch.
+func (p Policy) retryable(err error) bool {
+	if IsTerminal(err) {
+		return false
+	}
+	if p.Classify != nil {
+		return p.Classify(err)
+	}
+	return true
+}
+
+// Retrier executes operations under a Policy with a seeded jitter source.
+// One Retrier may be shared by many goroutines (the Measurement server
+// shares one across its whole fan-out).
+type Retrier struct {
+	policy Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a seeded Retrier; the policy is normalized via WithDefaults.
+func New(p Policy, seed int64) *Retrier {
+	return &Retrier{policy: p.WithDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Policy returns the normalized policy in force.
+func (r *Retrier) Policy() Policy {
+	if r == nil {
+		return Policy{MaxAttempts: 1}
+	}
+	return r.policy
+}
+
+// delay draws one jittered backoff; goroutine-safe.
+func (r *Retrier) delay(n int) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy.Delay(n, r.rng)
+}
+
+// Do runs op until it succeeds, returns a terminal (non-retryable) error,
+// MaxAttempts is exhausted, or stop closes (budget spent) — whichever
+// comes first. It reports the number of retries performed (attempts-1)
+// and the last error. A nil Retrier performs exactly one attempt. The
+// attempt number (starting at 1) is passed to op.
+func (r *Retrier) Do(stop <-chan struct{}, op func(attempt int) error) (retries int, err error) {
+	maxAttempts := 1
+	if r != nil {
+		maxAttempts = r.policy.MaxAttempts
+	}
+	for attempt := 1; ; attempt++ {
+		err = op(attempt)
+		if err == nil || attempt >= maxAttempts || !r.policy.retryable(err) {
+			return attempt - 1, err
+		}
+		// Budget check before sleeping: a closed stop channel means the
+		// caller's deadline has passed and another attempt is pointless.
+		timer := time.NewTimer(r.delay(attempt))
+		select {
+		case <-timer.C:
+		case <-stop:
+			timer.Stop()
+			return attempt - 1, err
+		}
+	}
+}
+
+// terminalError marks an error as not worth retrying.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// Terminal wraps err so no Policy retries it (application-level
+// rejections: unknown method, whitelist refusal, bad request). A nil err
+// returns nil.
+func Terminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &terminalError{err: err}
+}
+
+// IsTerminal reports whether err (or anything it wraps) was marked
+// Terminal.
+func IsTerminal(err error) bool {
+	var te *terminalError
+	return errors.As(err, &te)
+}

@@ -1,0 +1,149 @@
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayExponentialGrowthAndCap(t *testing.T) {
+	p := Policy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}.WithDefaults()
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i+1, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBoundsSeeded(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.25}.WithDefaults()
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 4; n++ {
+		base := p.Delay(n, nil)
+		lo := time.Duration(float64(base) * (1 - p.Jitter))
+		hi := time.Duration(float64(base) * (1 + p.Jitter))
+		for i := 0; i < 200; i++ {
+			d := p.Delay(n, rng)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %v outside jitter bounds [%v, %v]", n, d, lo, hi)
+			}
+		}
+	}
+	// Same seed, same sequence: the jitter source is fully deterministic.
+	a, b := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		if da, db := p.Delay(2, a), p.Delay(2, b); da != db {
+			t.Fatalf("seeded delays diverge: %v vs %v", da, db)
+		}
+	}
+}
+
+func TestDoHonorsMaxAttempts(t *testing.T) {
+	r := New(Policy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}, 1)
+	calls := 0
+	boom := errors.New("boom")
+	retries, err := r.Do(nil, func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Errorf("attempt = %d on call %d", attempt, calls)
+		}
+		return boom
+	})
+	if calls != 4 || retries != 3 {
+		t.Errorf("calls = %d retries = %d, want 4/3", calls, retries)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoStopsOnSuccessAndTerminal(t *testing.T) {
+	r := New(Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, 1)
+	calls := 0
+	retries, err := r.Do(nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || retries != 2 {
+		t.Errorf("success path: calls=%d retries=%d err=%v", calls, retries, err)
+	}
+
+	calls = 0
+	fatal := errors.New("bad request")
+	retries, err = r.Do(nil, func(int) error {
+		calls++
+		return Terminal(fatal)
+	})
+	if calls != 1 || retries != 0 {
+		t.Errorf("terminal path: calls=%d retries=%d", calls, retries)
+	}
+	if !errors.Is(err, fatal) || !IsTerminal(err) {
+		t.Errorf("terminal err = %v", err)
+	}
+}
+
+func TestDoClassifier(t *testing.T) {
+	transient := errors.New("transient")
+	fatal := errors.New("fatal")
+	r := New(Policy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Microsecond,
+		Classify:    func(err error) bool { return errors.Is(err, transient) },
+	}, 1)
+	calls := 0
+	if _, err := r.Do(nil, func(int) error { calls++; return fatal }); !errors.Is(err, fatal) || calls != 1 {
+		t.Errorf("classifier did not stop fatal error: calls=%d err=%v", calls, err)
+	}
+	calls = 0
+	r.Do(nil, func(int) error { calls++; return transient })
+	if calls != 5 {
+		t.Errorf("classifier blocked transient retries: calls=%d", calls)
+	}
+}
+
+func TestDoStopChannelCutsBudget(t *testing.T) {
+	r := New(Policy{MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour}, 1)
+	stop := make(chan struct{})
+	close(stop)
+	calls := 0
+	start := time.Now()
+	retries, err := r.Do(stop, func(int) error { calls++; return errors.New("x") })
+	if calls != 1 || retries != 0 {
+		t.Errorf("calls=%d retries=%d, want 1/0", calls, retries)
+	}
+	if err == nil {
+		t.Error("want last error")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("stop channel did not cut the backoff sleep (%v)", time.Since(start))
+	}
+}
+
+func TestNilRetrierSingleAttempt(t *testing.T) {
+	var r *Retrier
+	calls := 0
+	retries, err := r.Do(nil, func(int) error { calls++; return errors.New("x") })
+	if calls != 1 || retries != 0 || err == nil {
+		t.Errorf("nil retrier: calls=%d retries=%d err=%v", calls, retries, err)
+	}
+	if got := r.Policy().MaxAttempts; got != 1 {
+		t.Errorf("nil policy attempts = %d", got)
+	}
+}
+
+func TestTerminalNil(t *testing.T) {
+	if Terminal(nil) != nil {
+		t.Error("Terminal(nil) != nil")
+	}
+	if IsTerminal(errors.New("x")) {
+		t.Error("plain error is terminal")
+	}
+}

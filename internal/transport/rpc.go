@@ -4,8 +4,29 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
+	"os"
 	"sync"
+	"time"
 )
+
+// ErrCallTimeout marks an RPC that exceeded its per-call timeout; match
+// with errors.Is (mirroring peer.ErrRequestTimeout on the P2P side). A
+// timed-out Client is marked broken — the response may still arrive and
+// would desynchronize the request/response stream — so subsequent calls
+// fail with ErrClosed until the caller re-dials (a Pool does this
+// automatically).
+var ErrCallTimeout = errors.New("transport: call timed out")
+
+// isTimeout reports whether err is an I/O deadline expiry from either
+// fabric.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // Envelope is the wire format of one RPC request or response.
 type Envelope struct {
@@ -132,8 +153,14 @@ func (s *Server) Close() error {
 // Client issues RPCs over one connection. Calls are serialized; use a Pool
 // for concurrency.
 type Client struct {
-	mu   sync.Mutex
-	conn Conn
+	// Timeout bounds every Call when the underlying Conn supports
+	// deadlines (both built-in fabrics do); zero means unbounded. Set it
+	// before sharing the client across goroutines.
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	conn   Conn
+	broken bool
 }
 
 // DialClient connects a client to an RPC server.
@@ -147,10 +174,20 @@ func DialClient(net Network, addr string) (*Client, error) {
 
 // Call invokes method with req, storing the response into resp (which may
 // be nil for methods without results). A non-empty server error becomes a
-// *RemoteError.
+// *RemoteError. The call is bounded by the client's Timeout; an expired
+// deadline surfaces as an error matching ErrCallTimeout.
 func (c *Client) Call(method string, req, resp any) error {
+	return c.CallTimeout(method, req, resp, c.Timeout)
+}
+
+// CallTimeout is Call with an explicit per-call timeout overriding the
+// client's Timeout (zero = unbounded).
+func (c *Client) CallTimeout(method string, req, resp any, timeout time.Duration) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return ErrClosed
+	}
 	env := Envelope{T: method}
 	if req != nil {
 		body, err := json.Marshal(req)
@@ -159,12 +196,18 @@ func (c *Client) Call(method string, req, resp any) error {
 		}
 		env.Body = body
 	}
+	if timeout > 0 {
+		if dc, ok := c.conn.(DeadlineConn); ok {
+			dc.SetDeadline(time.Now().Add(timeout))
+			defer dc.SetDeadline(time.Time{})
+		}
+	}
 	if err := c.conn.Send(&env); err != nil {
-		return err
+		return c.classify(method, timeout, err)
 	}
 	var out Envelope
 	if err := c.conn.Recv(&out); err != nil {
-		return err
+		return c.classify(method, timeout, err)
 	}
 	if out.Err != "" {
 		return &RemoteError{Method: method, Msg: out.Err}
@@ -173,6 +216,17 @@ func (c *Client) Call(method string, req, resp any) error {
 		return json.Unmarshal(out.Body, resp)
 	}
 	return nil
+}
+
+// classify converts deadline expiries into the matchable sentinel and
+// poisons the connection: once a call times out, a late response could
+// still land and would be mistaken for the next call's answer.
+func (c *Client) classify(method string, timeout time.Duration, err error) error {
+	if !isTimeout(err) {
+		return err
+	}
+	c.broken = true
+	return fmt.Errorf("transport: call %s after %v: %w", method, timeout, ErrCallTimeout)
 }
 
 // Close releases the underlying connection.
@@ -201,6 +255,11 @@ func IsRemote(err error) bool {
 // transport level are replaced on the next use, so a server restart does
 // not permanently poison the pool.
 type Pool struct {
+	// Timeout bounds each pooled Call (zero = unbounded). A timed-out
+	// connection is treated like any transport failure: closed and
+	// replaced by a fresh dial. Set it before serving traffic.
+	Timeout time.Duration
+
 	netw    Network
 	addr    string
 	clients chan *Client
@@ -230,7 +289,7 @@ func NewPool(net Network, addr string, size int) (*Pool, error) {
 // the pool; the original error is still reported to the caller.
 func (p *Pool) Call(method string, req, resp any) error {
 	c := <-p.clients
-	err := c.Call(method, req, resp)
+	err := c.CallTimeout(method, req, resp, p.Timeout)
 	if err != nil && !IsRemote(err) {
 		c.Close()
 		if nc, derr := DialClient(p.netw, p.addr); derr == nil {

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// muteServer accepts RPC connections and reads requests but never
+// answers, simulating a hung measurement or shop backend.
+func muteServer(t *testing.T, netw Network, addr string) Listener {
+	t.Helper()
+	lis, err := netw.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					var env Envelope
+					if err := conn.Recv(&env); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return lis
+}
+
+func testCallTimeout(t *testing.T, netw Network, addr string) {
+	t.Helper()
+	lis := muteServer(t, netw, addr)
+	defer lis.Close()
+
+	cli, err := DialClient(netw, lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Timeout = 50 * time.Millisecond
+
+	start := time.Now()
+	err = cli.Call("ping", nil, nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("timeout enforced after %v", elapsed)
+	}
+	// The client is poisoned: a late response must not be misread as the
+	// answer to a subsequent call.
+	if err := cli.Call("ping", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("second call on timed-out client: %v, want ErrClosed", err)
+	}
+}
+
+func TestCallTimeoutInproc(t *testing.T) {
+	testCallTimeout(t, NewInproc(), "mute")
+}
+
+func TestCallTimeoutTCP(t *testing.T) {
+	testCallTimeout(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestCallTimeoutOverride(t *testing.T) {
+	netw := NewInproc()
+	lis := muteServer(t, netw, "mute")
+	defer lis.Close()
+	cli, err := DialClient(netw, "mute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// No client-wide timeout; the per-call override alone bounds it.
+	if err := cli.CallTimeout("ping", nil, nil, 20*time.Millisecond); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+}
+
+func TestCallNoTimeoutStillWorks(t *testing.T) {
+	netw := NewInproc()
+	lis, err := netw.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis)
+	srv.Handle("echo", func(raw json.RawMessage) (any, error) {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	go srv.Serve()
+	defer srv.Close()
+
+	cli, err := DialClient(netw, lis.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Timeout = time.Second
+	var out string
+	if err := cli.Call("echo", "hello", &out); err != nil || out != "hello" {
+		t.Fatalf("echo = %q, %v", out, err)
+	}
+	// A deadline that never fires must be cleared between calls.
+	for i := 0; i < 3; i++ {
+		if err := cli.Call("echo", "again", &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolRecoversFromTimeout(t *testing.T) {
+	// A pool whose calls time out replaces the poisoned connection, so a
+	// later call against a healthy server succeeds.
+	netw := NewInproc()
+	lis, err := netw.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mute atomic.Bool
+	mute.Store(true)
+	srv := NewServer(lis)
+	srv.Handle("ping", func(json.RawMessage) (any, error) {
+		if mute.Load() {
+			time.Sleep(200 * time.Millisecond)
+		}
+		return "pong", nil
+	})
+	go srv.Serve()
+	defer srv.Close()
+
+	pool, err := NewPool(netw, "svc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.Timeout = 30 * time.Millisecond
+
+	var out string
+	if err := pool.Call("ping", nil, &out); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("slow call: %v, want ErrCallTimeout", err)
+	}
+	mute.Store(false)
+	time.Sleep(250 * time.Millisecond) // let the stale handler drain
+	if err := pool.Call("ping", nil, &out); err != nil || out != "pong" {
+		t.Fatalf("pool did not recover: %q, %v", out, err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -36,6 +37,16 @@ type Conn interface {
 	Recv(v any) error
 	Close() error
 	RemoteAddr() string
+}
+
+// DeadlineConn is optionally implemented by Conns whose Send/Recv can be
+// bounded in time. Both built-in fabrics implement it: TCP via real socket
+// deadlines, the in-process fabric via a select on a timer. An expired
+// deadline surfaces as an error matching os.ErrDeadlineExceeded; the zero
+// time clears the deadline.
+type DeadlineConn interface {
+	Conn
+	SetDeadline(t time.Time) error
 }
 
 // Listener accepts inbound connections.
@@ -153,6 +164,9 @@ func (c *tcpConn) Recv(v any) error {
 func (c *tcpConn) Close() error       { return c.c.Close() }
 func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
+// SetDeadline implements DeadlineConn on the real socket.
+func (c *tcpConn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
 // --- In-process fabric ---
 
 // Inproc is a loopback fabric: connections are paired byte-frame channels.
@@ -195,6 +209,9 @@ type inprocConn struct {
 	pipe *inprocPipe
 	peer string
 	m    *Metrics
+
+	dmu      sync.Mutex
+	deadline time.Time
 }
 
 // Listen binds a named listener; "" generates a unique name.
@@ -269,13 +286,39 @@ func (c *inprocConn) Send(v any) error {
 	if len(data) > MaxFrame {
 		return ErrFrameTooLarge
 	}
+	expire, cancel := c.expiry()
+	defer cancel()
 	select {
 	case c.out <- data:
 		c.m.sent(len(data), t0)
 		return nil
+	case <-expire:
+		return os.ErrDeadlineExceeded
 	case <-c.pipe.closed:
 		return ErrClosed
 	}
+}
+
+// SetDeadline implements DeadlineConn: Send/Recv select on a timer armed
+// for the remaining time.
+func (c *inprocConn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.deadline = t
+	c.dmu.Unlock()
+	return nil
+}
+
+// expiry arms a timer for the current deadline; the returned channel is
+// nil (never fires) when no deadline is set.
+func (c *inprocConn) expiry() (<-chan time.Time, func()) {
+	c.dmu.Lock()
+	d := c.deadline
+	c.dmu.Unlock()
+	if d.IsZero() {
+		return nil, func() {}
+	}
+	timer := time.NewTimer(time.Until(d))
+	return timer.C, func() { timer.Stop() }
 }
 
 func (c *inprocConn) decode(data []byte, v any) error {
@@ -288,9 +331,13 @@ func (c *inprocConn) decode(data []byte, v any) error {
 }
 
 func (c *inprocConn) Recv(v any) error {
+	expire, cancel := c.expiry()
+	defer cancel()
 	select {
 	case data := <-c.in:
 		return c.decode(data, v)
+	case <-expire:
+		return os.ErrDeadlineExceeded
 	case <-c.pipe.closed:
 		// Drain anything already queued before reporting closure.
 		select {
