@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments experiments-full fmt vet clean
+.PHONY: build test race bench bench-crypto experiments experiments-full fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,18 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/transport ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement
+	$(GO) test -race ./internal/obs ./internal/transport ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans
 
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the crypto substrate (fixed-base / multi-exp fast paths vs the
+# scalar ablation) and refresh the machine-readable record.
+bench-crypto:
+	$(GO) run ./cmd/benchtab -crypto -crypto-json BENCH_crypto.json
 
 # Regenerate every table and figure of the paper (quick scale).
 experiments:

@@ -7,6 +7,7 @@
 //
 //	benchtab [-exp table5] [-full] [-seed 2017]
 //	benchtab -list
+//	benchtab -crypto [-crypto-json BENCH_crypto.json]
 package main
 
 import (
@@ -21,13 +22,24 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id to run (default: all)")
-		full = flag.Bool("full", false, "paper-scale sweeps (slow)")
-		seed = flag.Int64("seed", 2017, "world/workload seed")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "", "experiment id to run (default: all)")
+		full       = flag.Bool("full", false, "paper-scale sweeps (slow)")
+		seed       = flag.Int64("seed", 2017, "world/workload seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		crypto     = flag.Bool("crypto", false, "benchmark the crypto substrate (fast vs naive) and exit")
+		cryptoJSON = flag.String("crypto-json", "BENCH_crypto.json", "machine-readable output for -crypto")
 	)
 	flag.Parse()
 	log.SetFlags(0)
+
+	if *crypto {
+		runner := experiments.NewRunner(experiments.Config{Full: *full, Seed: *seed})
+		fmt.Println("=== Crypto substrate: fast paths vs scalar ablation ===")
+		if err := experiments.CryptoBench(runner, os.Stdout, *cryptoJSON); err != nil {
+			log.Fatalf("crypto: %v", err)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {

@@ -565,6 +565,9 @@ func SelectPrice(html string) (htmlx.TagsPath, error) {
 // (Sects. 3.7/3.8): profiles are vectorized over basis, encrypted by each
 // donating user, clustered between the in-system Coordinator/Aggregator
 // pair, and the resulting centroids are executed into doppelganger state.
+// threads == 0 parallelizes the encryption and mapping phases over all
+// available CPUs (privkmeans.Config.Threads semantics); negative values
+// are rejected by privkmeans.Run.
 func (s *System) TrainDoppelgangers(k int, basis []string, threads int) (*privkmeans.Outcome, error) {
 	s.mu.Lock()
 	var donors []*User

@@ -1,0 +1,449 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"sync"
+	"testing"
+)
+
+// randSignedExp draws an exponent from the interesting regions: tiny signed
+// values (the protocol's s_i), mid-size, full subgroup width and beyond q.
+func randSignedExp(rng *mrand.Rand, q *big.Int) *big.Int {
+	var e *big.Int
+	switch rng.Intn(5) {
+	case 0:
+		e = big.NewInt(rng.Int63n(512) - 256) // tiny, signed
+	case 1:
+		e = big.NewInt(rng.Int63()) // 63-bit
+	case 2:
+		e = new(big.Int).Rand(rng, q) // full width
+	case 3:
+		e = new(big.Int).Add(q, big.NewInt(rng.Int63n(1000))) // >= q
+	default:
+		e = big.NewInt(0)
+	}
+	if rng.Intn(2) == 0 {
+		e.Neg(e)
+	}
+	return e
+}
+
+func TestMontMulMatchesBigInt(t *testing.T) {
+	g := testGroup()
+	m := g.montTable()
+	rng := mrand.New(mrand.NewSource(7))
+	tb := m.scratch()
+	for trial := 0; trial < 200; trial++ {
+		x := new(big.Int).Rand(rng, g.P)
+		y := new(big.Int).Rand(rng, g.P)
+		xm := m.toMont(x, tb)
+		ym := m.toMont(y, tb)
+		z := make([]uint64, m.k)
+		m.mul(z, xm, ym, tb)
+		got := m.fromMont(z, tb)
+		want := mulMod(x, y, g.P)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: mont mul %v*%v: got %v want %v", trial, x, y, got, want)
+		}
+	}
+}
+
+func TestMontMulAliasing(t *testing.T) {
+	g := testGroup()
+	m := g.montTable()
+	rng := mrand.New(mrand.NewSource(8))
+	tb := m.scratch()
+	x := new(big.Int).Rand(rng, g.P)
+	xm := m.toMont(x, tb)
+	want := mulMod(x, x, g.P)
+	// z aliases both operands (the squaring-chain shape).
+	m.mul(xm, xm, xm, tb)
+	if got := m.fromMont(xm, tb); got.Cmp(want) != 0 {
+		t.Fatalf("aliased square: got %v want %v", got, want)
+	}
+}
+
+func TestFixedBaseMatchesNaive(t *testing.T) {
+	g := testGroup()
+	rng := mrand.New(mrand.NewSource(1))
+	bases := []*big.Int{g.G, new(big.Int).Rand(rng, g.P)}
+	for _, base := range bases {
+		for w := uint(1); w <= 8; w++ {
+			fb := NewFixedBaseWindow(g, base, w)
+			for trial := 0; trial < 25; trial++ {
+				e := randSignedExp(rng, g.Q)
+				got := fb.Exp(e)
+				want := g.exp(base, e)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("w=%d exp=%v: got %v want %v", w, e, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFixedBaseZeroAndOne(t *testing.T) {
+	g := testGroup()
+	fb := g.GeneratorTable()
+	if got := fb.Exp(big.NewInt(0)); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("g^0 = %v, want 1", got)
+	}
+	if got := fb.Exp(big.NewInt(1)); got.Cmp(g.G) != 0 {
+		t.Fatalf("g^1 = %v, want %v", got, g.G)
+	}
+}
+
+func TestMultiExpMatchesNaive(t *testing.T) {
+	g := testGroup()
+	rng := mrand.New(mrand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(8)
+		bases := make([]*big.Int, n)
+		exps := make([]*big.Int, n)
+		want := big.NewInt(1)
+		for i := 0; i < n; i++ {
+			// Bases must live in the order-q subgroup (as every protocol
+			// element does): outside it base^e != base^(e mod q), and the
+			// naive reference reduces mod q.
+			bases[i] = g.exp(g.G, new(big.Int).Rand(rng, g.Q))
+			exps[i] = randSignedExp(rng, g.Q)
+			want = mulMod(want, g.exp(bases[i], exps[i]), g.P)
+		}
+		got, err := g.MultiExp(bases, exps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("trial %d (n=%d): got %v want %v", trial, n, got, want)
+		}
+	}
+}
+
+func TestMultiExpEdgeCases(t *testing.T) {
+	g := testGroup()
+	// Empty product is 1.
+	got, err := g.MultiExp(nil, nil)
+	if err != nil || got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty product: got %v, %v", got, err)
+	}
+	// nil and zero exponents are skipped.
+	got, err = g.MultiExp(
+		[]*big.Int{g.G, g.G, g.G},
+		[]*big.Int{nil, big.NewInt(0), big.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.exp(g.G, big.NewInt(3)); got.Cmp(want) != 0 {
+		t.Fatalf("skip zeros: got %v want %v", got, want)
+	}
+	// Length mismatch errors.
+	if _, err := g.MultiExp([]*big.Int{g.G}, nil); err != ErrDimMismatch {
+		t.Fatalf("mismatch: got %v", err)
+	}
+	// All-negative exponents exercise the denominator-only path.
+	got, err = g.MultiExp([]*big.Int{g.G}, []*big.Int{big.NewInt(-5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.exp(g.G, big.NewInt(-5)); got.Cmp(want) != 0 {
+		t.Fatalf("negative-only: got %v want %v", got, want)
+	}
+}
+
+func TestEvalDotProductRawFastMatchesNaive(t *testing.T) {
+	g := testGroup()
+	rng := mrand.New(mrand.NewSource(3))
+	sk, pk, err := GenerateKeys(g, 6, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		c := make([]int64, 6)
+		s := make([]int64, 6)
+		for i := range c {
+			c[i] = rng.Int63n(100)
+			s[i] = rng.Int63n(40) - 20 // signed, with zeros likely
+		}
+		s[trial%6] = 0 // force at least one skipped term
+		ct, err := pk.Encrypt(rand.Reader, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fkey, err := sk.DeriveFunctionKey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := EvalDotProductRaw(g, ct, s, fkey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := EvalDotProductRawNaive(g, ct, s, fkey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(naive) != 0 {
+			t.Fatalf("trial %d: fast %v != naive %v", trial, fast, naive)
+		}
+		ev := NewDotEvaluator(g, ct)
+		evGot, err := ev.Eval(s, fkey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evGot.Cmp(naive) != 0 {
+			t.Fatalf("trial %d: evaluator %v != naive %v", trial, evGot, naive)
+		}
+	}
+}
+
+func TestEncryptFastMatchesNaiveDecryption(t *testing.T) {
+	g := testGroup()
+	sk, pk, err := GenerateKeys(g, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlog := NewDLog(g, 1000)
+	msg := []int64{0, 1, -7, 999}
+	fast, err := pk.Encrypt(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := pk.EncryptNaive(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ct := range map[string]*Ciphertext{"fast": fast, "naive": naive} {
+		got, err := sk.Decrypt(ct, dlog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gotNaive, err := sk.DecryptNaive(ct, dlog)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range msg {
+			if got[i] != msg[i] || gotNaive[i] != msg[i] {
+				t.Fatalf("%s: dim %d: Decrypt %d DecryptNaive %d want %d",
+					name, i, got[i], gotNaive[i], msg[i])
+			}
+		}
+	}
+}
+
+func TestDecryptRangeMatchesDecryptAt(t *testing.T) {
+	g := testGroup()
+	sk, pk, err := GenerateKeys(g, 8, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlog := NewDLog(g, 1000)
+	msg := []int64{5, -3, 0, 42, 999, -999, 1, 7}
+	ct, err := pk.Encrypt(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{0, 8}, {2, 8}, {3, 5}, {0, 2}, {4, 4}} {
+		got, err := sk.DecryptRange(ct, r[0], r[1], dlog)
+		if err != nil {
+			t.Fatalf("range %v: %v", r, err)
+		}
+		for i := 0; i < r[1]-r[0]; i++ {
+			want, err := sk.DecryptAt(ct, r[0]+i, dlog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want || want != msg[r[0]+i] {
+				t.Fatalf("range %v dim %d: got %d want %d", r, i, got[i], want)
+			}
+		}
+	}
+	if _, err := sk.DecryptRange(ct, 3, 2, dlog); err != ErrDimMismatch {
+		t.Fatalf("inverted range: got %v", err)
+	}
+}
+
+func TestBatchEncrypt(t *testing.T) {
+	g := testGroup()
+	sk, pk, err := GenerateKeys(g, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlog := NewDLog(g, 100)
+	vecs := make([][]int64, 17)
+	for i := range vecs {
+		vecs[i] = []int64{int64(i), int64(2 * i), int64(3 * i)}
+	}
+	for _, threads := range []int{0, 1, 3, 64} {
+		cts, err := pk.BatchEncrypt(rand.Reader, vecs, threads)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		for i, ct := range cts {
+			got, err := sk.Decrypt(ct, dlog)
+			if err != nil {
+				t.Fatalf("threads=%d vec %d: %v", threads, i, err)
+			}
+			for d := range got {
+				if got[d] != vecs[i][d] {
+					t.Fatalf("threads=%d vec %d dim %d: got %d want %d",
+						threads, i, d, got[d], vecs[i][d])
+				}
+			}
+		}
+	}
+	if _, err := pk.BatchEncrypt(rand.Reader, vecs, -1); err == nil {
+		t.Fatal("negative threads accepted")
+	}
+	if _, err := pk.BatchEncrypt(rand.Reader, [][]int64{{1}}, 1); err != ErrDimMismatch {
+		t.Fatalf("dim mismatch: got %v", err)
+	}
+}
+
+// TestConcurrentEncryptSharedKey drives many goroutines through one
+// PublicKey so `go test -race` exercises the lazily built shared tables.
+func TestConcurrentEncryptSharedKey(t *testing.T) {
+	g := testGroup()
+	sk, pk, err := GenerateKeys(g, 4, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlog := NewDLog(g, 100)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			msg := []int64{int64(w), 1, 2, 3}
+			for i := 0; i < 5; i++ {
+				ct, err := pk.Encrypt(rand.Reader, msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := sk.Decrypt(ct, dlog)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != int64(w) {
+					errs <- ErrDLogRange
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDLogLookupAllocs pins the satellite requirement: a BSGS lookup must
+// allocate O(1) regardless of giant-step count.
+func TestDLogLookupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	g := testGroup()
+	d := NewDLog(g, 100000)
+	// A value near the bound maximizes giant steps.
+	y := g.exp(g.G, big.NewInt(99990))
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, ok := d.Lookup(y); !ok {
+			t.Fatal("lookup failed")
+		}
+	})
+	// Scratch big.Ints, the key buffer, and big.Int internals: a handful of
+	// fixed allocations, never per-step.
+	if allocs > 12 {
+		t.Fatalf("Lookup allocates %.0f objects per call; want <= 12", allocs)
+	}
+}
+
+func BenchmarkFixedBase(b *testing.B) {
+	g := testGroup()
+	fb := g.GeneratorTable()
+	rng := mrand.New(mrand.NewSource(4))
+	e := new(big.Int).Rand(rng, g.Q)
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fb.Exp(e)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.exp(g.G, e)
+		}
+	})
+}
+
+func BenchmarkMultiExp(b *testing.B) {
+	g := testGroup()
+	rng := mrand.New(mrand.NewSource(5))
+	const n = 16
+	bases := make([]*big.Int, n)
+	exps := make([]*big.Int, n)
+	for i := range bases {
+		bases[i] = g.exp(g.G, new(big.Int).Rand(rng, g.Q))
+		exps[i] = big.NewInt(rng.Int63n(200) - 100) // protocol-shaped s_i
+	}
+	// One full-width term, like α^{-f}.
+	exps[n-1] = new(big.Int).Neg(new(big.Int).Rand(rng, g.Q))
+	b.Run("multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.MultiExp(bases, exps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prod := big.NewInt(1)
+			for j := range bases {
+				prod = mulMod(prod, g.exp(bases[j], exps[j]), g.P)
+			}
+		}
+	})
+}
+
+func BenchmarkEncryptBatch(b *testing.B) {
+	g := testGroup()
+	_, pk, err := GenerateKeys(g, 102, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vecs := make([][]int64, 32)
+	for i := range vecs {
+		v := make([]int64, 102)
+		for d := range v {
+			v[d] = int64((i + d) % 100)
+		}
+		vecs[i] = v
+	}
+	for _, threads := range []int{1, 4} {
+		b.Run(map[int]string{1: "threads=1", 4: "threads=4"}[threads], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pk.BatchEncrypt(rand.Reader, vecs, threads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDLogLookup is the allocation-regression benchmark for the BSGS
+// table: run with -benchmem and watch allocs/op stay flat.
+func BenchmarkDLogLookup(b *testing.B) {
+	g := testGroup()
+	d := NewDLog(g, 1000000)
+	y := g.exp(g.G, big.NewInt(987654))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup(y); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}

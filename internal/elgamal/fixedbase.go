@@ -1,0 +1,148 @@
+package elgamal
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// FixedBase is a radix-2^w precomputed window table for exponentiations of
+// one fixed base: table[i][d-1] = base^(d·2^(w·i)) mod p for every window
+// index i and digit d in [1, 2^w). An exponentiation then costs at most one
+// modular multiplication per nonzero w-bit window of the exponent — no
+// squarings at all — versus ~|q| squarings plus ~|q|/w multiplications for
+// a cold big.Int.Exp. Entries are stored in Montgomery form and the whole
+// accumulation runs on the montCtx CIOS kernel, so each window step is a
+// division-free ~2k² word-multiply pass rather than a big.Int Mul+Mod.
+// The table pays for itself after a handful of exponentiations, which is
+// exactly the shape of this package's hot paths: g and the h_i are fixed
+// for the lifetime of a key, and a ciphertext's α is fixed across the k
+// (or t) exponentiations of a mapping or decryption pass.
+type FixedBase struct {
+	group   *Group
+	mont    *montCtx
+	window  uint
+	windows [][][]uint64 // Montgomery-form table entries
+}
+
+// fixedBaseWindow picks the radix for a subgroup size: 2^4 keeps the table
+// build (≈ 4 naive exponentiations) cheap for the 256-bit test group while
+// 2^5 amortizes better over the much larger per-exponentiation savings of
+// production-size moduli.
+func fixedBaseWindow(qBits int) uint {
+	if qBits <= 512 {
+		return 4
+	}
+	return 5
+}
+
+// NewFixedBase builds the window table for base with the default radix.
+func NewFixedBase(group *Group, base *big.Int) *FixedBase {
+	return NewFixedBaseWindow(group, base, fixedBaseWindow(group.Q.BitLen()))
+}
+
+// NewFixedBaseWindow builds the window table with an explicit window width
+// w in [1, 8]; exponents are reduced mod q, so the table covers q's bit
+// length.
+func NewFixedBaseWindow(group *Group, base *big.Int, w uint) *FixedBase {
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	m := group.montTable()
+	qBits := group.Q.BitLen()
+	nwin := (qBits + int(w) - 1) / int(w)
+	fb := &FixedBase{group: group, mont: m, window: w, windows: make([][][]uint64, nwin)}
+	t := m.scratch()
+	cur := m.toMont(new(big.Int).Mod(base, group.P), t)
+	for i := 0; i < nwin; i++ {
+		row := make([][]uint64, (1<<w)-1)
+		row[0] = cur
+		for d := 2; d < 1<<w; d++ {
+			row[d-1] = make([]uint64, m.k)
+			m.mul(row[d-1], row[d-2], cur, t)
+		}
+		fb.windows[i] = row
+		// Next level's base is cur^(2^w) = cur^(2^w - 1) · cur.
+		next := make([]uint64, m.k)
+		m.mul(next, row[len(row)-1], cur, t)
+		cur = next
+	}
+	return fb
+}
+
+// Window returns the radix exponent w of the table.
+func (fb *FixedBase) Window() uint { return fb.window }
+
+// Exp computes base^(k mod q) mod p. k may be negative or larger than q.
+// Small exponents are proportionally cheap: only nonzero windows multiply.
+func (fb *FixedBase) Exp(k *big.Int) *big.Int {
+	m := fb.mont
+	e := new(big.Int).Mod(k, fb.group.Q)
+	words := e.Bits()
+	acc := make([]uint64, m.k)
+	copy(acc, m.one)
+	t := m.scratch()
+	for i := range fb.windows {
+		d := windowDigit(words, i*int(fb.window), fb.window)
+		if d == 0 {
+			continue
+		}
+		m.mul(acc, acc, fb.windows[i][d-1], t)
+	}
+	return m.fromMont(acc, t)
+}
+
+// windowDigit extracts the w bits starting at bit position `bit` from a
+// little-endian big.Word slice, handling word-boundary straddles.
+func windowDigit(words []big.Word, bit int, w uint) uint {
+	const wordBits = bits.UintSize
+	i := bit / wordBits
+	if i >= len(words) {
+		return 0
+	}
+	off := uint(bit % wordBits)
+	d := uint(words[i] >> off)
+	if off+w > wordBits && i+1 < len(words) {
+		d |= uint(words[i+1]) << (wordBits - off)
+	}
+	return d & (1<<w - 1)
+}
+
+// generatorTable returns the group's lazily built table for g, shared by
+// Encode, GenerateKeys, Public, and the g^{c_i} half of Encrypt.
+func (g *Group) generatorTable() *FixedBase {
+	g.gOnce.Do(func() {
+		g.gFB = NewFixedBase(g, g.G)
+	})
+	return g.gFB
+}
+
+// GeneratorTable exposes the cached fixed-base table for g.
+func (g *Group) GeneratorTable() *FixedBase { return g.generatorTable() }
+
+// batchModInverse inverts every element of xs mod p with Montgomery's
+// trick: one ModInverse plus 3(n-1) multiplications instead of n
+// inversions. Returns nil if any element is not invertible.
+func batchModInverse(xs []*big.Int, p *big.Int) []*big.Int {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	pre := make([]*big.Int, n+1)
+	pre[0] = big.NewInt(1)
+	for i, x := range xs {
+		pre[i+1] = mulMod(pre[i], x, p)
+	}
+	inv := new(big.Int).ModInverse(pre[n], p)
+	if inv == nil {
+		return nil
+	}
+	out := make([]*big.Int, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = mulMod(inv, pre[i], p)
+		inv = mulMod(inv, xs[i], p)
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Group describes the multiplicative group: a safe prime p = 2q+1 and a
@@ -26,6 +27,12 @@ type Group struct {
 	P *big.Int // safe prime
 	Q *big.Int // (P-1)/2, prime order of the subgroup
 	G *big.Int // subgroup generator
+
+	gOnce sync.Once  // guards gFB
+	gFB   *FixedBase // lazily built window table for G
+
+	mOnce sync.Once // guards mctx
+	mctx  *montCtx  // lazily built Montgomery context for P
 }
 
 var (
@@ -89,7 +96,9 @@ func (g *Group) randScalar(rng io.Reader) (*big.Int, error) {
 	return r.Add(r, one), nil
 }
 
-// exp computes g.G^k mod p for a possibly negative k (reduced mod q).
+// exp computes base^k mod p for a possibly negative k (reduced mod q) —
+// the scalar baseline the fixed-base and multi-exponentiation fast paths
+// are cross-checked against.
 func (g *Group) exp(base, k *big.Int) *big.Int {
 	e := new(big.Int).Mod(k, g.Q)
 	return new(big.Int).Exp(base, e, g.P)
@@ -97,18 +106,19 @@ func (g *Group) exp(base, k *big.Int) *big.Int {
 
 // Encode maps a small integer m to the group element g^m.
 func (g *Group) Encode(m int64) *big.Int {
-	return g.exp(g.G, big.NewInt(m))
+	return g.generatorTable().Exp(big.NewInt(m))
 }
 
 // DLog recovers m from g^m using baby-step/giant-step over [0, bound).
 // Building the table costs O(√bound) time and memory; lookups cost
 // O(√bound) group operations.
 type DLog struct {
-	group *Group
-	table map[string]int64 // g^j for j in [0, m)
-	m     int64            // baby-step count = ceil(sqrt(bound))
-	ginv  *big.Int         // g^{-m}
-	bound int64
+	group  *Group
+	table  map[string]int64 // g^j for j in [0, m), keyed by fixed-width bytes
+	m      int64            // baby-step count = ceil(sqrt(bound))
+	ginv   *big.Int         // g^{-m}
+	bound  int64
+	keyLen int // fixed key width: len(p) in bytes
 }
 
 // NewDLog precomputes a lookup structure for exponents in [0, bound).
@@ -122,14 +132,19 @@ func NewDLog(group *Group, bound int64) *DLog {
 	}
 	d := &DLog{
 		group: group,
-		table: make(map[string]int64, m),
-		m:     m,
-		bound: bound,
+		// Exactly m baby steps are inserted; the exact hint avoids every
+		// incremental rehash during the build.
+		table:  make(map[string]int64, m),
+		m:      m,
+		bound:  bound,
+		keyLen: (group.P.BitLen() + 7) / 8,
 	}
+	buf := make([]byte, d.keyLen)
 	cur := big.NewInt(1)
 	for j := int64(0); j < m; j++ {
-		d.table[string(cur.Bytes())] = j
-		cur = new(big.Int).Mul(cur, group.G)
+		cur.FillBytes(buf)
+		d.table[string(buf)] = j
+		cur.Mul(cur, group.G)
 		cur.Mod(cur, group.P)
 	}
 	// g^{-m} = (g^m)^{-1} mod p
@@ -141,19 +156,28 @@ func NewDLog(group *Group, bound int64) *DLog {
 // Bound returns the exclusive upper bound of recoverable exponents.
 func (d *DLog) Bound() int64 { return d.bound }
 
-// Lookup returns m such that y = g^m, for m in [0, bound).
+// Lookup returns m such that y = g^m, for m in [0, bound). The giant-step
+// loop reuses two scratch big.Ints and a fixed-width key buffer, so a
+// lookup allocates O(1) regardless of how many giant steps it takes (the
+// map probe with string(buf) compiles to a no-copy lookup).
 func (d *DLog) Lookup(y *big.Int) (int64, bool) {
 	gamma := new(big.Int).Mod(y, d.group.P)
+	scratch := new(big.Int)
+	quo := new(big.Int)
+	buf := make([]byte, d.keyLen)
 	for i := int64(0); i*d.m < d.bound+d.m; i++ {
-		if j, ok := d.table[string(gamma.Bytes())]; ok {
+		gamma.FillBytes(buf)
+		if j, ok := d.table[string(buf)]; ok {
 			v := i*d.m + j
 			if v < d.bound {
 				return v, true
 			}
 			return 0, false
 		}
-		gamma.Mul(gamma, d.ginv)
-		gamma.Mod(gamma, d.group.P)
+		scratch.Mul(gamma, d.ginv)
+		// QuoRem with a reused quotient receiver: Mod would allocate a fresh
+		// internal quotient on every giant step.
+		quo.QuoRem(scratch, d.group.P, gamma)
 	}
 	return 0, false
 }

@@ -91,6 +91,7 @@ func (pk *PublicKey) UnmarshalJSON(data []byte) error {
 	}
 	pk.Group = group
 	pk.H = hs
+	pk.invalidateTables() // cached window tables belong to the old key
 	return nil
 }
 

@@ -1,0 +1,90 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"testing"
+)
+
+// The wire formats face the open internet (clients submit ciphertexts to
+// the Aggregator), so malformed input — bad hex, truncated vectors, wrong
+// groups — must come back as errors, never as panics or silently accepted
+// garbage.
+
+func FuzzCiphertextJSON(f *testing.F) {
+	g := TestGroup256
+	_, pk, err := GenerateKeys(g, 3, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := pk.Encrypt(rand.Reader, []int64{1, 2, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(ct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{"alpha":"","betas":[]}`)
+	f.Add(`{"alpha":"zz","betas":["1"]}`)
+	f.Add(`{"alpha":"-5","betas":["1"]}`)
+	f.Add(`{"alpha":"1","betas":["1","`)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		var ct Ciphertext
+		if err := json.Unmarshal([]byte(data), &ct); err != nil {
+			return // rejected, fine
+		}
+		// Accepted input must round-trip through a well-formed document.
+		out, err := json.Marshal(&ct)
+		if err != nil {
+			t.Fatalf("accepted %q but re-marshal failed: %v", data, err)
+		}
+		var ct2 Ciphertext
+		if err := json.Unmarshal(out, &ct2); err != nil {
+			t.Fatalf("re-marshal of %q not parseable: %v", data, err)
+		}
+		if ct.Alpha.Cmp(ct2.Alpha) != 0 || len(ct.Betas) != len(ct2.Betas) {
+			t.Fatalf("round-trip mismatch for %q", data)
+		}
+	})
+}
+
+func FuzzPublicKeyJSON(f *testing.F) {
+	g := TestGroup256
+	_, pk, err := GenerateKeys(g, 2, rand.Reader)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(pk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{"p":"4","g":"4","h":["1"]}`)   // p not a safe prime
+	f.Add(`{"p":"","g":"4","h":[]}`)       // empty p
+	f.Add(`{"p":"ff","g":"3","h":["zz"]}`) // wrong generator, bad hex
+	f.Add(`{"p":"ff","g":"4","h":["1","`)  // truncated
+	f.Add(`{"h":null}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		var pk PublicKey
+		if err := json.Unmarshal([]byte(data), &pk); err != nil {
+			return
+		}
+		// An accepted key must be internally consistent: validated group,
+		// expected generator, usable for encryption at its dimension.
+		if pk.Group == nil || pk.Group.P == nil || pk.Group.G == nil {
+			t.Fatalf("accepted %q but group is incomplete", data)
+		}
+		out, err := json.Marshal(&pk)
+		if err != nil {
+			t.Fatalf("accepted %q but re-marshal failed: %v", data, err)
+		}
+		var pk2 PublicKey
+		if err := json.Unmarshal(out, &pk2); err != nil {
+			t.Fatalf("re-marshal of %q not parseable: %v", data, err)
+		}
+	})
+}

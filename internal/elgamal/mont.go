@@ -1,0 +1,163 @@
+package elgamal
+
+import (
+	"encoding/binary"
+	"math/big"
+	"math/bits"
+)
+
+// montCtx is a fixed-width Montgomery multiplication context for an odd
+// modulus n: values are held as little-endian uint64 limb slices in the
+// Montgomery domain (x·R mod n, R = 2^(64k)), where one multiplication is
+// a CIOS (coarsely integrated operand scanning) pass — ~2k²+k word
+// multiplies with no division and no allocation. This is what lets the
+// fixed-base window tables and the simultaneous multi-exponentiation beat
+// big.Int.Exp: math/big uses Montgomery internally but re-enters it from
+// scratch on every Exp call, while these tables stay in the domain across
+// thousands of multiplications.
+type montCtx struct {
+	n     []uint64 // modulus, little-endian limbs
+	nBig  *big.Int // modulus as a big.Int, for defensive reduction
+	k     int      // limb count
+	n0inv uint64   // -n^{-1} mod 2^64
+	rr    []uint64 // R² mod n (to-Montgomery conversion factor)
+	one   []uint64 // R mod n (1 in Montgomery form)
+}
+
+func newMontCtx(p *big.Int) *montCtx {
+	k := (p.BitLen() + 63) / 64
+	n := bigToLimbs(p, k)
+	// n0inv by Newton iteration: each step doubles the valid low bits.
+	inv := n[0]
+	for i := 0; i < 5; i++ {
+		inv *= 2 - n[0]*inv
+	}
+	r := new(big.Int).Lsh(big.NewInt(1), uint(64*k))
+	one := new(big.Int).Mod(r, p)
+	rr := new(big.Int).Mul(r, r)
+	rr.Mod(rr, p)
+	return &montCtx{
+		n:     n,
+		nBig:  p,
+		k:     k,
+		n0inv: -inv,
+		rr:    bigToLimbs(rr, k),
+		one:   bigToLimbs(one, k),
+	}
+}
+
+// scratch returns a CIOS work buffer; callers reuse it across a whole
+// exponentiation so the hot loop never allocates.
+func (m *montCtx) scratch() []uint64 { return make([]uint64, m.k+2) }
+
+// mul computes z = x·y·R^{-1} mod n (CIOS). z must not alias t; aliasing
+// z with x or y is fine. t is a scratch slice of length k+2.
+func (m *montCtx) mul(z, x, y, t []uint64) {
+	k := m.k
+	for i := range t {
+		t[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		// t += x[i] * y
+		var c uint64
+		xi := x[i]
+		for j := 0; j < k; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			var carry uint64
+			lo, carry = bits.Add64(lo, t[j], 0)
+			hi += carry
+			lo, carry = bits.Add64(lo, c, 0)
+			hi += carry
+			t[j] = lo
+			c = hi
+		}
+		var carry uint64
+		t[k], carry = bits.Add64(t[k], c, 0)
+		t[k+1] += carry
+
+		// Reduce one limb: t = (t + q·n) / 2^64 with q = t[0]·n0inv.
+		q := t[0] * m.n0inv
+		hi, lo := bits.Mul64(q, m.n[0])
+		_, carry = bits.Add64(lo, t[0], 0)
+		hi += carry
+		c = hi
+		for j := 1; j < k; j++ {
+			hi, lo := bits.Mul64(q, m.n[j])
+			lo, carry = bits.Add64(lo, t[j], 0)
+			hi += carry
+			lo, carry = bits.Add64(lo, c, 0)
+			hi += carry
+			t[j-1] = lo
+			c = hi
+		}
+		t[k-1], carry = bits.Add64(t[k], c, 0)
+		t[k] = t[k+1] + carry
+		t[k+1] = 0
+	}
+	// Conditional final subtraction: t[0..k] may exceed n once.
+	if t[k] != 0 || limbsGTE(t[:k], m.n) {
+		var borrow uint64
+		for j := 0; j < k; j++ {
+			z[j], borrow = bits.Sub64(t[j], m.n[j], borrow)
+		}
+	} else {
+		copy(z, t[:k])
+	}
+}
+
+// toMont converts a big.Int into Montgomery form, reducing mod n first if
+// the value is negative or out of range.
+func (m *montCtx) toMont(v *big.Int, t []uint64) []uint64 {
+	if v.Sign() < 0 || v.Cmp(m.nBig) >= 0 {
+		v = new(big.Int).Mod(v, m.nBig)
+	}
+	z := bigToLimbs(v, m.k)
+	m.mul(z, z, m.rr, t)
+	return z
+}
+
+// fromMont converts a Montgomery-form limb slice back to a big.Int.
+func (m *montCtx) fromMont(x []uint64, t []uint64) *big.Int {
+	z := make([]uint64, m.k)
+	oneLimb := make([]uint64, m.k)
+	oneLimb[0] = 1
+	m.mul(z, x, oneLimb, t)
+	return limbsToBig(z)
+}
+
+func limbsGTE(x, n []uint64) bool {
+	for j := len(x) - 1; j >= 0; j-- {
+		if x[j] != n[j] {
+			return x[j] > n[j]
+		}
+	}
+	return true
+}
+
+// bigToLimbs converts v (reduced, non-negative) to k little-endian limbs.
+// Byte-based conversion keeps this portable across 32/64-bit big.Word.
+func bigToLimbs(v *big.Int, k int) []uint64 {
+	buf := make([]byte, k*8)
+	v.FillBytes(buf)
+	limbs := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		limbs[i] = binary.BigEndian.Uint64(buf[(k-1-i)*8:])
+	}
+	return limbs
+}
+
+func limbsToBig(limbs []uint64) *big.Int {
+	buf := make([]byte, len(limbs)*8)
+	for i, l := range limbs {
+		binary.BigEndian.PutUint64(buf[(len(limbs)-1-i)*8:], l)
+	}
+	return new(big.Int).SetBytes(buf)
+}
+
+// montTable returns the group's lazily built Montgomery context.
+func (g *Group) montTable() *montCtx {
+	g.mOnce.Do(func() {
+		g.mctx = newMontCtx(g.P)
+	})
+	return g.mctx
+}

@@ -1,0 +1,153 @@
+package elgamal
+
+import "math/big"
+
+// MultiExp computes Π bases[i]^exps[i] mod p by simultaneous (Straus-style)
+// multi-exponentiation: every term is recoded in width-w NAF with an
+// on-the-fly odd-power table, and all terms share one squaring chain whose
+// length is the largest |exponent|'s bit length. Exponents are signed and
+// need not be reduced mod q — a crucial property for the inner-product
+// protocol, whose query entries s_i = -2b_i are tiny negative numbers that
+// the naive path would blow up into full-width exponents via Mod(s, q).
+// Negative digits multiply into a separate denominator accumulator, so the
+// whole product costs a single modular inversion at the end. The chain
+// itself runs in the Montgomery domain on the montCtx CIOS kernel.
+//
+// Terms with a zero (or nil) exponent are skipped; an empty product is 1.
+func (g *Group) MultiExp(bases, exps []*big.Int) (*big.Int, error) {
+	if len(bases) != len(exps) {
+		return nil, ErrDimMismatch
+	}
+	m := g.montTable()
+	t := m.scratch()
+	type term struct {
+		digits []int8
+		odd    [][]uint64
+		neg    bool
+	}
+	terms := make([]term, 0, len(bases))
+	maxLen := 0
+	for i := range bases {
+		e := exps[i]
+		if e == nil || e.Sign() == 0 {
+			continue
+		}
+		abs := new(big.Int).Abs(e)
+		w := wnafWidth(abs.BitLen())
+		tm := term{
+			digits: wnafDigits(abs, w),
+			odd:    oddPowers(bases[i], w, m, t),
+			neg:    e.Sign() < 0,
+		}
+		if len(tm.digits) > maxLen {
+			maxLen = len(tm.digits)
+		}
+		terms = append(terms, tm)
+	}
+	num := make([]uint64, m.k)
+	copy(num, m.one)
+	den := make([]uint64, m.k)
+	copy(den, m.one)
+	numUsed, denUsed := false, false
+	for j := maxLen - 1; j >= 0; j-- {
+		if numUsed {
+			m.mul(num, num, num, t)
+		}
+		if denUsed {
+			m.mul(den, den, den, t)
+		}
+		for _, tm := range terms {
+			if j >= len(tm.digits) || tm.digits[j] == 0 {
+				continue
+			}
+			d := int(tm.digits[j])
+			positive := (d > 0) != tm.neg
+			if d < 0 {
+				d = -d
+			}
+			pw := tm.odd[(d-1)/2]
+			if positive {
+				m.mul(num, num, pw, t)
+				numUsed = true
+			} else {
+				m.mul(den, den, pw, t)
+				denUsed = true
+			}
+		}
+	}
+	out := m.fromMont(num, t)
+	if !denUsed {
+		return out, nil
+	}
+	denInt := m.fromMont(den, t)
+	inv := denInt.ModInverse(denInt, g.P)
+	if inv == nil {
+		return nil, ErrNotInvertible
+	}
+	return mulMod(out, inv, g.P), nil
+}
+
+// wnafWidth picks the NAF window for an exponent size: wider windows trade
+// a bigger odd-power table (2^(w-2) multiplications, built per call) for
+// fewer nonzero digits (~bits/(w+1)).
+func wnafWidth(bitLen int) uint {
+	switch {
+	case bitLen <= 8:
+		return 2
+	case bitLen <= 24:
+		return 3
+	case bitLen <= 96:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// wnafDigits recodes e > 0 in width-w non-adjacent form: out[j] is the
+// signed odd digit at bit j, |digit| < 2^(w-1), with at least w-1 zeros
+// between nonzero digits.
+func wnafDigits(e *big.Int, w uint) []int8 {
+	d := new(big.Int).Set(e)
+	out := make([]int8, 0, d.BitLen()+1)
+	mod := int64(1) << w
+	half := mod >> 1
+	step := new(big.Int)
+	for d.Sign() > 0 {
+		if d.Bit(0) == 1 {
+			r := int64(d.Bits()[0]) & (mod - 1)
+			if r >= half {
+				r -= mod
+			}
+			out = append(out, int8(r))
+			if r > 0 {
+				d.Sub(d, step.SetInt64(r))
+			} else {
+				d.Add(d, step.SetInt64(-r))
+			}
+		} else {
+			out = append(out, 0)
+		}
+		d.Rsh(d, 1)
+	}
+	return out
+}
+
+// oddPowers returns [base, base^3, base^5, …, base^(2^(w-1)-1)] in
+// Montgomery form — the table a width-w NAF recoding indexes.
+func oddPowers(base *big.Int, w uint, m *montCtx, t []uint64) [][]uint64 {
+	n := 1
+	if w > 2 {
+		n = 1 << (w - 2)
+	}
+	pw := make([][]uint64, n)
+	pw[0] = m.toMont(base, t)
+	if n > 1 {
+		sq := make([]uint64, m.k)
+		m.mul(sq, pw[0], pw[0], t)
+		for i := 1; i < n; i++ {
+			pw[i] = make([]uint64, m.k)
+			m.mul(pw[i], pw[i-1], sq, t)
+		}
+	}
+	return pw
+}

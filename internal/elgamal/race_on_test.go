@@ -1,0 +1,5 @@
+//go:build race
+
+package elgamal
+
+const raceEnabled = true

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"io"
 	"math/big"
+	"runtime"
+	"sync"
 )
 
 // PrivateKey is an m-dimensional vector of ElGamal secret keys
@@ -18,6 +20,13 @@ type PrivateKey struct {
 type PublicKey struct {
 	Group *Group
 	H     []*big.Int
+
+	// Per-base fixed-base tables for the h_i, built once on first use and
+	// shared by every subsequent Encrypt/BatchEncrypt under this key. A
+	// mutex (rather than sync.Once) guards them so UnmarshalJSON can
+	// invalidate the cache when it replaces the key material.
+	mu sync.Mutex
+	fb []*FixedBase
 }
 
 // Ciphertext is an encryption of a vector c: α = g^r and
@@ -29,15 +38,18 @@ type Ciphertext struct {
 
 // Errors returned by the vector scheme.
 var (
-	ErrDimMismatch = errors.New("elgamal: dimension mismatch")
-	ErrDLogRange   = errors.New("elgamal: plaintext outside discrete-log range")
+	ErrDimMismatch   = errors.New("elgamal: dimension mismatch")
+	ErrDLogRange     = errors.New("elgamal: plaintext outside discrete-log range")
+	ErrNotInvertible = errors.New("elgamal: element not invertible")
 )
 
-// GenerateKeys creates a t-dimensional key pair.
+// GenerateKeys creates a t-dimensional key pair. The public keys
+// h_i = g^{x_i} are computed with the group's fixed-base table for g.
 func GenerateKeys(group *Group, t int, rng io.Reader) (*PrivateKey, *PublicKey, error) {
 	if t <= 0 {
 		return nil, nil, errors.New("elgamal: dimension must be positive")
 	}
+	gfb := group.generatorTable()
 	sk := &PrivateKey{Group: group, X: make([]*big.Int, t)}
 	pk := &PublicKey{Group: group, H: make([]*big.Int, t)}
 	for i := 0; i < t; i++ {
@@ -46,7 +58,7 @@ func GenerateKeys(group *Group, t int, rng io.Reader) (*PrivateKey, *PublicKey, 
 			return nil, nil, err
 		}
 		sk.X[i] = x
-		pk.H[i] = new(big.Int).Exp(group.G, x, group.P)
+		pk.H[i] = gfb.Exp(x)
 	}
 	return sk, pk, nil
 }
@@ -59,16 +71,73 @@ func (sk *PrivateKey) Dim() int { return len(sk.X) }
 
 // Public derives the public key from the private key.
 func (sk *PrivateKey) Public() *PublicKey {
+	gfb := sk.Group.generatorTable()
 	pk := &PublicKey{Group: sk.Group, H: make([]*big.Int, len(sk.X))}
 	for i, x := range sk.X {
-		pk.H[i] = new(big.Int).Exp(sk.Group.G, x, sk.Group.P)
+		pk.H[i] = gfb.Exp(x)
 	}
 	return pk
 }
 
+// fixedBases returns the per-dimension window tables for the h_i, building
+// them on first use. Safe for concurrent callers; the first caller builds,
+// the rest wait.
+func (pk *PublicKey) fixedBases() []*FixedBase {
+	pk.mu.Lock()
+	defer pk.mu.Unlock()
+	if pk.fb == nil {
+		fb := make([]*FixedBase, len(pk.H))
+		for i, h := range pk.H {
+			fb[i] = NewFixedBase(pk.Group, h)
+		}
+		pk.fb = fb
+	}
+	return pk.fb
+}
+
+// invalidateTables drops the cached window tables (key material changed).
+func (pk *PublicKey) invalidateTables() {
+	pk.mu.Lock()
+	pk.fb = nil
+	pk.mu.Unlock()
+}
+
 // Encrypt encrypts the integer vector c (entries may be negative; they are
-// encoded as exponents mod q).
+// encoded as exponents mod q). This is the fixed-base fast path: g^r, the
+// h_i^r and the g^{c_i} all come from precomputed window tables, so each
+// of the 2t+1 exponentiations costs ~|q|/w multiplications instead of a
+// full square-and-multiply ladder.
 func (pk *PublicKey) Encrypt(rng io.Reader, c []int64) (*Ciphertext, error) {
+	if len(c) != len(pk.H) {
+		return nil, ErrDimMismatch
+	}
+	r, err := pk.Group.randScalar(rng)
+	if err != nil {
+		return nil, err
+	}
+	return pk.encryptWithScalar(r, c), nil
+}
+
+// encryptWithScalar is the table-driven core of Encrypt/BatchEncrypt.
+func (pk *PublicKey) encryptWithScalar(r *big.Int, c []int64) *Ciphertext {
+	g := pk.Group
+	gfb := g.generatorTable()
+	hfb := pk.fixedBases()
+	ct := &Ciphertext{
+		Alpha: gfb.Exp(r),
+		Betas: make([]*big.Int, len(c)),
+	}
+	for i, ci := range c {
+		hr := hfb[i].Exp(r)
+		gc := gfb.Exp(big.NewInt(ci))
+		ct.Betas[i] = mulMod(hr, gc, g.P)
+	}
+	return ct
+}
+
+// EncryptNaive is the scalar baseline for Encrypt (one cold big.Int.Exp
+// per exponentiation), kept as the ablation mirror of LinearScanDLog.
+func (pk *PublicKey) EncryptNaive(rng io.Reader, c []int64) (*Ciphertext, error) {
 	if len(c) != len(pk.H) {
 		return nil, ErrDimMismatch
 	}
@@ -90,9 +159,79 @@ func (pk *PublicKey) Encrypt(rng io.Reader, c []int64) (*Ciphertext, error) {
 	return ct, nil
 }
 
+// BatchEncrypt encrypts many vectors with a worker pool sharing this key's
+// precomputed tables. threads == 0 means runtime.GOMAXPROCS(0); negative
+// values are an error. Randomness is drawn from rng serially in the
+// calling goroutine (rng need not be safe for concurrent use); only the
+// heavy exponentiations fan out. The result is index-aligned with vecs.
+func (pk *PublicKey) BatchEncrypt(rng io.Reader, vecs [][]int64, threads int) ([]*Ciphertext, error) {
+	if threads < 0 {
+		return nil, errors.New("elgamal: negative thread count")
+	}
+	if threads == 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	for _, c := range vecs {
+		if len(c) != len(pk.H) {
+			return nil, ErrDimMismatch
+		}
+	}
+	rs := make([]*big.Int, len(vecs))
+	for i := range rs {
+		r, err := pk.Group.randScalar(rng)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	// Build the shared tables before fanning out so workers don't
+	// serialize on the first-use lock.
+	pk.fixedBases()
+	pk.Group.generatorTable()
+
+	if threads > len(vecs) {
+		threads = len(vecs)
+	}
+	out := make([]*Ciphertext, len(vecs))
+	if threads <= 1 {
+		for i, c := range vecs {
+			out[i] = pk.encryptWithScalar(rs[i], c)
+		}
+		return out, nil
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = pk.encryptWithScalar(rs[i], vecs[i])
+			}
+		}()
+	}
+	for i := range vecs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out, nil
+}
+
 // Decrypt recovers the plaintext vector using the supplied discrete-log
-// solver; every entry must fall in (−dlog.Bound(), dlog.Bound()).
+// solver; every entry must fall in (−dlog.Bound(), dlog.Bound()). The
+// α^{x_i} work is batched across dimensions (shared fixed-base table for
+// α, one Montgomery-batched inversion).
 func (sk *PrivateKey) Decrypt(ct *Ciphertext, dlog *DLog) ([]int64, error) {
+	if len(ct.Betas) != len(sk.X) {
+		return nil, ErrDimMismatch
+	}
+	return sk.DecryptRange(ct, 0, len(sk.X), dlog)
+}
+
+// DecryptNaive is the per-dimension scalar baseline for Decrypt, kept as
+// the ablation mirror of LinearScanDLog.
+func (sk *PrivateKey) DecryptNaive(ct *Ciphertext, dlog *DLog) ([]int64, error) {
 	if len(ct.Betas) != len(sk.X) {
 		return nil, ErrDimMismatch
 	}
@@ -101,6 +240,53 @@ func (sk *PrivateKey) Decrypt(ct *Ciphertext, dlog *DLog) ([]int64, error) {
 		v, err := sk.DecryptAt(ct, i, dlog)
 		if err != nil {
 			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// DecryptRange recovers the plaintexts of dimensions [from, to). All the
+// α^{x_i} share α, so one fixed-base window table amortizes across the
+// range, and the per-dimension inversions collapse into a single
+// ModInverse via batch inversion. The centroid-update phase decrypts
+// [2, t) of every cluster aggregate through this path.
+func (sk *PrivateKey) DecryptRange(ct *Ciphertext, from, to int, dlog *DLog) ([]int64, error) {
+	if from < 0 || to > len(sk.X) || from > to || to > len(ct.Betas) {
+		return nil, ErrDimMismatch
+	}
+	n := to - from
+	if n == 0 {
+		return nil, nil
+	}
+	if n < 4 {
+		// Too few dimensions to amortize a table build.
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			v, err := sk.DecryptAt(ct, from+i, dlog)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	g := sk.Group
+	afb := NewFixedBase(g, ct.Alpha)
+	axs := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		axs[i] = afb.Exp(sk.X[from+i])
+	}
+	invs := batchModInverse(axs, g.P)
+	if invs == nil {
+		return nil, ErrNotInvertible
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		gamma := mulMod(ct.Betas[from+i], invs[i], g.P)
+		v, ok := dlog.LookupSigned(gamma)
+		if !ok {
+			return nil, ErrDLogRange
 		}
 		out[i] = v
 	}
@@ -205,7 +391,37 @@ func EvalDotProduct(group *Group, ct *Ciphertext, s []int64, fkey *big.Int, dlog
 // final discrete-log step. The privacy-preserving k-means splits the work
 // this way: the Coordinator (who knows s and f) produces γ and the
 // Aggregator recovers the distance with its own dlog table (paper Fig. 17).
+//
+// This is the simultaneous multi-exponentiation fast path: the signed
+// (tiny) s_i stay tiny instead of being reduced mod q, all terms share
+// one squaring chain, and α^{-f} folds in as one more term. Zero s_i
+// contribute nothing and are skipped. For many evaluations against the
+// same ciphertext, DotEvaluator additionally amortizes a window table
+// for α across calls.
 func EvalDotProductRaw(group *Group, ct *Ciphertext, s []int64, fkey *big.Int) (*big.Int, error) {
+	if len(s) != len(ct.Betas) {
+		return nil, ErrDimMismatch
+	}
+	bases := make([]*big.Int, 0, len(s)+1)
+	exps := make([]*big.Int, 0, len(s)+1)
+	for i, si := range s {
+		if si == 0 {
+			continue
+		}
+		bases = append(bases, ct.Betas[i])
+		exps = append(exps, big.NewInt(si))
+	}
+	if fkey.Sign() != 0 {
+		bases = append(bases, ct.Alpha)
+		exps = append(exps, new(big.Int).Neg(fkey))
+	}
+	return group.MultiExp(bases, exps)
+}
+
+// EvalDotProductRawNaive is the scalar baseline for EvalDotProductRaw —
+// one full-width modular exponentiation per nonzero s_i — kept as the
+// ablation mirror of LinearScanDLog.
+func EvalDotProductRawNaive(group *Group, ct *Ciphertext, s []int64, fkey *big.Int) (*big.Int, error) {
 	if len(s) != len(ct.Betas) {
 		return nil, ErrDimMismatch
 	}
@@ -221,4 +437,47 @@ func EvalDotProductRaw(group *Group, ct *Ciphertext, s []int64, fkey *big.Int) (
 	afInv := af.ModInverse(af, group.P)
 	gamma := prod.Mul(prod, afInv)
 	return gamma.Mod(gamma, group.P), nil
+}
+
+// DotEvaluator evaluates many inner-product queries against one
+// ciphertext. The Coordinator's mapping phase evaluates every centroid's
+// (s, f) pair against the same client ciphertext, so the α^f half — the
+// only full-width exponentiation left on the fast path — reuses a single
+// fixed-base window table for α.
+type DotEvaluator struct {
+	group   *Group
+	ct      *Ciphertext
+	alphaFB *FixedBase
+}
+
+// NewDotEvaluator builds the per-ciphertext evaluator (one table build,
+// amortized over subsequent Eval calls).
+func NewDotEvaluator(group *Group, ct *Ciphertext) *DotEvaluator {
+	return &DotEvaluator{group: group, ct: ct, alphaFB: NewFixedBase(group, ct.Alpha)}
+}
+
+// Eval computes γ = Π β_i^{s_i} / α^f for one query.
+func (ev *DotEvaluator) Eval(s []int64, fkey *big.Int) (*big.Int, error) {
+	if len(s) != len(ev.ct.Betas) {
+		return nil, ErrDimMismatch
+	}
+	bases := make([]*big.Int, 0, len(s))
+	exps := make([]*big.Int, 0, len(s))
+	for i, si := range s {
+		if si == 0 {
+			continue
+		}
+		bases = append(bases, ev.ct.Betas[i])
+		exps = append(exps, big.NewInt(si))
+	}
+	prod, err := ev.group.MultiExp(bases, exps)
+	if err != nil {
+		return nil, err
+	}
+	af := ev.alphaFB.Exp(fkey)
+	afInv := af.ModInverse(af, ev.group.P)
+	if afInv == nil {
+		return nil, ErrNotInvertible
+	}
+	return mulMod(prod, afInv, ev.group.P), nil
 }

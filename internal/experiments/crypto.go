@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	mrand "math/rand"
+	"os"
+	"time"
+
+	"pricesheriff/internal/cluster"
+	"pricesheriff/internal/elgamal"
+	"pricesheriff/internal/privkmeans"
+)
+
+// CryptoBench measures the crypto substrate: the fixed-base and
+// multi-exponentiation micro primitives against their scalar baselines,
+// and the end-to-end Fig 8c iteration (m=100, k=40, threads=4) with the
+// fast paths on versus the Naive ablation. Results are printed to w and,
+// when jsonPath is non-empty, written machine-readable for regression
+// tracking (BENCH_crypto.json).
+func CryptoBench(r *Runner, w io.Writer, jsonPath string) error {
+	group := elgamal.TestGroup256
+	rng := mrand.New(mrand.NewSource(r.cfg.Seed))
+
+	out := cryptoBenchJSON{
+		GroupBits: group.P.BitLen(),
+		Fig8c:     fig8cDelta{M: 100, K: 40, Threads: 4, Users: 60},
+	}
+
+	// Micro: one full-width exponentiation of the fixed generator.
+	e := new(big.Int).Rand(rng, group.Q)
+	fb := group.GeneratorTable()
+	out.Micro.FixedBaseExpNs = timeOp(func() { fb.Exp(e) })
+	out.Micro.NaiveExpNs = timeOp(func() { new(big.Int).Exp(group.G, e, group.P) })
+
+	// Micro: a mapping-phase-shaped multi-exponentiation — 16 tiny signed
+	// exponents plus one full-width α^{-f} term.
+	bases := make([]*big.Int, 17)
+	exps := make([]*big.Int, 17)
+	for i := range bases {
+		bases[i] = new(big.Int).Exp(group.G, new(big.Int).Rand(rng, group.Q), group.P)
+		exps[i] = big.NewInt(rng.Int63n(200) - 100)
+	}
+	exps[16] = new(big.Int).Neg(new(big.Int).Rand(rng, group.Q))
+	out.Micro.MultiExpNs = timeOp(func() {
+		if _, err := group.MultiExp(bases, exps); err != nil {
+			panic(err)
+		}
+	})
+	out.Micro.NaiveMultiExpNs = timeOp(func() {
+		prod := big.NewInt(1)
+		for i := range bases {
+			t := new(big.Int).Exp(bases[i], new(big.Int).Mod(exps[i], group.Q), group.P)
+			prod.Mul(prod, t)
+			prod.Mod(prod, group.P)
+		}
+	})
+
+	// Micro: encrypting one 102-dimensional client vector.
+	_, pk, err := elgamal.GenerateKeys(group, 102, rand.Reader)
+	if err != nil {
+		return err
+	}
+	vec := make([]int64, 102)
+	for i := range vec {
+		vec[i] = int64(i % 100)
+	}
+	out.Micro.EncryptNs = timeOp(func() {
+		if _, err := pk.Encrypt(rand.Reader, vec); err != nil {
+			panic(err)
+		}
+	})
+	out.Micro.NaiveEncryptNs = timeOp(func() {
+		if _, err := pk.EncryptNaive(rand.Reader, vec); err != nil {
+			panic(err)
+		}
+	})
+
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "primitive", "fast", "naive", "speedup")
+	row := func(name string, fast, naive int64) {
+		fmt.Fprintf(w, "%-34s %14s %14s %7.2fx\n", name,
+			time.Duration(fast), time.Duration(naive), float64(naive)/float64(fast))
+	}
+	row("g^e (256-bit e)", out.Micro.FixedBaseExpNs, out.Micro.NaiveExpNs)
+	row("multi-exp (16 small + 1 wide)", out.Micro.MultiExpNs, out.Micro.NaiveMultiExpNs)
+	row("encrypt 102-dim vector", out.Micro.EncryptNs, out.Micro.NaiveEncryptNs)
+
+	// End to end: the Fig 8c iteration, fast vs the Naive ablation. The
+	// configuration matches BenchmarkFig8c in bench_test.go exactly.
+	histories, universe := profileFixture(r.cfg.Seed, out.Fig8c.Users)
+	basis := universe[:out.Fig8c.M]
+	points := make([]cluster.Point, len(histories))
+	for i, h := range histories {
+		points[i] = cluster.Vectorize(h, basis)
+	}
+	cfg := privkmeans.Config{
+		K: out.Fig8c.K, M: out.Fig8c.M, Threads: out.Fig8c.Threads,
+		Seed: 3, MaxIter: 1, HaltFrac: 1,
+	}
+	start := time.Now()
+	if _, err := privkmeans.Run(cfg, points); err != nil {
+		return err
+	}
+	out.Fig8c.FastNs = time.Since(start).Nanoseconds()
+	cfg.Naive = true
+	start = time.Now()
+	if _, err := privkmeans.Run(cfg, points); err != nil {
+		return err
+	}
+	out.Fig8c.NaiveNs = time.Since(start).Nanoseconds()
+	out.Fig8c.Speedup = float64(out.Fig8c.NaiveNs) / float64(out.Fig8c.FastNs)
+	fmt.Fprintf(w, "%-34s %14s %14s %7.2fx\n",
+		fmt.Sprintf("fig8c m=%d k=%d threads=%d", out.Fig8c.M, out.Fig8c.K, out.Fig8c.Threads),
+		time.Duration(out.Fig8c.FastNs), time.Duration(out.Fig8c.NaiveNs), out.Fig8c.Speedup)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// timeOp reports the per-call nanoseconds of fn, amortized over enough
+// iterations to smooth scheduler noise.
+func timeOp(fn func()) int64 {
+	fn() // warm up lazily built tables so they don't bill the first sample
+	const minDuration = 200 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDuration {
+			return elapsed.Nanoseconds() / int64(iters)
+		}
+		if elapsed <= 0 {
+			iters *= 1000
+			continue
+		}
+		next := int(int64(iters) * int64(minDuration) / elapsed.Nanoseconds())
+		iters = next + next/4 + 1
+	}
+}
+
+type cryptoBenchJSON struct {
+	GroupBits int        `json:"group_bits"`
+	Micro     microBench `json:"micro"`
+	Fig8c     fig8cDelta `json:"fig8c"`
+}
+
+type microBench struct {
+	FixedBaseExpNs  int64 `json:"fixed_base_exp_ns"`
+	NaiveExpNs      int64 `json:"naive_exp_ns"`
+	MultiExpNs      int64 `json:"multi_exp_ns"`
+	NaiveMultiExpNs int64 `json:"naive_multi_exp_ns"`
+	EncryptNs       int64 `json:"encrypt_ns"`
+	NaiveEncryptNs  int64 `json:"naive_encrypt_ns"`
+}
+
+type fig8cDelta struct {
+	M       int     `json:"m"`
+	K       int     `json:"k"`
+	Threads int     `json:"threads"`
+	Users   int     `json:"users"`
+	FastNs  int64   `json:"fast_ns"`
+	NaiveNs int64   `json:"naive_ns"`
+	Speedup float64 `json:"speedup"`
+}

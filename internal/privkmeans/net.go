@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 	mrand "math/rand"
+	"runtime"
 
 	"pricesheriff/internal/cluster"
 	"pricesheriff/internal/elgamal"
@@ -194,10 +195,12 @@ type AggregatorServer struct {
 	rpc *transport.Server
 }
 
-// NewAggregatorServer wraps an aggregator; call Serve to start.
+// NewAggregatorServer wraps an aggregator; call Serve to start. threads
+// follows the Config.Threads convention: <= 0 means one mapping worker per
+// available CPU.
 func NewAggregatorServer(ag *Aggregator, coord *RemoteCoordinator, k, threads int, lis transport.Listener) *AggregatorServer {
-	if threads < 1 {
-		threads = 1
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
 	}
 	s := &AggregatorServer{Ag: ag, K: k, Coord: coord, Threads: threads, rpc: transport.NewServer(lis)}
 	s.rpc.Handle("pkm.submit", func(raw json.RawMessage) (any, error) {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/big"
 	mrand "math/rand"
+	"runtime"
 	"sync"
 
 	"pricesheriff/internal/cluster"
@@ -73,6 +74,7 @@ type Coordinator struct {
 	centroids [][]int64 // k × m quantized profiles
 	sumDlog   *elgamal.DLog
 	rng       *mrand.Rand // centroid randomization
+	naive     bool        // scalar-crypto ablation (see SetNaive)
 
 	// cached per-centroid query vectors and functional keys, rebuilt after
 	// every centroid update
@@ -106,6 +108,13 @@ func NewCoordinator(group *elgamal.Group, m int, scale int64, maxClients int) (*
 
 // PublicKey returns the encryption key clients use.
 func (co *Coordinator) PublicKey() *elgamal.PublicKey { return co.pk }
+
+// SetNaive switches the Coordinator onto the scalar ablation crypto paths
+// (cold big.Int.Exp per exponentiation, per-dimension decryption) instead
+// of the fixed-base / multi-exponentiation fast paths. Results are
+// identical either way — this exists so benchmarks can measure the crypto
+// substrate's contribution (the Fig. 8c before/after in EXPERIMENTS.md).
+func (co *Coordinator) SetNaive(naive bool) { co.naive = naive }
 
 // InitCentroids seeds k random centroids. Draws are sparse — a handful of
 // high-frequency domains, the rest zero — because that is the publicly
@@ -183,8 +192,32 @@ func (co *Coordinator) rebuildQueries() {
 // The ciphertext carries no client identity.
 func (co *Coordinator) DistanceGammas(ct *elgamal.Ciphertext) ([]*big.Int, error) {
 	out := make([]*big.Int, len(co.queries))
+	if co.naive {
+		for j, q := range co.queries {
+			gamma, err := elgamal.EvalDotProductRawNaive(co.group, ct, q.s, q.fkey)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = gamma
+		}
+		return out, nil
+	}
+	if len(co.queries) < 4 {
+		// Too few centroids to amortize a per-ciphertext α table.
+		for j, q := range co.queries {
+			gamma, err := elgamal.EvalDotProductRaw(co.group, ct, q.s, q.fkey)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = gamma
+		}
+		return out, nil
+	}
+	// One fixed-base table for this ciphertext's α serves the α^f half of
+	// all k centroid evaluations.
+	ev := elgamal.NewDotEvaluator(co.group, ct)
 	for j, q := range co.queries {
-		gamma, err := elgamal.EvalDotProductRaw(co.group, ct, q.s, q.fkey)
+		gamma, err := ev.Eval(q.s, q.fkey)
 		if err != nil {
 			return nil, err
 		}
@@ -212,12 +245,24 @@ func (co *Coordinator) UpdateCentroids(aggs []*elgamal.Ciphertext, cardinalities
 			continue
 		}
 		next := make([]int64, co.m)
-		for d := 0; d < co.m; d++ {
-			sum, err := co.sk.DecryptAt(agg, d+2, co.sumDlog)
-			if err != nil {
-				return fmt.Errorf("privkmeans: centroid %d dim %d: %w", j, d, err)
+		if co.naive {
+			for d := 0; d < co.m; d++ {
+				sum, err := co.sk.DecryptAt(agg, d+2, co.sumDlog)
+				if err != nil {
+					return fmt.Errorf("privkmeans: centroid %d dim %d: %w", j, d, err)
+				}
+				next[d] = (sum + int64(n)/2) / int64(n) // rounded mean
 			}
-			next[d] = (sum + int64(n)/2) / int64(n) // rounded mean
+		} else {
+			// Range decryption shares one α window table and one batched
+			// inversion across all m dimensions of the aggregate.
+			sums, err := co.sk.DecryptRange(agg, 2, co.m+2, co.sumDlog)
+			if err != nil {
+				return fmt.Errorf("privkmeans: centroid %d: %w", j, err)
+			}
+			for d, sum := range sums {
+				next[d] = (sum + int64(n)/2) / int64(n) // rounded mean
+			}
 		}
 		co.centroids[j] = next
 	}
@@ -288,10 +333,11 @@ type DistanceEvaluator interface {
 // the total squared distance of the mapping (an Aggregator-side quality
 // signal: it already learns every distance, so no extra information
 // leaks). Per-client work is independent, which is what makes the protocol
-// "highly parallelizable" (paper Fig. 8c).
+// "highly parallelizable" (paper Fig. 8c). threads <= 0 means one worker
+// per available CPU (runtime.GOMAXPROCS(0)).
 func (ag *Aggregator) MapClients(co DistanceEvaluator, threads int) (int, int64, error) {
-	if threads < 1 {
-		threads = 1
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
 	}
 	ag.mu.Lock()
 	ids := append([]string(nil), ag.ids...)
@@ -405,14 +451,23 @@ func (ag *Aggregator) ClusterAggregates(k int) ([]*elgamal.Ciphertext, []int, er
 
 // Config parameterizes a protocol run.
 type Config struct {
-	Group    *elgamal.Group
-	K        int     // clusters (doppelgangers)
-	M        int     // profile dimensions
-	Scale    int64   // quantization scale (default DefaultScale)
-	Threads  int     // mapping-phase parallelism (default 1)
+	Group *elgamal.Group
+	K     int   // clusters (doppelgangers)
+	M     int   // profile dimensions
+	Scale int64 // quantization scale (default DefaultScale)
+	// Threads sets the worker count for the parallel phases (client batch
+	// encryption and the mapping phase). 0 means one worker per available
+	// CPU (runtime.GOMAXPROCS(0)); negative values are rejected by Run.
+	Threads  int
 	MaxIter  int     // default 20
 	HaltFrac float64 // halt when changed/n below this (default 0.02)
 	Seed     int64   // centroid-seeding randomness
+	// Naive routes all crypto through the scalar ablation baselines
+	// (EncryptNaive, EvalDotProductRawNaive, per-dimension DecryptAt)
+	// instead of the fixed-base / multi-exponentiation fast paths. The
+	// clustering outcome is identical; only the running time changes. Used
+	// by `benchtab -crypto` to measure the substrate's speedup.
+	Naive bool
 	// Restarts reruns the iteration from fresh random centroids and keeps
 	// the mapping with the lowest total squared distance — a quality
 	// signal the Aggregator already possesses, so restarts leak nothing
@@ -437,6 +492,12 @@ func Run(cfg Config, points []cluster.Point) (*Outcome, error) {
 	if cfg.K < 1 || cfg.K > len(points) {
 		return nil, errors.New("privkmeans: bad k")
 	}
+	if cfg.Threads < 0 {
+		return nil, errors.New("privkmeans: negative thread count")
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Scale == 0 {
 		cfg.Scale = DefaultScale
 	}
@@ -458,19 +519,35 @@ func Run(cfg Config, points []cluster.Point) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	co.SetNaive(cfg.Naive)
 	rng := mrand.New(mrand.NewSource(cfg.Seed))
 	ag := NewAggregator(cfg.Group, cfg.M, cfg.Scale)
 
 	// Client phase: encrypt and submit once, then go offline; restarts
-	// reuse the same ciphertexts.
+	// reuse the same ciphertexts. Each vector is built exactly as a real
+	// client would; the batch API only parallelizes the independent
+	// per-client exponentiations.
+	vecs := make([][]int64, len(points))
 	for i, p := range points {
 		if len(p) != cfg.M {
 			return nil, elgamal.ErrDimMismatch
 		}
-		ct, err := EncryptProfile(co.PublicKey(), cluster.Quantize(p, cfg.Scale))
-		if err != nil {
+		vecs[i] = BuildClientVector(cluster.Quantize(p, cfg.Scale))
+	}
+	var cts []*elgamal.Ciphertext
+	if cfg.Naive {
+		cts = make([]*elgamal.Ciphertext, len(vecs))
+		for i, v := range vecs {
+			if cts[i], err = co.PublicKey().EncryptNaive(rand.Reader, v); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if cts, err = co.PublicKey().BatchEncrypt(rand.Reader, vecs, cfg.Threads); err != nil {
 			return nil, err
 		}
+	}
+	for i, ct := range cts {
 		ag.Submit(fmt.Sprintf("client-%04d", i), ct)
 	}
 

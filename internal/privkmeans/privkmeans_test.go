@@ -367,3 +367,52 @@ func TestConvergesInPaperIterationRange(t *testing.T) {
 		t.Errorf("iterations = %d, want convergence before MaxIter", out.Iterations)
 	}
 }
+
+func TestThreadsValidation(t *testing.T) {
+	pts := []cluster.Point{{0.1, 0.2}, {0.9, 0.8}}
+	if _, err := Run(Config{K: 1, M: 2, Threads: -3, MaxIter: 1}, pts); err == nil {
+		t.Error("negative Threads must be rejected")
+	}
+	// Threads == 0 means all cores and must just work.
+	if _, err := Run(Config{K: 1, M: 2, Threads: 0, MaxIter: 1, HaltFrac: 1}, pts); err != nil {
+		t.Errorf("Threads=0: %v", err)
+	}
+}
+
+// TestNaiveMatchesFast pins the ablation contract: routing the whole
+// protocol through the scalar crypto baselines must produce exactly the
+// same clustering as the fixed-base/multi-exponentiation fast paths.
+func TestNaiveMatchesFast(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	points, _ := blobPoints(rng, 6, 6)
+	base := Config{K: 3, M: 6, Threads: 2, Seed: 5, MaxIter: 4}
+
+	fastCfg := base
+	fast, err := Run(fastCfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveCfg := base
+	naiveCfg.Naive = true
+	naive, err := Run(naiveCfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Iterations != naive.Iterations {
+		t.Errorf("iterations: fast %d naive %d", fast.Iterations, naive.Iterations)
+	}
+	for i := range fast.Assign {
+		if fast.Assign[i] != naive.Assign[i] {
+			t.Fatalf("client %d: fast cluster %d, naive cluster %d",
+				i, fast.Assign[i], naive.Assign[i])
+		}
+	}
+	for j := range fast.Centroids {
+		for d := range fast.Centroids[j] {
+			if fast.Centroids[j][d] != naive.Centroids[j][d] {
+				t.Fatalf("centroid %d dim %d: fast %v naive %v",
+					j, d, fast.Centroids[j][d], naive.Centroids[j][d])
+			}
+		}
+	}
+}
