@@ -9,9 +9,13 @@
 //	    [-country ES] [-id my-peer] \
 //	    (-url http://domain/product/sku | -domain chegg.com | -list)
 //
-// The stats subcommand reads a deployment's telemetry from the admin UI:
+// Subcommands speak to a deployment's admin UI:
 //
 //	sheriffctl stats -admin HOST:PORT [-json]
+//	sheriffctl watch add|list|rm -admin HOST:PORT [-url URL] [-currency USD]
+//	sheriffctl history -admin HOST:PORT [-url URL -country CC] [-json]
+//	sheriffctl export -admin HOST:PORT [-o FILE]
+//	sheriffctl import -admin HOST:PORT -f FILE
 package main
 
 import (
@@ -33,9 +37,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "stats" {
-		runStats(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			runStats(os.Args[2:])
+			return
+		case "watch":
+			runWatch(os.Args[2:])
+			return
+		case "history":
+			runHistory(os.Args[2:])
+			return
+		case "export":
+			runExport(os.Args[2:])
+			return
+		case "import":
+			runImport(os.Args[2:])
+			return
+		}
 	}
 	var (
 		coordAddr  = flag.String("coord", "", "coordinator address (required)")

@@ -15,11 +15,18 @@
 //
 //	sheriffd -chaos-err 0.05 -chaos-hang 0.01 -chaos-latency 20ms -check-deadline 30s
 //
+// A durable watchdog — persist everything under a data dir and re-check a
+// shop's first product every 30 seconds, surviving restarts:
+//
+//	sheriffd -data-dir ./sheriff-data -fsync interval -watch shop-0031.com -watch-interval 30s
+//
 //	sheriffd [-servers 2] [-domains 200] [-users 12] [-seed 1] [-admin 127.0.0.1:0] [-debug] [-dump study.json]
+//	         [-data-dir DIR] [-fsync always|interval|off] [-watch-interval 1m] [-watch domain1,domain2]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -27,15 +34,18 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pricesheriff/internal/adminui"
 	"pricesheriff/internal/chaos"
 	"pricesheriff/internal/core"
+	"pricesheriff/internal/history"
 	"pricesheriff/internal/obs"
 	"pricesheriff/internal/retry"
 	"pricesheriff/internal/shop"
+	"pricesheriff/internal/store"
 	"pricesheriff/internal/transport"
 	"pricesheriff/internal/workload"
 )
@@ -53,6 +63,11 @@ func main() {
 		checkDeadline = flag.Duration("check-deadline", 2*time.Minute, "whole-check deadline; expired checks complete with partial rows")
 		vantageBudget = flag.Duration("vantage-budget", 0, "per-vantage fetch budget incl. retries (0 = check deadline)")
 		retries       = flag.Int("retries", retry.DefaultAttempts, "attempts per vantage fetch (1 = no retries)")
+
+		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + checkpoints; empty = RAM only)")
+		fsyncMode     = flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
+		watchInterval = flag.Duration("watch-interval", time.Minute, "recurring-check period of the watch scheduler")
+		watchDomains  = flag.String("watch", "", "comma-separated domains to watch from boot (first product of each)")
 
 		chaosSeed    = flag.Int64("chaos-seed", 0, "chaos fault-injection seed")
 		chaosLatency = flag.Duration("chaos-latency", 0, "chaos: latency added to every frame send")
@@ -93,6 +108,10 @@ func main() {
 		defer fab.Close()
 	}
 
+	fsync, err := history.ParseFsync(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sys, err := core.NewSystem(core.Config{
 		Fabric:             fabric,
 		Mall:               mall,
@@ -103,6 +122,9 @@ func main() {
 		CheckDeadline:      *checkDeadline,
 		VantageBudget:      *vantageBudget,
 		RetryPolicy:        retry.Policy{MaxAttempts: *retries},
+		DataDir:            *dataDir,
+		Fsync:              fsync,
+		WatchInterval:      *watchInterval,
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
@@ -130,11 +152,41 @@ func main() {
 		}
 	}
 	fmt.Printf("  simulated peers:     %d\n", len(sys.Users()))
+	if *dataDir != "" {
+		fmt.Printf("  data dir:            %s (fsync=%s)\n", *dataDir, fsync)
+	}
+
+	// Register boot-time watches: the first product of each listed domain.
+	if *watchDomains != "" {
+		for _, d := range strings.Split(*watchDomains, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			s, ok := mall.Shop(d)
+			if !ok || len(s.Products()) == 0 {
+				log.Printf("watch %s: unknown domain or empty catalog", d)
+				continue
+			}
+			u := s.ProductURL(s.Products()[0].SKU)
+			if _, err := sys.Watches().Add(u, "USD"); err != nil {
+				// A recovered data dir already carries its watches.
+				if !errors.Is(err, store.ErrDupUnique) {
+					log.Printf("watch %s: %v", u, err)
+					continue
+				}
+			}
+			fmt.Printf("  watching:            %s (every %v)\n", u, *watchInterval)
+		}
+	}
 
 	if *admin != "" {
 		ui := adminui.New(sys.Coord)
 		ui.Metrics = reg
 		ui.Tracer = tracer
+		ui.DB = sys.StoreEngine()
+		ui.History = sys.History()
+		ui.Watches = sys.Watches()
 		if *debug {
 			ui.EnableDebug()
 		}

@@ -25,7 +25,9 @@ import (
 	"sync"
 
 	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/history"
 	"pricesheriff/internal/obs"
+	"pricesheriff/internal/store"
 )
 
 // Server is the admin HTTP server.
@@ -36,6 +38,12 @@ type Server struct {
 	Metrics *obs.Registry
 	// Tracer backs /traces; set it after New (nil: an empty panel).
 	Tracer *obs.Tracer
+	// DB backs /snapshot (export/import); set it after New (nil: 404).
+	DB *store.DB
+	// History backs /history and /history.json (nil: 404).
+	History *history.Index
+	// Watches backs /watches and /watches.json (nil: 404).
+	Watches *history.Scheduler
 
 	mux  *http.ServeMux
 	http *http.Server
@@ -53,6 +61,11 @@ func New(coord *coordinator.Coordinator) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/history", s.handleHistory)
+	s.mux.HandleFunc("/history.json", s.handleHistoryJSON)
+	s.mux.HandleFunc("/watches", s.handleWatches)
+	s.mux.HandleFunc("/watches.json", s.handleWatchesJSON)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -116,6 +129,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/servers">Measurement servers</a></li>
 <li><a href="/peers">Peer proxies</a></li>
 <li><a href="/whitelist">Whitelist</a></li>
+<li><a href="/history">Price history</a></li>
+<li><a href="/watches">Watches</a></li>
+<li><a href="/snapshot">Snapshot (export)</a></li>
 <li><a href="/metrics">Metrics (Prometheus)</a></li>
 <li><a href="/metrics.json">Metrics (JSON)</a></li>
 <li><a href="/traces">Recent traces</a></li>

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/history"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/store"
+)
+
+// plainShop finds a long-tail shop with no pricing strategy — a retailer
+// that starts out honest.
+func plainShop(t *testing.T, sys *System) *shop.Shop {
+	t.Helper()
+	for _, d := range sys.Mall.Domains() {
+		if !strings.HasPrefix(d, "shop-0") {
+			continue
+		}
+		s, _ := sys.Mall.Shop(d)
+		if s != nil && s.Strategy == nil && len(s.Products()) > 0 {
+			return s
+		}
+	}
+	t.Fatal("no strategy-free long-tail shop in the mall")
+	return nil
+}
+
+// TestWatchSpreadAppearedThroughPipeline is the PR's longitudinal story
+// end to end: a watch re-checks an honest shop, the shop flips on
+// cross-border price discrimination mid-run, and the next run emits a
+// spread-appeared verdict — through the real coordinator/measurement
+// path, not a stub runner.
+func TestWatchSpreadAppearedThroughPipeline(t *testing.T) {
+	sys := newSystem(t)
+	victim := plainShop(t, sys)
+	url := victim.ProductURL(victim.Products()[0].SKU)
+
+	id, err := sys.Watches().Add(url, "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // honest baseline
+		if err := sys.Watches().RunWatch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, err := sys.Watches().Verdicts(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("honest shop produced verdicts: %+v", vs)
+	}
+
+	// The retailer starts discriminating against US visitors.
+	victim.SetStrategy(shop.LocationFactor{Factors: map[string]float64{"US": 1.15}, Default: 1})
+	if err := sys.Watches().RunWatch(id); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err = sys.Watches().Verdicts(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Kind == history.VerdictSpreadAppeared {
+			found = true
+			if v.Spread < 0.05 {
+				t.Fatalf("spread-appeared with spread %.3f, expected >=0.05", v.Spread)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no spread-appeared verdict after the flip; verdicts = %+v", vs)
+	}
+
+	// Watch-originated checks are tagged in the requests table.
+	rows, err := sys.DB().Select(store.Query{Table: "requests", Eq: map[string]any{"origin": "watch"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d watch-tagged request rows, want 4", len(rows))
+	}
+
+	// Each run fed the longitudinal index with per-country points.
+	key := history.SeriesKey{URL: url, Country: "US"}
+	if n := sys.History().Len(key); n < 4 {
+		t.Fatalf("US series has %d points, want >=4", n)
+	}
+
+	// And the counters the operators watch moved.
+	if v := sys.Metrics().Counter("sheriff_watch_runs_total").Value(); v != 4 {
+		t.Fatalf("sheriff_watch_runs_total = %d, want 4", v)
+	}
+	if v := sys.Metrics().Counter("sheriff_watch_verdicts_total", "verdict", history.VerdictSpreadAppeared).Value(); v < 1 {
+		t.Fatal("spread-appeared verdict counter did not move")
+	}
+}
+
+// TestDurableSystemRecoversAcrossRestart boots a system on a data dir,
+// records price history, closes it, and boots a second incarnation on the
+// same dir: series, watches, and measurement rows must all survive.
+func TestDurableSystemRecoversAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	mkCfg := func() Config {
+		mall := shop.NewMall(shop.MallConfig{Seed: 9, NumDomains: 40, NumLocationPD: 12, NumAlexa: 5})
+		return Config{
+			Mall:               mall,
+			MeasurementServers: 1,
+			IPCCountries:       []string{"US", "DE", "JP"},
+			PPCTimeout:         5 * time.Second,
+			Seed:               9,
+			DataDir:            dir,
+			Fsync:              history.FsyncOff, // Close syncs; this test doesn't kill -9
+			WatchInterval:      time.Hour,
+		}
+	}
+
+	sys, err := NewSystem(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := plainShop(t, sys)
+	url := victim.ProductURL(victim.Products()[0].SKU)
+	id, err := sys.Watches().Add(url, "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := sys.Watches().RunWatch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := history.SeriesKey{URL: url, Country: "US"}
+	wantPts := sys.History().Range(key, time.Time{}, time.Time{})
+	if len(wantPts) == 0 {
+		t.Fatal("no US points before restart")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := NewSystem(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	gotPts := sys2.History().Range(key, time.Time{}, time.Time{})
+	if len(gotPts) != len(wantPts) {
+		t.Fatalf("recovered %d points, want %d", len(gotPts), len(wantPts))
+	}
+	for i := range wantPts {
+		if !gotPts[i].T.Equal(wantPts[i].T) || gotPts[i].Price != wantPts[i].Price {
+			t.Fatalf("point %d = %+v, want %+v", i, gotPts[i], wantPts[i])
+		}
+	}
+	ws, err := sys2.Watches().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].URL != url || ws[0].Runs != 2 {
+		t.Fatalf("recovered watches = %+v", ws)
+	}
+	// The recovered watch keeps running through the new incarnation.
+	if err := sys2.Watches().RunWatch(ws[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if n := sys2.History().Len(key); n != len(wantPts)+1 {
+		t.Fatalf("post-restart run did not extend the series: %d", n)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"pricesheriff/internal/coordinator"
 	"pricesheriff/internal/currency"
 	"pricesheriff/internal/doppelganger"
+	"pricesheriff/internal/history"
 	"pricesheriff/internal/htmlx"
 	"pricesheriff/internal/measurement"
 	"pricesheriff/internal/obs"
@@ -67,6 +68,27 @@ type Config struct {
 	// Tracer records per-check span trees; default keeps the last 64
 	// completed traces (reachable via System.Tracer).
 	Tracer *obs.Tracer
+
+	// DataDir, when set, makes the database durable: a WAL plus periodic
+	// checkpoints under this directory, recovered on the next boot. Empty
+	// keeps the seed behaviour (RAM only, everything lost on restart).
+	DataDir string
+	// Fsync is the WAL flush policy (always/interval/off; default
+	// interval). Only meaningful with DataDir.
+	Fsync history.FsyncPolicy
+	// WALSegmentBytes sizes WAL segments (default 4 MiB).
+	WALSegmentBytes int64
+	// AutoCompactSegments folds cold WAL segments into a checkpoint when
+	// the segment count reaches this (default 8; <0 disables).
+	AutoCompactSegments int
+	// WatchInterval is the recurring-check period of the watch scheduler
+	// (default 1 minute).
+	WatchInterval time.Duration
+	// WatchGranularity is the scheduler's tick (default WatchInterval/20).
+	WatchGranularity time.Duration
+	// WatchThresholds tune the longitudinal PD verdicts; zero fields take
+	// the history package defaults.
+	WatchThresholds history.Thresholds
 }
 
 // System is a running Price $heriff deployment.
@@ -98,6 +120,15 @@ type System struct {
 
 	dopps     *doppelganger.Manager
 	directory *systemDirectory
+
+	// Durability + longitudinal measurement (PR 4). coreDB is the engine
+	// behind dbSrv, written to directly for history points; persister is
+	// nil without a DataDir.
+	coreDB      *store.DB
+	persister   *history.Persister
+	histMetrics *history.Metrics
+	history     *history.Index
+	watcher     *history.Scheduler
 
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
@@ -196,6 +227,30 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	coreDB := store.NewDB()
+	s.coreDB = coreDB
+	s.histMetrics = history.NewMetrics(cfg.Metrics)
+	if cfg.DataDir != "" {
+		// Recover the previous incarnation's state into the fresh engine
+		// and hook its commit stream into the WAL — before the store
+		// server takes its first request.
+		auto := cfg.AutoCompactSegments
+		if auto == 0 {
+			auto = 8
+		} else if auto < 0 {
+			auto = 0
+		}
+		s.persister, err = history.Open(cfg.DataDir, coreDB, history.Options{
+			WAL: history.WALOptions{
+				Fsync:        cfg.Fsync,
+				SegmentBytes: cfg.WALSegmentBytes,
+			},
+			AutoCompactSegments: auto,
+			Metrics:             s.histMetrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open data dir: %w", err)
+		}
+	}
 	measurement.RegisterStandardProcs(coreDB)
 	s.dbSrv = store.NewServer(coreDB, dbLis)
 	s.dbSrv.Metrics = store.NewMetrics(cfg.Metrics)
@@ -251,6 +306,27 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+
+	// The price-history index over recovered points, and the watch
+	// scheduler re-running registered checks through the normal pipeline.
+	if err := history.EnsureWatchTables(coreDB); err != nil {
+		return nil, err
+	}
+	s.history = history.NewIndex(s.histMetrics)
+	if err := s.history.Load(coreDB); err != nil {
+		return nil, fmt.Errorf("core: rebuild history index: %w", err)
+	}
+	s.watcher, err = history.NewScheduler(coreDB, s.watchRunner, history.SchedulerOptions{
+		Interval:    cfg.WatchInterval,
+		Granularity: cfg.WatchGranularity,
+		Thresholds:  cfg.WatchThresholds,
+		Metrics:     s.histMetrics,
+		Seed:        cfg.Seed + 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.watcher.Start()
 
 	// The reaper requeues jobs stranded on measurement servers whose
 	// heartbeats lapse mid-check (Sect. 10.3 corrective measures).
@@ -329,6 +405,20 @@ func (s *System) MeasurementServers() int {
 
 // DB returns the shared database client (for analysis over recorded data).
 func (s *System) DB() *store.Client { return s.db }
+
+// StoreEngine returns the in-process database engine behind the store
+// server — the admin UI's snapshot endpoints stream straight from it
+// rather than deep-copying over RPC.
+func (s *System) StoreEngine() *store.DB { return s.coreDB }
+
+// History returns the longitudinal price-series index.
+func (s *System) History() *history.Index { return s.history }
+
+// Watches returns the recurring-check scheduler.
+func (s *System) Watches() *history.Scheduler { return s.watcher }
+
+// Persister returns the durability layer (nil without a DataDir).
+func (s *System) Persister() *history.Persister { return s.persister }
 
 // ShopAddr is the dialable address of the e-commerce world server.
 func (s *System) ShopAddr() string { return s.shopSrv.Addr() }
@@ -440,7 +530,10 @@ type CheckResult struct {
 	URL      string
 	Domain   string
 	Currency string
-	Rows     []measurement.ResultRow
+	// Origin is "" for a user-submitted check, "watch" for one the
+	// scheduler re-ran.
+	Origin string
+	Rows   []measurement.ResultRow
 }
 
 // ErrNoPrice is returned when the initiator's page has no selectable price.
@@ -459,7 +552,13 @@ func (s *System) PriceCheck(userID, url string) (*CheckResult, error) {
 }
 
 // PriceCheckCurrency is PriceCheck with an explicit display currency.
-func (s *System) PriceCheckCurrency(userID, url, curr string) (res *CheckResult, err error) {
+func (s *System) PriceCheckCurrency(userID, url, curr string) (*CheckResult, error) {
+	return s.priceCheckOrigin(userID, url, curr, "")
+}
+
+// priceCheckOrigin runs the protocol tagging the check's origin ("" =
+// user-submitted, "watch" = scheduler-driven).
+func (s *System) priceCheckOrigin(userID, url, curr, origin string) (res *CheckResult, err error) {
 	u, ok := s.User(userID)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown user %q", userID)
@@ -529,6 +628,7 @@ func (s *System) PriceCheckCurrency(userID, url, curr string) (res *CheckResult,
 		Currency:      curr,
 		Day:           day,
 		TraceID:       tr.ID(),
+		Origin:        origin,
 	}
 	await := tr.Span("await")
 	if err := msCli.Check(check); err != nil {
@@ -542,7 +642,82 @@ func (s *System) PriceCheckCurrency(userID, url, curr string) (res *CheckResult,
 	if err != nil {
 		return nil, err
 	}
-	return &CheckResult{JobID: job.ID, URL: url, Domain: domain, Currency: curr, Rows: rows}, nil
+	s.recordHistory(url, rows)
+	return &CheckResult{JobID: job.ID, URL: url, Domain: domain, Currency: curr, Origin: origin, Rows: rows}, nil
+}
+
+// recordHistory folds one completed check into the longitudinal store:
+// a history_points row per successful vantage (durable first, through the
+// WAL when one is attached) and then the in-memory index. The row insert
+// preceding the index append is what lets a client treat any point it can
+// query as recoverable.
+func (s *System) recordHistory(url string, rows []measurement.ResultRow) {
+	// Millisecond precision, matching the ts_ms column: the live index and
+	// a recovered one must agree exactly.
+	now := time.UnixMilli(time.Now().UnixMilli()).UTC()
+	// One point per vantage country per check — the cheapest converted
+	// price seen from that country, the figure the verdicts reason about.
+	// A fleet with several IPs per country thus still yields exactly one
+	// point per series per run.
+	best := map[string]float64{}
+	for _, row := range rows {
+		if row.Err != "" || row.Converted <= 0 || row.Country == "" {
+			continue
+		}
+		if cur, ok := best[row.Country]; !ok || row.Converted < cur {
+			best[row.Country] = row.Converted
+		}
+	}
+	for country, price := range best {
+		key := history.SeriesKey{URL: url, Country: country}
+		pt := history.Point{T: now, Price: price}
+		if _, err := s.coreDB.Insert(history.PointsTable.Name, history.PointRow(key, pt)); err != nil {
+			continue
+		}
+		s.history.Append(key, pt)
+	}
+}
+
+// WatchUserID is the synthetic initiator the watch scheduler submits its
+// recurring checks as.
+const WatchUserID = "sheriff-watchdog"
+
+// ensureWatchUser lazily registers the scheduler's initiator.
+func (s *System) ensureWatchUser() (string, error) {
+	s.mu.Lock()
+	_, ok := s.users[WatchUserID]
+	s.mu.Unlock()
+	if ok {
+		return WatchUserID, nil
+	}
+	if _, err := s.AddUser(WatchUserID, "US", ""); err != nil {
+		return "", err
+	}
+	return WatchUserID, nil
+}
+
+// watchRunner executes one recurring check through the full pipeline and
+// reduces the result rows to per-country prices (the cheapest vantage per
+// country when several answered).
+func (s *System) watchRunner(url, currency string) (*history.RunResult, error) {
+	uid, err := s.ensureWatchUser()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.priceCheckOrigin(uid, url, currency, "watch")
+	if err != nil {
+		return nil, err
+	}
+	prices := make(map[string]float64)
+	for _, row := range res.Rows {
+		if row.Err != "" || row.Converted <= 0 || row.Country == "" {
+			continue
+		}
+		if p, ok := prices[row.Country]; !ok || row.Converted < p {
+			prices[row.Country] = row.Converted
+		}
+	}
+	return &history.RunResult{PricesByCountry: prices}, nil
 }
 
 // SelectPrice simulates the user highlighting the product price: it finds
@@ -633,8 +808,13 @@ func (s *System) Doppelgangers() *doppelganger.Manager {
 	return s.dopps
 }
 
-// Close shuts every component down.
+// Close shuts every component down. The watch scheduler stops first (no
+// new checks enter the pipeline), the persister last (every committed
+// write reaches the WAL before the final sync).
 func (s *System) Close() error {
+	if s.watcher != nil {
+		s.watcher.Stop()
+	}
 	s.mu.Lock()
 	users := make([]*User, 0, len(s.users))
 	for _, u := range s.users {
@@ -661,6 +841,9 @@ func (s *System) Close() error {
 	s.db.Close()
 	s.dbSrv.Close()
 	s.shopSrv.Close()
+	if s.persister != nil {
+		return s.persister.Close()
+	}
 	return nil
 }
 

@@ -1,0 +1,266 @@
+package history
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pricesheriff/internal/store"
+)
+
+var testSpec = store.TableSpec{Name: "items", Index: []string{"kind"}}
+
+func openPersisted(t *testing.T, dir string, opts Options) (*store.DB, *Persister) {
+	t.Helper()
+	db := store.NewDB()
+	p, err := Open(dir, db, opts)
+	if err != nil {
+		t.Fatalf("history.Open: %v", err)
+	}
+	return db, p
+}
+
+func TestPersisterRecoversAcknowledgedWrites(t *testing.T) {
+	dir := t.TempDir()
+	db, p := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	if err := db.CreateTable(testSpec); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 20; i++ {
+		id, err := db.Insert(testSpec.Name, store.Row{"kind": "widget", "n": float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := db.Update(testSpec.Name, ids[3], store.Row{"kind": "gadget"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(testSpec.Name, ids[7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, p2 := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	defer p2.Close()
+	rows, err := db2.Select(store.Query{Table: testSpec.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 19 {
+		t.Fatalf("recovered %d rows, want 19", len(rows))
+	}
+	r, err := db2.Get(testSpec.Name, ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["kind"] != "gadget" {
+		t.Fatalf("updated row lost: kind = %v", r["kind"])
+	}
+	if _, err := db2.Get(testSpec.Name, ids[7]); err == nil {
+		t.Fatal("deleted row came back after recovery")
+	}
+	// Recovered IDs must be preserved and the counter advanced past them.
+	id, err := db2.Insert(testSpec.Name, store.Row{"kind": "fresh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= ids[len(ids)-1] {
+		t.Fatalf("post-recovery insert reused ID %d (max recovered %d)", id, ids[len(ids)-1])
+	}
+}
+
+func TestPersisterTornTailTorture(t *testing.T) {
+	dir := t.TempDir()
+	db, p := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	if err := db.CreateTable(testSpec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Insert(testSpec.Name, store.Row{"n": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the writer mid-record: append half a frame to the last segment,
+	// as if the process died between write() calls.
+	seqs, _ := ListSegments(dir)
+	last := filepath.Join(dir, segmentName(seqs[len(seqs)-1]))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize, _ := os.Stat(last)
+
+	db2, p2 := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	if !p2.RepairedTail {
+		t.Fatal("persister did not report a repaired tail")
+	}
+	n, err := db2.Count(store.Query{Table: testSpec.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("recovered %d acknowledged rows, want 10", n)
+	}
+	repairedSize, _ := os.Stat(last)
+	if repairedSize.Size() >= tornSize.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", tornSize.Size(), repairedSize.Size())
+	}
+	// Appends continue cleanly after the repair.
+	if _, err := db2.Insert(testSpec.Name, store.Row{"n": float64(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, p3 := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	defer p3.Close()
+	if n, _ := db3.Count(store.Query{Table: testSpec.Name}); n != 11 {
+		t.Fatalf("post-repair write lost: %d rows, want 11", n)
+	}
+}
+
+func TestCompactionFoldsSegmentsWithoutLosingRows(t *testing.T) {
+	dir := t.TempDir()
+	db, p := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff, SegmentBytes: 256}})
+	if err := db.CreateTable(testSpec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Insert(testSpec.Name, store.Row{"n": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := p.WAL().SegmentCount()
+	if before < 3 {
+		t.Fatalf("need several segments before compacting, have %d", before)
+	}
+	if err := p.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := p.WAL().SegmentCount()
+	if after >= before {
+		t.Fatalf("compaction did not reduce segments: %d -> %d", before, after)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, p2 := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	defer p2.Close()
+	if n, _ := db2.Count(store.Query{Table: testSpec.Name}); n != 200 {
+		t.Fatalf("rows lost in compaction: %d, want 200", n)
+	}
+}
+
+func TestAutoCompactionUnderConcurrentInserts(t *testing.T) {
+	// -race suite: hammer inserts from several goroutines while automatic
+	// compaction runs in the background, then recover and count.
+	dir := t.TempDir()
+	db, p := openPersisted(t, dir, Options{
+		WAL:                 WALOptions{Fsync: FsyncOff, SegmentBytes: 512},
+		AutoCompactSegments: 4,
+	})
+	if err := db.CreateTable(testSpec); err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := db.Insert(testSpec.Name, store.Row{
+					"kind": fmt.Sprintf("w%d", w),
+					"n":    float64(i),
+				}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, p2 := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff}})
+	defer p2.Close()
+	n, err := db2.Count(store.Query{Table: testSpec.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*each {
+		t.Fatalf("recovered %d rows, want %d", n, workers*each)
+	}
+}
+
+func TestCorruptionBeforeTailRefusesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, p := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncOff, SegmentBytes: 128}})
+	if err := db.CreateTable(testSpec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Insert(testSpec.Name, store.Row{"n": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := ListSegments(dir)
+	if len(seqs) < 2 {
+		t.Fatalf("need >=2 segments, have %d", len(seqs))
+	}
+	// Corrupt a record in the FIRST segment: this is lost history, not a
+	// torn tail, and recovery must fail loudly rather than truncate it.
+	first := filepath.Join(dir, segmentName(seqs[0]))
+	buf, _ := os.ReadFile(first)
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(first, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, store.NewDB(), Options{WAL: WALOptions{Fsync: FsyncOff}}); err == nil {
+		t.Fatal("recovery accepted a corrupt non-tail segment")
+	}
+}
+
+func TestFsyncAlwaysRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	db, p := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncAlways}})
+	if err := db.CreateTable(testSpec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := db.Insert(testSpec.Name, store.Row{"n": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, p2 := openPersisted(t, dir, Options{WAL: WALOptions{Fsync: FsyncAlways}})
+	defer p2.Close()
+	if n, _ := db2.Count(store.Query{Table: testSpec.Name}); n != 5 {
+		t.Fatalf("fsync=always recovered %d rows, want 5", n)
+	}
+}

@@ -1,0 +1,101 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"pricesheriff/internal/store"
+)
+
+var t0 = time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+
+func TestIndexAppendRangeSorted(t *testing.T) {
+	ix := NewIndex(nil)
+	key := SeriesKey{URL: "https://nomad-sneakers.com/p/1", Country: "US"}
+	ix.Append(key, Point{T: t0.Add(2 * time.Minute), Price: 80})
+	ix.Append(key, Point{T: t0, Price: 100})
+	ix.Append(key, Point{T: t0.Add(time.Minute), Price: 90}) // out of order
+
+	all := ix.Range(key, time.Time{}, time.Time{})
+	if len(all) != 3 {
+		t.Fatalf("len = %d, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].T.Before(all[i-1].T) {
+			t.Fatalf("series not sorted at %d: %v", i, all)
+		}
+	}
+	mid := ix.Range(key, t0.Add(30*time.Second), t0.Add(90*time.Second))
+	if len(mid) != 1 || mid[0].Price != 90 {
+		t.Fatalf("range query = %v, want the 90 point", mid)
+	}
+	if ix.Len(key) != 3 {
+		t.Fatalf("Len = %d", ix.Len(key))
+	}
+	if n := len(ix.Series()); n != 1 {
+		t.Fatalf("Series() len = %d", n)
+	}
+}
+
+func TestIndexLoadFromTable(t *testing.T) {
+	db := store.NewDB()
+	if err := db.CreateTable(PointsTable); err != nil {
+		t.Fatal(err)
+	}
+	key := SeriesKey{URL: "https://x.com/p", Country: "DE"}
+	for i := 0; i < 4; i++ {
+		row := PointRow(key, Point{T: t0.Add(time.Duration(i) * time.Hour), Price: 50 + float64(i)})
+		if _, err := db.Insert(PointsTable.Name, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := NewIndex(nil)
+	if err := ix.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len(key) != 4 {
+		t.Fatalf("loaded %d points, want 4", ix.Len(key))
+	}
+	pts := ix.Range(key, time.Time{}, time.Time{})
+	if pts[0].Price != 50 || pts[3].Price != 53 {
+		t.Fatalf("loaded series = %v", pts)
+	}
+	if !pts[0].T.Equal(t0) {
+		t.Fatalf("timestamp roundtrip lost precision: %v != %v", pts[0].T, t0)
+	}
+
+	// Missing table is a fresh deployment, not an error.
+	if err := NewIndex(nil).Load(store.NewDB()); err != nil {
+		t.Fatalf("Load on empty DB: %v", err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{T: t0.Add(time.Duration(i) * time.Minute), Price: float64(i)})
+	}
+	buckets := Downsample(pts, 10)
+	if len(buckets) == 0 || len(buckets) > 10 {
+		t.Fatalf("bucket count = %d", len(buckets))
+	}
+	total := 0
+	for i, b := range buckets {
+		total += b.Count
+		if b.Min > b.Mean || b.Mean > b.Max {
+			t.Fatalf("bucket %d violates min<=mean<=max: %+v", i, b)
+		}
+		if i > 0 && !buckets[i-1].T.Before(b.T) {
+			t.Fatalf("buckets out of order at %d", i)
+		}
+	}
+	if total != len(pts) {
+		t.Fatalf("downsample dropped points: %d of %d", total, len(pts))
+	}
+	if Downsample(nil, 10) != nil {
+		t.Fatal("Downsample(nil) != nil")
+	}
+	if got := Downsample(pts[:1], 5); len(got) != 1 || got[0].Mean != 0 {
+		t.Fatalf("single-point downsample = %v", got)
+	}
+}

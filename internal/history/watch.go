@@ -1,0 +1,496 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pricesheriff/internal/store"
+)
+
+// Durable watch tables. Registered watches, their run log and the emitted
+// verdicts all live in the main store so they survive restarts via the
+// WAL like everything else.
+var (
+	WatchesTable       = store.TableSpec{Name: "watches", Unique: []string{"url"}}
+	WatchRunsTable     = store.TableSpec{Name: "watch_runs", Index: []string{"watch_id"}}
+	WatchVerdictsTable = store.TableSpec{Name: "watch_verdicts", Index: []string{"watch_id"}}
+)
+
+// EnsureWatchTables creates the watch and history tables, tolerating ones
+// that already exist (recovered from a checkpoint or WAL).
+func EnsureWatchTables(db *store.DB) error {
+	for _, spec := range []store.TableSpec{PointsTable, WatchesTable, WatchRunsTable, WatchVerdictsTable} {
+		if err := db.CreateTable(spec); err != nil && !errors.Is(err, store.ErrTableExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunResult is what one watch execution observed: the product's price
+// from every vantage country that answered.
+type RunResult struct {
+	PricesByCountry map[string]float64
+}
+
+// Runner executes one price check for a watched product through the
+// system's normal measurement path and reports the per-country prices.
+type Runner func(url, currency string) (*RunResult, error)
+
+// Thresholds tune the longitudinal PD verdicts. All are fractions.
+type Thresholds struct {
+	// Appear: a cross-vantage spread at or above this where the baseline
+	// had (almost) none is "spread-appeared".
+	Appear float64
+	// Widen: a spread this much above an already-discriminating baseline
+	// is "spread-widened".
+	Widen float64
+	// Drop: a minimum price this fraction below the baseline minimum is
+	// "price-drop".
+	Drop float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.Appear <= 0 {
+		t.Appear = 0.03
+	}
+	if t.Widen <= 0 {
+		t.Widen = 0.03
+	}
+	if t.Drop <= 0 {
+		t.Drop = 0.10
+	}
+	return t
+}
+
+// Verdict kinds.
+const (
+	VerdictSpreadAppeared = "spread-appeared"
+	VerdictSpreadWidened  = "spread-widened"
+	VerdictPriceDrop      = "price-drop"
+)
+
+// Verdict is one longitudinal finding on a watched product.
+type Verdict struct {
+	WatchID  int64     `json:"watch_id"`
+	URL      string    `json:"url"`
+	T        time.Time `json:"t"`
+	Kind     string    `json:"kind"`
+	Spread   float64   `json:"spread"`
+	Baseline float64   `json:"baseline"`
+}
+
+// runStats summarizes one completed run for judging.
+type runStats struct {
+	spread float64
+	min    float64
+}
+
+// Judge compares the latest run against the series baseline — the median
+// of the prior runs' spreads and minimum prices — and returns the verdict
+// kinds it triggers. It needs at least two prior runs to have a baseline.
+func Judge(prior []runStats, cur runStats, th Thresholds) (kinds []string, baseline float64) {
+	th = th.withDefaults()
+	if len(prior) < 2 {
+		return nil, 0
+	}
+	spreads := make([]float64, len(prior))
+	mins := make([]float64, len(prior))
+	for i, p := range prior {
+		spreads[i], mins[i] = p.spread, p.min
+	}
+	baseSpread := median(spreads)
+	baseMin := median(mins)
+	if baseSpread < th.Appear && cur.spread >= th.Appear {
+		kinds = append(kinds, VerdictSpreadAppeared)
+	}
+	if baseSpread >= th.Appear && cur.spread-baseSpread >= th.Widen {
+		kinds = append(kinds, VerdictSpreadWidened)
+	}
+	if baseMin > 0 && (baseMin-cur.min)/baseMin >= th.Drop {
+		kinds = append(kinds, VerdictPriceDrop)
+	}
+	return kinds, baseSpread
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// spreadOf computes the cross-vantage spread (max-min)/min and the
+// minimum over the per-country prices.
+func spreadOf(prices map[string]float64) (spread, min float64) {
+	first := true
+	var max float64
+	for _, p := range prices {
+		if p <= 0 {
+			continue
+		}
+		if first || p < min {
+			min = p
+		}
+		if first || p > max {
+			max = p
+		}
+		first = false
+	}
+	if first || min <= 0 {
+		return 0, 0
+	}
+	return (max - min) / min, min
+}
+
+// SchedulerOptions configure a watch Scheduler.
+type SchedulerOptions struct {
+	// Interval between runs of one watch (default 1 minute).
+	Interval time.Duration
+	// Granularity of the scheduling tick (default Interval/20, clamped to
+	// [10ms, 1s]).
+	Granularity time.Duration
+	// Jitter spreads run times by ±Jitter*Interval (default 0.2) so a
+	// fleet of watches doesn't stampede the shops in lockstep.
+	Jitter     float64
+	Thresholds Thresholds
+	Metrics    *Metrics
+	// Seed for the jitter RNG (0 = fixed default).
+	Seed int64
+	Logf func(format string, args ...any)
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Minute
+	}
+	if o.Granularity <= 0 {
+		o.Granularity = o.Interval / 20
+	}
+	if o.Granularity < 10*time.Millisecond {
+		o.Granularity = 10 * time.Millisecond
+	}
+	if o.Granularity > time.Second {
+		o.Granularity = time.Second
+	}
+	if o.Jitter <= 0 || o.Jitter >= 1 {
+		o.Jitter = 0.2
+	}
+	o.Thresholds = o.Thresholds.withDefaults()
+	if o.Seed == 0 {
+		o.Seed = 0x5e81ff
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Watch is a registered recurring check plus its live scheduling state.
+type Watch struct {
+	ID       int64     `json:"id"`
+	URL      string    `json:"url"`
+	Currency string    `json:"currency"`
+	Runs     int       `json:"runs"`
+	NextRun  time.Time `json:"next_run"`
+}
+
+// Scheduler re-executes registered watches on a jittered interval and
+// judges each run against the series baseline. All state that matters is
+// in the DB; the scheduler itself only keeps next-run times.
+type Scheduler struct {
+	db   *store.DB
+	run  Runner
+	opts SchedulerOptions
+
+	mu      sync.Mutex
+	next    map[int64]time.Time // watch ID → next run
+	rng     *rand.Rand
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewScheduler builds a scheduler over db, executing checks via run. Call
+// Start to begin; registered watches are picked up from the DB.
+func NewScheduler(db *store.DB, run Runner, opts SchedulerOptions) (*Scheduler, error) {
+	opts = opts.withDefaults()
+	if err := EnsureWatchTables(db); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		db:   db,
+		run:  run,
+		opts: opts,
+		next: make(map[int64]time.Time),
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	rows, err := db.Select(store.Query{Table: WatchesTable.Name})
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	for _, r := range rows {
+		id, _ := r[store.ID].(float64)
+		s.next[int64(id)] = now // recovered watches run on the first tick
+	}
+	opts.Metrics.watchCount(len(s.next))
+	return s, nil
+}
+
+// Add registers a recurring watch on a product URL. The first run happens
+// on the next scheduler tick.
+func (s *Scheduler) Add(url, currency string) (int64, error) {
+	if url == "" {
+		return 0, fmt.Errorf("history: watch needs a url")
+	}
+	if currency == "" {
+		currency = "USD"
+	}
+	id, err := s.db.Insert(WatchesTable.Name, store.Row{
+		"url":        url,
+		"currency":   currency,
+		"created_ms": float64(time.Now().UnixMilli()),
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.next[id] = time.Now()
+	n := len(s.next)
+	s.mu.Unlock()
+	s.opts.Metrics.watchCount(n)
+	return id, nil
+}
+
+// Remove unregisters a watch by URL. Its run and verdict history stays in
+// the DB.
+func (s *Scheduler) Remove(url string) error {
+	rows, err := s.db.Select(store.Query{Table: WatchesTable.Name, Eq: map[string]any{"url": url}})
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("history: no watch on %q", url)
+	}
+	id, _ := rows[0][store.ID].(float64)
+	if err := s.db.Delete(WatchesTable.Name, int64(id)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.next, int64(id))
+	n := len(s.next)
+	s.mu.Unlock()
+	s.opts.Metrics.watchCount(n)
+	return nil
+}
+
+// List returns every registered watch with its run count and next
+// scheduled time, sorted by ID.
+func (s *Scheduler) List() ([]Watch, error) {
+	rows, err := s.db.Select(store.Query{Table: WatchesTable.Name, OrderBy: store.ID})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Watch, 0, len(rows))
+	for _, r := range rows {
+		id, _ := r[store.ID].(float64)
+		url, _ := r["url"].(string)
+		cur, _ := r["currency"].(string)
+		n, err := s.db.Count(store.Query{Table: WatchRunsTable.Name, Eq: map[string]any{"watch_id": id}})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Watch{
+			ID: int64(id), URL: url, Currency: cur,
+			Runs: n, NextRun: s.next[int64(id)],
+		})
+	}
+	return out, nil
+}
+
+// Verdicts returns the verdicts recorded for a URL (all URLs when empty),
+// newest last.
+func (s *Scheduler) Verdicts(url string) ([]Verdict, error) {
+	q := store.Query{Table: WatchVerdictsTable.Name, OrderBy: store.ID}
+	if url != "" {
+		q.Eq = map[string]any{"url": url}
+	}
+	rows, err := s.db.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Verdict, 0, len(rows))
+	for _, r := range rows {
+		wid, _ := r["watch_id"].(float64)
+		ms, _ := r["ts_ms"].(float64)
+		kind, _ := r["verdict"].(string)
+		u, _ := r["url"].(string)
+		spread, _ := r["spread"].(float64)
+		base, _ := r["baseline"].(float64)
+		out = append(out, Verdict{
+			WatchID: int64(wid), URL: u, T: time.UnixMilli(int64(ms)).UTC(),
+			Kind: kind, Spread: spread, Baseline: base,
+		})
+	}
+	return out, nil
+}
+
+// Start begins the scheduling loop.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Stop halts the loop and waits for any in-flight run to finish.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	close(s.stop)
+	done := s.done
+	s.mu.Unlock()
+	<-done
+}
+
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.Granularity)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			for _, id := range s.due(now) {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+				if err := s.RunWatch(id); err != nil {
+					s.opts.Logf("watch %d: %v", id, err)
+				}
+			}
+		}
+	}
+}
+
+// due collects the watches scheduled at or before now and pushes their
+// next run one jittered interval out.
+func (s *Scheduler) due(now time.Time) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []int64
+	for id, at := range s.next {
+		if at.After(now) {
+			continue
+		}
+		ids = append(ids, id)
+		jit := 1 + s.opts.Jitter*(2*s.rng.Float64()-1)
+		s.next[id] = now.Add(time.Duration(float64(s.opts.Interval) * jit))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RunWatch executes one watch immediately: runs the check, logs the run
+// row, and judges it against the baseline, recording any verdicts. It is
+// also the loop's worker.
+func (s *Scheduler) RunWatch(id int64) error {
+	w, err := s.db.Get(WatchesTable.Name, id)
+	if err != nil {
+		return err
+	}
+	url, _ := w["url"].(string)
+	currency, _ := w["currency"].(string)
+
+	t0 := time.Now()
+	res, err := s.run(url, currency)
+	s.opts.Metrics.watchRan(t0, err)
+	if err != nil {
+		return fmt.Errorf("run %s: %w", url, err)
+	}
+	spread, min := spreadOf(res.PricesByCountry)
+	if min == 0 {
+		return fmt.Errorf("run %s: no usable prices", url)
+	}
+
+	prior, err := s.priorStats(id)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	if _, err := s.db.Insert(WatchRunsTable.Name, store.Row{
+		"watch_id":  float64(id),
+		"ts_ms":     float64(now.UnixMilli()),
+		"spread":    spread,
+		"min_price": min,
+		"countries": float64(len(res.PricesByCountry)),
+	}); err != nil {
+		return err
+	}
+
+	kinds, baseline := Judge(prior, runStats{spread: spread, min: min}, s.opts.Thresholds)
+	for _, kind := range kinds {
+		if _, err := s.db.Insert(WatchVerdictsTable.Name, store.Row{
+			"watch_id": float64(id),
+			"url":      url,
+			"ts_ms":    float64(now.UnixMilli()),
+			"verdict":  kind,
+			"spread":   spread,
+			"baseline": baseline,
+		}); err != nil {
+			return err
+		}
+		s.opts.Metrics.verdict(kind)
+		s.opts.Logf("watch %s: %s (spread %.3f vs baseline %.3f)", url, kind, spread, baseline)
+	}
+	return nil
+}
+
+// priorStats loads the spread/min history of a watch from its run log.
+func (s *Scheduler) priorStats(id int64) ([]runStats, error) {
+	rows, err := s.db.Select(store.Query{
+		Table:   WatchRunsTable.Name,
+		Eq:      map[string]any{"watch_id": float64(id)},
+		OrderBy: store.ID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]runStats, 0, len(rows))
+	for _, r := range rows {
+		sp, _ := r["spread"].(float64)
+		mn, _ := r["min_price"].(float64)
+		if mn <= 0 || math.IsNaN(sp) {
+			continue
+		}
+		out = append(out, runStats{spread: sp, min: mn})
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package history
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/store"
+)
+
+func TestJudgeVerdicts(t *testing.T) {
+	th := Thresholds{} // defaults: appear 0.03, widen 0.03, drop 0.10
+	flat := []runStats{{spread: 0, min: 100}, {spread: 0.01, min: 100}}
+	wide := []runStats{{spread: 0.10, min: 100}, {spread: 0.12, min: 100}}
+
+	cases := []struct {
+		name  string
+		prior []runStats
+		cur   runStats
+		want  []string
+	}{
+		{"too little history", flat[:1], runStats{spread: 0.5, min: 100}, nil},
+		{"steady flat", flat, runStats{spread: 0.01, min: 100}, nil},
+		{"spread appears", flat, runStats{spread: 0.08, min: 100}, []string{VerdictSpreadAppeared}},
+		{"spread widens", wide, runStats{spread: 0.20, min: 100}, []string{VerdictSpreadWidened}},
+		{"steady wide is not news", wide, runStats{spread: 0.115, min: 100}, nil},
+		{"price drops", flat, runStats{spread: 0.01, min: 80}, []string{VerdictPriceDrop}},
+		{"appear and drop together", flat, runStats{spread: 0.08, min: 80},
+			[]string{VerdictSpreadAppeared, VerdictPriceDrop}},
+	}
+	for _, c := range cases {
+		got, _ := Judge(c.prior, c.cur, th)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: verdicts = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: verdicts = %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSpreadOf(t *testing.T) {
+	s, min := spreadOf(map[string]float64{"US": 100, "DE": 120, "PK": 80})
+	if min != 80 || s < 0.49 || s > 0.51 {
+		t.Fatalf("spreadOf = (%v, %v), want (0.5, 80)", s, min)
+	}
+	if s, min := spreadOf(map[string]float64{"US": -1, "DE": 0}); s != 0 || min != 0 {
+		t.Fatalf("all-invalid prices should yield zeros, got (%v, %v)", s, min)
+	}
+}
+
+func TestSchedulerAddListRemove(t *testing.T) {
+	db := store.NewDB()
+	s, err := NewScheduler(db, func(url, currency string) (*RunResult, error) {
+		return &RunResult{PricesByCountry: map[string]float64{"US": 10}}, nil
+	}, SchedulerOptions{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("https://a.com/p/1", "USD"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("https://b.com/p/2", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("https://a.com/p/1", "USD"); err == nil {
+		t.Fatal("duplicate watch URL accepted")
+	}
+	ws, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[1].Currency != "USD" {
+		t.Fatalf("List = %+v", ws)
+	}
+	if err := s.Remove("https://a.com/p/1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("https://a.com/p/1"); err == nil {
+		t.Fatal("removing a missing watch should error")
+	}
+	if ws, _ = s.List(); len(ws) != 1 {
+		t.Fatalf("after remove, List = %+v", ws)
+	}
+}
+
+// TestSchedulerEmitsSpreadAppeared drives a watch whose shop starts
+// uniform and then flips to per-country pricing — the longitudinal PD
+// story the subsystem exists to tell.
+func TestSchedulerEmitsSpreadAppeared(t *testing.T) {
+	db := store.NewDB()
+	var mu sync.Mutex
+	discriminate := false
+	runner := func(url, currency string) (*RunResult, error) {
+		mu.Lock()
+		d := discriminate
+		mu.Unlock()
+		prices := map[string]float64{"US": 100, "DE": 100, "PK": 100}
+		if d {
+			prices["PK"] = 112
+		}
+		return &RunResult{PricesByCountry: prices}, nil
+	}
+	s, err := NewScheduler(db, runner, SchedulerOptions{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Add("https://nomad-sneakers.com/p/7", "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // build the flat baseline
+		if err := s.RunWatch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	discriminate = true
+	mu.Unlock()
+	if err := s.RunWatch(id); err != nil {
+		t.Fatal(err)
+	}
+
+	vs, err := s.Verdicts("https://nomad-sneakers.com/p/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Kind != VerdictSpreadAppeared {
+		t.Fatalf("verdicts = %+v, want one spread-appeared", vs)
+	}
+	if vs[0].Spread < 0.10 || vs[0].Baseline > 0.01 {
+		t.Fatalf("verdict numbers off: %+v", vs[0])
+	}
+	ws, _ := s.List()
+	if ws[0].Runs != 4 {
+		t.Fatalf("run log has %d runs, want 4", ws[0].Runs)
+	}
+}
+
+// TestSchedulerLoopRunsAutomatically proves the loop re-executes a watch
+// without manual triggering, and that Stop leaves nothing in flight.
+func TestSchedulerLoopRunsAutomatically(t *testing.T) {
+	db := store.NewDB()
+	var mu sync.Mutex
+	runs := 0
+	runner := func(url, currency string) (*RunResult, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		return &RunResult{PricesByCountry: map[string]float64{"US": 10, "DE": 10}}, nil
+	}
+	s, err := NewScheduler(db, runner, SchedulerOptions{
+		Interval:    30 * time.Millisecond,
+		Granularity: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("https://auto.com/p", "USD"); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := runs
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d automatic runs after 5s", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Stop()
+	mu.Lock()
+	after := runs
+	mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	if runs != after {
+		t.Fatalf("runner fired after Stop: %d -> %d", after, runs)
+	}
+	mu.Unlock()
+	s.Stop() // idempotent
+}
+
+// TestSchedulerRecoversWatchesFromDB simulates a restart: a second
+// scheduler over the same DB sees the registered watches.
+func TestSchedulerRecoversWatchesFromDB(t *testing.T) {
+	db := store.NewDB()
+	runner := func(url, currency string) (*RunResult, error) {
+		return &RunResult{PricesByCountry: map[string]float64{"US": 10}}, nil
+	}
+	s1, err := NewScheduler(db, runner, SchedulerOptions{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Add("https://persisted.com/p", "EUR"); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewScheduler(db, runner, SchedulerOptions{Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].URL != "https://persisted.com/p" || ws[0].Currency != "EUR" {
+		t.Fatalf("recovered watches = %+v", ws)
+	}
+}

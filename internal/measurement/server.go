@@ -34,6 +34,10 @@ type CheckRequest struct {
 	// TraceID joins the server-side spans to a trace the submitter
 	// started (empty: the server traces under the job ID).
 	TraceID string `json:"trace_id,omitempty"`
+	// Origin tags how the check was initiated: "" for a user-submitted
+	// one-shot, "watch" for a scheduler-driven recurring check. Recorded
+	// with the request row so longitudinal rows are separable in analysis.
+	Origin string `json:"origin,omitempty"`
 }
 
 // ResultRow is one line of the Fig. 2 result page.
@@ -338,6 +342,7 @@ func (s *Server) process(req *CheckRequest) {
 		reqRowID, _ = s.DB.Insert("requests", store.Row{
 			"job_id": req.JobID, "domain": domain, "url": req.URL,
 			"day": req.Day, "initiator_html": req.InitiatorHTML,
+			"origin": req.Origin,
 		})
 		per.End()
 	}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -91,6 +92,7 @@ type Shop struct {
 	catalog map[string]*Product
 	order   []string // SKUs in insertion order
 	visits  atomic.Int64
+	stratMu sync.RWMutex // guards Strategy against runtime swaps
 }
 
 // New creates an empty shop; add products with AddProduct.
@@ -146,10 +148,26 @@ func ParseProductURL(url string) (domain, sku string, err error) {
 // test suite; the watchdog pipeline never calls it.
 func (s *Shop) PriceFor(ctx *Context) float64 {
 	price := ctx.Product.BasePrice
-	if s.Strategy != nil {
-		price = s.Strategy.Adjust(price, ctx)
+	if st := s.strategy(); st != nil {
+		price = st.Adjust(price, ctx)
 	}
 	return price
+}
+
+// SetStrategy swaps the pricing strategy while the shop serves traffic —
+// how a longitudinal experiment makes a retailer start (or stop)
+// discriminating mid-run. Direct writes to Strategy are only safe before
+// the shop goes behind a server.
+func (s *Shop) SetStrategy(st Strategy) {
+	s.stratMu.Lock()
+	s.Strategy = st
+	s.stratMu.Unlock()
+}
+
+func (s *Shop) strategy() Strategy {
+	s.stratMu.RLock()
+	defer s.stratMu.RUnlock()
+	return s.Strategy
 }
 
 // Fetch serves one product page.

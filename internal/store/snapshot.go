@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -21,52 +22,169 @@ type TableSnapshot struct {
 	Rows []Row     `json:"rows"`
 }
 
-// Export writes the whole database as JSON.
+// IDMap records how an import reassigned row IDs: table → old ID → new
+// ID. Callers use it to fix up cross-table references (e.g. the
+// responses.request_id join onto requests).
+type IDMap map[string]map[int64]int64
+
+// Export writes the whole database as JSON, streaming table by table: the
+// engine is locked only while one table's rows are copied, so exporting a
+// large DB neither doubles resident memory for the whole corpus nor
+// stalls writers for the full encode. Tables created after the export
+// begins are not included.
 func (db *DB) Export(w io.Writer) error {
 	db.mu.RLock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
 	}
+	db.mu.RUnlock()
 	sort.Strings(names)
 
-	snap := Snapshot{}
+	if _, err := io.WriteString(w, `{"tables":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	first := true
 	for _, name := range names {
-		t := db.tables[name]
-		ts := TableSnapshot{Spec: t.spec}
+		db.mu.RLock()
+		t, ok := db.tables[name]
+		if !ok { // dropped mid-export
+			db.mu.RUnlock()
+			continue
+		}
+		ts := TableSnapshot{Spec: t.spec, Rows: make([]Row, 0, len(t.order))}
 		for _, id := range t.order {
 			if r, ok := t.rows[id]; ok {
 				ts.Rows = append(ts.Rows, copyRow(r))
 			}
 		}
-		snap.Tables = append(snap.Tables, ts)
-	}
-	db.mu.RUnlock()
+		db.mu.RUnlock()
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(&snap)
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := enc.Encode(&ts); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
 }
 
 // Import loads a snapshot into an empty database. Row IDs are reassigned
-// sequentially (references via the ID column are not preserved — export
-// application-level keys if you need joins to survive).
-func (db *DB) Import(r io.Reader) error {
+// sequentially; the returned IDMap gives the old→new assignment per table
+// so callers can fix up cross-table references.
+func (db *DB) Import(r io.Reader) (IDMap, error) {
 	if n := len(db.Tables()); n != 0 {
-		return fmt.Errorf("store: import requires an empty database, have %d tables", n)
+		return nil, fmt.Errorf("store: import requires an empty database, have %d tables", n)
 	}
+	return db.ImportMerge(r)
+}
+
+// ImportMerge loads a snapshot into a possibly non-empty database:
+// missing tables are created, existing ones keep their spec, and every
+// imported row gets a fresh ID. The returned IDMap records the old→new
+// assignment per table. Unique indexes are validated up front, so a
+// rejected snapshot leaves the database untouched (a concurrent writer
+// racing the merge with a conflicting insert can still fail it midway).
+func (db *DB) ImportMerge(r io.Reader) (IDMap, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if err := db.checkMergeable(&snap); err != nil {
+		return nil, err
+	}
+	idmap := make(IDMap, len(snap.Tables))
+	for _, ts := range snap.Tables {
+		if err := db.CreateTable(ts.Spec); err != nil && !errors.Is(err, ErrTableExists) {
+			return nil, err
+		}
+		m := make(map[int64]int64, len(ts.Rows))
+		for _, row := range ts.Rows {
+			clean := copyRow(row)
+			oldID, _ := clean[ID].(float64)
+			delete(clean, ID)
+			newID, err := db.Insert(ts.Spec.Name, clean)
+			if err != nil {
+				return nil, fmt.Errorf("store: import %s: %w", ts.Spec.Name, err)
+			}
+			if oldID > 0 {
+				m[int64(oldID)] = newID
+			}
+		}
+		idmap[ts.Spec.Name] = m
+	}
+	return idmap, nil
+}
+
+// checkMergeable rejects a snapshot that would trip a unique index —
+// against rows already stored or between the snapshot's own rows —
+// before any of it is applied.
+func (db *DB) checkMergeable(snap *Snapshot) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, ts := range snap.Tables {
+		t := db.tables[ts.Spec.Name]
+		// The live spec wins for existing tables, matching the merge.
+		cols := ts.Spec.Unique
+		if t != nil {
+			cols = t.spec.Unique
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		seen := make(map[string]map[string]bool, len(cols))
+		for _, col := range cols {
+			seen[col] = make(map[string]bool)
+		}
+		for _, row := range ts.Rows {
+			r := normalize(row)
+			for _, col := range cols {
+				v, ok := r[col]
+				if !ok {
+					continue
+				}
+				key := canon(v)
+				if seen[col][key] {
+					return fmt.Errorf("store: import %s: %w: %s=%v (duplicated in snapshot)", ts.Spec.Name, ErrDupUnique, col, v)
+				}
+				if t != nil {
+					if _, dup := t.unique[col][key]; dup {
+						return fmt.Errorf("store: import %s: %w: %s=%v", ts.Spec.Name, ErrDupUnique, col, v)
+					}
+				}
+				seen[col][key] = true
+			}
+		}
+	}
+	return nil
+}
+
+// ImportReplay loads a snapshot preserving original row IDs — the
+// WAL-recovery path, where cross-table references must survive verbatim
+// and subsequent log records address rows by their recorded IDs. Existing
+// tables are tolerated; rows already stored under an ID are replaced.
+func (db *DB) ImportReplay(r io.Reader) error {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("store: decode snapshot: %w", err)
 	}
 	for _, ts := range snap.Tables {
-		if err := db.CreateTable(ts.Spec); err != nil {
+		if err := db.CreateTable(ts.Spec); err != nil && !errors.Is(err, ErrTableExists) {
 			return err
 		}
 		for _, row := range ts.Rows {
-			clean := copyRow(row)
-			delete(clean, ID)
-			if _, err := db.Insert(ts.Spec.Name, clean); err != nil {
-				return fmt.Errorf("store: import %s: %w", ts.Spec.Name, err)
+			id, _ := row[ID].(float64)
+			if id <= 0 {
+				return fmt.Errorf("store: replay %s: row without ID", ts.Spec.Name)
+			}
+			if err := db.InsertWithID(ts.Spec.Name, int64(id), row); err != nil {
+				return fmt.Errorf("store: replay %s: %w", ts.Spec.Name, err)
 			}
 		}
 	}

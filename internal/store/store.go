@@ -66,6 +66,32 @@ type Query struct {
 // saving round trips for hot paths (the paper's query optimization).
 type Proc func(db *DB, args json.RawMessage) (any, error)
 
+// Op kinds reported to the commit hook.
+const (
+	OpCreate = "create"
+	OpInsert = "insert"
+	OpUpdate = "update"
+	OpDelete = "delete"
+)
+
+// Op describes one committed mutation, in commit order. Insert ops carry
+// the full normalized row including the assigned ID column; update ops
+// carry only the normalized updates.
+type Op struct {
+	Kind  string     `json:"k"`
+	Table string     `json:"t,omitempty"`
+	ID    int64      `json:"id,omitempty"`
+	Row   Row        `json:"r,omitempty"`
+	Spec  *TableSpec `json:"s,omitempty"`
+}
+
+// CommitHook observes committed mutations. It is invoked synchronously
+// under the engine's write lock, so invocations are totally ordered and a
+// crash after the hook returns can never have acknowledged an unlogged
+// write — the contract the WAL in internal/history builds on. Keep it
+// fast: the whole engine stalls while it runs.
+type CommitHook func(Op)
+
 type table struct {
 	spec    TableSpec
 	rows    map[int64]Row
@@ -80,6 +106,21 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	procs  map[string]Proc
+	hook   CommitHook
+}
+
+// SetCommitHook installs (or, with nil, removes) the commit observer.
+func (db *DB) SetCommitHook(h CommitHook) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.hook = h
+}
+
+// commit invokes the hook; callers hold db.mu for writing.
+func (db *DB) commit(op Op) {
+	if db.hook != nil {
+		db.hook(op)
+	}
 }
 
 // NewDB creates an empty engine.
@@ -114,6 +155,8 @@ func (db *DB) CreateTable(spec TableSpec) error {
 		t.unique[col] = make(map[string]int64)
 	}
 	db.tables[spec.Name] = t
+	specCopy := spec
+	db.commit(Op{Kind: OpCreate, Table: spec.Name, Spec: &specCopy})
 	return nil
 }
 
@@ -204,7 +247,69 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 			idx[canon(v)] = id
 		}
 	}
+	db.commit(Op{Kind: OpInsert, Table: tableName, ID: id, Row: copyRow(r)})
 	return id, nil
+}
+
+// InsertWithID adds a row under an explicit ID — the WAL-replay path,
+// where preserving original IDs keeps cross-table references intact. A
+// row already stored under the ID is replaced (replay is idempotent); a
+// unique-index conflict with a *different* row is still an error.
+func (db *DB) InsertWithID(tableName string, id int64, row Row) error {
+	if id <= 0 {
+		return fmt.Errorf("%w: id %d", ErrBadQuery, id)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return ErrNoTable
+	}
+	r := normalize(row)
+	delete(r, ID)
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			if other, dup := idx[canon(v)]; dup && other != id {
+				return fmt.Errorf("%w: %s=%v", ErrDupUnique, col, v)
+			}
+		}
+	}
+	if old, exists := t.rows[id]; exists {
+		// Replace: unhook the old row from every index, keep its slot in
+		// the insertion order.
+		for col, idx := range t.indexes {
+			if v, ok := old[col]; ok {
+				removeID(idx, canon(v), id)
+			}
+		}
+		for col, idx := range t.unique {
+			if v, ok := old[col]; ok {
+				delete(idx, canon(v))
+			}
+		}
+	} else {
+		t.order = append(t.order, id)
+		sortIDs(t.order)
+	}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	r[ID] = float64(id)
+	t.rows[id] = r
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok {
+			key := canon(v)
+			idx[key] = append(idx[key], id)
+			sortIDs(idx[key])
+		}
+	}
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			idx[canon(v)] = id
+		}
+	}
+	db.commit(Op{Kind: OpInsert, Table: tableName, ID: id, Row: copyRow(r)})
+	return nil
 }
 
 // Get fetches a row by ID; the returned row is a copy.
@@ -264,6 +369,7 @@ func (db *DB) Update(tableName string, id int64, updates Row) error {
 		}
 		r[col] = v
 	}
+	db.commit(Op{Kind: OpUpdate, Table: tableName, ID: id, Row: copyRow(up)})
 	return nil
 }
 
@@ -296,6 +402,7 @@ func (db *DB) Delete(tableName string, id int64) error {
 			break
 		}
 	}
+	db.commit(Op{Kind: OpDelete, Table: tableName, ID: id})
 	return nil
 }
 
