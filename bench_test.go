@@ -10,6 +10,7 @@
 package pricesheriff
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -659,7 +660,7 @@ func BenchmarkAblationDoppelganger(b *testing.B) {
 			br := newBenchBrowser(ip.String())
 			f := shop.LocalFetcher{Mall: m}
 			for v := 0; v < 4; v++ {
-				br.BrowseProduct(f, url, 0)
+				br.BrowseProduct(context.Background(), f, url, 0)
 			}
 			cookie := br.Cookie("adnet.example")
 			before := m.Trackers[0].InterestScore(cookie, "textbooks")
@@ -668,7 +669,7 @@ func BenchmarkAblationDoppelganger(b *testing.B) {
 				if useDopp && br.NeedsDoppelganger("chegg.com") {
 					state = browser.StateClean // stand-in for dopp state
 				}
-				br.SandboxFetch(f, url, 1, state, nil)
+				br.SandboxFetch(context.Background(), f, url, 1, state, nil)
 			}
 			return m.Trackers[0].InterestScore(cookie, "textbooks") - before
 		}

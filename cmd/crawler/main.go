@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pricesheriff/internal/analysis"
 	"pricesheriff/internal/shop"
@@ -64,9 +67,15 @@ func main() {
 		log.Fatal("no domains given")
 	}
 
-	obs, err := c.Sweep(specs)
+	// Ctrl-C stops the crawl; whatever was gathered so far is reported.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	obs, err := c.SweepCtx(ctx, specs)
 	if err != nil {
-		log.Fatal(err)
+		if ctx.Err() == nil || len(obs) == 0 {
+			log.Fatal(err)
+		}
+		fmt.Printf("crawl interrupted (%v); reporting %d partial observations\n", err, len(obs))
 	}
 	cov := c.Coverage()
 	fmt.Printf("collected %d observations over %d domains\n", len(obs), len(specs))

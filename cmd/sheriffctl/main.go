@@ -6,8 +6,12 @@
 // Usage:
 //
 //	sheriffctl -coord HOST:PORT -shops HOST:PORT -broker HOST:PORT \
-//	    [-country ES] [-id my-peer] \
+//	    [-country ES] [-id my-peer] [-timeout 30s] \
 //	    (-url http://domain/product/sku | -domain chegg.com | -list)
+//
+// The whole check runs under a context: -timeout bounds it, and Ctrl-C
+// cancels it cleanly — the measurement server aborts its vantage fan-out
+// and whatever rows arrived before the cut are still printed.
 //
 // Subcommands speak to a deployment's admin UI:
 //
@@ -19,11 +23,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pricesheriff/internal/browser"
@@ -66,10 +74,15 @@ func main() {
 		domain     = flag.String("domain", "", "check the first product of this domain")
 		list       = flag.Bool("list", false, "list some retailer domains and exit")
 		curr       = flag.String("currency", "EUR", "currency to convert results to")
+		timeout    = flag.Duration("timeout", 3*time.Minute, "overall deadline for the price check (0 = none)")
 		serve      = flag.Duration("serve", 0, "stay connected serving remote requests for this long after the check")
 	)
 	flag.Parse()
 	log.SetFlags(0)
+
+	// Ctrl-C cancels the whole run; -timeout bounds the check itself.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *coordAddr == "" || *shopsAddr == "" || *brokerAddr == "" {
 		log.Fatal("need -coord, -shops and -broker (sheriffd prints them)")
 	}
@@ -132,10 +145,20 @@ func main() {
 	defer node.Close()
 	go node.Run()
 
+	checkCtx := ctx
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		checkCtx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	// Step 1: navigate and "highlight" the price.
-	resp, err := br.BrowseProduct(fetcher, *url, 0)
-	if err != nil || resp.Status != 200 {
-		log.Fatalf("navigate: %v (status %d)", err, resp.Status)
+	resp, err := br.BrowseProduct(checkCtx, fetcher, *url, 0)
+	if err != nil {
+		log.Fatalf("navigate: %v", err)
+	}
+	if resp.Status != 200 {
+		log.Fatalf("navigate: status %d", resp.Status)
 	}
 	path, err := core.SelectPrice(resp.HTML)
 	if err != nil {
@@ -153,7 +176,7 @@ func main() {
 		log.Fatalf("dial measurement server: %v", err)
 	}
 	defer ms.Close()
-	if err := ms.Check(&measurement.CheckRequest{
+	if err := ms.CheckCtx(checkCtx, &measurement.CheckRequest{
 		JobID:         job.JobID,
 		URL:           *url,
 		TagsPath:      path,
@@ -163,17 +186,35 @@ func main() {
 	}); err != nil {
 		log.Fatalf("submit check: %v", err)
 	}
-	rows, err := ms.WaitResults(job.JobID, 3*time.Minute)
+	rows, err := ms.WaitResultsCtx(checkCtx, job.JobID)
 	if err != nil {
-		log.Fatalf("results: %v", err)
+		if checkCtx.Err() == nil {
+			log.Fatalf("results: %v", err)
+		}
+		// Canceled or timed out: abort the server-side fan-out and fall
+		// through to print whatever rows made it before the cut.
+		cctx, ccancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ms.Cancel(cctx, job.JobID)
+		ccancel()
+		switch {
+		case errors.Is(checkCtx.Err(), context.DeadlineExceeded):
+			fmt.Printf("check timed out after %v; partial results:\n", *timeout)
+		default:
+			fmt.Println("check canceled; partial results:")
+		}
 	}
 	fmt.Print(core.FormatResult(&core.CheckResult{
 		JobID: job.JobID, URL: *url, Domain: domainName, Currency: *curr, Rows: rows,
 	}))
 
-	if *serve > 0 {
+	if *serve > 0 && ctx.Err() == nil {
 		fmt.Printf("serving remote requests for %v ...\n", *serve)
-		time.Sleep(*serve)
+		serveTimer := time.NewTimer(*serve)
+		select {
+		case <-serveTimer.C:
+		case <-ctx.Done():
+			serveTimer.Stop()
+		}
 		fmt.Printf("served %d remote page requests\n", node.Served())
 	}
 }

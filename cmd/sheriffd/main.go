@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -112,7 +113,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// SIGINT/SIGTERM cancel the system's base context: in-flight and
+	// watch-driven checks abort cleanly instead of being orphaned.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
 	sys, err := core.NewSystem(core.Config{
+		BaseContext:        ctx,
 		Fabric:             fabric,
 		Mall:               mall,
 		MeasurementServers: *servers,
@@ -207,9 +214,7 @@ func main() {
 		"-shops", sys.ShopAddr(), "-broker", sys.BrokerAddr())
 	fmt.Println("Serving until interrupted (Ctrl-C).")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	fmt.Println("\nshutting down")
 	fmt.Printf("final stats: %d checks completed, p95 check latency %.3fs, %d proxy timeouts\n",
 		reg.Counter("sheriff_measurement_checks_completed_total").Value(),

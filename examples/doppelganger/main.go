@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -100,7 +101,7 @@ func main() {
 	cheggShop, _ := mall.Shop("chegg.com")
 	url := cheggShop.ProductURL(cheggShop.Products()[0].SKU)
 	u := users[1]
-	if _, err := u.Browser.BrowseProduct(u.Node.Fetcher, url, 0); err != nil {
+	if _, err := u.Browser.BrowseProduct(context.Background(), u.Node.Fetcher, url, 0); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nuser %s visited chegg.com once; own-state budget: needs doppelganger = %v\n",

@@ -1,0 +1,226 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/obs"
+)
+
+func TestAcquireUpToLimitIsImmediate(t *testing.T) {
+	c := New(Config{Limit: 3}, nil)
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	if got := c.Inflight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+	for _, rel := range rels {
+		rel()
+		rel() // release is idempotent
+	}
+	if got := c.Inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+// TestOverloadSheddingIsImmediate is the acceptance scenario: in-flight
+// cap 2, both slots held, and 10 arrivals whose deadlines cannot clear
+// the queue. All 10 must be rejected with ErrOverload in O(1) — no
+// waiting — and sheriff_admit_shed_total must count exactly those 10.
+func TestOverloadSheddingIsImmediate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Limit: 2, MaxQueue: 100, ServiceTime: time.Second}, NewMetrics(reg, "ms-0"))
+
+	rel1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	defer rel2()
+
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_, err := c.Acquire(ctx)
+		cancel()
+		if !errors.Is(err, ErrOverload) {
+			t.Fatalf("doomed acquire %d: %v, want ErrOverload", i, err)
+		}
+	}
+	// O(1): the rejections never waited on the 50ms deadlines, let alone
+	// the 1s service-time queue estimate.
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("10 sheds took %v; shedding must not wait", elapsed)
+	}
+	if n := reg.Counter("sheriff_admit_shed_total", "server", "ms-0").Value(); n != 10 {
+		t.Fatalf("sheriff_admit_shed_total = %d, want 10", n)
+	}
+	if n := reg.Counter("sheriff_admit_queued", "server", "ms-0").Value(); n != 0 {
+		t.Fatalf("sheriff_admit_queued = %d, want 0 (doomed requests never queue)", n)
+	}
+}
+
+func TestQueueIsFIFO(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Limit: 1, ServiceTime: 10 * time.Millisecond}, NewMetrics(reg, "ms-0"))
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ready <- struct{}{}
+			// No deadline: these wait their turn instead of being shed.
+			r, err := c.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+		<-ready
+		// Serialize enqueue order so FIFO is observable.
+		waitFor(t, func() bool { return c.Queued() == i+1 })
+	}
+	rel()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("handoff order = %v, want [0 1 2]", order)
+	}
+	if n := reg.Counter("sheriff_admit_queued", "server", "ms-0").Value(); n != 3 {
+		t.Fatalf("sheriff_admit_queued = %d, want 3", n)
+	}
+}
+
+func TestAbandonedWaiterDoesNotLeakSlot(t *testing.T) {
+	c := New(Config{Limit: 1}, nil)
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		errs <- err
+	}()
+	waitFor(t, func() bool { return c.Queued() == 1 })
+	cancel()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter err = %v, want context.Canceled", err)
+	}
+	rel()
+	// The abandoned waiter must not swallow the freed slot.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	r, err := c.Acquire(ctx2)
+	if err != nil {
+		t.Fatalf("acquire after abandon: %v", err)
+	}
+	r()
+}
+
+func TestOverloadedSignal(t *testing.T) {
+	c := New(Config{Limit: 1, Window: time.Hour}, nil)
+	clock := time.Now()
+	c.now = func() time.Time { return clock }
+
+	if c.Overloaded() {
+		t.Fatal("fresh controller reports overloaded")
+	}
+	rel, _ := c.Acquire(context.Background())
+	defer rel()
+	// 50ms of budget against a 2s default service estimate: doomed.
+	ctx, cancel := context.WithDeadline(context.Background(), clock.Add(50*time.Millisecond))
+	defer cancel()
+	if _, err := c.Acquire(ctx); !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	if !c.Overloaded() {
+		t.Fatal("not overloaded right after a shed")
+	}
+	clock = clock.Add(2 * time.Hour) // past the window
+	if c.Overloaded() {
+		t.Fatal("overload signal did not decay after the window")
+	}
+}
+
+// TestAcquireRace hammers the controller from many goroutines (run under
+// -race via make test) and checks the in-flight cap is never breached.
+func TestAcquireRace(t *testing.T) {
+	c := New(Config{Limit: 4, MaxQueue: 1000, ServiceTime: time.Millisecond}, nil)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				rel, err := c.Acquire(context.Background())
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Microsecond)
+				cur.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("in-flight peak = %d, cap 4 breached", p)
+	}
+	if c.Inflight() != 0 || c.Queued() != 0 {
+		t.Fatalf("controller not drained: inflight=%d queued=%d", c.Inflight(), c.Queued())
+	}
+}
+
+func TestErrOverloadWireCode(t *testing.T) {
+	var rc interface{ RPCCode() string }
+	if !errors.As(ErrOverload, &rc) || rc.RPCCode() != "overload" {
+		t.Fatalf("ErrOverload must carry wire code %q", "overload")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

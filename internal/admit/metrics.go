@@ -1,0 +1,70 @@
+package admit
+
+import "pricesheriff/internal/obs"
+
+// Metrics instruments one admission controller. A nil *Metrics disables
+// instrumentation; the series carry the owning server's id as a label so
+// a multi-server deployment stays tellable apart.
+type Metrics struct {
+	queued     *obs.Counter // requests that had to wait
+	shed       *obs.Counter // requests rejected with ErrOverload
+	abandons   *obs.Counter // waiters whose ctx died while queued
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+}
+
+// NewMetrics builds the admission metric bundle for one server label.
+func NewMetrics(reg *obs.Registry, server string) *Metrics {
+	return &Metrics{
+		queued:     reg.Counter("sheriff_admit_queued", "server", server),
+		shed:       reg.Counter("sheriff_admit_shed_total", "server", server),
+		abandons:   reg.Counter("sheriff_admit_abandoned_total", "server", server),
+		inflight:   reg.Gauge("sheriff_admit_inflight", "server", server),
+		queueDepth: reg.Gauge("sheriff_admit_queue_depth", "server", server),
+	}
+}
+
+func (m *Metrics) admitted(inflight int) {
+	if m == nil {
+		return
+	}
+	m.inflight.Set(int64(inflight))
+}
+
+func (m *Metrics) released(inflight int) {
+	if m == nil {
+		return
+	}
+	m.inflight.Set(int64(inflight))
+}
+
+func (m *Metrics) enqueued(depth int) {
+	if m == nil {
+		return
+	}
+	m.queued.Inc()
+	m.queueDepth.Set(int64(depth))
+}
+
+func (m *Metrics) dequeued(depth, inflight int) {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Set(int64(depth))
+	m.inflight.Set(int64(inflight))
+}
+
+func (m *Metrics) abandoned(depth int) {
+	if m == nil {
+		return
+	}
+	m.abandons.Inc()
+	m.queueDepth.Set(int64(depth))
+}
+
+func (m *Metrics) shedOne() {
+	if m == nil {
+		return
+	}
+	m.shed.Inc()
+}

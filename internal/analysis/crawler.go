@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -296,11 +297,18 @@ type SweepSpec struct {
 
 // Sweep runs the specs in order, accumulating observations.
 func (c *Crawler) Sweep(specs []SweepSpec) ([]Obs, error) {
+	return c.SweepCtx(context.Background(), specs)
+}
+
+// SweepCtx is Sweep under a context: a long crawl checks it between
+// product repetitions, so an interrupted run returns the observations
+// gathered so far alongside the context's error.
+func (c *Crawler) SweepCtx(ctx context.Context, specs []SweepSpec) ([]Obs, error) {
 	var out []Obs
 	for _, spec := range specs {
 		s, ok := c.Mall.Shop(spec.Domain)
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown domain %s", spec.Domain)
+			return out, fmt.Errorf("analysis: unknown domain %s", spec.Domain)
 		}
 		products := s.Products()
 		if spec.Products > 0 && spec.Products < len(products) {
@@ -308,10 +316,13 @@ func (c *Crawler) Sweep(specs []SweepSpec) ([]Obs, error) {
 		}
 		for _, p := range products {
 			for rep := 0; rep < spec.Reps; rep++ {
+				if err := ctx.Err(); err != nil {
+					return out, err
+				}
 				day := spec.StartDay + float64(rep)*spec.DayStep
 				obs, err := c.Check(spec.Domain, p.SKU, day)
 				if err != nil {
-					return nil, err
+					return out, err
 				}
 				out = append(out, obs...)
 			}

@@ -7,6 +7,7 @@
 package browser
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -133,7 +134,7 @@ func (b *Browser) RecordWebVisit(domain string, day float64) {
 // BrowseProduct is the real user visiting a product page: history, cache,
 // cookies and the per-domain product-visit counter all update. This is the
 // activity that earns "pollution budget" for remote fetches.
-func (b *Browser) BrowseProduct(f shop.Fetcher, url string, day float64) (*shop.FetchResponse, error) {
+func (b *Browser) BrowseProduct(ctx context.Context, f shop.Fetcher, url string, day float64) (*shop.FetchResponse, error) {
 	domain, _, err := shop.ParseProductURL(url)
 	if err != nil {
 		return nil, err
@@ -147,7 +148,7 @@ func (b *Browser) BrowseProduct(f shop.Fetcher, url string, day float64) (*shop.
 		Nonce:     b.nextNonce(),
 		LoggedIn:  b.LoggedIn(domain),
 	}
-	resp, err := f.Fetch(req)
+	resp, err := f.Fetch(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +201,7 @@ var ErrNoDoppelgangerState = errors.New("browser: doppelganger state required")
 // the request, and nothing the response sets — cookies, history, cache —
 // survives (Sect. 3.6.1: "the sandboxed environment is deleted keeping the
 // browser history and cookies clean of any trace").
-func (b *Browser) SandboxFetch(f shop.Fetcher, url string, day float64, state SandboxState, doppCookies map[string]string) (*shop.FetchResponse, error) {
+func (b *Browser) SandboxFetch(ctx context.Context, f shop.Fetcher, url string, day float64, state SandboxState, doppCookies map[string]string) (*shop.FetchResponse, error) {
 	var cookies map[string]string
 	switch state {
 	case StateOwn:
@@ -228,7 +229,7 @@ func (b *Browser) SandboxFetch(f shop.Fetcher, url string, day float64, state Sa
 		Nonce:     b.nextNonce(),
 		LoggedIn:  loggedIn,
 	}
-	resp, err := f.Fetch(req)
+	resp, err := f.Fetch(ctx, req)
 	if err != nil {
 		return nil, err
 	}

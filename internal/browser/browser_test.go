@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,7 @@ func testWorld(t *testing.T) (*shop.Mall, shop.Fetcher, string, string) {
 func TestBrowseProductUpdatesState(t *testing.T) {
 	_, f, url, ip := testWorld(t)
 	b := New("u1", ip, "linux", "firefox")
-	resp, err := b.BrowseProduct(f, url, 1)
+	resp, err := b.BrowseProduct(context.Background(), f, url, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestBrowseProductUpdatesState(t *testing.T) {
 func TestBrowseProductBadURL(t *testing.T) {
 	_, f, _, ip := testWorld(t)
 	b := New("u1", ip, "linux", "firefox")
-	if _, err := b.BrowseProduct(f, "junk", 1); err == nil {
+	if _, err := b.BrowseProduct(context.Background(), f, "junk", 1); err == nil {
 		t.Error("bad URL must error")
 	}
 }
@@ -63,7 +64,7 @@ func TestSandboxLeavesNoTrace(t *testing.T) {
 	b.SetCookie("keep.example", "v")
 
 	for _, state := range []SandboxState{StateOwn, StateClean} {
-		resp, err := b.SandboxFetch(f, url, 2, state, nil)
+		resp, err := b.SandboxFetch(context.Background(), f, url, 2, state, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestSandboxOwnStateSendsCookies(t *testing.T) {
 	m, f, url, ip := testWorld(t)
 	b := New("u1", ip, "windows", "chrome")
 	// Establish a tracker cookie through real browsing.
-	if _, err := b.BrowseProduct(f, url, 1); err != nil {
+	if _, err := b.BrowseProduct(context.Background(), f, url, 1); err != nil {
 		t.Fatal(err)
 	}
 	cookie := b.Cookie("adnet.example")
@@ -101,7 +102,7 @@ func TestSandboxOwnStateSendsCookies(t *testing.T) {
 		t.Fatal("no tracker cookie")
 	}
 	before := m.Trackers[0].InterestScore(cookie, "textbooks")
-	if _, err := b.SandboxFetch(f, url, 2, StateOwn, nil); err != nil {
+	if _, err := b.SandboxFetch(context.Background(), f, url, 2, StateOwn, nil); err != nil {
 		t.Fatal(err)
 	}
 	after := m.Trackers[0].InterestScore(cookie, "textbooks")
@@ -109,7 +110,7 @@ func TestSandboxOwnStateSendsCookies(t *testing.T) {
 		t.Errorf("own-state fetch did not reach the tracker: %d -> %d", before, after)
 	}
 	// Clean fetch must NOT touch the profile.
-	if _, err := b.SandboxFetch(f, url, 2, StateClean, nil); err != nil {
+	if _, err := b.SandboxFetch(context.Background(), f, url, 2, StateClean, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.Trackers[0].InterestScore(cookie, "textbooks"); got != after {
@@ -120,11 +121,11 @@ func TestSandboxOwnStateSendsCookies(t *testing.T) {
 func TestSandboxDoppelgangerState(t *testing.T) {
 	m, f, url, ip := testWorld(t)
 	b := New("u1", ip, "linux", "firefox")
-	if _, err := b.SandboxFetch(f, url, 1, StateDoppelganger, nil); err != ErrNoDoppelgangerState {
+	if _, err := b.SandboxFetch(context.Background(), f, url, 1, StateDoppelganger, nil); err != ErrNoDoppelgangerState {
 		t.Errorf("want ErrNoDoppelgangerState, got %v", err)
 	}
 	dopp := map[string]string{"adnet.example": "dopp-cookie-1"}
-	if _, err := b.SandboxFetch(f, url, 1, StateDoppelganger, dopp); err != nil {
+	if _, err := b.SandboxFetch(context.Background(), f, url, 1, StateDoppelganger, dopp); err != nil {
 		t.Fatal(err)
 	}
 	// The doppelganger's profile took the hit, not the user's.
@@ -150,18 +151,18 @@ func TestPollutionBudget(t *testing.T) {
 	}
 
 	// 1-3 visits: budget floor(v/4) = 0 -> doppelganger required.
-	b.BrowseProduct(f, url, 1)
+	b.BrowseProduct(context.Background(), f, url, 1)
 	if !b.NeedsDoppelganger("chegg.com") {
 		t.Error("1 visit: budget 0, doppelganger required")
 	}
-	b.BrowseProduct(f, url, 1)
-	b.BrowseProduct(f, url, 1)
-	b.BrowseProduct(f, url, 1)
+	b.BrowseProduct(context.Background(), f, url, 1)
+	b.BrowseProduct(context.Background(), f, url, 1)
+	b.BrowseProduct(context.Background(), f, url, 1)
 	// 4 visits: budget 1.
 	if b.NeedsDoppelganger("chegg.com") {
 		t.Error("4 visits: one own-state fetch allowed")
 	}
-	if _, err := b.SandboxFetch(f, url, 2, StateOwn, nil); err != nil {
+	if _, err := b.SandboxFetch(context.Background(), f, url, 2, StateOwn, nil); err != nil {
 		t.Fatal(err)
 	}
 	if b.RemoteFetches("chegg.com") != 1 {
@@ -172,7 +173,7 @@ func TestPollutionBudget(t *testing.T) {
 	}
 	// 4 more visits refill the budget.
 	for i := 0; i < 4; i++ {
-		b.BrowseProduct(f, url, 3)
+		b.BrowseProduct(context.Background(), f, url, 3)
 	}
 	if b.NeedsDoppelganger("chegg.com") {
 		t.Error("8 visits, 1 fetch: budget available again")

@@ -21,6 +21,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -142,6 +143,25 @@ func (e *engine) hangUntil(extra <-chan struct{}) {
 	}
 }
 
+// sleepCtx waits for d unless the engine halts or ctx dies first; a dead
+// context aborts the injected latency with its error.
+func (e *engine) sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	e.delays.Add(1)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-e.halt:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func (e *engine) close() { e.once.Do(func() { close(e.halt) }) }
 
 func (e *engine) stats() Stats {
@@ -216,6 +236,15 @@ func (l *chaosListener) Accept() (transport.Conn, error) {
 
 func (l *chaosListener) Close() error { return l.lis.Close() }
 func (l *chaosListener) Addr() string { return l.lis.Addr() }
+
+// TransportMetrics forwards the wrapped fabric's metric bundle so RPC
+// servers behind the chaos layer still drive sheriff_rpc_inflight.
+func (l *chaosListener) TransportMetrics() *transport.Metrics {
+	if ms, ok := l.lis.(transport.MetricsSource); ok {
+		return ms.TransportMetrics()
+	}
+	return nil
+}
 
 type chaosConn struct {
 	conn transport.Conn
@@ -296,17 +325,27 @@ func (f *Fetcher) Close() error {
 }
 
 // Fetch implements shop.Fetcher. Drop verdicts count as errors (a page
-// fetch has no connection of its own to tear down).
-func (f *Fetcher) Fetch(req *shop.FetchRequest) (*shop.FetchResponse, error) {
+// fetch has no connection of its own to tear down). Injected latency and
+// hangs abort promptly when ctx dies: a canceled check does not sit out
+// the injected delay, and a hung fetch released by its caller's deadline
+// returns the context's error rather than blocking until Close.
+func (f *Fetcher) Fetch(ctx context.Context, req *shop.FetchRequest) (*shop.FetchResponse, error) {
 	delay, how := f.eng.decide()
-	f.eng.sleep(delay)
+	if err := f.eng.sleepCtx(ctx, delay); err != nil {
+		return nil, err
+	}
 	switch how {
 	case errOp, dropOp:
 		f.eng.errors.Add(1)
 		return nil, ErrInjected
 	case hangOp:
-		f.eng.hangUntil(nil)
-		return nil, ErrInjected
+		f.eng.hangs.Add(1)
+		select {
+		case <-f.eng.halt:
+			return nil, ErrInjected
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	return f.inner.Fetch(req)
+	return f.inner.Fetch(ctx, req)
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // okFetcher always succeeds.
 type okFetcher struct{}
 
-func (okFetcher) Fetch(*shop.FetchRequest) (*shop.FetchResponse, error) {
+func (okFetcher) Fetch(context.Context, *shop.FetchRequest) (*shop.FetchResponse, error) {
 	return &shop.FetchResponse{Status: 200, HTML: "<html></html>"}, nil
 }
 
@@ -23,7 +24,7 @@ func TestFetcherDeterministicSequence(t *testing.T) {
 		f := NewFetcher(okFetcher{}, cfg)
 		out := make([]bool, 200)
 		for i := range out {
-			_, err := f.Fetch(&shop.FetchRequest{URL: "http://x/p"})
+			_, err := f.Fetch(context.Background(), &shop.FetchRequest{URL: "http://x/p"})
 			out[i] = err != nil
 		}
 		return out
@@ -48,7 +49,7 @@ func TestFetcherDeterministicSequence(t *testing.T) {
 
 func TestFetcherErrorAndStats(t *testing.T) {
 	f := NewFetcher(okFetcher{}, Config{Seed: 1, ErrRate: 1})
-	if _, err := f.Fetch(&shop.FetchRequest{}); !errors.Is(err, ErrInjected) {
+	if _, err := f.Fetch(context.Background(), &shop.FetchRequest{}); !errors.Is(err, ErrInjected) {
 		t.Fatalf("err = %v, want ErrInjected", err)
 	}
 	if s := f.Stats(); s.Errors != 1 || s.Total() != 1 {
@@ -59,7 +60,7 @@ func TestFetcherErrorAndStats(t *testing.T) {
 func TestFetcherLatency(t *testing.T) {
 	f := NewFetcher(okFetcher{}, Config{Seed: 1, Latency: 30 * time.Millisecond})
 	start := time.Now()
-	if _, err := f.Fetch(&shop.FetchRequest{}); err != nil {
+	if _, err := f.Fetch(context.Background(), &shop.FetchRequest{}); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 30*time.Millisecond {
@@ -74,7 +75,7 @@ func TestFetcherHangReleasedByClose(t *testing.T) {
 	f := NewFetcher(okFetcher{}, Config{Seed: 1, HangRate: 1})
 	done := make(chan error, 1)
 	go func() {
-		_, err := f.Fetch(&shop.FetchRequest{})
+		_, err := f.Fetch(context.Background(), &shop.FetchRequest{})
 		done <- err
 	}()
 	select {
@@ -100,7 +101,7 @@ func TestFetcherDisabledPassesThrough(t *testing.T) {
 	f := NewFetcher(okFetcher{}, Config{Seed: 1, ErrRate: 1, HangRate: 0})
 	f.SetEnabled(false)
 	for i := 0; i < 10; i++ {
-		if _, err := f.Fetch(&shop.FetchRequest{}); err != nil {
+		if _, err := f.Fetch(context.Background(), &shop.FetchRequest{}); err != nil {
 			t.Fatalf("disabled injector failed: %v", err)
 		}
 	}

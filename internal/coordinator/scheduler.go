@@ -20,6 +20,7 @@ type ServerInfo struct {
 	Addr     string `json:"addr"`
 	Online   bool   `json:"online"`
 	Pending  int    `json:"pending"`
+	Shedding bool   `json:"shedding,omitempty"`
 	LastBeat int64  `json:"last_beat_ms"`
 }
 
@@ -49,6 +50,7 @@ type serverEntry struct {
 	pending   int
 	lastBeat  int64
 	removed   bool
+	shedding  bool // server self-reported admission overload
 	wasOnline bool // tracks online→offline transitions for lapse counting
 }
 
@@ -120,6 +122,13 @@ func (l *ServerList) Remove(addr string) error {
 // count (reconciling any drift from lost job-done messages — the
 // "corrective measures" of Sect. 10.3).
 func (l *ServerList) Heartbeat(addr string, pending int) error {
+	return l.HeartbeatState(addr, pending, false)
+}
+
+// HeartbeatState is Heartbeat plus the server's self-reported admission
+// state: a shedding server keeps its liveness but tells the scheduler to
+// route new jobs elsewhere while any non-shedding server is online.
+func (l *ServerList) HeartbeatState(addr string, pending int, shedding bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e, ok := l.servers[addr]
@@ -128,6 +137,7 @@ func (l *ServerList) Heartbeat(addr string, pending int) error {
 	}
 	e.lastBeat = l.now().UnixMilli()
 	e.wasOnline = true
+	e.shedding = shedding
 	if pending >= 0 {
 		e.pending = pending
 	}
@@ -183,15 +193,26 @@ func (l *ServerList) Assign() (string, error) {
 		}
 		return "", ErrNoServers
 	default: // LeastPending
-		var best *serverEntry
+		// Two tiers: servers that are shedding load (admission overload)
+		// only receive work when no healthy server is online at all.
+		var best, bestShedding *serverEntry
 		for _, addr := range l.order {
 			e := l.servers[addr]
 			if !l.online(e, nowMs) {
 				continue
 			}
+			if e.shedding {
+				if bestShedding == nil || e.pending < bestShedding.pending {
+					bestShedding = e
+				}
+				continue
+			}
 			if best == nil || e.pending < best.pending {
 				best = e
 			}
+		}
+		if best == nil {
+			best = bestShedding
 		}
 		if best == nil {
 			return "", ErrNoServers
@@ -241,6 +262,7 @@ func (l *ServerList) Snapshot() []ServerInfo {
 			Addr:     e.addr,
 			Online:   l.online(e, nowMs),
 			Pending:  e.pending,
+			Shedding: e.shedding,
 			LastBeat: e.lastBeat,
 		})
 	}

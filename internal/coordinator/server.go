@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"encoding/json"
 
 	"pricesheriff/internal/transport"
@@ -23,10 +24,14 @@ type (
 		ID string `json:"id"`
 		IP string `json:"ip"`
 	}
-	// HeartbeatReq is a Measurement server liveness report.
+	// HeartbeatReq is a Measurement server liveness report. Shedding
+	// carries the server's admission state so the scheduler can route new
+	// jobs around an overloaded server (omitted on the wire when false,
+	// keeping old reports parseable).
 	HeartbeatReq struct {
-		Addr    string `json:"addr"`
-		Pending int    `json:"pending"`
+		Addr     string `json:"addr"`
+		Pending  int    `json:"pending"`
+		Shedding bool   `json:"shedding,omitempty"`
 	}
 	// JobRef names a job.
 	JobRef struct {
@@ -51,7 +56,10 @@ type Server struct {
 // NewServer wraps the coordinator; call Serve to start.
 func NewServer(c *Coordinator, lis transport.Listener) *Server {
 	s := &Server{C: c, rpc: transport.NewServer(lis)}
-	s.rpc.Handle("coord.newjob", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.newjob", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req NewJobReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
@@ -62,7 +70,10 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		}
 		return NewJobResp{JobID: job.ID, ServerAddr: job.ServerAddr}, nil
 	})
-	s.rpc.Handle("coord.job_ppcs", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.job_ppcs", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req JobRef
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
@@ -76,21 +87,30 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		}
 		return ppcs, nil
 	})
-	s.rpc.Handle("coord.jobdone", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.jobdone", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req JobRef
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return nil, c.JobDone(req.JobID)
 	})
-	s.rpc.Handle("coord.register_peer", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.register_peer", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req RegisterPeerReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return c.RegisterPeer(req.ID, req.IP)
 	})
-	s.rpc.Handle("coord.unregister_peer", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.unregister_peer", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req RegisterPeerReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
@@ -98,7 +118,10 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		c.UnregisterPeer(req.ID)
 		return nil, nil
 	})
-	s.rpc.Handle("coord.register_server", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.register_server", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req RegisterServerReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
@@ -106,24 +129,36 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		c.Servers.Register(req.Addr)
 		return nil, nil
 	})
-	s.rpc.Handle("coord.heartbeat", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.heartbeat", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req HeartbeatReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
-		return nil, c.Servers.Heartbeat(req.Addr, req.Pending)
+		return nil, c.Servers.HeartbeatState(req.Addr, req.Pending, req.Shedding)
 	})
-	s.rpc.Handle("coord.dopp_state", func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.dopp_state", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req TokenReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return c.DoppelgangerState(req.Token)
 	})
-	s.rpc.Handle("coord.servers", func(json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.servers", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return c.Servers.Snapshot(), nil
 	})
-	s.rpc.Handle("coord.peers", func(json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("coord.peers", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return c.Peers(), nil
 	})
 	return s
@@ -154,21 +189,36 @@ func DialCoordinator(netw transport.Network, addr string) (*Client, error) {
 
 // NewJob requests a price-check job (step 1).
 func (cl *Client) NewJob(domain, initiatorID string) (NewJobResp, error) {
+	return cl.NewJobCtx(context.Background(), domain, initiatorID)
+}
+
+// NewJobCtx is NewJob bounded by a context.
+func (cl *Client) NewJobCtx(ctx context.Context, domain, initiatorID string) (NewJobResp, error) {
 	var resp NewJobResp
-	err := cl.rpc.Call("coord.newjob", NewJobReq{Domain: domain, InitiatorID: initiatorID}, &resp)
+	err := cl.rpc.CallCtx(ctx, "coord.newjob", NewJobReq{Domain: domain, InitiatorID: initiatorID}, &resp)
 	return resp, err
 }
 
 // JobPPCs fetches the PPC list for a job (step 1.1, pulled by the server).
 func (cl *Client) JobPPCs(jobID string) ([]PeerInfo, error) {
+	return cl.JobPPCsCtx(context.Background(), jobID)
+}
+
+// JobPPCsCtx is JobPPCs bounded by a context.
+func (cl *Client) JobPPCsCtx(ctx context.Context, jobID string) ([]PeerInfo, error) {
 	var ppcs []PeerInfo
-	err := cl.rpc.Call("coord.job_ppcs", JobRef{JobID: jobID}, &ppcs)
+	err := cl.rpc.CallCtx(ctx, "coord.job_ppcs", JobRef{JobID: jobID}, &ppcs)
 	return ppcs, err
 }
 
 // JobDone reports completion (step 4).
 func (cl *Client) JobDone(jobID string) error {
-	return cl.rpc.Call("coord.jobdone", JobRef{JobID: jobID}, nil)
+	return cl.JobDoneCtx(context.Background(), jobID)
+}
+
+// JobDoneCtx is JobDone bounded by a context.
+func (cl *Client) JobDoneCtx(ctx context.Context, jobID string) error {
+	return cl.rpc.CallCtx(ctx, "coord.jobdone", JobRef{JobID: jobID}, nil)
 }
 
 // RegisterPeer announces a PPC.
@@ -190,7 +240,12 @@ func (cl *Client) RegisterServer(addr string) error {
 
 // Heartbeat reports server liveness and pending count.
 func (cl *Client) Heartbeat(addr string, pending int) error {
-	return cl.rpc.Call("coord.heartbeat", HeartbeatReq{Addr: addr, Pending: pending}, nil)
+	return cl.HeartbeatCtx(context.Background(), addr, pending, false)
+}
+
+// HeartbeatCtx reports liveness, pending count, and admission state.
+func (cl *Client) HeartbeatCtx(ctx context.Context, addr string, pending int, shedding bool) error {
+	return cl.rpc.CallCtx(ctx, "coord.heartbeat", HeartbeatReq{Addr: addr, Pending: pending, Shedding: shedding}, nil)
 }
 
 // DoppelgangerState redeems a bearer token for client-side state.

@@ -1,0 +1,55 @@
+package coordinator
+
+import (
+	"testing"
+)
+
+// TestAssignAvoidsSheddingServers proves the least-pending heuristic
+// treats self-reported admission overload as a routing signal: a shedding
+// server receives no new jobs while any healthy server is online, even
+// when it has the lowest pending count.
+func TestAssignAvoidsSheddingServers(t *testing.T) {
+	l, _ := newServerList(LeastPending)
+	l.Register("a")
+	l.Register("b")
+	// "a" is idle but shedding; "b" is busy but healthy.
+	l.HeartbeatState("a", 0, true)
+	l.HeartbeatState("b", 7, false)
+	for i := 0; i < 3; i++ {
+		addr, err := l.Assign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr != "b" {
+			t.Fatalf("assignment %d went to shedding server %s", i, addr)
+		}
+	}
+	snap := l.Snapshot()
+	for _, s := range snap {
+		if s.Addr == "a" && !s.Shedding {
+			t.Fatal("snapshot lost the shedding flag")
+		}
+	}
+
+	// Once the pressure clears, "a" is preferred again (lowest pending).
+	l.HeartbeatState("a", 0, false)
+	if addr, _ := l.Assign(); addr != "a" {
+		t.Fatalf("post-recovery assignment = %s, want a", addr)
+	}
+}
+
+// TestAssignFallsBackToSheddingServer proves shedding degrades gracefully:
+// when every online server is shedding, jobs still land somewhere rather
+// than failing with ErrNoServers.
+func TestAssignFallsBackToSheddingServer(t *testing.T) {
+	l, _ := newServerList(LeastPending)
+	l.Register("a")
+	l.HeartbeatState("a", 2, true)
+	addr, err := l.Assign()
+	if err != nil {
+		t.Fatalf("Assign with only shedding servers: %v", err)
+	}
+	if addr != "a" {
+		t.Fatalf("assignment = %s, want a", addr)
+	}
+}

@@ -6,12 +6,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"pricesheriff/internal/admit"
 	"pricesheriff/internal/browser"
 	"pricesheriff/internal/cluster"
 	"pricesheriff/internal/coordinator"
@@ -89,7 +91,23 @@ type Config struct {
 	// WatchThresholds tune the longitudinal PD verdicts; zero fields take
 	// the history package defaults.
 	WatchThresholds history.Thresholds
+
+	// BaseContext is the root context of every internally initiated
+	// operation: the watch scheduler's recurring checks and the legacy
+	// (context-free) PriceCheck entry points derive from it, so canceling
+	// it — e.g. from a SIGINT handler — aborts in-flight checks cleanly.
+	// Default context.Background().
+	BaseContext context.Context
+	// MaxInflightChecks bounds concurrently running checks per Measurement
+	// server: past the cap submissions queue FIFO, and ones whose deadline
+	// cannot clear the queue are shed with admit.ErrOverload. 0 means
+	// DefaultMaxInflightChecks; negative disables admission control.
+	MaxInflightChecks int
 }
+
+// DefaultMaxInflightChecks is the per-server admission cap when
+// Config.MaxInflightChecks is zero.
+const DefaultMaxInflightChecks = 64
 
 // System is a running Price $heriff deployment.
 type System struct {
@@ -116,7 +134,10 @@ type System struct {
 	vantageBudget time.Duration
 	retrier       *retry.Retrier
 	ppcTimeout    time.Duration
+	maxInflight   int // per-server admission cap; <0 disables
 	stopReaper    func()
+
+	baseCtx context.Context
 
 	dopps     *doppelganger.Manager
 	directory *systemDirectory
@@ -182,6 +203,12 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.NewTracer(0)
 	}
+	if cfg.BaseContext == nil {
+		cfg.BaseContext = context.Background()
+	}
+	if cfg.MaxInflightChecks == 0 {
+		cfg.MaxInflightChecks = DefaultMaxInflightChecks
+	}
 	// Attach frame/byte accounting to the fabric if the caller didn't.
 	switch f := cfg.Fabric.(type) {
 	case transport.TCP:
@@ -211,6 +238,8 @@ func NewSystem(cfg Config) (*System, error) {
 		vantageBudget: cfg.VantageBudget,
 		retrier:       retry.New(cfg.RetryPolicy, cfg.Seed+3),
 		ppcTimeout:    cfg.PPCTimeout,
+		maxInflight:   cfg.MaxInflightChecks,
+		baseCtx:       cfg.BaseContext,
 	}
 
 	// The web: shops behind one server.
@@ -359,6 +388,10 @@ func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.
 	ms.CheckDeadline = s.checkDeadline
 	ms.VantageBudget = s.vantageBudget
 	ms.Retry = s.retrier
+	if s.maxInflight > 0 {
+		label := fmt.Sprintf("ms-%d", idx)
+		ms.Admit = admit.New(admit.Config{Limit: s.maxInflight}, admit.NewMetrics(s.metrics, label))
+	}
 
 	lis, err := s.fabric.Listen("")
 	if err != nil {
@@ -546,19 +579,38 @@ var ErrPIIBlacklisted = errors.New("core: URL matches the PII blacklist; refusin
 // PriceCheck runs the full five-step protocol for a user: navigate to the
 // product page (a real visit), highlight the price (build the Tags Path),
 // obtain a job from the Coordinator, submit the check to the assigned
-// Measurement server, and poll results to completion.
+// Measurement server, and poll results to completion. It derives from the
+// system's base context; use PriceCheckContext for per-call control.
 func (s *System) PriceCheck(userID, url string) (*CheckResult, error) {
 	return s.PriceCheckCurrency(userID, url, "EUR")
 }
 
+// PriceCheckContext is PriceCheck under a caller context: canceling it
+// aborts the check end to end — the submit RPC, the server-side vantage
+// fan-out (via an explicit cancel to the Measurement server), and the
+// result polling. On early exit the partial rows gathered so far are
+// returned alongside the error.
+func (s *System) PriceCheckContext(ctx context.Context, userID, url string) (*CheckResult, error) {
+	return s.PriceCheckCurrencyContext(ctx, userID, url, "EUR")
+}
+
 // PriceCheckCurrency is PriceCheck with an explicit display currency.
 func (s *System) PriceCheckCurrency(userID, url, curr string) (*CheckResult, error) {
-	return s.priceCheckOrigin(userID, url, curr, "")
+	return s.priceCheckOrigin(s.baseCtx, userID, url, curr, "")
+}
+
+// PriceCheckCurrencyContext is PriceCheckContext with an explicit display
+// currency.
+func (s *System) PriceCheckCurrencyContext(ctx context.Context, userID, url, curr string) (*CheckResult, error) {
+	return s.priceCheckOrigin(ctx, userID, url, curr, "")
 }
 
 // priceCheckOrigin runs the protocol tagging the check's origin ("" =
 // user-submitted, "watch" = scheduler-driven).
-func (s *System) priceCheckOrigin(userID, url, curr, origin string) (res *CheckResult, err error) {
+func (s *System) priceCheckOrigin(ctx context.Context, userID, url, curr, origin string) (res *CheckResult, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	u, ok := s.User(userID)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown user %q", userID)
@@ -588,7 +640,7 @@ func (s *System) priceCheckOrigin(userID, url, curr, origin string) (res *CheckR
 
 	// Step 1: the user navigates to the page (their own browser state).
 	submit := tr.Span("submit")
-	resp, err := u.Browser.BrowseProduct(u.Node.Fetcher, url, day)
+	resp, err := u.Browser.BrowseProduct(ctx, u.Node.Fetcher, url, day)
 	if err != nil {
 		submit.EndErr(err)
 		return nil, err
@@ -631,15 +683,33 @@ func (s *System) priceCheckOrigin(userID, url, curr, origin string) (res *CheckR
 		Origin:        origin,
 	}
 	await := tr.Span("await")
-	if err := msCli.Check(check); err != nil {
+	if err := msCli.CheckCtx(ctx, check); err != nil {
 		await.EndErr(err)
 		return nil, err
 	}
 
-	// Step 5: poll until the 'request finish' response.
-	rows, err := msCli.WaitResults(job.ID, 30*time.Second)
+	// Step 5: poll until the 'request finish' response, but never past the
+	// 30-second interactive cap — whichever of the cap and the caller's
+	// context dies first ends the wait.
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	rows, err := msCli.WaitResultsCtx(wctx, job.ID)
 	await.EndErr(err)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The caller is gone: tell the server to abort the vantage
+			// fan-out rather than letting it run to the check deadline.
+			// The cancel rides a fresh short-lived context (ctx is dead).
+			cctx, ccancel := context.WithTimeout(context.Background(), 2*time.Second)
+			msCli.Cancel(cctx, job.ID)
+			ccancel()
+		}
+		if len(rows) > 0 {
+			// Partial results: surface what arrived before the cut, the
+			// deployed system's behavior for checks cut by their deadline.
+			s.recordHistory(url, rows)
+			return &CheckResult{JobID: job.ID, URL: url, Domain: domain, Currency: curr, Origin: origin, Rows: rows}, err
+		}
 		return nil, err
 	}
 	s.recordHistory(url, rows)
@@ -704,7 +774,7 @@ func (s *System) watchRunner(url, currency string) (*history.RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.priceCheckOrigin(uid, url, currency, "watch")
+	res, err := s.priceCheckOrigin(s.baseCtx, uid, url, currency, "watch")
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -280,10 +281,10 @@ func TestTrainDoppelgangersAndSwap(t *testing.T) {
 	// state.
 	url := productURL(t, sys, "chegg.com", 0)
 	u1 := users[1]
-	if _, err := u1.Browser.BrowseProduct(u1.Node.Fetcher, url, 0); err != nil {
+	if _, err := u1.Browser.BrowseProduct(context.Background(), u1.Node.Fetcher, url, 0); err != nil {
 		t.Fatal(err)
 	}
-	resp := u1.Node.ServePage(&peer.PageRequest{URL: url, Day: 0})
+	resp := u1.Node.ServePage(context.Background(), &peer.PageRequest{URL: url, Day: 0})
 	if resp.Mode != "doppelganger" {
 		t.Errorf("mode = %s, want doppelganger", resp.Mode)
 	}
@@ -305,7 +306,7 @@ func TestDoppelgangerModeOverProtocol(t *testing.T) {
 	url := productURL(t, sys, "chegg.com", 0)
 	// Every non-initiator user visits chegg once: budget 0 -> doppelganger.
 	for _, u := range users[1:] {
-		if _, err := u.Browser.BrowseProduct(u.Node.Fetcher, url, 0); err != nil {
+		if _, err := u.Browser.BrowseProduct(context.Background(), u.Node.Fetcher, url, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -364,7 +365,7 @@ func TestPDIPDValidationShopDetectable(t *testing.T) {
 	victim := users[1]
 	// The victim browses the product category heavily; trackers profile it.
 	for i := 0; i < 5; i++ {
-		if _, err := victim.Browser.BrowseProduct(victim.Node.Fetcher, url, 0); err != nil {
+		if _, err := victim.Browser.BrowseProduct(context.Background(), victim.Node.Fetcher, url, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

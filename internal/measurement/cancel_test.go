@@ -1,0 +1,117 @@
+package measurement
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/admit"
+	"pricesheriff/internal/obs"
+	"pricesheriff/internal/shop"
+)
+
+// blockingFetcher parks every fetch until its context dies, standing in
+// for a vantage point that never answers.
+type blockingFetcher struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (f *blockingFetcher) Fetch(ctx context.Context, req *shop.FetchRequest) (*shop.FetchResponse, error) {
+	f.once.Do(func() { close(f.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCancelCheckCompletesWithPartialRows proves an explicit cancel cuts
+// a check whose vantage points would otherwise hang until the deadline:
+// the job completes promptly with the rows it has, and the partial/abort
+// metrics carry the caller_cancel cause.
+func TestCancelCheckCompletesWithPartialRows(t *testing.T) {
+	reg := obs.NewRegistry()
+	bf := &blockingFetcher{started: make(chan struct{})}
+	srv := New("ms-cancel", nil)
+	srv.Metrics = NewMetrics(reg)
+	srv.CheckDeadline = 30 * time.Second // the cancel must cut, not the deadline
+	srv.IPCs = []*IPC{{ID: "ipc-00-ES", IP: "10.0.0.1", Country: "ES", Fetcher: bf}}
+
+	req := &CheckRequest{JobID: "job-cancel", URL: "http://shop.es/p/1", InitiatorHTML: "<html></html>"}
+	if err := srv.StartCheck(req); err != nil {
+		t.Fatalf("StartCheck: %v", err)
+	}
+	<-bf.started // the IPC fetch is parked on its context
+
+	t0 := time.Now()
+	if err := srv.CancelCheck("job-cancel"); err != nil {
+		t.Fatalf("CancelCheck: %v", err)
+	}
+	rows, err := srv.WaitResults("job-cancel", 2*time.Second)
+	if err != nil {
+		t.Fatalf("WaitResults after cancel: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Fatalf("cancel took %v to complete the check", elapsed)
+	}
+	// The initiator row landed before the cut; the hung IPC may or may
+	// not have contributed its error row yet, but nothing blocks.
+	if len(rows) == 0 {
+		t.Fatal("no partial rows survived the cancel")
+	}
+	if got := reg.Counter("sheriff_measurement_partial_checks_total").Value(); got != 1 {
+		t.Fatalf("partial_checks_total = %d, want 1", got)
+	}
+	if got := reg.Counter("sheriff_measurement_partial_checks_total", "cause", "caller_cancel").Value(); got != 1 {
+		t.Fatalf("partial_checks_total{cause=caller_cancel} = %d, want 1", got)
+	}
+	if err := srv.CancelCheck("job-cancel"); err != nil {
+		t.Fatalf("cancel of a done check should be a no-op, got %v", err)
+	}
+	if err := srv.CancelCheck("no-such-job"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel of unknown job = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestStartCheckShedsWhenOverloaded proves a doomed submission is
+// rejected with admit.ErrOverload before any work starts: with the single
+// slot held by a hung check, a deadline-carrying submit that cannot clear
+// the queue in time is shed, and no check state is created for it.
+func TestStartCheckShedsWhenOverloaded(t *testing.T) {
+	reg := obs.NewRegistry()
+	bf := &blockingFetcher{started: make(chan struct{})}
+	srv := New("ms-overload", nil)
+	srv.Metrics = NewMetrics(reg)
+	srv.CheckDeadline = 30 * time.Second
+	srv.Admit = admit.New(admit.Config{Limit: 1}, admit.NewMetrics(reg, "ms-overload"))
+	srv.IPCs = []*IPC{{ID: "ipc-00-ES", IP: "10.0.0.2", Country: "ES", Fetcher: bf}}
+
+	if err := srv.StartCheck(&CheckRequest{JobID: "job-hog", URL: "http://shop.es/p/1", InitiatorHTML: "<html></html>"}); err != nil {
+		t.Fatalf("StartCheck(hog): %v", err)
+	}
+	<-bf.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := srv.StartCheckCtx(ctx, &CheckRequest{JobID: "job-doomed", URL: "http://shop.es/p/2", InitiatorHTML: "<html></html>"})
+	if !errors.Is(err, admit.ErrOverload) {
+		t.Fatalf("doomed submit = %v, want admit.ErrOverload", err)
+	}
+	if _, rerr := srv.Results("job-doomed", 0); !errors.Is(rerr, ErrUnknownJob) {
+		t.Fatalf("shed job left state behind: Results err = %v", rerr)
+	}
+	if got := reg.Counter("sheriff_admit_shed_total", "server", "ms-overload").Value(); got != 1 {
+		t.Fatalf("admit_shed_total = %d, want 1", got)
+	}
+	if !srv.Admit.Overloaded() {
+		t.Fatal("server should report Overloaded after a shed")
+	}
+
+	// Unblock the hog so its goroutine drains.
+	if err := srv.CancelCheck("job-hog"); err != nil {
+		t.Fatalf("CancelCheck(hog): %v", err)
+	}
+	if _, err := srv.WaitResults("job-hog", 2*time.Second); err != nil {
+		t.Fatalf("hog never completed: %v", err)
+	}
+}

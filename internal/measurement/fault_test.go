@@ -1,6 +1,7 @@
 package measurement
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync/atomic"
@@ -116,12 +117,12 @@ type flakyFetcher struct {
 	inner     shop.Fetcher
 }
 
-func (f *flakyFetcher) Fetch(req *shop.FetchRequest) (*shop.FetchResponse, error) {
+func (f *flakyFetcher) Fetch(ctx context.Context, req *shop.FetchRequest) (*shop.FetchResponse, error) {
 	f.calls.Add(1)
 	if f.remaining.Add(-1) >= 0 {
 		return nil, errors.New("transient fetch failure")
 	}
-	return f.inner.Fetch(req)
+	return f.inner.Fetch(ctx, req)
 }
 
 func TestVantageRetryRecoversTransientFailures(t *testing.T) {
@@ -169,7 +170,7 @@ func TestVantageRetryRecoversTransientFailures(t *testing.T) {
 // remoteErrFetcher always fails with an application-level RemoteError.
 type remoteErrFetcher struct{ calls atomic.Int64 }
 
-func (f *remoteErrFetcher) Fetch(*shop.FetchRequest) (*shop.FetchResponse, error) {
+func (f *remoteErrFetcher) Fetch(context.Context, *shop.FetchRequest) (*shop.FetchResponse, error) {
 	f.calls.Add(1)
 	return nil, &transport.RemoteError{Method: "shop.fetch", Msg: "no such product"}
 }

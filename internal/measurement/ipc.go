@@ -1,6 +1,7 @@
 package measurement
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -25,8 +26,9 @@ type IPC struct {
 var ipcNonce atomic.Uint64
 
 // Fetch downloads a product page with completely clean client-side state.
-func (c *IPC) Fetch(url string, day float64) (*shop.FetchResponse, error) {
-	return c.Fetcher.Fetch(&shop.FetchRequest{
+// The context bounds the fetch end to end.
+func (c *IPC) Fetch(ctx context.Context, url string, day float64) (*shop.FetchResponse, error) {
+	return c.Fetcher.Fetch(ctx, &shop.FetchRequest{
 		URL:       url,
 		IP:        c.IP,
 		UserAgent: "sheriff-ipc/1.0",

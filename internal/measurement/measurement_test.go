@@ -1,6 +1,7 @@
 package measurement
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"strings"
@@ -106,13 +107,13 @@ func TestIPCFetchIsClean(t *testing.T) {
 	fleet, _ := NewIPCFleet(m.World, shop.LocalFetcher{Mall: m}, []string{"ES"}, 1)
 	s, _ := m.Shop("chegg.com")
 	url := s.ProductURL(s.Products()[0].SKU)
-	resp, err := fleet[0].Fetch(url, 1)
+	resp, err := fleet[0].Fetch(context.Background(), url, 1)
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("fetch: %v status %v", err, resp)
 	}
 	// Consecutive fetches carry no cookies: the tracker mints a fresh ID
 	// every time, so the IPC never accumulates a profile.
-	resp2, _ := fleet[0].Fetch(url, 1)
+	resp2, _ := fleet[0].Fetch(context.Background(), url, 1)
 	if resp.SetCookies["adnet.example"] == resp2.SetCookies["adnet.example"] {
 		t.Error("IPC reused tracker identity across fetches")
 	}

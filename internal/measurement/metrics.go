@@ -20,6 +20,8 @@ type Metrics struct {
 	conversionErrors *obs.Counter
 	retries          *obs.Counter
 	partialChecks    *obs.Counter
+	partialByCause   map[string]*obs.Counter
+	retryAborts      map[string]*obs.Counter
 	lateRows         *obs.Counter
 	checksEvicted    *obs.Counter
 	pending          *obs.Gauge
@@ -38,12 +40,22 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		conversionErrors: reg.Counter("sheriff_measurement_conversion_errors_total"),
 		retries:          reg.Counter("sheriff_measurement_retries_total"),
 		partialChecks:    reg.Counter("sheriff_measurement_partial_checks_total"),
-		lateRows:         reg.Counter("sheriff_measurement_late_rows_total"),
-		checksEvicted:    reg.Counter("sheriff_measurement_checks_evicted_total"),
-		pending:          reg.Gauge("sheriff_measurement_pending_checks"),
-		checkSeconds:     reg.Histogram("sheriff_measurement_check_seconds"),
-		fanoutIPC:        reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ipc"),
-		fanoutPPC:        reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ppc"),
+		partialByCause: map[string]*obs.Counter{
+			"deadline":      reg.Counter("sheriff_measurement_partial_checks_total", "cause", "deadline"),
+			"caller_cancel": reg.Counter("sheriff_measurement_partial_checks_total", "cause", "caller_cancel"),
+			"overload":      reg.Counter("sheriff_measurement_partial_checks_total", "cause", "overload"),
+		},
+		retryAborts: map[string]*obs.Counter{
+			"deadline":      reg.Counter("sheriff_measurement_retry_aborts_total", "cause", "deadline"),
+			"caller_cancel": reg.Counter("sheriff_measurement_retry_aborts_total", "cause", "caller_cancel"),
+			"overload":      reg.Counter("sheriff_measurement_retry_aborts_total", "cause", "overload"),
+		},
+		lateRows:      reg.Counter("sheriff_measurement_late_rows_total"),
+		checksEvicted: reg.Counter("sheriff_measurement_checks_evicted_total"),
+		pending:       reg.Gauge("sheriff_measurement_pending_checks"),
+		checkSeconds:  reg.Histogram("sheriff_measurement_check_seconds"),
+		fanoutIPC:     reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ipc"),
+		fanoutPPC:     reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ppc"),
 	}
 }
 
@@ -105,13 +117,24 @@ func (m *Metrics) retried(n int) {
 	m.retries.Add(int64(n))
 }
 
-// partialCheck records a check cut by its deadline before the fan-out
-// finished.
-func (m *Metrics) partialCheck() {
+// partialCheck records a check cut before the fan-out finished, split by
+// why: the check deadline, an explicit caller cancellation, or admission
+// overload. The unlabeled series keeps counting every partial.
+func (m *Metrics) partialCheck(cause string) {
 	if m == nil {
 		return
 	}
 	m.partialChecks.Inc()
+	m.partialByCause[cause].Inc()
+}
+
+// retryAborted records a vantage retry sequence cut short by its dead
+// context, split by cause.
+func (m *Metrics) retryAborted(cause string) {
+	if m == nil {
+		return
+	}
+	m.retryAborts[cause].Inc()
 }
 
 // lateRow records a vantage-point row dropped because its check already

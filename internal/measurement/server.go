@@ -1,6 +1,7 @@
 package measurement
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pricesheriff/internal/admit"
 	"pricesheriff/internal/coordinator"
 	"pricesheriff/internal/currency"
 	"pricesheriff/internal/htmlx"
@@ -65,9 +67,10 @@ type ResultsResponse struct {
 }
 
 // PPCRequester issues remote page requests through the P2P relay;
-// *peer.Requester implements it.
+// *peer.Requester implements it. The context bounds the relay wait: a
+// canceled check abandons its pending page requests immediately.
 type PPCRequester interface {
-	RequestPage(peerID string, req *peer.PageRequest) (*peer.PageResponse, error)
+	RequestPage(ctx context.Context, peerID string, req *peer.PageRequest) (*peer.PageResponse, error)
 }
 
 // Fault-tolerance defaults; see the corresponding Server fields.
@@ -112,6 +115,11 @@ type Server struct {
 	// MaxChecks caps cached completed checks; beyond it the longest-idle
 	// completed ones are evicted first (0 = DefaultMaxChecks).
 	MaxChecks int
+	// Admit bounds concurrent checks: past the in-flight cap submissions
+	// queue FIFO, and doomed or excess ones are shed with
+	// admit.ErrOverload before any work starts (nil disables admission
+	// control). Share one controller per server.
+	Admit *admit.Controller
 
 	mu     sync.Mutex
 	checks map[string]*checkState
@@ -123,6 +131,7 @@ type checkState struct {
 	done     bool
 	doneAt   time.Time
 	lastPoll time.Time
+	cancel   context.CancelCauseFunc // aborts the running check
 }
 
 // idleSince is the moment a completed check was last useful: its finish
@@ -138,6 +147,9 @@ func (st *checkState) idleSince() time.Time {
 var (
 	ErrDuplicateJob = errors.New("measurement: job already running")
 	ErrUnknownJob   = errors.New("measurement: unknown job")
+	// ErrCheckCanceled is the cancellation cause set by CancelCheck; rows
+	// gathered before the cut are kept.
+	ErrCheckCanceled = errors.New("measurement: check canceled by caller")
 )
 
 // New creates a Measurement server (no network listener; see NewServerOn).
@@ -171,24 +183,61 @@ func isExists(err error) bool {
 // StartCheck begins processing a price check asynchronously; poll Results
 // for rows. It returns once the job is admitted.
 func (s *Server) StartCheck(req *CheckRequest) error {
+	return s.StartCheckCtx(context.Background(), req)
+}
+
+// StartCheckCtx is StartCheck under a context. The context bounds only
+// admission: a submission queued behind the in-flight cap gives up when
+// ctx dies, and one whose deadline cannot clear the queue is shed with
+// admit.ErrOverload before any work starts. Once admitted, the check runs
+// under its own lifetime — ended by the check deadline or CancelCheck —
+// so a fast submit RPC returning does not kill the work it started.
+func (s *Server) StartCheckCtx(ctx context.Context, req *CheckRequest) error {
 	if req.JobID == "" || req.URL == "" {
 		return errors.New("measurement: job id and url required")
 	}
 	if req.Currency == "" {
 		req.Currency = "EUR"
 	}
+	release, err := s.Admit.Acquire(ctx)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	if _, dup := s.checks[req.JobID]; dup {
 		s.mu.Unlock()
+		release()
 		return ErrDuplicateJob
 	}
 	s.evictLocked(time.Now())
-	st := &checkState{}
+	cctx, cancel := context.WithCancelCause(context.Background())
+	st := &checkState{cancel: cancel}
 	s.checks[req.JobID] = st
 	s.mu.Unlock()
 
 	s.Metrics.checkStarted()
-	go s.process(req)
+	go s.process(cctx, req, release)
+	return nil
+}
+
+// CancelCheck aborts a running check: queued relay waits and in-flight
+// vantage fetches stop, and the job completes immediately with the rows
+// gathered so far (the same partial-result shape as a deadline cut).
+// Canceling an already-completed check is a no-op.
+func (s *Server) CancelCheck(jobID string) error {
+	s.mu.Lock()
+	st, ok := s.checks[jobID]
+	var cancel context.CancelCauseFunc
+	if ok && !st.done {
+		cancel = st.cancel
+	}
+	s.mu.Unlock()
+	if !ok {
+		return ErrUnknownJob
+	}
+	if cancel != nil {
+		cancel(ErrCheckCanceled)
+	}
 	return nil
 }
 
@@ -265,7 +314,16 @@ func (s *Server) Results(jobID string, since int) (ResultsResponse, error) {
 
 // WaitResults polls until done (test/CLI convenience).
 func (s *Server) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.WaitResultsCtx(ctx, jobID)
+}
+
+// WaitResultsCtx polls until the job finishes or ctx dies; on early exit
+// it returns the rows gathered so far alongside the context's cause.
+func (s *Server) WaitResultsCtx(ctx context.Context, jobID string) ([]ResultRow, error) {
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
 	for {
 		resp, err := s.Results(jobID, 0)
 		if err != nil {
@@ -274,10 +332,11 @@ func (s *Server) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, 
 		if resp.Done {
 			return resp.Rows, nil
 		}
-		if time.Now().After(deadline) {
-			return resp.Rows, fmt.Errorf("measurement: job %s incomplete after %v", jobID, timeout)
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return resp.Rows, fmt.Errorf("measurement: job %s incomplete: %w", jobID, context.Cause(ctx))
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -307,8 +366,10 @@ func (s *Server) markDone(jobID string) {
 	}
 }
 
-// process runs steps 3.1–5 for one job.
-func (s *Server) process(req *CheckRequest) {
+// process runs steps 3.1–5 for one job. ctx is the check's own lifetime
+// (canceled by CancelCheck); release returns the admission slot.
+func (s *Server) process(ctx context.Context, req *CheckRequest, release func()) {
+	defer release()
 	start := time.Now()
 	domain := domainOf(req.URL)
 
@@ -358,6 +419,8 @@ func (s *Server) process(req *CheckRequest) {
 	if budget <= 0 || budget > deadline {
 		budget = deadline
 	}
+	ctx, cancelCheck := context.WithDeadline(ctx, start.Add(deadline))
+	defer cancelCheck()
 
 	fanout := tr.Span("fanout")
 	var wg sync.WaitGroup
@@ -372,13 +435,15 @@ func (s *Server) process(req *CheckRequest) {
 				Source: c.ID, Kind: "ipc", PeerID: c.ID,
 				Country: c.Country, City: c.City,
 			}
-			resp, retries, err := fetchVantage(s.Retry, budget, func() (*shop.FetchResponse, error) {
-				return c.Fetch(req.URL, req.Day)
+			vctx, vcancel := context.WithTimeout(ctx, budget)
+			defer vcancel()
+			resp, retries, err := fetchVantage(vctx, s.Retry, func(fctx context.Context) (*shop.FetchResponse, error) {
+				return c.Fetch(fctx, req.URL, req.Day)
 			})
 			s.Metrics.fanoutObserved("ipc", t0)
 			s.Metrics.retried(retries)
 			if err != nil {
-				s.vantageFailed(req.JobID, base, sp, err)
+				s.vantageFailed(ctx, vctx, req.JobID, base, sp, err)
 				return
 			}
 			if resp.Status != 200 {
@@ -397,7 +462,7 @@ func (s *Server) process(req *CheckRequest) {
 
 	// Step 3.2: the PPCs near the initiator fetch in parallel.
 	if s.Coord != nil && s.Peers != nil {
-		ppcs, err := s.Coord.JobPPCs(req.JobID)
+		ppcs, err := s.Coord.JobPPCsCtx(ctx, req.JobID)
 		if err == nil {
 			for _, p := range ppcs {
 				wg.Add(1)
@@ -409,13 +474,15 @@ func (s *Server) process(req *CheckRequest) {
 						Source: "peer " + p.Country, Kind: "ppc", PeerID: p.ID,
 						Country: p.Country, City: p.City,
 					}
-					resp, retries, err := fetchVantage(s.Retry, budget, func() (*peer.PageResponse, error) {
-						return s.Peers.RequestPage(p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
+					vctx, vcancel := context.WithTimeout(ctx, budget)
+					defer vcancel()
+					resp, retries, err := fetchVantage(vctx, s.Retry, func(fctx context.Context) (*peer.PageResponse, error) {
+						return s.Peers.RequestPage(fctx, p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
 					})
 					s.Metrics.fanoutObserved("ppc", t0)
 					s.Metrics.retried(retries)
 					if err != nil {
-						s.vantageFailed(req.JobID, base, sp, err)
+						s.vantageFailed(ctx, vctx, req.JobID, base, sp, err)
 						return
 					}
 					if resp.Status != 200 {
@@ -435,33 +502,33 @@ func (s *Server) process(req *CheckRequest) {
 		}
 	}
 
-	// Wait for the fan-out, but never past the check deadline: a check
-	// whose vantage points hang completes anyway with the rows it has —
-	// straggler goroutines finish in the background and their rows are
-	// dropped as late.
+	// Wait for the fan-out, but never past the check's lifetime: when the
+	// deadline expires or CancelCheck fires, the job completes with the
+	// rows it has — straggler goroutines see the dead context, abort
+	// promptly, and any rows they still produce are dropped as late.
 	fanoutDone := make(chan struct{})
 	go func() {
 		wg.Wait()
 		close(fanoutDone)
 	}()
-	remaining := deadline - time.Since(start)
-	if remaining < 0 {
-		remaining = 0
-	}
-	cut := time.NewTimer(remaining)
 	select {
 	case <-fanoutDone:
-		cut.Stop()
-	case <-cut.C:
-		s.Metrics.partialCheck()
+	case <-ctx.Done():
+		s.Metrics.partialCheck(causeLabel(ctx))
 		fanout.Annotate("partial", "true")
+		fanout.Annotate("cause", causeLabel(ctx))
 		tr.Annotate("partial", "true")
 	}
 	fanout.End()
 	s.markDone(req.JobID)
 	s.Metrics.checkCompleted(start)
 	if s.Coord != nil {
-		s.Coord.JobDone(req.JobID) // step 4
+		// Step 4. The report runs under its own bounded context: it must
+		// outlive the check's (possibly dead) lifetime, but a mute
+		// coordinator must not pin this goroutine forever.
+		jctx, jcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		s.Coord.JobDoneCtx(jctx, req.JobID)
+		jcancel()
 	}
 	if owned {
 		tr.Finish()
@@ -470,28 +537,53 @@ func (s *Server) process(req *CheckRequest) {
 
 // vantageFailed records one failed vantage point: an error row, the
 // proxy-timeout metric when the failure was a deadline (either the P2P
-// request timeout or a transport call/vantage timeout), and the span.
-func (s *Server) vantageFailed(jobID string, base ResultRow, sp *obs.Span, err error) {
+// request timeout or a transport call/vantage timeout), the retry-abort
+// metric when the vantage's context died mid-sequence, and the span.
+// checkCtx is the whole check's lifetime: a vantage still in flight when
+// it ends is definitionally a straggler, so its row is dropped as late
+// without racing the done flag.
+func (s *Server) vantageFailed(checkCtx, ctx context.Context, jobID string, base ResultRow, sp *obs.Span, err error) {
 	if errors.Is(err, peer.ErrRequestTimeout) || errors.Is(err, transport.ErrCallTimeout) {
 		s.Metrics.proxyTimeout()
 	}
+	if ctx.Err() != nil {
+		s.Metrics.retryAborted(causeLabel(ctx))
+	}
 	base.Err = err.Error()
+	if checkCtx.Err() != nil {
+		s.Metrics.lateRow()
+		sp.EndErr(err)
+		return
+	}
 	s.addRow(jobID, base)
 	sp.EndErr(err)
 }
 
-// fetchVantage runs one vantage point's fetch under its time budget with
-// bounded, jittered-backoff retries (nil retrier = single attempt). A
-// fetch that outlives the budget is abandoned — its goroutine drains in
-// the background — and reported as a timeout matching
-// transport.ErrCallTimeout.
-func fetchVantage[T any](r *retry.Retrier, budget time.Duration, fetch func() (T, error)) (T, int, error) {
-	stop := make(chan struct{})
-	timer := time.AfterFunc(budget, func() { close(stop) })
-	defer timer.Stop()
+// causeLabel classifies a dead context's cause for metric labels: the
+// vantage/check budget ("deadline"), admission shedding ("overload"), or
+// an explicit caller cancellation ("caller_cancel").
+func causeLabel(ctx context.Context) string {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, admit.ErrOverload):
+		return "overload"
+	case errors.Is(cause, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "caller_cancel"
+	}
+}
+
+// fetchVantage runs one vantage point's fetch under ctx (the per-vantage
+// budget, a child of the check's lifetime) with bounded, jittered-backoff
+// retries (nil retrier = single attempt). A fetch that outlives the
+// budget is abandoned — the context's death rides the RPC to the far
+// side, so the remote handler aborts too — and reported as a timeout
+// matching transport.ErrCallTimeout.
+func fetchVantage[T any](ctx context.Context, r *retry.Retrier, fetch func(context.Context) (T, error)) (T, int, error) {
 	var resp T
-	retries, err := r.Do(stop, func(int) error {
-		got, err := awaitFetch(stop, fetch)
+	retries, err := r.DoCtx(ctx, func(int) error {
+		got, err := awaitFetch(ctx, fetch)
 		if err != nil {
 			return err
 		}
@@ -501,29 +593,27 @@ func fetchVantage[T any](r *retry.Retrier, budget time.Duration, fetch func() (T
 	return resp, retries, err
 }
 
-// awaitFetch runs fetch in its own goroutine and waits for it or for the
-// vantage budget, whichever first. Application-level rejections
-// (transport.RemoteError) are marked terminal so the retrier stops.
-func awaitFetch[T any](stop <-chan struct{}, fetch func() (T, error)) (T, error) {
-	type result struct {
-		resp T
-		err  error
+// awaitFetch runs fetch under ctx and normalizes its failure modes:
+// application-level rejections (transport.RemoteError) are marked
+// terminal so the retrier stops, and a budget expiry is reported as a
+// timeout matching transport.ErrCallTimeout.
+func awaitFetch[T any](ctx context.Context, fetch func(context.Context) (T, error)) (T, error) {
+	resp, err := fetch(ctx)
+	if err == nil {
+		return resp, nil
 	}
-	ch := make(chan result, 1)
-	go func() {
-		resp, err := fetch()
-		ch <- result{resp, err}
-	}()
-	select {
-	case out := <-ch:
-		if out.err != nil && transport.IsRemote(out.err) {
-			return out.resp, retry.Terminal(out.err)
-		}
-		return out.resp, out.err
-	case <-stop:
+	if ctx.Err() != nil {
 		var zero T
-		return zero, fmt.Errorf("measurement: vantage fetch: %w", transport.ErrCallTimeout)
+		cause := context.Cause(ctx)
+		if errors.Is(cause, context.DeadlineExceeded) {
+			cause = transport.ErrCallTimeout
+		}
+		return zero, fmt.Errorf("measurement: vantage fetch: %w", cause)
 	}
+	if transport.IsRemote(err) {
+		return resp, retry.Terminal(err)
+	}
+	return resp, err
 }
 
 // extractRow locates the price in a page copy via the Tags Path, detects
@@ -630,19 +720,29 @@ type resultsReq struct {
 func NewRPCServer(s *Server, lis transport.Listener) *RPCServer {
 	s.OwnAddr = lis.Addr()
 	r := &RPCServer{S: s, rpc: transport.NewServer(lis)}
-	r.rpc.Handle("ms.check", func(raw json.RawMessage) (any, error) {
+	r.rpc.HandleCtx("ms.check", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		var req CheckRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
-		return nil, s.StartCheck(&req)
+		return nil, s.StartCheckCtx(ctx, &req)
 	})
-	r.rpc.Handle("ms.results", func(raw json.RawMessage) (any, error) {
+	r.rpc.HandleCtx("ms.results", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var req resultsReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return s.Results(req.JobID, req.Since)
+	})
+	r.rpc.HandleCtx("ms.cancel", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		var req resultsReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return nil, s.CancelCheck(req.JobID)
 	})
 	return r
 }
@@ -656,8 +756,11 @@ func (r *RPCServer) Serve() error { return r.rpc.Serve() }
 // Close stops the front-end.
 func (r *RPCServer) Close() error { return r.rpc.Close() }
 
-// StartHeartbeats reports liveness and pending count to the Coordinator
-// every interval until the returned stop function is called.
+// StartHeartbeats reports liveness, pending count, and admission state to
+// the Coordinator every interval until the returned stop function is
+// called. Queued submissions count as pending so the least-pending
+// heuristic sees queue pressure, and an overloaded server flags itself as
+// shedding so the scheduler routes around it.
 func (s *Server) StartHeartbeats(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
@@ -670,7 +773,8 @@ func (s *Server) StartHeartbeats(interval time.Duration) (stop func()) {
 				return
 			case <-ticker.C:
 				if s.Coord != nil {
-					s.Coord.Heartbeat(s.OwnAddr, s.Pending())
+					pending := s.Pending() + s.Admit.Queued()
+					s.Coord.HeartbeatCtx(context.Background(), s.OwnAddr, pending, s.Admit.Overloaded())
 				}
 			}
 		}
@@ -694,22 +798,50 @@ func DialMeasurement(netw transport.Network, addr string) (*Client, error) {
 
 // Check submits a price check (step 3).
 func (c *Client) Check(req *CheckRequest) error {
-	return c.rpc.Call("ms.check", req, nil)
+	return c.CheckCtx(context.Background(), req)
+}
+
+// CheckCtx submits a price check under a context: the deadline rides the
+// wire, so a doomed submission is shed by the server's admission control
+// before any work starts.
+func (c *Client) CheckCtx(ctx context.Context, req *CheckRequest) error {
+	return c.rpc.CallCtx(ctx, "ms.check", req, nil)
 }
 
 // Results polls for rows (the AJAX loop of step 5).
 func (c *Client) Results(jobID string, since int) (ResultsResponse, error) {
+	return c.ResultsCtx(context.Background(), jobID, since)
+}
+
+// ResultsCtx is Results under a context.
+func (c *Client) ResultsCtx(ctx context.Context, jobID string, since int) (ResultsResponse, error) {
 	var resp ResultsResponse
-	err := c.rpc.Call("ms.results", resultsReq{JobID: jobID, Since: since}, &resp)
+	err := c.rpc.CallCtx(ctx, "ms.results", resultsReq{JobID: jobID, Since: since}, &resp)
 	return resp, err
+}
+
+// Cancel aborts a running check server-side; the job completes with the
+// rows gathered so far.
+func (c *Client) Cancel(ctx context.Context, jobID string) error {
+	return c.rpc.CallCtx(ctx, "ms.cancel", resultsReq{JobID: jobID}, nil)
 }
 
 // WaitResults polls until the job finishes or timeout elapses.
 func (c *Client) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitResultsCtx(ctx, jobID)
+}
+
+// WaitResultsCtx polls until the job finishes or ctx dies; on early exit
+// it returns the rows gathered so far alongside the context's cause, so
+// an interrupted caller still prints partial results.
+func (c *Client) WaitResultsCtx(ctx context.Context, jobID string) ([]ResultRow, error) {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
 	var rows []ResultRow
 	for {
-		resp, err := c.Results(jobID, len(rows))
+		resp, err := c.ResultsCtx(ctx, jobID, len(rows))
 		if err != nil {
 			return rows, err
 		}
@@ -717,10 +849,11 @@ func (c *Client) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, 
 		if resp.Done {
 			return rows, nil
 		}
-		if time.Now().After(deadline) {
-			return rows, fmt.Errorf("measurement: job %s incomplete after %v", jobID, timeout)
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return rows, fmt.Errorf("measurement: job %s incomplete: %w", jobID, context.Cause(ctx))
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }
 

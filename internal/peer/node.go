@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -78,11 +79,15 @@ func (n *Node) Consents() bool {
 }
 
 // Run serves relay messages until the connection closes. Run it in a
-// goroutine; each request is handled concurrently.
+// goroutine; each request is handled concurrently under a context that
+// dies with the node, so in-flight sandbox fetches abort on disconnect.
 func (n *Node) Run() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	for {
 		var m Msg
 		if err := n.conn.Recv(&m); err != nil {
+			cancel()
 			n.wg.Wait()
 			return
 		}
@@ -93,16 +98,16 @@ func (n *Node) Run() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.handlePageReq(req)
+			n.handlePageReq(ctx, req)
 		}()
 	}
 }
 
-func (n *Node) handlePageReq(m Msg) {
+func (n *Node) handlePageReq(ctx context.Context, m Msg) {
 	var req PageRequest
 	resp := PageResponse{Status: 500, PeerID: n.ID}
 	if err := json.Unmarshal(m.Payload, &req); err == nil {
-		resp = n.ServePage(&req)
+		resp = n.ServePage(ctx, &req)
 	}
 	payload, err := json.Marshal(&resp)
 	if err != nil {
@@ -113,8 +118,9 @@ func (n *Node) handlePageReq(m Msg) {
 
 // ServePage executes one remote page request: pick the client-side state
 // per the pollution budget (own → doppelganger → clean), fetch inside the
-// sandbox, and report which mode served it.
-func (n *Node) ServePage(req *PageRequest) PageResponse {
+// sandbox, and report which mode served it. The context bounds the
+// sandboxed fetch.
+func (n *Node) ServePage(ctx context.Context, req *PageRequest) PageResponse {
 	if !n.Consents() {
 		n.Metrics.sandboxRejected()
 		return PageResponse{Status: 403, PeerID: n.ID}
@@ -147,7 +153,7 @@ func (n *Node) ServePage(req *PageRequest) PageResponse {
 		}
 	}
 
-	fresp, err := n.Browser.SandboxFetch(n.Fetcher, req.URL, req.Day, state, doppCookies)
+	fresp, err := n.Browser.SandboxFetch(ctx, n.Fetcher, req.URL, req.Day, state, doppCookies)
 	if err != nil {
 		return PageResponse{Status: 502, PeerID: n.ID}
 	}
@@ -238,8 +244,11 @@ func (r *Requester) readLoop() {
 	}
 }
 
-// RequestPage asks the named PPC to fetch a page, waiting up to Timeout.
-func (r *Requester) RequestPage(peerID string, req *PageRequest) (*PageResponse, error) {
+// RequestPage asks the named PPC to fetch a page, waiting up to Timeout
+// or until ctx dies, whichever comes first: a canceled check abandons its
+// relay waits immediately instead of sitting out the 2-minute kill
+// timeout.
+func (r *Requester) RequestPage(ctx context.Context, peerID string, req *PageRequest) (*PageResponse, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -282,6 +291,9 @@ func (r *Requester) RequestPage(peerID string, req *PageRequest) (*PageResponse,
 	case <-timer.C:
 		r.drop(reqID)
 		return nil, fmt.Errorf("peer: request to %s after %v: %w", peerID, timeout, ErrRequestTimeout)
+	case <-ctx.Done():
+		r.drop(reqID)
+		return nil, fmt.Errorf("peer: request to %s: %w", peerID, context.Cause(ctx))
 	}
 }
 

@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -75,7 +76,7 @@ func TestRelayPageRequest(t *testing.T) {
 	e.newPeer(t, "ppc-1", "ES", nil)
 	r := e.newRequester(t, "ms-1")
 
-	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+	resp, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRelayPageRequest(t *testing.T) {
 func TestRelayToOfflinePeer(t *testing.T) {
 	e := newEnv(t)
 	r := e.newRequester(t, "ms-1")
-	if _, err := r.RequestPage("ghost", &PageRequest{URL: e.url}); err == nil {
+	if _, err := r.RequestPage(context.Background(), "ghost", &PageRequest{URL: e.url}); err == nil {
 		t.Fatal("offline peer should error")
 	}
 }
@@ -113,7 +114,7 @@ func TestRelayTimeout(t *testing.T) {
 	}
 	defer r.Close()
 	start := time.Now()
-	_, err = r.RequestPage("mute", &PageRequest{URL: e.url})
+	_, err = r.RequestPage(context.Background(), "mute", &PageRequest{URL: e.url})
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("err = %v", err)
 	}
@@ -159,7 +160,7 @@ func TestConcurrentRequestsToOnePeer(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+			resp, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 1})
 			if err != nil {
 				errs <- err
 				return
@@ -181,10 +182,10 @@ func TestMultipleRequesters(t *testing.T) {
 	n := e.newPeer(t, "ppc-1", "DE", nil)
 	r1 := e.newRequester(t, "ms-1")
 	r2 := e.newRequester(t, "ms-2")
-	if _, err := r1.RequestPage("ppc-1", &PageRequest{URL: e.url}); err != nil {
+	if _, err := r1.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r2.RequestPage("ppc-1", &PageRequest{URL: e.url}); err != nil {
+	if _, err := r2.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url}); err != nil {
 		t.Fatal(err)
 	}
 	if n.Served() != 2 {
@@ -219,18 +220,18 @@ func TestDoppelgangerSwapAfterBudget(t *testing.T) {
 
 	// The peer's user browses chegg 4 times: budget = 1 own-state fetch.
 	for i := 0; i < 4; i++ {
-		if _, err := n.Browser.BrowseProduct(n.Fetcher, e.url, 1); err != nil {
+		if _, err := n.Browser.BrowseProduct(context.Background(), n.Fetcher, e.url, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	resp1, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	resp1, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp1.Mode != "own" {
 		t.Fatalf("first fetch mode = %s, want own", resp1.Mode)
 	}
-	resp2, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	resp2, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,10 +255,10 @@ func TestCleanFallbackWithoutDoppelganger(t *testing.T) {
 	n := e.newPeer(t, "ppc-1", "ES", nil) // no directory
 	r := e.newRequester(t, "ms-1")
 	// One browse: budget 0, doppelganger needed but unavailable.
-	if _, err := n.Browser.BrowseProduct(n.Fetcher, e.url, 1); err != nil {
+	if _, err := n.Browser.BrowseProduct(context.Background(), n.Fetcher, e.url, 1); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	resp, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestCleanFallbackWithoutDoppelganger(t *testing.T) {
 func TestServePageBadURL(t *testing.T) {
 	e := newEnv(t)
 	n := e.newPeer(t, "ppc-1", "ES", nil)
-	resp := n.ServePage(&PageRequest{URL: "junk"})
+	resp := n.ServePage(context.Background(), &PageRequest{URL: "junk"})
 	if resp.Status != 400 {
 		t.Errorf("status = %d", resp.Status)
 	}
@@ -318,10 +319,10 @@ func TestDoppelgangerManagerIntegration(t *testing.T) {
 	n := e.newPeer(t, "ppc-1", "ES", dir)
 	r := e.newRequester(t, "ms-1")
 
-	if _, err := n.Browser.BrowseProduct(n.Fetcher, e.url, 1); err != nil {
+	if _, err := n.Browser.BrowseProduct(context.Background(), n.Fetcher, e.url, 1); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 2})
+	resp, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +382,7 @@ func TestOverTCPFabric(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	resp, err := r.RequestPage("tcp-peer", &PageRequest{URL: url, Day: 1})
+	resp, err := r.RequestPage(context.Background(), "tcp-peer", &PageRequest{URL: url, Day: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,12 +410,12 @@ func TestPeerDisconnectMidRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if _, err := r.RequestPage("flaky", &PageRequest{URL: e.url}); err == nil {
+	if _, err := r.RequestPage(context.Background(), "flaky", &PageRequest{URL: e.url}); err == nil {
 		t.Fatal("request to vanished peer succeeded")
 	}
 	// The requester stays usable for healthy peers afterwards.
 	e.newPeer(t, "healthy", "ES", nil)
-	resp, err := r.RequestPage("healthy", &PageRequest{URL: e.url, Day: 1})
+	resp, err := r.RequestPage(context.Background(), "healthy", &PageRequest{URL: e.url, Day: 1})
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("healthy peer after flaky: %v %v", resp, err)
 	}
@@ -434,7 +435,7 @@ func TestRequesterClosePendingRequests(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := r.RequestPage("mute2", &PageRequest{URL: e.url})
+		_, err := r.RequestPage(context.Background(), "mute2", &PageRequest{URL: e.url})
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -448,7 +449,7 @@ func TestRequesterClosePendingRequests(t *testing.T) {
 		t.Fatal("pending request hung after Close")
 	}
 	// New requests fail fast on a closed requester.
-	if _, err := r.RequestPage("mute2", &PageRequest{URL: e.url}); err == nil {
+	if _, err := r.RequestPage(context.Background(), "mute2", &PageRequest{URL: e.url}); err == nil {
 		t.Fatal("closed requester accepted a request")
 	}
 }
@@ -461,7 +462,7 @@ func TestConsentRevocationRefusesService(t *testing.T) {
 		t.Fatal("joining should imply consent")
 	}
 	n.SetConsent(false)
-	resp, err := r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+	resp, err := r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +474,7 @@ func TestConsentRevocationRefusesService(t *testing.T) {
 	}
 	// Consent restored: service resumes.
 	n.SetConsent(true)
-	resp, err = r.RequestPage("ppc-1", &PageRequest{URL: e.url, Day: 1})
+	resp, err = r.RequestPage(context.Background(), "ppc-1", &PageRequest{URL: e.url, Day: 1})
 	if err != nil || resp.Status != 200 {
 		t.Fatalf("after re-consent: %v %v", resp, err)
 	}
@@ -492,7 +493,7 @@ func TestBrokerScalesToManyPeers(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := r.RequestPage(fmt.Sprintf("swarm-%03d", i), &PageRequest{URL: e.url, Day: 1})
+			resp, err := r.RequestPage(context.Background(), fmt.Sprintf("swarm-%03d", i), &PageRequest{URL: e.url, Day: 1})
 			if err != nil {
 				errs <- err
 				return

@@ -6,12 +6,14 @@
 // delays, while terminal errors (application-level rejections) abort
 // immediately.
 //
-// The package is deliberately context-free: callers bound a whole retry
-// sequence with a stop channel (typically closed by a budget timer), and
-// all randomness flows through a seeded source so tests are deterministic.
+// Callers bound a whole retry sequence with a context (DoCtx) — a
+// canceled caller aborts mid-backoff instead of sleeping out the jittered
+// schedule — or with a legacy stop channel (Do). All randomness flows
+// through a seeded source so tests are deterministic.
 package retry
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -144,20 +146,44 @@ func (r *Retrier) delay(n int) time.Duration {
 // and the last error. A nil Retrier performs exactly one attempt. The
 // attempt number (starting at 1) is passed to op.
 func (r *Retrier) Do(stop <-chan struct{}, op func(attempt int) error) (retries int, err error) {
+	return r.do(context.Background(), stop, op)
+}
+
+// DoCtx is Do bounded by a context instead of a stop channel: a canceled
+// or expired ctx aborts the sequence mid-backoff immediately, returning
+// the last attempt's error (or ctx's error when no attempt ran), so a
+// canceled check never holds its goroutine for the rest of the jittered
+// schedule.
+func (r *Retrier) DoCtx(ctx context.Context, op func(attempt int) error) (retries int, err error) {
+	return r.do(ctx, nil, op)
+}
+
+func (r *Retrier) do(ctx context.Context, stop <-chan struct{}, op func(attempt int) error) (retries int, err error) {
 	maxAttempts := 1
 	if r != nil {
 		maxAttempts = r.policy.MaxAttempts
 	}
 	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return attempt - 1, err
+		}
 		err = op(attempt)
 		if err == nil || attempt >= maxAttempts || !r.policy.retryable(err) {
 			return attempt - 1, err
 		}
-		// Budget check before sleeping: a closed stop channel means the
-		// caller's deadline has passed and another attempt is pointless.
+		// Budget check before sleeping: a dead context or closed stop
+		// channel means the caller's deadline has passed and another
+		// attempt is pointless — and the backoff itself must not be
+		// slept out either.
 		timer := time.NewTimer(r.delay(attempt))
 		select {
 		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return attempt - 1, err
 		case <-stop:
 			timer.Stop()
 			return attempt - 1, err

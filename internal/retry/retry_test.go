@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -145,5 +146,54 @@ func TestTerminalNil(t *testing.T) {
 	}
 	if IsTerminal(errors.New("x")) {
 		t.Error("plain error is terminal")
+	}
+}
+
+func TestDoCtxCancelCutsBackoffShort(t *testing.T) {
+	// A huge backoff with a cancel arriving mid-sleep: DoCtx must return
+	// within milliseconds of the cancel, carrying the last attempt error.
+	r := New(Policy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	attemptErr := errors.New("transient")
+	started := make(chan struct{})
+	var calls int
+	done := make(chan struct{})
+	var retries int
+	var err error
+	go func() {
+		defer close(done)
+		retries, err = r.DoCtx(ctx, func(int) error {
+			calls++
+			close(started)
+			return attemptErr
+		})
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond) // let it enter the backoff sleep
+	start := time.Now()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("DoCtx slept through the cancel")
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Errorf("DoCtx returned %v after cancel, want immediate", d)
+	}
+	if calls != 1 || retries != 0 || !errors.Is(err, attemptErr) {
+		t.Errorf("calls=%d retries=%d err=%v, want 1/0/transient", calls, retries, err)
+	}
+}
+
+func TestDoCtxDeadAtEntry(t *testing.T) {
+	r := New(Policy{MaxAttempts: 3}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	retries, err := r.DoCtx(ctx, func(int) error {
+		t.Fatal("op ran under a dead context")
+		return nil
+	})
+	if retries != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("retries=%d err=%v, want 0/context.Canceled", retries, err)
 	}
 }

@@ -1,6 +1,7 @@
 package shop
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -65,9 +66,12 @@ func (s *Server) Serve() error { return s.rpc.Serve() }
 func (s *Server) Close() error { return s.rpc.Close() }
 
 // Fetcher downloads product pages. Proxy clients depend on this interface
-// so tests can fetch in-process while deployments go over the network.
+// so tests can fetch in-process while deployments go over the network. The
+// context bounds the fetch end to end: implementations must return
+// promptly once it is canceled (the measurement layer cancels vantage
+// fetches whose check died).
 type Fetcher interface {
-	Fetch(req *FetchRequest) (*FetchResponse, error)
+	Fetch(ctx context.Context, req *FetchRequest) (*FetchResponse, error)
 }
 
 // NetFetcher fetches pages from a mall Server over the fabric.
@@ -84,10 +88,11 @@ func DialFetcher(netw transport.Network, addr string, poolSize int) (*NetFetcher
 	return &NetFetcher{pool: pool}, nil
 }
 
-// Fetch implements Fetcher.
-func (f *NetFetcher) Fetch(req *FetchRequest) (*FetchResponse, error) {
+// Fetch implements Fetcher; the context rides the RPC all the way to the
+// mall server.
+func (f *NetFetcher) Fetch(ctx context.Context, req *FetchRequest) (*FetchResponse, error) {
 	var resp FetchResponse
-	if err := f.pool.Call("shop.fetch", req, &resp); err != nil {
+	if err := f.pool.CallCtx(ctx, "shop.fetch", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -115,7 +120,11 @@ type LocalFetcher struct {
 	Mall *Mall
 }
 
-// Fetch implements Fetcher.
-func (f LocalFetcher) Fetch(req *FetchRequest) (*FetchResponse, error) {
+// Fetch implements Fetcher. The in-process mall answers instantly, so
+// only a context that is already dead aborts the fetch.
+func (f LocalFetcher) Fetch(ctx context.Context, req *FetchRequest) (*FetchResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return f.Mall.Fetch(req), nil
 }

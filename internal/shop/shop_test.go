@@ -1,6 +1,7 @@
 package shop
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -415,7 +416,7 @@ func TestNetworkFetcher(t *testing.T) {
 	}
 	defer f.Close()
 	s, _ := m.Shop("chegg.com")
-	resp, err := f.Fetch(&FetchRequest{URL: s.ProductURL(s.Products()[0].SKU), IP: ipIn(t, m.World, "ES"), Nonce: 5})
+	resp, err := f.Fetch(context.Background(), &FetchRequest{URL: s.ProductURL(s.Products()[0].SKU), IP: ipIn(t, m.World, "ES"), Nonce: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

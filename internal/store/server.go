@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -22,9 +23,13 @@ type Server struct {
 }
 
 // handle registers an RPC handler wrapped with per-method metrics; rows
-// returned by selects are counted from the []Row result.
+// returned by selects are counted from the []Row result. A request whose
+// propagated deadline already expired is not executed at all.
 func (s *Server) handle(method string, h func(json.RawMessage) (any, error)) {
-	s.rpc.Handle("store."+method, func(raw json.RawMessage) (any, error) {
+	s.rpc.HandleCtx("store."+method, func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		out, err := h(raw)
 		rows := 0
@@ -163,13 +168,23 @@ func Dial(netw transport.Network, addr string, poolSize int) (*Client, error) {
 
 // CreateTable mirrors DB.CreateTable.
 func (c *Client) CreateTable(spec TableSpec) error {
-	return c.pool.Call("store.create", spec, nil)
+	return c.CreateTableCtx(context.Background(), spec)
+}
+
+// CreateTableCtx is CreateTable bounded by a context.
+func (c *Client) CreateTableCtx(ctx context.Context, spec TableSpec) error {
+	return c.pool.CallCtx(ctx, "store.create", spec, nil)
 }
 
 // Insert mirrors DB.Insert.
 func (c *Client) Insert(table string, row Row) (int64, error) {
+	return c.InsertCtx(context.Background(), table, row)
+}
+
+// InsertCtx is Insert bounded by a context.
+func (c *Client) InsertCtx(ctx context.Context, table string, row Row) (int64, error) {
 	var resp insertResp
-	if err := c.pool.Call("store.insert", insertReq{Table: table, Row: row}, &resp); err != nil {
+	if err := c.pool.CallCtx(ctx, "store.insert", insertReq{Table: table, Row: row}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.ID, nil
@@ -177,8 +192,13 @@ func (c *Client) Insert(table string, row Row) (int64, error) {
 
 // Get mirrors DB.Get.
 func (c *Client) Get(table string, id int64) (Row, error) {
+	return c.GetCtx(context.Background(), table, id)
+}
+
+// GetCtx is Get bounded by a context.
+func (c *Client) GetCtx(ctx context.Context, table string, id int64) (Row, error) {
 	var row Row
-	if err := c.pool.Call("store.get", getReq{Table: table, ID: id}, &row); err != nil {
+	if err := c.pool.CallCtx(ctx, "store.get", getReq{Table: table, ID: id}, &row); err != nil {
 		return nil, err
 	}
 	return row, nil
@@ -186,18 +206,33 @@ func (c *Client) Get(table string, id int64) (Row, error) {
 
 // Update mirrors DB.Update.
 func (c *Client) Update(table string, id int64, updates Row) error {
-	return c.pool.Call("store.update", updateReq{Table: table, ID: id, Updates: updates}, nil)
+	return c.UpdateCtx(context.Background(), table, id, updates)
+}
+
+// UpdateCtx is Update bounded by a context.
+func (c *Client) UpdateCtx(ctx context.Context, table string, id int64, updates Row) error {
+	return c.pool.CallCtx(ctx, "store.update", updateReq{Table: table, ID: id, Updates: updates}, nil)
 }
 
 // Delete mirrors DB.Delete.
 func (c *Client) Delete(table string, id int64) error {
-	return c.pool.Call("store.delete", deleteReq{Table: table, ID: id}, nil)
+	return c.DeleteCtx(context.Background(), table, id)
+}
+
+// DeleteCtx is Delete bounded by a context.
+func (c *Client) DeleteCtx(ctx context.Context, table string, id int64) error {
+	return c.pool.CallCtx(ctx, "store.delete", deleteReq{Table: table, ID: id}, nil)
 }
 
 // Select mirrors DB.Select.
 func (c *Client) Select(q Query) ([]Row, error) {
+	return c.SelectCtx(context.Background(), q)
+}
+
+// SelectCtx is Select bounded by a context.
+func (c *Client) SelectCtx(ctx context.Context, q Query) ([]Row, error) {
 	var rows []Row
-	if err := c.pool.Call("store.select", q, &rows); err != nil {
+	if err := c.pool.CallCtx(ctx, "store.select", q, &rows); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -206,6 +241,11 @@ func (c *Client) Select(q Query) ([]Row, error) {
 // Call invokes a stored procedure registered on the server, decoding the
 // result into out (may be nil).
 func (c *Client) Call(proc string, args any, out any) error {
+	return c.CallProcCtx(context.Background(), proc, args, out)
+}
+
+// CallProcCtx is Call bounded by a context.
+func (c *Client) CallProcCtx(ctx context.Context, proc string, args any, out any) error {
 	var raw json.RawMessage
 	if args != nil {
 		b, err := json.Marshal(args)
@@ -214,14 +254,19 @@ func (c *Client) Call(proc string, args any, out any) error {
 		}
 		raw = b
 	}
-	return c.pool.Call("store.call", callReq{Proc: proc, Args: raw}, out)
+	return c.pool.CallCtx(ctx, "store.call", callReq{Proc: proc, Args: raw}, out)
 }
 
 // Export downloads the whole database as a Snapshot — how an operator
 // dumps a study's dataset from the live Database server.
 func (c *Client) Export() (*Snapshot, error) {
+	return c.ExportCtx(context.Background())
+}
+
+// ExportCtx is Export bounded by a context.
+func (c *Client) ExportCtx(ctx context.Context) (*Snapshot, error) {
 	var snap Snapshot
-	if err := c.pool.Call("store.export", nil, &snap); err != nil {
+	if err := c.pool.CallCtx(ctx, "store.export", nil, &snap); err != nil {
 		return nil, err
 	}
 	return &snap, nil

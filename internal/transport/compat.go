@@ -1,0 +1,35 @@
+// Compatibility shims over the multiplexed, context-first call surface.
+// Pre-mux call sites keep compiling against Call/CallTimeout; new code
+// should pass a context via CallCtx. This file is the one sanctioned home
+// of the timeout-flavored API (the `make lint` grep gate excludes it).
+package transport
+
+import (
+	"context"
+	"time"
+)
+
+// Call invokes method with req, storing the response into resp (which may
+// be nil for methods without results), bounded by the client's Timeout.
+// It is a thin shim over CallCtx.
+func (c *Client) Call(method string, req, resp any) error {
+	return c.CallTimeout(method, req, resp, c.Timeout)
+}
+
+// CallTimeout is Call with an explicit per-call timeout overriding the
+// client's Timeout (zero = unbounded). It is a thin shim over CallCtx.
+func (c *Client) CallTimeout(method string, req, resp any, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return c.CallCtx(ctx, method, req, resp)
+}
+
+// Call is Pool.CallCtx with a background context: bounded only by the
+// pool's Timeout.
+func (p *Pool) Call(method string, req, resp any) error {
+	return p.CallCtx(context.Background(), method, req, resp)
+}

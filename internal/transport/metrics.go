@@ -18,6 +18,7 @@ type Metrics struct {
 	bytesRecv   *obs.Counter
 	sendSeconds *obs.Histogram
 	recvSeconds *obs.Histogram
+	rpcInflight *obs.Gauge
 }
 
 // NewMetrics builds the transport metric bundle for one fabric label
@@ -30,7 +31,24 @@ func NewMetrics(reg *obs.Registry, fabric string) *Metrics {
 		bytesRecv:   reg.Counter("sheriff_transport_bytes_recv_total", "fabric", fabric),
 		sendSeconds: reg.Histogram("sheriff_transport_send_seconds", "fabric", fabric),
 		recvSeconds: reg.Histogram("sheriff_transport_recv_seconds", "fabric", fabric),
+		rpcInflight: reg.Gauge("sheriff_rpc_inflight", "fabric", fabric),
 	}
+}
+
+// callStart/callEnd bracket one server-side handler execution for the
+// sheriff_rpc_inflight gauge.
+func (m *Metrics) callStart() {
+	if m == nil {
+		return
+	}
+	m.rpcInflight.Add(1)
+}
+
+func (m *Metrics) callEnd() {
+	if m == nil {
+		return
+	}
+	m.rpcInflight.Add(-1)
 }
 
 func (m *Metrics) sent(n int, t0 time.Time) {

@@ -1,72 +1,130 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"net"
-	"os"
 	"sync"
 	"time"
 )
 
-// ErrCallTimeout marks an RPC that exceeded its per-call timeout; match
-// with errors.Is (mirroring peer.ErrRequestTimeout on the P2P side). A
-// timed-out Client is marked broken — the response may still arrive and
-// would desynchronize the request/response stream — so subsequent calls
-// fail with ErrClosed until the caller re-dials (a Pool does this
-// automatically).
+// ErrCallTimeout marks an RPC that exceeded its deadline; match with
+// errors.Is (mirroring peer.ErrRequestTimeout on the P2P side). Under the
+// multiplexed protocol a timed-out call abandons only its own call ID —
+// the shared connection stays healthy and a late response is dropped by
+// the read loop, so concurrent calls on the same conn are unaffected.
 var ErrCallTimeout = errors.New("transport: call timed out")
 
-// isTimeout reports whether err is an I/O deadline expiry from either
-// fabric.
-func isTimeout(err error) bool {
-	if errors.Is(err, os.ErrDeadlineExceeded) {
-		return true
+// Wire error codes carried in Envelope.Code so typed errors keep their
+// identity across the RPC boundary (see RPCCoder).
+const (
+	CodeDeadline = "deadline"
+	CodeCanceled = "canceled"
+)
+
+// RPCCoder is implemented by application errors that must stay matchable
+// with errors.Is on the far side of an RPC: the server puts RPCCode into
+// Envelope.Code and the client's RemoteError compares codes in Is. The
+// admission layer's ErrOverload is the canonical example.
+type RPCCoder interface{ RPCCode() string }
+
+// errorCode derives the wire code for a handler error.
+func errorCode(err error) string {
+	var rc RPCCoder
+	if errors.As(err, &rc) {
+		return rc.RPCCode()
 	}
-	var ne net.Error
-	return errors.As(err, &ne) && ne.Timeout()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeDeadline
+	}
+	if errors.Is(err, context.Canceled) {
+		return CodeCanceled
+	}
+	return ""
 }
 
-// Envelope is the wire format of one RPC request or response.
+// Envelope is the wire format of one RPC request or response. The call ID
+// multiplexes many in-flight calls over one connection: responses are
+// matched to requests by ID, a request with Cancel set aborts the named
+// in-flight call on the server, and DeadlineMS carries the caller's
+// remaining budget so the server-side handler context expires in step
+// with the client. ID 0 is reserved for legacy lock-step callers.
 type Envelope struct {
-	T    string          `json:"t"`              // method name
-	Body json.RawMessage `json:"body,omitempty"` // request or response payload
-	Err  string          `json:"err,omitempty"`  // response-only error text
+	T          string          `json:"t"`              // method name
+	ID         uint64          `json:"id,omitempty"`   // call ID (mux key)
+	Body       json.RawMessage `json:"body,omitempty"` // request or response payload
+	Cancel     bool            `json:"c,omitempty"`    // request-only: abort call ID
+	DeadlineMS int64           `json:"dl,omitempty"`   // request-only: remaining budget
+	Err        string          `json:"err,omitempty"`  // response-only error text
+	Code       string          `json:"code,omitempty"` // response-only machine-readable error code
 }
 
 // Handler serves one RPC method: it unmarshals its own request type from
 // raw and returns a response value (marshalled by the server) or an error
-// (sent back as Envelope.Err).
+// (sent back as Envelope.Err). Legacy form without a context; new code
+// should use HandlerCtx.
 type Handler func(raw json.RawMessage) (any, error)
 
+// HandlerCtx is a context-aware method handler. The context is canceled
+// when the caller's deadline (propagated in the wire header) expires,
+// when the caller sends an explicit cancel frame, or when the connection
+// or server shuts down — so a handler that honors ctx stops doing work
+// the moment nobody wants the answer anymore.
+type HandlerCtx func(ctx context.Context, raw json.RawMessage) (any, error)
+
 // Server dispatches framed RPC requests to registered handlers. Each
-// accepted connection is served by its own goroutine; requests on one
-// connection are processed sequentially (the protocols here are strict
-// request/response, like the paper's PHP endpoints).
+// accepted connection is served by its own read loop and each request by
+// its own goroutine, so one connection carries many concurrent calls
+// (the mux protocol); responses are matched to requests by call ID.
 type Server struct {
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]HandlerCtx
 	conns    map[Conn]bool
 	lis      Listener
 	wg       sync.WaitGroup
 	done     chan struct{}
 	once     sync.Once
+	metrics  *Metrics
+	base     context.Context
+	stop     context.CancelFunc
 }
 
-// NewServer creates a server bound to the listener; call Handle to register
-// methods, then Serve (usually in a goroutine).
+// MetricsSource is implemented by listeners that can report the metric
+// bundle of their fabric; NewServer uses it to drive the RPC in-flight
+// gauge without extra wiring. Both built-in fabrics implement it, and
+// the chaos fabric forwards it.
+type MetricsSource interface{ TransportMetrics() *Metrics }
+
+// NewServer creates a server bound to the listener; call Handle or
+// HandleCtx to register methods, then Serve (usually in a goroutine).
 func NewServer(lis Listener) *Server {
-	return &Server{
-		handlers: make(map[string]Handler),
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		handlers: make(map[string]HandlerCtx),
 		conns:    make(map[Conn]bool),
 		lis:      lis,
 		done:     make(chan struct{}),
+		base:     base,
+		stop:     stop,
 	}
+	if ms, ok := lis.(MetricsSource); ok {
+		s.metrics = ms.TransportMetrics()
+	}
+	return s
 }
 
-// Handle registers a method handler; it must be called before Serve.
+// Handle registers a legacy context-free handler; it must be called
+// before Serve.
 func (s *Server) Handle(method string, h Handler) {
+	s.HandleCtx(method, func(_ context.Context, raw json.RawMessage) (any, error) {
+		return h(raw)
+	})
+}
+
+// HandleCtx registers a context-aware handler; it must be called before
+// Serve.
+func (s *Server) HandleCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -105,41 +163,93 @@ func (s *Server) Serve() error {
 	}
 }
 
+// serveConn reads frames and fans each request out to its own goroutine.
+// Per-call contexts descend from a per-connection context (canceled when
+// the connection or server dies) and expire at the caller's propagated
+// deadline; cancel frames abort the matching in-flight call.
 func (s *Server) serveConn(conn Conn) {
+	connCtx, connCancel := context.WithCancel(s.base)
+	defer connCancel()
+	var (
+		mu       sync.Mutex
+		inflight = make(map[uint64]context.CancelCauseFunc)
+	)
 	for {
 		var req Envelope
 		if err := conn.Recv(&req); err != nil {
 			return
 		}
-		s.mu.RLock()
-		h, ok := s.handlers[req.T]
-		s.mu.RUnlock()
-		var resp Envelope
-		resp.T = req.T
-		if !ok {
-			resp.Err = fmt.Sprintf("unknown method %q", req.T)
-		} else if out, err := h(req.Body); err != nil {
-			resp.Err = err.Error()
-		} else if out != nil {
-			body, err := json.Marshal(out)
-			if err != nil {
-				resp.Err = fmt.Sprintf("marshal response: %v", err)
-			} else {
-				resp.Body = body
+		if req.Cancel {
+			mu.Lock()
+			if abort, ok := inflight[req.ID]; ok {
+				abort(context.Canceled)
 			}
+			mu.Unlock()
+			continue
 		}
-		if err := conn.Send(&resp); err != nil {
-			return
+		hctx, abort := context.WithCancelCause(connCtx)
+		dcancel := context.CancelFunc(func() {})
+		if req.DeadlineMS > 0 {
+			dl := time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+			hctx, dcancel = context.WithDeadline(hctx, dl)
 		}
+		if req.ID != 0 {
+			mu.Lock()
+			inflight[req.ID] = abort
+			mu.Unlock()
+		}
+		s.metrics.callStart()
+		go func(req Envelope, hctx context.Context) {
+			defer func() {
+				if req.ID != 0 {
+					mu.Lock()
+					delete(inflight, req.ID)
+					mu.Unlock()
+				}
+				dcancel()
+				abort(nil)
+				s.metrics.callEnd()
+			}()
+			conn.Send(s.dispatch(hctx, &req))
+		}(req, hctx)
 	}
 }
 
-// Close stops the server: the listener closes and every active connection
-// is torn down (a closed server must look dead to its clients, so pools
-// can detect the failure and re-dial after a restart).
+// dispatch runs the handler for one request and builds the response.
+func (s *Server) dispatch(ctx context.Context, req *Envelope) *Envelope {
+	s.mu.RLock()
+	h, ok := s.handlers[req.T]
+	s.mu.RUnlock()
+	resp := &Envelope{T: req.T, ID: req.ID}
+	if !ok {
+		resp.Err = fmt.Sprintf("unknown method %q", req.T)
+		return resp
+	}
+	out, err := h(ctx, req.Body)
+	if err != nil {
+		resp.Err = err.Error()
+		resp.Code = errorCode(err)
+		return resp
+	}
+	if out != nil {
+		body, merr := json.Marshal(out)
+		if merr != nil {
+			resp.Err = fmt.Sprintf("marshal response: %v", merr)
+		} else {
+			resp.Body = body
+		}
+	}
+	return resp
+}
+
+// Close stops the server: the listener closes, in-flight handler contexts
+// are canceled, and every active connection is torn down (a closed server
+// must look dead to its clients, so pools can detect the failure and
+// re-dial after a restart).
 func (s *Server) Close() error {
 	s.once.Do(func() {
 		close(s.done)
+		s.stop()
 		s.lis.Close()
 		s.mu.Lock()
 		for conn := range s.conns {
@@ -150,45 +260,77 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client issues RPCs over one connection. Calls are serialized; use a Pool
-// for concurrency.
+// Client issues RPCs over one multiplexed connection: any number of
+// goroutines may call concurrently, responses are matched by call ID,
+// and a call abandoned at its deadline leaves the shared connection
+// healthy (the late response is dropped by ID). Use a Pool when you want
+// several connections.
 type Client struct {
-	// Timeout bounds every Call when the underlying Conn supports
-	// deadlines (both built-in fabrics do); zero means unbounded. Set it
-	// before sharing the client across goroutines.
+	// Timeout bounds every legacy Call (zero = unbounded); CallCtx takes
+	// its budget from the context instead. Set it before sharing the
+	// client across goroutines.
 	Timeout time.Duration
 
-	mu     sync.Mutex
-	conn   Conn
-	broken bool
+	conn Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Envelope
+	broken  bool
 }
 
-// DialClient connects a client to an RPC server.
+// DialClient connects a client to an RPC server and starts its read loop.
 func DialClient(net Network, addr string) (*Client, error) {
 	conn, err := net.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{conn: conn, pending: make(map[uint64]chan *Envelope)}
+	go c.readLoop()
+	return c, nil
 }
 
-// Call invokes method with req, storing the response into resp (which may
-// be nil for methods without results). A non-empty server error becomes a
-// *RemoteError. The call is bounded by the client's Timeout; an expired
-// deadline surfaces as an error matching ErrCallTimeout.
-func (c *Client) Call(method string, req, resp any) error {
-	return c.CallTimeout(method, req, resp, c.Timeout)
-}
-
-// CallTimeout is Call with an explicit per-call timeout overriding the
-// client's Timeout (zero = unbounded).
-func (c *Client) CallTimeout(method string, req, resp any, timeout time.Duration) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken {
-		return ErrClosed
+// readLoop is the single reader of the connection: it routes every
+// response to the pending call with the matching ID. Responses whose
+// call already gave up (deadline or cancel) have no pending entry and
+// are dropped. A receive error breaks the client and fails all pending
+// calls.
+func (c *Client) readLoop() {
+	for {
+		var env Envelope
+		if err := c.conn.Recv(&env); err != nil {
+			c.mu.Lock()
+			c.broken = true
+			for id, ch := range c.pending {
+				delete(c.pending, id)
+				close(ch)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		delete(c.pending, env.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- &env
+		}
 	}
-	env := Envelope{T: method}
+}
+
+// CallCtx invokes method with req, storing the response into resp (which
+// may be nil for methods without results). The context bounds the whole
+// call: its deadline travels in the wire header so the server-side
+// handler context expires in step, and cancelation sends an explicit
+// cancel frame so the server aborts the handler instead of computing an
+// answer nobody will read. A deadline expiry matches both ErrCallTimeout
+// and context.DeadlineExceeded; a cancelation matches context.Canceled.
+// A non-empty server error becomes a *RemoteError.
+func (c *Client) CallCtx(ctx context.Context, method string, req, resp any) error {
+	if ctx.Err() != nil {
+		return callCtxErr(method, ctx)
+	}
+	env := &Envelope{T: method}
 	if req != nil {
 		body, err := json.Marshal(req)
 		if err != nil {
@@ -196,50 +338,163 @@ func (c *Client) CallTimeout(method string, req, resp any, timeout time.Duration
 		}
 		env.Body = body
 	}
-	if timeout > 0 {
-		if dc, ok := c.conn.(DeadlineConn); ok {
-			dc.SetDeadline(time.Now().Add(timeout))
-			defer dc.SetDeadline(time.Time{})
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
 		}
+		env.DeadlineMS = ms
 	}
-	if err := c.conn.Send(&env); err != nil {
-		return c.classify(method, timeout, err)
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return ErrClosed
 	}
-	var out Envelope
-	if err := c.conn.Recv(&out); err != nil {
-		return c.classify(method, timeout, err)
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	env.ID = id
+
+	// Send from a goroutine so a wedged write (chaos hang, full buffer)
+	// cannot outlive the caller's budget.
+	sent := make(chan error, 1)
+	go func() { sent <- c.conn.Send(env) }()
+	select {
+	case err := <-sent:
+		if err != nil {
+			c.drop(id)
+			c.breakConn()
+			return err
+		}
+	case <-ctx.Done():
+		select {
+		case err := <-sent: // send actually finished: race with ctx
+			if err == nil {
+				c.drop(id)
+				go c.conn.Send(&Envelope{ID: id, Cancel: true})
+				return callCtxErr(method, ctx)
+			}
+		default:
+		}
+		// The frame may be half-written; the stream is unusable.
+		c.drop(id)
+		c.breakConn()
+		return callCtxErr(method, ctx)
 	}
-	if out.Err != "" {
-		return &RemoteError{Method: method, Msg: out.Err}
+
+	select {
+	case out, ok := <-ch:
+		if !ok {
+			return ErrClosed
+		}
+		if out.Err != "" {
+			return &RemoteError{Method: method, Msg: out.Err, Code: out.Code}
+		}
+		if resp != nil && len(out.Body) > 0 {
+			return json.Unmarshal(out.Body, resp)
+		}
+		return nil
+	case <-ctx.Done():
+		// Abandon only this call: unregister the ID (the read loop drops
+		// the late response) and tell the server to abort the handler.
+		c.drop(id)
+		go c.conn.Send(&Envelope{ID: id, Cancel: true})
+		return callCtxErr(method, ctx)
 	}
-	if resp != nil && len(out.Body) > 0 {
-		return json.Unmarshal(out.Body, resp)
-	}
-	return nil
 }
 
-// classify converts deadline expiries into the matchable sentinel and
-// poisons the connection: once a call times out, a late response could
-// still land and would be mistaken for the next call's answer.
-func (c *Client) classify(method string, timeout time.Duration, err error) error {
-	if !isTimeout(err) {
-		return err
-	}
-	c.broken = true
-	return fmt.Errorf("transport: call %s after %v: %w", method, timeout, ErrCallTimeout)
+// drop unregisters a pending call.
+func (c *Client) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
 }
+
+// breakConn marks the client unusable and closes the connection, which
+// unblocks any wedged writer and makes the read loop fail the remaining
+// pending calls.
+func (c *Client) breakConn() {
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// Broken reports whether the underlying connection has failed; a Pool
+// uses it to decide when a re-dial is warranted.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// callCtxErr converts a context expiry into the matchable call error:
+// deadline expiries match both ErrCallTimeout and context.DeadlineExceeded,
+// cancelations match context.Canceled, and a custom cancel cause stays
+// matchable too.
+func callCtxErr(method string, ctx context.Context) error {
+	var causes []error
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		causes = []error{ErrCallTimeout, context.DeadlineExceeded}
+	} else {
+		causes = []error{context.Canceled}
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(ctx.Err(), cause) {
+		causes = append(causes, cause)
+	}
+	return &callError{
+		msg:    fmt.Sprintf("transport: call %s: %v", method, ctx.Err()),
+		causes: causes,
+	}
+}
+
+// callError ties a failed call to every matchable identity of its cause.
+type callError struct {
+	msg    string
+	causes []error
+}
+
+func (e *callError) Error() string   { return e.msg }
+func (e *callError) Unwrap() []error { return e.causes }
 
 // Close releases the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // RemoteError is an application-level error returned by an RPC handler.
+// When the handler's error carried a wire code (RPCCoder, context
+// expiry), Code preserves it so errors.Is matches the typed sentinel on
+// the caller's side of the wire.
 type RemoteError struct {
 	Method string
 	Msg    string
+	Code   string
 }
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Is matches a RemoteError against typed sentinels by wire code, so
+// errors.Is(err, admit.ErrOverload) works even though the concrete value
+// never crossed the connection.
+func (e *RemoteError) Is(target error) bool {
+	if e.Code == "" {
+		return false
+	}
+	if rc, ok := target.(RPCCoder); ok {
+		return rc.RPCCode() == e.Code
+	}
+	switch e.Code {
+	case CodeDeadline:
+		// The server aborted on the deadline the caller propagated, so
+		// from the caller's perspective the call timed out.
+		return target == context.DeadlineExceeded || target == ErrCallTimeout
+	case CodeCanceled:
+		return target == context.Canceled
+	}
+	return false
 }
 
 // IsRemote reports whether err is a RemoteError (as opposed to a transport
@@ -251,13 +506,14 @@ func IsRemote(err error) bool {
 
 // Pool is a fixed-size connection pool, mirroring the paper's database
 // optimization of keeping connection threads in memory instead of paying
-// connection setup per query (Sect. 10.2.1). Connections that fail at the
+// connection setup per query (Sect. 10.2.1). Each pooled connection is a
+// multiplexed Client, so the pool multiplies throughput rather than
+// providing the only concurrency. Connections that break at the
 // transport level are replaced on the next use, so a server restart does
 // not permanently poison the pool.
 type Pool struct {
-	// Timeout bounds each pooled Call (zero = unbounded). A timed-out
-	// connection is treated like any transport failure: closed and
-	// replaced by a fresh dial. Set it before serving traffic.
+	// Timeout bounds each pooled call on top of the caller's context
+	// (zero = unbounded). Set it before serving traffic.
 	Timeout time.Duration
 
 	netw    Network
@@ -283,14 +539,24 @@ func NewPool(net Network, addr string, size int) (*Pool, error) {
 	return p, nil
 }
 
-// Call borrows a connection, issues the RPC, and returns it. A transport
-// failure (as opposed to an application-level RemoteError) closes the
-// broken connection and dials a replacement before the slot goes back to
-// the pool; the original error is still reported to the caller.
-func (p *Pool) Call(method string, req, resp any) error {
-	c := <-p.clients
-	err := c.CallTimeout(method, req, resp, p.Timeout)
-	if err != nil && !IsRemote(err) {
+// CallCtx borrows a connection, issues the RPC under the context (plus
+// the pool's Timeout, when set), and returns the connection. Only a
+// connection whose transport actually broke is closed and re-dialed —
+// a call abandoned at its deadline leaves the multiplexed conn healthy.
+func (p *Pool) CallCtx(ctx context.Context, method string, req, resp any) error {
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+	var c *Client
+	select {
+	case c = <-p.clients:
+	case <-ctx.Done():
+		return callCtxErr(method, ctx)
+	}
+	err := c.CallCtx(ctx, method, req, resp)
+	if c.Broken() {
 		c.Close()
 		if nc, derr := DialClient(p.netw, p.addr); derr == nil {
 			c = nc

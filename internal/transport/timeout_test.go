@@ -57,10 +57,14 @@ func testCallTimeout(t *testing.T, netw Network, addr string) {
 	if elapsed > 2*time.Second {
 		t.Errorf("timeout enforced after %v", elapsed)
 	}
-	// The client is poisoned: a late response must not be misread as the
-	// answer to a subsequent call.
-	if err := cli.Call("ping", nil, nil); !errors.Is(err, ErrClosed) {
-		t.Errorf("second call on timed-out client: %v, want ErrClosed", err)
+	// Under the mux protocol a timed-out call abandons only its own call
+	// ID: the shared connection stays usable, so a second call against the
+	// still-mute server times out again rather than failing ErrClosed.
+	if err := cli.Call("ping", nil, nil); !errors.Is(err, ErrCallTimeout) {
+		t.Errorf("second call on timed-out client: %v, want ErrCallTimeout", err)
+	}
+	if cli.Broken() {
+		t.Error("per-call timeout must not break the shared connection")
 	}
 }
 
@@ -122,9 +126,10 @@ func TestCallNoTimeoutStillWorks(t *testing.T) {
 	}
 }
 
-func TestPoolRecoversFromTimeout(t *testing.T) {
-	// A pool whose calls time out replaces the poisoned connection, so a
-	// later call against a healthy server succeeds.
+func TestPoolSurvivesTimeout(t *testing.T) {
+	// A pooled call that hits its deadline no longer poisons the
+	// connection: the late response is dropped by call ID and the very
+	// same conn serves the next call once the server behaves.
 	netw := NewInproc()
 	lis, err := netw.Listen("svc")
 	if err != nil {
@@ -154,8 +159,54 @@ func TestPoolRecoversFromTimeout(t *testing.T) {
 		t.Fatalf("slow call: %v, want ErrCallTimeout", err)
 	}
 	mute.Store(false)
-	time.Sleep(250 * time.Millisecond) // let the stale handler drain
 	if err := pool.Call("ping", nil, &out); err != nil || out != "pong" {
 		t.Fatalf("pool did not recover: %q, %v", out, err)
+	}
+}
+
+func TestPoolRedialsBrokenConn(t *testing.T) {
+	// A server restart really breaks the conn; the pool must notice via
+	// Broken() and re-dial before the next call.
+	netw := NewInproc()
+	lis, err := netw.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis)
+	srv.Handle("ping", func(json.RawMessage) (any, error) { return "pong", nil })
+	go srv.Serve()
+
+	pool, err := NewPool(netw, "svc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var out string
+	if err := pool.Call("ping", nil, &out); err != nil || out != "pong" {
+		t.Fatalf("first call: %q, %v", out, err)
+	}
+
+	srv.Close() // tear down every conn
+	// Restart on the same logical address.
+	lis2, err := netw.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(lis2)
+	srv2.Handle("ping", func(json.RawMessage) (any, error) { return "pong", nil })
+	go srv2.Serve()
+	defer srv2.Close()
+
+	// The first call after the restart may surface the broken conn; the
+	// pool replaces it so a follow-up succeeds.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := pool.Call("ping", nil, &out); err == nil && out == "pong" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never recovered after server restart")
+		}
 	}
 }

@@ -115,6 +115,9 @@ func (l *tcpListener) Accept() (Conn, error) {
 func (l *tcpListener) Close() error { return l.l.Close() }
 func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 
+// TransportMetrics implements MetricsSource.
+func (l *tcpListener) TransportMetrics() *Metrics { return l.m }
+
 func (c *tcpConn) Send(v any) error {
 	t0 := time.Now()
 	data, err := json.Marshal(v)
@@ -276,6 +279,9 @@ func (l *inprocListener) Close() error {
 }
 
 func (l *inprocListener) Addr() string { return l.addr }
+
+// TransportMetrics implements MetricsSource.
+func (l *inprocListener) TransportMetrics() *Metrics { return l.net.Metrics }
 
 func (c *inprocConn) Send(v any) error {
 	t0 := time.Now()
