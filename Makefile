@@ -13,6 +13,12 @@ build:
 # deliberate new exception with a `lint:allow` comment on the same line.
 LINT_REQUEST_PATH = internal/transport internal/store internal/coordinator internal/measurement internal/peer internal/core
 
+# Instrumented packages must log through the trace-correlated obs.Logger,
+# not the stdlib's bare log.Printf/Println (which lose trace IDs and the
+# /logs ring). log.Fatal* stays allowed in commands. Mark a deliberate
+# exception with a `lint:allow` comment on the same line.
+LINT_LOGGED = $(LINT_REQUEST_PATH) internal/adminui internal/history cmd
+
 lint:
 	@bad=$$(grep -rn --include='*.go' -E 'CallTimeout\(|time\.Sleep\(' $(LINT_REQUEST_PATH) \
 		| grep -v '_test.go' \
@@ -22,12 +28,19 @@ lint:
 		echo "lint: blocking timeout/sleep in request-path code (thread a context instead; see DESIGN.md):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rn --include='*.go' -E 'log\.(Printf|Println)\(' $(LINT_LOGGED) \
+		| grep -v '_test.go' \
+		| grep -v 'lint:allow' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: bare log.Printf/Println in instrumented code (use the obs.Logger; see DESIGN.md):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 test: lint
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core
+	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core
 
 race:
 	$(GO) test -race ./...

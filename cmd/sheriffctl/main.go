@@ -20,6 +20,13 @@
 //	sheriffctl history -admin HOST:PORT [-url URL -country CC] [-json]
 //	sheriffctl export -admin HOST:PORT [-o FILE]
 //	sheriffctl import -admin HOST:PORT -f FILE
+//	sheriffctl trace -admin HOST:PORT [TRACE_ID] [-min-ms 500] [-err] [-json]
+//	sheriffctl logs -admin HOST:PORT [-level warn] [-trace TRACE_ID] [-json]
+//
+// With -trace, the check itself runs under a locally owned distributed
+// trace and the assembled cross-process span tree (submit → schedule →
+// fan-out → persist, with the Measurement server's spans stitched in) is
+// printed after the result page.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"pricesheriff/internal/core"
 	"pricesheriff/internal/geo"
 	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/obs"
 	"pricesheriff/internal/peer"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/transport"
@@ -62,6 +70,12 @@ func main() {
 		case "import":
 			runImport(os.Args[2:])
 			return
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "logs":
+			runLogs(os.Args[2:])
+			return
 		}
 	}
 	var (
@@ -76,6 +90,7 @@ func main() {
 		curr       = flag.String("currency", "EUR", "currency to convert results to")
 		timeout    = flag.Duration("timeout", 3*time.Minute, "overall deadline for the price check (0 = none)")
 		serve      = flag.Duration("serve", 0, "stay connected serving remote requests for this long after the check")
+		showTrace  = flag.Bool("trace", false, "run the check under a distributed trace and print the assembled span tree")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -152,8 +167,20 @@ func main() {
 		defer cancel()
 	}
 
+	// With -trace, this process owns the distributed trace: every RPC
+	// below propagates its identity on the wire and the remote components'
+	// spans are stitched back in for printing.
+	var tracer *obs.Tracer
+	var tr *obs.Trace
+	if *showTrace {
+		tracer = obs.NewTracer(4)
+		tr, _ = tracer.Start("", "check "+*url)
+		checkCtx = obs.WithTrace(checkCtx, tr)
+	}
+
 	// Step 1: navigate and "highlight" the price.
-	resp, err := br.BrowseProduct(checkCtx, fetcher, *url, 0)
+	submit := tr.Span("submit")
+	resp, err := br.BrowseProduct(obs.WithSpan(checkCtx, submit), fetcher, *url, 0)
 	if err != nil {
 		log.Fatalf("navigate: %v", err)
 	}
@@ -161,11 +188,14 @@ func main() {
 		log.Fatalf("navigate: status %d", resp.Status)
 	}
 	path, err := core.SelectPrice(resp.HTML)
+	submit.EndErr(err)
 	if err != nil {
 		log.Fatalf("select price: %v", err)
 	}
 	domainName, _, _ := shop.ParseProductURL(*url)
-	job, err := coordCli.NewJob(domainName, *id)
+	sched := tr.Span("schedule")
+	job, err := coordCli.NewJobCtx(obs.WithSpan(checkCtx, sched), domainName, *id)
+	sched.EndErr(err)
 	if err != nil {
 		log.Fatalf("coordinator rejected: %v", err)
 	}
@@ -176,17 +206,24 @@ func main() {
 		log.Fatalf("dial measurement server: %v", err)
 	}
 	defer ms.Close()
-	if err := ms.CheckCtx(checkCtx, &measurement.CheckRequest{
+	await := tr.Span("await")
+	check := &measurement.CheckRequest{
 		JobID:         job.JobID,
 		URL:           *url,
 		TagsPath:      path,
 		InitiatorHTML: resp.HTML,
 		InitiatorID:   *id,
 		Currency:      *curr,
-	}); err != nil {
+	}
+	if tr != nil {
+		check.TraceID = tr.ID()
+		check.ParentSpanID = await.ID()
+	}
+	if err := ms.CheckCtx(obs.WithSpan(checkCtx, await), check); err != nil {
 		log.Fatalf("submit check: %v", err)
 	}
 	rows, err := ms.WaitResultsCtx(checkCtx, job.JobID)
+	await.EndErr(err)
 	if err != nil {
 		if checkCtx.Err() == nil {
 			log.Fatalf("results: %v", err)
@@ -206,6 +243,14 @@ func main() {
 	fmt.Print(core.FormatResult(&core.CheckResult{
 		JobID: job.JobID, URL: *url, Domain: domainName, Currency: *curr, Rows: rows,
 	}))
+
+	if tr != nil {
+		tr.Finish()
+		for _, tv := range tracer.Recent() {
+			fmt.Println()
+			printTrace(tv)
+		}
+	}
 
 	if *serve > 0 && ctx.Err() == nil {
 		fmt.Printf("serving remote requests for %v ...\n", *serve)

@@ -51,6 +51,7 @@ func TestSheriffdSheriffctlEndToEnd(t *testing.T) {
 
 	// Parse the printed component addresses.
 	addrRe := regexp.MustCompile(`(shops \(the web\)|coordinator|p2p relay broker):\s+(\S+)`)
+	adminRe := regexp.MustCompile(`admin web ui:\s+http://(\S+)/`)
 	addrs := map[string]string{}
 	scanner := bufio.NewScanner(stdout)
 	deadline := time.After(30 * time.Second)
@@ -60,6 +61,9 @@ func TestSheriffdSheriffctlEndToEnd(t *testing.T) {
 			line := scanner.Text()
 			if m := addrRe.FindStringSubmatch(line); m != nil {
 				addrs[m[1]] = m[2]
+			}
+			if m := adminRe.FindStringSubmatch(line); m != nil {
+				addrs["admin"] = m[1]
 			}
 			if strings.Contains(line, "Serving until interrupted") {
 				close(ready)
@@ -93,11 +97,14 @@ func TestSheriffdSheriffctlEndToEnd(t *testing.T) {
 		t.Fatalf("domain list missing chegg.com:\n%s", out)
 	}
 
-	// Run a price check as an external peer.
+	// Run a price check as an external peer, under a distributed trace:
+	// the client process owns the trace, the daemon's coordinator and
+	// measurement server join it over the wire, and the assembled
+	// cross-process tree prints after the result page.
 	check := exec.Command(filepath.Join(tmp, "sheriffctl"),
 		"-coord", addrs["coordinator"], "-shops", addrs["shops (the web)"],
 		"-broker", addrs["p2p relay broker"],
-		"-country", "ES", "-id", "e2e-peer", "-domain", "steampowered.com")
+		"-country", "ES", "-id", "e2e-peer", "-domain", "steampowered.com", "-trace")
 	out, err = check.CombinedOutput()
 	if err != nil {
 		t.Fatalf("sheriffctl check: %v\n%s", err, out)
@@ -111,5 +118,57 @@ func TestSheriffdSheriffctlEndToEnd(t *testing.T) {
 	// The check fanned out to the 30-IPC fleet: expect many result rows.
 	if rows := strings.Count(text, "EUR "); rows < 20 {
 		t.Errorf("only %d converted rows:\n%s", rows, text)
+	}
+	// The span tree: client-side protocol steps plus daemon-side spans
+	// (proc-stamped) stitched across the two OS processes.
+	for _, want := range []string{"schedule", "proc=coordinator", "fanout", "proc=measurement", "kind=ipc"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+	traceID := regexp.MustCompile(`tr-[0-9a-f]+-\d+`).FindString(text)
+	if traceID == "" {
+		t.Fatalf("no trace ID in check output:\n%s", text)
+	}
+
+	if addrs["admin"] == "" {
+		t.Fatal("missing admin UI address in daemon output")
+	}
+	// The daemon's ring kept its side of the same trace: `sheriffctl
+	// trace <id>` must resolve it over the admin UI. The daemon finishes
+	// its trace just after answering the final result poll, so allow a
+	// few retries for it to land in the completed ring.
+	var traceOut string
+	for attempt := 0; attempt < 50; attempt++ {
+		traceCmd := exec.Command(filepath.Join(tmp, "sheriffctl"),
+			"trace", "-admin", addrs["admin"], traceID)
+		out, err = traceCmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("sheriffctl trace: %v\n%s", err, out)
+		}
+		traceOut = string(out)
+		if strings.Contains(traceOut, traceID) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, want := range []string{traceID, "fanout", "persist"} {
+		if !strings.Contains(traceOut, want) {
+			t.Errorf("sheriffctl trace missing %q:\n%s", want, traceOut)
+		}
+	}
+
+	// And `sheriffctl logs -trace <id>` returns the daemon's structured
+	// records for exactly this check.
+	logsCmd := exec.Command(filepath.Join(tmp, "sheriffctl"),
+		"logs", "-admin", addrs["admin"], "-level", "debug", "-trace", traceID)
+	out, err = logsCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("sheriffctl logs: %v\n%s", err, out)
+	}
+	for _, want := range []string{"check completed", "trace_id=" + traceID} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("sheriffctl logs missing %q:\n%s", want, out)
+		}
 	}
 }

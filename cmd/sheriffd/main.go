@@ -53,13 +53,14 @@ import (
 
 func main() {
 	var (
-		servers = flag.Int("servers", 2, "measurement servers to boot")
-		domains = flag.Int("domains", 200, "checked e-commerce domains in the world")
-		users   = flag.Int("users", 12, "simulated peer users to connect")
-		seed    = flag.Int64("seed", 1, "world/workload seed")
-		admin   = flag.String("admin", "127.0.0.1:0", "admin web UI address (empty disables)")
-		debug   = flag.Bool("debug", false, "expose /debug/pprof and /debug/vars on the admin UI")
-		dump    = flag.String("dump", "", "write the collected dataset to this JSON file on shutdown")
+		servers  = flag.Int("servers", 2, "measurement servers to boot")
+		domains  = flag.Int("domains", 200, "checked e-commerce domains in the world")
+		users    = flag.Int("users", 12, "simulated peer users to connect")
+		seed     = flag.Int64("seed", 1, "world/workload seed")
+		admin    = flag.String("admin", "127.0.0.1:0", "admin web UI address (empty disables)")
+		debug    = flag.Bool("debug", false, "expose /debug/pprof and /debug/vars on the admin UI")
+		dump     = flag.String("dump", "", "write the collected dataset to this JSON file on shutdown")
+		logLevel = flag.String("log-level", "info", "minimum structured log level: debug, info, warn, error")
 
 		checkDeadline = flag.Duration("check-deadline", 2*time.Minute, "whole-check deadline; expired checks complete with partial rows")
 		vantageBudget = flag.Duration("vantage-budget", 0, "per-vantage fetch budget incl. retries (0 = check deadline)")
@@ -79,6 +80,14 @@ func main() {
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
+
+	// Structured, trace-correlated logging: JSON lines on stderr plus a
+	// bounded in-memory ring served at the admin UI's /logs.
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl, 2048)
 
 	mall := shop.NewMall(shop.MallConfig{
 		Seed:          *seed,
@@ -126,6 +135,7 @@ func main() {
 		Seed:               *seed,
 		Metrics:            reg,
 		Tracer:             tracer,
+		Logger:             logger,
 		CheckDeadline:      *checkDeadline,
 		VantageBudget:      *vantageBudget,
 		RetryPolicy:        retry.Policy{MaxAttempts: *retries},
@@ -154,7 +164,7 @@ func main() {
 	specs := workload.Users(rand.New(rand.NewSource(*seed)), *users, workload.Top10Countries(), 0.36)
 	for _, spec := range specs {
 		if _, err := sys.AddUser(spec.ID, spec.Country, ""); err != nil {
-			log.Printf("add user %s: %v", spec.ID, err)
+			logger.Warn(ctx, "add user failed", "user", spec.ID, "err", err.Error())
 			continue
 		}
 	}
@@ -172,14 +182,14 @@ func main() {
 			}
 			s, ok := mall.Shop(d)
 			if !ok || len(s.Products()) == 0 {
-				log.Printf("watch %s: unknown domain or empty catalog", d)
+				logger.Warn(ctx, "watch skipped: unknown domain or empty catalog", "domain", d)
 				continue
 			}
 			u := s.ProductURL(s.Products()[0].SKU)
 			if _, err := sys.Watches().Add(u, "USD"); err != nil {
 				// A recovered data dir already carries its watches.
 				if !errors.Is(err, store.ErrDupUnique) {
-					log.Printf("watch %s: %v", u, err)
+					logger.Warn(ctx, "watch registration failed", "url", u, "err", err.Error())
 					continue
 				}
 			}
@@ -191,6 +201,7 @@ func main() {
 		ui := adminui.New(sys.Coord)
 		ui.Metrics = reg
 		ui.Tracer = tracer
+		ui.Logs = logger.Ring()
 		ui.DB = sys.StoreEngine()
 		ui.History = sys.History()
 		ui.Watches = sys.Watches()
@@ -233,17 +244,17 @@ func main() {
 	if *dump != "" {
 		snap, err := sys.DB().Export()
 		if err != nil {
-			log.Printf("export dataset: %v", err)
+			logger.Error(ctx, "export dataset failed", "err", err.Error())
 			return
 		}
 		f, err := os.Create(*dump)
 		if err != nil {
-			log.Printf("create %s: %v", *dump, err)
+			logger.Error(ctx, "create dump file failed", "path", *dump, "err", err.Error())
 			return
 		}
 		defer f.Close()
 		if err := json.NewEncoder(f).Encode(snap); err != nil {
-			log.Printf("write %s: %v", *dump, err)
+			logger.Error(ctx, "write dump file failed", "path", *dump, "err", err.Error())
 			return
 		}
 		fmt.Printf("dataset written to %s\n", *dump)

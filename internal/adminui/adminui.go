@@ -13,7 +13,12 @@
 //	POST /servers      register a measurement server (form field "addr")
 //	GET  /metrics      telemetry in Prometheus text exposition format
 //	GET  /metrics.json telemetry as a JSON snapshot
-//	GET  /traces       recent price-check trace waterfalls (HTML)
+//	GET  /traces       recent price-check trace waterfalls (HTML);
+//	                   filters: ?min_ms=500 &err=1 &id=<trace id>
+//	GET  /traces.json  the same traces as JSON (same filters)
+//	GET  /logs         recent structured log records (HTML);
+//	                   filters: ?level=warn &trace=<trace id> &limit=100
+//	GET  /logs.json    the same records as JSON (same filters)
 //	GET  /healthz      liveness probe
 package adminui
 
@@ -36,8 +41,12 @@ type Server struct {
 	// Metrics backs /metrics and /metrics.json; set it after New (nil:
 	// the endpoints serve an empty snapshot).
 	Metrics *obs.Registry
-	// Tracer backs /traces; set it after New (nil: an empty panel).
+	// Tracer backs /traces and /traces.json; set it after New (nil: an
+	// empty panel).
 	Tracer *obs.Tracer
+	// Logs backs /logs and /logs.json; set it after New (nil: an empty
+	// panel). Point it at the Logger's Ring().
+	Logs *obs.LogRing
 	// DB backs /snapshot (export/import); set it after New (nil: 404).
 	DB *store.DB
 	// History backs /history and /history.json (nil: 404).
@@ -61,6 +70,9 @@ func New(coord *coordinator.Coordinator) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/traces.json", s.handleTracesJSON)
+	s.mux.HandleFunc("/logs", s.handleLogs)
+	s.mux.HandleFunc("/logs.json", s.handleLogsJSON)
 	s.mux.HandleFunc("/history", s.handleHistory)
 	s.mux.HandleFunc("/history.json", s.handleHistoryJSON)
 	s.mux.HandleFunc("/watches", s.handleWatches)
@@ -135,6 +147,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/metrics">Metrics (Prometheus)</a></li>
 <li><a href="/metrics.json">Metrics (JSON)</a></li>
 <li><a href="/traces">Recent traces</a></li>
+<li><a href="/logs">Logs</a></li>
 </ul>
 </body></html>
 `)

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"pricesheriff/internal/obs"
@@ -32,11 +34,85 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Metrics.Snapshot())
 }
 
+// traceFilter is the shared /traces query filter: minimum duration,
+// errors-only, and an exact trace ID.
+type traceFilter struct {
+	minDur  time.Duration
+	errOnly bool
+	id      string
+}
+
+func parseTraceFilter(r *http.Request) (traceFilter, error) {
+	q := r.URL.Query()
+	var f traceFilter
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			return f, fmt.Errorf("bad min_ms %q", v)
+		}
+		f.minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	f.errOnly = q.Get("err") == "1" || q.Get("err") == "true"
+	f.id = q.Get("id")
+	return f, nil
+}
+
+func (f traceFilter) keep(tv obs.TraceView) bool {
+	if f.id != "" && tv.ID != f.id {
+		return false
+	}
+	if tv.Duration < f.minDur {
+		return false
+	}
+	if f.errOnly && !tv.HasError() {
+		return false
+	}
+	return true
+}
+
+func (s *Server) filteredTraces(f traceFilter) []obs.TraceView {
+	views := s.Tracer.Recent()
+	out := views[:0]
+	for _, tv := range views {
+		if f.keep(tv) {
+			out = append(out, tv)
+		}
+	}
+	return out
+}
+
+// handleTracesJSON serves the recent traces as JSON, filterable with
+// ?id=<trace id>, ?min_ms=<duration floor> and ?err=1 (errored/abandoned
+// traces only) — the shape consumed by `sheriffctl trace`.
+func (s *Server) handleTracesJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := parseTraceFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	views := s.filteredTraces(f)
+	if views == nil {
+		views = []obs.TraceView{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(views)
+}
+
 // handleTraces renders the recent price-check traces as HTML waterfalls:
 // one horizontal bar per span, offset and sized relative to the trace.
+// It honors the same ?id= / ?min_ms= / ?err=1 filters as /traces.json.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := parseTraceFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -53,9 +129,9 @@ body { font-family: monospace; }
 </style></head><body>
 <h1>Recent traces</h1>
 `)
-	views := s.Tracer.Recent()
+	views := s.filteredTraces(f)
 	if len(views) == 0 {
-		fmt.Fprint(w, "<p>No completed traces yet.</p>\n")
+		fmt.Fprint(w, "<p>No completed traces match.</p>\n")
 	}
 	for _, tv := range views {
 		fmt.Fprintf(w, `<div class="trace"><b>%s</b> %s — %s`+"\n",
@@ -97,6 +173,96 @@ func writeSpanLane(w http.ResponseWriter, sp obs.SpanView, total time.Duration, 
 	for _, c := range sp.Children {
 		writeSpanLane(w, c, total, true)
 	}
+}
+
+// parseLogsQuery resolves the shared /logs filters: ?level= (minimum
+// level, default info), ?trace= (exact trace ID) and ?limit= (record
+// cap, default 200).
+func parseLogsQuery(r *http.Request) (slog.Level, string, int, error) {
+	q := r.URL.Query()
+	lvl, err := obs.ParseLevel(q.Get("level"))
+	if err != nil {
+		return 0, "", 0, err
+	}
+	limit := 200
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, "", 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return lvl, q.Get("trace"), limit, nil
+}
+
+// handleLogsJSON serves the log ring as JSON, newest first — the shape
+// consumed by `sheriffctl logs`. Filters: ?level=, ?trace=, ?limit=.
+func (s *Server) handleLogsJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	lvl, trace, limit, err := parseLogsQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs := s.Logs.Records(lvl, trace, limit)
+	if recs == nil {
+		recs = []obs.LogRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(recs)
+}
+
+// handleLogs renders the log ring as an HTML table, newest first, with
+// each record's trace ID linking to its /traces waterfall.
+func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	lvl, trace, limit, err := parseLogsQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html>
+<html><head><title>Logs</title><style>
+body { font-family: monospace; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 2px 6px; text-align: left; }
+tr.WARN { background: #fdf3d7; }
+tr.ERROR { background: #fbe3e0; }
+</style></head><body>
+<h1>Logs</h1>
+<form method="GET" action="/logs">
+level <select name="level">
+<option value="debug">debug</option>
+<option value="info" selected>info</option>
+<option value="warn">warn</option>
+<option value="error">error</option>
+</select>
+trace <input name="trace" placeholder="trace id">
+<button type="submit">Filter</button>
+</form>
+<table><tr><th>time</th><th>level</th><th>message</th><th>trace</th><th>attrs</th></tr>
+`)
+	for _, rec := range s.Logs.Records(lvl, trace, limit) {
+		traceCell := ""
+		if rec.TraceID != "" {
+			traceCell = fmt.Sprintf(`<a href="/traces?id=%s">%s</a>`,
+				htmlEscape(rec.TraceID), htmlEscape(rec.TraceID))
+		}
+		attrs := ""
+		for k, v := range rec.Attrs {
+			attrs += k + "=" + v + " "
+		}
+		fmt.Fprintf(w, `<tr class="%s"><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+			htmlEscape(rec.Level), rec.Time.Format("15:04:05.000"), htmlEscape(rec.Level),
+			htmlEscape(rec.Msg), traceCell, htmlEscape(attrs))
+	}
+	fmt.Fprint(w, "</table></body></html>\n")
 }
 
 // EnableDebug mounts net/http/pprof and expvar on the admin mux — the

@@ -1,12 +1,14 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"pricesheriff/internal/doppelganger"
 	"pricesheriff/internal/geo"
+	"pricesheriff/internal/obs"
 )
 
 // PeerInfo is one row of the peer-proxy monitoring panel (paper Fig. 16).
@@ -55,6 +57,9 @@ type Coordinator struct {
 	// before serving traffic (nil disables). Share one bundle with
 	// Servers.Metrics so the whole component reports into one registry.
 	Metrics *Metrics
+	// Log records scheduling decisions, trace-correlated through the
+	// NewJob context (nil disables).
+	Log *obs.Logger
 
 	mu      sync.Mutex
 	peers   map[string]PeerInfo
@@ -165,20 +170,23 @@ func (c *Coordinator) PeersNear(initiatorID string, max int) []PeerInfo {
 
 // NewJob runs step 1 of the price-check protocol: whitelist the domain,
 // create a globally unique job ID, pick the least-loaded online
-// Measurement server, and snapshot the PPC list for that job.
-func (c *Coordinator) NewJob(domain, initiatorID string) (*Job, error) {
+// Measurement server, and snapshot the PPC list for that job. The
+// context carries only observability state (the submitter's trace for
+// log correlation); scheduling itself is not cancelable.
+func (c *Coordinator) NewJob(ctx context.Context, domain, initiatorID string) (*Job, error) {
 	if !c.Whitelist.Check(domain) {
 		c.Metrics.whitelistRejected()
+		c.Log.Warn(ctx, "job rejected: domain not whitelisted", "domain", domain)
 		return nil, fmt.Errorf("coordinator: domain %q is not whitelisted", domain)
 	}
 	addr, err := c.Servers.Assign()
 	if err != nil {
+		c.Log.Warn(ctx, "job rejected: no measurement server", "domain", domain, "err", err.Error())
 		return nil, err
 	}
 	ppcs := c.PeersNear(initiatorID, c.MaxPPCs)
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.nextJob++
 	job := &Job{
 		ID:         fmt.Sprintf("job-%08d", c.nextJob),
@@ -189,6 +197,9 @@ func (c *Coordinator) NewJob(domain, initiatorID string) (*Job, error) {
 	}
 	c.jobs[job.ID] = job
 	c.Metrics.jobScheduled(len(c.jobs))
+	c.mu.Unlock()
+	c.Log.Debug(ctx, "job scheduled", "job", job.ID, "domain", domain,
+		"server", addr, "ppcs", len(ppcs))
 	return job, nil
 }
 
@@ -254,6 +265,8 @@ func (c *Coordinator) RequeueLapsed() int {
 		c.mu.Unlock()
 		c.Servers.Done(old)
 		c.Metrics.jobRequeued()
+		c.Log.Info(context.Background(), "job requeued from lapsed server",
+			"job", id, "from", old, "to", addr)
 		requeued++
 	}
 	return requeued

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -249,7 +250,7 @@ func TestJobLifecycle(t *testing.T) {
 	c, world := newCoordinator(t)
 	es := registerPeers(t, c, world, "ES", 4)
 
-	job, err := c.NewJob("shop.com", es[0])
+	job, err := c.NewJob(context.Background(), "shop.com", es[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestJobLifecycle(t *testing.T) {
 func TestNewJobWhitelistRejection(t *testing.T) {
 	c, world := newCoordinator(t)
 	es := registerPeers(t, c, world, "ES", 1)
-	if _, err := c.NewJob("evil.example", es[0]); err == nil {
+	if _, err := c.NewJob(context.Background(), "evil.example", es[0]); err == nil {
 		t.Fatal("unwhitelisted domain accepted")
 	}
 	// The rejection is logged and no server slot was consumed.

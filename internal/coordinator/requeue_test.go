@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func TestRequeueLapsedMovesJob(t *testing.T) {
 	c.Servers.Register("s1")
 	c.Servers.Register("s2")
 
-	job, err := c.NewJob("x.com", "nobody")
+	job, err := c.NewJob(context.Background(), "x.com", "nobody")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestRequeueLapsedNoOnlineServers(t *testing.T) {
 	clock := newFakeClock()
 	c := requeueCoord(clock)
 	c.Servers.Register("s1")
-	job, err := c.NewJob("x.com", "nobody")
+	job, err := c.NewJob(context.Background(), "x.com", "nobody")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestReaperRequeuesInBackground(t *testing.T) {
 	c := New(sl, NewWhitelist([]string{"x.com"}), geo.NewWorld())
 	sl.Register("s1")
 	sl.Register("s2")
-	job, err := c.NewJob("x.com", "nobody")
+	job, err := c.NewJob(context.Background(), "x.com", "nobody")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,7 @@ type Server struct {
 // NewServer wraps the coordinator; call Serve to start.
 func NewServer(c *Coordinator, lis transport.Listener) *Server {
 	s := &Server{C: c, rpc: transport.NewServer(lis)}
+	s.rpc.SetProc("coordinator")
 	s.rpc.HandleCtx("coord.newjob", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -64,7 +65,7 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
-		job, err := c.NewJob(req.Domain, req.InitiatorID)
+		job, err := c.NewJob(ctx, req.Domain, req.InitiatorID)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"log/slog"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/obs"
+	"pricesheriff/internal/shop"
+)
+
+// findSpan walks a span forest depth-first for the first span with the
+// given name.
+func findSpan(sps []obs.SpanView, name string) *obs.SpanView {
+	for i := range sps {
+		if sps[i].Name == name {
+			return &sps[i]
+		}
+		if found := findSpan(sps[i].Children, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// TestDistributedTraceAcrossFabric is the tentpole acceptance test: an
+// external client process (its own tracer, like sheriffctl) runs the
+// five-step protocol against a deployment purely over the RPC fabric.
+// The client-owned trace must come back as one tree containing the
+// coordinator-side handler span, the measurement-side pipeline with
+// per-vantage children, and per-hop rpc timing spans — stitched from
+// spans recorded by tracers on both sides of the wire.
+func TestDistributedTraceAcrossFabric(t *testing.T) {
+	mall := shop.NewMall(shop.MallConfig{Seed: 9, NumDomains: 40, NumLocationPD: 12, NumAlexa: 5, IncludePDIPD: true})
+	logger := obs.NewLogger(nil, slog.LevelDebug, 256)
+	sys, err := NewSystem(Config{
+		Mall:               mall,
+		MeasurementServers: 2,
+		IPCCountries:       []string{"ES", "ES", "US", "GB", "DE", "JP"},
+		PPCTimeout:         5 * time.Second,
+		Seed:               9,
+		Logger:             logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	users := addUsers(t, sys, "ES", 4)
+	u := users[0]
+	url := productURL(t, sys, "steampowered.com", 0)
+	domain, _, _ := shop.ParseProductURL(url)
+
+	// The client side: a tracer of its own, distinct from the system's.
+	ext := obs.NewTracer(4)
+	tr, _ := ext.Start("", "check "+url)
+	ctx := obs.WithTrace(context.Background(), tr)
+
+	submit := tr.Span("submit")
+	resp, err := u.Browser.BrowseProduct(obs.WithSpan(ctx, submit), u.Node.Fetcher, url, sys.Day())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := SelectPrice(resp.HTML)
+	submit.EndErr(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coordCli, err := coordinator.DialCoordinator(sys.fabric, sys.CoordAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordCli.Close()
+	sched := tr.Span("schedule")
+	job, err := coordCli.NewJobCtx(obs.WithSpan(ctx, sched), domain, u.ID)
+	sched.EndErr(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msCli, err := measurement.DialMeasurement(sys.fabric, job.ServerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msCli.Close()
+	await := tr.Span("await")
+	check := &measurement.CheckRequest{
+		JobID:         job.JobID,
+		URL:           url,
+		TagsPath:      path,
+		InitiatorHTML: resp.HTML,
+		InitiatorID:   u.ID,
+		Currency:      "EUR",
+		Day:           sys.Day(),
+		TraceID:       tr.ID(),
+		ParentSpanID:  await.ID(),
+	}
+	if err := msCli.CheckCtx(obs.WithSpan(ctx, await), check); err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	rows, err := msCli.WaitResultsCtx(wctx, job.JobID)
+	await.EndErr(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d, want initiator + vantages", len(rows))
+	}
+	tr.Finish()
+
+	// --- One assembled tree in the client's tracer.
+	views := ext.Recent()
+	if len(views) != 1 {
+		t.Fatalf("client recent = %d, want 1", len(views))
+	}
+	tv := views[0]
+	if tv.ID != tr.ID() {
+		t.Fatalf("trace ID = %q, want %q", tv.ID, tr.ID())
+	}
+
+	// Coordinator side: schedule → rpc leg → remote handler span stamped
+	// with its process name.
+	schedView := findSpan(tv.Spans, "schedule")
+	if schedView == nil {
+		t.Fatal("no schedule span")
+	}
+	rpcLeg := findSpan(schedView.Children, "rpc coord.newjob")
+	if rpcLeg == nil {
+		t.Fatalf("schedule has no rpc child: %+v", schedView.Children)
+	}
+	handler := findSpan(rpcLeg.Children, "coord.newjob")
+	if handler == nil {
+		t.Fatalf("rpc leg has no server handler span: %+v", rpcLeg.Children)
+	}
+	if handler.Attrs["proc"] != "coordinator" {
+		t.Errorf("handler proc = %q, want coordinator", handler.Attrs["proc"])
+	}
+
+	// Measurement side: the check pipeline spans shipped back on the Done
+	// poll, re-parented under await, with one child per vantage point.
+	awaitView := findSpan(tv.Spans, "await")
+	if awaitView == nil {
+		t.Fatal("no await span")
+	}
+	for _, name := range []string{"extract", "persist", "fanout"} {
+		if findSpan(awaitView.Children, name) == nil {
+			t.Errorf("measurement span %q not stitched under await", name)
+		}
+	}
+	fanout := findSpan(awaitView.Children, "fanout")
+	if fanout != nil {
+		kinds := map[string]int{}
+		for _, c := range fanout.Children {
+			if k := c.Attrs["kind"]; k != "" {
+				kinds[k]++
+			}
+		}
+		if kinds["ipc"] == 0 {
+			t.Errorf("fanout has no per-vantage children: %v", kinds)
+		}
+	}
+	proc := findSpan(awaitView.Children, "extract")
+	if proc != nil && proc.Attrs["proc"] != "measurement" {
+		t.Errorf("extract proc = %q, want measurement", proc.Attrs["proc"])
+	}
+
+	// --- The check-latency exemplar resolves to this trace in the
+	// deployment's ring.
+	var exemplarID string
+	for _, h := range sys.Metrics().Snapshot().Histograms {
+		if h.Series == "sheriff_measurement_check_seconds" {
+			if len(h.Exemplars) == 0 {
+				t.Fatal("check histogram has no exemplar")
+			}
+			exemplarID = h.Exemplars[len(h.Exemplars)-1].TraceID
+		}
+	}
+	if exemplarID != tr.ID() {
+		t.Errorf("exemplar trace = %q, want %q", exemplarID, tr.ID())
+	}
+	if _, ok := sys.Tracer().Lookup(exemplarID); !ok {
+		t.Errorf("exemplar trace %q not resolvable in the deployment ring", exemplarID)
+	}
+
+	// --- Log records interleaved with the check carry the same trace ID.
+	recs := logger.Ring().Records(slog.LevelDebug, tr.ID(), 0)
+	if len(recs) == 0 {
+		t.Fatal("no log records stamped with the check's trace ID")
+	}
+	msgs := map[string]bool{}
+	for _, rec := range recs {
+		msgs[rec.Msg] = true
+	}
+	for _, want := range []string{"job scheduled", "check started", "check completed"} {
+		if !msgs[want] {
+			t.Errorf("no %q record with trace %s (got %v)", want, tr.ID(), msgs)
+		}
+	}
+}

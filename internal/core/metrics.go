@@ -25,12 +25,14 @@ func newCoreMetrics(reg *obs.Registry) *coreMetrics {
 	}
 }
 
-func (m *coreMetrics) checkDone(t0 time.Time, err error) {
+// checkDone records one finished check; traceID, when non-empty, becomes
+// the latency bucket's exemplar so the histogram links to a real trace.
+func (m *coreMetrics) checkDone(t0 time.Time, traceID string, err error) {
 	if m == nil {
 		return
 	}
 	m.checks.Inc()
-	m.checkSeconds.ObserveSince(t0)
+	m.checkSeconds.ObserveSinceTrace(t0, traceID)
 	if err != nil {
 		m.checkErrors.Inc()
 	}

@@ -31,14 +31,18 @@ func TestPriceCheckTelemetry(t *testing.T) {
 		t.Errorf("trace job attr = %q, want %q", tv.Attrs["job"], res.JobID)
 	}
 	spans := map[string]int{}
-	fanoutChildren := 0
+	vantageChildren := 0
 	childKinds := map[string]int{}
 	for _, sp := range tv.Spans {
 		spans[sp.Name]++
 		if sp.Name == "fanout" {
-			fanoutChildren = len(sp.Children)
+			// Children are one vantage span per vantage point plus RPC
+			// legs (e.g. the coord.job_ppcs lookup) opened under fanout.
 			for _, c := range sp.Children {
-				childKinds[c.Attrs["kind"]]++
+				if kind := c.Attrs["kind"]; kind != "" {
+					vantageChildren++
+					childKinds[kind]++
+				}
 			}
 		}
 	}
@@ -47,8 +51,8 @@ func TestPriceCheckTelemetry(t *testing.T) {
 			t.Errorf("span %q appears %d times, want 1 (spans: %v)", want, spans[want], spans)
 		}
 	}
-	if fanoutChildren != vantages {
-		t.Errorf("fanout children = %d, want %d (one per vantage point)", fanoutChildren, vantages)
+	if vantageChildren != vantages {
+		t.Errorf("fanout vantage children = %d, want %d (one per vantage point)", vantageChildren, vantages)
 	}
 	if childKinds["ipc"] != 6 || childKinds["ppc"] != 3 {
 		t.Errorf("child kinds = %v, want 6 ipc / 3 ppc", childKinds)

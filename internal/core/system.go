@@ -70,6 +70,9 @@ type Config struct {
 	// Tracer records per-check span trees; default keeps the last 64
 	// completed traces (reachable via System.Tracer).
 	Tracer *obs.Tracer
+	// Logger receives structured, trace-correlated log records from every
+	// component; nil disables logging (the nil-safe obs.Logger idiom).
+	Logger *obs.Logger
 
 	// DataDir, when set, makes the database durable: a WAL plus periodic
 	// checkpoints under this directory, recovered on the next boot. Empty
@@ -153,6 +156,8 @@ type System struct {
 
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
+	log         *obs.Logger // base logger tagged comp=core
+	logBase     *obs.Logger // untagged root, re-tagged per component
 	obs         *coreMetrics
 	peerMetrics *peer.Metrics
 	measMetrics *measurement.Metrics
@@ -203,6 +208,12 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.NewTracer(0)
 	}
+	if cfg.Tracer.Abandoned == nil {
+		// Leaked (never-finished) traces force-closed by the tracer's
+		// TTL/cap sweep are worth an alert: they mean a check path lost
+		// its Finish.
+		cfg.Tracer.Abandoned = cfg.Metrics.Counter("sheriff_obs_traces_abandoned_total")
+	}
 	if cfg.BaseContext == nil {
 		cfg.BaseContext = context.Background()
 	}
@@ -228,6 +239,8 @@ func NewSystem(cfg Config) (*System, error) {
 		fabric:       cfg.Fabric,
 		metrics:      cfg.Metrics,
 		tracer:       cfg.Tracer,
+		log:          cfg.Logger.With("comp", "core"),
+		logBase:      cfg.Logger,
 		obs:          newCoreMetrics(cfg.Metrics),
 		peerMetrics:  peer.NewMetrics(cfg.Metrics),
 		measMetrics:  measurement.NewMetrics(cfg.Metrics),
@@ -299,6 +312,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s.broker = peer.NewBroker(brokerLis)
 	s.broker.Metrics = s.peerMetrics
+	s.broker.Log = cfg.Logger.With("comp", "broker")
 	go s.broker.Serve()
 
 	// The Coordinator, whitelisting exactly the mall's domains.
@@ -308,6 +322,7 @@ func NewSystem(cfg Config) (*System, error) {
 	wl := coordinator.NewWhitelist(cfg.Mall.Domains())
 	s.Coord = coordinator.New(servers, wl, cfg.Mall.World)
 	s.Coord.Metrics = coordMetrics
+	s.Coord.Log = cfg.Logger.With("comp", "coordinator")
 	s.Coord.MaxPPCs = cfg.MaxPPCs
 	coordLis, err := cfg.Fabric.Listen("")
 	if err != nil {
@@ -385,6 +400,7 @@ func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.
 	ms.Peers = requester
 	ms.Metrics = s.measMetrics
 	ms.Tracer = s.tracer
+	ms.Log = s.logBase.With("comp", "measurement", "ms", fmt.Sprintf("ms-%d", idx))
 	ms.CheckDeadline = s.checkDeadline
 	ms.VantageBudget = s.vantageBudget
 	ms.Retry = s.retrier
@@ -626,21 +642,28 @@ func (s *System) priceCheckOrigin(ctx context.Context, userID, url, curr, origin
 	day := s.Day()
 
 	// The submitter owns the trace: the Measurement server joins it via
-	// the TraceID on the wire, and its spans land in the same tree.
+	// the TraceID on the wire, and its spans land in the same tree. The
+	// trace rides ctx so nested RPCs and log records correlate; spans are
+	// attached per protocol step below.
 	start := time.Now()
 	tr, _ := s.tracer.Start("", "check "+url)
 	tr.Annotate("user", userID)
+	ctx = obs.WithTrace(ctx, tr)
 	defer func() {
 		if err != nil {
 			tr.Annotate("error", err.Error())
+			s.log.Warn(ctx, "price check failed", "url", url, "origin", origin, "err", err.Error())
+		} else {
+			s.log.Info(ctx, "price check done", "url", url, "origin", origin,
+				"elapsed_ms", time.Since(start).Milliseconds())
 		}
 		tr.Finish()
-		s.obs.checkDone(start, err)
+		s.obs.checkDone(start, tr.ID(), err)
 	}()
 
 	// Step 1: the user navigates to the page (their own browser state).
 	submit := tr.Span("submit")
-	resp, err := u.Browser.BrowseProduct(ctx, u.Node.Fetcher, url, day)
+	resp, err := u.Browser.BrowseProduct(obs.WithSpan(ctx, submit), u.Node.Fetcher, url, day)
 	if err != nil {
 		submit.EndErr(err)
 		return nil, err
@@ -658,7 +681,7 @@ func (s *System) priceCheckOrigin(ctx context.Context, userID, url, curr, origin
 
 	// Step 1 (continued): ask the Coordinator for a job and a server.
 	sched := tr.Span("schedule")
-	job, err := s.Coord.NewJob(domain, userID)
+	job, err := s.Coord.NewJob(obs.WithSpan(ctx, sched), domain, userID)
 	sched.EndErr(err)
 	if err != nil {
 		return nil, err
@@ -671,6 +694,7 @@ func (s *System) priceCheckOrigin(ctx context.Context, userID, url, curr, origin
 		return nil, err
 	}
 	defer msCli.Close()
+	await := tr.Span("await")
 	check := &measurement.CheckRequest{
 		JobID:         job.ID,
 		URL:           url,
@@ -680,17 +704,19 @@ func (s *System) priceCheckOrigin(ctx context.Context, userID, url, curr, origin
 		Currency:      curr,
 		Day:           day,
 		TraceID:       tr.ID(),
+		ParentSpanID:  await.ID(),
 		Origin:        origin,
 	}
-	await := tr.Span("await")
-	if err := msCli.CheckCtx(ctx, check); err != nil {
+	if err := msCli.CheckCtx(obs.WithSpan(ctx, await), check); err != nil {
 		await.EndErr(err)
 		return nil, err
 	}
 
 	// Step 5: poll until the 'request finish' response, but never past the
 	// 30-second interactive cap — whichever of the cap and the caller's
-	// context dies first ends the wait.
+	// context dies first ends the wait. The poll ctx carries the trace but
+	// deliberately no span: result polls stay span-free on the wire, while
+	// the Done response's exported Measurement-side spans stitch into tr.
 	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
 	defer wcancel()
 	rows, err := msCli.WaitResultsCtx(wctx, job.ID)

@@ -144,7 +144,7 @@ func TestPriceCheckUnknownUserAndDomain(t *testing.T) {
 	if _, err := sys.PriceCheck(users[0].ID, "http://not-in-mall.com/product/x"); err == nil {
 		t.Error("unknown domain accepted")
 	}
-	if _, err := sys.Coord.NewJob("evil.example", users[0].ID); err == nil {
+	if _, err := sys.Coord.NewJob(context.Background(), "evil.example", users[0].ID); err == nil {
 		t.Error("unwhitelisted domain accepted")
 	}
 	if rej := sys.Coord.Whitelist.Rejected(); len(rej) != 1 || rej[0] != "evil.example" {

@@ -295,7 +295,7 @@ func TestChaosPartialCheck(t *testing.T) {
 		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
 	}, 7)
 
-	job, err := coord.NewJob("chegg.com", "initiator")
+	job, err := coord.NewJob(context.Background(), "chegg.com", "initiator")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,13 +67,16 @@ func (m *Metrics) checkStarted() {
 	m.pending.Add(1)
 }
 
-func (m *Metrics) checkCompleted(t0 time.Time) {
+// checkCompleted records one finished check; traceID, when non-empty,
+// becomes the latency bucket's exemplar so a slow bucket links straight
+// to a representative trace.
+func (m *Metrics) checkCompleted(t0 time.Time, traceID string) {
 	if m == nil {
 		return
 	}
 	m.checksCompleted.Inc()
 	m.pending.Add(-1)
-	m.checkSeconds.ObserveSince(t0)
+	m.checkSeconds.ObserveSinceTrace(t0, traceID)
 }
 
 func (m *Metrics) fanoutObserved(kind string, t0 time.Time) {

@@ -34,8 +34,13 @@ type CheckRequest struct {
 	Currency      string         `json:"currency,omitempty"` // default EUR
 	Day           float64        `json:"day"`
 	// TraceID joins the server-side spans to a trace the submitter
-	// started (empty: the server traces under the job ID).
-	TraceID string `json:"trace_id,omitempty"`
+	// started (empty: the server traces under the job ID). ParentSpanID,
+	// when set, re-parents the server-side spans under that caller span
+	// when they are exported back on the final Results poll — the
+	// span-export path for the asynchronous check protocol, where the
+	// submit RPC returns long before the fan-out finishes.
+	TraceID      string `json:"trace_id,omitempty"`
+	ParentSpanID string `json:"parent_span,omitempty"`
 	// Origin tags how the check was initiated: "" for a user-submitted
 	// one-shot, "watch" for a scheduler-driven recurring check. Recorded
 	// with the request row so longitudinal rows are separable in analysis.
@@ -60,10 +65,13 @@ type ResultRow struct {
 
 // ResultsResponse is one AJAX poll answer: rows arriving after `since`,
 // plus the finish flag (Sect. 3.2: the browser polls "until the
-// measurement server replies with a 'request finish' response").
+// measurement server replies with a 'request finish' response"). Once
+// Done, Spans carries the server-side span tree of the check so the
+// submitter can stitch the remote work into its own trace.
 type ResultsResponse struct {
-	Rows []ResultRow `json:"rows"`
-	Done bool        `json:"done"`
+	Rows  []ResultRow    `json:"rows"`
+	Done  bool           `json:"done"`
+	Spans []obs.WireSpan `json:"spans,omitempty"`
 }
 
 // PPCRequester issues remote page requests through the P2P relay;
@@ -95,6 +103,8 @@ type Server struct {
 	Metrics *Metrics
 	// Tracer records per-check span trees (nil disables).
 	Tracer *obs.Tracer
+	// Log records check lifecycle events, trace-correlated (nil disables).
+	Log *obs.Logger
 
 	// CheckDeadline bounds one whole check: when it expires, the job is
 	// marked done with whatever rows have arrived — the deployed system's
@@ -132,6 +142,11 @@ type checkState struct {
 	doneAt   time.Time
 	lastPoll time.Time
 	cancel   context.CancelCauseFunc // aborts the running check
+
+	// trace/parentSpan feed the span export on the final Results poll:
+	// the check's span tree, re-parented under the submitter's span.
+	trace      *obs.Trace
+	parentSpan string
 }
 
 // idleSince is the moment a completed check was last useful: its finish
@@ -309,7 +324,14 @@ func (s *Server) Results(jobID string, since int) (ResultsResponse, error) {
 		since = len(st.rows)
 	}
 	rows := append([]ResultRow(nil), st.rows[since:]...)
-	return ResultsResponse{Rows: rows, Done: st.done}, nil
+	resp := ResultsResponse{Rows: rows, Done: st.done}
+	if st.done && st.trace != nil && st.trace.Sampled() {
+		// The check is finished: ship the server-side span tree with the
+		// final poll so the submitter stitches the remote work — fan-out,
+		// per-vantage fetches, persistence — into its own trace.
+		resp.Spans = st.trace.Export(st.parentSpan, "measurement")
+	}
+	return resp, nil
 }
 
 // WaitResults polls until done (test/CLI convenience).
@@ -385,6 +407,13 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 		tr, owned = s.Tracer.Start(id, "check "+req.URL)
 		tr.Annotate("job", req.JobID)
 	}
+	ctx = obs.WithTrace(ctx, tr)
+	s.mu.Lock()
+	if st, ok := s.checks[req.JobID]; ok {
+		st.trace, st.parentSpan = tr, req.ParentSpanID
+	}
+	s.mu.Unlock()
+	s.Log.Info(ctx, "check started", "job", req.JobID, "url", req.URL, "origin", req.Origin)
 
 	// The initiator's own copy anchors the result page and DiffStorage.
 	ext := tr.Span("extract", "source", "initiator")
@@ -400,7 +429,7 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 	var reqRowID int64
 	if s.DB != nil {
 		per := tr.Span("persist", "table", "requests")
-		reqRowID, _ = s.DB.Insert("requests", store.Row{
+		reqRowID, _ = s.DB.InsertCtx(obs.WithSpan(ctx, per), "requests", store.Row{
 			"job_id": req.JobID, "domain": domain, "url": req.URL,
 			"day": req.Day, "initiator_html": req.InitiatorHTML,
 			"origin": req.Origin,
@@ -435,7 +464,7 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 				Source: c.ID, Kind: "ipc", PeerID: c.ID,
 				Country: c.Country, City: c.City,
 			}
-			vctx, vcancel := context.WithTimeout(ctx, budget)
+			vctx, vcancel := context.WithTimeout(obs.WithSpan(ctx, sp), budget)
 			defer vcancel()
 			resp, retries, err := fetchVantage(vctx, s.Retry, func(fctx context.Context) (*shop.FetchResponse, error) {
 				return c.Fetch(fctx, req.URL, req.Day)
@@ -455,14 +484,14 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 			}
 			row := s.extractRow(req, resp.HTML, base)
 			s.addRow(req.JobID, row)
-			s.record(req, reqRowID, row, resp.HTML)
+			s.record(obs.WithSpan(context.Background(), sp), req, reqRowID, row, resp.HTML)
 			sp.End()
 		}(ipc)
 	}
 
 	// Step 3.2: the PPCs near the initiator fetch in parallel.
 	if s.Coord != nil && s.Peers != nil {
-		ppcs, err := s.Coord.JobPPCsCtx(ctx, req.JobID)
+		ppcs, err := s.Coord.JobPPCsCtx(obs.WithSpan(ctx, fanout), req.JobID)
 		if err == nil {
 			for _, p := range ppcs {
 				wg.Add(1)
@@ -474,7 +503,7 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 						Source: "peer " + p.Country, Kind: "ppc", PeerID: p.ID,
 						Country: p.Country, City: p.City,
 					}
-					vctx, vcancel := context.WithTimeout(ctx, budget)
+					vctx, vcancel := context.WithTimeout(obs.WithSpan(ctx, sp), budget)
 					defer vcancel()
 					resp, retries, err := fetchVantage(vctx, s.Retry, func(fctx context.Context) (*peer.PageResponse, error) {
 						return s.Peers.RequestPage(fctx, p.ID, &peer.PageRequest{URL: req.URL, Day: req.Day})
@@ -495,7 +524,7 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 					base.Mode = resp.Mode
 					row := s.extractRow(req, resp.HTML, base)
 					s.addRow(req.JobID, row)
-					s.record(req, reqRowID, row, resp.HTML)
+					s.record(obs.WithSpan(context.Background(), sp), req, reqRowID, row, resp.HTML)
 					sp.End()
 				}(p)
 			}
@@ -518,10 +547,13 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 		fanout.Annotate("partial", "true")
 		fanout.Annotate("cause", causeLabel(ctx))
 		tr.Annotate("partial", "true")
+		s.Log.Warn(ctx, "check partial", "job", req.JobID, "cause", causeLabel(ctx))
 	}
 	fanout.End()
 	s.markDone(req.JobID)
-	s.Metrics.checkCompleted(start)
+	s.Metrics.checkCompleted(start, tr.ID())
+	s.Log.Info(ctx, "check completed", "job", req.JobID,
+		"elapsed_ms", time.Since(start).Milliseconds())
 	if s.Coord != nil {
 		// Step 4. The report runs under its own bounded context: it must
 		// outlive the check's (possibly dead) lifetime, but a mute
@@ -648,14 +680,16 @@ func (s *Server) extractRow(req *CheckRequest, html string, base ResultRow) Resu
 }
 
 // record persists one proxy response: metadata plus the page as a diff
-// against the initiator copy (DiffStorage).
-func (s *Server) record(req *CheckRequest, reqRowID int64, row ResultRow, html string) {
+// against the initiator copy (DiffStorage). ctx carries the vantage span
+// for tracing only — recording stays unbounded so a row gathered in time
+// is never lost to a dying vantage budget.
+func (s *Server) record(ctx context.Context, req *CheckRequest, reqRowID int64, row ResultRow, html string) {
 	if s.DB == nil {
 		return
 	}
 	script := Diff(req.InitiatorHTML, html)
 	blob, _ := json.Marshal(script)
-	s.DB.Insert("responses", store.Row{
+	s.DB.InsertCtx(ctx, "responses", store.Row{
 		"job_id":     req.JobID,
 		"request_id": reqRowID,
 		"domain":     domainOf(req.URL),
@@ -720,6 +754,7 @@ type resultsReq struct {
 func NewRPCServer(s *Server, lis transport.Listener) *RPCServer {
 	s.OwnAddr = lis.Addr()
 	r := &RPCServer{S: s, rpc: transport.NewServer(lis)}
+	r.rpc.SetProc("measurement")
 	r.rpc.HandleCtx("ms.check", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		var req CheckRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
@@ -835,7 +870,9 @@ func (c *Client) WaitResults(jobID string, timeout time.Duration) ([]ResultRow, 
 
 // WaitResultsCtx polls until the job finishes or ctx dies; on early exit
 // it returns the rows gathered so far alongside the context's cause, so
-// an interrupted caller still prints partial results.
+// an interrupted caller still prints partial results. When the context
+// carries a trace (obs.WithTrace), the server-side spans shipped with
+// the final poll are stitched into it, completing the distributed trace.
 func (c *Client) WaitResultsCtx(ctx context.Context, jobID string) ([]ResultRow, error) {
 	ticker := time.NewTicker(2 * time.Millisecond)
 	defer ticker.Stop()
@@ -847,6 +884,7 @@ func (c *Client) WaitResultsCtx(ctx context.Context, jobID string) ([]ResultRow,
 		}
 		rows = append(rows, resp.Rows...)
 		if resp.Done {
+			obs.TraceFrom(ctx).ImportSpans(resp.Spans)
 			return rows, nil
 		}
 		select {

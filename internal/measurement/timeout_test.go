@@ -1,6 +1,7 @@
 package measurement
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -81,7 +82,7 @@ func TestPPCTimeoutDoesNotStallCheck(t *testing.T) {
 	srv.Peers = requester
 
 	s, _ := m.Shop("chegg.com")
-	job, err := coord.NewJob("chegg.com", "initiator")
+	job, err := coord.NewJob(context.Background(), "chegg.com", "initiator")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,14 +17,16 @@ type MetricPoint struct {
 }
 
 // HistogramPoint is one exported histogram series with its quantile
-// estimates.
+// estimates; Exemplars are the per-bucket representative trace links,
+// slowest bucket last.
 type HistogramPoint struct {
-	Series string  `json:"series"`
-	Count  uint64  `json:"count"`
-	Sum    float64 `json:"sum"`
-	P50    float64 `json:"p50"`
-	P95    float64 `json:"p95"`
-	P99    float64 `json:"p99"`
+	Series    string     `json:"series"`
+	Count     uint64     `json:"count"`
+	Sum       float64    `json:"sum"`
+	P50       float64    `json:"p50"`
+	P95       float64    `json:"p95"`
+	P99       float64    `json:"p99"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is the JSON export shape (GET /metrics.json, sheriffctl stats).
@@ -63,9 +65,15 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, k := range sortedKeys(hists) {
 		hs := hists[k].Snapshot()
-		snap.Histograms = append(snap.Histograms, HistogramPoint{
+		hp := HistogramPoint{
 			Series: k, Count: hs.Count, Sum: hs.Sum, P50: hs.P50, P95: hs.P95, P99: hs.P99,
-		})
+		}
+		for _, b := range hs.Buckets {
+			if b.Exemplar != nil {
+				hp.Exemplars = append(hp.Exemplars, *b.Exemplar)
+			}
+		}
+		snap.Histograms = append(snap.Histograms, hp)
 	}
 	return snap
 }
@@ -178,7 +186,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if !math.IsInf(b.UpperBound, 1) {
 				le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, withLabel(labels, "le", le), b.Count); err != nil {
+			// OpenMetrics exemplar syntax: `# {trace_id="..."} value ts`
+			// appended to the bucket line, linking the bucket to a
+			// representative trace.
+			exemplar := ""
+			if b.Exemplar != nil {
+				exemplar = fmt.Sprintf(" # {trace_id=\"%s\"} %g %.3f",
+					escapeLabel(b.Exemplar.TraceID), b.Exemplar.Value,
+					float64(b.Exemplar.Time.UnixNano())/1e9)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", family, withLabel(labels, "le", le), b.Count, exemplar); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// unescapeLabel reverses the Prometheus text-format label escaping, as a
+// scraper would: \\ -> \, \" -> ", \n -> newline.
+func unescapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(v[i])
+				b.WriteByte(v[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// TestEscapeLabelRoundTrip: every character the exposition format must
+// escape — quotes, backslashes, newlines — survives an escape/unescape
+// round trip, alone and combined.
+func TestEscapeLabelRoundTrip(t *testing.T) {
+	cases := []string{
+		`plain`,
+		`with "quotes"`,
+		`back\slash`,
+		"new\nline",
+		`trailing\`,
+		"all three: \\ \" \n done",
+		`\\already\"escaped\n`,
+		"",
+	}
+	for _, in := range cases {
+		esc := escapeLabel(in)
+		if strings.ContainsAny(esc, "\n") {
+			t.Errorf("escapeLabel(%q) = %q still contains a raw newline", in, esc)
+		}
+		if got := unescapeLabel(esc); got != in {
+			t.Errorf("round trip of %q: escaped %q, unescaped %q", in, esc, got)
+		}
+	}
+}
+
+// TestWritePrometheusEscaping: label values with quotes, backslashes and
+// newlines must render as single parseable exposition lines whose
+// unescaped value matches the original.
+func TestWritePrometheusEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "a\"b\\c\nd"
+	reg.Counter("sheriff_test_total", "who", hostile).Inc()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var line string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "sheriff_test_total{") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("series line missing in:\n%s", out)
+	}
+	start := strings.Index(line, `who="`) + len(`who="`)
+	end := strings.LastIndex(line, `"`)
+	if start < len(`who="`) || end <= start {
+		t.Fatalf("cannot locate label value in %q", line)
+	}
+	if got := unescapeLabel(line[start:end]); got != hostile {
+		t.Errorf("label round trip = %q, want %q", got, hostile)
+	}
+}
+
+// TestWritePrometheusExemplar: a trace-carrying observation renders the
+// OpenMetrics exemplar suffix on its bucket line, trace ID escaped.
+func TestWritePrometheusExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sheriff_test_seconds")
+	h.ObserveTrace(0.3, "tr-abc-000001")
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(l, `sheriff_test_seconds_bucket{le="0.5"}`) {
+			found = true
+			if !strings.Contains(l, `# {trace_id="tr-abc-000001"} 0.3`) {
+				t.Errorf("bucket line missing exemplar: %q", l)
+			}
+		} else if strings.Contains(l, "trace_id") && strings.Contains(l, "_bucket") {
+			t.Errorf("exemplar leaked onto wrong bucket: %q", l)
+		}
+	}
+	if !found {
+		t.Fatal("0.5 bucket line not rendered")
+	}
+}
+
+// TestHistogramExemplarSnapshot: exemplars surface in the JSON snapshot
+// shape and later observations in the same bucket replace them.
+func TestHistogramExemplarSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sheriff_test_seconds")
+	h.ObserveTrace(0.3, "tr-old")
+	h.ObserveTrace(0.4, "tr-new") // same 0.5 bucket: replaces
+	h.Observe(0.45)               // no trace: keeps tr-new
+	h.ObserveTrace(7, "tr-slow")  // 10 bucket
+
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	ex := snap.Histograms[0].Exemplars
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", ex)
+	}
+	ids := map[string]bool{}
+	for _, e := range ex {
+		ids[e.TraceID] = true
+		if e.Time.IsZero() {
+			t.Errorf("exemplar %s has zero time", e.TraceID)
+		}
+	}
+	if !ids["tr-new"] || !ids["tr-slow"] || ids["tr-old"] {
+		t.Errorf("exemplar ids = %v, want tr-new and tr-slow only", ids)
+	}
+}
+
+// TestObserveSinceTrace: the duration variant lands in a sane bucket and
+// keeps the trace link.
+func TestObserveSinceTrace(t *testing.T) {
+	reg := NewRegistry()
+	hist := reg.Histogram("sheriff_test_seconds")
+	hist.ObserveSinceTrace(time.Now().Add(-10*time.Millisecond), "tr-x")
+	snap := hist.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d, want 1", snap.Count)
+	}
+	found := false
+	for _, b := range snap.Buckets {
+		if b.Exemplar != nil && b.Exemplar.TraceID == "tr-x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("exemplar not recorded by ObserveSinceTrace")
+	}
+}

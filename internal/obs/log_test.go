@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestLoggerStampsTraceContext: records logged under a span-bearing
+// context carry its trace and span IDs in both the ring and the JSON
+// output.
+func TestLoggerStampsTraceContext(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelDebug, 16)
+	tracer := NewTracer(4)
+	tr, _ := tracer.Start("", "check")
+	sp := tr.Span("submit")
+	ctx := WithSpan(context.Background(), sp)
+
+	lg.Info(ctx, "hello", "k", "v")
+	sp.End()
+	tr.Finish()
+
+	recs := lg.Ring().Records(slog.LevelDebug, "", 0)
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TraceID != tr.ID() || rec.SpanID != sp.ID() {
+		t.Errorf("record ids = %q/%q, want %q/%q", rec.TraceID, rec.SpanID, tr.ID(), sp.ID())
+	}
+	if rec.Attrs["k"] != "v" {
+		t.Errorf("record attrs = %v, want k=v", rec.Attrs)
+	}
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("output is not one JSON line: %v (%q)", err, buf.String())
+	}
+	if line["trace_id"] != tr.ID() || line["span_id"] != sp.ID() {
+		t.Errorf("JSON line ids = %v/%v, want %q/%q", line["trace_id"], line["span_id"], tr.ID(), sp.ID())
+	}
+
+	// A trace-only context (no span) still stamps the trace ID.
+	lg.Info(WithTrace(context.Background(), tr), "trace only")
+	recs = lg.Ring().Records(slog.LevelDebug, "", 1)
+	if recs[0].TraceID != tr.ID() || recs[0].SpanID != "" {
+		t.Errorf("trace-only record = %q/%q, want %q/\"\"", recs[0].TraceID, recs[0].SpanID, tr.ID())
+	}
+}
+
+// TestLogRingFilters: level floor, trace filter, limit, newest first.
+func TestLogRingFilters(t *testing.T) {
+	lg := NewLogger(nil, slog.LevelDebug, 16)
+	tracer := NewTracer(4)
+	tr, _ := tracer.Start("", "check")
+	ctx := WithTrace(context.Background(), tr)
+
+	lg.Debug(ctx, "d")
+	lg.Info(ctx, "i")
+	lg.Warn(context.Background(), "w")
+	lg.Error(ctx, "e")
+
+	if got := len(lg.Ring().Records(slog.LevelWarn, "", 0)); got != 2 {
+		t.Errorf("warn+ records = %d, want 2", got)
+	}
+	byTrace := lg.Ring().Records(slog.LevelDebug, tr.ID(), 0)
+	if len(byTrace) != 3 {
+		t.Errorf("trace records = %d, want 3", len(byTrace))
+	}
+	if byTrace[0].Msg != "e" {
+		t.Errorf("newest first: got %q, want e", byTrace[0].Msg)
+	}
+	if got := len(lg.Ring().Records(slog.LevelDebug, "", 2)); got != 2 {
+		t.Errorf("limited records = %d, want 2", got)
+	}
+}
+
+// TestLogRingBound: the ring never grows past its capacity.
+func TestLogRingBound(t *testing.T) {
+	lg := NewLogger(nil, slog.LevelDebug, 8)
+	for i := 0; i < 100; i++ {
+		lg.Info(nil, "spam")
+	}
+	if n := lg.Ring().Len(); n != 8 {
+		t.Errorf("ring len = %d, want 8", n)
+	}
+}
+
+// TestLoggerLevelFloor: records under the handler level are dropped from
+// both the ring and the writer.
+func TestLoggerLevelFloor(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelWarn, 8)
+	lg.Info(nil, "quiet")
+	lg.Warn(nil, "loud")
+	if n := lg.Ring().Len(); n != 1 {
+		t.Errorf("ring len = %d, want 1", n)
+	}
+	if strings.Contains(buf.String(), "quiet") {
+		t.Error("below-level record written")
+	}
+}
+
+// TestLoggerWith: derived loggers tag every record and share the ring.
+func TestLoggerWith(t *testing.T) {
+	lg := NewLogger(nil, slog.LevelDebug, 8)
+	sub := lg.With("comp", "measurement")
+	sub.Info(nil, "tagged")
+	recs := lg.Ring().Records(slog.LevelDebug, "", 0)
+	if len(recs) != 1 || recs[0].Attrs["comp"] != "measurement" {
+		t.Fatalf("derived record = %+v, want comp=measurement in shared ring", recs)
+	}
+}
+
+// TestNilLoggerSafe: the nil receiver contract of the package holds for
+// the logger family too.
+func TestNilLoggerSafe(t *testing.T) {
+	var lg *Logger
+	lg.Debug(nil, "x")
+	lg.Info(context.Background(), "x", "k", "v")
+	lg.Warn(nil, "x")
+	lg.Error(nil, "x")
+	if lg.With("a", "b") != nil {
+		t.Error("nil.With should stay nil")
+	}
+	if lg.Ring() != nil {
+		t.Error("nil.Ring should be nil")
+	}
+	var ring *LogRing
+	ring.add(LogRecord{})
+	if ring.Records(slog.LevelDebug, "", 0) != nil || ring.Len() != 0 {
+		t.Error("nil ring must be empty")
+	}
+}
+
+// TestParseLevel covers the accepted names and the error path.
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"": slog.LevelInfo, "info": slog.LevelInfo, "debug": slog.LevelDebug,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "Error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}

@@ -75,15 +75,25 @@ var DefBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
 }
 
+// Exemplar links one histogram bucket to a representative trace: the
+// last observation in the bucket that carried a trace ID, so a p99
+// outlier bucket resolves directly to a trace in the ring.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
+}
+
 // Histogram is a fixed-bucket histogram. Observations land in the first
 // bucket whose upper bound is >= the value; the final implicit bucket is
-// +Inf.
+// +Inf. Observations made with a trace ID leave a per-bucket exemplar.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1; last is +Inf
-	sum    float64
-	count  uint64
+	mu        sync.Mutex
+	bounds    []float64
+	counts    []uint64 // len(bounds)+1; last is +Inf
+	sum       float64
+	count     uint64
+	exemplars []*Exemplar // lazily sized like counts
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -95,6 +105,13 @@ func newHistogram(bounds []float64) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveTrace(v, "")
+}
+
+// ObserveTrace records one value and, when traceID is non-empty, keeps
+// it as the exemplar of the bucket the value landed in (replacing the
+// bucket's previous exemplar).
+func (h *Histogram) ObserveTrace(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -103,6 +120,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.count++
 	h.sum += v
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]*Exemplar, len(h.counts))
+		}
+		h.exemplars[i] = &Exemplar{TraceID: traceID, Value: v, Time: time.Now()}
+	}
 	h.mu.Unlock()
 }
 
@@ -112,6 +135,15 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 		return
 	}
 	h.Observe(time.Since(t0).Seconds())
+}
+
+// ObserveSinceTrace records the seconds elapsed since t0 with an
+// exemplar trace ID (empty behaves like ObserveSince).
+func (h *Histogram) ObserveSinceTrace(t0 time.Time, traceID string) {
+	if h == nil {
+		return
+	}
+	h.ObserveTrace(time.Since(t0).Seconds(), traceID)
 }
 
 // Count returns the number of observations.
@@ -174,10 +206,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// BucketCount is one cumulative histogram bucket for export.
+// BucketCount is one cumulative histogram bucket for export. Exemplar,
+// when set, is the bucket's representative trace.
 type BucketCount struct {
-	UpperBound float64 `json:"le"` // +Inf encoded as math.MaxFloat64 in JSON
-	Count      uint64  `json:"count"`
+	UpperBound float64   `json:"le"` // +Inf encoded as math.MaxFloat64 in JSON
+	Count      uint64    `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a consistent point-in-time view.
@@ -197,6 +231,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	h.mu.Lock()
 	counts := append([]uint64(nil), h.counts...)
+	exemplars := append([]*Exemplar(nil), h.exemplars...)
 	count, sum := h.count, h.sum
 	h.mu.Unlock()
 
@@ -209,7 +244,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		snap.Buckets = append(snap.Buckets, BucketCount{UpperBound: ub, Count: cum})
+		b := BucketCount{UpperBound: ub, Count: cum}
+		if i < len(exemplars) && exemplars[i] != nil {
+			ex := *exemplars[i]
+			b.Exemplar = &ex
+		}
+		snap.Buckets = append(snap.Buckets, b)
 	}
 	snap.P50 = h.Quantile(0.50)
 	snap.P95 = h.Quantile(0.95)

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepAbandonedTTL: traces past ActiveTTL are force-finished with
+// the abandoned mark and counted.
+func TestSweepAbandonedTTL(t *testing.T) {
+	tracer := NewTracer(8)
+	tracer.ActiveTTL = time.Minute
+	tracer.Abandoned = &Counter{}
+
+	leaked, _ := tracer.Start("", "leaked")
+	fresh, _ := tracer.Start("", "fresh")
+
+	if n := tracer.SweepAbandoned(time.Now()); n != 0 {
+		t.Fatalf("fresh traces swept: %d", n)
+	}
+	if n := tracer.SweepAbandoned(time.Now().Add(2 * time.Minute)); n != 2 {
+		t.Fatalf("swept %d, want 2", n)
+	}
+	if got := tracer.Abandoned.Value(); got != 2 {
+		t.Errorf("abandoned counter = %d, want 2", got)
+	}
+	if tracer.ActiveCount() != 0 {
+		t.Errorf("active after sweep = %d, want 0", tracer.ActiveCount())
+	}
+	for _, tv := range tracer.Recent() {
+		if tv.Attrs["abandoned"] != "true" {
+			t.Errorf("trace %s missing abandoned mark: %v", tv.ID, tv.Attrs)
+		}
+	}
+	// Double-finish after abandonment must be harmless.
+	leaked.Finish()
+	fresh.Finish()
+}
+
+// TestSweepHardCap: the MaxActive cap force-finishes the oldest live
+// traces even before their TTL, bounding the active map.
+func TestSweepHardCap(t *testing.T) {
+	tracer := NewTracer(64)
+	tracer.MaxActive = 4
+	tracer.ActiveTTL = time.Hour
+	tracer.Abandoned = &Counter{}
+
+	for i := 0; i < 8; i++ {
+		tracer.Start("", "burst")
+	}
+	// Start runs the sweep lazily, so the 9th start must see the cap
+	// enforced: active never exceeds MaxActive by more than the one just
+	// started.
+	tracer.Start("", "straw")
+	if n := tracer.ActiveCount(); n > 5 {
+		t.Errorf("active = %d, want <= MaxActive+1 (5)", n)
+	}
+	if tracer.Abandoned.Value() == 0 {
+		t.Error("cap enforcement counted no abandoned traces")
+	}
+}
+
+// TestTracerLookup finds traces both while active and after completion.
+func TestTracerLookup(t *testing.T) {
+	tracer := NewTracer(4)
+	tr, _ := tracer.Start("", "check")
+	if _, ok := tracer.Lookup(tr.ID()); !ok {
+		t.Fatal("active trace not found")
+	}
+	tr.Finish()
+	tv, ok := tracer.Lookup(tr.ID())
+	if !ok || tv.ID != tr.ID() {
+		t.Fatalf("completed trace not found: %v %v", tv, ok)
+	}
+	if _, ok := tracer.Lookup("tr-nope"); ok {
+		t.Error("unknown ID found")
+	}
+}
+
+// TestGeneratedTraceIDsUnique: IDs must be unique and carry the process
+// tag so two processes joining one deployment never collide.
+func TestGeneratedTraceIDsUnique(t *testing.T) {
+	a := NewTracer(4)
+	b := NewTracer(4)
+	ta, _ := a.Start("", "x")
+	tb, _ := b.Start("", "x")
+	if ta.ID() == tb.ID() {
+		t.Fatalf("two tracers minted the same ID %q", ta.ID())
+	}
+}

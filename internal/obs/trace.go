@@ -2,23 +2,75 @@ package obs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+)
+
+// procTag is a per-process random tag mixed into generated trace and span
+// IDs so IDs minted by different processes of one deployment never
+// collide when their spans are stitched into a single trace.
+var procTag = func() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%08x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+// spanSeq numbers spans within this process; traceSeq numbers generated
+// trace IDs. Both are process-wide — not per Tracer — so two tracers in
+// one process (e.g. a test harness alongside a System) never collide.
+var (
+	spanSeq  atomic.Uint64
+	traceSeq atomic.Uint64
+)
+
+func nextSpanID() string {
+	return fmt.Sprintf("s-%s-%d", procTag, spanSeq.Add(1))
+}
+
+// Defaults for the active-trace leak guards (see Tracer.MaxActive and
+// Tracer.ActiveTTL).
+const (
+	DefaultMaxActive = 1024
+	DefaultActiveTTL = 10 * time.Minute
 )
 
 // Tracer tracks per-price-check traces: spans for the five protocol steps
 // of Sect. 3.2 (submit → schedule → fan-out → extract/convert → persist)
-// with per-vantage-point child spans. Completed traces land in a bounded
+// with per-vantage-point child spans, stitched across processes by the
+// transport layer (see WireSpan). Completed traces land in a bounded
 // in-memory ring for the /traces operator panel. All methods are safe on
 // a nil *Tracer, and a nil *Trace / *Span swallows every operation, so
 // call sites need no guards.
 type Tracer struct {
+	// MaxActive caps the active map: when a Start would exceed it, the
+	// oldest active traces are force-finished with an abandoned mark.
+	// Zero means DefaultMaxActive.
+	MaxActive int
+	// ActiveTTL force-finishes any active trace older than this on the
+	// next Start (or explicit SweepAbandoned). A trace whose owner
+	// crashed before Finish would otherwise pin memory forever. Zero
+	// means DefaultActiveTTL.
+	ActiveTTL time.Duration
+	// Abandoned, when set, counts traces force-finished by the TTL sweep
+	// or the MaxActive cap.
+	Abandoned *Counter
+	// Sample decides whether a trace created with a generated ID is
+	// propagated across process boundaries (the sampling bit on the wire
+	// header). nil samples everything. Unsampled traces are still
+	// recorded locally.
+	Sample func(name string) bool
+
 	mu     sync.Mutex
 	active map[string]*Trace
 	recent []*Trace // oldest first, bounded by cap
 	cap    int
-	nextID uint64
 }
 
 // NewTracer creates a tracer keeping up to capacity completed traces
@@ -38,17 +90,75 @@ func (t *Tracer) Start(id, name string) (tr *Trace, created bool) {
 	if t == nil {
 		return nil, false
 	}
+	t.sweep(time.Now())
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	sampled := true
 	if id == "" {
-		t.nextID++
-		id = fmt.Sprintf("tr-%06d", t.nextID)
+		id = fmt.Sprintf("tr-%s-%06d", procTag, traceSeq.Add(1))
+		if t.Sample != nil {
+			sampled = t.Sample(name)
+		}
 	} else if tr, ok := t.active[id]; ok {
 		return tr, false
 	}
-	tr = &Trace{id: id, name: name, start: time.Now(), tracer: t}
+	tr = &Trace{id: id, name: name, start: time.Now(), sampled: sampled, tracer: t}
 	t.active[id] = tr
 	return tr, true
+}
+
+// SweepAbandoned force-finishes active traces older than ActiveTTL and,
+// beyond that, the oldest traces over the MaxActive cap. Swept traces
+// are annotated abandoned=true, counted on the Abandoned counter, and
+// moved to the recent ring like a normal Finish. Returns the number
+// swept. Start runs the same sweep lazily, so a busy tracer needs no
+// background goroutine; call this periodically only on mostly-idle
+// processes that still want prompt reclamation.
+func (t *Tracer) SweepAbandoned(now time.Time) int {
+	if t == nil {
+		return 0
+	}
+	return t.sweep(now)
+}
+
+func (t *Tracer) sweep(now time.Time) int {
+	ttl := t.ActiveTTL
+	if ttl <= 0 {
+		ttl = DefaultActiveTTL
+	}
+	max := t.MaxActive
+	if max <= 0 {
+		max = DefaultMaxActive
+	}
+	t.mu.Lock()
+	var stale []*Trace
+	for _, tr := range t.active {
+		if now.Sub(tr.startTime()) > ttl {
+			stale = append(stale, tr)
+		}
+	}
+	if keep := len(t.active) - len(stale); keep >= max {
+		// Still at the cap after the TTL pass: abandon oldest first.
+		live := make([]*Trace, 0, keep)
+		inStale := make(map[*Trace]bool, len(stale))
+		for _, tr := range stale {
+			inStale[tr] = true
+		}
+		for _, tr := range t.active {
+			if !inStale[tr] {
+				live = append(live, tr)
+			}
+		}
+		sort.Slice(live, func(i, j int) bool { return live[i].startTime().Before(live[j].startTime()) })
+		stale = append(stale, live[:keep-max+1]...)
+	}
+	t.mu.Unlock()
+	for _, tr := range stale {
+		tr.Annotate("abandoned", "true")
+		tr.Finish()
+		t.Abandoned.Inc()
+	}
+	return len(stale)
 }
 
 // ActiveCount returns the number of unfinished traces.
@@ -76,6 +186,29 @@ func (t *Tracer) Recent() []TraceView {
 	return views
 }
 
+// Lookup returns the view of the trace with the given ID, searching the
+// active set first and then the recent ring (newest first).
+func (t *Tracer) Lookup(id string) (TraceView, bool) {
+	if t == nil {
+		return TraceView{}, false
+	}
+	t.mu.Lock()
+	tr, ok := t.active[id]
+	if !ok {
+		for i := len(t.recent) - 1; i >= 0; i-- {
+			if t.recent[i].id == id {
+				tr, ok = t.recent[i], true
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if !ok {
+		return TraceView{}, false
+	}
+	return tr.view(), true
+}
+
 func (t *Tracer) finish(tr *Trace) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -89,10 +222,11 @@ func (t *Tracer) finish(tr *Trace) {
 // Trace is one price check's span tree. Spans may be added and ended
 // concurrently (the fan-out step runs one goroutine per vantage point).
 type Trace struct {
-	id     string
-	name   string
-	start  time.Time
-	tracer *Tracer
+	id      string
+	name    string
+	start   time.Time
+	sampled bool
+	tracer  *Tracer
 
 	mu    sync.Mutex
 	spans []*Span
@@ -101,12 +235,44 @@ type Trace struct {
 	done  bool
 }
 
+// NewRemoteTrace creates an unregistered trace joined to a trace ID that
+// originated in another process. RPC servers use it to collect the spans
+// of one handler execution; the collected tree is shipped back to the
+// originating process with Export and never enters a local ring.
+func NewRemoteTrace(id string) *Trace {
+	return &Trace{id: id, name: "remote " + id, start: time.Now(), sampled: true}
+}
+
 // ID returns the trace identifier ("" on nil).
 func (tr *Trace) ID() string {
 	if tr == nil {
 		return ""
 	}
 	return tr.id
+}
+
+// Sampled reports whether this trace propagates across process
+// boundaries (false on nil).
+func (tr *Trace) Sampled() bool {
+	if tr == nil {
+		return false
+	}
+	return tr.sampled
+}
+
+// Context returns the trace's wire identity with no span selected.
+func (tr *Trace) Context() SpanContext {
+	if tr == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: tr.id, Sampled: tr.sampled}
+}
+
+func (tr *Trace) startTime() time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return tr.start
 }
 
 // Annotate attaches a key/value to the trace.
@@ -124,7 +290,7 @@ func (tr *Trace) Span(name string, kv ...string) *Span {
 	if tr == nil {
 		return nil
 	}
-	sp := newSpan(tr, name, kv)
+	sp := newSpan(tr, "", name, kv)
 	tr.mu.Lock()
 	tr.spans = append(tr.spans, sp)
 	tr.mu.Unlock()
@@ -150,9 +316,13 @@ func (tr *Trace) Finish() {
 	}
 }
 
-// Span is one timed step inside a trace.
+// Span is one timed step inside a trace. Every span has a process-unique
+// ID so remote spans can be stitched under their parent after crossing
+// an RPC boundary.
 type Span struct {
 	trace    *Trace
+	id       string
+	parent   string // parent span ID; "" for a trace root
 	name     string
 	start    time.Time
 	end      time.Time
@@ -161,12 +331,37 @@ type Span struct {
 	children []*Span
 }
 
-func newSpan(tr *Trace, name string, kv []string) *Span {
-	sp := &Span{trace: tr, name: name, start: time.Now()}
+func newSpan(tr *Trace, parent, name string, kv []string) *Span {
+	sp := &Span{trace: tr, id: nextSpanID(), parent: parent, name: name, start: time.Now()}
 	for i := 0; i+1 < len(kv); i += 2 {
 		sp.attrs = append(sp.attrs, [2]string{kv[i], kv[i+1]})
 	}
 	return sp
+}
+
+// ID returns the span identifier ("" on nil).
+func (sp *Span) ID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.id
+}
+
+// Trace returns the trace this span belongs to (nil on nil).
+func (sp *Span) Trace() *Trace {
+	if sp == nil {
+		return nil
+	}
+	return sp.trace
+}
+
+// Context returns the span's wire identity: trace ID, span ID, and the
+// trace's sampling bit. The zero SpanContext on nil.
+func (sp *Span) Context() SpanContext {
+	if sp == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: sp.trace.ID(), SpanID: sp.id, Sampled: sp.trace.Sampled()}
 }
 
 // Child opens a nested span.
@@ -174,7 +369,7 @@ func (sp *Span) Child(name string, kv ...string) *Span {
 	if sp == nil {
 		return nil
 	}
-	c := newSpan(sp.trace, name, kv)
+	c := newSpan(sp.trace, sp.id, name, kv)
 	sp.trace.mu.Lock()
 	sp.children = append(sp.children, c)
 	sp.trace.mu.Unlock()
@@ -222,9 +417,28 @@ type TraceView struct {
 	Spans    []SpanView        `json:"spans"`
 }
 
+// HasError reports whether the trace or any span in it carries an
+// "error" or "abandoned" attribute; the /traces err=1 filter keys on it.
+func (v TraceView) HasError() bool {
+	if v.Attrs["error"] != "" || v.Attrs["abandoned"] != "" {
+		return true
+	}
+	var any func(sps []SpanView) bool
+	any = func(sps []SpanView) bool {
+		for _, sp := range sps {
+			if sp.Attrs["error"] != "" || any(sp.Children) {
+				return true
+			}
+		}
+		return false
+	}
+	return any(v.Spans)
+}
+
 // SpanView is an immutable rendering of a span; Offset is relative to the
 // trace start.
 type SpanView struct {
+	ID       string            `json:"span_id,omitempty"`
 	Name     string            `json:"name"`
 	Offset   time.Duration     `json:"offset"`
 	Duration time.Duration     `json:"duration"`
@@ -253,6 +467,7 @@ func (sp *Span) viewLocked(traceStart, traceEnd time.Time) SpanView {
 		end = traceEnd
 	}
 	v := SpanView{
+		ID:       sp.id,
 		Name:     sp.name,
 		Offset:   sp.start.Sub(traceStart),
 		Duration: end.Sub(sp.start),
@@ -275,11 +490,23 @@ func attrMap(attrs [][2]string) map[string]string {
 	return m
 }
 
+// SpanContext is the wire identity of one point in a trace: what crosses
+// a process boundary in the Envelope header (or a peer.Msg relay frame).
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+	Sampled bool
+}
+
+// Valid reports whether the context names a trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" }
+
 type traceCtxKey struct{}
+type spanCtxKey struct{}
 
 // WithTrace attaches a trace to a context for in-process propagation;
 // across RPC boundaries the trace ID travels on the frame instead
-// (CheckRequest.TraceID).
+// (Envelope.TraceID, CheckRequest.TraceID).
 func WithTrace(ctx context.Context, tr *Trace) context.Context {
 	return context.WithValue(ctx, traceCtxKey{}, tr)
 }
@@ -288,4 +515,30 @@ func WithTrace(ctx context.Context, tr *Trace) context.Context {
 func TraceFrom(ctx context.Context) *Trace {
 	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
 	return tr
+}
+
+// / WithSpan marks sp as the context's current span: RPC clients open
+// their per-call child spans under it and propagate its identity on the
+// wire. Attaching a span also attaches its trace.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp != nil {
+		ctx = WithTrace(ctx, sp.trace)
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// SpanContextFrom extracts the wire identity of the context's current
+// span, falling back to the bare trace (no span ID) when only a trace is
+// attached. The zero SpanContext when the context carries neither.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	if sp := SpanFrom(ctx); sp != nil {
+		return sp.Context()
+	}
+	return TraceFrom(ctx).Context()
 }

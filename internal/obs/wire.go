@@ -1,0 +1,146 @@
+package obs
+
+import "time"
+
+// WireSpan is the flattened, wire-encodable form of one span: what an
+// RPC server ships back to the originating process so the caller can
+// stitch remote work into its local trace (the span-export protocol,
+// see DESIGN.md). Parent is a span ID from the same export batch or from
+// the importing trace; an unresolvable parent attaches at the trace root
+// so partial exports degrade gracefully instead of disappearing.
+type WireSpan struct {
+	ID     string      `json:"id"`
+	Parent string      `json:"p,omitempty"`
+	Name   string      `json:"n"`
+	Start  int64       `json:"s"` // unix nanoseconds
+	End    int64       `json:"e"` // unix nanoseconds
+	Attrs  [][2]string `json:"a,omitempty"`
+}
+
+// Export flattens the trace's span tree into wire spans. Roots are
+// re-parented onto rootParent (the caller's span ID carried in the
+// request header) so the importing side hangs the remote subtree in the
+// right place; spans still open at export time borrow the current time
+// as their end. When proc is non-empty, spans without a proc attribute
+// are stamped with it, so a stitched trace shows which process ran each
+// hop.
+func (tr *Trace) Export(rootParent, proc string) []WireSpan {
+	if tr == nil {
+		return nil
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []WireSpan
+	var walk func(sps []*Span, parent string)
+	walk = func(sps []*Span, parent string) {
+		for _, sp := range sps {
+			end := sp.end
+			if end.IsZero() {
+				end = now
+			}
+			w := WireSpan{
+				ID:     sp.id,
+				Parent: parent,
+				Name:   sp.name,
+				Start:  sp.start.UnixNano(),
+				End:    end.UnixNano(),
+				Attrs:  append([][2]string(nil), sp.attrs...),
+			}
+			if proc != "" && !hasAttr(w.Attrs, "proc") {
+				w.Attrs = append(w.Attrs, [2]string{"proc", proc})
+			}
+			out = append(out, w)
+			walk(sp.children, sp.id)
+		}
+	}
+	walk(tr.spans, rootParent)
+	return out
+}
+
+// ImportSpans stitches exported remote spans into this trace: each span
+// hangs under the local or batch span whose ID matches its Parent, or at
+// the trace root when the parent is unknown. Spans whose ID already
+// exists in the trace are skipped, so importing the same batch twice
+// (repeated result polls, a retried RPC) is idempotent — and so is the
+// in-process case where client and server share one trace object.
+// Returns the number of spans added.
+func (tr *Trace) ImportSpans(ws []WireSpan) int {
+	if tr == nil || len(ws) == 0 {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	existing := make(map[string]*Span)
+	var index func(sps []*Span)
+	index = func(sps []*Span) {
+		for _, sp := range sps {
+			existing[sp.id] = sp
+			index(sp.children)
+		}
+	}
+	index(tr.spans)
+
+	created := make(map[string]*Span, len(ws))
+	var fresh []WireSpan
+	for _, w := range ws {
+		if w.ID == "" {
+			continue
+		}
+		if _, dup := existing[w.ID]; dup {
+			continue
+		}
+		if _, dup := created[w.ID]; dup {
+			continue
+		}
+		created[w.ID] = &Span{
+			trace:  tr,
+			id:     w.ID,
+			parent: w.Parent,
+			name:   w.Name,
+			start:  time.Unix(0, w.Start),
+			end:    time.Unix(0, w.End),
+			ended:  true,
+			attrs:  append([][2]string(nil), w.Attrs...),
+		}
+		fresh = append(fresh, w)
+	}
+	// cyclic guards against malformed batches whose parent links loop;
+	// such spans attach at the root instead of corrupting the tree.
+	cyclic := func(id, parent string) bool {
+		for hops := 0; parent != ""; hops++ {
+			if parent == id || hops > len(created) {
+				return true
+			}
+			p, ok := created[parent]
+			if !ok {
+				return false
+			}
+			parent = p.parent
+		}
+		return false
+	}
+	for _, w := range fresh {
+		sp := created[w.ID]
+		if p, ok := created[w.Parent]; ok && !cyclic(w.ID, w.Parent) {
+			p.children = append(p.children, sp)
+			continue
+		}
+		if p, ok := existing[w.Parent]; ok {
+			p.children = append(p.children, sp)
+			continue
+		}
+		sp.parent = ""
+		tr.spans = append(tr.spans, sp)
+	}
+	return len(fresh)
+}
+
+func hasAttr(attrs [][2]string, key string) bool {
+	for _, kv := range attrs {
+		if kv[0] == key {
+			return true
+		}
+	}
+	return false
+}

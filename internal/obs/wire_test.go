@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWireExportImportRoundTrip models the span-export protocol: a
+// "remote" process joins a trace by ID, records spans, exports them, and
+// the originator stitches them under its own parent span.
+func TestWireExportImportRoundTrip(t *testing.T) {
+	tracer := NewTracer(4)
+	tr, _ := tracer.Start("", "check")
+	parent := tr.Span("await")
+
+	remote := NewRemoteTrace(tr.ID())
+	h := remote.Span("ms.check", "proc", "measurement")
+	c1 := h.Child("vantage", "kind", "ipc")
+	c1.End()
+	c2 := h.Child("vantage", "kind", "ppc")
+	c2.Annotate("error", "boom")
+	c2.End()
+	h.End()
+
+	ws := remote.Export(parent.ID(), "measurement")
+	if len(ws) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(ws))
+	}
+	if n := tr.ImportSpans(ws); n != 3 {
+		t.Fatalf("imported %d spans, want 3", n)
+	}
+	// Importing the same batch again must be a no-op (dedup by span ID).
+	if n := tr.ImportSpans(ws); n != 0 {
+		t.Fatalf("re-import created %d spans, want 0", n)
+	}
+	parent.End()
+	tr.Finish()
+
+	views := tracer.Recent()
+	if len(views) != 1 {
+		t.Fatalf("recent = %d, want 1", len(views))
+	}
+	var await *SpanView
+	for i := range views[0].Spans {
+		if views[0].Spans[i].Name == "await" {
+			await = &views[0].Spans[i]
+		}
+	}
+	if await == nil {
+		t.Fatal("no await span in view")
+	}
+	if len(await.Children) != 1 || await.Children[0].Name != "ms.check" {
+		t.Fatalf("await children = %+v, want one ms.check", await.Children)
+	}
+	srv := await.Children[0]
+	if srv.Attrs["proc"] != "measurement" {
+		t.Errorf("server span proc = %q, want measurement", srv.Attrs["proc"])
+	}
+	if len(srv.Children) != 2 {
+		t.Fatalf("server span has %d children, want 2", len(srv.Children))
+	}
+	if !views[0].HasError() {
+		t.Error("trace with an errored imported span must report HasError")
+	}
+}
+
+// TestExportStampsProc verifies spans without a proc attribute get one at
+// export time, while explicit proc attributes are preserved.
+func TestExportStampsProc(t *testing.T) {
+	remote := NewRemoteTrace("tr-x")
+	a := remote.Span("unstamped")
+	a.End()
+	b := remote.Span("stamped", "proc", "custom")
+	b.End()
+	for _, ws := range remote.Export("", "ppc") {
+		want := "ppc"
+		if ws.Name == "stamped" {
+			want = "custom"
+		}
+		got := ""
+		for _, kv := range ws.Attrs {
+			if kv[0] == "proc" {
+				got = kv[1]
+			}
+		}
+		if got != want {
+			t.Errorf("span %s proc = %q, want %q", ws.Name, got, want)
+		}
+	}
+}
+
+// TestImportSpansMalformed feeds parent cycles and dangling parents: both
+// must attach at the root rather than corrupting the tree.
+func TestImportSpansMalformed(t *testing.T) {
+	tracer := NewTracer(4)
+	tr, _ := tracer.Start("", "check")
+	now := time.Now().UnixNano()
+	ws := []WireSpan{
+		{ID: "a", Parent: "b", Name: "cyc-a", Start: now, End: now + 1},
+		{ID: "b", Parent: "a", Name: "cyc-b", Start: now, End: now + 1},
+		{ID: "c", Parent: "missing", Name: "dangling", Start: now, End: now + 1},
+	}
+	if n := tr.ImportSpans(ws); n != 3 {
+		t.Fatalf("imported %d, want 3", n)
+	}
+	tr.Finish()
+	views := tracer.Recent()
+	if len(views) != 1 {
+		t.Fatalf("recent = %d, want 1", len(views))
+	}
+	// All three spans must be reachable from the root view; rendering
+	// must terminate (a cycle would have hung or dropped spans).
+	total := 0
+	var count func(sps []SpanView)
+	count = func(sps []SpanView) {
+		for _, sp := range sps {
+			total++
+			count(sp.Children)
+		}
+	}
+	count(views[0].Spans)
+	if total != 3 {
+		t.Errorf("view renders %d spans, want 3", total)
+	}
+}
+
+// TestImportIntoSharedTrace models the in-process deployment: client and
+// server handler share one *Trace, so the handler's spans already exist
+// when the export comes back and the import must create nothing.
+func TestImportIntoSharedTrace(t *testing.T) {
+	tracer := NewTracer(4)
+	tr, _ := tracer.Start("", "check")
+	h := tr.Span("handler")
+	h.End()
+	ws := tr.Export("", "coordinator")
+	if n := tr.ImportSpans(ws); n != 0 {
+		t.Errorf("importing own spans created %d, want 0", n)
+	}
+}

@@ -14,15 +14,23 @@
 package peer
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 
+	"pricesheriff/internal/obs"
 	"pricesheriff/internal/transport"
 )
 
-// Msg is the relay envelope.
+// Msg is the relay envelope. Trace context rides page_req frames the
+// same way it rides transport.Envelope: TraceID/SpanID/Sampled name the
+// requester's span, and the serving node's completed spans travel back
+// on the page_resp frame in Spans. The trace fields carry no user
+// identity — only opaque IDs minted by the requesting process — so the
+// privacy property of the relay (a PPC never learns who initiated a
+// fetch) is preserved.
 type Msg struct {
 	Kind    string          `json:"kind"` // register | page_req | page_resp | error
 	From    string          `json:"from,omitempty"`
@@ -30,6 +38,10 @@ type Msg struct {
 	ReqID   uint64          `json:"req_id,omitempty"`
 	Err     string          `json:"err,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	TraceID string          `json:"tid,omitempty"`   // page_req: distributed trace ID
+	SpanID  string          `json:"sid,omitempty"`   // page_req: requester's span
+	Sampled bool            `json:"smp,omitempty"`   // page_req: sampling bit
+	Spans   []obs.WireSpan  `json:"spans,omitempty"` // page_resp: exported node-side spans
 }
 
 // Message kinds.
@@ -63,6 +75,9 @@ type Broker struct {
 	// Metrics instruments relay sessions and traffic; set it before Serve
 	// (nil disables).
 	Metrics *Metrics
+	// Log records session and relay events; set it before Serve (nil
+	// disables).
+	Log *obs.Logger
 
 	lis transport.Listener
 
@@ -119,6 +134,7 @@ func (b *Broker) serveConn(conn transport.Conn) {
 	b.conns[id] = conn
 	b.mu.Unlock()
 	b.Metrics.sessionOpened()
+	b.Log.Debug(context.Background(), "relay session opened", "peer", id)
 	conn.Send(&Msg{Kind: KindRegister, To: id}) // ack
 
 	defer func() {
@@ -126,6 +142,7 @@ func (b *Broker) serveConn(conn transport.Conn) {
 		delete(b.conns, id)
 		b.mu.Unlock()
 		b.Metrics.sessionClosed()
+		b.Log.Debug(context.Background(), "relay session closed", "peer", id)
 	}()
 
 	for {
@@ -139,11 +156,13 @@ func (b *Broker) serveConn(conn transport.Conn) {
 		b.mu.Unlock()
 		if !ok {
 			b.Metrics.relayError()
+			b.Log.Warn(context.Background(), "relay target offline", "from", id, "to", m.To)
 			conn.Send(&Msg{Kind: KindError, To: id, ReqID: m.ReqID, Err: fmt.Sprintf("peer %q not connected", m.To)})
 			continue
 		}
 		if err := dst.Send(&m); err != nil {
 			b.Metrics.relayError()
+			b.Log.Warn(context.Background(), "relay delivery failed", "from", id, "to", m.To, "err", err.Error())
 			conn.Send(&Msg{Kind: KindError, To: id, ReqID: m.ReqID, Err: "delivery failed"})
 			continue
 		}

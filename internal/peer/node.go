@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pricesheriff/internal/browser"
+	"pricesheriff/internal/obs"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/transport"
 )
@@ -104,16 +105,35 @@ func (n *Node) Run() {
 }
 
 func (n *Node) handlePageReq(ctx context.Context, m Msg) {
+	// Join the requester's distributed trace: the sandboxed fetch runs
+	// under a node-side span whose completed tree ships back on the
+	// response frame.
+	var rt *obs.Trace
+	var hsp *obs.Span
+	if m.TraceID != "" && m.Sampled {
+		rt = obs.NewRemoteTrace(m.TraceID)
+		hsp = rt.Span("ppc_fetch", "peer", n.ID)
+		ctx = obs.WithSpan(ctx, hsp)
+	}
 	var req PageRequest
 	resp := PageResponse{Status: 500, PeerID: n.ID}
 	if err := json.Unmarshal(m.Payload, &req); err == nil {
 		resp = n.ServePage(ctx, &req)
 	}
+	if hsp != nil {
+		hsp.Annotate("mode", resp.Mode)
+		hsp.Annotate("status", fmt.Sprint(resp.Status))
+		hsp.End()
+	}
 	payload, err := json.Marshal(&resp)
 	if err != nil {
 		return
 	}
-	n.conn.Send(&Msg{Kind: KindPageResp, To: m.From, ReqID: m.ReqID, Payload: payload})
+	out := &Msg{Kind: KindPageResp, To: m.From, ReqID: m.ReqID, Payload: payload}
+	if rt != nil {
+		out.Spans = rt.Export(m.SpanID, "ppc")
+	}
+	n.conn.Send(out)
 }
 
 // ServePage executes one remote page request: pick the client-side state
@@ -247,16 +267,26 @@ func (r *Requester) readLoop() {
 // RequestPage asks the named PPC to fetch a page, waiting up to Timeout
 // or until ctx dies, whichever comes first: a canceled check abandons its
 // relay waits immediately instead of sitting out the 2-minute kill
-// timeout.
+// timeout. When the context carries a sampled span (obs.WithSpan), the
+// relay round-trip runs under a child span, its identity rides the
+// page_req frame, and the node-side spans on the response are stitched
+// into the caller's trace.
 func (r *Requester) RequestPage(ctx context.Context, peerID string, req *PageRequest) (*PageResponse, error) {
+	var csp *obs.Span
+	if sp := obs.SpanFrom(ctx); sp.Context().Sampled {
+		csp = sp.Child("relay " + peerID)
+		defer csp.End()
+	}
 	payload, err := json.Marshal(req)
 	if err != nil {
+		csp.EndErr(err)
 		return nil, err
 	}
 	ch := make(chan Msg, 1)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
+		csp.EndErr(transport.ErrClosed)
 		return nil, transport.ErrClosed
 	}
 	r.nextReq++
@@ -264,8 +294,13 @@ func (r *Requester) RequestPage(ctx context.Context, peerID string, req *PageReq
 	r.pending[reqID] = ch
 	r.mu.Unlock()
 
-	if err := r.conn.Send(&Msg{Kind: KindPageReq, To: peerID, ReqID: reqID, Payload: payload}); err != nil {
+	out := &Msg{Kind: KindPageReq, To: peerID, ReqID: reqID, Payload: payload}
+	if sc := csp.Context(); sc.Valid() {
+		out.TraceID, out.SpanID, out.Sampled = sc.TraceID, sc.SpanID, true
+	}
+	if err := r.conn.Send(out); err != nil {
 		r.drop(reqID)
+		csp.EndErr(err)
 		return nil, err
 	}
 
@@ -278,22 +313,33 @@ func (r *Requester) RequestPage(ctx context.Context, peerID string, req *PageReq
 	select {
 	case m, ok := <-ch:
 		if !ok {
+			csp.EndErr(transport.ErrClosed)
 			return nil, transport.ErrClosed
 		}
 		if m.Kind == KindError {
-			return nil, fmt.Errorf("peer: %s", m.Err)
+			err := fmt.Errorf("peer: %s", m.Err)
+			csp.EndErr(err)
+			return nil, err
+		}
+		if csp != nil {
+			csp.Trace().ImportSpans(m.Spans)
 		}
 		var resp PageResponse
 		if err := json.Unmarshal(m.Payload, &resp); err != nil {
+			csp.EndErr(err)
 			return nil, err
 		}
 		return &resp, nil
 	case <-timer.C:
 		r.drop(reqID)
-		return nil, fmt.Errorf("peer: request to %s after %v: %w", peerID, timeout, ErrRequestTimeout)
+		err := fmt.Errorf("peer: request to %s after %v: %w", peerID, timeout, ErrRequestTimeout)
+		csp.EndErr(err)
+		return nil, err
 	case <-ctx.Done():
 		r.drop(reqID)
-		return nil, fmt.Errorf("peer: request to %s: %w", peerID, context.Cause(ctx))
+		err := fmt.Errorf("peer: request to %s: %w", peerID, context.Cause(ctx))
+		csp.EndErr(err)
+		return nil, err
 	}
 }
 

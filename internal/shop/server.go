@@ -26,6 +26,7 @@ type ProductInfo struct {
 // NewServer wraps the mall in an RPC server; call Serve to start.
 func NewServer(m *Mall, lis transport.Listener) *Server {
 	s := &Server{Mall: m, rpc: transport.NewServer(lis)}
+	s.rpc.SetProc("shop")
 	s.rpc.Handle("shop.fetch", func(raw json.RawMessage) (any, error) {
 		var req FetchRequest
 		if err := json.Unmarshal(raw, &req); err != nil {

@@ -72,6 +72,7 @@ type (
 // NewServer wraps db in an RPC server on the listener. Call Serve to start.
 func NewServer(db *DB, lis transport.Listener) *Server {
 	s := &Server{DB: db, rpc: transport.NewServer(lis)}
+	s.rpc.SetProc("store")
 	s.handle("create", func(raw json.RawMessage) (any, error) {
 		var spec TableSpec
 		if err := json.Unmarshal(raw, &spec); err != nil {

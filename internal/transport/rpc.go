@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"pricesheriff/internal/obs"
 )
 
 // ErrCallTimeout marks an RPC that exceeded its deadline; match with
@@ -49,15 +51,23 @@ func errorCode(err error) string {
 // matched to requests by ID, a request with Cancel set aborts the named
 // in-flight call on the server, and DeadlineMS carries the caller's
 // remaining budget so the server-side handler context expires in step
-// with the client. ID 0 is reserved for legacy lock-step callers.
+// with the client. Trace context rides the request header the same way:
+// TraceID/SpanID/Sampled name the caller's current span, the server runs
+// the handler under a child span, and the completed remote spans travel
+// back in the response's Spans for the caller to stitch into its trace.
+// ID 0 is reserved for legacy lock-step callers.
 type Envelope struct {
-	T          string          `json:"t"`              // method name
-	ID         uint64          `json:"id,omitempty"`   // call ID (mux key)
-	Body       json.RawMessage `json:"body,omitempty"` // request or response payload
-	Cancel     bool            `json:"c,omitempty"`    // request-only: abort call ID
-	DeadlineMS int64           `json:"dl,omitempty"`   // request-only: remaining budget
-	Err        string          `json:"err,omitempty"`  // response-only error text
-	Code       string          `json:"code,omitempty"` // response-only machine-readable error code
+	T          string          `json:"t"`               // method name
+	ID         uint64          `json:"id,omitempty"`    // call ID (mux key)
+	Body       json.RawMessage `json:"body,omitempty"`  // request or response payload
+	Cancel     bool            `json:"c,omitempty"`     // request-only: abort call ID
+	DeadlineMS int64           `json:"dl,omitempty"`    // request-only: remaining budget
+	TraceID    string          `json:"tid,omitempty"`   // request-only: distributed trace ID
+	SpanID     string          `json:"sid,omitempty"`   // request-only: caller's span (parent of the handler span)
+	Sampled    bool            `json:"smp,omitempty"`   // request-only: trace sampling bit
+	Err        string          `json:"err,omitempty"`   // response-only error text
+	Code       string          `json:"code,omitempty"`  // response-only machine-readable error code
+	Spans      []obs.WireSpan  `json:"spans,omitempty"` // response-only: exported handler-side spans
 }
 
 // Handler serves one RPC method: it unmarshals its own request type from
@@ -88,6 +98,7 @@ type Server struct {
 	metrics  *Metrics
 	base     context.Context
 	stop     context.CancelFunc
+	proc     string
 }
 
 // MetricsSource is implemented by listeners that can report the metric
@@ -128,6 +139,16 @@ func (s *Server) HandleCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// SetProc names the process hosting this server ("coordinator",
+// "measurement", ...). Handler-side spans of sampled distributed traces
+// are stamped with it, so a stitched trace shows which process ran each
+// hop. Call before Serve.
+func (s *Server) SetProc(name string) {
+	s.mu.Lock()
+	s.proc = name
+	s.mu.Unlock()
 }
 
 // Addr returns the dialable address of the server.
@@ -216,20 +237,43 @@ func (s *Server) serveConn(conn Conn) {
 }
 
 // dispatch runs the handler for one request and builds the response.
+// When the request carries sampled trace context, the handler runs under
+// a server-side span in a remote trace joined to the caller's trace ID;
+// the completed remote spans ship back on the response for the caller to
+// stitch in.
 func (s *Server) dispatch(ctx context.Context, req *Envelope) *Envelope {
 	s.mu.RLock()
 	h, ok := s.handlers[req.T]
+	proc := s.proc
 	s.mu.RUnlock()
 	resp := &Envelope{T: req.T, ID: req.ID}
 	if !ok {
 		resp.Err = fmt.Sprintf("unknown method %q", req.T)
 		return resp
 	}
+	var rt *obs.Trace
+	var hsp *obs.Span
+	if req.TraceID != "" && req.Sampled {
+		rt = obs.NewRemoteTrace(req.TraceID)
+		hsp = rt.Span(req.T)
+		if proc != "" {
+			hsp.Annotate("proc", proc)
+		}
+		ctx = obs.WithSpan(ctx, hsp)
+	}
 	out, err := h(ctx, req.Body)
 	if err != nil {
+		hsp.EndErr(err)
+		if rt != nil {
+			resp.Spans = rt.Export(req.SpanID, proc)
+		}
 		resp.Err = err.Error()
 		resp.Code = errorCode(err)
 		return resp
+	}
+	hsp.End()
+	if rt != nil {
+		resp.Spans = rt.Export(req.SpanID, proc)
 	}
 	if out != nil {
 		body, merr := json.Marshal(out)
@@ -326,11 +370,32 @@ func (c *Client) readLoop() {
 // answer nobody will read. A deadline expiry matches both ErrCallTimeout
 // and context.DeadlineExceeded; a cancelation matches context.Canceled.
 // A non-empty server error becomes a *RemoteError.
+//
+// When the context carries a sampled current span (obs.WithSpan), the
+// call runs under a client-side child span, its identity travels in the
+// wire header, and handler-side spans returned on the response are
+// stitched into the caller's trace.
 func (c *Client) CallCtx(ctx context.Context, method string, req, resp any) error {
+	sp := obs.SpanFrom(ctx)
+	if sc := sp.Context(); !sc.Valid() || !sc.Sampled {
+		return c.callCtx(ctx, method, req, resp, nil)
+	}
+	csp := sp.Child("rpc " + method)
+	err := c.callCtx(ctx, method, req, resp, csp)
+	csp.EndErr(err)
+	return err
+}
+
+// callCtx is the body of CallCtx; csp, when non-nil, is the client-side
+// span whose identity is propagated on the wire.
+func (c *Client) callCtx(ctx context.Context, method string, req, resp any, csp *obs.Span) error {
 	if ctx.Err() != nil {
 		return callCtxErr(method, ctx)
 	}
 	env := &Envelope{T: method}
+	if sc := csp.Context(); sc.Valid() {
+		env.TraceID, env.SpanID, env.Sampled = sc.TraceID, sc.SpanID, true
+	}
 	if req != nil {
 		body, err := json.Marshal(req)
 		if err != nil {
@@ -388,6 +453,9 @@ func (c *Client) CallCtx(ctx context.Context, method string, req, resp any) erro
 	case out, ok := <-ch:
 		if !ok {
 			return ErrClosed
+		}
+		if len(out.Spans) > 0 {
+			csp.Trace().ImportSpans(out.Spans)
 		}
 		if out.Err != "" {
 			return &RemoteError{Method: method, Msg: out.Err, Code: out.Code}
