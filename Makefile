@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test race bench bench-crypto experiments experiments-full fmt vet clean
+.PHONY: build lint test race chaos bench bench-crypto experiments experiments-full fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,15 @@ test: lint
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core
+	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core ./internal/ha
+	$(MAKE) chaos
+
+# The kill/partition chaos suite: boots a three-replica coordinator
+# control plane as real processes and SIGKILLs/partitions it under a
+# fixed seed, asserting zero lost checks, bounded failover, and no
+# split-brain (see cmd/sheriffd/ha_e2e_test.go).
+chaos:
+	$(GO) test -race -count=1 -run TestHAChaos ./cmd/sheriffd
 
 race:
 	$(GO) test -race ./...

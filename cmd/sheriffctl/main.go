@@ -22,6 +22,7 @@
 //	sheriffctl import -admin HOST:PORT -f FILE
 //	sheriffctl trace -admin HOST:PORT [TRACE_ID] [-min-ms 500] [-err] [-json]
 //	sheriffctl logs -admin HOST:PORT [-level warn] [-trace TRACE_ID] [-json]
+//	sheriffctl cluster status -peers HOST:PORT,HOST:PORT,... [-json]
 //
 // With -trace, the check itself runs under a locally owned distributed
 // trace and the assembled cross-process span tree (submit → schedule →
@@ -75,6 +76,9 @@ func main() {
 			return
 		case "logs":
 			runLogs(os.Args[2:])
+			return
+		case "cluster":
+			runCluster(os.Args[2:])
 			return
 		}
 	}

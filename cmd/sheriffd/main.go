@@ -71,6 +71,15 @@ func main() {
 		watchInterval = flag.Duration("watch-interval", time.Minute, "recurring-check period of the watch scheduler")
 		watchDomains  = flag.String("watch", "", "comma-separated domains to watch from boot (first product of each)")
 
+		haSelf      = flag.String("ha-self", "", "this replica's coordinator address within -peers (enables the replicated control plane)")
+		haPeers     = flag.String("peers", "", "comma-separated coordinator replica addresses (requires -ha-self)")
+		haHeartbeat = flag.Duration("ha-heartbeat", 0, "HA: primary heartbeat cadence (0 = 250ms)")
+		haLease     = flag.Duration("ha-lease", 0, "HA: standby promotion timeout (0 = 8× heartbeat)")
+		haDir       = flag.String("ha-dir", "", "HA: persist this replica's term/vote under this directory")
+		coordOnly   = flag.Bool("coord-only", false, "boot only one coordinator replica of the -peers set (no shops/DB/measurement)")
+		chaosCtl    = flag.Bool("chaos-ctl", false, "coord-only: expose a chaos control RPC for partition tests")
+		hbTimeout   = flag.Duration("heartbeat-timeout", 10*time.Second, "measurement-server heartbeat lapse timeout")
+
 		chaosSeed    = flag.Int64("chaos-seed", 0, "chaos fault-injection seed")
 		chaosLatency = flag.Duration("chaos-latency", 0, "chaos: latency added to every frame send")
 		chaosJitter  = flag.Duration("chaos-jitter", 0, "chaos: extra uniform latency on top")
@@ -88,6 +97,38 @@ func main() {
 		log.Fatal(err)
 	}
 	logger := obs.NewLogger(os.Stderr, lvl, 2048)
+
+	var peerList []string
+	for _, p := range strings.Split(*haPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if (*haSelf == "") != (len(peerList) == 0) {
+		log.Fatal("-ha-self and -peers go together")
+	}
+
+	if *coordOnly {
+		if *haSelf == "" {
+			log.Fatal("-coord-only requires -ha-self and -peers")
+		}
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSig()
+		runCoordReplica(ctx, replicaOpts{
+			self:      *haSelf,
+			peers:     peerList,
+			heartbeat: *haHeartbeat,
+			lease:     *haLease,
+			dir:       *haDir,
+			hbTimeout: *hbTimeout,
+			seed:      *seed,
+			admin:     *admin,
+			chaosCtl:  *chaosCtl,
+			chaosSeed: *chaosSeed,
+			logger:    logger,
+		})
+		return
+	}
 
 	mall := shop.NewMall(shop.MallConfig{
 		Seed:          *seed,
@@ -128,20 +169,26 @@ func main() {
 	defer stopSig()
 
 	sys, err := core.NewSystem(core.Config{
-		BaseContext:        ctx,
-		Fabric:             fabric,
-		Mall:               mall,
-		MeasurementServers: *servers,
-		Seed:               *seed,
-		Metrics:            reg,
-		Tracer:             tracer,
-		Logger:             logger,
-		CheckDeadline:      *checkDeadline,
-		VantageBudget:      *vantageBudget,
-		RetryPolicy:        retry.Policy{MaxAttempts: *retries},
-		DataDir:            *dataDir,
-		Fsync:              fsync,
-		WatchInterval:      *watchInterval,
+		BaseContext:         ctx,
+		Fabric:              fabric,
+		Mall:                mall,
+		MeasurementServers:  *servers,
+		Seed:                *seed,
+		Metrics:             reg,
+		Tracer:              tracer,
+		Logger:              logger,
+		CheckDeadline:       *checkDeadline,
+		VantageBudget:       *vantageBudget,
+		RetryPolicy:         retry.Policy{MaxAttempts: *retries},
+		DataDir:             *dataDir,
+		Fsync:               fsync,
+		WatchInterval:       *watchInterval,
+		HeartbeatTimeout:    *hbTimeout,
+		HASelf:              *haSelf,
+		HAPeers:             peerList,
+		HAHeartbeatInterval: *haHeartbeat,
+		HALeaseTimeout:      *haLease,
+		HADir:               *haDir,
 	})
 	if err != nil {
 		log.Fatalf("boot: %v", err)
@@ -205,6 +252,7 @@ func main() {
 		ui.DB = sys.StoreEngine()
 		ui.History = sys.History()
 		ui.Watches = sys.Watches()
+		ui.HA = sys.HANode()
 		if *debug {
 			ui.EnableDebug()
 		}

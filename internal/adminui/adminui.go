@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"pricesheriff/internal/coordinator"
+	"pricesheriff/internal/ha"
 	"pricesheriff/internal/history"
 	"pricesheriff/internal/obs"
 	"pricesheriff/internal/store"
@@ -53,6 +54,9 @@ type Server struct {
 	History *history.Index
 	// Watches backs /watches and /watches.json (nil: 404).
 	Watches *history.Scheduler
+	// HA backs /cluster and /cluster.json with this replica's view of the
+	// replicated control plane (nil: 404, a single-coordinator deployment).
+	HA *ha.Node
 
 	mux  *http.ServeMux
 	http *http.Server
@@ -78,6 +82,8 @@ func New(coord *coordinator.Coordinator) *Server {
 	s.mux.HandleFunc("/watches", s.handleWatches)
 	s.mux.HandleFunc("/watches.json", s.handleWatchesJSON)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/cluster", s.handleCluster)
+	s.mux.HandleFunc("/cluster.json", s.handleClusterJSON)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -141,6 +147,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/servers">Measurement servers</a></li>
 <li><a href="/peers">Peer proxies</a></li>
 <li><a href="/whitelist">Whitelist</a></li>
+<li><a href="/cluster">Cluster</a></li>
 <li><a href="/history">Price history</a></li>
 <li><a href="/watches">Watches</a></li>
 <li><a href="/snapshot">Snapshot (export)</a></li>

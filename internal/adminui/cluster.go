@@ -1,0 +1,66 @@
+package adminui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The /cluster panel: this replica's view of the replicated coordinator
+// control plane — role, term, log positions, per-standby replication lag
+// on the primary, and the cause of the last failover. Without an HA node
+// both endpoints answer 404 (a single-coordinator deployment).
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.HA == nil {
+		http.Error(w, "not a replicated deployment", http.StatusNotFound)
+		return
+	}
+	st := s.HA.StatusSnapshot()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html>\n<html><head><title>Cluster</title></head><body>\n")
+	fmt.Fprintf(w, "<h1>Coordinator cluster</h1>\n")
+	fmt.Fprintf(w, "<p><b>%s</b> is <b>%s</b> in term %d", htmlEscape(st.Self), st.State, st.Term)
+	if st.Leader != "" && st.Leader != st.Self {
+		fmt.Fprintf(w, "; primary is <b>%s</b>", htmlEscape(st.Leader))
+	}
+	fmt.Fprint(w, ".</p>\n")
+	fmt.Fprintf(w, "<p>log: last %d, committed %d, applied %d; %d failovers seen</p>\n",
+		st.LastIndex, st.Commit, st.Applied, st.Failovers)
+	if lf := st.LastFailover; lf != nil {
+		fmt.Fprintf(w, "<p>last failover: term %d at %s — %s</p>\n",
+			lf.Term, lf.At.UTC().Format(time.RFC3339), htmlEscape(lf.Cause))
+	}
+	if len(st.Peers) > 0 {
+		fmt.Fprint(w, "<h2>Standbys</h2>\n<table border=\"1\" cellpadding=\"4\">\n")
+		fmt.Fprint(w, "<tr><th>Peer</th><th>Matched index</th><th>Lag</th><th>Last ack</th></tr>\n")
+		for _, p := range st.Peers {
+			ack := "never"
+			if !p.LastAck.IsZero() {
+				ack = p.LastAck.UTC().Format(time.RFC3339)
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+				htmlEscape(p.Addr), p.Match, p.Lag, ack)
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+func (s *Server) handleClusterJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.HA == nil {
+		http.Error(w, "not a replicated deployment", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(s.HA.StatusSnapshot())
+}

@@ -23,6 +23,7 @@ package chaos
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -182,12 +183,24 @@ func (e *engine) stats() Stats {
 type Fabric struct {
 	inner transport.Network
 	eng   *engine
+
+	// Partition state: blocked targets and the live dialed connections
+	// per target, so Block can sever established traffic, not just new
+	// dials. Deliberate injection — independent of SetEnabled.
+	pmu     sync.Mutex
+	blocked map[string]bool
+	dialed  map[string]map[*chaosConn]bool
 }
 
 // NewFabric wraps inner. Injection starts enabled; SetEnabled(false)
 // before boot gives a clean start-up, then flip it on for the soak.
 func NewFabric(inner transport.Network, cfg Config) *Fabric {
-	return &Fabric{inner: inner, eng: newEngine(cfg)}
+	return &Fabric{
+		inner:   inner,
+		eng:     newEngine(cfg),
+		blocked: make(map[string]bool),
+		dialed:  make(map[string]map[*chaosConn]bool),
+	}
 }
 
 // SetEnabled toggles injection at runtime (boot cleanly, then unleash).
@@ -212,13 +225,48 @@ func (f *Fabric) Listen(addr string) (transport.Listener, error) {
 	return &chaosListener{lis: lis, eng: f.eng}, nil
 }
 
-// Dial wraps the dialed connection.
+// Dial wraps the dialed connection; dials to a blocked target fail with
+// ErrPartitioned.
 func (f *Fabric) Dial(addr string) (transport.Conn, error) {
+	f.pmu.Lock()
+	cut := f.blocked[addr]
+	f.pmu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("chaos: dial %s: %w", addr, ErrPartitioned)
+	}
 	conn, err := f.inner.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return newChaosConn(conn, f.eng), nil
+	c := newChaosConn(conn, f.eng)
+	c.fab, c.target = f, addr
+	// Track the conn; a Block that raced the dial severs it immediately.
+	f.pmu.Lock()
+	set := f.dialed[addr]
+	if set == nil {
+		set = make(map[*chaosConn]bool)
+		f.dialed[addr] = set
+	}
+	set[c] = true
+	cut = f.blocked[addr]
+	f.pmu.Unlock()
+	if cut {
+		c.Close()
+		return nil, fmt.Errorf("chaos: dial %s: %w", addr, ErrPartitioned)
+	}
+	return c, nil
+}
+
+// untrack removes a closed dialed connection from the partition index.
+func (f *Fabric) untrack(c *chaosConn) {
+	f.pmu.Lock()
+	if set := f.dialed[c.target]; set != nil {
+		delete(set, c)
+		if len(set) == 0 {
+			delete(f.dialed, c.target)
+		}
+	}
+	f.pmu.Unlock()
 }
 
 type chaosListener struct {
@@ -251,6 +299,11 @@ type chaosConn struct {
 	eng  *engine
 	dead chan struct{}
 	once sync.Once
+
+	// Set on dialed conns only: the owning fabric and dial target, so
+	// Block can find and sever this conn and Close can untrack it.
+	fab    *Fabric
+	target string
 }
 
 func newChaosConn(conn transport.Conn, eng *engine) *chaosConn {
@@ -283,7 +336,12 @@ func (c *chaosConn) Send(v any) error {
 func (c *chaosConn) Recv(v any) error { return c.conn.Recv(v) }
 
 func (c *chaosConn) Close() error {
-	c.once.Do(func() { close(c.dead) })
+	c.once.Do(func() {
+		close(c.dead)
+		if c.fab != nil {
+			c.fab.untrack(c)
+		}
+	})
 	return c.conn.Close()
 }
 

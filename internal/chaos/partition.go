@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Partition and process-kill injection: the two failures the replicated
+// coordinator control plane exists to survive. Unlike the probabilistic
+// engine faults, these are deliberate — a test (or soak driver) decides
+// *that* a link is cut or a process dies, and the seeded draws decide
+// only *when* it heals or fires, so whole failure schedules replay from
+// one seed.
+
+// ErrPartitioned is returned by Dial for a blocked target; match with
+// errors.Is.
+var ErrPartitioned = errors.New("chaos: partitioned")
+
+// Block cuts this process's outbound traffic to target: established
+// dialed connections to it are severed and future Dials fail with
+// ErrPartitioned. Blocking is directional — the far side can still dial
+// us — which is exactly the asymmetric-partition shape that wedges naive
+// lease protocols. Cut both directions with Partition.
+func (f *Fabric) Block(target string) {
+	f.pmu.Lock()
+	f.blocked[target] = true
+	var conns []*chaosConn
+	for c := range f.dialed[target] {
+		conns = append(conns, c)
+	}
+	f.pmu.Unlock()
+	// Close outside the lock: Close calls back into untrack.
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal removes the block on target; new dials flow again (severed
+// connections stay dead — clients re-dial).
+func (f *Fabric) Heal(target string) {
+	f.pmu.Lock()
+	delete(f.blocked, target)
+	f.pmu.Unlock()
+}
+
+// Blocked reports whether outbound traffic to target is currently cut.
+func (f *Fabric) Blocked(target string) bool {
+	f.pmu.Lock()
+	defer f.pmu.Unlock()
+	return f.blocked[target]
+}
+
+// BlockFor blocks target and schedules the heal after a seeded duration
+// drawn uniformly from [min, max]; it returns the drawn heal time. The
+// draw comes from the fabric's injection engine, so a fixed seed replays
+// the same heal schedule.
+func (f *Fabric) BlockFor(target string, min, max time.Duration) time.Duration {
+	d := f.eng.draw(min, max)
+	f.Block(target)
+	timer := time.AfterFunc(d, func() { f.Heal(target) })
+	// A closed fabric stops pending heals along with its hung ops.
+	go func() {
+		<-f.eng.halt
+		timer.Stop()
+	}()
+	return d
+}
+
+// draw picks a seeded duration uniformly from [min, max].
+func (e *engine) draw(min, max time.Duration) time.Duration {
+	if max < min {
+		min, max = max, min
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if max == min {
+		return min
+	}
+	return min + time.Duration(e.rng.Int63n(int64(max-min)+1))
+}
+
+// Partition cuts both directions between two processes: fa stops
+// reaching addrB and fb stops reaching addrA. Each process owns its
+// outbound fabric, so a full partition is two directional blocks.
+func Partition(fa, fb *Fabric, addrA, addrB string) {
+	fa.Block(addrB)
+	fb.Block(addrA)
+}
+
+// HealPartition undoes Partition.
+func HealPartition(fa, fb *Fabric, addrA, addrB string) {
+	fa.Heal(addrB)
+	fb.Heal(addrA)
+}
+
+// Killer schedules process kills at seeded times, so a chaos run's
+// SIGKILL schedule is as reproducible as its network faults.
+type Killer struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewKiller builds a killer with its own seeded source.
+func NewKiller(seed int64) *Killer {
+	return &Killer{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay draws the next kill delay uniformly from [min, max].
+func (k *Killer) Delay(min, max time.Duration) time.Duration {
+	if max < min {
+		min, max = max, min
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if max == min {
+		return min
+	}
+	return min + time.Duration(k.rng.Int63n(int64(max-min)+1))
+}
+
+// KillAfter runs kill (typically Process.Kill) after a seeded delay in
+// [min, max]; it returns the drawn delay and the timer so callers can
+// Stop it when the victim exits first for another reason.
+func (k *Killer) KillAfter(min, max time.Duration, kill func()) (time.Duration, *time.Timer) {
+	d := k.Delay(min, max)
+	return d, time.AfterFunc(d, kill)
+}

@@ -66,6 +66,9 @@ type Coordinator struct {
 	order   []string
 	jobs    map[string]*Job
 	nextJob int
+	// idPrefix qualifies minted job IDs; under HA it carries the primary's
+	// term so two primaries can never mint the same ID.
+	idPrefix string
 	// rrPeer rotates which peers are picked within a location so load
 	// spreads across the local peer pool.
 	rrPeer map[string]int
@@ -189,7 +192,7 @@ func (c *Coordinator) NewJob(ctx context.Context, domain, initiatorID string) (*
 	c.mu.Lock()
 	c.nextJob++
 	job := &Job{
-		ID:         fmt.Sprintf("job-%08d", c.nextJob),
+		ID:         fmt.Sprintf("%sjob-%08d", c.idPrefix, c.nextJob),
 		Domain:     domain,
 		ServerAddr: addr,
 		Initiator:  initiatorID,
@@ -237,6 +240,12 @@ func (c *Coordinator) JobDone(jobID string) error {
 // stay put when no online server exists (the next sweep retries). It
 // returns the number of jobs moved.
 func (c *Coordinator) RequeueLapsed() int {
+	return len(c.requeueLapsedMoves())
+}
+
+// requeueLapsedMoves is RequeueLapsed reporting each (job, new server)
+// move so an HA reaper can replicate the reassignments to the standbys.
+func (c *Coordinator) requeueLapsedMoves() []jobMove {
 	c.mu.Lock()
 	var lapsed []string
 	for id, job := range c.jobs {
@@ -246,7 +255,7 @@ func (c *Coordinator) RequeueLapsed() int {
 	}
 	c.mu.Unlock()
 
-	requeued := 0
+	var moves []jobMove
 	for _, id := range lapsed {
 		addr, err := c.Servers.Assign()
 		if err != nil {
@@ -267,9 +276,123 @@ func (c *Coordinator) RequeueLapsed() int {
 		c.Metrics.jobRequeued()
 		c.Log.Info(context.Background(), "job requeued from lapsed server",
 			"job", id, "from", old, "to", addr)
-		requeued++
+		moves = append(moves, jobMove{ID: id, Server: addr})
 	}
-	return requeued
+	return moves
+}
+
+// SetJobIDPrefix re-keys newly minted job IDs and restarts the sequence
+// counter. Under HA every promotion installs the new term's prefix, so a
+// deposed primary that briefly keeps accepting cannot collide with IDs
+// minted by its successor.
+func (c *Coordinator) SetJobIDPrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prefix != c.idPrefix {
+		c.idPrefix = prefix
+		c.nextJob = 0
+	}
+}
+
+// DropJob rolls an accepted job back out of the tracker — the primary's
+// undo path when replication fails after NewJob succeeded, so a job the
+// client never learned about does not linger as a phantom pending check.
+func (c *Coordinator) DropJob(id string) {
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	if ok {
+		delete(c.jobs, id)
+	}
+	n := len(c.jobs)
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.Servers.Done(job.ServerAddr)
+	c.Metrics.jobDone(n)
+	c.Log.Warn(context.Background(), "job dropped: replication failed", "job", id)
+}
+
+// RestoreJob installs a replicated job, bumping the target server's
+// pending counter so the scheduler's view matches the primary's. It is
+// idempotent by job ID: a job that already exists locally — because the
+// reaper requeued it, or a duplicated log replay delivered it twice —
+// keeps its current assignment and is not double-counted.
+func (c *Coordinator) RestoreJob(job Job) {
+	c.mu.Lock()
+	if _, exists := c.jobs[job.ID]; exists {
+		c.mu.Unlock()
+		return
+	}
+	j := job
+	c.jobs[job.ID] = &j
+	n := len(c.jobs)
+	c.mu.Unlock()
+	c.Servers.Bump(job.ServerAddr)
+	c.Metrics.jobScheduled(n)
+}
+
+// RestoreDone applies a replicated completion; unknown IDs (already
+// applied, or the job was dropped) are ignored.
+func (c *Coordinator) RestoreDone(id string) {
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	if ok {
+		delete(c.jobs, id)
+	}
+	n := len(c.jobs)
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.Servers.Done(job.ServerAddr)
+	c.Metrics.jobDone(n)
+}
+
+// RestoreMove applies a replicated requeue, re-pointing the job and
+// reconciling both servers' pending counters. A job already on the
+// target server (the local reaper won the race) is left untouched.
+func (c *Coordinator) RestoreMove(id, addr string) {
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	if !ok || job.ServerAddr == addr {
+		c.mu.Unlock()
+		return
+	}
+	old := job.ServerAddr
+	job.ServerAddr = addr
+	c.mu.Unlock()
+	c.Servers.Done(old)
+	c.Servers.Bump(addr)
+	c.Metrics.jobRequeued()
+}
+
+// RestorePeer installs a replicated PPC registration without the
+// geolocation lookup (the primary already resolved it).
+func (c *Coordinator) RestorePeer(info PeerInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.peers[info.ID]; !exists {
+		c.order = append(c.order, info.ID)
+	}
+	c.peers[info.ID] = info
+	c.Metrics.setPeersOnline(len(c.peers))
+}
+
+// ResetReplicated clears all replicated control-plane state ahead of a
+// full log replay (an ha.StateMachine Reset). The whitelist keeps its
+// seed domains: Whitelist.Add is a set insert, so replaying additions is
+// naturally idempotent.
+func (c *Coordinator) ResetReplicated() {
+	c.mu.Lock()
+	c.jobs = make(map[string]*Job)
+	c.peers = make(map[string]PeerInfo)
+	c.order = nil
+	c.rrPeer = make(map[string]int)
+	c.nextJob = 0
+	c.Metrics.setPeersOnline(0)
+	c.mu.Unlock()
+	c.Servers.ResetServers()
 }
 
 // StartReaper sweeps for jobs stranded on lapsed servers every interval

@@ -223,6 +223,50 @@ func (l *ServerList) Assign() (string, error) {
 	}
 }
 
+// TouchAll refreshes every tracked server's heartbeat stamp. A freshly
+// promoted primary calls this so servers restored from the replicated
+// log (whose real heartbeats were never forwarded to this replica) get
+// one full timeout of grace before the reaper treats them as dead.
+func (l *ServerList) TouchAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	nowMs := l.now().UnixMilli()
+	for _, e := range l.servers {
+		if !e.removed {
+			e.lastBeat = nowMs
+			e.wasOnline = true
+		}
+	}
+	l.updateOnlineGauge()
+}
+
+// Bump increments a server's pending counter without an online check,
+// registering the address if it is unknown — replay bookkeeping for
+// jobs the primary already assigned. The entry starts with no heartbeat
+// (offline) until a registration or heartbeat arrives.
+func (l *ServerList) Bump(addr string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.servers[addr]
+	if !ok {
+		e = &serverEntry{addr: addr}
+		l.servers[addr] = e
+		l.order = append(l.order, addr)
+	}
+	e.pending++
+	l.Metrics.setServerPending(addr, e.pending)
+}
+
+// ResetServers drops every tracked server ahead of a full log replay.
+func (l *ServerList) ResetServers() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.servers = make(map[string]*serverEntry)
+	l.order = nil
+	l.rrNext = 0
+	l.Metrics.setServersOnline(0)
+}
+
 // IsOnline reports whether addr is currently heartbeating within the
 // timeout.
 func (l *ServerList) IsOnline(addr string) bool {

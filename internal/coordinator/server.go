@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 
+	"pricesheriff/internal/ha"
+	"pricesheriff/internal/retry"
 	"pricesheriff/internal/transport"
 )
 
@@ -45,12 +47,20 @@ type (
 	RegisterServerReq struct {
 		Addr string `json:"addr"`
 	}
+	// WhitelistAddReq sanctions an e-commerce domain at runtime.
+	WhitelistAddReq struct {
+		Domain string `json:"domain"`
+	}
 )
 
-// Server exposes a Coordinator over the fabric.
+// Server exposes a Coordinator over the fabric. With an attached ha.Node
+// (AttachHA) the mutating methods are primary-gated and every accepted
+// mutation is replicated to the standbys before — for job creation — or
+// alongside — for bookkeeping — the reply.
 type Server struct {
 	C   *Coordinator
 	rpc *transport.Server
+	ha  *ha.Node
 }
 
 // NewServer wraps the coordinator; call Serve to start.
@@ -61,6 +71,9 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := s.gate(); err != nil {
+			return nil, err
+		}
 		var req NewJobReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
@@ -69,10 +82,24 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		if err != nil {
 			return nil, err
 		}
+		// The job ID only reaches the client once a quorum has the job on
+		// its log: whoever wins the next election will know about it, so an
+		// acked check can never be silently lost. If replication fails the
+		// job is rolled back and the client's retry lands on the successor.
+		if err := s.replicateWait(ctx, CmdJobNew, jobRecord{
+			ID: job.ID, Domain: job.Domain, Server: job.ServerAddr,
+			Initiator: job.Initiator, PPCs: job.PPCs,
+		}); err != nil {
+			c.DropJob(job.ID)
+			return nil, err
+		}
 		return NewJobResp{JobID: job.ID, ServerAddr: job.ServerAddr}, nil
 	})
 	s.rpc.HandleCtx("coord.job_ppcs", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
 			return nil, err
 		}
 		var req JobRef
@@ -92,24 +119,44 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := s.gate(); err != nil {
+			return nil, err
+		}
 		var req JobRef
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
-		return nil, c.JobDone(req.JobID)
+		if err := c.JobDone(req.JobID); err != nil {
+			return nil, err
+		}
+		// Completion is safe to replicate asynchronously: replaying a lost
+		// job_done at worst re-runs one finished check, never loses one.
+		s.replicate(CmdJobDone, idRecord{ID: req.JobID})
+		return nil, nil
 	})
 	s.rpc.HandleCtx("coord.register_peer", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
 			return nil, err
 		}
 		var req RegisterPeerReq
 		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
-		return c.RegisterPeer(req.ID, req.IP)
+		info, err := c.RegisterPeer(req.ID, req.IP)
+		if err != nil {
+			return nil, err
+		}
+		s.replicate(CmdPeerAdd, info)
+		return info, nil
 	})
 	s.rpc.HandleCtx("coord.unregister_peer", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
 			return nil, err
 		}
 		var req RegisterPeerReq
@@ -117,10 +164,14 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 			return nil, err
 		}
 		c.UnregisterPeer(req.ID)
+		s.replicate(CmdPeerDel, idRecord{ID: req.ID})
 		return nil, nil
 	})
 	s.rpc.HandleCtx("coord.register_server", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
 			return nil, err
 		}
 		var req RegisterServerReq
@@ -128,10 +179,29 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 			return nil, err
 		}
 		c.Servers.Register(req.Addr)
+		s.replicate(CmdServerAdd, addrRecord{Addr: req.Addr})
+		return nil, nil
+	})
+	s.rpc.HandleCtx("coord.whitelist_add", func(ctx context.Context, raw json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
+			return nil, err
+		}
+		var req WhitelistAddReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		c.Whitelist.Add(req.Domain)
+		s.replicate(CmdWLAdd, domainRecord{Domain: req.Domain})
 		return nil, nil
 	})
 	s.rpc.HandleCtx("coord.heartbeat", func(ctx context.Context, raw json.RawMessage) (any, error) {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
 			return nil, err
 		}
 		var req HeartbeatReq
@@ -174,18 +244,37 @@ func (s *Server) Serve() error { return s.rpc.Serve() }
 // Close stops the server.
 func (s *Server) Close() error { return s.rpc.Close() }
 
-// Client is a typed client of the Coordinator protocol.
-type Client struct {
-	rpc *transport.Client
+// rpcConn is the slice of client behaviour the Coordinator client needs;
+// satisfied by a single *transport.Client and by *transport.Cluster.
+type rpcConn interface {
+	CallCtx(ctx context.Context, method string, req, resp any) error
+	Close() error
 }
 
-// DialCoordinator connects a client.
+// Client is a typed client of the Coordinator protocol.
+type Client struct {
+	rpc rpcConn
+}
+
+// DialCoordinator connects a client to a single coordinator replica.
 func DialCoordinator(netw transport.Network, addr string) (*Client, error) {
 	rpc, err := transport.DialClient(netw, addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{rpc: rpc}, nil
+}
+
+// DialCoordinatorCluster connects a partition-tolerant client to a
+// replicated coordinator: calls stick to the current primary, follow
+// NotPrimary redirect hints after a failover, and rotate past dead
+// replicas under the given retry policy.
+func DialCoordinatorCluster(netw transport.Network, addrs []string, pol retry.Policy, seed int64) (*Client, error) {
+	cl, err := transport.DialCluster(netw, addrs, pol, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: cl}, nil
 }
 
 // NewJob requests a price-check job (step 1).
@@ -225,18 +314,23 @@ func (cl *Client) JobDoneCtx(ctx context.Context, jobID string) error {
 // RegisterPeer announces a PPC.
 func (cl *Client) RegisterPeer(id, ip string) (PeerInfo, error) {
 	var info PeerInfo
-	err := cl.rpc.Call("coord.register_peer", RegisterPeerReq{ID: id, IP: ip}, &info)
+	err := cl.rpc.CallCtx(context.Background(), "coord.register_peer", RegisterPeerReq{ID: id, IP: ip}, &info)
 	return info, err
 }
 
 // UnregisterPeer removes a PPC.
 func (cl *Client) UnregisterPeer(id string) error {
-	return cl.rpc.Call("coord.unregister_peer", RegisterPeerReq{ID: id}, nil)
+	return cl.rpc.CallCtx(context.Background(), "coord.unregister_peer", RegisterPeerReq{ID: id}, nil)
 }
 
 // RegisterServer attaches a Measurement server.
 func (cl *Client) RegisterServer(addr string) error {
-	return cl.rpc.Call("coord.register_server", RegisterServerReq{Addr: addr}, nil)
+	return cl.rpc.CallCtx(context.Background(), "coord.register_server", RegisterServerReq{Addr: addr}, nil)
+}
+
+// WhitelistAdd sanctions an e-commerce domain at runtime.
+func (cl *Client) WhitelistAdd(domain string) error {
+	return cl.rpc.CallCtx(context.Background(), "coord.whitelist_add", WhitelistAddReq{Domain: domain}, nil)
 }
 
 // Heartbeat reports server liveness and pending count.
@@ -252,21 +346,21 @@ func (cl *Client) HeartbeatCtx(ctx context.Context, addr string, pending int, sh
 // DoppelgangerState redeems a bearer token for client-side state.
 func (cl *Client) DoppelgangerState(token string) (map[string]string, error) {
 	var state map[string]string
-	err := cl.rpc.Call("coord.dopp_state", TokenReq{Token: token}, &state)
+	err := cl.rpc.CallCtx(context.Background(), "coord.dopp_state", TokenReq{Token: token}, &state)
 	return state, err
 }
 
 // Servers fetches the monitoring panel rows.
 func (cl *Client) Servers() ([]ServerInfo, error) {
 	var out []ServerInfo
-	err := cl.rpc.Call("coord.servers", nil, &out)
+	err := cl.rpc.CallCtx(context.Background(), "coord.servers", nil, &out)
 	return out, err
 }
 
 // Peers fetches the peer monitoring panel rows.
 func (cl *Client) Peers() ([]PeerInfo, error) {
 	var out []PeerInfo
-	err := cl.rpc.Call("coord.peers", nil, &out)
+	err := cl.rpc.CallCtx(context.Background(), "coord.peers", nil, &out)
 	return out, err
 }
 

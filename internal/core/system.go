@@ -19,6 +19,7 @@ import (
 	"pricesheriff/internal/coordinator"
 	"pricesheriff/internal/currency"
 	"pricesheriff/internal/doppelganger"
+	"pricesheriff/internal/ha"
 	"pricesheriff/internal/history"
 	"pricesheriff/internal/htmlx"
 	"pricesheriff/internal/measurement"
@@ -106,6 +107,29 @@ type Config struct {
 	// cannot clear the queue are shed with admit.ErrOverload. 0 means
 	// DefaultMaxInflightChecks; negative disables admission control.
 	MaxInflightChecks int
+
+	// HAPeers, when set, replicates the coordinator control plane: this
+	// system's coordinator listens on HASelf, joins the HAPeers replica
+	// set (every replica's coordinator address, HASelf included), elects
+	// a primary by lease over heartbeats, and log-replicates job and
+	// registry state to the standbys. Measurement servers then dial the
+	// whole cluster and fail over with the primary. Empty keeps the seed
+	// behaviour: one coordinator, no failover.
+	HAPeers []string
+	// HASelf is this replica's coordinator address; it must appear in
+	// HAPeers and be listenable on the fabric (a fixed host:port for
+	// transport.TCP, any name for the in-process fabric).
+	HASelf string
+	// HAHeartbeatInterval is the primary's replication heartbeat cadence
+	// (default 250ms).
+	HAHeartbeatInterval time.Duration
+	// HALeaseTimeout bounds failover: a standby promotes after this long
+	// without hearing the primary (default 8× heartbeat).
+	HALeaseTimeout time.Duration
+	// HADir, when set, persists this replica's term and vote so a
+	// crash-and-restart cannot vote twice in one term. Empty keeps them
+	// in memory.
+	HADir string
 }
 
 // DefaultMaxInflightChecks is the per-server admission cap when
@@ -125,6 +149,8 @@ type System struct {
 	dbSrv    *store.Server
 	db       *store.Client
 	coordSrv *coordinator.Server
+	haNode   *ha.Node
+	haPeers  []string
 	broker   *peer.Broker
 
 	measRPC  []*measurement.RPCServer
@@ -324,12 +350,39 @@ func NewSystem(cfg Config) (*System, error) {
 	s.Coord.Metrics = coordMetrics
 	s.Coord.Log = cfg.Logger.With("comp", "coordinator")
 	s.Coord.MaxPPCs = cfg.MaxPPCs
-	coordLis, err := cfg.Fabric.Listen("")
+	coordLis, err := cfg.Fabric.Listen(cfg.HASelf) // "" without HA: ephemeral
 	if err != nil {
 		return nil, err
 	}
 	s.coordSrv = coordinator.NewServer(s.Coord, coordLis)
+	if len(cfg.HAPeers) > 0 {
+		// The control-plane node shares the coordinator's listener: data
+		// and replication RPCs ride one address, so HAPeers doubles as the
+		// client-visible replica set. Registration must precede Serve.
+		node, err := ha.NewNode(ha.Config{
+			Self:              cfg.HASelf,
+			Peers:             cfg.HAPeers,
+			Fabric:            cfg.Fabric,
+			HeartbeatInterval: cfg.HAHeartbeatInterval,
+			LeaseTimeout:      cfg.HALeaseTimeout,
+			Dir:               cfg.HADir,
+			Seed:              cfg.Seed + 5,
+			SM:                coordinator.NewStateMachine(s.Coord, cfg.Logger.With("comp", "ha")),
+			OnPromote:         s.Coord.OnPromote,
+			Metrics:           ha.NewMetrics(cfg.Metrics),
+			Log:               cfg.Logger.With("comp", "ha"),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: ha node: %w", err)
+		}
+		s.haNode = node
+		s.haPeers = append([]string(nil), cfg.HAPeers...)
+		s.coordSrv.AttachHA(node)
+	}
 	go s.coordSrv.Serve()
+	if s.haNode != nil {
+		s.haNode.Start()
+	}
 
 	// The doppelganger directory exists from the start; it answers with
 	// errors until TrainDoppelgangers runs, making nodes fall back to
@@ -373,15 +426,28 @@ func NewSystem(cfg Config) (*System, error) {
 	s.watcher.Start()
 
 	// The reaper requeues jobs stranded on measurement servers whose
-	// heartbeats lapse mid-check (Sect. 10.3 corrective measures).
-	s.stopReaper = s.Coord.StartReaper(cfg.HeartbeatTimeout)
+	// heartbeats lapse mid-check (Sect. 10.3 corrective measures). Under
+	// HA the sweep runs only on the primary and replicates every requeue.
+	if s.haNode != nil {
+		s.stopReaper = s.coordSrv.StartHAReaper(cfg.HeartbeatTimeout)
+	} else {
+		s.stopReaper = s.Coord.StartReaper(cfg.HeartbeatTimeout)
+	}
 	return s, nil
 }
 
 // addMeasurementServer boots one server, registers it and starts
 // heartbeats.
 func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.Duration, idx int) error {
-	coordCli, err := coordinator.DialCoordinator(s.fabric, s.coordSrv.Addr())
+	// Under HA the server follows the whole cluster — it learns the
+	// primary from redirects and fails over when the lease moves.
+	var coordCli *coordinator.Client
+	var err error
+	if len(s.haPeers) > 0 {
+		coordCli, err = coordinator.DialCoordinatorCluster(s.fabric, s.haPeers, retry.Policy{}, int64(idx))
+	} else {
+		coordCli, err = coordinator.DialCoordinator(s.fabric, s.coordSrv.Addr())
+	}
 	if err != nil {
 		return err
 	}
@@ -415,10 +481,26 @@ func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.
 	}
 	rpc := measurement.NewRPCServer(ms, lis)
 	go rpc.Serve()
-	if err := coordCli.RegisterServer(ms.OwnAddr); err != nil {
-		return err
+	register := func() error {
+		if err := coordCli.RegisterServer(ms.OwnAddr); err != nil {
+			return err
+		}
+		return coordCli.Heartbeat(ms.OwnAddr, 0)
 	}
-	if err := coordCli.Heartbeat(ms.OwnAddr, 0); err != nil {
+	if len(s.haPeers) > 0 {
+		// At boot the replica set may still be electing its first primary
+		// (or waiting for the other replica processes to come up at all):
+		// keep registering until a leader takes the lease.
+		ctx, cancel := context.WithTimeout(s.baseCtx, time.Minute)
+		defer cancel()
+		boot := retry.New(retry.Policy{
+			MaxAttempts: 240, BaseDelay: 250 * time.Millisecond,
+			MaxDelay: time.Second, Multiplier: 1,
+		}, int64(idx))
+		if _, err := boot.DoCtx(ctx, func(int) error { return register() }); err != nil {
+			return err
+		}
+	} else if err := register(); err != nil {
 		return err
 	}
 	stop := ms.StartHeartbeats(time.Second)
@@ -468,6 +550,10 @@ func (s *System) Watches() *history.Scheduler { return s.watcher }
 
 // Persister returns the durability layer (nil without a DataDir).
 func (s *System) Persister() *history.Persister { return s.persister }
+
+// HANode returns this replica's control-plane node (nil in a
+// single-coordinator deployment).
+func (s *System) HANode() *ha.Node { return s.haNode }
 
 // ShopAddr is the dialable address of the e-commerce world server.
 func (s *System) ShopAddr() string { return s.shopSrv.Addr() }
@@ -931,6 +1017,9 @@ func (s *System) Close() error {
 	}
 	for _, r := range rpcs {
 		r.Close()
+	}
+	if s.haNode != nil {
+		s.haNode.Close()
 	}
 	s.coordSrv.Close()
 	s.broker.Close()

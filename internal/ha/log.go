@@ -1,0 +1,38 @@
+package ha
+
+import "encoding/json"
+
+// Command kinds replicated through the coordinator log. The ha package
+// itself only interprets CmdNoop; everything else is opaque payload the
+// coordinator's state machine applies.
+const (
+	// CmdNoop is the term-start marker a fresh primary appends so the
+	// current-term commit rule can reach back over earlier terms.
+	CmdNoop = "noop"
+)
+
+// Command is one replicated state change: a kind tag plus an opaque
+// JSON payload owned by the state machine.
+type Command struct {
+	Kind string          `json:"k"`
+	Data json.RawMessage `json:"d,omitempty"`
+}
+
+// Entry is one slot of the replicated log. Index is 1-based; Term is the
+// primary term that created the entry. Entries carry their term so the
+// log-matching rule can detect divergent tails.
+type Entry struct {
+	Index uint64  `json:"i"`
+	Term  uint64  `json:"t"`
+	Cmd   Command `json:"c"`
+}
+
+// StateMachine receives committed (on standbys) or locally accepted (on
+// the primary) log entries. Apply is called in strictly increasing index
+// order under the node's lock — implementations must not call back into
+// the Node. Reset drops all state; the node replays the committed prefix
+// after a Reset when an optimistic tail did not survive a demotion.
+type StateMachine interface {
+	Apply(e Entry)
+	Reset()
+}

@@ -1,0 +1,89 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Edge cases the HA failover path leans on: a cluster dialer computes
+// MaxAttempts from the replica count (a bug there shows up as zero), the
+// backoff ceiling bounds worst-case failover latency, and a caller's
+// deadline must cut a backoff sleep short mid-failover.
+
+func TestZeroAndNegativeMaxAttemptsNormalized(t *testing.T) {
+	for _, raw := range []int{0, -3} {
+		r := New(Policy{MaxAttempts: raw, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}, 1)
+		if got := r.Policy().MaxAttempts; got != DefaultAttempts {
+			t.Errorf("MaxAttempts %d normalized to %d, want %d", raw, got, DefaultAttempts)
+		}
+		calls := 0
+		retries, err := r.Do(nil, func(int) error { calls++; return errors.New("x") })
+		if calls != DefaultAttempts || retries != DefaultAttempts-1 {
+			t.Errorf("MaxAttempts %d: calls=%d retries=%d, want %d/%d",
+				raw, calls, retries, DefaultAttempts, DefaultAttempts-1)
+		}
+		if err == nil {
+			t.Errorf("MaxAttempts %d: want the last attempt error", raw)
+		}
+	}
+}
+
+func TestDelayCeilingClampExtremes(t *testing.T) {
+	// Aggressive growth far past the cap: the clamp must hold exactly at
+	// MaxDelay for arbitrarily late retries, with no float blow-up.
+	p := Policy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Multiplier: 10}.WithDefaults()
+	for _, n := range []int{3, 10, 60, 1000} {
+		if got := p.Delay(n, nil); got != 50*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want exactly the 50ms ceiling", n, got)
+		}
+	}
+	// Jitter rides on the clamped value: bounded by MaxDelay·(1±Jitter),
+	// never by the unclamped exponential.
+	p.Jitter = 0.2
+	rng := rand.New(rand.NewSource(5))
+	lo := time.Duration(float64(p.MaxDelay) * 0.8)
+	hi := time.Duration(float64(p.MaxDelay) * 1.2)
+	for i := 0; i < 200; i++ {
+		if d := p.Delay(50, rng); d < lo || d > hi {
+			t.Fatalf("jittered clamped Delay = %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+	// A raw policy with MaxDelay 0 (bypassing WithDefaults) stops growing
+	// after one multiplication — growth halts at the ceiling, and a zero
+	// ceiling halts it immediately rather than growing without bound.
+	// Normalized policies always carry a real ceiling, so only hand-built
+	// ones ever see this.
+	raw := Policy{BaseDelay: time.Millisecond, Multiplier: 2}
+	if got := raw.Delay(5, nil); got != 2*time.Millisecond {
+		t.Errorf("zero-ceiling Delay(5) = %v, want 2ms (growth halts at the ceiling)", got)
+	}
+	// Delay(n<1) is treated as the first retry.
+	if got, first := p.Delay(0, nil), p.Delay(1, nil); got != first {
+		t.Errorf("Delay(0) = %v, want Delay(1) = %v", got, first)
+	}
+}
+
+func TestDoCtxDeadlineExpiresDuringBackoffSleep(t *testing.T) {
+	// Complements the explicit-cancel test: a deadline elapsing while the
+	// retrier sleeps must end the sequence promptly with the last attempt
+	// error, and the op must not run again after the deadline.
+	r := New(Policy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	attemptErr := errors.New("transient")
+	calls := 0
+	start := time.Now()
+	retries, err := r.DoCtx(ctx, func(int) error { calls++; return attemptErr })
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("DoCtx slept %v past its deadline", d)
+	}
+	if calls != 1 || retries != 0 {
+		t.Errorf("calls=%d retries=%d, want 1/0", calls, retries)
+	}
+	if !errors.Is(err, attemptErr) {
+		t.Errorf("err = %v, want the last attempt error", err)
+	}
+}

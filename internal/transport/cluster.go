@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pricesheriff/internal/retry"
+)
+
+// Cluster is a replica-set-aware caller: it speaks to one coordinator
+// replica at a time (sticky, so the common case is a single hop), and
+// when that replica is dead, partitioned away, or answers NotPrimary, it
+// fails over — following the redirect hint when the rejection names the
+// real primary, rotating through the set when it does not — under the
+// seeded retry/backoff discipline. Callers use it exactly like a Client;
+// the failover is invisible apart from latency.
+type Cluster struct {
+	// Timeout bounds each attempt on top of the caller's context (zero =
+	// the caller's context alone). Set before sharing across goroutines.
+	Timeout time.Duration
+
+	netw Network
+	retr *retry.Retrier
+
+	mu      sync.Mutex
+	addrs   []string
+	cur     int
+	clients map[string]*Client
+	closed  bool
+}
+
+// DialCluster builds a failover caller over the replica set. Connections
+// are dialed lazily, so a cluster with dead replicas constructs fine.
+// The policy (normalized via WithDefaults) governs backoff between
+// failover attempts; a zero policy gets defaults except MaxAttempts,
+// which defaults to two trips around the replica set — enough to find
+// the new primary after the redirect chain went stale mid-failover.
+func DialCluster(netw Network, addrs []string, policy retry.Policy, seed int64) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("transport: cluster needs at least one address")
+	}
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 2*len(addrs) + 1
+	}
+	return &Cluster{
+		netw:    netw,
+		retr:    retry.New(policy, seed),
+		addrs:   append([]string(nil), addrs...),
+		clients: make(map[string]*Client),
+	}, nil
+}
+
+// Addrs returns the configured replica set.
+func (cl *Cluster) Addrs() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]string(nil), cl.addrs...)
+}
+
+// Current returns the replica the next call will try first — after a
+// successful call, the primary the cluster has learned.
+func (cl *Cluster) Current() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.addrs[cl.cur]
+}
+
+// pick returns the sticky target and a healthy client for it, dialing
+// as needed.
+func (cl *Cluster) pick() (string, *Client, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return "", nil, ErrClosed
+	}
+	addr := cl.addrs[cl.cur]
+	cli := cl.clients[addr]
+	if cli != nil && cli.Broken() {
+		cli.Close()
+		delete(cl.clients, addr)
+		cli = nil
+	}
+	cl.mu.Unlock()
+	if cli != nil {
+		return addr, cli, nil
+	}
+	nc, err := DialClient(cl.netw, addr)
+	if err != nil {
+		return addr, nil, err
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		nc.Close()
+		return addr, nil, ErrClosed
+	}
+	if old := cl.clients[addr]; old != nil && !old.Broken() {
+		cl.mu.Unlock()
+		nc.Close() // lost a dial race; use the survivor
+		return addr, old, nil
+	}
+	cl.clients[addr] = nc
+	cl.mu.Unlock()
+	return addr, nc, nil
+}
+
+// fail moves the sticky target off a failed replica: to the hinted
+// primary when the rejection named one, otherwise to the next replica in
+// the set. Concurrent failures of the same replica rotate only once.
+func (cl *Cluster) fail(addr, hint string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if hint != "" && hint != addr {
+		for i, a := range cl.addrs {
+			if a == hint {
+				cl.cur = i
+				return
+			}
+		}
+	}
+	if cl.addrs[cl.cur] == addr {
+		cl.cur = (cl.cur + 1) % len(cl.addrs)
+	}
+}
+
+// CallCtx issues one logical RPC against the cluster, failing over
+// between replicas until a replica answers, the retry budget runs out,
+// or the context dies. Application errors other than NotPrimary are
+// terminal — a whitelist rejection from the real primary must surface,
+// not retry.
+func (cl *Cluster) CallCtx(ctx context.Context, method string, req, resp any) error {
+	_, err := cl.retr.DoCtx(ctx, func(int) error {
+		return cl.attempt(ctx, method, req, resp)
+	})
+	var re *RemoteError
+	if err == nil || errors.As(err, &re) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("transport: cluster call %s: no replica reachable: %w", method, err)
+}
+
+// attempt tries the sticky replica once and classifies the outcome for
+// the retry loop.
+func (cl *Cluster) attempt(ctx context.Context, method string, req, resp any) error {
+	addr, cli, err := cl.pick()
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return retry.Terminal(err)
+		}
+		cl.fail(addr, "") // unreachable: rotate and retry
+		return err
+	}
+	actx := ctx
+	if cl.Timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, cl.Timeout)
+		defer cancel()
+	}
+	err = cli.CallCtx(actx, method, req, resp)
+	if err == nil {
+		return nil
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		if re.Code == CodeNotPrimary {
+			cl.fail(addr, re.Hint) // follow the redirect and retry
+			return err
+		}
+		return retry.Terminal(err) // real answer from a live replica
+	}
+	if ctx.Err() != nil {
+		return err // the caller's budget died, not the replica
+	}
+	// Transport-level failure (dead conn, attempt timeout, partition):
+	// this replica is gone, try the next one.
+	cl.fail(addr, "")
+	return err
+}
+
+// Close releases every dialed connection; subsequent calls fail with
+// ErrClosed.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for addr, cli := range cl.clients {
+		cli.Close()
+		delete(cl.clients, addr)
+	}
+	return nil
+}

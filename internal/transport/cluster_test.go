@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/retry"
+)
+
+// redirectErr is a test NotPrimary rejection carrying a redirect hint.
+type redirectErr struct{ to string }
+
+func (e *redirectErr) Error() string   { return "not the primary" }
+func (e *redirectErr) RPCCode() string { return CodeNotPrimary }
+func (e *redirectErr) RPCHint() string { return e.to }
+
+// echo registers an "echo" method answering with the server's name and
+// returns a hit counter.
+func echo(srv *Server, name string) *atomic.Int64 {
+	var hits atomic.Int64
+	srv.Handle("echo", func(json.RawMessage) (any, error) {
+		hits.Add(1)
+		return name, nil
+	})
+	return &hits
+}
+
+func startServer(t *testing.T, netw Network, addr string) *Server {
+	t.Helper()
+	lis, err := netw.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// fastPolicy keeps cluster-test backoffs negligible.
+var fastPolicy = retry.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+
+func TestClusterFollowsNotPrimaryHint(t *testing.T) {
+	netw := NewInproc()
+	standby := startServer(t, netw, "ha-a")
+	primary := startServer(t, netw, "ha-b")
+	var standbyHits atomic.Int64
+	standby.Handle("echo", func(json.RawMessage) (any, error) {
+		standbyHits.Add(1)
+		return nil, &redirectErr{to: "ha-b"}
+	})
+	primaryHits := echo(primary, "b")
+	go standby.Serve()
+	go primary.Serve()
+
+	cl, err := DialCluster(netw, []string{"ha-a", "ha-b"}, fastPolicy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var got string
+	if err := cl.CallCtx(context.Background(), "echo", nil, &got); err != nil {
+		t.Fatalf("CallCtx: %v", err)
+	}
+	if got != "b" {
+		t.Fatalf("answer = %q, want %q", got, "b")
+	}
+	if cl.Current() != "ha-b" {
+		t.Fatalf("Current() = %q, want the hinted primary", cl.Current())
+	}
+	// The redirect was learned: further calls skip the standby entirely.
+	for i := 0; i < 3; i++ {
+		if err := cl.CallCtx(context.Background(), "echo", nil, &got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := standbyHits.Load(); h != 1 {
+		t.Errorf("standby hit %d times, want 1 (sticky redirect)", h)
+	}
+	if h := primaryHits.Load(); h != 4 {
+		t.Errorf("primary hit %d times, want 4", h)
+	}
+}
+
+func TestClusterRotatesPastDeadReplica(t *testing.T) {
+	netw := NewInproc()
+	live := startServer(t, netw, "ha-live")
+	echo(live, "live")
+	go live.Serve()
+	// "ha-dead" never listens: dials fail, the cluster rotates on.
+	cl, err := DialCluster(netw, []string{"ha-dead", "ha-live"}, fastPolicy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var got string
+	if err := cl.CallCtx(context.Background(), "echo", nil, &got); err != nil {
+		t.Fatalf("CallCtx: %v", err)
+	}
+	if got != "live" || cl.Current() != "ha-live" {
+		t.Fatalf("answer %q via %q, want live replica", got, cl.Current())
+	}
+}
+
+func TestClusterFailsOverWhenPrimaryDiesMidStream(t *testing.T) {
+	netw := NewInproc()
+	first := startServer(t, netw, "ha-1")
+	second := startServer(t, netw, "ha-2")
+	echo(first, "one")
+	echo(second, "two")
+	go first.Serve()
+	go second.Serve()
+
+	cl, err := DialCluster(netw, []string{"ha-1", "ha-2"}, fastPolicy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var got string
+	if err := cl.CallCtx(context.Background(), "echo", nil, &got); err != nil || got != "one" {
+		t.Fatalf("first call = %q, %v", got, err)
+	}
+	// Kill the replica the cluster is stuck to; the next call must land
+	// on the survivor without caller-visible failure.
+	first.Close()
+	if err := cl.CallCtx(context.Background(), "echo", nil, &got); err != nil {
+		t.Fatalf("CallCtx after death: %v", err)
+	}
+	if got != "two" || cl.Current() != "ha-2" {
+		t.Fatalf("answer %q via %q, want the survivor", got, cl.Current())
+	}
+}
+
+func TestClusterApplicationErrorIsTerminal(t *testing.T) {
+	netw := NewInproc()
+	srv := startServer(t, netw, "ha-app")
+	var hits atomic.Int64
+	srv.Handle("echo", func(json.RawMessage) (any, error) {
+		hits.Add(1)
+		return nil, errors.New("domain not whitelisted")
+	})
+	go srv.Serve()
+	cl, err := DialCluster(netw, []string{"ha-app"}, fastPolicy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.CallCtx(context.Background(), "echo", nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "whitelisted") {
+		t.Fatalf("err = %v, want the application error", err)
+	}
+	if h := hits.Load(); h != 1 {
+		t.Fatalf("handler hit %d times, want 1 (no retry of real answers)", h)
+	}
+}
+
+func TestClusterExhaustsRetryBudget(t *testing.T) {
+	netw := NewInproc()
+	// Two replicas, both eternally claiming someone else is primary with
+	// no reachable hint: the budget must run out, not loop forever.
+	for _, addr := range []string{"ha-x", "ha-y"} {
+		srv := startServer(t, netw, addr)
+		srv.Handle("echo", func(json.RawMessage) (any, error) {
+			return nil, &redirectErr{}
+		})
+		go srv.Serve()
+	}
+	pol := fastPolicy
+	pol.MaxAttempts = 4
+	cl, err := DialCluster(netw, []string{"ha-x", "ha-y"}, pol, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.CallCtx(context.Background(), "echo", nil, nil)
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("err = %v, want a NotPrimary rejection", err)
+	}
+}
+
+func TestClusterHonorsCallerContext(t *testing.T) {
+	netw := NewInproc()
+	cl, err := DialCluster(netw, []string{"ha-nowhere"}, retry.Policy{
+		MaxAttempts: 1000, BaseDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = cl.CallCtx(ctx, "echo", nil, nil)
+	if err == nil {
+		t.Fatal("call to nowhere succeeded")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("caller context ignored: call took %v", took)
+	}
+}

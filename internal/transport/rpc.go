@@ -23,13 +23,43 @@ var ErrCallTimeout = errors.New("transport: call timed out")
 const (
 	CodeDeadline = "deadline"
 	CodeCanceled = "canceled"
+	// CodeNotPrimary marks a control-plane call that reached a coordinator
+	// replica without the primary lease; the response's Hint carries the
+	// believed primary so cluster clients can fail over directly.
+	CodeNotPrimary = "not_primary"
 )
+
+// ErrNotPrimary is the matchable identity of a CodeNotPrimary rejection:
+// errors.Is(err, transport.ErrNotPrimary) holds on the caller's side of
+// the wire for any handler error that carried the code.
+var ErrNotPrimary error = &notPrimaryError{}
+
+type notPrimaryError struct{}
+
+func (*notPrimaryError) Error() string   { return "transport: not the primary" }
+func (*notPrimaryError) RPCCode() string { return CodeNotPrimary }
 
 // RPCCoder is implemented by application errors that must stay matchable
 // with errors.Is on the far side of an RPC: the server puts RPCCode into
 // Envelope.Code and the client's RemoteError compares codes in Is. The
 // admission layer's ErrOverload is the canonical example.
 type RPCCoder interface{ RPCCode() string }
+
+// RPCHinter is implemented by application errors that carry a redirect
+// target along with their code — the canonical case is a NotPrimary
+// rejection naming the replica that does hold the lease. The server puts
+// RPCHint into Envelope.Hint and the client's RemoteError preserves it
+// for the failover machinery.
+type RPCHinter interface{ RPCHint() string }
+
+// errorHint derives the redirect hint for a handler error.
+func errorHint(err error) string {
+	var rh RPCHinter
+	if errors.As(err, &rh) {
+		return rh.RPCHint()
+	}
+	return ""
+}
 
 // errorCode derives the wire code for a handler error.
 func errorCode(err error) string {
@@ -67,6 +97,7 @@ type Envelope struct {
 	Sampled    bool            `json:"smp,omitempty"`   // request-only: trace sampling bit
 	Err        string          `json:"err,omitempty"`   // response-only error text
 	Code       string          `json:"code,omitempty"`  // response-only machine-readable error code
+	Hint       string          `json:"hint,omitempty"`  // response-only redirect hint (see RPCHinter)
 	Spans      []obs.WireSpan  `json:"spans,omitempty"` // response-only: exported handler-side spans
 }
 
@@ -269,6 +300,7 @@ func (s *Server) dispatch(ctx context.Context, req *Envelope) *Envelope {
 		}
 		resp.Err = err.Error()
 		resp.Code = errorCode(err)
+		resp.Hint = errorHint(err)
 		return resp
 	}
 	hsp.End()
@@ -458,7 +490,7 @@ func (c *Client) callCtx(ctx context.Context, method string, req, resp any, csp 
 			csp.Trace().ImportSpans(out.Spans)
 		}
 		if out.Err != "" {
-			return &RemoteError{Method: method, Msg: out.Err, Code: out.Code}
+			return &RemoteError{Method: method, Msg: out.Err, Code: out.Code, Hint: out.Hint}
 		}
 		if resp != nil && len(out.Body) > 0 {
 			return json.Unmarshal(out.Body, resp)
@@ -538,6 +570,9 @@ type RemoteError struct {
 	Method string
 	Msg    string
 	Code   string
+	// Hint is the redirect target supplied by an RPCHinter error — for a
+	// CodeNotPrimary rejection, the believed primary's address.
+	Hint string
 }
 
 func (e *RemoteError) Error() string {
