@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test race chaos bench bench-crypto experiments experiments-full fmt vet clean
+.PHONY: build lint test race chaos bench bench-crypto bench-rpc experiments experiments-full fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,11 @@ bench:
 # scalar ablation) and refresh the machine-readable record.
 bench-crypto:
 	$(GO) run ./cmd/benchtab -crypto -crypto-json BENCH_crypto.json
+
+# Measure the request-plane frame codec (hand-written binary protocol vs
+# the JSON ablation) and refresh the machine-readable record.
+bench-rpc:
+	$(GO) run ./cmd/benchtab -rpc -rpc-json BENCH_rpc.json
 
 # Regenerate every table and figure of the paper (quick scale).
 experiments:

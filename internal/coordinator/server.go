@@ -67,15 +67,11 @@ type Server struct {
 func NewServer(c *Coordinator, lis transport.Listener) *Server {
 	s := &Server{C: c, rpc: transport.NewServer(lis)}
 	s.rpc.SetProc("coordinator")
-	s.rpc.HandleCtx("coord.newjob", func(ctx context.Context, raw json.RawMessage) (any, error) {
+	transport.HandleTyped(s.rpc, "coord.newjob", func(ctx context.Context, req *NewJobReq) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := s.gate(); err != nil {
-			return nil, err
-		}
-		var req NewJobReq
-		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		job, err := c.NewJob(ctx, req.Domain, req.InitiatorID)
@@ -93,17 +89,13 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 			c.DropJob(job.ID)
 			return nil, err
 		}
-		return NewJobResp{JobID: job.ID, ServerAddr: job.ServerAddr}, nil
+		return &NewJobResp{JobID: job.ID, ServerAddr: job.ServerAddr}, nil
 	})
-	s.rpc.HandleCtx("coord.job_ppcs", func(ctx context.Context, raw json.RawMessage) (any, error) {
+	transport.HandleTyped(s.rpc, "coord.job_ppcs", func(ctx context.Context, req *JobRef) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := s.gate(); err != nil {
-			return nil, err
-		}
-		var req JobRef
-		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		ppcs, err := c.JobPPCs(req.JobID)
@@ -115,15 +107,11 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		}
 		return ppcs, nil
 	})
-	s.rpc.HandleCtx("coord.jobdone", func(ctx context.Context, raw json.RawMessage) (any, error) {
+	transport.HandleTyped(s.rpc, "coord.jobdone", func(ctx context.Context, req *JobRef) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := s.gate(); err != nil {
-			return nil, err
-		}
-		var req JobRef
-		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		if err := c.JobDone(req.JobID); err != nil {
@@ -197,15 +185,11 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		s.replicate(CmdWLAdd, domainRecord{Domain: req.Domain})
 		return nil, nil
 	})
-	s.rpc.HandleCtx("coord.heartbeat", func(ctx context.Context, raw json.RawMessage) (any, error) {
+	transport.HandleTyped(s.rpc, "coord.heartbeat", func(ctx context.Context, req *HeartbeatReq) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if err := s.gate(); err != nil {
-			return nil, err
-		}
-		var req HeartbeatReq
-		if err := json.Unmarshal(raw, &req); err != nil {
 			return nil, err
 		}
 		return nil, c.Servers.HeartbeatState(req.Addr, req.Pending, req.Shedding)
@@ -285,7 +269,7 @@ func (cl *Client) NewJob(domain, initiatorID string) (NewJobResp, error) {
 // NewJobCtx is NewJob bounded by a context.
 func (cl *Client) NewJobCtx(ctx context.Context, domain, initiatorID string) (NewJobResp, error) {
 	var resp NewJobResp
-	err := cl.rpc.CallCtx(ctx, "coord.newjob", NewJobReq{Domain: domain, InitiatorID: initiatorID}, &resp)
+	err := cl.rpc.CallCtx(ctx, "coord.newjob", &NewJobReq{Domain: domain, InitiatorID: initiatorID}, &resp)
 	return resp, err
 }
 
@@ -297,7 +281,7 @@ func (cl *Client) JobPPCs(jobID string) ([]PeerInfo, error) {
 // JobPPCsCtx is JobPPCs bounded by a context.
 func (cl *Client) JobPPCsCtx(ctx context.Context, jobID string) ([]PeerInfo, error) {
 	var ppcs []PeerInfo
-	err := cl.rpc.CallCtx(ctx, "coord.job_ppcs", JobRef{JobID: jobID}, &ppcs)
+	err := cl.rpc.CallCtx(ctx, "coord.job_ppcs", &JobRef{JobID: jobID}, &ppcs)
 	return ppcs, err
 }
 
@@ -308,7 +292,7 @@ func (cl *Client) JobDone(jobID string) error {
 
 // JobDoneCtx is JobDone bounded by a context.
 func (cl *Client) JobDoneCtx(ctx context.Context, jobID string) error {
-	return cl.rpc.CallCtx(ctx, "coord.jobdone", JobRef{JobID: jobID}, nil)
+	return cl.rpc.CallCtx(ctx, "coord.jobdone", &JobRef{JobID: jobID}, nil)
 }
 
 // RegisterPeer announces a PPC.
@@ -340,7 +324,7 @@ func (cl *Client) Heartbeat(addr string, pending int) error {
 
 // HeartbeatCtx reports liveness, pending count, and admission state.
 func (cl *Client) HeartbeatCtx(ctx context.Context, addr string, pending int, shedding bool) error {
-	return cl.rpc.CallCtx(ctx, "coord.heartbeat", HeartbeatReq{Addr: addr, Pending: pending, Shedding: shedding}, nil)
+	return cl.rpc.CallCtx(ctx, "coord.heartbeat", &HeartbeatReq{Addr: addr, Pending: pending, Shedding: shedding}, nil)
 }
 
 // DoppelgangerState redeems a bearer token for client-side state.

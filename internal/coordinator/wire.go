@@ -1,0 +1,88 @@
+package coordinator
+
+import (
+	"pricesheriff/internal/transport"
+)
+
+// Hand-written binary codecs for the coordinator's hot frames: job
+// creation (one per price check), job completion, the job-reference
+// lookup, and the per-server heartbeat stream.
+
+// Wire tags of this package (global registry; see transport.RegisterWire).
+const (
+	wireTagNewJobReq    = 13
+	wireTagNewJobResp   = 14
+	wireTagHeartbeatReq = 15
+	wireTagJobRef       = 16
+)
+
+func init() {
+	transport.RegisterWire(wireTagNewJobReq, "coord.newjob_request", func() transport.WireMessage { return new(NewJobReq) })
+	transport.RegisterWire(wireTagNewJobResp, "coord.newjob_response", func() transport.WireMessage { return new(NewJobResp) })
+	transport.RegisterWire(wireTagHeartbeatReq, "coord.heartbeat_request", func() transport.WireMessage { return new(HeartbeatReq) })
+	transport.RegisterWire(wireTagJobRef, "coord.job_ref", func() transport.WireMessage { return new(JobRef) })
+}
+
+// WireTag implements transport.WireMessage.
+func (r *NewJobReq) WireTag() uint8 { return wireTagNewJobReq }
+
+// AppendWire implements transport.WireMessage.
+func (r *NewJobReq) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, r.Domain)
+	return transport.AppendString(b, r.InitiatorID)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *NewJobReq) DecodeWire(d *transport.WireDec) error {
+	r.Domain = d.String()
+	r.InitiatorID = d.String()
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *NewJobResp) WireTag() uint8 { return wireTagNewJobResp }
+
+// AppendWire implements transport.WireMessage.
+func (r *NewJobResp) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, r.JobID)
+	return transport.AppendString(b, r.ServerAddr)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *NewJobResp) DecodeWire(d *transport.WireDec) error {
+	r.JobID = d.String()
+	r.ServerAddr = d.String()
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *HeartbeatReq) WireTag() uint8 { return wireTagHeartbeatReq }
+
+// AppendWire implements transport.WireMessage.
+func (r *HeartbeatReq) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, r.Addr)
+	b = transport.AppendVarint(b, int64(r.Pending))
+	return transport.AppendBool(b, r.Shedding)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *HeartbeatReq) DecodeWire(d *transport.WireDec) error {
+	r.Addr = d.String()
+	r.Pending = int(d.Varint())
+	r.Shedding = d.Bool()
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *JobRef) WireTag() uint8 { return wireTagJobRef }
+
+// AppendWire implements transport.WireMessage.
+func (r *JobRef) AppendWire(b []byte) []byte {
+	return transport.AppendString(b, r.JobID)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *JobRef) DecodeWire(d *transport.WireDec) error {
+	r.JobID = d.String()
+	return d.Err()
+}

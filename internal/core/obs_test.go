@@ -46,10 +46,15 @@ func TestPriceCheckTelemetry(t *testing.T) {
 			}
 		}
 	}
-	for _, want := range []string{"submit", "schedule", "await", "extract", "persist", "fanout"} {
+	for _, want := range []string{"submit", "schedule", "await", "extract", "fanout"} {
 		if spans[want] != 1 {
 			t.Errorf("span %q appears %d times, want 1 (spans: %v)", want, spans[want], spans)
 		}
+	}
+	// Persistence spans: one for the requests row, one for the batched
+	// responses flush.
+	if spans["persist"] != 2 {
+		t.Errorf("span %q appears %d times, want 2 (spans: %v)", "persist", spans["persist"], spans)
 	}
 	if vantageChildren != vantages {
 		t.Errorf("fanout vantage children = %d, want %d (one per vantage point)", vantageChildren, vantages)

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/core"
+	"pricesheriff/internal/htmlx"
+	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/shop"
+	"pricesheriff/internal/transport"
+)
+
+// RPCBench measures the request-plane frame codec: the hand-written
+// binary encoding against the length-prefixed JSON ablation for the two
+// highest-volume frames (price-check submit, vantage results), and
+// end-to-end checks/sec through a live System with the optimized hot
+// path (binary wire + parse cache + batched writes) versus the ablated
+// one. Results are printed to w and, when jsonPath is non-empty, written
+// machine-readable for regression tracking (BENCH_rpc.json).
+func RPCBench(r *Runner, w io.Writer, jsonPath string) error {
+	out := rpcBenchJSON{}
+
+	frames := []struct {
+		name string
+		msg  transport.WireMessage
+	}{
+		{"check_request", benchCheckRequest()},
+		{"results_response", benchResultsResponse()},
+	}
+	fmt.Fprintf(w, "%-18s %5s %12s %10s %10s %11s %9s\n",
+		"frame", "wire", "ns/op", "B/op", "allocs/op", "frames/s", "bytes")
+	for _, f := range frames {
+		fb := benchFrame(f.name, f.msg)
+		out.Frames = append(out.Frames, fb)
+		fmt.Fprintf(w, "%-18s %5s %12d %10d %10d %11.0f %9d\n",
+			f.name, "bin", fb.BinNsPerOp, fb.BinBytesPerOp, fb.BinAllocsPerOp, fb.BinFramesPerSec, fb.BinFrameBytes)
+		fmt.Fprintf(w, "%-18s %5s %12d %10d %10d %11.0f %9d\n",
+			f.name, "json", fb.JSONNsPerOp, fb.JSONBytesPerOp, fb.JSONAllocsPerOp, fb.JSONFramesPerSec, fb.JSONFrameBytes)
+		fmt.Fprintf(w, "%-18s %5s %10.2fx fewer allocs, %.2fx frames/s, %.2fx smaller\n",
+			"", "", fb.AllocRatio, fb.FrameRateRatio, float64(fb.JSONFrameBytes)/float64(fb.BinFrameBytes))
+	}
+
+	// End to end: real price checks through a live System, optimized hot
+	// path versus the fully ablated one (JSON wire, no parse cache,
+	// per-row store writes).
+	checks := 12
+	if r.cfg.Full {
+		checks = 60
+	}
+	optNs, err := benchSystem(r.cfg.Seed, checks, core.Config{})
+	if err != nil {
+		return err
+	}
+	ablNs, err := benchSystem(r.cfg.Seed, checks, core.Config{
+		Wire: transport.WireJSON, NoParseCache: true, UnbatchedWrites: true,
+	})
+	if err != nil {
+		return err
+	}
+	out.EndToEnd = e2eBench{
+		Checks:             checks,
+		OptimizedNs:        optNs,
+		AblatedNs:          ablNs,
+		OptimizedChecksSec: float64(checks) / (float64(optNs) / 1e9),
+		AblatedChecksSec:   float64(checks) / (float64(ablNs) / 1e9),
+		Speedup:            float64(ablNs) / float64(optNs),
+	}
+	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "end to end", "optimized", "ablated", "speedup")
+	fmt.Fprintf(w, "%-24s %12.1f/s %12.1f/s %7.2fx\n",
+		fmt.Sprintf("price checks (n=%d)", checks),
+		out.EndToEnd.OptimizedChecksSec, out.EndToEnd.AblatedChecksSec, out.EndToEnd.Speedup)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// benchFrame measures one frame type through both codecs: a full
+// encode+decode round trip per op, the unit a measurement server pays
+// per vantage answer.
+func benchFrame(name string, msg transport.WireMessage) frameBench {
+	factory := frameFactory(msg)
+
+	binFrame := msg.AppendWire(nil)
+	jsonFrame, err := json.Marshal(msg)
+	if err != nil {
+		panic(err)
+	}
+
+	bin := testing.Benchmark(func(b *testing.B) {
+		buf := make([]byte, 0, len(binFrame)+64)
+		for i := 0; i < b.N; i++ {
+			enc := msg.AppendWire(buf)
+			out := factory()
+			if err := out.DecodeWire(transport.NewWireDec(enc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	js := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			enc, err := json.Marshal(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.Unmarshal(enc, factory()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	fb := frameBench{
+		Frame:            name,
+		BinNsPerOp:       bin.NsPerOp(),
+		BinBytesPerOp:    bin.AllocedBytesPerOp(),
+		BinAllocsPerOp:   bin.AllocsPerOp(),
+		BinFrameBytes:    len(binFrame),
+		JSONNsPerOp:      js.NsPerOp(),
+		JSONBytesPerOp:   js.AllocedBytesPerOp(),
+		JSONAllocsPerOp:  js.AllocsPerOp(),
+		JSONFrameBytes:   len(jsonFrame),
+		BinFramesPerSec:  1e9 / float64(bin.NsPerOp()),
+		JSONFramesPerSec: 1e9 / float64(js.NsPerOp()),
+	}
+	fb.FrameRateRatio = fb.BinFramesPerSec / fb.JSONFramesPerSec
+	if fb.BinAllocsPerOp > 0 {
+		fb.AllocRatio = float64(fb.JSONAllocsPerOp) / float64(fb.BinAllocsPerOp)
+	}
+	return fb
+}
+
+func frameFactory(msg transport.WireMessage) func() transport.WireMessage {
+	for _, info := range transport.RegisteredWire() {
+		if info.Tag == msg.WireTag() {
+			return info.New
+		}
+	}
+	panic(fmt.Sprintf("frame tag %d not registered", msg.WireTag()))
+}
+
+// benchCheckRequest is a price-check submit frame with a product page of
+// realistic size in tow.
+func benchCheckRequest() *measurement.CheckRequest {
+	var sb strings.Builder
+	sb.WriteString(`<html><head><title>Camera Shop</title></head><body>`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&sb, `<div class="item"><span class="label">Item %d</span><span class="meta">in stock</span></div>`, i)
+	}
+	sb.WriteString(`<div class="product"><span class="label">Camera</span><span class="price">EUR 654.00</span></div></body></html>`)
+	return &measurement.CheckRequest{
+		JobID: "job-bench-1",
+		URL:   "http://digitalrev.com/product/cam-100",
+		TagsPath: htmlx.TagsPath{Steps: []htmlx.Step{
+			{Tag: "html"}, {Tag: "body"},
+			{Tag: "div", Index: 40, Class: "product"},
+			{Tag: "span", Index: 1, Class: "price"},
+		}},
+		InitiatorHTML: sb.String(),
+		InitiatorID:   "user-bench",
+		Currency:      "EUR",
+		Day:           7,
+		TraceID:       "0123456789abcdef",
+		ParentSpanID:  "89abcdef",
+	}
+}
+
+// benchResultsResponse is a vantage-result poll frame: one row per
+// vantage point of a standard fleet.
+func benchResultsResponse() *measurement.ResultsResponse {
+	resp := &measurement.ResultsResponse{Done: true}
+	resp.Rows = append(resp.Rows, measurement.ResultRow{
+		Source: "You", Kind: "initiator", PeerID: "user-bench",
+		Original: "EUR 654.00", Currency: "EUR", Amount: 654, Converted: 654,
+		Confidence: "high",
+	})
+	for i := 0; i < 6; i++ {
+		resp.Rows = append(resp.Rows, measurement.ResultRow{
+			Source: fmt.Sprintf("ipc-%02d-US", i), Kind: "ipc", PeerID: fmt.Sprintf("ipc-%d", i),
+			Country: "US", City: "Ashburn", Original: "$ 699.99", Currency: "USD",
+			Amount: 699.99, Converted: 641.5, Confidence: "high",
+		})
+	}
+	for i := 0; i < 3; i++ {
+		resp.Rows = append(resp.Rows, measurement.ResultRow{
+			Source: "peer ES", Kind: "ppc", PeerID: fmt.Sprintf("ppc-%d", i),
+			Country: "ES", City: "Madrid", Original: "EUR 639,00", Currency: "EUR",
+			Amount: 639, Converted: 639, Confidence: "medium", Mode: "transparent",
+		})
+	}
+	return resp
+}
+
+// benchSystem times n sequential price checks through a fresh System
+// built with cfg's ablation knobs.
+func benchSystem(seed int64, n int, cfg core.Config) (int64, error) {
+	mall := shop.NewMall(shop.MallConfig{Seed: seed, NumDomains: 40, NumLocationPD: 15, NumAlexa: 5})
+	cfg.Mall = mall
+	cfg.PPCTimeout = 30 * time.Second
+	cfg.Seed = seed
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer sys.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := sys.AddUser(fmt.Sprintf("rpc-user-%d", i), "ES", ""); err != nil {
+			return 0, err
+		}
+	}
+	s, _ := mall.Shop("digitalrev.com")
+	products := s.Products()
+	// One warm-up check keeps fleet bring-up out of the measurement.
+	if _, err := sys.PriceCheck("rpc-user-0", s.ProductURL(products[0].SKU)); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sku := products[i%len(products)].SKU
+		if _, err := sys.PriceCheck(fmt.Sprintf("rpc-user-%d", i%4), s.ProductURL(sku)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds(), nil
+}
+
+type rpcBenchJSON struct {
+	Frames   []frameBench `json:"frames"`
+	EndToEnd e2eBench     `json:"end_to_end"`
+}
+
+type frameBench struct {
+	Frame            string  `json:"frame"`
+	BinNsPerOp       int64   `json:"bin_ns_per_op"`
+	BinBytesPerOp    int64   `json:"bin_bytes_per_op"`
+	BinAllocsPerOp   int64   `json:"bin_allocs_per_op"`
+	BinFrameBytes    int     `json:"bin_frame_bytes"`
+	BinFramesPerSec  float64 `json:"bin_frames_per_sec"`
+	JSONNsPerOp      int64   `json:"json_ns_per_op"`
+	JSONBytesPerOp   int64   `json:"json_bytes_per_op"`
+	JSONAllocsPerOp  int64   `json:"json_allocs_per_op"`
+	JSONFrameBytes   int     `json:"json_frame_bytes"`
+	JSONFramesPerSec float64 `json:"json_frames_per_sec"`
+	FrameRateRatio   float64 `json:"frame_rate_ratio"` // bin over json
+	AllocRatio       float64 `json:"alloc_ratio"`      // json over bin
+}
+
+type e2eBench struct {
+	Checks             int     `json:"checks"`
+	OptimizedNs        int64   `json:"optimized_ns"`
+	AblatedNs          int64   `json:"ablated_ns"`
+	OptimizedChecksSec float64 `json:"optimized_checks_per_sec"`
+	AblatedChecksSec   float64 `json:"ablated_checks_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}

@@ -84,19 +84,11 @@ const (
 // Register exposes the node's protocol handlers on an RPC server
 // (normally the coordinator's own server).
 func (n *Node) Register(srv *transport.Server) {
-	srv.HandleCtx(MethodVote, func(_ context.Context, raw json.RawMessage) (any, error) {
-		var req VoteReq
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return nil, err
-		}
-		return n.handleVote(&req), nil
+	transport.HandleTyped(srv, MethodVote, func(_ context.Context, req *VoteReq) (any, error) {
+		return n.handleVote(req), nil
 	})
-	srv.HandleCtx(MethodAppend, func(_ context.Context, raw json.RawMessage) (any, error) {
-		var req AppendReq
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return nil, err
-		}
-		return n.handleAppend(&req), nil
+	transport.HandleTyped(srv, MethodAppend, func(_ context.Context, req *AppendReq) (any, error) {
+		return n.handleAppend(req), nil
 	})
 	srv.HandleCtx(MethodStatus, func(context.Context, json.RawMessage) (any, error) {
 		return n.StatusSnapshot(), nil

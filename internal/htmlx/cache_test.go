@@ -1,0 +1,113 @@
+package htmlx
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheParseReusesDoc(t *testing.T) {
+	c := NewCache(0, 0)
+	a := c.Parse("shop.example", paperExample)
+	b := c.Parse("shop.example", paperExample)
+	if a != b {
+		t.Error("second parse of an identical page must return the cached tree")
+	}
+	if s := c.Stats(); s.DocHits != 1 || s.DocMisses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+	// A different domain serving the same bytes is a different key: store
+	// templates are cached per store.
+	d := c.Parse("other.example", paperExample)
+	if d == a {
+		t.Error("distinct domains must not share cache entries")
+	}
+}
+
+func TestCacheTierHintLearning(t *testing.T) {
+	c := NewCache(0, 0)
+	orig := Parse(`<html><body><div class="product"><span class="price">EUR654</span></div></body></html>`)
+	path, err := BuildTagsPath(orig.FindByClass("price")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A restructured page resolves only on the fingerprint tier; the first
+	// Locate learns that, the second skips straight to it.
+	moved := Parse(`<html><body><table><tr><td><span class="price">ILS2,963</span></td></tr></table></body></html>`)
+	n, err := c.Locate("shop.example", path, moved)
+	if err != nil || n.InnerText() != "ILS2,963" {
+		t.Fatalf("first locate: %v / %v", n, err)
+	}
+	if s := c.Stats(); s.TierHits != 0 || s.TierMisses != 1 {
+		t.Fatalf("after first locate stats = %+v, want 0 hits / 1 miss", s)
+	}
+	if _, err := c.Locate("shop.example", path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.TierHits != 1 || s.TierMisses != 1 {
+		t.Errorf("after second locate stats = %+v, want 1 hit / 1 miss", s)
+	}
+
+	// Even on a page where the exact walk would also succeed, the hinted
+	// fingerprint tier still resolves — the memo stays valid and the
+	// lookup stays a hit.
+	if n, err := c.Locate("shop.example", path, orig); err != nil || n.InnerText() != "EUR654" {
+		t.Fatalf("locate on original page: %v / %v", n, err)
+	}
+	if s := c.Stats(); s.TierHits != 2 || s.TierMisses != 1 {
+		t.Errorf("after original-page locate stats = %+v, want 2 hits / 1 miss", s)
+	}
+}
+
+func TestCacheLocateNotFound(t *testing.T) {
+	c := NewCache(0, 0)
+	orig := Parse(`<html><body><span class="price">$1</span></body></html>`)
+	path, _ := BuildTagsPath(orig.FindByClass("price")[0])
+	other := Parse(`<html><body><p>nothing here</p></body></html>`)
+	if _, err := c.Locate("shop.example", path, other); err != ErrNotLocated {
+		t.Errorf("want ErrNotLocated, got %v", err)
+	}
+}
+
+func TestCacheDocLRUEviction(t *testing.T) {
+	c := NewCache(2, 0)
+	pages := make([]string, 3)
+	for i := range pages {
+		pages[i] = fmt.Sprintf(`<html><body><span class="price">$%d</span></body></html>`, i)
+	}
+	first := c.Parse("shop.example", pages[0])
+	c.Parse("shop.example", pages[1])
+	c.Parse("shop.example", pages[2]) // evicts pages[0]
+	if again := c.Parse("shop.example", pages[0]); again == first {
+		t.Error("evicted page must be re-parsed, not served from cache")
+	}
+	if s := c.Stats(); s.DocMisses != 4 {
+		t.Errorf("doc misses = %d, want 4 (three distinct pages + one eviction refill)", s.DocMisses)
+	}
+	// pages[2] and the refilled pages[0] are resident; pages[1] was evicted
+	// by the refill.
+	if c.Parse("shop.example", pages[2]) == nil {
+		t.Error("resident page must still be served")
+	}
+	if s := c.Stats(); s.DocHits != 1 {
+		t.Errorf("doc hits = %d, want 1", s.DocHits)
+	}
+}
+
+func TestNilCacheDegradesGracefully(t *testing.T) {
+	var c *Cache
+	doc := c.Parse("shop.example", paperExample)
+	if doc == nil {
+		t.Fatal("nil cache must still parse")
+	}
+	path, err := BuildTagsPath(doc.FindByClass("price")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Locate("shop.example", path, doc)
+	if err != nil || n == nil {
+		t.Fatalf("nil cache locate: %v / %v", n, err)
+	}
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", s)
+	}
+}

@@ -70,23 +70,61 @@ func BuildTagsPath(target *Node) (TagsPath, error) {
 //  3. fingerprint scan: any element in the document whose tag, class and id
 //     equal the final step's.
 func (p TagsPath) Locate(doc *Node) (*Node, error) {
-	if len(p.Steps) == 0 {
+	n, _ := p.LocateTiered(doc, -1)
+	if n == nil {
 		return nil, ErrNotLocated
 	}
-	if n := p.walk(doc, true); n != nil {
-		return n, nil
+	return n, nil
+}
+
+// Tier numbers of the Locate resolution strategy, exported so callers can
+// cache which tier resolved a (domain, path) pair and try it first on the
+// next page from the same template.
+const (
+	TierExact       = 0 // exact walk
+	TierRelaxed     = 1 // class-anchored walk
+	TierFingerprint = 2 // whole-document fingerprint scan
+	NumTiers        = 3
+)
+
+// LocateTiered resolves the path, trying hint's tier first when hint is a
+// valid tier number, then the remaining tiers in ascending order. It
+// returns the element and the tier that found it (-1 when not located).
+func (p TagsPath) LocateTiered(doc *Node, hint int) (*Node, int) {
+	if len(p.Steps) == 0 {
+		return nil, -1
 	}
-	if n := p.walk(doc, false); n != nil {
-		return n, nil
+	if hint >= 0 && hint < NumTiers {
+		if n := p.locateTier(doc, hint); n != nil {
+			return n, hint
+		}
 	}
-	last := p.Steps[len(p.Steps)-1]
-	found := doc.Find(func(d *Node) bool {
-		return d.Tag == last.Tag && d.Class() == last.Class && d.ID() == last.ID
-	})
-	if found != nil {
-		return found, nil
+	for tier := 0; tier < NumTiers; tier++ {
+		if tier == hint {
+			continue
+		}
+		if n := p.locateTier(doc, tier); n != nil {
+			return n, tier
+		}
 	}
-	return nil, ErrNotLocated
+	return nil, -1
+}
+
+// locateTier runs exactly one resolution tier.
+func (p TagsPath) locateTier(doc *Node, tier int) *Node {
+	switch tier {
+	case TierExact:
+		return p.walk(doc, true)
+	case TierRelaxed:
+		return p.walk(doc, false)
+	case TierFingerprint:
+		last := p.Steps[len(p.Steps)-1]
+		return doc.Find(func(d *Node) bool {
+			return d.Tag == last.Tag && d.Class() == last.Class && d.ID() == last.ID
+		})
+	default:
+		return nil
+	}
 }
 
 func (p TagsPath) walk(doc *Node, exact bool) *Node {

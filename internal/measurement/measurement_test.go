@@ -334,7 +334,7 @@ func TestExtractRowLowConfidence(t *testing.T) {
 	html := `<html><body><span class="price">$699</span></body></html>`
 	doc := htmlx.Parse(html)
 	path, _ := htmlx.BuildTagsPath(doc.FindByClass("price")[0])
-	row := srv.extractRow(&CheckRequest{Currency: "EUR", TagsPath: path}, html, ResultRow{Source: "x"})
+	row := srv.extractRow(&CheckRequest{Currency: "EUR", TagsPath: path}, "shop.example", html, ResultRow{Source: "x"})
 	if row.Confidence != "low" {
 		t.Errorf("confidence = %s (ambiguous $)", row.Confidence)
 	}
@@ -352,13 +352,13 @@ func TestExtractRowFailures(t *testing.T) {
 	path, _ := htmlx.BuildTagsPath(goodDoc.FindByClass("price")[0])
 	// Page without the node.
 	row := srv.extractRow(&CheckRequest{Currency: "EUR", TagsPath: path},
-		`<html><body><p>gone</p></body></html>`, ResultRow{})
+		"shop.example", `<html><body><p>gone</p></body></html>`, ResultRow{})
 	if row.Err == "" {
 		t.Error("missing node must set Err")
 	}
 	// Node with no digits.
 	row = srv.extractRow(&CheckRequest{Currency: "EUR", TagsPath: path},
-		`<html><body><span class="price">sold out</span></body></html>`, ResultRow{})
+		"shop.example", `<html><body><span class="price">sold out</span></body></html>`, ResultRow{})
 	if row.Err == "" {
 		t.Error("non-price text must set Err")
 	}
@@ -392,7 +392,31 @@ func BenchmarkExtractRow(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		row := srv.extractRow(req, html, ResultRow{})
+		row := srv.extractRow(req, "chegg.com", html, ResultRow{})
+		if row.Err != "" {
+			b.Fatal(row.Err)
+		}
+	}
+}
+
+// BenchmarkExtractRowCached is BenchmarkExtractRow with the parse cache
+// attached: repeated extraction over a shop template hits the DOM LRU and
+// the tier memo instead of re-parsing.
+func BenchmarkExtractRowCached(b *testing.B) {
+	m := shop.NewMall(shop.MallConfig{Seed: 7, NumDomains: 20, NumLocationPD: 5, NumAlexa: 5})
+	s, _ := m.Shop("chegg.com")
+	url := s.ProductURL(s.Products()[0].SKU)
+	ip, _ := m.World.RandomIP(rand.New(rand.NewSource(2)), "ES", "")
+	html := m.Fetch(&shop.FetchRequest{URL: url, IP: ip.String(), Nonce: 1}).HTML
+	doc := htmlx.Parse(html)
+	path, _ := htmlx.BuildTagsPath(doc.FindByClass("product")[0].FindByClass("price")[0])
+	srv := New("ms", nil)
+	srv.Cache = htmlx.NewCache(0, 0)
+	req := &CheckRequest{Currency: "EUR", TagsPath: path}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := srv.extractRow(req, "chegg.com", html, ResultRow{})
 		if row.Err != "" {
 			b.Fatal(row.Err)
 		}

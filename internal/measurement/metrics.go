@@ -24,6 +24,12 @@ type Metrics struct {
 	retryAborts      map[string]*obs.Counter
 	lateRows         *obs.Counter
 	checksEvicted    *obs.Counter
+	batchedRows      *obs.Counter
+	batchFlushes     *obs.Counter
+	docCacheHits     *obs.Counter
+	docCacheMisses   *obs.Counter
+	tierCacheHits    *obs.Counter
+	tierCacheMisses  *obs.Counter
 	pending          *obs.Gauge
 	checkSeconds     *obs.Histogram
 	fanoutIPC        *obs.Histogram
@@ -50,12 +56,18 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"caller_cancel": reg.Counter("sheriff_measurement_retry_aborts_total", "cause", "caller_cancel"),
 			"overload":      reg.Counter("sheriff_measurement_retry_aborts_total", "cause", "overload"),
 		},
-		lateRows:      reg.Counter("sheriff_measurement_late_rows_total"),
-		checksEvicted: reg.Counter("sheriff_measurement_checks_evicted_total"),
-		pending:       reg.Gauge("sheriff_measurement_pending_checks"),
-		checkSeconds:  reg.Histogram("sheriff_measurement_check_seconds"),
-		fanoutIPC:     reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ipc"),
-		fanoutPPC:     reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ppc"),
+		lateRows:        reg.Counter("sheriff_measurement_late_rows_total"),
+		checksEvicted:   reg.Counter("sheriff_measurement_checks_evicted_total"),
+		batchedRows:     reg.Counter("sheriff_measurement_batched_rows_total"),
+		batchFlushes:    reg.Counter("sheriff_measurement_batch_flushes_total"),
+		docCacheHits:    reg.Counter("sheriff_measurement_parse_cache_total", "cache", "doc", "result", "hit"),
+		docCacheMisses:  reg.Counter("sheriff_measurement_parse_cache_total", "cache", "doc", "result", "miss"),
+		tierCacheHits:   reg.Counter("sheriff_measurement_parse_cache_total", "cache", "tier", "result", "hit"),
+		tierCacheMisses: reg.Counter("sheriff_measurement_parse_cache_total", "cache", "tier", "result", "miss"),
+		pending:         reg.Gauge("sheriff_measurement_pending_checks"),
+		checkSeconds:    reg.Histogram("sheriff_measurement_check_seconds"),
+		fanoutIPC:       reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ipc"),
+		fanoutPPC:       reg.Histogram("sheriff_measurement_fanout_seconds", "kind", "ppc"),
 	}
 }
 
@@ -155,4 +167,25 @@ func (m *Metrics) checkEvicted() {
 		return
 	}
 	m.checksEvicted.Inc()
+}
+
+// batchFlushed records one batched responses write of n rows.
+func (m *Metrics) batchFlushed(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.batchFlushes.Inc()
+	m.batchedRows.Add(int64(n))
+}
+
+// cacheDelta publishes the parse-cache counters moved by one check; the
+// arguments are the counter increments since the previous publish.
+func (m *Metrics) cacheDelta(docHits, docMisses, tierHits, tierMisses uint64) {
+	if m == nil {
+		return
+	}
+	m.docCacheHits.Add(int64(docHits))
+	m.docCacheMisses.Add(int64(docMisses))
+	m.tierCacheHits.Add(int64(tierHits))
+	m.tierCacheMisses.Add(int64(tierMisses))
 }

@@ -130,10 +130,18 @@ type Server struct {
 	// admit.ErrOverload before any work starts (nil disables admission
 	// control). Share one controller per server.
 	Admit *admit.Controller
+	// Cache memoizes parsed DOMs and Tags-Path resolution tiers across
+	// checks of the same shop template (nil disables; share one per
+	// server pool). See htmlx.NewCache.
+	Cache *htmlx.Cache
+	// UnbatchedWrites restores the one-insert-per-vantage recording path
+	// — the ablation knob for the batched-writes optimization.
+	UnbatchedWrites bool
 
-	mu     sync.Mutex
-	checks map[string]*checkState
-	rpc    *transport.Server
+	mu         sync.Mutex
+	checks     map[string]*checkState
+	cacheStats htmlx.CacheStats // counters already published to Metrics
+	rpc        *transport.Server
 }
 
 type checkState struct {
@@ -417,7 +425,7 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 
 	// The initiator's own copy anchors the result page and DiffStorage.
 	ext := tr.Span("extract", "source", "initiator")
-	initRow := s.extractRow(req, req.InitiatorHTML, ResultRow{
+	initRow := s.extractRow(req, domain, req.InitiatorHTML, ResultRow{
 		Source: "You", Kind: "initiator", PeerID: req.InitiatorID,
 	})
 	if initRow.Err != "" {
@@ -435,6 +443,15 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 			"origin": req.Origin,
 		})
 		per.End()
+	}
+
+	// Batched recording: vantage rows accumulate here and land in the
+	// store as one insert_batch round trip before the job reports done.
+	// The UnbatchedWrites ablation (and stragglers racing the flush) fall
+	// back to the old one-insert-per-vantage path.
+	var batch *respBatch
+	if s.DB != nil && !s.UnbatchedWrites {
+		batch = &respBatch{}
 	}
 
 	// Time budgets: the whole check is bounded by the deadline (after
@@ -482,9 +499,9 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 				sp.End()
 				return
 			}
-			row := s.extractRow(req, resp.HTML, base)
+			row := s.extractRow(req, domain, resp.HTML, base)
 			s.addRow(req.JobID, row)
-			s.record(obs.WithSpan(context.Background(), sp), req, reqRowID, row, resp.HTML)
+			s.record(obs.WithSpan(context.Background(), sp), batch, req, domain, reqRowID, row, resp.HTML)
 			sp.End()
 		}(ipc)
 	}
@@ -522,9 +539,9 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 						return
 					}
 					base.Mode = resp.Mode
-					row := s.extractRow(req, resp.HTML, base)
+					row := s.extractRow(req, domain, resp.HTML, base)
 					s.addRow(req.JobID, row)
-					s.record(obs.WithSpan(context.Background(), sp), req, reqRowID, row, resp.HTML)
+					s.record(obs.WithSpan(context.Background(), sp), batch, req, domain, reqRowID, row, resp.HTML)
 					sp.End()
 				}(p)
 			}
@@ -550,7 +567,9 @@ func (s *Server) process(ctx context.Context, req *CheckRequest, release func())
 		s.Log.Warn(ctx, "check partial", "job", req.JobID, "cause", causeLabel(ctx))
 	}
 	fanout.End()
+	s.flushBatch(batch, tr)
 	s.markDone(req.JobID)
+	s.publishCacheStats()
 	s.Metrics.checkCompleted(start, tr.ID())
 	s.Log.Info(ctx, "check completed", "job", req.JobID,
 		"elapsed_ms", time.Since(start).Milliseconds())
@@ -649,10 +668,12 @@ func awaitFetch[T any](ctx context.Context, fetch func(context.Context) (T, erro
 }
 
 // extractRow locates the price in a page copy via the Tags Path, detects
-// the currency, and converts to the requested one.
-func (s *Server) extractRow(req *CheckRequest, html string, base ResultRow) ResultRow {
-	doc := htmlx.Parse(html)
-	node, err := req.TagsPath.Locate(doc)
+// the currency, and converts to the requested one. With a Cache attached,
+// byte-identical pages of the same domain reuse one parsed DOM and the
+// path resolves on the tier that worked for the domain last time.
+func (s *Server) extractRow(req *CheckRequest, domain, html string, base ResultRow) ResultRow {
+	doc := s.Cache.Parse(domain, html)
+	node, err := s.Cache.Locate(domain, req.TagsPath, doc)
 	if err != nil {
 		s.Metrics.extractFailure()
 		base.Err = err.Error()
@@ -679,20 +700,52 @@ func (s *Server) extractRow(req *CheckRequest, html string, base ResultRow) Resu
 	return base
 }
 
+// respBatch accumulates the response rows of one check for a single
+// batched insert. Once taken (flushed), add refuses further rows so a
+// straggler racing the flush falls back to a direct insert.
+type respBatch struct {
+	mu     sync.Mutex
+	rows   []store.Row
+	closed bool
+}
+
+// add queues a row; false means the batch already flushed.
+func (b *respBatch) add(r store.Row) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.rows = append(b.rows, r)
+	return true
+}
+
+// take closes the batch and returns the queued rows.
+func (b *respBatch) take() []store.Row {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	rows := b.rows
+	b.rows = nil
+	return rows
+}
+
 // record persists one proxy response: metadata plus the page as a diff
-// against the initiator copy (DiffStorage). ctx carries the vantage span
-// for tracing only — recording stays unbounded so a row gathered in time
-// is never lost to a dying vantage budget.
-func (s *Server) record(ctx context.Context, req *CheckRequest, reqRowID int64, row ResultRow, html string) {
+// against the initiator copy (DiffStorage). With a live batch the row is
+// queued for the check's single insert_batch; otherwise (ablation, or a
+// straggler racing the flush) it is inserted directly. ctx carries the
+// vantage span for tracing only — recording stays unbounded so a row
+// gathered in time is never lost to a dying vantage budget.
+func (s *Server) record(ctx context.Context, batch *respBatch, req *CheckRequest, domain string, reqRowID int64, row ResultRow, html string) {
 	if s.DB == nil {
 		return
 	}
 	script := Diff(req.InitiatorHTML, html)
 	blob, _ := json.Marshal(script)
-	s.DB.InsertCtx(ctx, "responses", store.Row{
+	r := store.Row{
 		"job_id":     req.JobID,
 		"request_id": reqRowID,
-		"domain":     domainOf(req.URL),
+		"domain":     domain,
 		"source":     row.Source,
 		"kind":       row.Kind,
 		"peer_id":    row.PeerID,
@@ -706,7 +759,53 @@ func (s *Server) record(ctx context.Context, req *CheckRequest, reqRowID int64, 
 		"mode":       row.Mode,
 		"err":        row.Err,
 		"html_diff":  string(blob),
-	})
+	}
+	if batch != nil && batch.add(r) {
+		return
+	}
+	s.DB.InsertCtx(ctx, "responses", r)
+}
+
+// flushBatch writes the check's queued response rows in one batched
+// insert before the job reports done. A failed batch degrades to per-row
+// inserts so a transient transport error costs round trips, not data.
+func (s *Server) flushBatch(batch *respBatch, tr *obs.Trace) {
+	if batch == nil {
+		return
+	}
+	rows := batch.take()
+	if len(rows) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	per := tr.Span("persist", "table", "responses")
+	per.Annotate("rows", fmt.Sprint(len(rows)))
+	defer per.End()
+	if _, err := s.DB.InsertBatchCtx(obs.WithSpan(ctx, per), "responses", rows); err == nil {
+		s.Metrics.batchFlushed(len(rows))
+		return
+	}
+	for _, r := range rows {
+		s.DB.InsertCtx(obs.WithSpan(ctx, per), "responses", r)
+	}
+}
+
+// publishCacheStats moves the parse cache's cumulative counters into the
+// metric registry; serialized under s.mu so deltas never go negative.
+func (s *Server) publishCacheStats() {
+	if s.Cache == nil || s.Metrics == nil {
+		return
+	}
+	now := s.Cache.Stats()
+	s.mu.Lock()
+	prev := s.cacheStats
+	s.cacheStats = now
+	s.mu.Unlock()
+	s.Metrics.cacheDelta(
+		now.DocHits-prev.DocHits, now.DocMisses-prev.DocMisses,
+		now.TierHits-prev.TierHits, now.TierMisses-prev.TierMisses,
+	)
 }
 
 // domainOf extracts the canonical host from a product URL: scheme,
@@ -755,28 +854,20 @@ func NewRPCServer(s *Server, lis transport.Listener) *RPCServer {
 	s.OwnAddr = lis.Addr()
 	r := &RPCServer{S: s, rpc: transport.NewServer(lis)}
 	r.rpc.SetProc("measurement")
-	r.rpc.HandleCtx("ms.check", func(ctx context.Context, raw json.RawMessage) (any, error) {
-		var req CheckRequest
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return nil, err
-		}
-		return nil, s.StartCheckCtx(ctx, &req)
+	transport.HandleTyped(r.rpc, "ms.check", func(ctx context.Context, req *CheckRequest) (any, error) {
+		return nil, s.StartCheckCtx(ctx, req)
 	})
-	r.rpc.HandleCtx("ms.results", func(ctx context.Context, raw json.RawMessage) (any, error) {
+	transport.HandleTyped(r.rpc, "ms.results", func(ctx context.Context, req *resultsReq) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var req resultsReq
-		if err := json.Unmarshal(raw, &req); err != nil {
+		resp, err := s.Results(req.JobID, req.Since)
+		if err != nil {
 			return nil, err
 		}
-		return s.Results(req.JobID, req.Since)
+		return &resp, nil
 	})
-	r.rpc.HandleCtx("ms.cancel", func(ctx context.Context, raw json.RawMessage) (any, error) {
-		var req resultsReq
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return nil, err
-		}
+	transport.HandleTyped(r.rpc, "ms.cancel", func(ctx context.Context, req *resultsReq) (any, error) {
 		return nil, s.CancelCheck(req.JobID)
 	})
 	return r
@@ -851,14 +942,14 @@ func (c *Client) Results(jobID string, since int) (ResultsResponse, error) {
 // ResultsCtx is Results under a context.
 func (c *Client) ResultsCtx(ctx context.Context, jobID string, since int) (ResultsResponse, error) {
 	var resp ResultsResponse
-	err := c.rpc.CallCtx(ctx, "ms.results", resultsReq{JobID: jobID, Since: since}, &resp)
+	err := c.rpc.CallCtx(ctx, "ms.results", &resultsReq{JobID: jobID, Since: since}, &resp)
 	return resp, err
 }
 
 // Cancel aborts a running check server-side; the job completes with the
 // rows gathered so far.
 func (c *Client) Cancel(ctx context.Context, jobID string) error {
-	return c.rpc.CallCtx(ctx, "ms.cancel", resultsReq{JobID: jobID}, nil)
+	return c.rpc.CallCtx(ctx, "ms.cancel", &resultsReq{JobID: jobID}, nil)
 }
 
 // WaitResults polls until the job finishes or timeout elapses.

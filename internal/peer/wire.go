@@ -1,0 +1,139 @@
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pricesheriff/internal/obs"
+	"pricesheriff/internal/transport"
+)
+
+// wireTagMsg is the relay envelope's tag in the global codec registry.
+// Every page fetched through a PPC crosses the broker twice (request and
+// response), so the relay envelope is firmly on the hot path.
+const wireTagMsg = 12
+
+func init() {
+	transport.RegisterWire(wireTagMsg, "peer.msg", func() transport.WireMessage { return new(Msg) })
+}
+
+// Msg field presence bits. Kind is always present.
+const (
+	msgHasFrom = 1 << iota
+	msgHasTo
+	msgHasReqID
+	msgHasErr
+	msgHasPayload
+	msgHasTraceID
+	msgHasSpanID
+	msgSampled
+	msgHasSpans
+)
+
+// WireTag implements transport.WireMessage.
+func (m *Msg) WireTag() uint8 { return wireTagMsg }
+
+// AppendWire implements transport.WireMessage. Spans ride as a JSON
+// sub-blob: they only appear on page_resp frames and never dominate the
+// payload, so a hand-rolled codec would buy little.
+func (m *Msg) AppendWire(b []byte) []byte {
+	var flags uint64
+	if m.From != "" {
+		flags |= msgHasFrom
+	}
+	if m.To != "" {
+		flags |= msgHasTo
+	}
+	if m.ReqID != 0 {
+		flags |= msgHasReqID
+	}
+	if m.Err != "" {
+		flags |= msgHasErr
+	}
+	if len(m.Payload) > 0 {
+		flags |= msgHasPayload
+	}
+	if m.TraceID != "" {
+		flags |= msgHasTraceID
+	}
+	if m.SpanID != "" {
+		flags |= msgHasSpanID
+	}
+	if m.Sampled {
+		flags |= msgSampled
+	}
+	if len(m.Spans) > 0 {
+		flags |= msgHasSpans
+	}
+	b = transport.AppendUvarint(b, flags)
+	b = transport.AppendString(b, m.Kind)
+	if flags&msgHasFrom != 0 {
+		b = transport.AppendString(b, m.From)
+	}
+	if flags&msgHasTo != 0 {
+		b = transport.AppendString(b, m.To)
+	}
+	if flags&msgHasReqID != 0 {
+		b = transport.AppendUvarint(b, m.ReqID)
+	}
+	if flags&msgHasErr != 0 {
+		b = transport.AppendString(b, m.Err)
+	}
+	if flags&msgHasPayload != 0 {
+		b = transport.AppendBytes(b, m.Payload)
+	}
+	if flags&msgHasTraceID != 0 {
+		b = transport.AppendString(b, m.TraceID)
+	}
+	if flags&msgHasSpanID != 0 {
+		b = transport.AppendString(b, m.SpanID)
+	}
+	if flags&msgHasSpans != 0 {
+		blob, err := json.Marshal(m.Spans)
+		if err != nil {
+			blob = []byte("null")
+		}
+		b = transport.AppendBytes(b, blob)
+	}
+	return b
+}
+
+// DecodeWire implements transport.WireMessage.
+func (m *Msg) DecodeWire(d *transport.WireDec) error {
+	flags := d.Uvarint()
+	m.Kind = d.String()
+	if flags&msgHasFrom != 0 {
+		m.From = d.String()
+	}
+	if flags&msgHasTo != 0 {
+		m.To = d.String()
+	}
+	if flags&msgHasReqID != 0 {
+		m.ReqID = d.Uvarint()
+	}
+	if flags&msgHasErr != 0 {
+		m.Err = d.String()
+	}
+	if flags&msgHasPayload != 0 {
+		m.Payload = d.Bytes()
+	}
+	if flags&msgHasTraceID != 0 {
+		m.TraceID = d.String()
+	}
+	if flags&msgHasSpanID != 0 {
+		m.SpanID = d.String()
+	}
+	m.Sampled = flags&msgSampled != 0
+	if flags&msgHasSpans != 0 {
+		blob := d.Bytes()
+		if d.Err() == nil && len(blob) > 0 {
+			var spans []obs.WireSpan
+			if err := json.Unmarshal(blob, &spans); err != nil {
+				d.Fail(fmt.Errorf("peer: msg spans blob: %w", err))
+			} else {
+				m.Spans = spans
+			}
+		}
+	}
+	return d.Err()
+}

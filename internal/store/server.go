@@ -41,6 +41,24 @@ func (s *Server) handle(method string, h func(json.RawMessage) (any, error)) {
 	})
 }
 
+// handleWired registers a typed handler (binary fast path + JSON
+// fallback) wrapped with the same per-method metrics as handle.
+func handleWired[Req any](s *Server, method string, h func(req *Req) (any, error)) {
+	transport.HandleTyped(s.rpc, "store."+method, func(ctx context.Context, req *Req) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		out, err := h(req)
+		rows := 0
+		if rs, ok := out.([]Row); ok {
+			rows = len(rs)
+		}
+		s.Metrics.observe(method, t0, rows, err)
+		return out, err
+	})
+}
+
 // Request/response shapes of the wire protocol.
 type (
 	insertReq struct {
@@ -49,6 +67,13 @@ type (
 	}
 	insertResp struct {
 		ID int64 `json:"id"`
+	}
+	insertBatchReq struct {
+		Table string `json:"table"`
+		Rows  []Row  `json:"rows"`
+	}
+	insertBatchResp struct {
+		IDs []int64 `json:"ids"`
 	}
 	getReq struct {
 		Table string `json:"table"`
@@ -80,16 +105,19 @@ func NewServer(db *DB, lis transport.Listener) *Server {
 		}
 		return nil, db.CreateTable(spec)
 	})
-	s.handle("insert", func(raw json.RawMessage) (any, error) {
-		var req insertReq
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return nil, err
-		}
+	handleWired(s, "insert", func(req *insertReq) (any, error) {
 		id, err := db.Insert(req.Table, req.Row)
 		if err != nil {
 			return nil, err
 		}
-		return insertResp{ID: id}, nil
+		return &insertResp{ID: id}, nil
+	})
+	handleWired(s, "insert_batch", func(req *insertBatchReq) (any, error) {
+		ids, err := db.InsertBatch(req.Table, req.Rows)
+		if err != nil {
+			return nil, err
+		}
+		return &insertBatchResp{IDs: ids}, nil
 	})
 	s.handle("get", func(raw json.RawMessage) (any, error) {
 		var req getReq
@@ -185,10 +213,28 @@ func (c *Client) Insert(table string, row Row) (int64, error) {
 // InsertCtx is Insert bounded by a context.
 func (c *Client) InsertCtx(ctx context.Context, table string, row Row) (int64, error) {
 	var resp insertResp
-	if err := c.pool.CallCtx(ctx, "store.insert", insertReq{Table: table, Row: row}, &resp); err != nil {
+	if err := c.pool.CallCtx(ctx, "store.insert", &insertReq{Table: table, Row: row}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.ID, nil
+}
+
+// InsertBatch mirrors DB.InsertBatch.
+func (c *Client) InsertBatch(table string, rows []Row) ([]int64, error) {
+	return c.InsertBatchCtx(context.Background(), table, rows)
+}
+
+// InsertBatchCtx inserts rows as one all-or-nothing batch over a single
+// round trip, returning the assigned IDs in order.
+func (c *Client) InsertBatchCtx(ctx context.Context, table string, rows []Row) ([]int64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	var resp insertBatchResp
+	if err := c.pool.CallCtx(ctx, "store.insert_batch", &insertBatchReq{Table: table, Rows: rows}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
 }
 
 // Get mirrors DB.Get.

@@ -251,6 +251,69 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 	return id, nil
 }
 
+// InsertBatch adds rows to one table under a single write lock and
+// returns their IDs in order — the per-check write path, where one frame
+// carries every vantage row instead of paying a lock acquisition and a
+// commit-hook stall per row. The batch is all-or-nothing: unique
+// violations, against the table or within the batch itself, are detected
+// before any row is applied. Each applied row still reports its own
+// commit Op, so the WAL stream is indistinguishable from row-at-a-time
+// inserts and replay needs no new op kind.
+func (db *DB) InsertBatch(tableName string, rows []Row) ([]int64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	norm := make([]Row, len(rows))
+	for i, row := range rows {
+		norm[i] = normalize(row)
+	}
+	for col, idx := range t.unique {
+		var seen map[string]bool
+		for _, r := range norm {
+			v, ok := r[col]
+			if !ok {
+				continue
+			}
+			key := canon(v)
+			if _, dup := idx[key]; dup || seen[key] {
+				return nil, fmt.Errorf("%w: %s=%v", ErrDupUnique, col, v)
+			}
+			if seen == nil {
+				seen = make(map[string]bool)
+			}
+			seen[key] = true
+		}
+	}
+	ids := make([]int64, len(norm))
+	for i, r := range norm {
+		id := t.nextID
+		t.nextID++
+		r[ID] = float64(id)
+		t.rows[id] = r
+		t.order = append(t.order, id)
+		for col, idx := range t.indexes {
+			if v, ok := r[col]; ok {
+				key := canon(v)
+				idx[key] = append(idx[key], id)
+			}
+		}
+		for col, idx := range t.unique {
+			if v, ok := r[col]; ok {
+				idx[canon(v)] = id
+			}
+		}
+		ids[i] = id
+		db.commit(Op{Kind: OpInsert, Table: tableName, ID: id, Row: copyRow(r)})
+	}
+	return ids, nil
+}
+
 // InsertWithID adds a row under an explicit ID — the WAL-replay path,
 // where preserving original IDs keeps cross-table references intact. A
 // row already stored under the ID is replaced (replay is idempotent); a

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pricesheriff/internal/transport"
+)
+
+// Hand-written binary codecs for the store's hot frames: single-row and
+// batched inserts plus their responses. Row values are the JSON-surviving
+// scalar set (string/float64/bool/nil); anything else rides as a JSON
+// sub-blob, mirroring what the legacy encoding would have produced.
+
+// Wire tags of this package (global registry; see transport.RegisterWire).
+const (
+	wireTagInsertReq       = 4
+	wireTagInsertResp      = 5
+	wireTagInsertBatchReq  = 6
+	wireTagInsertBatchResp = 7
+)
+
+func init() {
+	transport.RegisterWire(wireTagInsertReq, "store.insert_request", func() transport.WireMessage { return new(insertReq) })
+	transport.RegisterWire(wireTagInsertResp, "store.insert_response", func() transport.WireMessage { return new(insertResp) })
+	transport.RegisterWire(wireTagInsertBatchReq, "store.insert_batch_request", func() transport.WireMessage { return new(insertBatchReq) })
+	transport.RegisterWire(wireTagInsertBatchResp, "store.insert_batch_response", func() transport.WireMessage { return new(insertBatchResp) })
+}
+
+// Row value type markers.
+const (
+	valNil    = 0
+	valString = 1
+	valFloat  = 2
+	valBool   = 3
+	valJSON   = 4 // anything outside the scalar set, as a JSON blob
+)
+
+// appendValue appends one row value. Integer widths collapse to float64,
+// exactly as a JSON round trip would.
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, valNil)
+	case string:
+		b = append(b, valString)
+		return transport.AppendString(b, x)
+	case float64:
+		b = append(b, valFloat)
+		return transport.AppendFloat(b, x)
+	case int:
+		b = append(b, valFloat)
+		return transport.AppendFloat(b, float64(x))
+	case int64:
+		b = append(b, valFloat)
+		return transport.AppendFloat(b, float64(x))
+	case float32:
+		b = append(b, valFloat)
+		return transport.AppendFloat(b, float64(x))
+	case bool:
+		b = append(b, valBool)
+		return transport.AppendBool(b, x)
+	default:
+		blob, err := json.Marshal(x)
+		if err != nil {
+			blob = []byte("null")
+		}
+		b = append(b, valJSON)
+		return transport.AppendBytes(b, blob)
+	}
+}
+
+func decodeValue(d *transport.WireDec) any {
+	switch t := d.Byte(); t {
+	case valNil:
+		return nil
+	case valString:
+		return d.String()
+	case valFloat:
+		return d.Float()
+	case valBool:
+		return d.Bool()
+	case valJSON:
+		blob := d.Bytes()
+		if d.Err() != nil {
+			return nil
+		}
+		var v any
+		if err := json.Unmarshal(blob, &v); err != nil {
+			d.Fail(fmt.Errorf("store: row value blob: %w", err))
+			return nil
+		}
+		return v
+	default:
+		d.Fail(fmt.Errorf("store: unknown row value type %d", t))
+		return nil
+	}
+}
+
+// appendRow appends a Row with a presence byte, so a nil map survives the
+// round trip the same way JSON's null does.
+func appendRow(b []byte, r Row) []byte {
+	if r == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = transport.AppendUvarint(b, uint64(len(r)))
+	for k, v := range r {
+		b = transport.AppendString(b, k)
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func decodeRow(d *transport.WireDec) Row {
+	if d.Byte() == 0 {
+		return nil
+	}
+	n := d.ElemLen(2) // a row entry is ≥ 2 bytes (key length + type marker)
+	r := make(Row, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		v := decodeValue(d)
+		if d.Err() != nil {
+			return nil
+		}
+		r[k] = v
+	}
+	return r
+}
+
+// WireTag implements transport.WireMessage.
+func (r *insertReq) WireTag() uint8 { return wireTagInsertReq }
+
+// AppendWire implements transport.WireMessage.
+func (r *insertReq) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, r.Table)
+	return appendRow(b, r.Row)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *insertReq) DecodeWire(d *transport.WireDec) error {
+	r.Table = d.String()
+	r.Row = decodeRow(d)
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *insertResp) WireTag() uint8 { return wireTagInsertResp }
+
+// AppendWire implements transport.WireMessage.
+func (r *insertResp) AppendWire(b []byte) []byte {
+	return transport.AppendVarint(b, r.ID)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *insertResp) DecodeWire(d *transport.WireDec) error {
+	r.ID = d.Varint()
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *insertBatchReq) WireTag() uint8 { return wireTagInsertBatchReq }
+
+// AppendWire implements transport.WireMessage.
+func (r *insertBatchReq) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, r.Table)
+	b = transport.AppendUvarint(b, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		b = appendRow(b, row)
+	}
+	return b
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *insertBatchReq) DecodeWire(d *transport.WireDec) error {
+	r.Table = d.String()
+	if n := d.ElemLen(1); n > 0 {
+		r.Rows = make([]Row, n)
+		for i := range r.Rows {
+			r.Rows[i] = decodeRow(d)
+		}
+	}
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *insertBatchResp) WireTag() uint8 { return wireTagInsertBatchResp }
+
+// AppendWire implements transport.WireMessage.
+func (r *insertBatchResp) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, uint64(len(r.IDs)))
+	for _, id := range r.IDs {
+		b = transport.AppendVarint(b, id)
+	}
+	return b
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *insertBatchResp) DecodeWire(d *transport.WireDec) error {
+	if n := d.ElemLen(1); n > 0 {
+		r.IDs = make([]int64, n)
+		for i := range r.IDs {
+			r.IDs[i] = d.Varint()
+		}
+	}
+	return d.Err()
+}

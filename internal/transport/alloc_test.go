@@ -1,0 +1,68 @@
+//go:build !race
+
+// Allocation-regression tests for the binary codec hot path. Excluded
+// under -race because the race runtime adds bookkeeping allocations that
+// make AllocsPerRun meaningless.
+
+package transport
+
+import "testing"
+
+// TestEnvelopeEncodeZeroAlloc: encoding a spanless envelope into a
+// pre-sized buffer must not allocate — this is the per-frame hot path of
+// every binary RPC.
+func TestEnvelopeEncodeZeroAlloc(t *testing.T) {
+	e := &Envelope{
+		T:          "ms.check",
+		ID:         99,
+		Body:       []byte(`{"job_id":"j1","url":"http://shop.example/p"}`),
+		DeadlineMS: 2000,
+		TraceID:    "trace-1",
+		SpanID:     "span-2",
+		Sampled:    true,
+	}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		out, _, err := appendFrame(buf, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty frame")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("envelope encode allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestEnvelopeDecodeAllocBound: decoding allocates only the strings and
+// body it hands out. The bound has headroom over the measured count so it
+// trips on regressions (e.g. a codec change reintroducing reflection),
+// not on minor runtime shifts.
+func TestEnvelopeDecodeAllocBound(t *testing.T) {
+	e := &Envelope{
+		T:          "ms.check",
+		ID:         99,
+		Body:       []byte(`{"job_id":"j1"}`),
+		DeadlineMS: 2000,
+		TraceID:    "trace-1",
+		SpanID:     "span-2",
+		Sampled:    true,
+	}
+	frame, _, err := appendFrame(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var out Envelope
+		if err := decodeFrame(frame, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation per copied field: T, Body, TraceID, SpanID — plus
+	// slack for runtime variance.
+	if allocs > 8 {
+		t.Errorf("envelope decode allocates %.1f times per frame, want <= 8", allocs)
+	}
+}

@@ -1,0 +1,86 @@
+package transport_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"pricesheriff/internal/transport"
+)
+
+// echoMsg is a test-local frame type registered in the high tag range so
+// it never collides with production codecs. It backs the mixed-version
+// interop matrix below and the "transport_test.echo" cross-check sample.
+type echoMsg struct {
+	Name string `json:"name"`
+	N    int64  `json:"n"`
+}
+
+func (m *echoMsg) WireTag() uint8 { return 240 }
+
+func (m *echoMsg) AppendWire(b []byte) []byte {
+	b = transport.AppendString(b, m.Name)
+	b = transport.AppendVarint(b, m.N)
+	return b
+}
+
+func (m *echoMsg) DecodeWire(d *transport.WireDec) error {
+	m.Name = d.String()
+	m.N = d.Varint()
+	return d.Err()
+}
+
+func init() {
+	transport.RegisterWire(240, "transport_test.echo", func() transport.WireMessage { return new(echoMsg) })
+}
+
+// TestMixedVersionInterop drives every combination of binary-capable and
+// JSON-only endpoints over real TCP. A binary client talking to a
+// JSON-only server (an old peer that never adverts) must silently fall
+// back to JSON — and vice versa — with identical results.
+func TestMixedVersionInterop(t *testing.T) {
+	wires := []string{transport.WireBinary, transport.WireJSON}
+	for _, srvWire := range wires {
+		for _, cliWire := range wires {
+			t.Run(fmt.Sprintf("client=%s_server=%s", cliWire, srvWire), func(t *testing.T) {
+				lis, err := transport.TCP{Wire: srvWire}.Listen("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv := transport.NewServer(lis)
+				transport.HandleTyped(srv, "test.echo", func(_ context.Context, req *echoMsg) (any, error) {
+					return &echoMsg{Name: req.Name + "!", N: req.N + 1}, nil
+				})
+				go srv.Serve()
+				defer srv.Close()
+
+				cli, err := transport.DialClient(transport.TCP{Wire: cliWire}, lis.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cli.Close()
+
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				var resp echoMsg
+				if err := cli.CallCtx(ctx, "test.echo", &echoMsg{Name: "ping", N: 41}, &resp); err != nil {
+					t.Fatalf("call: %v", err)
+				}
+				if resp.Name != "ping!" || resp.N != 42 {
+					t.Errorf("resp = %+v, want {ping! 42}", resp)
+				}
+				// A second call on the warmed-up connection: by now both
+				// sides have seen (or not seen) the peer's advert, so this
+				// exercises the steady-state encoding for the combination.
+				var resp2 echoMsg
+				if err := cli.CallCtx(ctx, "test.echo", &echoMsg{Name: "pong", N: 8}, &resp2); err != nil {
+					t.Fatalf("second call: %v", err)
+				}
+				if resp2.Name != "pong!" || resp2.N != 9 {
+					t.Errorf("resp2 = %+v, want {pong! 9}", resp2)
+				}
+			})
+		}
+	}
+}

@@ -19,6 +19,8 @@ type Metrics struct {
 	sendSeconds *obs.Histogram
 	recvSeconds *obs.Histogram
 	rpcInflight *obs.Gauge
+	wireBin     *obs.Counter
+	wireJSON    *obs.Counter
 }
 
 // NewMetrics builds the transport metric bundle for one fabric label
@@ -32,6 +34,21 @@ func NewMetrics(reg *obs.Registry, fabric string) *Metrics {
 		sendSeconds: reg.Histogram("sheriff_transport_send_seconds", "fabric", fabric),
 		recvSeconds: reg.Histogram("sheriff_transport_recv_seconds", "fabric", fabric),
 		rpcInflight: reg.Gauge("sheriff_rpc_inflight", "fabric", fabric),
+		wireBin:     reg.Counter("sheriff_transport_wire_negotiations_total", "fabric", fabric, "wire", "binary"),
+		wireJSON:    reg.Counter("sheriff_transport_wire_negotiations_total", "fabric", fabric, "wire", "json"),
+	}
+}
+
+// wireNegotiated counts one settled codec negotiation (or configured
+// in-process connection) by outcome.
+func (m *Metrics) wireNegotiated(bin bool) {
+	if m == nil {
+		return
+	}
+	if bin {
+		m.wireBin.Inc()
+	} else {
+		m.wireJSON.Inc()
 	}
 }
 

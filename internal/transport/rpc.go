@@ -99,6 +99,14 @@ type Envelope struct {
 	Code       string          `json:"code,omitempty"`  // response-only machine-readable error code
 	Hint       string          `json:"hint,omitempty"`  // response-only redirect hint (see RPCHinter)
 	Spans      []obs.WireSpan  `json:"spans,omitempty"` // response-only: exported handler-side spans
+
+	// Binary-codec body state (unexported: never serialized by the JSON
+	// path). wmsg is a pending outgoing typed body, encoded inline by
+	// appendEnvelope; binTag/binBody hold an inbound binary body awaiting
+	// its typed decode.
+	wmsg    WireMessage
+	binTag  uint8
+	binBody []byte
 }
 
 // Handler serves one RPC method: it unmarshals its own request type from
@@ -114,6 +122,11 @@ type Handler func(raw json.RawMessage) (any, error)
 // the moment nobody wants the answer anymore.
 type HandlerCtx func(ctx context.Context, raw json.RawMessage) (any, error)
 
+// WireHandler serves one RPC method from its already-decoded binary
+// request body, skipping the JSON round-trip entirely. Methods usually get
+// one via HandleTyped rather than registering a WireHandler directly.
+type WireHandler func(ctx context.Context, msg WireMessage) (any, error)
+
 // Server dispatches framed RPC requests to registered handlers. Each
 // accepted connection is served by its own read loop and each request by
 // its own goroutine, so one connection carries many concurrent calls
@@ -121,6 +134,7 @@ type HandlerCtx func(ctx context.Context, raw json.RawMessage) (any, error)
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]HandlerCtx
+	wired    map[string]WireHandler
 	conns    map[Conn]bool
 	lis      Listener
 	wg       sync.WaitGroup
@@ -144,6 +158,7 @@ func NewServer(lis Listener) *Server {
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		handlers: make(map[string]HandlerCtx),
+		wired:    make(map[string]WireHandler),
 		conns:    make(map[Conn]bool),
 		lis:      lis,
 		done:     make(chan struct{}),
@@ -170,6 +185,38 @@ func (s *Server) HandleCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// HandleWireCtx registers a binary-body handler alongside the method's
+// JSON handler; it must be called before Serve. A method with only a wire
+// handler rejects JSON bodies.
+func (s *Server) HandleWireCtx(method string, h WireHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wired[method] = h
+}
+
+// HandleTyped registers one typed handler serving both encodings of a
+// method: binary bodies (when *Req implements WireMessage) dispatch with
+// no JSON round-trip, JSON bodies unmarshal into a fresh *Req. This is
+// the standard registration for hot-path methods.
+func HandleTyped[Req any](s *Server, method string, h func(ctx context.Context, req *Req) (any, error)) {
+	s.HandleCtx(method, func(ctx context.Context, raw json.RawMessage) (any, error) {
+		req := new(Req)
+		if len(raw) > 0 {
+			if err := json.Unmarshal(raw, req); err != nil {
+				return nil, fmt.Errorf("unmarshal %s request: %w", method, err)
+			}
+		}
+		return h(ctx, req)
+	})
+	s.HandleWireCtx(method, func(ctx context.Context, msg WireMessage) (any, error) {
+		req, ok := any(msg).(*Req)
+		if !ok {
+			return nil, fmt.Errorf("%s: binary body decoded to %T", method, msg)
+		}
+		return h(ctx, req)
+	})
 }
 
 // SetProc names the process hosting this server ("coordinator",
@@ -262,23 +309,28 @@ func (s *Server) serveConn(conn Conn) {
 				abort(nil)
 				s.metrics.callEnd()
 			}()
-			conn.Send(s.dispatch(hctx, &req))
+			conn.Send(s.dispatch(hctx, &req, connBinary(conn)))
 		}(req, hctx)
 	}
 }
 
 // dispatch runs the handler for one request and builds the response.
+// Binary request bodies decode through the wire registry and reach the
+// method's WireHandler directly when one is registered (JSON-round-trip
+// through the legacy handler otherwise); a typed response value rides
+// back binary-encoded when the connection negotiated the binary codec.
 // When the request carries sampled trace context, the handler runs under
 // a server-side span in a remote trace joined to the caller's trace ID;
 // the completed remote spans ship back on the response for the caller to
 // stitch in.
-func (s *Server) dispatch(ctx context.Context, req *Envelope) *Envelope {
+func (s *Server) dispatch(ctx context.Context, req *Envelope, bin bool) *Envelope {
 	s.mu.RLock()
 	h, ok := s.handlers[req.T]
+	wh := s.wired[req.T]
 	proc := s.proc
 	s.mu.RUnlock()
 	resp := &Envelope{T: req.T, ID: req.ID}
-	if !ok {
+	if !ok && wh == nil {
 		resp.Err = fmt.Sprintf("unknown method %q", req.T)
 		return resp
 	}
@@ -292,7 +344,28 @@ func (s *Server) dispatch(ctx context.Context, req *Envelope) *Envelope {
 		}
 		ctx = obs.WithSpan(ctx, hsp)
 	}
-	out, err := h(ctx, req.Body)
+	var out any
+	var err error
+	switch {
+	case req.binTag != 0:
+		var msg WireMessage
+		if msg, err = decodeRegistered(req.binTag, req.binBody); err == nil {
+			if wh != nil {
+				out, err = wh(ctx, msg)
+			} else {
+				// No wire-aware handler: re-marshal the decoded body for
+				// the legacy JSON handler so old methods keep working.
+				var body []byte
+				if body, err = json.Marshal(msg); err == nil {
+					out, err = h(ctx, body)
+				}
+			}
+		}
+	case h != nil:
+		out, err = h(ctx, req.Body)
+	default:
+		err = fmt.Errorf("method %q accepts only binary bodies", req.T)
+	}
 	if err != nil {
 		hsp.EndErr(err)
 		if rt != nil {
@@ -308,8 +381,11 @@ func (s *Server) dispatch(ctx context.Context, req *Envelope) *Envelope {
 		resp.Spans = rt.Export(req.SpanID, proc)
 	}
 	if out != nil {
-		body, merr := json.Marshal(out)
-		if merr != nil {
+		if wm, isWM := out.(WireMessage); isWM && bin {
+			// Encoded inline by appendEnvelope during Send — the handler
+			// goroutine owns the value until the frame is written.
+			resp.wmsg = wm
+		} else if body, merr := json.Marshal(out); merr != nil {
 			resp.Err = fmt.Sprintf("marshal response: %v", merr)
 		} else {
 			resp.Body = body
@@ -429,11 +505,19 @@ func (c *Client) callCtx(ctx context.Context, method string, req, resp any, csp 
 		env.TraceID, env.SpanID, env.Sampled = sc.TraceID, sc.SpanID, true
 	}
 	if req != nil {
-		body, err := json.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("transport: marshal request: %w", err)
+		if wm, ok := req.(WireMessage); ok && connBinary(c.conn) {
+			// Pre-encode synchronously: the send may be abandoned at the
+			// caller's deadline while the write goroutine keeps going, so
+			// the envelope must not alias caller-owned memory by then.
+			env.binTag = wm.WireTag()
+			env.binBody = wm.AppendWire(make([]byte, 0, 128))
+		} else {
+			body, err := json.Marshal(req)
+			if err != nil {
+				return fmt.Errorf("transport: marshal request: %w", err)
+			}
+			env.Body = body
 		}
-		env.Body = body
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
@@ -492,8 +576,8 @@ func (c *Client) callCtx(ctx context.Context, method string, req, resp any, csp 
 		if out.Err != "" {
 			return &RemoteError{Method: method, Msg: out.Err, Code: out.Code, Hint: out.Hint}
 		}
-		if resp != nil && len(out.Body) > 0 {
-			return json.Unmarshal(out.Body, resp)
+		if resp != nil {
+			return decodeRespBody(out, resp)
 		}
 		return nil
 	case <-ctx.Done():
@@ -503,6 +587,35 @@ func (c *Client) callCtx(ctx context.Context, method string, req, resp any, csp 
 		go c.conn.Send(&Envelope{ID: id, Cancel: true})
 		return callCtxErr(method, ctx)
 	}
+}
+
+// decodeRespBody stores a response envelope's body into resp: a binary
+// body decodes straight into resp when it speaks the same wire tag, or
+// falls back through the registry and a JSON round-trip for untyped
+// callers; a JSON body unmarshals as before.
+func decodeRespBody(out *Envelope, resp any) error {
+	if out.binTag != 0 {
+		if wm, ok := resp.(WireMessage); ok && wm.WireTag() == out.binTag {
+			d := NewWireDec(out.binBody)
+			if err := wm.DecodeWire(d); err != nil {
+				return err
+			}
+			return d.Err()
+		}
+		m, err := decodeRegistered(out.binTag, out.binBody)
+		if err != nil {
+			return err
+		}
+		body, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		return json.Unmarshal(body, resp)
+	}
+	if len(out.Body) > 0 {
+		return json.Unmarshal(out.Body, resp)
+	}
+	return nil
 }
 
 // drop unregisters a pending call.

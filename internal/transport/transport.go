@@ -1,9 +1,10 @@
 // Package transport provides the message-passing substrate of the Price
-// $heriff: length-prefixed JSON frames over a stream connection, with two
+// $heriff: length-prefixed frames over a stream connection, with two
 // interchangeable fabrics — real TCP (the deployment path) and an
-// in-process loopback (fast deterministic tests). The add-on's
-// webRTC/peerjs channels (paper Sect. 10.2.2) are modelled by the same
-// framing relayed through a broker in package peer.
+// in-process loopback (fast deterministic tests). Frames carry either the
+// legacy JSON encoding or the negotiated binary wire codec (see wire.go);
+// the add-on's webRTC/peerjs channels (paper Sect. 10.2.2) are modelled by
+// the same framing relayed through a broker in package peer.
 package transport
 
 import (
@@ -15,13 +16,16 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // MaxFrame caps a single frame; product pages are well under this.
 const MaxFrame = 16 << 20
 
-// Errors returned by the framing layer.
+// Errors returned by the framing layer. An oversized frame surfaces as a
+// *FrameTooLargeError carrying the offending size and frame tag; it still
+// matches ErrFrameTooLarge under errors.Is.
 var (
 	ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrame")
 	ErrClosed        = errors.New("transport: connection closed")
@@ -69,21 +73,54 @@ type Network interface {
 // --- TCP fabric ---
 
 // TCP is the real-network fabric. Metrics, when set, counts every frame
-// moved by connections this value dials or accepts.
+// moved by connections this value dials or accepts. Wire selects the
+// frame codec: the default ("" or "binary") offers the binary wire
+// protocol and falls back per connection when the peer only speaks JSON;
+// "json" is the ablation that never negotiates and keeps the legacy
+// reflection-based framing.
 type TCP struct {
 	Metrics *Metrics
+	Wire    string
 }
 
 type tcpListener struct {
-	l net.Listener
-	m *Metrics
+	l    net.Listener
+	m    *Metrics
+	wire string
 }
 
 type tcpConn struct {
-	c   net.Conn
-	m   *Metrics
-	rmu sync.Mutex
-	wmu sync.Mutex
+	c    net.Conn
+	m    *Metrics
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+	rhdr [4]byte // length-prefix scratch, guarded by rmu
+	whdr [4]byte // length-prefix scratch, guarded by wmu
+
+	// Codec negotiation state. binCfg is this side's configuration;
+	// peerBin flips when the receive path consumes the peer's capability
+	// advert; first guards the one header position an advert may occupy.
+	// A sender emits binary frames only when binCfg && peerBin — until
+	// the advert is seen, frames ride as JSON, which is always decodable
+	// because every frame header self-describes its codec.
+	binCfg  bool
+	first   atomic.Bool
+	peerBin atomic.Bool
+}
+
+// newTCPConn wraps a socket and, when this side is binary-capable, fires
+// the 4-byte capability advert. The advert is a plain write — negotiation
+// never blocks, so even raw sequential Send/Recv use of a conn pair
+// cannot deadlock.
+func newTCPConn(c net.Conn, m *Metrics, wire string) (*tcpConn, error) {
+	tc := &tcpConn{c: c, m: m, binCfg: wantBinary(wire)}
+	if tc.binCfg {
+		if _, err := c.Write(wireHello[:]); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return tc, nil
 }
 
 // Listen binds a TCP listener.
@@ -92,7 +129,7 @@ func (t TCP) Listen(addr string) (Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{l: l, m: t.Metrics}, nil
+	return &tcpListener{l: l, m: t.Metrics, wire: t.Wire}, nil
 }
 
 // Dial connects to a TCP listener.
@@ -101,7 +138,7 @@ func (t TCP) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: c, m: t.Metrics}, nil
+	return newTCPConn(c, t.Metrics, t.Wire)
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -109,7 +146,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: c, m: l.m}, nil
+	return newTCPConn(c, l.m, l.wire)
 }
 
 func (l *tcpListener) Close() error { return l.l.Close() }
@@ -118,20 +155,26 @@ func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 // TransportMetrics implements MetricsSource.
 func (l *tcpListener) TransportMetrics() *Metrics { return l.m }
 
+// WireBinary reports whether the connection negotiated the binary codec:
+// this side offers it and the peer's advert has been seen.
+func (c *tcpConn) WireBinary() bool { return c.binCfg && c.peerBin.Load() }
+
 func (c *tcpConn) Send(v any) error {
 	t0 := time.Now()
+	if c.WireBinary() {
+		return c.sendBinary(v, t0)
+	}
 	data, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("transport: marshal: %w", err)
 	}
 	if len(data) > MaxFrame {
-		return ErrFrameTooLarge
+		return &FrameTooLargeError{Size: len(data), Tag: frameTag(v)}
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(c.whdr[:], uint32(len(data)))
+	if _, err := c.c.Write(c.whdr[:]); err != nil {
 		return err
 	}
 	if _, err := c.c.Write(data); err != nil {
@@ -141,26 +184,89 @@ func (c *tcpConn) Send(v any) error {
 	return nil
 }
 
+// sendBinary frames v with the binary codec into one pooled buffer — the
+// flagged header is backfilled so header and payload go out in a single
+// write.
+func (c *tcpConn) sendBinary(v any, t0 time.Time) error {
+	buf := getBuf()
+	buf = append(buf, 0, 0, 0, 0)
+	buf, tag, err := appendFrame(buf, v)
+	if err != nil {
+		putBuf(buf)
+		return err
+	}
+	n := len(buf) - 4
+	if n > MaxBinaryFrame {
+		putBuf(buf)
+		return &FrameTooLargeError{Size: n, Tag: tag}
+	}
+	buf[0] = frameFlagBinary
+	buf[1], buf[2], buf[3] = byte(n>>16), byte(n>>8), byte(n)
+	c.wmu.Lock()
+	_, err = c.c.Write(buf)
+	c.wmu.Unlock()
+	putBuf(buf)
+	if err != nil {
+		return err
+	}
+	c.m.sent(n+4, t0)
+	return nil
+}
+
 func (c *tcpConn) Recv(v any) error {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
-		return err
+	for {
+		if _, err := io.ReadFull(c.c, c.rhdr[:]); err != nil {
+			return err
+		}
+		// The very first inbound header may be the peer's capability
+		// advert instead of a length prefix (its top byte exceeds any
+		// legal frame length, so the two can't be confused). Consume it
+		// and read on.
+		if c.first.CompareAndSwap(false, true) {
+			if isHello(c.rhdr) {
+				c.peerBin.Store(true)
+				c.m.wireNegotiated(c.binCfg)
+				continue
+			}
+			c.m.wireNegotiated(false)
+		}
+		break
 	}
 	t0 := time.Now() // frame available: time the transfer + decode
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return ErrFrameTooLarge
+	var n int
+	bin := false
+	if c.rhdr[0] == frameFlagBinary {
+		bin = true
+		n = int(c.rhdr[1])<<16 | int(c.rhdr[2])<<8 | int(c.rhdr[3])
+	} else {
+		n32 := binary.BigEndian.Uint32(c.rhdr[:])
+		if n32 > MaxFrame {
+			return &FrameTooLargeError{Size: int(n32), Tag: fmt.Sprintf("inbound into %T", v)}
+		}
+		n = int(n32)
 	}
-	buf := make([]byte, n)
+	buf := getBuf()
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	defer putBuf(buf)
 	if _, err := io.ReadFull(c.c, buf); err != nil {
 		return err
 	}
-	if err := json.Unmarshal(buf, v); err != nil {
+	var err error
+	if bin {
+		err = decodeFrame(buf, v)
+	} else {
+		err = json.Unmarshal(buf, v)
+	}
+	if err != nil {
 		return fmt.Errorf("transport: unmarshal frame from %s: %w", c.RemoteAddr(), err)
 	}
-	c.m.received(int(n)+4, t0)
+	c.m.received(n+4, t0)
 	return nil
 }
 
@@ -174,10 +280,13 @@ func (c *tcpConn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
 
 // Inproc is a loopback fabric: connections are paired byte-frame channels.
 // Addresses are logical names scoped to one Inproc instance. Metrics, when
-// set before the first Dial, counts every frame moved by the fabric.
+// set before the first Dial, counts every frame moved by the fabric. Wire
+// selects the frame codec as on TCP ("json" = legacy ablation); both
+// endpoints share one fabric so no handshake is needed.
 type Inproc struct {
 	// Metrics instruments connections created after it is set.
 	Metrics *Metrics
+	Wire    string
 
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
@@ -212,6 +321,7 @@ type inprocConn struct {
 	pipe *inprocPipe
 	peer string
 	m    *Metrics
+	bin  bool
 
 	dmu      sync.Mutex
 	deadline time.Time
@@ -246,13 +356,15 @@ func (n *Inproc) Dial(addr string) (Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: no listener at %q", addr)
 	}
+	bin := wantBinary(n.Wire)
 	a2b := make(chan []byte, 64)
 	b2a := make(chan []byte, 64)
 	pipe := &inprocPipe{closed: make(chan struct{})}
-	client := &inprocConn{out: a2b, in: b2a, pipe: pipe, peer: addr, m: n.Metrics}
-	server := &inprocConn{out: b2a, in: a2b, pipe: pipe, peer: "dialer", m: n.Metrics}
+	client := &inprocConn{out: a2b, in: b2a, pipe: pipe, peer: addr, m: n.Metrics, bin: bin}
+	server := &inprocConn{out: b2a, in: a2b, pipe: pipe, peer: "dialer", m: n.Metrics, bin: bin}
 	select {
 	case l.accept <- server:
+		n.Metrics.wireNegotiated(bin)
 		return client, nil
 	case <-l.done:
 		return nil, fmt.Errorf("transport: listener %q closed", addr)
@@ -283,14 +395,37 @@ func (l *inprocListener) Addr() string { return l.addr }
 // TransportMetrics implements MetricsSource.
 func (l *inprocListener) TransportMetrics() *Metrics { return l.net.Metrics }
 
+// WireBinary reports whether the connection uses the binary codec.
+func (c *inprocConn) WireBinary() bool { return c.bin }
+
 func (c *inprocConn) Send(v any) error {
 	t0 := time.Now()
-	data, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("transport: marshal: %w", err)
-	}
-	if len(data) > MaxFrame {
-		return ErrFrameTooLarge
+	var data []byte
+	if c.bin {
+		// Pooled frame buffer: ownership passes to the receiver on
+		// delivery (it recycles the buffer after decoding).
+		buf := getBuf()
+		var tag string
+		var err error
+		buf, tag, err = appendFrame(buf, v)
+		if err != nil {
+			putBuf(buf)
+			return err
+		}
+		if len(buf) > MaxFrame {
+			putBuf(buf)
+			return &FrameTooLargeError{Size: len(buf), Tag: tag}
+		}
+		data = buf
+	} else {
+		d, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("transport: marshal: %w", err)
+		}
+		if len(d) > MaxFrame {
+			return &FrameTooLargeError{Size: len(d), Tag: frameTag(v)}
+		}
+		data = d
 	}
 	expire, cancel := c.expiry()
 	defer cancel()
@@ -299,8 +434,14 @@ func (c *inprocConn) Send(v any) error {
 		c.m.sent(len(data), t0)
 		return nil
 	case <-expire:
+		if c.bin {
+			putBuf(data)
+		}
 		return os.ErrDeadlineExceeded
 	case <-c.pipe.closed:
+		if c.bin {
+			putBuf(data)
+		}
 		return ErrClosed
 	}
 }
@@ -329,10 +470,18 @@ func (c *inprocConn) expiry() (<-chan time.Time, func()) {
 
 func (c *inprocConn) decode(data []byte, v any) error {
 	t0 := time.Now()
-	if err := json.Unmarshal(data, v); err != nil {
+	n := len(data)
+	var err error
+	if c.bin {
+		err = decodeFrame(data, v)
+		putBuf(data) // decoded values never alias the frame buffer
+	} else {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
 		return fmt.Errorf("transport: unmarshal frame from %s: %w", c.RemoteAddr(), err)
 	}
-	c.m.received(len(data), t0)
+	c.m.received(n, t0)
 	return nil
 }
 

@@ -95,6 +95,15 @@ func TestOversizedFrameKeepsWriterAlive(t *testing.T) {
 		t.Fatalf("Send after oversized Recv: %v", err)
 	}
 	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	// The accepted conn advertises the binary codec as its first bytes;
+	// a raw peer sees (and may ignore) that advert before any frame.
+	var advert [4]byte
+	if _, err := io.ReadFull(raw, advert[:]); err != nil {
+		t.Fatalf("read advert: %v", err)
+	}
+	if !isHello(advert) {
+		t.Fatalf("first server bytes = %x, want codec advert", advert)
+	}
 	var respHdr [4]byte
 	if _, err := io.ReadFull(raw, respHdr[:]); err != nil {
 		t.Fatalf("read reply header: %v", err)
