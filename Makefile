@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test race chaos bench bench-crypto bench-rpc experiments experiments-full fmt vet clean
+.PHONY: build lint test race chaos bench bench-crypto bench-rpc bench-scale experiments experiments-full fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ test: lint
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core ./internal/ha
+	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core ./internal/ha ./internal/shard
 	$(MAKE) chaos
 
 # The kill/partition chaos suite: boots a three-replica coordinator
@@ -65,6 +65,11 @@ bench-crypto:
 # the JSON ablation) and refresh the machine-readable record.
 bench-rpc:
 	$(GO) run ./cmd/benchtab -rpc -rpc-json BENCH_rpc.json
+
+# Replay the adoption spikes at 100x/1000x users over 1/2/4/8 store
+# shards (virtual time over a calibrated plane) and refresh the record.
+bench-scale:
+	$(GO) run ./cmd/benchtab -scale -scale-json BENCH_scale.json
 
 # Regenerate every table and figure of the paper (quick scale).
 experiments:

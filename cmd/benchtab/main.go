@@ -9,6 +9,7 @@
 //	benchtab -list
 //	benchtab -crypto [-crypto-json BENCH_crypto.json]
 //	benchtab -rpc [-rpc-json BENCH_rpc.json]
+//	benchtab -scale [-scale-json BENCH_scale.json]
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 		cryptoJSON = flag.String("crypto-json", "BENCH_crypto.json", "machine-readable output for -crypto")
 		rpc        = flag.Bool("rpc", false, "benchmark the wire codec (binary vs JSON ablation) and exit")
 		rpcJSON    = flag.String("rpc-json", "BENCH_rpc.json", "machine-readable output for -rpc")
+		scale      = flag.Bool("scale", false, "replay the adoption spike at 100x/1000x users over 1/2/4/8 store shards and exit")
+		scaleJSON  = flag.String("scale-json", "BENCH_scale.json", "machine-readable output for -scale")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -49,6 +52,15 @@ func main() {
 		fmt.Println("=== Wire codec: binary protocol vs JSON ablation ===")
 		if err := experiments.RPCBench(runner, os.Stdout, *rpcJSON); err != nil {
 			log.Fatalf("rpc: %v", err)
+		}
+		return
+	}
+
+	if *scale {
+		runner := experiments.NewRunner(experiments.Config{Full: *full, Seed: *seed})
+		fmt.Println("=== Scale replay: adoption spikes over the sharded data plane ===")
+		if err := experiments.ScaleBench(runner, os.Stdout, *scaleJSON); err != nil {
+			log.Fatalf("scale: %v", err)
 		}
 		return
 	}

@@ -23,6 +23,7 @@
 //	sheriffctl trace -admin HOST:PORT [TRACE_ID] [-min-ms 500] [-err] [-json]
 //	sheriffctl logs -admin HOST:PORT [-level warn] [-trace TRACE_ID] [-json]
 //	sheriffctl cluster status -peers HOST:PORT,HOST:PORT,... [-json]
+//	sheriffctl shards -admin HOST:PORT [-json]
 //
 // With -trace, the check itself runs under a locally owned distributed
 // trace and the assembled cross-process span tree (submit → schedule →
@@ -79,6 +80,9 @@ func main() {
 			return
 		case "cluster":
 			runCluster(os.Args[2:])
+			return
+		case "shards":
+			runShards(os.Args[2:])
 			return
 		}
 	}

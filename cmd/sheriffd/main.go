@@ -54,6 +54,8 @@ import (
 func main() {
 	var (
 		servers  = flag.Int("servers", 2, "measurement servers to boot")
+		shards   = flag.Int("store-shards", 1, "store shards in the data plane (shard 0 is the durable one)")
+		vnodes   = flag.Int("shard-vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = default)")
 		domains  = flag.Int("domains", 200, "checked e-commerce domains in the world")
 		users    = flag.Int("users", 12, "simulated peer users to connect")
 		seed     = flag.Int64("seed", 1, "world/workload seed")
@@ -178,6 +180,8 @@ func main() {
 		Fabric:              fabric,
 		Mall:                mall,
 		MeasurementServers:  *servers,
+		StoreShards:         *shards,
+		ShardVNodes:         *vnodes,
 		Seed:                *seed,
 		Metrics:             reg,
 		Tracer:              tracer,
@@ -258,6 +262,7 @@ func main() {
 		ui.History = sys.History()
 		ui.Watches = sys.Watches()
 		ui.HA = sys.HANode()
+		ui.Shards = adminui.ShardPlaneFunc(sys.ShardStatus)
 		if *debug {
 			ui.EnableDebug()
 		}
@@ -295,7 +300,7 @@ func main() {
 	}
 
 	if *dump != "" {
-		snap, err := sys.DB().Export()
+		snap, err := sys.DB().ExportCtx(context.Background())
 		if err != nil {
 			logger.Error(ctx, "export dataset failed", "err", err.Error())
 			return

@@ -19,10 +19,13 @@
 //	GET  /logs         recent structured log records (HTML);
 //	                   filters: ?level=warn &trace=<trace id> &limit=100
 //	GET  /logs.json    the same records as JSON (same filters)
+//	GET  /shards       sharded store data plane: ring, shares, load
+//	GET  /shards.json  the same as JSON
 //	GET  /healthz      liveness probe
 package adminui
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -33,6 +36,7 @@ import (
 	"pricesheriff/internal/ha"
 	"pricesheriff/internal/history"
 	"pricesheriff/internal/obs"
+	"pricesheriff/internal/shard"
 	"pricesheriff/internal/store"
 )
 
@@ -57,12 +61,30 @@ type Server struct {
 	// HA backs /cluster and /cluster.json with this replica's view of the
 	// replicated control plane (nil: 404, a single-coordinator deployment).
 	HA *ha.Node
+	// Shards backs /shards and /shards.json with the sharded store data
+	// plane's ring and per-shard load (nil: 404). A bare *shard.Router
+	// shows that one router's ops; the deployment wires the fleet-merged
+	// core view so the panel counts every router's traffic.
+	Shards ShardPlane
 
 	mux  *http.ServeMux
 	http *http.Server
 	lis  net.Listener
 	once sync.Once
 }
+
+// ShardPlane is the data-plane surface behind /shards: anything that
+// snapshots ring membership, shares, per-shard ops and row counts.
+type ShardPlane interface {
+	Status(ctx context.Context) (*shard.Status, error)
+}
+
+// ShardPlaneFunc adapts a status function to ShardPlane, the way
+// http.HandlerFunc adapts handlers.
+type ShardPlaneFunc func(ctx context.Context) (*shard.Status, error)
+
+// Status implements ShardPlane.
+func (f ShardPlaneFunc) Status(ctx context.Context) (*shard.Status, error) { return f(ctx) }
 
 // New builds the admin UI over a coordinator.
 func New(coord *coordinator.Coordinator) *Server {
@@ -84,6 +106,8 @@ func New(coord *coordinator.Coordinator) *Server {
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/cluster", s.handleCluster)
 	s.mux.HandleFunc("/cluster.json", s.handleClusterJSON)
+	s.mux.HandleFunc("/shards", s.handleShards)
+	s.mux.HandleFunc("/shards.json", s.handleShardsJSON)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -148,6 +172,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/peers">Peer proxies</a></li>
 <li><a href="/whitelist">Whitelist</a></li>
 <li><a href="/cluster">Cluster</a></li>
+<li><a href="/shards">Store shards</a></li>
 <li><a href="/history">Price history</a></li>
 <li><a href="/watches">Watches</a></li>
 <li><a href="/snapshot">Snapshot (export)</a></li>

@@ -72,6 +72,13 @@ type Coordinator struct {
 	// rrPeer rotates which peers are picked within a location so load
 	// spreads across the local peer pool.
 	rrPeer map[string]int
+	// ringVer/ringRaw hold the shard ring of the store data plane,
+	// replicated through the ha log (ring_update) so a control-plane
+	// failover cannot forget where the data lives. The payload stays
+	// opaque here — the coordinator stores and serves it; only core and
+	// the shard package interpret it.
+	ringVer int64
+	ringRaw []byte
 }
 
 // New creates a Coordinator.
@@ -379,6 +386,26 @@ func (c *Coordinator) RestorePeer(info PeerInfo) {
 	c.Metrics.setPeersOnline(len(c.peers))
 }
 
+// Ring returns the replicated shard ring state: its version and opaque
+// encoded form (nil if no ring was ever published).
+func (c *Coordinator) Ring() (int64, []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ringVer, c.ringRaw
+}
+
+// RestoreRing installs a replicated ring update. Versions totally order
+// ring epochs, so replays and reordered applies keep the highest.
+func (c *Coordinator) RestoreRing(version int64, raw []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version <= c.ringVer {
+		return
+	}
+	c.ringVer = version
+	c.ringRaw = append([]byte(nil), raw...)
+}
+
 // ResetReplicated clears all replicated control-plane state ahead of a
 // full log replay (an ha.StateMachine Reset). The whitelist keeps its
 // seed domains: Whitelist.Add is a set insert, so replaying additions is
@@ -390,6 +417,8 @@ func (c *Coordinator) ResetReplicated() {
 	c.order = nil
 	c.rrPeer = make(map[string]int)
 	c.nextJob = 0
+	c.ringVer = 0
+	c.ringRaw = nil
 	c.Metrics.setPeersOnline(0)
 	c.mu.Unlock()
 	c.Servers.ResetServers()

@@ -26,6 +26,10 @@ const (
 	CmdPeerDel   = "peer_del"
 	CmdServerAdd = "server_add"
 	CmdWLAdd     = "wl_add"
+	// CmdRingUpdate replicates the store data plane's shard ring: losing
+	// it across a failover would strand the sharded corpus, so a ring
+	// change is only acknowledged once a quorum has logged it.
+	CmdRingUpdate = "ring_update"
 )
 
 // jobRecord is the wire form of a replicated job.
@@ -117,6 +121,11 @@ func (s *replicaSM) Apply(e ha.Entry) {
 		var r domainRecord
 		if json.Unmarshal(e.Cmd.Data, &r) == nil {
 			s.c.Whitelist.Add(r.Domain)
+		}
+	case CmdRingUpdate:
+		var r RingState
+		if json.Unmarshal(e.Cmd.Data, &r) == nil {
+			s.c.RestoreRing(r.Version, r.Ring)
 		}
 	default:
 		s.log.Warn(context.Background(), "coordinator: unknown replicated command",

@@ -374,3 +374,66 @@ func TestResetReplicatedRebuild(t *testing.T) {
 		t.Errorf("peers after rebuild = %d, want 1", got)
 	}
 }
+
+// TestRingUpdateReplicatesAndSurvivesFailover publishes a shard-ring
+// epoch through the primary and asserts every standby shadows it, stale
+// versions are refused, and the ring survives killing the primary.
+func TestRingUpdateReplicatesAndSurvivesFailover(t *testing.T) {
+	netw, replicas := newHACluster(t, 3)
+	waitFor(t, "initial election", func() bool { return primaryOf(replicas) != nil })
+	prim := primaryOf(replicas)
+
+	cl, err := DialCoordinatorCluster(netw,
+		[]string{"coord-0", "coord-1", "coord-2"},
+		retry.Policy{MaxAttempts: 400, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+		1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ringV2 := []byte(`{"version":2,"members":[{"id":"shard-0"},{"id":"shard-1"}]}`)
+	if err := cl.SetRing(ctx, 2, ringV2); err != nil {
+		t.Fatalf("SetRing: %v", err)
+	}
+	// Stale and duplicate versions must be refused.
+	if err := cl.SetRing(ctx, 2, ringV2); err == nil {
+		t.Fatal("re-publishing the same ring version should fail")
+	}
+	if err := cl.SetRing(ctx, 1, []byte(`{}`)); err == nil {
+		t.Fatal("publishing an older ring version should fail")
+	}
+
+	waitFor(t, "standbys to apply the ring", func() bool {
+		n := 0
+		for _, r := range replicas {
+			if v, raw := r.c.Ring(); v == 2 && len(raw) > 0 {
+				n++
+			}
+		}
+		return n == len(replicas)
+	})
+
+	// Kill the primary; the promoted standby must still serve the ring.
+	prim.srv.Close()
+	prim.node.Close()
+	waitFor(t, "standby promotion", func() bool {
+		for _, r := range replicas {
+			if r != prim && r.node.IsPrimary() {
+				return true
+			}
+		}
+		return false
+	})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	v, raw, err := cl.Ring(ctx2)
+	if err != nil {
+		t.Fatalf("Ring after failover: %v", err)
+	}
+	if v != 2 || string(raw) != string(ringV2) {
+		t.Fatalf("ring lost in failover: v%d %s", v, raw)
+	}
+}

@@ -3,6 +3,7 @@ package coordinator
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 
 	"pricesheriff/internal/ha"
 	"pricesheriff/internal/retry"
@@ -50,6 +51,13 @@ type (
 	// WhitelistAddReq sanctions an e-commerce domain at runtime.
 	WhitelistAddReq struct {
 		Domain string `json:"domain"`
+	}
+	// RingState carries the store data plane's shard ring: a version and
+	// the opaque encoded ring (the coordinator replicates it through the
+	// ha log without interpreting it; core and the shard package do).
+	RingState struct {
+		Version int64           `json:"version"`
+		Ring    json.RawMessage `json:"ring"`
 	}
 )
 
@@ -216,6 +224,32 @@ func NewServer(c *Coordinator, lis transport.Listener) *Server {
 		}
 		return c.Peers(), nil
 	})
+	transport.HandleTyped(s.rpc, "coord.ring_set", func(ctx context.Context, req *RingState) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.gate(); err != nil {
+			return nil, err
+		}
+		cur, _ := c.Ring()
+		if req.Version <= cur {
+			return nil, fmt.Errorf("coordinator: stale ring v%d (have v%d)", req.Version, cur)
+		}
+		// Quorum first: a ring change the log could forget must not be
+		// acknowledged to the data plane.
+		if err := s.replicateWait(ctx, CmdRingUpdate, req); err != nil {
+			return nil, err
+		}
+		c.RestoreRing(req.Version, req.Ring)
+		return nil, nil
+	})
+	s.rpc.HandleCtx("coord.ring_get", func(ctx context.Context, _ json.RawMessage) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ver, raw := c.Ring()
+		return &RingState{Version: ver, Ring: raw}, nil
+	})
 	return s
 }
 
@@ -346,6 +380,23 @@ func (cl *Client) Peers() ([]PeerInfo, error) {
 	var out []PeerInfo
 	err := cl.rpc.CallCtx(context.Background(), "coord.peers", nil, &out)
 	return out, err
+}
+
+// SetRing publishes a new shard-ring epoch. The call succeeds only
+// after a quorum of coordinator replicas has logged the update, so a
+// failover cannot roll the data plane's placement back.
+func (cl *Client) SetRing(ctx context.Context, version int64, ring []byte) error {
+	return cl.rpc.CallCtx(ctx, "coord.ring_set", &RingState{Version: version, Ring: ring}, nil)
+}
+
+// Ring fetches the replicated shard-ring state; version 0 means no ring
+// was ever published.
+func (cl *Client) Ring(ctx context.Context) (int64, []byte, error) {
+	var out RingState
+	if err := cl.rpc.CallCtx(ctx, "coord.ring_get", nil, &out); err != nil {
+		return 0, nil, err
+	}
+	return out.Version, out.Ring, nil
 }
 
 // Close releases the connection.

@@ -14,6 +14,7 @@ const (
 	wireTagNewJobResp   = 14
 	wireTagHeartbeatReq = 15
 	wireTagJobRef       = 16
+	wireTagRingState    = 17
 )
 
 func init() {
@@ -21,6 +22,7 @@ func init() {
 	transport.RegisterWire(wireTagNewJobResp, "coord.newjob_response", func() transport.WireMessage { return new(NewJobResp) })
 	transport.RegisterWire(wireTagHeartbeatReq, "coord.heartbeat_request", func() transport.WireMessage { return new(HeartbeatReq) })
 	transport.RegisterWire(wireTagJobRef, "coord.job_ref", func() transport.WireMessage { return new(JobRef) })
+	transport.RegisterWire(wireTagRingState, "coord.ring_state", func() transport.WireMessage { return new(RingState) })
 }
 
 // WireTag implements transport.WireMessage.
@@ -84,5 +86,21 @@ func (r *JobRef) AppendWire(b []byte) []byte {
 // DecodeWire implements transport.WireMessage.
 func (r *JobRef) DecodeWire(d *transport.WireDec) error {
 	r.JobID = d.String()
+	return d.Err()
+}
+
+// WireTag implements transport.WireMessage.
+func (r *RingState) WireTag() uint8 { return wireTagRingState }
+
+// AppendWire implements transport.WireMessage.
+func (r *RingState) AppendWire(b []byte) []byte {
+	b = transport.AppendVarint(b, r.Version)
+	return transport.AppendBytes(b, r.Ring)
+}
+
+// DecodeWire implements transport.WireMessage.
+func (r *RingState) DecodeWire(d *transport.WireDec) error {
+	r.Version = d.Varint()
+	r.Ring = append([]byte(nil), d.Bytes()...)
 	return d.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -78,7 +79,7 @@ func TestWatchSpreadAppearedThroughPipeline(t *testing.T) {
 	}
 
 	// Watch-originated checks are tagged in the requests table.
-	rows, err := sys.DB().Select(store.Query{Table: "requests", Eq: map[string]any{"origin": "watch"}})
+	rows, err := sys.DB().SelectCtx(context.Background(), store.Query{Table: "requests", Eq: map[string]any{"origin": "watch"}})
 	if err != nil {
 		t.Fatal(err)
 	}

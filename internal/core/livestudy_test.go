@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestStoredProcsOverSystemDB(t *testing.T) {
 	// The price_spread stored procedure answers over the wire from the
 	// system's own Database server.
 	var spread measurement.SpreadResult
-	if err := sys.DB().Call("price_spread", res.JobID, &spread); err != nil {
+	if err := sys.DB().CallProcCtx(context.Background(), "price_spread", res.JobID, &spread); err != nil {
 		t.Fatal(err)
 	}
 	if spread.Responses < 5 {
@@ -114,7 +115,7 @@ func TestStoredProcsOverSystemDB(t *testing.T) {
 		t.Errorf("spread = %+v, want location PD visible", spread)
 	}
 	var counts map[string]int
-	if err := sys.DB().Call("responses_by_domain", nil, &counts); err != nil {
+	if err := sys.DB().CallProcCtx(context.Background(), "responses_by_domain", nil, &counts); err != nil {
 		t.Fatal(err)
 	}
 	if counts["steampowered.com"] == 0 {

@@ -27,6 +27,7 @@ import (
 	"pricesheriff/internal/peer"
 	"pricesheriff/internal/privkmeans"
 	"pricesheriff/internal/retry"
+	"pricesheriff/internal/shard"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/store"
 	"pricesheriff/internal/transport"
@@ -119,6 +120,16 @@ type Config struct {
 	// DefaultMaxInflightChecks; negative disables admission control.
 	MaxInflightChecks int
 
+	// StoreShards sets the initial width of the sharded store data plane
+	// (default 1, the seed's single database). Shard 0 is the durable
+	// engine behind DataDir; extra shards are RAM-only engines reached
+	// through the consistent-hash router. The plane can also grow and
+	// shrink live via AddStoreShard/RemoveStoreShard.
+	StoreShards int
+	// ShardVNodes is the ring's virtual-node count per shard (default
+	// shard.DefaultVNodes).
+	ShardVNodes int
+
 	// HAPeers, when set, replicates the coordinator control plane: this
 	// system's coordinator listens on HASelf, joins the HAPeers replica
 	// set (every replica's coordinator address, HASelf included), elects
@@ -158,7 +169,7 @@ type System struct {
 	fabric   transport.Network
 	shopSrv  *shop.Server
 	dbSrv    *store.Server
-	db       *store.Client
+	db       store.Conn // the system router over the shard ring
 	coordSrv *coordinator.Server
 	haNode   *ha.Node
 	haPeers  []string
@@ -192,6 +203,17 @@ type System struct {
 	histMetrics *history.Metrics
 	history     *history.Index
 	watcher     *history.Scheduler
+
+	// Sharded store data plane (PR 9). shard-0 is the durable coreDB
+	// behind dbSrv; extra shards are RAM-only engines. routers[0] is the
+	// system router (also s.db); every measurement server appends its
+	// own, and ring changes fleet-rebalance all of them under shardMu.
+	shardMu      sync.Mutex
+	ring         *shard.Ring
+	routers      []*shard.Router
+	extraShards  map[string]*extraShard
+	shardSeq     int // next shard ordinal
+	shardMetrics *shard.Metrics
 
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
@@ -349,10 +371,32 @@ func NewSystem(cfg Config) (*System, error) {
 	s.dbSrv = store.NewServer(coreDB, dbLis)
 	s.dbSrv.Metrics = store.NewMetrics(cfg.Metrics)
 	go s.dbSrv.Serve()
-	s.db, err = store.Dial(cfg.Fabric, s.dbSrv.Addr(), 4)
+
+	// The sharded data plane: shard-0 is the durable engine above; extra
+	// shards (Config.StoreShards) are RAM-only. All access goes through
+	// consistent-hash routers keyed by (URL, country).
+	s.shardMetrics = shard.NewMetrics(cfg.Metrics)
+	s.extraShards = make(map[string]*extraShard)
+	members := []shard.Member{{ID: "shard-0", Addr: s.dbSrv.Addr()}}
+	if cfg.StoreShards <= 0 {
+		cfg.StoreShards = 1
+	}
+	s.shardSeq = 1
+	for i := 1; i < cfg.StoreShards; i++ {
+		es, err := s.newExtraShard()
+		if err != nil {
+			return nil, err
+		}
+		s.extraShards[es.id] = es
+		members = append(members, shard.Member{ID: es.id, Addr: es.srv.Addr()})
+	}
+	s.ring = shard.NewRing(cfg.Seed+7, cfg.ShardVNodes, members)
+	sysRouter, err := shard.NewRouter(cfg.Fabric, s.ring, shard.Options{PoolSize: 4, Metrics: s.shardMetrics})
 	if err != nil {
 		return nil, err
 	}
+	s.routers = []*shard.Router{sysRouter}
+	s.db = sysRouter
 	if err := measurement.EnsureTables(s.db); err != nil {
 		return nil, err
 	}
@@ -376,6 +420,9 @@ func NewSystem(cfg Config) (*System, error) {
 	s.Coord.Metrics = coordMetrics
 	s.Coord.Log = cfg.Logger.With("comp", "coordinator")
 	s.Coord.MaxPPCs = cfg.MaxPPCs
+	// The boot ring is derived from config, so every HA replica computes
+	// the same one; runtime ring changes replicate through the log.
+	s.Coord.RestoreRing(s.ring.Version, s.ring.Encode())
 	coordLis, err := cfg.Fabric.Listen(cfg.HASelf) // "" without HA: ephemeral
 	if err != nil {
 		return nil, err
@@ -477,7 +524,15 @@ func (s *System) addMeasurementServer(fleet []*measurement.IPC, ppcTimeout time.
 	if err != nil {
 		return err
 	}
-	dbCli, err := store.Dial(s.fabric, s.dbSrv.Addr(), 2)
+	// Each server routes the shard ring itself (the paper's "shared DB"
+	// becomes a shared plane); shardMu serializes against ring changes so
+	// a new router always joins at a committed epoch, windowless.
+	s.shardMu.Lock()
+	dbCli, err := shard.NewRouter(s.fabric, s.ring, shard.Options{PoolSize: 2, Metrics: s.shardMetrics})
+	if err == nil {
+		s.routers = append(s.routers, dbCli)
+	}
+	s.shardMu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -562,8 +617,9 @@ func (s *System) MeasurementServers() int {
 	return len(s.meas)
 }
 
-// DB returns the shared database client (for analysis over recorded data).
-func (s *System) DB() *store.Client { return s.db }
+// DB returns the shared database surface (for analysis over recorded
+// data) — a consistent-hash router over the shard ring.
+func (s *System) DB() store.Conn { return s.db }
 
 // StoreEngine returns the in-process database engine behind the store
 // server — the admin UI's snapshot endpoints stream straight from it
@@ -1051,7 +1107,14 @@ func (s *System) Close() error {
 	}
 	s.coordSrv.Close()
 	s.broker.Close()
-	s.db.Close()
+	s.shardMu.Lock()
+	for _, r := range s.routers {
+		r.Close()
+	}
+	for _, es := range s.extraShards {
+		es.srv.Close()
+	}
+	s.shardMu.Unlock()
 	s.dbSrv.Close()
 	s.shopSrv.Close()
 	if s.persister != nil {

@@ -116,11 +116,11 @@ func TestPriceCheckRecordsToDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reqs, err := sys.DB().Select(store.Query{Table: "requests", Eq: map[string]any{"job_id": res.JobID}})
+	reqs, err := sys.DB().SelectCtx(context.Background(), store.Query{Table: "requests", Eq: map[string]any{"job_id": res.JobID}})
 	if err != nil || len(reqs) != 1 {
 		t.Fatalf("requests = %v, %v", reqs, err)
 	}
-	resps, err := sys.DB().Select(store.Query{Table: "responses", Eq: map[string]any{"job_id": res.JobID}})
+	resps, err := sys.DB().SelectCtx(context.Background(), store.Query{Table: "responses", Eq: map[string]any{"job_id": res.JobID}})
 	if err != nil {
 		t.Fatal(err)
 	}

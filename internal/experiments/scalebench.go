@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"pricesheriff/internal/measurement"
+	"pricesheriff/internal/shard"
+	"pricesheriff/internal/store"
+	"pricesheriff/internal/transport"
+	"pricesheriff/internal/workload"
+)
+
+// ScaleBench replays the deployment's adoption timeline at 100× and
+// 1000× the observed user base against sharded store planes of 1, 2, 4,
+// and 8 members (the 1-shard row is the unsharded ablation) and reports
+// checks/sec, p99 latency, and shed rate per (user count, shard count).
+//
+// Two-stage design, because a single-core box cannot generate a
+// million users' real traffic:
+//
+//  1. Calibrate — a real 1-shard plane (store engine + server + router
+//     over the in-process fabric) serves one check's worth of store
+//     writes in a tight loop; the measured per-check service time is
+//     the simulation's unit of work.
+//  2. Replay under virtual time — a discrete-event run of the Fig. 5
+//     adoption spike: workload users issue checks whose arrival times
+//     come from the workload generator, each check is routed by the
+//     real consistent-hash ring to its owner shard, and every shard is
+//     a FIFO station serving at the calibrated rate with a backlog
+//     bound (arrivals that would wait longer than the admission budget
+//     are shed, mirroring the measurement plane's load shedding).
+//
+// Arrival rates are normalized to the calibrated capacity: the 100×
+// spike offers 4× what one shard can serve, so the ablation saturates
+// while wider planes absorb the spike — the regime the experiment is
+// about. Results go to w and, when jsonPath is non-empty, to
+// BENCH_scale.json for regression tracking.
+func ScaleBench(r *Runner, w io.Writer, jsonPath string) error {
+	calOps := 1500
+	maxEvents := 120_000
+	if r.cfg.Full {
+		calOps = 6000
+		maxEvents = 600_000
+	}
+
+	checkNs, err := calibrateCheck(calOps)
+	if err != nil {
+		return fmt.Errorf("calibrate: %w", err)
+	}
+	capacity := 1e9 / float64(checkNs) // checks/sec one shard sustains
+	out := scaleBenchJSON{CheckNs: checkNs, ShardCapacityPerSec: capacity}
+	fmt.Fprintf(w, "calibrated: %d ns per check's store writes → %.0f checks/s per shard\n\n",
+		checkNs, capacity)
+
+	// The observed deployment peak, from the adoption timeline's largest
+	// press spike (Fig. 5).
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	timeline := workload.AdoptionTimeline(rng, 52, []int{9, 24, 40})
+	basePeak := 0
+	for _, wp := range timeline {
+		if wp.ActiveUsers > basePeak {
+			basePeak = wp.ActiveUsers
+		}
+	}
+	// Per-user check rate such that the 100× spike offers 4× one shard's
+	// capacity; 1000× then offers 40× and drowns even the widest plane.
+	perUserRate := 4 * capacity / float64(100*basePeak)
+
+	fmt.Fprintf(w, "%7s %9s %7s %12s %12s %9s %9s %9s %9s\n",
+		"scale", "users", "shards", "offered/s", "checks/s", "shed", "p50 ms", "p99 ms", "vs 1sh")
+	for _, mult := range []int{100, 1000} {
+		users := mult * basePeak
+		offered := float64(users) * perUserRate
+		var oneShard float64
+		for _, shards := range []int{1, 2, 4, 8} {
+			row := replayScale(r.cfg.Seed, mult, users, shards, offered, checkNs, maxEvents)
+			if shards == 1 {
+				oneShard = row.CompletedPerSec
+			}
+			row.SpeedupVs1Shard = row.CompletedPerSec / oneShard
+			out.Rows = append(out.Rows, row)
+			fmt.Fprintf(w, "%6dx %9d %7d %12.0f %12.0f %8.1f%% %9.1f %9.1f %8.2fx\n",
+				mult, users, shards, row.OfferedPerSec, row.CompletedPerSec,
+				row.ShedRate*100, row.P50Ms, row.P99Ms, row.SpeedupVs1Shard)
+		}
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// calibrateCheck measures one price check's store cost on a real
+// 1-shard plane: insert the request row, insert the response row, and
+// read the request back by ID — the write path every completed check
+// pays on the data plane.
+func calibrateCheck(ops int) (int64, error) {
+	netw := transport.NewInproc()
+	db := store.NewDB()
+	measurement.RegisterStandardProcs(db)
+	lis, err := netw.Listen("")
+	if err != nil {
+		return 0, err
+	}
+	srv := store.NewServer(db, lis)
+	go srv.Serve()
+	defer srv.Close()
+	ring := shard.NewRing(1, 0, []shard.Member{{ID: "shard-0", Addr: srv.Addr()}})
+	router, err := shard.NewRouter(netw, ring, shard.Options{PoolSize: 2})
+	if err != nil {
+		return 0, err
+	}
+	defer router.Close()
+	ctx := context.Background()
+	if err := measurement.EnsureTables(router); err != nil {
+		return 0, err
+	}
+
+	oneCheck := func(i int) error {
+		domain := fmt.Sprintf("shop-%03d.example.com", i%97)
+		id, err := router.InsertCtx(ctx, "requests", store.Row{
+			"job_id": fmt.Sprintf("cal-%d", i), "url": "https://" + domain + "/p",
+			"domain": domain, "country": "ES",
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := router.InsertCtx(ctx, "responses", store.Row{
+			"job_id": fmt.Sprintf("cal-%d", i), "request_id": float64(id),
+			"url": "https://" + domain + "/p", "domain": domain, "country": "ES",
+			"amount": 100.0, "currency": "EUR",
+		}); err != nil {
+			return err
+		}
+		_, err = router.GetCtx(ctx, "requests", id)
+		return err
+	}
+	// Warm the pools and the engine before timing.
+	for i := 0; i < ops/10+1; i++ {
+		if err := oneCheck(i); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := oneCheck(ops/10 + 1 + i); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(ops), nil
+}
+
+// replayScale runs one virtual-time scenario: `users` Fig. 5 users
+// offering `offered` checks/sec for as long as maxEvents allows,
+// against a `shards`-member ring serving checkNs per check per member.
+func replayScale(seed int64, mult, users, shards int, offered float64, checkNs int64, maxEvents int) scaleRow {
+	rng := rand.New(rand.NewSource(seed + int64(mult) + int64(shards)*1000))
+
+	// A representative sample of the population carries the activity and
+	// country skew; the offered rate is what scales with the full count.
+	sample := users
+	if sample > 20_000 {
+		sample = 20_000
+	}
+	specs := workload.Users(rng, sample, workload.Top10Countries(), 0.36)
+	countryOf := make(map[string]string, len(specs))
+	for _, u := range specs {
+		countryOf[u.ID] = u.Country
+	}
+	domains := make([]string, 120)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("shop-%03d.example.com", i)
+	}
+	total := maxEvents
+	window := float64(total) / offered // virtual seconds replayed
+	// workload.Requests spreads arrivals over "days"; one day = one
+	// virtual second here, so the stream is an offered-rate arrival list.
+	reqs := workload.Requests(rng, specs, domains, total, window)
+
+	members := make([]shard.Member, shards)
+	for i := range members {
+		members[i] = shard.Member{ID: fmt.Sprintf("shard-%d", i), Addr: fmt.Sprintf("sim-%d", i)}
+	}
+	ring := shard.NewRing(seed, 0, members)
+	index := make(map[string]int, shards)
+	for i, m := range members {
+		index[m.ID] = i
+	}
+
+	service := float64(checkNs) / 1e9
+	const shedBudget = 0.5 // admission: shed if the backlog exceeds this many seconds
+	busyUntil := make([]float64, shards)
+	completed, shed := 0, 0
+	sojourns := make([]float64, 0, total)
+	var lastDone float64
+	for n, rq := range reqs {
+		// Checks hit distinct product pages, as the live corpus does; the
+		// ring keys on the canonical URL, so a hot shop's load still
+		// spreads across its catalogue.
+		owner := ring.Owner(shard.KeyForRow("requests", store.Row{
+			"url":     fmt.Sprintf("https://%s/p/%d", rq.Domain, n%40),
+			"country": countryOf[rq.UserID],
+		}))
+		i := index[owner.ID]
+		t := rq.Day // virtual seconds
+		backlog := busyUntil[i] - t
+		if backlog < 0 {
+			backlog = 0
+		}
+		if backlog > shedBudget {
+			shed++
+			continue
+		}
+		start := t + backlog
+		busyUntil[i] = start + service
+		sojourns = append(sojourns, busyUntil[i]-t)
+		if busyUntil[i] > lastDone {
+			lastDone = busyUntil[i]
+		}
+		completed++
+	}
+
+	row := scaleRow{
+		Multiplier:    mult,
+		Users:         users,
+		Shards:        shards,
+		OfferedPerSec: offered,
+		ShedRate:      float64(shed) / float64(len(reqs)),
+	}
+	if lastDone > 0 {
+		row.CompletedPerSec = float64(completed) / lastDone
+	}
+	if len(sojourns) > 0 {
+		sort.Float64s(sojourns)
+		row.P50Ms = sojourns[len(sojourns)/2] * 1e3
+		row.P99Ms = sojourns[len(sojourns)*99/100] * 1e3
+	}
+	return row
+}
+
+type scaleBenchJSON struct {
+	CheckNs             int64      `json:"check_ns"`               // calibrated store cost of one check
+	ShardCapacityPerSec float64    `json:"shard_capacity_per_sec"` // 1e9 / check_ns
+	Rows                []scaleRow `json:"rows"`
+}
+
+type scaleRow struct {
+	Multiplier      int     `json:"multiplier"` // × the observed peak user base
+	Users           int     `json:"users"`
+	Shards          int     `json:"shards"`
+	OfferedPerSec   float64 `json:"offered_per_sec"`
+	CompletedPerSec float64 `json:"checks_per_sec"`
+	ShedRate        float64 `json:"shed_rate"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	SpeedupVs1Shard float64 `json:"speedup_vs_1_shard"`
+}

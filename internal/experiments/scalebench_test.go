@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestReplayScaleModel checks the virtual-time replay's structural
+// properties with a synthetic calibration (no wall-clock measurement, so
+// the assertions are deterministic): a saturated single shard caps at
+// its service rate and sheds, a wide plane absorbs the same offered
+// load, and the sharded plane clears ≥3× the 1-shard ablation at the
+// 100×-spike operating point the acceptance bar is set at.
+func TestReplayScaleModel(t *testing.T) {
+	const checkNs = 50_000 // 20k checks/s per shard, a typical calibration
+	capacity := 1e9 / checkNs
+	offered := 4 * capacity // the 100× spike's normalization
+
+	one := replayScale(2017, 100, 42000, 1, offered, checkNs, 40_000)
+	if one.ShedRate < 0.5 {
+		t.Fatalf("1-shard ablation shed %.2f of a 4x-capacity spike, want most of it", one.ShedRate)
+	}
+	// A saturated shard completes at its service rate, within a few
+	// percent of slack for arrival gaps before saturation sets in.
+	if one.CompletedPerSec > capacity*1.05 || one.CompletedPerSec < capacity*0.8 {
+		t.Fatalf("1-shard throughput %.0f/s, want ≈ capacity %.0f/s", one.CompletedPerSec, capacity)
+	}
+
+	four := replayScale(2017, 100, 42000, 4, offered, checkNs, 40_000)
+	if speedup := four.CompletedPerSec / one.CompletedPerSec; speedup < 3 {
+		t.Fatalf("4 shards vs 1-shard ablation = %.2fx, want ≥3x", speedup)
+	}
+	if four.ShedRate > 0.10 {
+		t.Fatalf("4 shards shed %.2f of the 100x spike, want the plane to absorb it", four.ShedRate)
+	}
+	if four.P99Ms >= one.P99Ms && one.P99Ms > 0 {
+		t.Fatalf("p99 did not improve with shards: 1-shard %.1fms, 4-shard %.1fms", one.P99Ms, four.P99Ms)
+	}
+
+	// Drowning load saturates every width: throughput scales with the
+	// shard count and shedding stays heavy.
+	// The longer stream gives the widest plane time to reach the shed
+	// regime (the backlog bound is 0.5 virtual seconds).
+	eight := replayScale(2017, 1000, 420000, 8, 40*capacity, checkNs, 120_000)
+	if eight.CompletedPerSec < 7*capacity {
+		t.Fatalf("8 shards under 40x load complete %.0f/s, want ≈8x capacity", eight.CompletedPerSec)
+	}
+	if eight.ShedRate == 0 {
+		t.Fatal("40x load shed nothing; the overload regime is not exercised")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/store"
 	"pricesheriff/internal/transport"
+	"pricesheriff/internal/urlkey"
 )
 
 // CheckRequest is step 2 of the price-check protocol: the browser add-on
@@ -94,7 +95,7 @@ type Server struct {
 	// Coordinator (used in heartbeats and job accounting).
 	OwnAddr string
 	Coord   *coordinator.Client // nil disables PPC lookup and job-done
-	DB      *store.Client       // nil disables persistent recording
+	DB      store.Conn          // nil disables persistent recording
 	IPCs    []*IPC
 	Peers   PPCRequester // nil disables PPC fetches
 	Rates   *currency.RateTable
@@ -190,9 +191,9 @@ var (
 )
 
 // EnsureTables creates the recording tables, tolerating pre-existing ones.
-func EnsureTables(db *store.Client) error {
+func EnsureTables(db store.Conn) error {
 	for _, spec := range []store.TableSpec{RequestsTable, ResponsesTable} {
-		if err := db.CreateTable(spec); err != nil && !isExists(err) {
+		if err := db.CreateTableCtx(context.Background(), spec); err != nil && !isExists(err) {
 			return err
 		}
 	}
@@ -808,31 +809,11 @@ func (s *Server) publishCacheStats() {
 	)
 }
 
-// domainOf extracts the canonical host from a product URL: scheme,
-// userinfo, port, and path are stripped and the result lowercased, so
-// "HTTP://user@Shop.example:8080/p" and "http://shop.example/q" group
-// under one shop in DiffStorage and the whitelist.
-func domainOf(url string) string {
-	rest := url
-	if i := strings.Index(rest, "://"); i >= 0 {
-		rest = rest[i+3:]
-	}
-	if i := strings.IndexByte(rest, '/'); i >= 0 {
-		rest = rest[:i]
-	}
-	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
-		rest = rest[i+1:]
-	}
-	if strings.HasPrefix(rest, "[") {
-		// Bracketed IPv6 literal: the port follows the closing bracket.
-		if i := strings.IndexByte(rest, ']'); i >= 0 {
-			rest = rest[1:i]
-		}
-	} else if i := strings.LastIndexByte(rest, ':'); i >= 0 && strings.Count(rest, ":") == 1 {
-		rest = rest[:i]
-	}
-	return strings.ToLower(rest)
-}
+// domainOf extracts the canonical host from a product URL so rows
+// group under one shop in DiffStorage and the whitelist. It delegates
+// to urlkey — the same helper the shard router hashes — so grouping
+// and placement can never disagree on what "one shop" means.
+func domainOf(url string) string { return urlkey.Host(url) }
 
 // --- network front-end ---
 

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"pricesheriff/internal/store"
+	"pricesheriff/internal/urlkey"
+)
+
+// DefaultShardedTables are the tables the router places by key: the
+// measurement corpus, which grows with every check. Everything else
+// (history series, watches, analysis scratch tables) pins to the ring's
+// Home member, keeping the durability pipeline engine-local.
+var DefaultShardedTables = []string{"requests", "responses"}
+
+// KeyForRow derives the placement key of a row.
+//
+// Check rows (requests/responses) key by the product URL's canonical
+// host: a request row and every response row of the same shop share one
+// key, so the responses.request_id → requests._id join never crosses a
+// shard boundary and whole shops move atomically during rebalancing.
+// Series rows key by (canonical URL, country) — the paper's per-vantage
+// price series identity. Rows with neither fall back to coarser fields
+// so placement is total: every row has a key, every key has an owner.
+func KeyForRow(table string, row store.Row) string {
+	if url, ok := row["url"].(string); ok && url != "" {
+		if country, ok := row["country"].(string); ok && country != "" {
+			return urlkey.Canonical(url) + "|" + country
+		}
+		return urlkey.Host(url)
+	}
+	if domain, ok := row["domain"].(string); ok && domain != "" {
+		return domain // already a canonical host (urlkey.Host)
+	}
+	if jobID, ok := row["job_id"].(string); ok && jobID != "" {
+		return jobID
+	}
+	return table
+}
+
+// KeyForQuery derives a routing key from a query's exact-match columns,
+// or "" when the query can't be pinned to one shard and must
+// scatter-gather. It mirrors KeyForRow: a query by domain (or by a URL,
+// from which the host is derived) routes straight to the owning shard.
+func KeyForQuery(q store.Query) string {
+	if q.Eq == nil {
+		return ""
+	}
+	if url, ok := q.Eq["url"].(string); ok && url != "" {
+		if country, ok := q.Eq["country"].(string); ok && country != "" {
+			return urlkey.Canonical(url) + "|" + country
+		}
+		return urlkey.Host(url)
+	}
+	if domain, ok := q.Eq["domain"].(string); ok && domain != "" {
+		return urlkey.Host(domain) // tolerate raw spellings at the boundary
+	}
+	return ""
+}

@@ -1,0 +1,303 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pricesheriff/internal/store"
+)
+
+// checkExactlyOnce asserts that every job in want exists exactly once
+// across the plane, on the shard the ring assigns it, and that its
+// response (if any) sits on the same shard referencing the request row.
+func checkExactlyOnce(t *testing.T, p *testPlane, ring *Ring, jobs map[string]string, withResponses bool) {
+	t.Helper()
+	seen := map[string]int{}
+	for memberID, db := range p.dbs {
+		if _, onRing := ring.Member(memberID); !onRing {
+			continue
+		}
+		reqs, err := db.Select(store.Query{Table: "requests"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		respByRef := map[int64]store.Row{}
+		if withResponses {
+			resps, err := db.Select(store.Query{Table: "responses"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range resps {
+				if ref, ok := numericID(row["request_id"]); ok {
+					respByRef[ref] = row
+				}
+			}
+		}
+		for _, row := range reqs {
+			job, _ := row["job_id"].(string)
+			domain, _ := jobs[job]
+			if domain == "" {
+				t.Fatalf("unknown job %q on %s", job, memberID)
+			}
+			seen[job]++
+			owner := ring.Owner(KeyForRow("requests", row)).ID
+			if owner != memberID {
+				t.Fatalf("job %q sits on %s but ring owner is %s", job, memberID, owner)
+			}
+			if withResponses {
+				id, _ := numericID(row[store.ID])
+				resp, ok := respByRef[id]
+				if !ok {
+					t.Fatalf("job %q on %s has no colocated response referencing request %d", job, memberID, id)
+				}
+				if resp["job_id"] != job {
+					t.Fatalf("join broken: request %q referenced by response %q", job, resp["job_id"])
+				}
+			}
+		}
+	}
+	for job := range jobs {
+		if seen[job] != 1 {
+			t.Fatalf("job %q present %d times, want exactly once", job, seen[job])
+		}
+	}
+}
+
+func TestRebalanceGrowPreservesEveryRow(t *testing.T) {
+	p, ms := newTestPlane(t, "shard-0")
+	ring := NewRing(42, 32, ms)
+	r := p.router(ring)
+	ctx := context.Background()
+
+	jobs := map[string]string{}
+	for i := 0; i < 60; i++ {
+		job, domain := fmt.Sprintf("j%d", i), fmt.Sprintf("shop%d.example.com", i)
+		reqID, err := r.InsertCtx(ctx, "requests", reqRow(job, domain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.InsertCtx(ctx, "responses", store.Row{
+			"job_id": job, "request_id": float64(reqID),
+			"url": "https://" + domain + "/p", "domain": domain,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		jobs[job] = domain
+	}
+
+	next := ring.Add(p.addShard("shard-1"))
+	rep, err := r.Rebalance(ctx, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeysMoved == 0 {
+		t.Fatal("grow to 2 shards moved nothing")
+	}
+	if rep.BytesMoved == 0 {
+		t.Fatal("rebalance reported zero bytes moved")
+	}
+	if got := r.Ring().Version; got != next.Version {
+		t.Fatalf("router still on ring v%d after commit", got)
+	}
+	checkExactlyOnce(t, p, next, jobs, true)
+	if n := p.dbs["shard-1"].Counts()["requests"]; n == 0 {
+		t.Fatal("new shard received no rows")
+	}
+}
+
+func TestRebalanceShrinkDrainsRemovedMember(t *testing.T) {
+	p, ms := newTestPlane(t, "shard-0", "shard-1", "shard-2")
+	ring := NewRing(42, 32, ms)
+	r := p.router(ring)
+	ctx := context.Background()
+
+	jobs := map[string]string{}
+	for i := 0; i < 60; i++ {
+		job, domain := fmt.Sprintf("j%d", i), fmt.Sprintf("shop%d.example.com", i)
+		if _, err := r.InsertCtx(ctx, "requests", reqRow(job, domain)); err != nil {
+			t.Fatal(err)
+		}
+		jobs[job] = domain
+	}
+	next := ring.Remove("shard-2")
+	if _, err := r.Rebalance(ctx, next); err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, p, next, jobs, false)
+	// Survivors hold everything; the retired member's rows moved off it.
+	got := p.dbs["shard-0"].Counts()["requests"] + p.dbs["shard-1"].Counts()["requests"]
+	if got != len(jobs) {
+		t.Fatalf("survivors hold %d rows, want %d", got, len(jobs))
+	}
+}
+
+// TestRebalanceDualWriteWindow drives writes deterministically inside
+// an open handoff window: rows inserted mid-window must end up exactly
+// once after cutover, joins intact — including a response whose parent
+// request predates the window (the late-join fixup path).
+func TestRebalanceDualWriteWindow(t *testing.T) {
+	p, ms := newTestPlane(t, "shard-0")
+	ring := NewRing(42, 32, ms)
+	r := p.router(ring)
+	ctx := context.Background()
+
+	jobs := map[string]string{}
+	preIDs := map[string]int64{}
+	for i := 0; i < 30; i++ {
+		job, domain := fmt.Sprintf("pre%d", i), fmt.Sprintf("shop%d.example.com", i)
+		id, err := r.InsertCtx(ctx, "requests", reqRow(job, domain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[job], preIDs[job] = domain, id
+	}
+
+	next := ring.Add(p.addShard("shard-1"))
+	h := NewHandoff()
+	if err := r.BeginUpdate(next, h); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-window: new request+response pairs (dual-written when moving),
+	// plus responses to pre-window parents — their target copies cannot
+	// resolve the parent ref yet and must go through the pending-join
+	// fixup once the migration maps the parent.
+	for i := 0; i < 30; i++ {
+		job, domain := fmt.Sprintf("mid%d", i), fmt.Sprintf("shop%d.example.com", i)
+		id, err := r.InsertCtx(ctx, "requests", reqRow(job, domain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[job] = domain
+		if _, err := r.InsertCtx(ctx, "responses", store.Row{
+			"job_id": job, "request_id": float64(id),
+			"url": "https://" + domain + "/p", "domain": domain,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		job, domain := fmt.Sprintf("pre%d", i), jobs[fmt.Sprintf("pre%d", i)]
+		if _, err := r.InsertCtx(ctx, "responses", store.Row{
+			"job_id": job, "request_id": float64(preIDs[job]),
+			"url": "https://" + domain + "/p", "domain": domain,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mid-window reads must not see dual-written rows twice.
+	rows, err := r.SelectCtx(ctx, store.Query{Table: "requests"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(jobs) {
+		t.Fatalf("mid-window scatter read returned %d rows, want %d", len(rows), len(jobs))
+	}
+
+	rep := &RebalanceReport{}
+	barrier := func(f func()) { fleetBarrier([]*Router{r}, f) }
+	if err := r.migrate(ctx, next, h, rep, barrier); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fixPendingJoins(ctx, h); err != nil {
+		t.Fatal(err)
+	}
+	r.reapOrphans(ctx, h, barrier)
+	r.CommitUpdate()
+
+	// Between cutover and the source cleanup, moved rows exist on both
+	// their old and new owner; the drain filter must keep reads exact.
+	rows, err = r.SelectCtx(ctx, store.Query{Table: "requests"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(jobs) {
+		t.Fatalf("post-cutover scatter read returned %d rows, want %d", len(rows), len(jobs))
+	}
+
+	r.freeSources(ctx, h)
+	r.EndDrain()
+
+	checkExactlyOnce(t, p, next, jobs, true)
+}
+
+// TestRebalancePropertyRandomSequence is the acked-exactly-once
+// property test: a random grow/shrink sequence with writers racing
+// every window must leave each acked row on exactly one shard, the one
+// its key hashes to.
+func TestRebalancePropertyRandomSequence(t *testing.T) {
+	p, ms := newTestPlane(t, "shard-0")
+	ring := NewRing(7, 32, ms)
+	r := p.router(ring)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+
+	var mu sync.Mutex
+	jobs := map[string]string{}
+	var stop, done chan struct{}
+	seq := 0
+	startWriters := func() {
+		stop, done = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				seq++
+				job, domain := fmt.Sprintf("w%d", seq), fmt.Sprintf("shop%d.example.com", seq%97)
+				mu.Unlock()
+				if _, err := r.InsertCtx(ctx, "requests", reqRow(job, domain)); err == nil {
+					mu.Lock()
+					jobs[job] = domain // acked
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	shardSeq := 0
+	live := []string{"shard-0"}
+	for step := 0; step < 6; step++ {
+		var next *Ring
+		if len(live) > 2 && rng.Intn(2) == 0 {
+			victim := live[1+rng.Intn(len(live)-1)] // never shard-0 (Home)
+			next = r.Ring().Remove(victim)
+			keep := live[:0]
+			for _, id := range live {
+				if id != victim {
+					keep = append(keep, id)
+				}
+			}
+			live = keep
+		} else {
+			shardSeq++
+			id := fmt.Sprintf("shard-%d", shardSeq)
+			next = r.Ring().Add(p.addShard(id))
+			live = append(live, id)
+		}
+		startWriters()
+		if _, err := r.Rebalance(ctx, next); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		close(stop)
+		<-done
+		mu.Lock()
+		snapshot := make(map[string]string, len(jobs))
+		for k, v := range jobs {
+			snapshot[k] = v
+		}
+		mu.Unlock()
+		checkExactlyOnce(t, p, r.Ring(), snapshot, false)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("writers acked nothing; the property was never exercised")
+	}
+}

@@ -1,0 +1,976 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pricesheriff/internal/store"
+	"pricesheriff/internal/transport"
+)
+
+// Options tunes a Router.
+type Options struct {
+	// PoolSize is the per-shard connection pool (default 2) — the same
+	// "connection threads kept in memory" optimization as the single-store
+	// client, paid once per shard.
+	PoolSize int
+	// Metrics instruments routing and rebalancing (nil disables).
+	Metrics *Metrics
+	// ShardedTables lists the tables placed by key; every other table
+	// pins to the ring's Home member. Default DefaultShardedTables.
+	ShardedTables []string
+}
+
+// join declares a cross-table numeric reference inside one key group.
+// Because KeyForRow colocates parent and child rows on one shard, the
+// reference never dangles across shards — but a rebalance reassigns the
+// parent's row ID on the target, so moved children are rewritten.
+type join struct{ column, parent string }
+
+// joinColumns: responses.request_id → requests._id, the one join of the
+// measurement corpus.
+var joinColumns = map[string]join{
+	"responses": {column: "request_id", parent: "requests"},
+}
+
+// Router implements the store client interface (store.Conn) over a
+// consistent-hash ring of store servers. Keyed writes route to the
+// owner shard; batches split per shard and fan out; keyless range
+// queries scatter-gather. During a ring change (BeginUpdate →
+// CommitUpdate) the router dual-writes moved keys to their old and new
+// owners so the migration can stream history underneath live traffic.
+type Router struct {
+	fabric    transport.Network
+	poolSize  int
+	metrics   *Metrics
+	sharded   map[string]bool
+	procMerge map[string]MergeFunc
+
+	// mu guards the routing epoch. Every operation holds it shared for
+	// the whole call, so BeginUpdate's exclusive acquisition is a
+	// barrier: once it returns, no in-flight single-ring write remains.
+	mu      sync.RWMutex
+	ring    *Ring
+	next    *Ring    // non-nil while a handoff window is open
+	handoff *Handoff // shared dual-write journal during the window
+	drain   *Handoff // after cutover, until moved source copies are freed
+	clients map[string]*store.Client
+	specs   []store.TableSpec // tables created through this router, in order
+
+	countMu sync.Mutex
+	opCount map[string]int64 // per-member routed ops (scaler signal)
+	lastRep *RebalanceReport // most recent completed ring change
+}
+
+// Router implements the store access surface.
+var _ store.Conn = (*Router)(nil)
+
+// NewRouter dials every ring member and returns a routing client.
+func NewRouter(fabric transport.Network, ring *Ring, opts Options) (*Router, error) {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 2
+	}
+	tables := opts.ShardedTables
+	if tables == nil {
+		tables = DefaultShardedTables
+	}
+	r := &Router{
+		fabric:    fabric,
+		poolSize:  opts.PoolSize,
+		metrics:   opts.Metrics,
+		sharded:   make(map[string]bool, len(tables)),
+		procMerge: standardMerges(),
+		ring:      ring,
+		clients:   make(map[string]*store.Client, len(ring.Members)),
+		opCount:   make(map[string]int64),
+	}
+	for _, t := range tables {
+		r.sharded[t] = true
+	}
+	for _, m := range ring.Members {
+		c, err := store.Dial(fabric, m.Addr, opts.PoolSize)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("shard: dial %s (%s): %w", m.ID, m.Addr, err)
+		}
+		r.clients[m.ID] = c
+	}
+	r.metrics.ring(ring)
+	return r, nil
+}
+
+// Ring returns the current placement epoch.
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+// Rebalancing reports whether a handoff window is open.
+func (r *Router) Rebalancing() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.next != nil
+}
+
+// OpsTotal returns the total routed operations — the shard scaler's
+// load signal.
+func (r *Router) OpsTotal() int64 {
+	r.countMu.Lock()
+	defer r.countMu.Unlock()
+	var n int64
+	for _, c := range r.opCount {
+		n += c
+	}
+	return n
+}
+
+// OpsByShard returns per-member routed operation counts.
+func (r *Router) OpsByShard() map[string]int64 {
+	r.countMu.Lock()
+	defer r.countMu.Unlock()
+	out := make(map[string]int64, len(r.opCount))
+	for k, v := range r.opCount {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *Router) recordOp(memberID, method string) {
+	r.countMu.Lock()
+	r.opCount[memberID]++
+	r.countMu.Unlock()
+	r.metrics.op(memberID, method)
+}
+
+// client returns the dialed client of a member; callers hold r.mu.
+func (r *Router) client(m Member) (*store.Client, error) {
+	c, ok := r.clients[m.ID]
+	if !ok {
+		return nil, fmt.Errorf("shard: no client for member %s", m.ID)
+	}
+	return c, nil
+}
+
+// retryable reports whether a failed call is worth one more attempt:
+// connection-level failures (the pool re-dials poisoned conns), but
+// never application errors or expired contexts.
+func retryable(ctx context.Context, err error) bool {
+	return err != nil && ctx.Err() == nil && !transport.IsRemote(err)
+}
+
+// CreateTableCtx creates the table on every shard of the current (and,
+// mid-handoff, the next) ring, tolerating shards that already have it.
+func (r *Router) CreateTableCtx(ctx context.Context, spec store.TableSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.createTableLocked(ctx, spec)
+}
+
+func (r *Router) createTableLocked(ctx context.Context, spec store.TableSpec) error {
+	known := false
+	for _, s := range r.specs {
+		if s.Name == spec.Name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		r.specs = append(r.specs, spec)
+	}
+	for id, c := range r.clients {
+		if err := c.CreateTableCtx(ctx, spec); err != nil && !isExistsErr(err) {
+			return fmt.Errorf("shard: create %s on %s: %w", spec.Name, id, err)
+		}
+	}
+	if known {
+		return store.ErrTableExists
+	}
+	return nil
+}
+
+func isExistsErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "already exists")
+}
+
+// InsertCtx routes one row to its owner shard. During a handoff window
+// a row whose owner changes is dual-written: target first (so a crash
+// can only orphan an unacked copy, never lose an acked row), source
+// second; the source row ID is the acked identity.
+func (r *Router) InsertCtx(ctx context.Context, table string, row store.Row) (int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.sharded[table] {
+		return r.insertAt(ctx, r.ring.Home(), table, row)
+	}
+	key := KeyForRow(table, row)
+	src := r.ring.Owner(key)
+	if r.next != nil {
+		if tgt := r.next.Owner(key); tgt.ID != src.ID {
+			trow, parentRef, unresolved := r.remapJoin(table, src.ID, row)
+			tid, err := r.insertAt(ctx, tgt, table, trow)
+			if err != nil {
+				return 0, err
+			}
+			r.handoff.noteTarget(tgt.ID, table, tid)
+			if unresolved {
+				r.handoff.notePending(table, src.ID, tgt.ID, tid, parentRef)
+			}
+			sid, err := r.insertAt(ctx, src, table, row)
+			if err != nil {
+				// The target copy is an unacked orphan; the next
+				// rebalance's hygiene sweep reaps it.
+				return 0, err
+			}
+			r.handoff.mapRow(table, src.ID, sid, tid)
+			return sid, nil
+		}
+	}
+	return r.insertAt(ctx, src, table, row)
+}
+
+func (r *Router) insertAt(ctx context.Context, m Member, table string, row store.Row) (int64, error) {
+	c, err := r.client(m)
+	if err != nil {
+		return 0, err
+	}
+	r.recordOp(m.ID, "insert")
+	id, err := c.InsertCtx(ctx, table, row)
+	if retryable(ctx, err) {
+		r.metrics.retry()
+		id, err = c.InsertCtx(ctx, table, row)
+	}
+	return id, err
+}
+
+// remapJoin rewrites a child row's parent reference for the target
+// shard: the parent moved with the same key group, and its target copy
+// has a fresh row ID recorded in the handoff journal. When the parent
+// hasn't reached the target yet, the source reference is kept and
+// reported unresolved so the migration's late-join pass can fix it once
+// the parent's target ID is known.
+func (r *Router) remapJoin(table, srcMemberID string, row store.Row) (_ store.Row, parentRef int64, unresolved bool) {
+	j, ok := joinColumns[table]
+	if !ok || r.handoff == nil {
+		return row, 0, false
+	}
+	srcID, ok := numericID(row[j.column])
+	if !ok {
+		return row, 0, false
+	}
+	tgtID, ok := r.handoff.lookup(j.parent, srcMemberID, srcID)
+	if !ok {
+		return row, srcID, true
+	}
+	out := make(store.Row, len(row))
+	for k, v := range row {
+		out[k] = v
+	}
+	out[j.column] = tgtID
+	return out, 0, false
+}
+
+func numericID(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, x > 0
+	case int:
+		return int64(x), x > 0
+	case float64:
+		return int64(x), x > 0
+	}
+	return 0, false
+}
+
+// InsertBatchCtx splits a batch by owner shard and fans the pieces out,
+// reassembling the acked IDs in input order. The single-store batch is
+// atomic; a cross-shard batch cannot be, so on any piece failing the
+// already-applied pieces are compensated with a batch delete before the
+// error surfaces — the caller's row-at-a-time fallback then cannot
+// duplicate rows.
+func (r *Router) InsertBatchCtx(ctx context.Context, table string, rows []store.Row) ([]int64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.sharded[table] {
+		c, err := r.client(r.ring.Home())
+		if err != nil {
+			return nil, err
+		}
+		r.recordOp(r.ring.Home().ID, "insert_batch")
+		return c.InsertBatchCtx(ctx, table, rows)
+	}
+
+	// Group rows by source owner, remembering input positions.
+	type group struct {
+		member Member
+		rows   []store.Row
+		pos    []int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for i, row := range rows {
+		m := r.ring.Owner(KeyForRow(table, row))
+		g, ok := groups[m.ID]
+		if !ok {
+			g = &group{member: m}
+			groups[m.ID] = g
+			order = append(order, m.ID)
+		}
+		g.rows = append(g.rows, row)
+		g.pos = append(g.pos, i)
+	}
+
+	ids := make([]int64, len(rows))
+	var applied []func() // compensations for applied pieces
+	undo := func() {
+		for _, f := range applied {
+			f()
+		}
+	}
+	for _, gid := range order {
+		g := groups[gid]
+		// Dual-write the moving subset to its new owners first. A grow
+		// window moves a source's keys to one new member, but a shrink
+		// window fans them out across survivors, so moving rows regroup
+		// by target.
+		if r.next != nil {
+			type moveGroup struct {
+				member     Member
+				rows       []store.Row
+				srcIdx     []int   // index into g.rows
+				unresolved []int64 // parent ref per row; 0 = resolved
+			}
+			moves := make(map[string]*moveGroup)
+			var moveOrder []string
+			for i, row := range g.rows {
+				t := r.next.Owner(KeyForRow(table, row))
+				if t.ID == g.member.ID {
+					continue
+				}
+				mg, ok := moves[t.ID]
+				if !ok {
+					mg = &moveGroup{member: t}
+					moves[t.ID] = mg
+					moveOrder = append(moveOrder, t.ID)
+				}
+				trow, parentRef, unresolved := r.remapJoin(table, g.member.ID, row)
+				if !unresolved {
+					parentRef = 0
+				}
+				mg.rows = append(mg.rows, trow)
+				mg.srcIdx = append(mg.srcIdx, i)
+				mg.unresolved = append(mg.unresolved, parentRef)
+			}
+			if len(moves) > 0 {
+				// tids[i] is the target copy ID of g.rows[i] (0 = not moved).
+				tids := make([]int64, len(g.rows))
+				for _, tid := range moveOrder {
+					mg := moves[tid]
+					tc, err := r.client(mg.member)
+					if err != nil {
+						undo()
+						return nil, err
+					}
+					r.recordOp(mg.member.ID, "insert_batch")
+					got, err := tc.InsertBatchCtx(ctx, table, mg.rows)
+					if err != nil {
+						undo()
+						return nil, err
+					}
+					for i, id := range got {
+						r.handoff.noteTarget(mg.member.ID, table, id)
+						tids[mg.srcIdx[i]] = id
+						if ref := mg.unresolved[i]; ref > 0 {
+							r.handoff.notePending(table, g.member.ID, mg.member.ID, id, ref)
+						}
+					}
+					tgtM, gotCopy := mg.member, got
+					applied = append(applied, func() { r.compensate(tgtM, table, gotCopy) })
+				}
+				c, err := r.client(g.member)
+				if err != nil {
+					undo()
+					return nil, err
+				}
+				r.recordOp(g.member.ID, "insert_batch")
+				sids, err := c.InsertBatchCtx(ctx, table, g.rows)
+				if err != nil {
+					undo()
+					return nil, err
+				}
+				for i, sid := range sids {
+					ids[g.pos[i]] = sid
+					if tids[i] > 0 {
+						r.handoff.mapRow(table, g.member.ID, sid, tids[i])
+					}
+				}
+				member, sidsCopy := g.member, sids
+				applied = append(applied, func() { r.compensate(member, table, sidsCopy) })
+				continue
+			}
+		}
+		c, err := r.client(g.member)
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		r.recordOp(g.member.ID, "insert_batch")
+		got, err := c.InsertBatchCtx(ctx, table, g.rows)
+		if err != nil {
+			undo()
+			return nil, err
+		}
+		for i, id := range got {
+			ids[g.pos[i]] = id
+		}
+		member, gotCopy := g.member, got
+		applied = append(applied, func() { r.compensate(member, table, gotCopy) })
+	}
+	return ids, nil
+}
+
+// compensate best-effort deletes rows applied by a failed cross-shard
+// batch; the context is fresh because the caller's may already be dead.
+func (r *Router) compensate(m Member, table string, ids []int64) {
+	c, err := r.client(m)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), compensateTimeout)
+	defer cancel()
+	c.DeleteBatchCtx(ctx, table, ids)
+}
+
+// GetCtx fetches a row by ID. Row IDs are shard-local, so the router
+// probes shards in ring order and returns the first owner-side match;
+// probes past the first count as misroutes. Handoff target copies are
+// skipped — the source row is the acked identity until cutover.
+func (r *Router) GetCtx(ctx context.Context, table string, id int64) (store.Row, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	row, _, err := r.findRow(ctx, table, id)
+	return row, err
+}
+
+// findRow locates (row, member) by probing; callers hold r.mu.
+func (r *Router) findRow(ctx context.Context, table string, id int64) (store.Row, Member, error) {
+	if !r.sharded[table] {
+		m := r.ring.Home()
+		c, err := r.client(m)
+		if err != nil {
+			return nil, Member{}, err
+		}
+		r.recordOp(m.ID, "get")
+		row, err := c.GetCtx(ctx, table, id)
+		return row, m, err
+	}
+	var lastErr error = store.ErrNoRow
+	for probe, m := range r.ring.Members {
+		if r.handoff != nil && r.handoff.isTarget(m.ID, table, id) {
+			continue
+		}
+		if r.drain != nil && r.drain.isSource(table, m.ID, id) {
+			continue // stale moved copy awaiting post-cutover cleanup
+		}
+		c, err := r.client(m)
+		if err != nil {
+			return nil, Member{}, err
+		}
+		r.recordOp(m.ID, "get")
+		row, err := c.GetCtx(ctx, table, id)
+		if err == nil {
+			r.metrics.misroute(probe)
+			return row, m, nil
+		}
+		if !isNoRowErr(err) {
+			return nil, Member{}, err
+		}
+		lastErr = err
+	}
+	return nil, Member{}, lastErr
+}
+
+func isNoRowErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no such row")
+}
+
+// UpdateCtx merges updates into a row located by probing (see GetCtx).
+// During a handoff window the update is mirrored onto the row's target
+// copy so the migrated data converges.
+func (r *Router) UpdateCtx(ctx context.Context, table string, id int64, updates store.Row) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, m, err := r.findRow(ctx, table, id)
+	if err != nil {
+		return err
+	}
+	c, err := r.client(m)
+	if err != nil {
+		return err
+	}
+	r.recordOp(m.ID, "update")
+	if err := c.UpdateCtx(ctx, table, id, updates); err != nil {
+		return err
+	}
+	r.mirror(ctx, table, m.ID, id, func(c *store.Client, tgtID int64) error {
+		return c.UpdateCtx(ctx, table, tgtID, updates)
+	})
+	return nil
+}
+
+// DeleteCtx removes a row located by probing, mirroring onto its target
+// copy during a handoff window.
+func (r *Router) DeleteCtx(ctx context.Context, table string, id int64) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, m, err := r.findRow(ctx, table, id)
+	if err != nil {
+		return err
+	}
+	c, err := r.client(m)
+	if err != nil {
+		return err
+	}
+	r.recordOp(m.ID, "delete")
+	if err := c.DeleteCtx(ctx, table, id); err != nil {
+		return err
+	}
+	r.mirror(ctx, table, m.ID, id, func(c *store.Client, tgtID int64) error {
+		return c.DeleteCtx(ctx, table, tgtID)
+	})
+	return nil
+}
+
+// mirror applies an op to the target copy of a journaled row; callers
+// hold r.mu.
+func (r *Router) mirror(ctx context.Context, table, srcMemberID string, srcID int64, op func(*store.Client, int64) error) {
+	if r.next == nil || r.handoff == nil {
+		return
+	}
+	tgtID, ok := r.handoff.lookup(table, srcMemberID, srcID)
+	if !ok {
+		return
+	}
+	srcM, ok := r.ring.Member(srcMemberID)
+	if !ok {
+		return
+	}
+	// The target is wherever the row's key lands on the next ring; derive
+	// it from any member change. The journal only holds moved rows, so
+	// the owner on the next ring is by construction not the source.
+	for _, m := range r.next.Members {
+		if m.ID == srcM.ID {
+			continue
+		}
+		if tc, ok := r.clients[m.ID]; ok && r.handoff.isTarget(m.ID, table, tgtID) {
+			op(tc, tgtID)
+			return
+		}
+	}
+}
+
+// SelectCtx routes a keyed query to its owner shard and scatter-gathers
+// keyless ones across the ring, merging with the query's order and
+// limit. During a handoff window scattered reads skip target copies so
+// a dual-written row is never returned twice.
+func (r *Router) SelectCtx(ctx context.Context, q store.Query) ([]store.Row, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.sharded[q.Table] {
+		m := r.ring.Home()
+		c, err := r.client(m)
+		if err != nil {
+			return nil, err
+		}
+		r.recordOp(m.ID, "select")
+		return c.SelectCtx(ctx, q)
+	}
+	if key := KeyForQuery(q); key != "" {
+		m := r.ring.Owner(key)
+		c, err := r.client(m)
+		if err != nil {
+			return nil, err
+		}
+		r.recordOp(m.ID, "select")
+		rows, err := c.SelectCtx(ctx, q)
+		if retryable(ctx, err) {
+			r.metrics.retry()
+			rows, err = c.SelectCtx(ctx, q)
+		}
+		return rows, err
+	}
+
+	// Scatter: each shard evaluates the query (shipping its own Limit as
+	// an upper bound), the router merges.
+	var merged []store.Row
+	for _, m := range r.ring.Members {
+		c, err := r.client(m)
+		if err != nil {
+			return nil, err
+		}
+		r.recordOp(m.ID, "select")
+		rows, err := c.SelectCtx(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		if r.handoff != nil {
+			rows = r.handoff.filterTargets(m.ID, q.Table, rows)
+		}
+		if r.drain != nil {
+			rows = r.drain.filterSources(m.ID, q.Table, rows)
+		}
+		merged = append(merged, rows...)
+	}
+	if q.OrderBy != "" {
+		col, desc := q.OrderBy, q.Desc
+		sort.SliceStable(merged, func(i, j int) bool {
+			if desc {
+				return lessRowValues(merged[j][col], merged[i][col])
+			}
+			return lessRowValues(merged[i][col], merged[j][col])
+		})
+	}
+	if q.Limit > 0 && len(merged) > q.Limit {
+		merged = merged[:q.Limit]
+	}
+	return merged, nil
+}
+
+// lessRowValues mirrors the engine's ordering: numbers before strings,
+// missing values first.
+func lessRowValues(a, b any) bool {
+	af, aNum := a.(float64)
+	bf, bNum := b.(float64)
+	switch {
+	case a == nil:
+		return b != nil
+	case b == nil:
+		return false
+	case aNum && bNum:
+		return af < bf
+	case aNum:
+		return true
+	case bNum:
+		return false
+	}
+	as, aStr := a.(string)
+	bs, bStr := b.(string)
+	if aStr && bStr {
+		return as < bs
+	}
+	return fmt.Sprintf("%v", a) < fmt.Sprintf("%v", b)
+}
+
+// MergeFunc folds the per-shard results of a fanned-out stored
+// procedure into one answer. parts holds each shard's raw JSON reply in
+// ring-member order.
+type MergeFunc func(parts []json.RawMessage) (any, error)
+
+// RegisterProcMerge installs the merge rule for a stored procedure so
+// CallProcCtx can fan it out. Procedures without a rule fail loudly —
+// silently returning one shard's answer would misreport N-shard data.
+func (r *Router) RegisterProcMerge(proc string, merge MergeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procMerge[proc] = merge
+}
+
+// CallProcCtx fans a stored procedure out to every shard and merges the
+// answers with the procedure's registered rule.
+func (r *Router) CallProcCtx(ctx context.Context, proc string, args any, out any) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	merge, ok := r.procMerge[proc]
+	if !ok {
+		return fmt.Errorf("shard: no merge rule for proc %q (RegisterProcMerge)", proc)
+	}
+	parts := make([]json.RawMessage, 0, len(r.ring.Members))
+	for _, m := range r.ring.Members {
+		c, err := r.client(m)
+		if err != nil {
+			return err
+		}
+		r.recordOp(m.ID, "call")
+		var raw json.RawMessage
+		if err := c.CallProcCtx(ctx, proc, args, &raw); err != nil {
+			return err
+		}
+		parts = append(parts, raw)
+	}
+	mergedVal, err := merge(parts)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	blob, err := json.Marshal(mergedVal)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// standardMerges knows the three standard procs of the measurement
+// plane.
+func standardMerges() map[string]MergeFunc {
+	return map[string]MergeFunc{
+		// Per-domain counts sum across shards.
+		"responses_by_domain": func(parts []json.RawMessage) (any, error) {
+			total := make(map[string]int)
+			for _, p := range parts {
+				var m map[string]int
+				if err := json.Unmarshal(p, &m); err != nil {
+					return nil, err
+				}
+				for k, v := range m {
+					total[k] += v
+				}
+			}
+			return total, nil
+		},
+		// One job's rows colocate, but merging min/max is correct even if
+		// they didn't.
+		"price_spread": func(parts []json.RawMessage) (any, error) {
+			var out spreadShape
+			for _, p := range parts {
+				var s spreadShape
+				if err := json.Unmarshal(p, &s); err != nil {
+					return nil, err
+				}
+				if s.Responses == 0 {
+					continue
+				}
+				if out.Responses == 0 || s.MinEUR < out.MinEUR {
+					out.MinEUR = s.MinEUR
+				}
+				if s.MaxEUR > out.MaxEUR {
+					out.MaxEUR = s.MaxEUR
+				}
+				out.Responses += s.Responses
+				out.JobID = s.JobID
+			}
+			return out, nil
+		},
+		// Deletion counts sum.
+		"scrub_pii": func(parts []json.RawMessage) (any, error) {
+			var out scrubShape
+			for _, p := range parts {
+				var s scrubShape
+				if err := json.Unmarshal(p, &s); err != nil {
+					return nil, err
+				}
+				out.RequestsDeleted += s.RequestsDeleted
+				out.ResponsesDeleted += s.ResponsesDeleted
+			}
+			return out, nil
+		},
+	}
+}
+
+// spreadShape mirrors measurement.SpreadResult without importing the
+// package (measurement already imports store; the router stays below
+// it in the dependency order).
+type spreadShape struct {
+	JobID     string  `json:"job_id"`
+	Responses int     `json:"responses"`
+	MinEUR    float64 `json:"min_eur"`
+	MaxEUR    float64 `json:"max_eur"`
+}
+
+// scrubShape mirrors measurement.ScrubReport.
+type scrubShape struct {
+	RequestsDeleted  int `json:"requests_deleted"`
+	ResponsesDeleted int `json:"responses_deleted"`
+}
+
+// CountsCtx sums per-table row counts across the ring — the shard
+// status surface. Mid-handoff the totals include in-flight copies.
+func (r *Router) CountsCtx(ctx context.Context) (map[string]int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := make(map[string]int)
+	for _, m := range r.ring.Members {
+		c, err := r.client(m)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := c.CountsCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for t, n := range counts {
+			total[t] += n
+		}
+	}
+	return total, nil
+}
+
+// Status is the admin view of the data plane (the /shards surface and
+// sheriffctl shards).
+type Status struct {
+	RingVersion int64            `json:"ring_version"`
+	Rebalancing bool             `json:"rebalancing"`
+	LastChange  *RebalanceReport `json:"last_change,omitempty"`
+	Shards      []MemberStatus   `json:"shards"`
+}
+
+// MemberStatus describes one shard in a Status.
+type MemberStatus struct {
+	ID    string         `json:"id"`
+	Addr  string         `json:"addr"`
+	Share float64        `json:"share"` // fraction of the key space owned
+	Ops   int64          `json:"ops"`   // ops this router sent here
+	Keys  map[string]int `json:"keys"`  // per-table row counts
+}
+
+// Status snapshots ring membership, key-space shares, per-shard routed
+// ops and row counts, and the last completed ring change.
+func (r *Router) Status(ctx context.Context) (*Status, error) {
+	ring := r.Ring()
+	shares := ring.Shares()
+	ops := r.OpsByShard()
+	counts, err := r.CountsByShard(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.countMu.Lock()
+	last := r.lastRep
+	r.countMu.Unlock()
+	st := &Status{RingVersion: ring.Version, Rebalancing: r.Rebalancing(), LastChange: last}
+	for _, m := range ring.Members {
+		st.Shards = append(st.Shards, MemberStatus{
+			ID: m.ID, Addr: m.Addr, Share: shares[m.ID], Ops: ops[m.ID], Keys: counts[m.ID],
+		})
+	}
+	return st, nil
+}
+
+// CountsByShard returns per-member per-table row counts — the status
+// surface behind the admin UI's /shards and sheriffctl shards.
+func (r *Router) CountsByShard(ctx context.Context) (map[string]map[string]int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]map[string]int, len(r.ring.Members))
+	for _, m := range r.ring.Members {
+		c, err := r.client(m)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := c.CountsCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[m.ID] = counts
+	}
+	return out, nil
+}
+
+// ExportCtx downloads a merged snapshot of the whole plane: unsharded
+// tables from the Home shard, sharded tables concatenated with row IDs
+// reassigned per table and the responses→requests join rewritten per
+// source shard (the same fix-up the admin UI's import applies).
+func (r *Router) ExportCtx(ctx context.Context) (*store.Snapshot, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	merged := &store.Snapshot{}
+	tableIdx := make(map[string]int)
+	nextID := make(map[string]int64)
+	// idMap[table][memberID][oldID] = newID, for the join rewrite below.
+	idMap := make(map[string]map[string]map[int64]int64)
+
+	home := r.ring.Home()
+	for _, m := range r.ring.Members {
+		c, err := r.client(m)
+		if err != nil {
+			return nil, err
+		}
+		r.recordOp(m.ID, "export")
+		snap, err := c.ExportCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, ts := range snap.Tables {
+			name := ts.Spec.Name
+			if !r.sharded[name] && m.ID != home.ID {
+				continue // unsharded tables live on Home only
+			}
+			ti, ok := tableIdx[name]
+			if !ok {
+				ti = len(merged.Tables)
+				tableIdx[name] = ti
+				merged.Tables = append(merged.Tables, store.TableSnapshot{Spec: ts.Spec})
+			}
+			for _, row := range ts.Rows {
+				oldID, _ := numericID(row[store.ID])
+				if r.handoff != nil && r.handoff.isTarget(m.ID, name, oldID) {
+					continue // skip in-flight handoff copies
+				}
+				if r.drain != nil && r.drain.isSource(name, m.ID, oldID) {
+					continue // skip moved copies awaiting cleanup
+				}
+				nextID[name]++
+				clean := make(store.Row, len(row))
+				for k, v := range row {
+					clean[k] = v
+				}
+				clean[store.ID] = float64(nextID[name])
+				merged.Tables[ti].Rows = append(merged.Tables[ti].Rows, clean)
+				if oldID > 0 {
+					mm := idMap[name]
+					if mm == nil {
+						mm = make(map[string]map[int64]int64)
+						idMap[name] = mm
+					}
+					if mm[m.ID] == nil {
+						mm[m.ID] = make(map[int64]int64)
+					}
+					mm[m.ID][oldID] = nextID[name]
+					// Tag the row's origin so the join rewrite below can
+					// resolve the shard-local parent ID; stripped after.
+					clean["__shard"] = m.ID
+				}
+			}
+		}
+	}
+	// Rewrite joins: a child's parent ID is local to the shard both rows
+	// came from (key groups colocate), so resolve through that shard's
+	// ID map.
+	for ti := range merged.Tables {
+		name := merged.Tables[ti].Spec.Name
+		j, isChild := joinColumns[name]
+		for _, row := range merged.Tables[ti].Rows {
+			if isChild {
+				if oldRef, ok := numericID(row[j.column]); ok {
+					origin, _ := row["__shard"].(string)
+					if newRef, ok := idMap[j.parent][origin][oldRef]; ok {
+						row[j.column] = float64(newRef)
+					}
+				}
+			}
+			delete(row, "__shard")
+		}
+	}
+	return merged, nil
+}
+
+// Close releases every shard's connection pool.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	for _, c := range r.clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	r.clients = make(map[string]*store.Client)
+	return firstErr
+}

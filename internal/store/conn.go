@@ -1,0 +1,26 @@
+package store
+
+import "context"
+
+// Conn is the store access surface the rest of the system programs
+// against: the context-bounded subset of Client that measurement
+// servers, the coordinator, and core use on the request path. Both
+// *Client (one server) and shard.Router (a consistent-hash ring of
+// servers) implement it, so the data plane can grow from one store to
+// many without touching a single caller.
+type Conn interface {
+	CreateTableCtx(ctx context.Context, spec TableSpec) error
+	InsertCtx(ctx context.Context, table string, row Row) (int64, error)
+	InsertBatchCtx(ctx context.Context, table string, rows []Row) ([]int64, error)
+	GetCtx(ctx context.Context, table string, id int64) (Row, error)
+	UpdateCtx(ctx context.Context, table string, id int64, updates Row) error
+	DeleteCtx(ctx context.Context, table string, id int64) error
+	SelectCtx(ctx context.Context, q Query) ([]Row, error)
+	CallProcCtx(ctx context.Context, proc string, args any, out any) error
+	ExportCtx(ctx context.Context) (*Snapshot, error)
+	CountsCtx(ctx context.Context) (map[string]int, error)
+	Close() error
+}
+
+// Client implements Conn.
+var _ Conn = (*Client)(nil)

@@ -92,6 +92,22 @@ type (
 		Proc string          `json:"proc"`
 		Args json.RawMessage `json:"args,omitempty"`
 	}
+	deleteBatchReq struct {
+		Table string  `json:"table"`
+		IDs   []int64 `json:"ids"`
+	}
+	deleteBatchResp struct {
+		Removed int `json:"removed"`
+	}
+	countsResp struct {
+		Tables map[string]int `json:"tables"`
+	}
+	importMergeReq struct {
+		Snapshot json.RawMessage `json:"snapshot"`
+	}
+	importMergeResp struct {
+		IDs IDMap `json:"ids"`
+	}
 )
 
 // NewServer wraps db in an RPC server on the listener. Call Serve to start.
@@ -160,6 +176,31 @@ func NewServer(db *DB, lis transport.Listener) *Server {
 			return nil, err
 		}
 		return db.CallProc(req.Proc, req.Args)
+	})
+	s.handle("delete_batch", func(raw json.RawMessage) (any, error) {
+		var req deleteBatchReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		n, err := db.DeleteBatch(req.Table, req.IDs)
+		if err != nil {
+			return nil, err
+		}
+		return &deleteBatchResp{Removed: n}, nil
+	})
+	s.handle("counts", func(json.RawMessage) (any, error) {
+		return &countsResp{Tables: db.Counts()}, nil
+	})
+	s.handle("import_merge", func(raw json.RawMessage) (any, error) {
+		var req importMergeReq
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		idmap, err := db.ImportMerge(bytes.NewReader(req.Snapshot))
+		if err != nil {
+			return nil, err
+		}
+		return &importMergeResp{IDs: idmap}, nil
 	})
 	s.handle("export", func(json.RawMessage) (any, error) {
 		var buf bytes.Buffer
@@ -304,6 +345,38 @@ func (c *Client) CallProcCtx(ctx context.Context, proc string, args any, out any
 	return c.pool.CallCtx(ctx, "store.call", callReq{Proc: proc, Args: raw}, out)
 }
 
+// DeleteBatch removes many rows in one round trip, returning how many
+// actually existed — the rebalance cleanup path.
+func (c *Client) DeleteBatch(table string, ids []int64) (int, error) {
+	return c.DeleteBatchCtx(context.Background(), table, ids)
+}
+
+// DeleteBatchCtx is DeleteBatch bounded by a context.
+func (c *Client) DeleteBatchCtx(ctx context.Context, table string, ids []int64) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	var resp deleteBatchResp
+	if err := c.pool.CallCtx(ctx, "store.delete_batch", &deleteBatchReq{Table: table, IDs: ids}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Removed, nil
+}
+
+// Counts mirrors DB.Counts: live row count per table.
+func (c *Client) Counts() (map[string]int, error) {
+	return c.CountsCtx(context.Background())
+}
+
+// CountsCtx is Counts bounded by a context.
+func (c *Client) CountsCtx(ctx context.Context) (map[string]int, error) {
+	var resp countsResp
+	if err := c.pool.CallCtx(ctx, "store.counts", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
 // Export downloads the whole database as a Snapshot — how an operator
 // dumps a study's dataset from the live Database server.
 func (c *Client) Export() (*Snapshot, error) {
@@ -317,6 +390,18 @@ func (c *Client) ExportCtx(ctx context.Context) (*Snapshot, error) {
 		return nil, err
 	}
 	return &snap, nil
+}
+
+// ImportMergeCtx merges a snapshot (the Export JSON form) into the
+// server's database, returning the per-table old→new row ID assignment.
+// The shard rebalancer streams moved key ranges through this call.
+func (c *Client) ImportMergeCtx(ctx context.Context, snapshot []byte) (IDMap, error) {
+	req := importMergeReq{Snapshot: snapshot}
+	var resp importMergeResp
+	if err := c.pool.CallCtx(ctx, "store.import_merge", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
 }
 
 // Close releases the connection pool.

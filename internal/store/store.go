@@ -469,6 +469,66 @@ func (db *DB) Delete(tableName string, id int64) error {
 	return nil
 }
 
+// DeleteBatch removes many rows from one table under a single write
+// lock — the shard-rebalance cleanup path, where a cutover leaves
+// thousands of foreign rows to drop and a lock acquisition per row
+// would stall the engine. IDs not present are skipped (cleanup is
+// idempotent); the number actually removed is returned. Each removed
+// row still reports its own commit Op so WAL replay needs no new kind.
+func (db *DB) DeleteBatch(tableName string, ids []int64) (int, error) {
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, ErrNoTable
+	}
+	gone := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		r, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		for col, idx := range t.indexes {
+			if v, ok := r[col]; ok {
+				removeID(idx, canon(v), id)
+			}
+		}
+		for col, idx := range t.unique {
+			if v, ok := r[col]; ok {
+				delete(idx, canon(v))
+			}
+		}
+		delete(t.rows, id)
+		gone[id] = true
+		db.commit(Op{Kind: OpDelete, Table: tableName, ID: id})
+	}
+	if len(gone) > 0 {
+		keep := t.order[:0]
+		for _, oid := range t.order {
+			if !gone[oid] {
+				keep = append(keep, oid)
+			}
+		}
+		t.order = keep
+	}
+	return len(gone), nil
+}
+
+// Counts reports the live row count of every table — the shard status
+// surface, cheap enough to poll because it never touches row data.
+func (db *DB) Counts() map[string]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]int, len(db.tables))
+	for name, t := range db.tables {
+		out[name] = len(t.rows)
+	}
+	return out
+}
+
 // Select returns rows matching the query in insertion order. Uses an index
 // for the first indexed Eq column, scanning otherwise.
 func (db *DB) Select(q Query) ([]Row, error) {

@@ -69,6 +69,7 @@ var wireSamples = map[string]string{
 	"coord.newjob_response":   `{"job_id": "job-42", "server_addr": "inproc-3"}`,
 	"coord.heartbeat_request": `{"addr": "ms-addr", "pending": 4, "shedding": true}`,
 	"coord.job_ref":           `{"job_id": "job-42"}`,
+	"coord.ring_state":        `{"version": 3, "ring": {"version": 3, "seed": 9, "vnodes": 64, "members": [{"id": "shard-0", "addr": "inproc-1"}]}}`,
 	"transport_test.echo":     `{"name": "hello", "n": 3}`,
 }
 

@@ -1,0 +1,124 @@
+// Package urlkey is the single source of truth for URL key
+// normalization at the data-plane boundary. The shard router places a
+// row by hashing its product URL; the measurement servers group rows
+// for DiffStorage by the URL's host. If those two ever canonicalize
+// differently — one lowercases, the other keeps an explicit ":443",
+// one strips userinfo, the other doesn't — the same product lands on
+// two shards and range queries silently miss half their rows. Every
+// component goes through this package so a disagreement is impossible
+// by construction.
+//
+// The rules are deliberately lexical (no net/url round-trip): product
+// URLs in the wild arrive with uppercase schemes, stray userinfo from
+// copy-pasted basic-auth links, and explicit default ports, and the
+// store must treat all spellings of one product as one key even when
+// the URL wouldn't survive strict parsing.
+package urlkey
+
+import "strings"
+
+// Host extracts the canonical host from a product URL: scheme,
+// userinfo, port, and path are stripped and the result lowercased, so
+// "HTTP://user@Shop.example:8080/p" and "http://shop.example/q" group
+// under one shop. Bracketed IPv6 literals lose their brackets; an
+// unbracketed IPv6 literal (multiple colons, no brackets) is returned
+// whole because the colons are address, not port.
+func Host(url string) string {
+	_, rest := splitScheme(url)
+	rest = authority(rest)
+	rest = stripUserinfo(rest)
+	host, _ := splitHostPort(rest)
+	return strings.ToLower(host)
+}
+
+// Canonical rewrites a product URL into its placement form: scheme and
+// host lowercased, userinfo dropped, default ports (":80" for http,
+// ":443" for https) stripped, non-default ports kept, and the path,
+// query and fragment preserved byte-for-byte (paths are case-sensitive
+// on real shops). Two spellings of the same product URL canonicalize
+// to the same string, which is what the ring hashes.
+func Canonical(url string) string {
+	scheme, rest := splitScheme(url)
+	auth := authority(rest)
+	tail := rest[len(auth):] // path?query#fragment, possibly empty
+	auth = stripUserinfo(auth)
+	host, port := splitHostPort(auth)
+	host = strings.ToLower(host)
+
+	lscheme := strings.ToLower(scheme)
+	switch {
+	case port == "":
+	case lscheme == "http" && port == "80":
+		port = ""
+	case lscheme == "https" && port == "443":
+		port = ""
+	}
+
+	var b strings.Builder
+	b.Grow(len(url))
+	if scheme != "" {
+		b.WriteString(lscheme)
+		b.WriteString("://")
+	}
+	if strings.Contains(host, ":") && !strings.HasPrefix(host, "[") {
+		// Re-bracket IPv6 so host:port stays parseable.
+		b.WriteString("[")
+		b.WriteString(host)
+		b.WriteString("]")
+	} else {
+		b.WriteString(host)
+	}
+	if port != "" {
+		b.WriteString(":")
+		b.WriteString(port)
+	}
+	b.WriteString(tail)
+	return b.String()
+}
+
+// splitScheme returns (scheme, remainder-after-"://"). A URL without
+// "://" has no scheme and is returned whole.
+func splitScheme(url string) (scheme, rest string) {
+	if i := strings.Index(url, "://"); i >= 0 {
+		return url[:i], url[i+3:]
+	}
+	return "", url
+}
+
+// authority returns the userinfo@host:port prefix of rest — everything
+// up to the first path, query, or fragment delimiter.
+func authority(rest string) string {
+	if i := strings.IndexAny(rest, "/?#"); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// stripUserinfo drops a leading user[:pass]@; the last '@' delimits, as
+// userinfo may itself contain '@' percent-free in sloppy URLs.
+func stripUserinfo(auth string) string {
+	if i := strings.LastIndexByte(auth, '@'); i >= 0 {
+		return auth[i+1:]
+	}
+	return auth
+}
+
+// splitHostPort separates a trailing :port from the host. Bracketed
+// IPv6 literals are unwrapped; a colon-rich string without brackets is
+// an IPv6 address with no port at all.
+func splitHostPort(auth string) (host, port string) {
+	if strings.HasPrefix(auth, "[") {
+		if i := strings.IndexByte(auth, ']'); i >= 0 {
+			host = auth[1:i]
+			if rest := auth[i+1:]; strings.HasPrefix(rest, ":") {
+				port = rest[1:]
+			}
+			return host, port
+		}
+		return auth, "" // unterminated bracket: keep as-is
+	}
+	if i := strings.LastIndexByte(auth, ':'); i >= 0 && strings.Count(auth, ":") == 1 {
+		return auth[:i], auth[i+1:]
+	}
+	return auth, ""
+}
