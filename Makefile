@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test race chaos bench bench-crypto bench-rpc bench-scale experiments experiments-full fmt vet clean
+.PHONY: build lint test race chaos bench bench-crypto bench-rpc bench-scale bench-store experiments experiments-full fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,7 @@ test: lint
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/history ./internal/core ./internal/ha ./internal/shard
+	$(GO) test -race ./internal/obs ./internal/adminui ./internal/transport ./internal/admit ./internal/coordinator ./internal/retry ./internal/chaos ./internal/measurement ./internal/elgamal ./internal/privkmeans ./internal/store ./internal/store/diskengine ./internal/history ./internal/core ./internal/ha ./internal/shard
 	$(MAKE) chaos
 
 # The kill/partition chaos suite: boots a three-replica coordinator
@@ -70,6 +70,11 @@ bench-rpc:
 # shards (virtual time over a calibrated plane) and refresh the record.
 bench-scale:
 	$(GO) run ./cmd/benchtab -scale -scale-json BENCH_scale.json
+
+# Measure the pluggable storage engines (RAM maps vs the disk-resident
+# LSM, cold vs warm block cache) and refresh the machine-readable record.
+bench-store:
+	$(GO) run ./cmd/benchtab -store -store-json BENCH_store.json
 
 # Regenerate every table and figure of the paper (quick scale).
 experiments:

@@ -10,6 +10,7 @@
 //	benchtab -crypto [-crypto-json BENCH_crypto.json]
 //	benchtab -rpc [-rpc-json BENCH_rpc.json]
 //	benchtab -scale [-scale-json BENCH_scale.json]
+//	benchtab -store [-store-json BENCH_store.json]
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 		rpcJSON    = flag.String("rpc-json", "BENCH_rpc.json", "machine-readable output for -rpc")
 		scale      = flag.Bool("scale", false, "replay the adoption spike at 100x/1000x users over 1/2/4/8 store shards and exit")
 		scaleJSON  = flag.String("scale-json", "BENCH_scale.json", "machine-readable output for -scale")
+		storeB     = flag.Bool("store", false, "benchmark the storage engines (RAM maps vs disk LSM, cold vs warm cache) and exit")
+		storeJSON  = flag.String("store-json", "BENCH_store.json", "machine-readable output for -store")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -61,6 +64,15 @@ func main() {
 		fmt.Println("=== Scale replay: adoption spikes over the sharded data plane ===")
 		if err := experiments.ScaleBench(runner, os.Stdout, *scaleJSON); err != nil {
 			log.Fatalf("scale: %v", err)
+		}
+		return
+	}
+
+	if *storeB {
+		runner := experiments.NewRunner(experiments.Config{Full: *full, Seed: *seed})
+		fmt.Println("=== Storage engines: RAM maps vs disk LSM ===")
+		if err := experiments.StoreBench(runner, os.Stdout, *storeJSON); err != nil {
+			log.Fatalf("store: %v", err)
 		}
 		return
 	}

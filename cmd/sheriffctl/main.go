@@ -24,6 +24,7 @@
 //	sheriffctl logs -admin HOST:PORT [-level warn] [-trace TRACE_ID] [-json]
 //	sheriffctl cluster status -peers HOST:PORT,HOST:PORT,... [-json]
 //	sheriffctl shards -admin HOST:PORT [-json]
+//	sheriffctl tables -admin HOST:PORT [-json]
 //
 // With -trace, the check itself runs under a locally owned distributed
 // trace and the assembled cross-process span tree (submit → schedule →
@@ -83,6 +84,9 @@ func main() {
 			return
 		case "shards":
 			runShards(os.Args[2:])
+			return
+		case "tables":
+			runTables(os.Args[2:])
 			return
 		}
 	}

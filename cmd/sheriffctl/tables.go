@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+// tablesDoc mirrors adminui's /tables.json payload.
+type tablesDoc struct {
+	Tables []struct {
+		Shard     string `json:"shard"`
+		Name      string `json:"name"`
+		Engine    string `json:"engine"`
+		Rows      int64  `json:"rows"`
+		DiskBytes int64  `json:"disk_bytes"`
+		MemBytes  int64  `json:"mem_bytes"`
+		Runs      int    `json:"runs"`
+	} `json:"tables"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// runTables implements `sheriffctl tables`: fetch /tables.json from a
+// deployment's admin UI and print each table's storage engine, row
+// count, and disk footprint.
+func runTables(args []string) {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	admin := fs.String("admin", "", "admin UI address (required; sheriffd prints it)")
+	raw := fs.Bool("json", false, "print the raw JSON status")
+	fs.Parse(args)
+	if *admin == "" {
+		log.Fatal("need -admin (sheriffd prints the admin web ui address)")
+	}
+
+	cli := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cli.Get("http://" + *admin + "/tables.json")
+	if err != nil {
+		log.Fatalf("fetch tables: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("fetch tables: status %d", resp.StatusCode)
+	}
+
+	var doc tablesDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		log.Fatalf("decode tables: %v", err)
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+		return
+	}
+
+	fmt.Printf("page cache: %d hits / %d misses (%.1f%% hit ratio)\n",
+		doc.CacheHits, doc.CacheMisses, doc.CacheHitRatio*100)
+	fmt.Printf("%-10s %-18s %-6s %10s %12s %12s %5s\n",
+		"SHARD", "TABLE", "ENGINE", "ROWS", "DISK B", "MEMTBL B", "RUNS")
+	for _, t := range doc.Tables {
+		fmt.Printf("%-10s %-18s %-6s %10d %12d %12d %5d\n",
+			t.Shard, t.Name, t.Engine, t.Rows, t.DiskBytes, t.MemBytes, t.Runs)
+	}
+}

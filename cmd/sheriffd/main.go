@@ -22,6 +22,7 @@
 //
 //	sheriffd [-servers 2] [-domains 200] [-users 12] [-seed 1] [-admin 127.0.0.1:0] [-debug] [-dump study.json]
 //	         [-data-dir DIR] [-fsync always|interval|off] [-watch-interval 1m] [-watch domain1,domain2]
+//	         [-store-engine mem|disk] [-page-cache-mb 32] [-wal-segment-bytes N]
 package main
 
 import (
@@ -51,6 +52,21 @@ import (
 	"pricesheriff/internal/workload"
 )
 
+// tablesPlane adapts the System's storage report to the admin UI's
+// TablePlane surface (adminui must not import core).
+type tablesPlane struct{ sys *core.System }
+
+func (t tablesPlane) TablesStatus() []adminui.TableStatus {
+	sts := t.sys.TablesStatus()
+	out := make([]adminui.TableStatus, len(sts))
+	for i, st := range sts {
+		out[i] = adminui.TableStatus{Shard: st.Shard, TableStat: st.TableStat}
+	}
+	return out
+}
+
+func (t tablesPlane) EngineCacheStats() (int64, int64) { return t.sys.EngineCacheStats() }
+
 func main() {
 	var (
 		servers  = flag.Int("servers", 2, "measurement servers to boot")
@@ -71,6 +87,9 @@ func main() {
 
 		dataDir       = flag.String("data-dir", "", "durable data directory (WAL + checkpoints; empty = RAM only)")
 		fsyncMode     = flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
+		storeEngine   = flag.String("store-engine", "mem", "default storage engine for cold tables: mem or disk (disk requires -data-dir)")
+		pageCacheMB   = flag.Int("page-cache-mb", 0, "disk engine block-cache budget in MiB (0 = default 32)")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment size in bytes (0 = default 4 MiB)")
 		watchInterval = flag.Duration("watch-interval", time.Minute, "recurring-check period of the watch scheduler")
 		watchDomains  = flag.String("watch", "", "comma-separated domains to watch from boot (first product of each)")
 
@@ -191,6 +210,9 @@ func main() {
 		RetryPolicy:         retry.Policy{MaxAttempts: *retries},
 		DataDir:             *dataDir,
 		Fsync:               fsync,
+		StoreEngine:         *storeEngine,
+		PageCacheMB:         *pageCacheMB,
+		WALSegmentBytes:     *walSegBytes,
 		WatchInterval:       *watchInterval,
 		HeartbeatTimeout:    *hbTimeout,
 		HASelf:              *haSelf,
@@ -226,7 +248,7 @@ func main() {
 	}
 	fmt.Printf("  simulated peers:     %d\n", len(sys.Users()))
 	if *dataDir != "" {
-		fmt.Printf("  data dir:            %s (fsync=%s)\n", *dataDir, fsync)
+		fmt.Printf("  data dir:            %s (fsync=%s, engine=%s)\n", *dataDir, fsync, *storeEngine)
 	}
 
 	// Register boot-time watches: the first product of each listed domain.
@@ -263,6 +285,7 @@ func main() {
 		ui.Watches = sys.Watches()
 		ui.HA = sys.HANode()
 		ui.Shards = adminui.ShardPlaneFunc(sys.ShardStatus)
+		ui.Tables = tablesPlane{sys}
 		if *debug {
 			ui.EnableDebug()
 		}

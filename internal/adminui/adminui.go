@@ -21,6 +21,8 @@
 //	GET  /logs.json    the same records as JSON (same filters)
 //	GET  /shards       sharded store data plane: ring, shares, load
 //	GET  /shards.json  the same as JSON
+//	GET  /tables       per-table storage engines, rows, disk bytes, cache
+//	GET  /tables.json  the same as JSON
 //	GET  /healthz      liveness probe
 package adminui
 
@@ -66,6 +68,10 @@ type Server struct {
 	// shows that one router's ops; the deployment wires the fleet-merged
 	// core view so the panel counts every router's traffic.
 	Shards ShardPlane
+	// Tables backs /tables and /tables.json with per-table storage-engine
+	// placement, row counts, disk footprint, and the page-cache hit
+	// ratio (nil: 404).
+	Tables TablePlane
 
 	mux  *http.ServeMux
 	http *http.Server
@@ -108,6 +114,8 @@ func New(coord *coordinator.Coordinator) *Server {
 	s.mux.HandleFunc("/cluster.json", s.handleClusterJSON)
 	s.mux.HandleFunc("/shards", s.handleShards)
 	s.mux.HandleFunc("/shards.json", s.handleShardsJSON)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/tables.json", s.handleTablesJSON)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -173,6 +181,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/whitelist">Whitelist</a></li>
 <li><a href="/cluster">Cluster</a></li>
 <li><a href="/shards">Store shards</a></li>
+<li><a href="/tables">Tables &amp; storage engines</a></li>
 <li><a href="/history">Price history</a></li>
 <li><a href="/watches">Watches</a></li>
 <li><a href="/snapshot">Snapshot (export)</a></li>

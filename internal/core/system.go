@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,8 +32,22 @@ import (
 	"pricesheriff/internal/shard"
 	"pricesheriff/internal/shop"
 	"pricesheriff/internal/store"
+	"pricesheriff/internal/store/diskengine"
 	"pricesheriff/internal/transport"
 )
+
+// DiskTables names the tables Config.StoreEngine "disk" spills to the
+// LSM engine: the longitudinal, append-mostly cold data whose volume
+// grows with deployment age — exactly what must not be bounded by RAM.
+func DiskTables() []string {
+	return []string{
+		history.PointsTable.Name,
+		history.WatchesTable.Name,
+		history.WatchRunsTable.Name,
+		history.WatchVerdictsTable.Name,
+		measurement.ResponsesTable.Name,
+	}
+}
 
 // Config sizes a System. Zero values choose sensible defaults; the zero
 // Config boots a small world on the in-process fabric.
@@ -96,6 +112,17 @@ type Config struct {
 	Fsync history.FsyncPolicy
 	// WALSegmentBytes sizes WAL segments (default 4 MiB).
 	WALSegmentBytes int64
+	// StoreEngine places the cold longitudinal tables (history_points,
+	// watches, watch_runs, watch_verdicts, responses): "mem" (default)
+	// keeps the seed behaviour of everything in RAM maps; "disk" spills
+	// them to the LSM engine under DataDir/engine, bounding resident
+	// memory by the hot working set instead of by history volume.
+	// "disk" requires DataDir (the WAL is the engine's redo log). Hot
+	// tables (requests, in-flight state) stay in memory either way.
+	StoreEngine string
+	// PageCacheMB sizes the block cache shared by every disk-resident
+	// table (default 32). Only meaningful with StoreEngine "disk".
+	PageCacheMB int
 	// AutoCompactSegments folds cold WAL segments into a checkpoint when
 	// the segment count reaches this (default 8; <0 disables).
 	AutoCompactSegments int
@@ -342,7 +369,30 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	coreDB := store.NewDB()
+	var storeOpts store.Options
+	switch cfg.StoreEngine {
+	case "", store.EngineMem:
+	case store.EngineDisk:
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("core: store engine %q requires a data dir (the WAL is its redo log)", cfg.StoreEngine)
+		}
+		cacheMB := cfg.PageCacheMB
+		if cacheMB <= 0 {
+			cacheMB = 32
+		}
+		storeOpts = store.Options{
+			DiskTables: DiskTables(),
+			DiskFactory: diskengine.NewFactory(diskengine.Options{
+				Dir:        filepath.Join(cfg.DataDir, "engine"),
+				CacheBytes: int64(cacheMB) << 20,
+				Fsync:      cfg.Fsync != history.FsyncOff,
+				Metrics:    cfg.Metrics,
+			}),
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown store engine %q", cfg.StoreEngine)
+	}
+	coreDB := store.NewDBOptions(storeOpts)
 	s.coreDB = coreDB
 	s.histMetrics = history.NewMetrics(cfg.Metrics)
 	if cfg.DataDir != "" {
@@ -625,6 +675,49 @@ func (s *System) DB() store.Conn { return s.db }
 // server — the admin UI's snapshot endpoints stream straight from it
 // rather than deep-copying over RPC.
 func (s *System) StoreEngine() *store.DB { return s.coreDB }
+
+// TableStatus is one table's storage report on one local shard — the
+// sheriffctl tables / adminui /tables surface.
+type TableStatus struct {
+	Shard string `json:"shard"`
+	store.TableStat
+}
+
+// TablesStatus reports engine placement, row counts, and storage
+// footprint for every table on every local shard (the durable shard-0
+// plus RAM-only extra shards), ordered by shard then table. Each shard's
+// report is a consistent snapshot (store.TableStats's read-lock contract).
+func (s *System) TablesStatus() []TableStatus {
+	type namedDB struct {
+		id string
+		db *store.DB
+	}
+	dbs := []namedDB{{"shard-0", s.coreDB}}
+	s.shardMu.Lock()
+	ids := make([]string, 0, len(s.extraShards))
+	for id := range s.extraShards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		dbs = append(dbs, namedDB{id, s.extraShards[id].db})
+	}
+	s.shardMu.Unlock()
+	var out []TableStatus
+	for _, nd := range dbs {
+		for _, st := range nd.db.TableStats() {
+			out = append(out, TableStatus{Shard: nd.id, TableStat: st})
+		}
+	}
+	return out
+}
+
+// EngineCacheStats reports the disk engine's shared block-cache lifetime
+// hit/miss totals (both zero while no table is disk-resident).
+func (s *System) EngineCacheStats() (hits, misses int64) {
+	return s.metrics.Counter("sheriff_engine_cache_hits_total").Value(),
+		s.metrics.Counter("sheriff_engine_cache_misses_total").Value()
+}
 
 // History returns the longitudinal price-series index.
 func (s *System) History() *history.Index { return s.history }
@@ -1117,10 +1210,17 @@ func (s *System) Close() error {
 	s.shardMu.Unlock()
 	s.dbSrv.Close()
 	s.shopSrv.Close()
+	var firstErr error
 	if s.persister != nil {
-		return s.persister.Close()
+		firstErr = s.persister.Close()
 	}
-	return nil
+	// After the persister detaches (no more WAL appends), release the
+	// table engines — for disk-resident tables this runs a final flush so
+	// the next boot reattaches without replaying the whole memtable.
+	if err := s.coreDB.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // systemDirectory implements peer.DoppDirectory against the trained

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"pricesheriff/internal/obs"
+	"pricesheriff/internal/store"
+	"pricesheriff/internal/store/diskengine"
+)
+
+// StoreBench measures the pluggable storage engines head to head: the
+// RAM-map engine against the disk-resident LSM, over the operations the
+// watchdog's cold tables actually see — sequential inserts (watch runs
+// appending history), point gets by ID, and full-table range scans (the
+// time-series index load). The disk engine is measured twice per read
+// op: cold (a fresh process attach with an empty block cache, the
+// restart case) and warm (the steady-state case where the cache holds
+// the working set). Results go to w and, when jsonPath is non-empty, to
+// BENCH_store.json for regression tracking.
+func StoreBench(r *Runner, w io.Writer, jsonPath string) error {
+	rows, gets := 20_000, 4_000
+	if r.cfg.Full {
+		rows, gets = 100_000, 20_000
+	}
+	const cacheBytes = 8 << 20 // holds the quick-scale dataset: warm = cached
+
+	out := storeBenchJSON{Rows: rows, Gets: gets, CacheBytes: cacheBytes}
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	getIDs := make([]int64, gets)
+	for i := range getIDs {
+		getIDs[i] = 1 + rng.Int63n(int64(rows))
+	}
+
+	mem, err := benchMemEngine(rows, getIDs)
+	if err != nil {
+		return fmt.Errorf("mem engine: %w", err)
+	}
+	out.Engines = append(out.Engines, mem)
+
+	disk, err := benchDiskEngine(rows, getIDs, cacheBytes)
+	if err != nil {
+		return fmt.Errorf("disk engine: %w", err)
+	}
+	out.Engines = append(out.Engines, disk)
+
+	fmt.Fprintf(w, "%d rows, %d point gets, %d B block cache\n\n", rows, gets, cacheBytes)
+	fmt.Fprintf(w, "%-6s %12s %14s %14s %14s %14s %12s\n",
+		"engine", "insert ns/op", "get cold ns/op", "get warm ns/op", "scan cold ns/r", "scan warm ns/r", "disk bytes")
+	for _, e := range out.Engines {
+		fmt.Fprintf(w, "%-6s %12d %14d %14d %14d %14d %12d\n",
+			e.Engine, e.InsertNsPerOp, e.GetColdNsPerOp, e.GetWarmNsPerOp,
+			e.ScanColdNsPerRow, e.ScanWarmNsPerRow, e.DiskBytes)
+	}
+	fmt.Fprintf(w, "\ndisk: flush %s, %d runs; block cache %d hits / %d misses after the warm passes\n",
+		time.Duration(disk.FlushNs).Round(time.Millisecond), disk.Runs, disk.CacheHits, disk.CacheMisses)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// benchRow is one synthetic history point, sized like the real thing.
+func benchRow(i int) store.Row {
+	return store.Row{
+		"url":     fmt.Sprintf("http://shop-%04d.com/product/p%02d", i%200, i%40),
+		"country": "US",
+		"price":   100 + float64(i%900),
+		"t":       float64(1_500_000_000 + i*60),
+	}
+}
+
+const benchTable = "bench_points"
+
+// fillTable inserts rows sequentially and returns ns/op.
+func fillTable(db *store.DB, rows int) (int64, error) {
+	start := time.Now()
+	for i := 0; i < rows; i++ {
+		if _, err := db.Insert(benchTable, benchRow(i)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(rows), nil
+}
+
+// timeGets point-reads each ID via the streaming iterator and returns
+// ns/op.
+func timeGets(db *store.DB, ids []int64) (int64, error) {
+	start := time.Now()
+	hits := 0
+	for _, id := range ids {
+		err := db.ScanRange(benchTable, id, id, func(int64, store.Row) bool {
+			hits++
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if hits != len(ids) {
+		return 0, fmt.Errorf("point gets found %d of %d rows", hits, len(ids))
+	}
+	return time.Since(start).Nanoseconds() / int64(len(ids)), nil
+}
+
+// timeScan streams the whole table and returns ns/row.
+func timeScan(db *store.DB, rows int) (int64, error) {
+	start := time.Now()
+	n := 0
+	err := db.ScanRange(benchTable, 0, 0, func(int64, store.Row) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if n != rows {
+		return 0, fmt.Errorf("scan saw %d of %d rows", n, rows)
+	}
+	return time.Since(start).Nanoseconds() / int64(rows), nil
+}
+
+func benchMemEngine(rows int, getIDs []int64) (engineBench, error) {
+	e := engineBench{Engine: store.EngineMem}
+	db := store.NewDB()
+	if err := db.CreateTable(store.TableSpec{Name: benchTable}); err != nil {
+		return e, err
+	}
+	var err error
+	if e.InsertNsPerOp, err = fillTable(db, rows); err != nil {
+		return e, err
+	}
+	// RAM maps have no cache to warm: cold and warm are the same number.
+	if e.GetColdNsPerOp, err = timeGets(db, getIDs); err != nil {
+		return e, err
+	}
+	if e.GetWarmNsPerOp, err = timeGets(db, getIDs); err != nil {
+		return e, err
+	}
+	if e.ScanColdNsPerRow, err = timeScan(db, rows); err != nil {
+		return e, err
+	}
+	if e.ScanWarmNsPerRow, err = timeScan(db, rows); err != nil {
+		return e, err
+	}
+	return e, db.Close()
+}
+
+func benchDiskEngine(rows int, getIDs []int64, cacheBytes int64) (engineBench, error) {
+	e := engineBench{Engine: store.EngineDisk}
+	dir, err := os.MkdirTemp("", "storebench-*")
+	if err != nil {
+		return e, err
+	}
+	defer os.RemoveAll(dir)
+
+	// openDisk attaches a DB to dir with a fresh (empty) block cache —
+	// each call is a simulated process restart.
+	openDisk := func() (*store.DB, *obs.Registry, error) {
+		reg := obs.NewRegistry()
+		db := store.NewDBOptions(store.Options{
+			DefaultEngine: store.EngineDisk,
+			DiskFactory: diskengine.NewFactory(diskengine.Options{
+				Dir: dir, CacheBytes: cacheBytes, Metrics: reg,
+			}),
+		})
+		if err := db.CreateTable(store.TableSpec{Name: benchTable}); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		return db, reg, nil
+	}
+
+	db, _, err := openDisk()
+	if err != nil {
+		return e, err
+	}
+	if e.InsertNsPerOp, err = fillTable(db, rows); err != nil {
+		return e, err
+	}
+	start := time.Now()
+	if err := db.FlushEngines(); err != nil {
+		return e, err
+	}
+	e.FlushNs = time.Since(start).Nanoseconds()
+	for _, st := range db.TableStats() {
+		if st.Name == benchTable {
+			e.DiskBytes, e.Runs = st.DiskBytes, st.Runs
+		}
+	}
+	if err := db.Close(); err != nil {
+		return e, err
+	}
+
+	// Restart #1: point gets, cold then warm.
+	db, reg, err := openDisk()
+	if err != nil {
+		return e, err
+	}
+	if e.GetColdNsPerOp, err = timeGets(db, getIDs); err != nil {
+		return e, err
+	}
+	if e.GetWarmNsPerOp, err = timeGets(db, getIDs); err != nil {
+		return e, err
+	}
+	hits := reg.Counter("sheriff_engine_cache_hits_total").Value()
+	misses := reg.Counter("sheriff_engine_cache_misses_total").Value()
+	if err := db.Close(); err != nil {
+		return e, err
+	}
+
+	// Restart #2: full scans, cold then warm.
+	db, reg, err = openDisk()
+	if err != nil {
+		return e, err
+	}
+	if e.ScanColdNsPerRow, err = timeScan(db, rows); err != nil {
+		return e, err
+	}
+	if e.ScanWarmNsPerRow, err = timeScan(db, rows); err != nil {
+		return e, err
+	}
+	e.CacheHits = hits + reg.Counter("sheriff_engine_cache_hits_total").Value()
+	e.CacheMisses = misses + reg.Counter("sheriff_engine_cache_misses_total").Value()
+	return e, db.Close()
+}
+
+type storeBenchJSON struct {
+	Rows       int           `json:"rows"`
+	Gets       int           `json:"gets"`
+	CacheBytes int64         `json:"cache_bytes"`
+	Engines    []engineBench `json:"engines"`
+}
+
+type engineBench struct {
+	Engine           string `json:"engine"`
+	InsertNsPerOp    int64  `json:"insert_ns_per_op"`
+	FlushNs          int64  `json:"flush_ns,omitempty"`
+	GetColdNsPerOp   int64  `json:"get_cold_ns_per_op"`
+	GetWarmNsPerOp   int64  `json:"get_warm_ns_per_op"`
+	ScanColdNsPerRow int64  `json:"scan_cold_ns_per_row"`
+	ScanWarmNsPerRow int64  `json:"scan_warm_ns_per_row"`
+	DiskBytes        int64  `json:"disk_bytes,omitempty"`
+	Runs             int    `json:"runs,omitempty"`
+	CacheHits        int64  `json:"cache_hits,omitempty"`
+	CacheMisses      int64  `json:"cache_misses,omitempty"`
+}

@@ -208,6 +208,16 @@ func (p *Persister) Compact() error {
 		return err
 	}
 
+	// Every op below the cut is already applied to the engines (the
+	// commit hook logs after applying, under the same write lock), so
+	// flushing now makes disk-resident tables durable in their own run
+	// files — which is what lets the checkpoint below carry only their
+	// specs, keeping checkpoint size and recovery time proportional to
+	// the in-memory working set rather than to history volume.
+	if err := p.db.FlushEngines(); err != nil {
+		return fmt.Errorf("history: flush engines: %w", err)
+	}
+
 	tmp := filepath.Join(p.dir, checkpointFile+checkpointTempSuffix)
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -217,7 +227,7 @@ func (p *Persister) Compact() error {
 		f.Close()
 		return err
 	}
-	if err := p.db.Export(f); err != nil {
+	if err := p.db.ExportCheckpoint(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -49,21 +49,19 @@ func NewIndex(m *Metrics) *Index {
 // Load rebuilds the index from the history_points table (missing table =
 // fresh deployment, not an error).
 func (ix *Index) Load(db *store.DB) error {
-	rows, err := db.Select(store.Query{Table: PointsTable.Name})
-	if err != nil {
-		if err == store.ErrNoTable {
-			return nil
-		}
-		return err
-	}
 	// Build the replacement aside and swap it in whole, so Load doubles
 	// as a refresh after a snapshot import without duplicating points
-	// the cache already holds.
+	// the cache already holds. Points stream through ScanRange instead
+	// of a materialized Select: history_points is exactly the table that
+	// spills to the disk engine, and boot-time Load must not pull a
+	// year of history into one slice.
 	fresh := make(map[SeriesKey][]Point)
-	for _, r := range rows {
+	var loadErr error
+	err := db.ScanRange(PointsTable.Name, 0, 0, func(id int64, r store.Row) bool {
 		key, pt, err := pointFromRow(r)
 		if err != nil {
-			return err
+			loadErr = err
+			return false
 		}
 		s := fresh[key]
 		if n := len(s); n > 0 && pt.T.Before(s[n-1].T) {
@@ -76,6 +74,16 @@ func (ix *Index) Load(db *store.DB) error {
 		}
 		fresh[key] = s
 		ix.metrics.pointAppended()
+		return true
+	})
+	if loadErr != nil {
+		return loadErr
+	}
+	if err != nil {
+		if err == store.ErrNoTable {
+			return nil
+		}
+		return err
 	}
 	ix.mu.Lock()
 	ix.series = fresh

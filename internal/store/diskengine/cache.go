@@ -1,0 +1,112 @@
+package diskengine
+
+import (
+	"container/list"
+	"sync"
+
+	"pricesheriff/internal/obs"
+)
+
+// cache is the block cache every disk-resident table shares: decoded
+// pages keyed by (file, offset), evicted LRU against one byte budget so
+// the operator sizes cold-history memory with a single -page-cache-mb
+// knob instead of per table. Entries are immutable once inserted (run
+// files never change), so hits hand out the cached slice directly.
+type cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[cacheKey]*list.Element
+
+	hits, misses *obs.Counter // optional
+}
+
+type cacheKey struct {
+	file string
+	off  int64
+}
+
+type cacheItem struct {
+	key  cacheKey
+	ents []blockEntry
+	size int64
+}
+
+// newCache builds a cache with a byte budget (minimum one block, so even
+// a tiny budget still caches the hot page). Metrics are optional.
+func newCache(budget int64, met *obs.Registry) *cache {
+	if budget < blockTargetBytes {
+		budget = blockTargetBytes
+	}
+	c := &cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[cacheKey]*list.Element),
+	}
+	if met != nil {
+		c.hits = met.Counter("sheriff_engine_cache_hits_total")
+		c.misses = met.Counter("sheriff_engine_cache_misses_total")
+	}
+	return c
+}
+
+func (c *cache) get(file string, off int64) ([]blockEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{file, off}]
+	if !ok {
+		if c.misses != nil {
+			c.misses.Inc()
+		}
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	if c.hits != nil {
+		c.hits.Inc()
+	}
+	return el.Value.(*cacheItem).ents, true
+}
+
+func (c *cache) put(file string, off int64, ents []blockEntry, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{file, off}
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, ents: ents, size: size})
+	c.used += size
+	for c.used > c.budget && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		it := el.Value.(*cacheItem)
+		c.ll.Remove(el)
+		delete(c.items, it.key)
+		c.used -= it.size
+	}
+}
+
+// dropFile evicts every block of one file — called when a compaction
+// deletes run files, so the budget isn't pinned by unreachable pages.
+func (c *cache) dropFile(file string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*cacheItem)
+		if it.key.file == file {
+			c.ll.Remove(el)
+			delete(c.items, it.key)
+			c.used -= it.size
+		}
+		el = next
+	}
+}
+
+// counters reports lifetime hits and misses (0,0 without metrics).
+func (c *cache) counters() (hits, misses int64) {
+	if c.hits == nil {
+		return 0, 0
+	}
+	return c.hits.Value(), c.misses.Value()
+}

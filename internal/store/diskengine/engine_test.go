@@ -1,0 +1,294 @@
+package diskengine
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pricesheriff/internal/obs"
+	"pricesheriff/internal/store"
+)
+
+func testEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 1 << 20
+	}
+	if opts.CompactRuns == 0 {
+		opts.CompactRuns = 3
+	}
+	eng, err := open(opts, "t", newCache(opts.CacheBytes, opts.Metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func row(i int) store.Row {
+	return store.Row{"_id": float64(i), "v": float64(i), "s": fmt.Sprintf("row-%d", i)}
+}
+
+func TestEngineAcrossFlushes(t *testing.T) {
+	e := testEngine(t, Options{})
+	defer e.Close()
+	for i := 1; i <= 100; i++ {
+		if _, err := e.Put(int64(i), row(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 0 {
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e.Count() != 100 || e.MaxID() != 100 {
+		t.Fatalf("count %d maxID %d", e.Count(), e.MaxID())
+	}
+	for i := 1; i <= 100; i++ {
+		r, ok, err := e.Get(int64(i))
+		if err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+		if r["v"] != float64(i) {
+			t.Fatalf("get %d: %v", i, r)
+		}
+	}
+	// Overwrite across the flush boundary: newest wins.
+	if replaced, err := e.Put(10, store.Row{"v": float64(-10)}); err != nil || !replaced {
+		t.Fatalf("overwrite: replaced=%v err=%v", replaced, err)
+	}
+	if e.Count() != 100 {
+		t.Fatalf("count after overwrite = %d", e.Count())
+	}
+	r, _, _ := e.Get(10)
+	if r["v"] != float64(-10) {
+		t.Fatalf("overwritten row = %v", r)
+	}
+}
+
+func TestEngineReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, CacheBytes: 1 << 20, CompactRuns: 3}
+	e := testEngine(t, opts)
+	for i := 1; i <= 60; i++ {
+		e.Put(int64(i), row(i))
+	}
+	e.Delete(30)
+	if err := e.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+	e2 := testEngine(t, opts)
+	defer e2.Close()
+	if e2.Count() != 59 || e2.MaxID() != 60 {
+		t.Fatalf("reopened count %d maxID %d", e2.Count(), e2.MaxID())
+	}
+	if _, ok, _ := e2.Get(30); ok {
+		t.Fatal("deleted row survived reopen")
+	}
+	var ids []int64
+	e2.Scan(1, 1<<62, func(id int64, r store.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 59 {
+		t.Fatalf("scan found %d rows", len(ids))
+	}
+}
+
+func TestEngineCompactionRetiresTombstones(t *testing.T) {
+	e := testEngine(t, Options{CompactRuns: 2})
+	defer e.Close()
+	for i := 1; i <= 30; i++ {
+		e.Put(int64(i), row(i))
+	}
+	e.Flush()
+	for i := 1; i <= 15; i++ {
+		e.Delete(int64(i))
+	}
+	e.Flush()
+	e.Put(31, row(31))
+	e.Flush() // 3 runs > CompactRuns=2 → full merge
+	st := e.Stats()
+	if st.Runs != 1 {
+		t.Fatalf("runs after compaction = %d, want 1", st.Runs)
+	}
+	if st.Rows != 16 {
+		t.Fatalf("rows after compaction = %d, want 16", st.Rows)
+	}
+	for i := 1; i <= 15; i++ {
+		if _, ok, _ := e.Get(int64(i)); ok {
+			t.Fatalf("tombstoned row %d resurrected by compaction", i)
+		}
+	}
+}
+
+// TestEngineOrphanRunIgnored is the tombstone-resurrection regression: a
+// run file not committed by the manifest (a crash between writing a
+// compacted run and the manifest swap, or between flush and commit)
+// must be deleted at open, not picked up.
+func TestEngineOrphanRunIgnored(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, CacheBytes: 1 << 20, CompactRuns: 10}
+	e := testEngine(t, opts)
+	e.Put(1, row(1))
+	e.Flush()
+	e.Close()
+	// Forge an orphan: copy the committed run under an uncommitted name.
+	tdir := filepath.Join(dir, "t")
+	committed, err := os.ReadFile(filepath.Join(tdir, "run-00000001.sst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(tdir, "run-00000099.sst")
+	if err := os.WriteFile(orphan, committed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := testEngine(t, opts)
+	defer e2.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan run not deleted at open: %v", err)
+	}
+	if e2.Count() != 1 {
+		t.Fatalf("count = %d, want 1", e2.Count())
+	}
+}
+
+func TestEngineScanMergesNewestWins(t *testing.T) {
+	e := testEngine(t, Options{CompactRuns: 10})
+	defer e.Close()
+	for i := 1; i <= 10; i++ {
+		e.Put(int64(i), store.Row{"gen": float64(1)})
+	}
+	e.Flush()
+	for i := 5; i <= 8; i++ {
+		e.Put(int64(i), store.Row{"gen": float64(2)})
+	}
+	e.Flush()
+	e.Delete(6)
+	e.Put(7, store.Row{"gen": float64(3)}) // memtable beats both runs
+	want := map[int64]float64{1: 1, 2: 1, 3: 1, 4: 1, 5: 2, 7: 3, 8: 2, 9: 1, 10: 1}
+	got := map[int64]float64{}
+	err := e.Scan(1, 100, func(id int64, r store.Row) bool {
+		got[id] = r["gen"].(float64)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for id, gen := range want {
+		if got[id] != gen {
+			t.Fatalf("id %d: gen %v, want %v", id, got[id], gen)
+		}
+	}
+}
+
+func TestEngineTinyCacheStillReads(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := testEngine(t, Options{CacheBytes: 1, Metrics: reg}) // one-block budget
+	defer e.Close()
+	for i := 1; i <= 2000; i++ {
+		e.Put(int64(i), row(i))
+	}
+	e.Flush()
+	for i := 1; i <= 2000; i += 97 {
+		if _, ok, err := e.Get(int64(i)); !ok || err != nil {
+			t.Fatalf("get %d under tiny cache: ok=%v err=%v", i, ok, err)
+		}
+	}
+	hits, misses := e.CacheCounters()
+	if hits+misses == 0 {
+		t.Fatal("cache counters never moved")
+	}
+}
+
+// TestEngineConcurrentReadsDuringFlush exercises the one genuinely
+// concurrent path: FlushEngines runs outside the DB write lock, racing
+// readers. Run under -race.
+func TestEngineConcurrentReadsDuringFlush(t *testing.T) {
+	e := testEngine(t, Options{CompactRuns: 2})
+	defer e.Close()
+	for i := 1; i <= 500; i++ {
+		e.Put(int64(i), row(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := int64(i%500 + 1)
+				if _, _, err := e.Get(id); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				e.Scan(id, id+10, func(int64, store.Row) bool { return true })
+			}
+		}(g)
+	}
+	for f := 0; f < 5; f++ {
+		for i := 1; i <= 100; i++ {
+			e.Put(int64(500+f*100+i), row(i))
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if e.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", e.Count())
+	}
+}
+
+func registryHas(t *testing.T, reg *obs.Registry, name string) bool {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Contains(buf.String(), name)
+}
+
+func TestEngineMetricsPresence(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := NewFactory(Options{Dir: t.TempDir(), CacheBytes: 1 << 20, Metrics: reg})
+	eng, err := f("history_points")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Put(1, store.Row{"v": 1.0})
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Get(1)
+	for _, name := range []string{
+		"sheriff_engine_rows",
+		"sheriff_engine_disk_bytes",
+		"sheriff_engine_runs",
+		"sheriff_engine_memtable_bytes",
+		"sheriff_engine_flushes_total",
+		"sheriff_engine_cache_hits_total",
+		"sheriff_engine_cache_misses_total",
+	} {
+		if !registryHas(t, reg, name) {
+			t.Errorf("metric %s not registered", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -27,12 +28,33 @@ type TableSnapshot struct {
 // responses.request_id join onto requests).
 type IDMap map[string]map[int64]int64
 
-// Export writes the whole database as JSON, streaming table by table: the
-// engine is locked only while one table's rows are copied, so exporting a
-// large DB neither doubles resident memory for the whole corpus nor
-// stalls writers for the full encode. Tables created after the export
-// begins are not included.
+// exportChunk is how many rows are copied out per lock hold while
+// streaming an export: small enough that writers are never stalled for a
+// table-sized copy, large enough that lock churn stays negligible.
+const exportChunk = 512
+
+// Export writes the whole database as JSON, streaming in bounded chunks:
+// the engine is locked only while one chunk of rows is copied out, so
+// exporting a large DB neither doubles resident memory for the corpus nor
+// stalls writers while a table encodes. Tables created after the export
+// begins are not included; rows inserted behind the per-table ID cursor
+// mid-export are not re-read.
 func (db *DB) Export(w io.Writer) error {
+	return db.export(w, false)
+}
+
+// ExportCheckpoint writes the snapshot the WAL checkpoint cycle embeds:
+// identical to Export except that rows of disk-resident tables are
+// omitted (spec only) — their bytes are already durable in the engine's
+// own files, so re-serializing them would make checkpoint size (and
+// recovery time) proportional to history volume instead of to the hot
+// in-memory working set. Recovery re-attaches the table to its files via
+// CreateTable and replays only the WAL tail over it.
+func (db *DB) ExportCheckpoint(w io.Writer) error {
+	return db.export(w, true)
+}
+
+func (db *DB) export(w io.Writer, skipDiskRows bool) error {
 	db.mu.RLock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
@@ -45,7 +67,7 @@ func (db *DB) Export(w io.Writer) error {
 		return err
 	}
 	enc := json.NewEncoder(w)
-	first := true
+	firstTable := true
 	for _, name := range names {
 		db.mu.RLock()
 		t, ok := db.tables[name]
@@ -53,26 +75,75 @@ func (db *DB) Export(w io.Writer) error {
 			db.mu.RUnlock()
 			continue
 		}
-		ts := TableSnapshot{Spec: t.spec, Rows: make([]Row, 0, len(t.order))}
-		for _, id := range t.order {
-			if r, ok := t.rows[id]; ok {
-				ts.Rows = append(ts.Rows, copyRow(r))
-			}
-		}
+		spec := t.spec
+		skipRows := skipDiskRows && spec.Engine == EngineDisk
 		db.mu.RUnlock()
 
-		if !first {
+		if !firstTable {
 			if _, err := io.WriteString(w, ","); err != nil {
 				return err
 			}
 		}
-		first = false
-		if err := enc.Encode(&ts); err != nil {
+		firstTable = false
+		if _, err := io.WriteString(w, `{"spec":`); err != nil {
+			return err
+		}
+		if err := enc.Encode(&spec); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, `,"rows":[`); err != nil {
+			return err
+		}
+		if !skipRows {
+			if err := db.exportRows(w, enc, name); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "]}"); err != nil {
 			return err
 		}
 	}
 	_, err := io.WriteString(w, "]}\n")
 	return err
+}
+
+// exportRows streams one table's rows, copying out at most exportChunk
+// rows per read-lock hold and resuming from the last seen ID.
+func (db *DB) exportRows(w io.Writer, enc *json.Encoder, name string) error {
+	cursor := int64(1)
+	firstRow := true
+	for {
+		db.mu.RLock()
+		t, ok := db.tables[name]
+		if !ok { // dropped mid-export
+			db.mu.RUnlock()
+			return nil
+		}
+		chunk := make([]Row, 0, exportChunk)
+		err := t.eng.Scan(cursor, math.MaxInt64, func(id int64, r Row) bool {
+			chunk = append(chunk, copyRow(r))
+			cursor = id + 1
+			return len(chunk) < exportChunk
+		})
+		db.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		for _, r := range chunk {
+			if !firstRow {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			firstRow = false
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		if len(chunk) < exportChunk {
+			return nil
+		}
+	}
 }
 
 // Import loads a snapshot into an empty database. Row IDs are reassigned
@@ -168,7 +239,9 @@ func (db *DB) checkMergeable(snap *Snapshot) error {
 // ImportReplay loads a snapshot preserving original row IDs — the
 // WAL-recovery path, where cross-table references must survive verbatim
 // and subsequent log records address rows by their recorded IDs. Existing
-// tables are tolerated; rows already stored under an ID are replaced.
+// tables are tolerated; rows already stored under an ID are replaced. A
+// disk-resident table arriving with no rows (an ExportCheckpoint spec)
+// re-attaches to its engine files inside CreateTable.
 func (db *DB) ImportReplay(r io.Reader) error {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {

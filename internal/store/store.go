@@ -2,16 +2,19 @@
 // system used MySQL on a dedicated Database server shared by all
 // Measurement servers, after an earlier embedded-per-server design caused
 // consistency problems (paper Sect. 3.1.1). This package supplies the same
-// architectural options: an embeddable in-memory relational engine (DB)
-// and a network server exposing it to many measurement servers over the
-// transport fabric, with stored procedures and client connection pooling —
-// the two optimizations the paper calls out in Sect. 10.2.1.
+// architectural options: an embeddable relational engine (DB) with
+// pluggable per-table row storage (RAM maps or the disk-resident LSM in
+// internal/store/diskengine) and a network server exposing it to many
+// measurement servers over the transport fabric, with stored procedures
+// and client connection pooling — the two optimizations the paper calls
+// out in Sect. 10.2.1.
 package store
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -36,11 +39,17 @@ var (
 )
 
 // TableSpec declares a table: its name, optional secondary indexes and
-// optional unique indexes (all single-column).
+// optional unique indexes (all single-column), and optionally which
+// storage engine holds its rows. An empty Engine defers to the DB's
+// table policy (Options.DiskTables / Options.DefaultEngine); a named
+// engine wins over policy but still degrades to "mem" on a DB with no
+// disk factory configured — a snapshot spilled table imported into a
+// RAM-only shard simply lands in memory.
 type TableSpec struct {
 	Name   string   `json:"name"`
 	Index  []string `json:"index,omitempty"`
 	Unique []string `json:"unique,omitempty"`
+	Engine string   `json:"engine,omitempty"`
 }
 
 // Range restricts a numeric column to [Min, Max]; nil bounds are open.
@@ -94,19 +103,37 @@ type CommitHook func(Op)
 
 type table struct {
 	spec    TableSpec
-	rows    map[int64]Row
-	order   []int64 // insertion order of live rows (IDs, ascending)
+	eng     Engine
 	nextID  int64
 	indexes map[string]map[string][]int64 // column -> canonical value -> ids
 	unique  map[string]map[string]int64   // column -> canonical value -> id
 }
 
-// DB is the in-memory engine. All methods are safe for concurrent use.
+// Options configure a DB beyond the zero-value in-memory default.
+type Options struct {
+	// DiskTables names tables whose rows spill to the disk-resident
+	// engine (when a DiskFactory is configured) even though their spec
+	// doesn't say so — the per-deployment policy knob core threads from
+	// -store-engine.
+	DiskTables []string
+	// DefaultEngine is the engine of tables neither the spec nor
+	// DiskTables place ("" = EngineMem).
+	DefaultEngine string
+	// DiskFactory opens the disk-resident engine for a table — wire it
+	// from internal/store/diskengine (which cannot be imported here
+	// without a cycle). Nil forces every table onto the in-memory
+	// engine regardless of spec or policy.
+	DiskFactory func(table string) (Engine, error)
+}
+
+// DB is the relational engine. All methods are safe for concurrent use.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	procs  map[string]Proc
 	hook   CommitHook
+	opts   Options
+	disk   map[string]bool // Options.DiskTables, as a set
 }
 
 // SetCommitHook installs (or, with nil, removes) the commit observer.
@@ -123,15 +150,52 @@ func (db *DB) commit(op Op) {
 	}
 }
 
-// NewDB creates an empty engine.
-func NewDB() *DB {
-	return &DB{
+// NewDB creates an empty all-in-memory engine.
+func NewDB() *DB { return NewDBOptions(Options{}) }
+
+// NewDBOptions creates an empty engine with a storage policy.
+func NewDBOptions(opts Options) *DB {
+	db := &DB{
 		tables: make(map[string]*table),
 		procs:  make(map[string]Proc),
+		opts:   opts,
+		disk:   make(map[string]bool, len(opts.DiskTables)),
 	}
+	for _, name := range opts.DiskTables {
+		db.disk[name] = true
+	}
+	return db
 }
 
-// CreateTable adds a table.
+// openEngine resolves and opens the engine for a new table: an explicit
+// spec wins, then the DiskTables policy, then the default. Disk resolves
+// to memory when no factory is wired.
+func (db *DB) openEngine(spec TableSpec) (Engine, string, error) {
+	kind := spec.Engine
+	if kind == "" {
+		if db.disk[spec.Name] {
+			kind = EngineDisk
+		} else if db.opts.DefaultEngine != "" {
+			kind = db.opts.DefaultEngine
+		} else {
+			kind = EngineMem
+		}
+	}
+	if kind == EngineDisk && db.opts.DiskFactory != nil {
+		eng, err := db.opts.DiskFactory(spec.Name)
+		if err != nil {
+			return nil, "", fmt.Errorf("store: open disk engine for %s: %w", spec.Name, err)
+		}
+		return eng, EngineDisk, nil
+	}
+	return newMemEngine(), EngineMem, nil
+}
+
+// CreateTable adds a table. When the resolved engine already holds rows
+// (a disk-resident table surviving from the previous boot), the table
+// attaches to them: secondary and unique indexes are rebuilt with one
+// sequential scan and the auto-increment watermark resumes past the
+// highest stored ID.
 func (db *DB) CreateTable(spec TableSpec) error {
 	if spec.Name == "" {
 		return ErrBadQuery
@@ -141,10 +205,19 @@ func (db *DB) CreateTable(spec TableSpec) error {
 	if _, ok := db.tables[spec.Name]; ok {
 		return ErrTableExists
 	}
+	eng, kind, err := db.openEngine(spec)
+	if err != nil {
+		return err
+	}
+	if kind == EngineDisk {
+		// Self-describing specs: checkpoints and snapshots carry the
+		// placement, so recovery re-attaches without re-consulting policy.
+		spec.Engine = EngineDisk
+	}
 	t := &table{
 		spec:    spec,
-		rows:    make(map[int64]Row),
-		nextID:  1,
+		eng:     eng,
+		nextID:  eng.MaxID() + 1,
 		indexes: make(map[string]map[string][]int64),
 		unique:  make(map[string]map[string]int64),
 	}
@@ -154,20 +227,42 @@ func (db *DB) CreateTable(spec TableSpec) error {
 	for _, col := range spec.Unique {
 		t.unique[col] = make(map[string]int64)
 	}
+	if eng.Count() > 0 && (len(t.indexes) > 0 || len(t.unique) > 0) {
+		err := eng.Scan(1, math.MaxInt64, func(id int64, r Row) bool {
+			for col, idx := range t.indexes {
+				if v, ok := r[col]; ok {
+					key := canon(v)
+					idx[key] = append(idx[key], id)
+				}
+			}
+			for col, idx := range t.unique {
+				if v, ok := r[col]; ok {
+					idx[canon(v)] = id
+				}
+			}
+			return true
+		})
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("store: rebuild indexes for %s: %w", spec.Name, err)
+		}
+	}
 	db.tables[spec.Name] = t
 	specCopy := spec
 	db.commit(Op{Kind: OpCreate, Table: spec.Name, Spec: &specCopy})
 	return nil
 }
 
-// Tables returns the table names, sorted.
+// Tables returns the table names, sorted — one consistent read-lock
+// snapshot, so a concurrent CreateTable is either fully visible or not
+// at all.
 func (db *DB) Tables() []string {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
 	}
+	db.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -214,6 +309,40 @@ func normalize(r Row) Row {
 	return out
 }
 
+// addToIndexes hooks a stored row into the table's secondary and unique
+// indexes. sorted keeps secondary postings in ID order (needed when IDs
+// arrive out of order, i.e. the replay path).
+func (t *table) addToIndexes(id int64, r Row, sorted bool) {
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok {
+			key := canon(v)
+			idx[key] = append(idx[key], id)
+			if sorted {
+				sortIDs(idx[key])
+			}
+		}
+	}
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			idx[canon(v)] = id
+		}
+	}
+}
+
+// dropFromIndexes unhooks a row from every index.
+func (t *table) dropFromIndexes(id int64, r Row) {
+	for col, idx := range t.indexes {
+		if v, ok := r[col]; ok {
+			removeID(idx, canon(v), id)
+		}
+	}
+	for col, idx := range t.unique {
+		if v, ok := r[col]; ok {
+			delete(idx, canon(v))
+		}
+	}
+}
+
 // Insert adds a row and returns its ID.
 func (db *DB) Insert(tableName string, row Row) (int64, error) {
 	db.mu.Lock()
@@ -232,21 +361,12 @@ func (db *DB) Insert(tableName string, row Row) (int64, error) {
 		}
 	}
 	id := t.nextID
-	t.nextID++
 	r[ID] = float64(id)
-	t.rows[id] = r
-	t.order = append(t.order, id)
-	for col, idx := range t.indexes {
-		if v, ok := r[col]; ok {
-			key := canon(v)
-			idx[key] = append(idx[key], id)
-		}
+	if _, err := t.eng.Put(id, r); err != nil {
+		return 0, err
 	}
-	for col, idx := range t.unique {
-		if v, ok := r[col]; ok {
-			idx[canon(v)] = id
-		}
-	}
+	t.nextID++
+	t.addToIndexes(id, r, false)
 	db.commit(Op{Kind: OpInsert, Table: tableName, ID: id, Row: copyRow(r)})
 	return id, nil
 }
@@ -293,21 +413,12 @@ func (db *DB) InsertBatch(tableName string, rows []Row) ([]int64, error) {
 	ids := make([]int64, len(norm))
 	for i, r := range norm {
 		id := t.nextID
-		t.nextID++
 		r[ID] = float64(id)
-		t.rows[id] = r
-		t.order = append(t.order, id)
-		for col, idx := range t.indexes {
-			if v, ok := r[col]; ok {
-				key := canon(v)
-				idx[key] = append(idx[key], id)
-			}
+		if _, err := t.eng.Put(id, r); err != nil {
+			return nil, err
 		}
-		for col, idx := range t.unique {
-			if v, ok := r[col]; ok {
-				idx[canon(v)] = id
-			}
-		}
+		t.nextID++
+		t.addToIndexes(id, r, false)
 		ids[i] = id
 		db.commit(Op{Kind: OpInsert, Table: tableName, ID: id, Row: copyRow(r)})
 	}
@@ -337,40 +448,22 @@ func (db *DB) InsertWithID(tableName string, id int64, row Row) error {
 			}
 		}
 	}
-	if old, exists := t.rows[id]; exists {
-		// Replace: unhook the old row from every index, keep its slot in
-		// the insertion order.
-		for col, idx := range t.indexes {
-			if v, ok := old[col]; ok {
-				removeID(idx, canon(v), id)
-			}
-		}
-		for col, idx := range t.unique {
-			if v, ok := old[col]; ok {
-				delete(idx, canon(v))
-			}
-		}
-	} else {
-		t.order = append(t.order, id)
-		sortIDs(t.order)
+	old, existed, err := t.eng.Get(id)
+	if err != nil {
+		return err
+	}
+	if existed {
+		// Replace: unhook the old row from every index.
+		t.dropFromIndexes(id, old)
+	}
+	r[ID] = float64(id)
+	if _, err := t.eng.Put(id, r); err != nil {
+		return err
 	}
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}
-	r[ID] = float64(id)
-	t.rows[id] = r
-	for col, idx := range t.indexes {
-		if v, ok := r[col]; ok {
-			key := canon(v)
-			idx[key] = append(idx[key], id)
-			sortIDs(idx[key])
-		}
-	}
-	for col, idx := range t.unique {
-		if v, ok := r[col]; ok {
-			idx[canon(v)] = id
-		}
-	}
+	t.addToIndexes(id, r, true)
 	db.commit(Op{Kind: OpInsert, Table: tableName, ID: id, Row: copyRow(r)})
 	return nil
 }
@@ -383,7 +476,10 @@ func (db *DB) Get(tableName string, id int64) (Row, error) {
 	if !ok {
 		return nil, ErrNoTable
 	}
-	r, ok := t.rows[id]
+	r, ok, err := t.eng.Get(id)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, ErrNoRow
 	}
@@ -398,7 +494,10 @@ func (db *DB) Update(tableName string, id int64, updates Row) error {
 	if !ok {
 		return ErrNoTable
 	}
-	r, ok := t.rows[id]
+	cur, ok, err := t.eng.Get(id)
+	if err != nil {
+		return err
+	}
 	if !ok {
 		return ErrNoRow
 	}
@@ -411,11 +510,12 @@ func (db *DB) Update(tableName string, id int64, updates Row) error {
 			}
 		}
 	}
+	merged := copyRow(cur) // cur may be engine-internal state
 	for col, v := range up {
 		if col == ID {
 			continue
 		}
-		old, had := r[col]
+		old, had := merged[col]
 		if idx, indexed := t.indexes[col]; indexed {
 			if had {
 				removeID(idx, canon(old), id)
@@ -430,7 +530,10 @@ func (db *DB) Update(tableName string, id int64, updates Row) error {
 			}
 			idx[canon(v)] = id
 		}
-		r[col] = v
+		merged[col] = v
+	}
+	if _, err := t.eng.Put(id, merged); err != nil {
+		return err
 	}
 	db.commit(Op{Kind: OpUpdate, Table: tableName, ID: id, Row: copyRow(up)})
 	return nil
@@ -444,26 +547,16 @@ func (db *DB) Delete(tableName string, id int64) error {
 	if !ok {
 		return ErrNoTable
 	}
-	r, ok := t.rows[id]
+	r, ok, err := t.eng.Get(id)
+	if err != nil {
+		return err
+	}
 	if !ok {
 		return ErrNoRow
 	}
-	for col, idx := range t.indexes {
-		if v, ok := r[col]; ok {
-			removeID(idx, canon(v), id)
-		}
-	}
-	for col, idx := range t.unique {
-		if v, ok := r[col]; ok {
-			delete(idx, canon(v))
-		}
-	}
-	delete(t.rows, id)
-	for i, oid := range t.order {
-		if oid == id {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
-		}
+	t.dropFromIndexes(id, r)
+	if _, err := t.eng.Delete(id); err != nil {
+		return err
 	}
 	db.commit(Op{Kind: OpDelete, Table: tableName, ID: id})
 	return nil
@@ -485,58 +578,135 @@ func (db *DB) DeleteBatch(tableName string, ids []int64) (int, error) {
 	if !ok {
 		return 0, ErrNoTable
 	}
-	gone := make(map[int64]bool, len(ids))
+	removed := 0
 	for _, id := range ids {
-		r, ok := t.rows[id]
+		r, ok, err := t.eng.Get(id)
+		if err != nil {
+			return removed, err
+		}
 		if !ok {
 			continue
 		}
-		for col, idx := range t.indexes {
-			if v, ok := r[col]; ok {
-				removeID(idx, canon(v), id)
-			}
+		t.dropFromIndexes(id, r)
+		if _, err := t.eng.Delete(id); err != nil {
+			return removed, err
 		}
-		for col, idx := range t.unique {
-			if v, ok := r[col]; ok {
-				delete(idx, canon(v))
-			}
-		}
-		delete(t.rows, id)
-		gone[id] = true
+		removed++
 		db.commit(Op{Kind: OpDelete, Table: tableName, ID: id})
 	}
-	if len(gone) > 0 {
-		keep := t.order[:0]
-		for _, oid := range t.order {
-			if !gone[oid] {
-				keep = append(keep, oid)
-			}
-		}
-		t.order = keep
-	}
-	return len(gone), nil
+	return removed, nil
 }
 
 // Counts reports the live row count of every table — the shard status
-// surface, cheap enough to poll because it never touches row data.
+// surface, cheap enough to poll because it never touches row data. The
+// whole report is one read-lock snapshot: a table created concurrently
+// is either present with its count or absent, never half-visible
+// (callers fan this out across the shard ring and merge).
 func (db *DB) Counts() map[string]int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := make(map[string]int, len(db.tables))
 	for name, t := range db.tables {
-		out[name] = len(t.rows)
+		out[name] = int(t.eng.Count())
 	}
 	return out
 }
 
-// Select returns rows matching the query in insertion order. Uses an index
-// for the first indexed Eq column, scanning otherwise.
-func (db *DB) Select(q Query) ([]Row, error) {
+// TableStat is one table's storage report for the /tables surface.
+type TableStat struct {
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	Rows   int64  `json:"rows"`
+	// DiskBytes/MemBytes/Runs mirror EngineStats for disk-resident tables.
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
+	MemBytes  int64 `json:"mem_bytes,omitempty"`
+	Runs      int   `json:"runs,omitempty"`
+}
+
+// TableStats reports every table's engine placement and footprint in one
+// consistent read-lock snapshot, sorted by name.
+func (db *DB) TableStats() []TableStat {
+	db.mu.RLock()
+	out := make([]TableStat, 0, len(db.tables))
+	for name, t := range db.tables {
+		st := t.eng.Stats()
+		out = append(out, TableStat{
+			Name:      name,
+			Engine:    st.Kind,
+			Rows:      st.Rows,
+			DiskBytes: st.DiskBytes,
+			MemBytes:  st.MemBytes,
+			Runs:      st.Runs,
+		})
+	}
+	db.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FlushEngines makes every table engine's applied state durable — the
+// checkpoint cycle calls this before retiring WAL segments, so a disk
+// engine's files plus the WAL tail always cover every committed op.
+func (db *DB) FlushEngines() error {
+	db.mu.RLock()
+	engines := make([]Engine, 0, len(db.tables))
+	for _, t := range db.tables {
+		engines = append(engines, t.eng)
+	}
+	db.mu.RUnlock()
+	for _, eng := range engines {
+		if err := eng.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every table engine (disk engines hold open files). The
+// DB must not be used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, t := range db.tables {
+		if err := t.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.tables = make(map[string]*table)
+	return first
+}
+
+// idBounds derives engine scan bounds from a query's _id range filter, so
+// an ID-bounded range query touches only the covered stretch of a
+// disk-resident table instead of sweeping it end to end.
+func idBounds(num map[string]Range) (from, to int64) {
+	from, to = 1, math.MaxInt64
+	rng, ok := num[ID]
+	if !ok {
+		return from, to
+	}
+	if rng.Min != nil {
+		from = int64(math.Ceil(*rng.Min))
+	}
+	if rng.Max != nil && *rng.Max < math.MaxInt64 {
+		to = int64(math.Floor(*rng.Max))
+	}
+	return from, to
+}
+
+// iterate streams matching rows to fn in ID order under the read lock,
+// without materializing the candidate set: the indexed path resolves
+// posting lists to point Gets, the unindexed path rides the engine's
+// ordered scan (bounded by any _id range filter). fn returns false to
+// stop early. Rows passed to fn may be engine-internal — copy before
+// retaining.
+func (db *DB) iterate(q Query, fn func(Row) bool) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	t, ok := db.tables[q.Table]
 	if !ok {
-		return nil, ErrNoTable
+		return ErrNoTable
 	}
 	eq := normalize(q.Eq)
 
@@ -556,24 +726,46 @@ func (db *DB) Select(q Query) ([]Row, error) {
 			break
 		}
 	}
-	if !usedIdx {
-		candidates = t.order
+	if usedIdx {
+		for _, id := range candidates {
+			r, ok, err := t.eng.Get(id)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if !matches(r, eq) || !inRanges(r, q.Num) {
+				continue
+			}
+			if !fn(r) {
+				return nil
+			}
+		}
+		return nil
 	}
-
-	var out []Row
-	for _, id := range candidates {
-		r, ok := t.rows[id]
-		if !ok {
-			continue
-		}
+	from, to := idBounds(q.Num)
+	return t.eng.Scan(from, to, func(id int64, r Row) bool {
 		if !matches(r, eq) || !inRanges(r, q.Num) {
-			continue
+			return true
 		}
+		return fn(r)
+	})
+}
+
+// Select returns rows matching the query in insertion order. Uses an index
+// for the first indexed Eq column, streaming the engine's ID-ordered scan
+// otherwise — a range query over a disk-resident table reads only as far
+// as its limit needs instead of copying the table.
+func (db *DB) Select(q Query) ([]Row, error) {
+	var out []Row
+	err := db.iterate(q, func(r Row) bool {
 		out = append(out, copyRow(r))
 		// Early limit cut only when no post-sort is requested.
-		if q.OrderBy == "" && q.Limit > 0 && len(out) >= q.Limit {
-			break
-		}
+		return q.OrderBy != "" || q.Limit <= 0 || len(out) < q.Limit
+	})
+	if err != nil {
+		return nil, err
 	}
 	if q.OrderBy != "" {
 		col := q.OrderBy
@@ -589,6 +781,29 @@ func (db *DB) Select(q Query) ([]Row, error) {
 		}
 	}
 	return out, nil
+}
+
+// ScanRange streams a table's rows in ascending ID order over
+// from <= _id <= to (to <= 0 means unbounded), calling fn until it
+// returns false. The rows are copies; fn runs under the table's read
+// lock, so keep it fast. This is the iterator path range queries over
+// history_points ride: both engines stream, neither copies the table.
+func (db *DB) ScanRange(tableName string, from, to int64, fn func(id int64, r Row) bool) error {
+	if from < 1 {
+		from = 1
+	}
+	if to <= 0 {
+		to = math.MaxInt64
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return ErrNoTable
+	}
+	return t.eng.Scan(from, to, func(id int64, r Row) bool {
+		return fn(id, copyRow(r))
+	})
 }
 
 // inRanges checks every numeric range filter; rows lacking the column or
@@ -634,13 +849,22 @@ func lessValues(a, b any) bool {
 	return fmt.Sprintf("%v", a) < fmt.Sprintf("%v", b)
 }
 
-// Count returns the number of matching rows.
+// Count returns the number of matching rows, streaming instead of
+// materializing the result set (a count over a disk-resident table
+// decodes pages but never builds rows up).
 func (db *DB) Count(q Query) (int, error) {
-	rows, err := db.Select(q)
+	n := 0
+	err := db.iterate(q, func(Row) bool {
+		n++
+		return true
+	})
 	if err != nil {
 		return 0, err
 	}
-	return len(rows), nil
+	if q.Limit > 0 && n > q.Limit {
+		n = q.Limit
+	}
+	return n, nil
 }
 
 // RegisterProc installs a stored procedure.
